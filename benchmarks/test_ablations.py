@@ -1,0 +1,18 @@
+"""Benchmarks for the design-choice ablations (DESIGN.md §4).
+
+One benchmark per ablation: overwrite run length, coalescing degree,
+checkpoint interval, burst amplitude, adaptation hysteresis.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.parametrize("name", sorted(ablations.ALL_ABLATIONS))
+def test_ablation(benchmark, name):
+    fn = ablations.ALL_ABLATIONS[name]
+    result = benchmark.pedantic(fn, kwargs={"quick": True}, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_passed, "\n" + result.render()

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 4 — Overhead of mirroring to a single site.
+
+Prints the same series the paper plots and asserts the shape checks
+(who wins, by roughly what factor, where crossovers fall).  Run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark):
+    result = benchmark.pedantic(
+        figure4.run, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.all_passed, "\n" + result.render()

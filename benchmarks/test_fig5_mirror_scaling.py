@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 5 — Overheads implied by additional mirrors.
+
+Prints the same series the paper plots and asserts the shape checks
+(who wins, by roughly what factor, where crossovers fall).  Run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark):
+    result = benchmark.pedantic(
+        figure5.run, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.all_passed, "\n" + result.render()

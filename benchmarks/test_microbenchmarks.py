@@ -1,0 +1,111 @@
+"""Microbenchmarks of the substrate itself (not paper figures).
+
+These time the hot paths of the reproduction — kernel event
+scheduling, rule-engine evaluation, checkpoint rounds, end-to-end
+scenario throughput — so regressions in the simulator do not silently
+turn into 'the paper's numbers changed'.
+"""
+
+import pytest
+
+from repro.core import ScenarioConfig, run_scenario, selective_mirroring
+from repro.core.checkpoint import CheckpointCoordinator, ChkptRepMsg
+from repro.core.events import FAA_POSITION, UpdateEvent, VectorTimestamp
+from repro.core.rules import CoalesceRule, OverwriteRule, RuleEngine
+from repro.ois import FlightDataConfig
+from repro.sim import Environment, Store
+
+
+def test_kernel_timeout_throughput(benchmark):
+    """Schedule and process 20k timeout events."""
+
+    def run():
+        env = Environment()
+
+        def proc():
+            for _ in range(20_000):
+                yield env.timeout(1)
+
+        env.process(proc())
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 20_000
+
+
+def test_store_put_get_throughput(benchmark):
+    """10k items through a producer/consumer Store pair."""
+
+    def run():
+        env = Environment()
+        store = Store(env, capacity=64)
+        got = []
+
+        def producer():
+            for i in range(10_000):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(10_000):
+                got.append((yield store.get()))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        return len(got)
+
+    assert benchmark(run) == 10_000
+
+
+def test_rule_engine_throughput(benchmark):
+    """Overwrite + coalesce pipeline over 10k position events."""
+
+    def run():
+        engine = RuleEngine([OverwriteRule(FAA_POSITION, 10), CoalesceRule(5)])
+        passed = 0
+        for i in range(10_000):
+            ev = UpdateEvent(
+                kind=FAA_POSITION, stream="faa", seqno=i + 1,
+                key=f"DL{i % 20}", payload={"lat": float(i)},
+            )
+            for out in engine.on_receive(ev):
+                passed += len(engine.on_send(out))
+        return passed
+
+    assert benchmark(run) > 0
+
+
+def test_checkpoint_round_throughput(benchmark):
+    """2k full coordinator rounds with 4 participants."""
+
+    def run():
+        sites = ["central", "m1", "m2", "m3"]
+        coord = CheckpointCoordinator(set(sites))
+        commits = 0
+        for i in range(1, 2001):
+            msg = coord.initiate(VectorTimestamp({"faa": i * 10}))
+            for site in sites:
+                out = coord.on_reply(
+                    ChkptRepMsg(msg.round_id, site, VectorTimestamp({"faa": i * 10 - 1}))
+                )
+            commits += out is not None
+        return commits
+
+    assert benchmark(run) == 2000
+
+
+def test_scenario_end_to_end(benchmark):
+    """Full mirrored-server scenario, ~650 events, 1 mirror."""
+
+    def run():
+        wl = FlightDataConfig(n_flights=5, positions_per_flight=120, seed=3)
+        metrics = run_scenario(
+            ScenarioConfig(
+                n_mirrors=1,
+                mirror_config=selective_mirroring(10),
+                workload=wl,
+            )
+        ).metrics
+        return metrics.events_processed_central
+
+    assert benchmark(run) > 500

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Inclement weather: the paper's second unusual operating condition.
+
+§1 Case (2): "dealing with inclement weather conditions ... it would be
+appropriate to track planes at increased levels of precision, thus
+resulting in increased loads on servers caused by the additional
+tracking processing and in increased communication loads due to the
+distribution of tracking data."
+
+A weather front triples the FAA fix rate and doubles fix precision for
+90 seconds of a (scaled-down) operational window.  The run compares a
+pinned mirroring function against the adaptive controller watching the
+ready-queue monitor — the *event-side* counterpart of the request
+storms in examples/adaptive_storm.py.
+
+Run:  python examples/weather_surge.py
+"""
+
+from repro.core import (
+    AdaptDirective,
+    MonitorSpec,
+    PARAM_MIRROR_FUNCTION,
+    ScenarioConfig,
+    adaptive_normal,
+    run_scenario,
+)
+from repro.core.adaptation import MONITOR_READY_QUEUE
+from repro.ois import FlightDataConfig, WeatherFront, apply_weather
+
+WINDOW_S = 5.0
+EVENT_RATE = 2500.0
+FRONT = WeatherFront(
+    start=1.5, duration=1.5, rate_multiplier=3.0, precision_size_multiplier=2.0
+)
+
+
+def adaptive_config():
+    cfg = adaptive_normal()
+    cfg.adapt_directives.append(
+        AdaptDirective(param=PARAM_MIRROR_FUNCTION, function_name="adaptive_reduced")
+    )
+    cfg.monitors[MONITOR_READY_QUEUE] = MonitorSpec(
+        MONITOR_READY_QUEUE, primary=40, secondary=35
+    )
+    return cfg
+
+
+def main() -> None:
+    workload = FlightDataConfig(
+        n_flights=20,
+        positions_per_flight=int(WINDOW_S * EVENT_RATE / 20),
+        event_size=2048,
+        position_rate=EVENT_RATE,
+        seed=17,
+    )
+    script = apply_weather(workload, FRONT)
+    print(f"=== weather front: {FRONT.rate_multiplier:.0f}x fixes, "
+          f"{FRONT.precision_size_multiplier:.0f}x precision during "
+          f"[{FRONT.start:.1f}s, {FRONT.end:.1f}s) ===")
+    print(f"{len(script)} events over {script.duration:.1f}s "
+          f"(base would be {int(WINDOW_S * EVENT_RATE)})\n")
+
+    runs = {}
+    for label, adapt in [("pinned", False), ("adaptive", True)]:
+        runs[label] = run_scenario(
+            ScenarioConfig(
+                n_mirrors=1,
+                mirror_config=adaptive_config(),
+                workload=workload,
+                adaptation=adapt,
+            ),
+            script=script,
+        ).metrics
+
+    print(f"{'half-second':>12}{'pinned ms':>12}{'adaptive ms':>12}")
+    series = {}
+    for label, metrics in runs.items():
+        _, means = metrics.update_delay.series.bucketed(0.5, until=WINDOW_S)
+        series[label] = means
+    for i in range(len(series["pinned"])):
+        p, a = series["pinned"][i] * 1e3, series["adaptive"][i] * 1e3
+        t = (i + 1) * 0.5
+        marker = "  <- front" if FRONT.start <= t - 0.5 < FRONT.end else ""
+        print(f"{t:>12.1f}{p:>12.2f}{a:>12.2f}{marker}")
+
+    pinned, adaptive = runs["pinned"], runs["adaptive"]
+    reduction = (
+        (pinned.update_delay.mean - adaptive.update_delay.mean)
+        / pinned.update_delay.mean * 100.0
+    )
+    print(f"\nmean update delay: {pinned.update_delay.mean*1e3:.2f} ms pinned vs "
+          f"{adaptive.update_delay.mean*1e3:.2f} ms adaptive ({reduction:.0f}% lower)")
+    for at, action, function in adaptive.adaptation_log:
+        print(f"  t={at:5.2f}s {action:>6} -> {function}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — reproduction of *Adaptable Mirroring in Cluster Servers*
+(Gavrilovska, Schwan, Oleson; HPDC 2001).
+
+A middleware framework that continuously mirrors streaming update
+events from the central node of a cluster-based Operational Information
+System to other cluster nodes, using application semantics (filtering,
+overwriting, coalescing, complex events) and runtime adaptation to
+trade mirror consistency against client quality of service.
+
+Quick start::
+
+    from repro import ScenarioConfig, run_scenario, selective_mirroring
+    from repro.ois import FlightDataConfig
+
+    cfg = ScenarioConfig(
+        n_mirrors=2,
+        mirror_config=selective_mirroring(overwrite_len=10),
+        workload=FlightDataConfig(n_flights=10, positions_per_flight=50),
+    )
+    result = run_scenario(cfg)
+    print(result.metrics.summary())
+
+Subpackages
+-----------
+``repro.sim``
+    Deterministic discrete-event simulation kernel (the substrate that
+    replaces the paper's physical cluster; see DESIGN.md).
+``repro.cluster`` / ``repro.channels``
+    Cluster nodes, links, transport and ECho-like event channels.
+``repro.core``
+    The paper's contribution: mirroring rules, Table-1 API, checkpoint
+    protocol, adaptation, runtime units and scenario assembly.
+``repro.ois``
+    The airline OIS application: flight data, EDE business logic,
+    operational state, clients.
+``repro.workload``
+    httperf-style request-load generation and load balancing.
+``repro.metrics``
+    Measurement and report formatting.
+``repro.experiments``
+    One module per paper figure (4–9) plus ablations.
+``repro.rt``
+    asyncio-based live runtime (a second backend for the same core).
+"""
+
+from .core import (
+    MirrorConfig,
+    MirrorControl,
+    MirroredServer,
+    ScenarioConfig,
+    ScenarioResult,
+    UpdateEvent,
+    VectorTimestamp,
+    adaptive_normal,
+    adaptive_reduced,
+    coalescing_mirroring,
+    run_scenario,
+    selective_low_chkpt,
+    selective_mirroring,
+    simple_mirroring,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MirrorConfig",
+    "MirrorControl",
+    "MirroredServer",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "UpdateEvent",
+    "VectorTimestamp",
+    "adaptive_normal",
+    "adaptive_reduced",
+    "coalescing_mirroring",
+    "run_scenario",
+    "selective_low_chkpt",
+    "selective_mirroring",
+    "simple_mirroring",
+    "__version__",
+]

@@ -1,0 +1,97 @@
+"""Command-line runner: regenerate the paper's figures and ablations.
+
+Usage::
+
+    python -m repro figures            # all figures, quick mode
+    python -m repro figures --full     # all figures, paper scale
+    python -m repro figure7            # one figure
+    python -m repro ablations          # all ablations
+    python -m repro ablation hysteresis
+    python -m repro all --save results/figures.txt   # everything + report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import ALL_FIGURES
+from .experiments.ablations import ALL_ABLATIONS
+from .experiments.runner import run_all, write_report
+
+
+def _run_one(name: str, runner, quick: bool) -> bool:
+    t0 = time.time()
+    result = runner(quick=quick)
+    print(result.render())
+    print(f"\n({name} regenerated in {time.time() - t0:.1f}s, "
+          f"{'quick' if quick else 'full'} mode)\n")
+    return result.all_passed
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code (0 = all checks pass)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the evaluation of 'Adaptable Mirroring in "
+        "Cluster Servers' (HPDC 2001).",
+    )
+    parser.add_argument(
+        "target",
+        help="'figures', 'ablations', 'all', a figure name "
+        "(figure4..figure9), or 'ablation <name>'",
+    )
+    parser.add_argument("extra", nargs="?", help="ablation name")
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale workloads (slower; default is quick mode)",
+    )
+    parser.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="with 'all': also write the rendered report to PATH",
+    )
+    args = parser.parse_args(argv)
+    quick = not args.full
+
+    ok = True
+    if args.target == "all":
+        records = run_all(
+            quick=quick,
+            progress=lambda r: print(
+                f"== {r.name}: {'PASS' if r.passed else 'FAIL'} "
+                f"({r.wall_seconds:.0f}s)"
+            ),
+        )
+        for record in records:
+            print()
+            print(record.result.render())
+        if args.save:
+            path = write_report(records, args.save)
+            print(f"\nreport written to {path}")
+        ok = all(r.passed for r in records)
+    elif args.target == "figures":
+        for name, mod in ALL_FIGURES.items():
+            ok &= _run_one(name, mod.run, quick)
+    elif args.target == "ablations":
+        for name, fn in ALL_ABLATIONS.items():
+            ok &= _run_one(name, fn, quick)
+    elif args.target in ALL_FIGURES:
+        ok = _run_one(args.target, ALL_FIGURES[args.target].run, quick)
+    elif args.target == "ablation":
+        if args.extra not in ALL_ABLATIONS:
+            parser.error(
+                f"unknown ablation {args.extra!r}; choose from "
+                f"{sorted(ALL_ABLATIONS)}"
+            )
+        ok = _run_one(args.extra, ALL_ABLATIONS[args.extra], quick)
+    else:
+        parser.error(
+            f"unknown target {args.target!r}; choose 'figures', "
+            f"'ablations', one of {sorted(ALL_FIGURES)}, or 'ablation <name>'"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

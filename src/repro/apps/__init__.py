@@ -1,0 +1,16 @@
+"""Additional application domains for the mirroring framework.
+
+The paper's framework is application-*specific* but not
+airline-specific: §1 motivates it with "applications like IBM's
+information services for the Atlanta Olympic Games", where "even small
+delays were devastating: both television viewers and journalists were
+disappointed when IBM's servers could not keep up with bursty requests
+for updates while also steadily collecting and collating the results
+of recent sports events".  :mod:`repro.apps.games` builds that system
+on the same core, with its own event streams and semantic rules —
+evidence that the Table-1 API generalises beyond the airline OIS.
+"""
+
+from . import games
+
+__all__ = ["games"]

@@ -1,0 +1,235 @@
+"""Olympic-games information service on the mirroring framework.
+
+A second operational information system (§1's IBM Atlanta Olympics
+motivation) built entirely from the library's public pieces:
+
+* **Event streams** — a ``scores`` stream of in-progress score updates
+  per event (the fast, overwritable stream: only the latest score of a
+  contest matters, like FAA position fixes) and a ``results`` stream of
+  official milestones (heats completed, medals awarded — the lossless
+  stream, like Delta's status events).
+* **Semantic rules** from Table 1 —
+  ``set_overwrite('games.score', L)`` keeps one of every run of score
+  updates per contest; ``set_complex_seq('games.result'
+  {status: 'final'}, 'games.score')`` stops mirroring score updates
+  once a contest's final result is in;
+  ``set_complex_tuple([semifinal, final, ceremony] ...)`` collapses a
+  contest's closing milestones into one 'medal awarded' complex event.
+* **Business logic** — a :class:`ScoreboardEngine` deriving medal-table
+  updates, usable anywhere the airline EDE is.
+
+Nothing here touches framework internals: it is written against the
+same public API a downstream user would have.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import MirrorConfig
+from ..core.events import UpdateEvent
+from ..core.functions import simple_mirroring
+from ..ois.flightdata import EventScript, ScriptedEvent
+from ..sim import RandomStreams
+
+__all__ = [
+    "SCORE_UPDATE",
+    "OFFICIAL_RESULT",
+    "MEDAL_AWARDED",
+    "GamesWorkload",
+    "generate_games_script",
+    "games_mirroring",
+    "ScoreboardEngine",
+]
+
+SCORE_UPDATE = "games.score"
+OFFICIAL_RESULT = "games.result"
+MEDAL_AWARDED = "games.medal_awarded"
+
+#: Official milestone sequence for one contest.
+RESULT_LIFECYCLE = ("heats complete", "semifinal", "final", "ceremony")
+
+
+@dataclass(frozen=True)
+class GamesWorkload:
+    """Workload knobs for the games event streams.
+
+    ``score_updates_per_contest`` in-progress score updates flow per
+    contest (stream ``scores``); each contest also emits the official
+    milestone sequence (stream ``results``).
+    """
+
+    n_contests: int = 30
+    score_updates_per_contest: int = 80
+    score_event_size: int = 512
+    result_event_size: int = 768
+    score_rate: float = 0.0  # aggregate updates/second; 0 = ASAP
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_contests < 1:
+            raise ValueError("n_contests must be >= 1")
+        if self.score_updates_per_contest < 0:
+            raise ValueError("score_updates_per_contest must be >= 0")
+        if self.score_event_size < 0 or self.result_event_size < 0:
+            raise ValueError("event sizes must be >= 0")
+        if self.score_rate < 0:
+            raise ValueError("score_rate must be >= 0")
+
+
+def _contest_id(i: int) -> str:
+    return f"EV{i + 100}"
+
+
+def generate_games_script(config: GamesWorkload) -> EventScript:
+    """Deterministic script of score updates + official results."""
+    rng = RandomStreams(config.seed)
+    order_rng = rng.stream("games.order")
+    score_rng = rng.stream("games.scores")
+
+    entries: List[ScriptedEvent] = []
+    score_seq = itertools.count(1)
+
+    # deal score updates to contests in shuffled runs (a contest in
+    # play produces consecutive updates)
+    remaining = {
+        _contest_id(i): config.score_updates_per_contest
+        for i in range(config.n_contests)
+    }
+    order: List[str] = []
+    active = [c for c, n in remaining.items() if n > 0]
+    while active:
+        cid = active[int(order_rng.integers(len(active)))]
+        take = min(int(order_rng.integers(1, 7)), remaining[cid])
+        order.extend([cid] * take)
+        remaining[cid] -= take
+        if remaining[cid] == 0:
+            active.remove(cid)
+
+    interarrival = 1.0 / config.score_rate if config.score_rate > 0 else 0.0
+    t = 0.0
+    running: Dict[str, int] = {}
+    for cid in order:
+        running[cid] = running.get(cid, 0) + int(score_rng.integers(1, 4))
+        entries.append(
+            ScriptedEvent(
+                at=t,
+                event=UpdateEvent(
+                    kind=SCORE_UPDATE, stream="scores", seqno=next(score_seq),
+                    key=cid,
+                    payload={"score": running[cid]},
+                    size=config.score_event_size,
+                ),
+            )
+        )
+        t += interarrival
+
+    # official results spread across the span, in lifecycle order per
+    # contest, renumbered by arrival time afterwards
+    span = max(t, 1e-9)
+    times_rng = rng.stream("games.times")
+    raw_results: List[ScriptedEvent] = []
+    for i in range(config.n_contests):
+        cid = _contest_id(i)
+        times = sorted(float(times_rng.uniform(0.0, span)) for _ in RESULT_LIFECYCLE)
+        for when, status in zip(times, RESULT_LIFECYCLE):
+            payload = {"status": status}
+            if status == "final":
+                payload["winner"] = f"athlete{int(times_rng.integers(1, 200))}"
+            raw_results.append(
+                ScriptedEvent(
+                    at=when,
+                    event=UpdateEvent(
+                        kind=OFFICIAL_RESULT, stream="results", seqno=0,
+                        key=cid, payload=payload,
+                        size=config.result_event_size,
+                    ),
+                )
+            )
+    raw_results.sort(key=lambda se: se.at)
+    result_seq = itertools.count(1)
+    for se in raw_results:
+        ev = se.event
+        entries.append(
+            ScriptedEvent(
+                at=se.at,
+                event=UpdateEvent(
+                    kind=ev.kind, stream=ev.stream, seqno=next(result_seq),
+                    key=ev.key, payload=dict(ev.payload), size=ev.size,
+                ),
+            )
+        )
+    return EventScript(entries)
+
+
+def games_mirroring(
+    overwrite_scores: int = 10,
+    checkpoint_freq: int = 50,
+) -> MirrorConfig:
+    """The games-domain mirror function, composed from Table-1 rules.
+
+    * overwrite runs of score updates per contest (only the latest
+      score matters to a recovering scoreboard);
+    * once a contest's official 'final' is in, stop mirroring its score
+      updates at all;
+    * collapse semifinal + final + ceremony into one 'medal awarded'
+      complex event and suppress further score updates for the contest.
+    """
+    cfg = simple_mirroring(checkpoint_freq=checkpoint_freq)
+    cfg.function_name = "games"
+    if overwrite_scores > 1:
+        cfg.overwrite[SCORE_UPDATE] = overwrite_scores
+    cfg.complex_seq.append(
+        (OFFICIAL_RESULT, {"status": "final"}, SCORE_UPDATE)
+    )
+    return cfg
+
+
+class ScoreboardEngine:
+    """Games business logic: latest scores + the medal table.
+
+    Drop-in peer of :class:`repro.ois.EventDerivationEngine` for code
+    that only needs ``process``/state semantics (the live runtime's
+    tests exercise it that way).
+    """
+
+    def __init__(self):
+        self.scores: Dict[str, int] = {}
+        self.finals: Dict[str, str] = {}
+        self.medals: Dict[str, int] = {}
+        self.processed = 0
+
+    def process(self, event: UpdateEvent) -> List[UpdateEvent]:
+        """Apply one event; returns output events (update + any medal)."""
+        self.processed += 1
+        outputs = [event]
+        if event.kind == SCORE_UPDATE:
+            self.scores[event.key] = int(event.payload.get("score", 0))
+        elif event.kind == OFFICIAL_RESULT:
+            status = event.payload.get("status")
+            if status == "final":
+                winner = event.payload.get("winner", "unknown")
+                self.finals[event.key] = winner
+                self.medals[winner] = self.medals.get(winner, 0) + 1
+                outputs.append(
+                    UpdateEvent(
+                        kind=MEDAL_AWARDED, stream=event.stream,
+                        seqno=event.seqno, key=event.key,
+                        payload={"winner": winner,
+                                 "total": self.medals[winner]},
+                        size=256,
+                        vt=event.vt,
+                        entered_at=event.entered_at,
+                    )
+                )
+        return outputs
+
+    def state_digest(self) -> tuple:
+        """Hashable scoreboard summary for replica-consistency checks."""
+        return (
+            tuple(sorted(self.scores.items())),
+            tuple(sorted(self.finals.items())),
+            tuple(sorted(self.medals.items())),
+        )

@@ -1,0 +1,10 @@
+"""ECho-like typed event channels over the simulated transport.
+
+Substitutes for the ECho event communication infrastructure the paper
+uses (DESIGN.md §2): named fan-out channels with data/control traffic
+classes and subscriber-side filters.
+"""
+
+from .channel import ChannelRegistry, EventChannel, Subscription
+
+__all__ = ["ChannelRegistry", "EventChannel", "Subscription"]

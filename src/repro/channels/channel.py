@@ -1,0 +1,158 @@
+"""ECho-style logical event channels.
+
+The paper moves all data with the ECho event infrastructure [6]: typed
+logical channels connect sources, the central site, mirror sites and
+clients, with separate *data* channels (application events) and
+bi-directional *control* channels (checkpoint + adaptation traffic).
+
+An :class:`EventChannel` here is a named fan-out: publishers submit a
+payload once and the channel delivers an independent copy to every
+subscriber endpoint over the transport.  Each delivery pays its own
+serialization + wire cost, which is exactly why mirroring to k sites
+costs k submissions (Figure 5) and why application-level filtering
+pays (Figures 4, 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..cluster import Message, Node, Transport
+from ..sim import Environment
+
+__all__ = ["Subscription", "EventChannel", "ChannelRegistry"]
+
+
+class Subscription:
+    """One subscriber of a channel: endpoint + bounded send window.
+
+    The window models the sender-side buffering of an asynchronous event
+    submission: up to ``window`` deliveries may be in flight to this
+    subscriber; beyond that, publishers block — the backpressure through
+    which an overloaded mirror site slows the central sending task.
+    """
+
+    def __init__(
+        self,
+        env,
+        endpoint: str,
+        accepts: Optional[Callable[[Any], bool]] = None,
+        window: Optional[int] = 8,
+    ):
+        from ..sim import Store
+
+        self.endpoint = endpoint
+        #: optional subscriber-side predicate; False drops the delivery
+        #: at the channel (models ECho's derived event channels)
+        self.accepts = accepts
+        self._window = Store(env, capacity=window)
+
+    def in_flight(self) -> int:
+        """Deliveries currently occupying window slots."""
+        return self._window.level
+
+
+class EventChannel:
+    """A typed, named fan-out channel.
+
+    Parameters
+    ----------
+    env, transport:
+        Execution substrate.
+    name:
+        Channel name, e.g. ``"faa.positions"`` or ``"ctrl.mirror1"``.
+    kind:
+        ``"data"`` or ``"control"`` — kept on every message so link
+        accounting can separate the two traffic classes.
+    """
+
+    def __init__(self, env: Environment, transport: Transport, name: str, kind: str = "data"):
+        if kind not in ("data", "control"):
+            raise ValueError(f"channel kind must be 'data' or 'control', got {kind!r}")
+        self.env = env
+        self.transport = transport
+        self.name = name
+        self.kind = kind
+        self.subscriptions: List[Subscription] = []
+        self.published = 0
+        self.deliveries = 0
+
+    def subscribe(
+        self,
+        endpoint: str,
+        accepts: Optional[Callable[[Any], bool]] = None,
+        window: Optional[int] = 8,
+    ) -> Subscription:
+        """Add a subscriber endpoint (must be registered on the transport).
+
+        ``window`` bounds in-flight deliveries to this subscriber
+        (None = unbounded, i.e. no backpressure ever).
+        """
+        self.transport.endpoint(endpoint)  # validate early
+        sub = Subscription(self.env, endpoint=endpoint, accepts=accepts, window=window)
+        self.subscriptions.append(sub)
+        return sub
+
+    def unsubscribe(self, endpoint: str) -> None:
+        """Remove all subscriptions of ``endpoint``."""
+        self.subscriptions = [s for s in self.subscriptions if s.endpoint != endpoint]
+
+    def publish(self, src_node: Node, payload: Any, size: int):
+        """Process fragment: submit ``payload`` towards every subscriber.
+
+        Submission is asynchronous: the fragment completes once a window
+        slot is reserved for every subscriber, not when deliveries land.
+        Each delivery is its own transport send (contending for sender
+        CPU and the per-destination link) and releases its slot on
+        completion — so ordering per subscriber is preserved and a slow
+        subscriber eventually blocks the publisher (backpressure).
+        """
+        self.published += 1
+        for sub in self.subscriptions:
+            if sub.accepts is not None and not sub.accepts(payload):
+                continue
+            msg = Message(kind=self.kind, payload=payload, size=size)
+            yield sub._window.put(msg)
+            self.deliveries += 1
+            self.env.process(self._deliver(src_node, sub, msg))
+
+    def _deliver(self, src_node: Node, sub: Subscription, msg: Message):
+        yield from self.transport.send(src_node, sub.endpoint, msg)
+        # release this message's window slot (FIFO: slots are anonymous)
+        sub._window.try_get()
+
+    def publish_nowait(self, src_node: Node, payload: Any, size: int):
+        """Fire-and-forget publish (spawns the delivery process)."""
+        return self.env.process(self.publish(src_node, payload, size))
+
+
+class ChannelRegistry:
+    """Name → channel directory for one scenario."""
+
+    def __init__(self, env: Environment, transport: Transport):
+        self.env = env
+        self.transport = transport
+        self._channels: Dict[str, EventChannel] = {}
+
+    def create(self, name: str, kind: str = "data") -> EventChannel:
+        """Create and register a new channel (names are unique)."""
+        if name in self._channels:
+            raise ValueError(f"channel {name!r} already exists")
+        ch = EventChannel(self.env, self.transport, name, kind)
+        self._channels[name] = ch
+        return ch
+
+    def get(self, name: str) -> EventChannel:
+        """Look up a channel by name (KeyError when unknown)."""
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise KeyError(f"unknown channel {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._channels
+
+    def all(self) -> Dict[str, EventChannel]:
+        """Snapshot of every registered channel."""
+        return dict(self._channels)

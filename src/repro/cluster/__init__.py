@@ -1,0 +1,22 @@
+"""Cluster substrate: nodes with CPU cost models, links, message transport.
+
+This package substitutes for the paper's physical testbed (8-node
+Pentium III cluster, 100 Mbps client ethernet); see DESIGN.md §2.
+"""
+
+from .network import CLIENT_ETHERNET, INTRA_CLUSTER, Link, LinkSpec, Network
+from .node import CostModel, Node
+from .transport import Endpoint, Message, Transport
+
+__all__ = [
+    "CLIENT_ETHERNET",
+    "INTRA_CLUSTER",
+    "Link",
+    "LinkSpec",
+    "Network",
+    "CostModel",
+    "Node",
+    "Endpoint",
+    "Message",
+    "Transport",
+]

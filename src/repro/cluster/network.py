@@ -1,0 +1,153 @@
+"""Cluster interconnect and client-network model.
+
+The paper's architecture leans on the fact that *intra-cluster*
+communication (the SAN between mirror nodes) has far higher bandwidth
+and lower latency than the links to data providers and clients
+(100 Mbps ethernet in the testbed).  We model links explicitly:
+
+* :class:`Link` — latency + bandwidth + single transmission channel, so
+  concurrent messages on one link serialise (congestion shows up when
+  mirroring traffic grows, exactly the effect Figures 4–5 measure).
+* :class:`Network` — a registry of directed links between named nodes
+  with defaults for intra-cluster and external hops.
+* :class:`Message` / message delivery happens in
+  :mod:`repro.cluster.transport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..sim import Environment, Resource
+
+__all__ = ["LinkSpec", "Link", "Network", "INTRA_CLUSTER", "CLIENT_ETHERNET"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static parameters of a link."""
+
+    latency: float  # seconds, propagation + protocol
+    bandwidth: float  # bytes / second
+
+    def __post_init__(self):
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Pure transmission time for ``nbytes`` (excludes queueing)."""
+        return nbytes / self.bandwidth
+
+
+#: Cluster SAN defaults: ~Gigabit-class, tens of microseconds latency
+#: (the paper: "intra-cluster communication bandwidth and latency are far
+#: superior to those experienced by data providers and by clients").
+INTRA_CLUSTER = LinkSpec(latency=40e-6, bandwidth=125_000_000.0)
+
+#: 100 Mbps ethernet to httperf client machines, WAN-ish latency.
+CLIENT_ETHERNET = LinkSpec(latency=400e-6, bandwidth=12_500_000.0)
+
+
+class Link:
+    """A directed link: messages occupy the channel for their
+    transmission time; propagation latency is pipelined (does not hold
+    the channel)."""
+
+    def __init__(self, env: Environment, spec: LinkSpec, name: str = ""):
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self.channel = Resource(env, capacity=1)
+        self.bytes_carried = 0
+        self.messages_carried = 0
+
+    def transmit(self, nbytes: int):
+        """Process fragment modelling one message crossing the link.
+
+        Occupies the channel for the transmission time, then waits out
+        the propagation latency without holding the channel.
+        """
+        if nbytes < 0:
+            raise ValueError("message size must be >= 0")
+        with self.channel.request() as req:
+            yield req
+            tx = self.spec.transfer_time(nbytes)
+            if tx:
+                yield self.env.timeout(tx)
+        if self.spec.latency:
+            yield self.env.timeout(self.spec.latency)
+        self.bytes_carried += nbytes
+        self.messages_carried += 1
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the link carried a transmission."""
+        return self.channel.utilization()
+
+
+class Network:
+    """Registry of links between named endpoints.
+
+    Unknown intra-cluster pairs fall back to ``default_internal``;
+    pairs involving endpoints registered as *external* (clients, data
+    sources) fall back to ``default_external``.  Loopback (same node)
+    costs nothing and is represented by ``None``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        default_internal: LinkSpec = INTRA_CLUSTER,
+        default_external: LinkSpec = CLIENT_ETHERNET,
+    ):
+        self.env = env
+        self.default_internal = default_internal
+        self.default_external = default_external
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._external: set[str] = set()
+
+    def mark_external(self, endpoint: str) -> None:
+        """Declare an endpoint as outside the cluster (client/source side)."""
+        self._external.add(endpoint)
+
+    def is_external(self, endpoint: str) -> bool:
+        """True when ``endpoint`` was marked as outside the cluster."""
+        return endpoint in self._external
+
+    def add_link(self, src: str, dst: str, spec: LinkSpec) -> Link:
+        """Install an explicit directed link."""
+        if src == dst:
+            raise ValueError("loopback links are implicit and free")
+        link = Link(self.env, spec, name=f"{src}->{dst}")
+        self._links[(src, dst)] = link
+        return link
+
+    def link(self, src: str, dst: str) -> Optional[Link]:
+        """The link used from ``src`` to ``dst`` (``None`` for loopback).
+
+        Creates the default link lazily on first use so that utilisation
+        accounting persists across messages.
+        """
+        if src == dst:
+            return None
+        key = (src, dst)
+        existing = self._links.get(key)
+        if existing is not None:
+            return existing
+        spec = (
+            self.default_external
+            if (src in self._external or dst in self._external)
+            else self.default_internal
+        )
+        return self.add_link(src, dst, spec)
+
+    def links(self) -> Dict[Tuple[str, str], Link]:
+        """All instantiated links (for reporting)."""
+        return dict(self._links)
+
+    def total_bytes(self) -> int:
+        """Bytes carried across every instantiated link — the 'mirroring
+        traffic' statistic Figures 4 and 7 reason about."""
+        return sum(l.bytes_carried for l in self._links.values())

@@ -1,0 +1,165 @@
+"""Cluster node model.
+
+A :class:`Node` stands in for one machine of the paper's testbed (300 MHz
+dual-processor Pentium III servers).  It owns a CPU :class:`Resource`
+whose capacity is the processor count, and a :class:`CostModel` that maps
+framework actions to CPU service demand.  All of the evaluation's timing
+behaviour flows through these two objects.
+
+The cost model's shape mirrors DESIGN.md §5: fixed + per-byte costs for
+event handling and messaging, a flat EDE cost per business-logic event, a
+state-size-proportional snapshot cost for client initialisation requests,
+and a small per-event rule-evaluation cost that makes "small amounts of
+additional event processing" (the paper's selective mirroring) a good
+trade against mirroring traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Generator, Optional
+
+from ..sim import Environment, Resource
+
+__all__ = ["CostModel", "Node"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """CPU service demands, in seconds (fixed) and seconds/byte (scaled).
+
+    Defaults are the calibrated constants used by the experiment harness
+    (see ``repro.experiments.calibration`` for the derivation against the
+    paper's reported percentages).
+    """
+
+    #: receive + timestamp + enqueue one incoming event
+    recv_fixed: float = 20e-6
+    recv_per_byte: float = 4e-9
+    #: submit one event copy onto one outgoing mirror channel
+    mirror_fixed: float = 3e-6
+    mirror_per_byte: float = 1.2e-9
+    #: forward an event to the co-located main unit
+    fwd_fixed: float = 5e-6
+    fwd_per_byte: float = 1e-9
+    #: EDE business-logic processing of one event
+    ede_fixed: float = 40e-6
+    ede_per_byte: float = 2e-9
+    #: distribute one output/update event to the client-facing links
+    update_fixed: float = 30e-6
+    update_per_byte: float = 8e-9
+    #: evaluate semantic mirroring rules on one event
+    rule_fixed: float = 4e-6
+    #: backup-queue bookkeeping per mirrored event; the per-byte part is
+    #: the copy a *receiving* mirror makes into its backup queue (the
+    #: central site queues a reference it already owns)
+    backup_fixed: float = 3e-6
+    backup_per_byte: float = 2e-9
+    #: serve one client initial-state request (snapshot build + send)
+    request_fixed: float = 2.5e-3
+    request_per_state_byte: float = 1e-9
+    #: checkpoint control-message handling at the coordinator (per
+    #: message): vote bookkeeping is O(1) — the proposal is the *last*
+    #: backup-queue entry and the agreement a running minimum
+    control_fixed: float = 30e-6
+    #: per-round coordinator overhead (initiation + commit bookkeeping)
+    control_round: float = 100e-6
+    #: participant-side CHKPT/COMMIT handling: Figure 3's mirrors search
+    #: their backup queues ("if chkpt_rep in backup queue", "if commit in
+    #: backup queue") — an O(queue) scan plus control-thread scheduling
+    control_search: float = 800e-6
+    #: backup-queue trim on commit (per trimmed event)
+    trim_per_event: float = 1.5e-6
+    #: serialization cost for sending any message over a real link
+    ser_fixed: float = 2e-6
+    ser_per_byte: float = 0.5e-9
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A uniformly slower/faster machine (e.g. for heterogeneity tests)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            **{
+                name: getattr(self, name) * factor
+                for name in self.__dataclass_fields__
+            },
+        )
+
+    # -- demand helpers (pure) ----------------------------------------
+    def recv_cost(self, size: int) -> float:
+        """Receive + timestamp + deserialize demand for a ``size``-byte event."""
+        return self.recv_fixed + self.recv_per_byte * size
+
+    def mirror_cost(self, size: int) -> float:
+        """Per-event mirror-submission demand."""
+        return self.mirror_fixed + self.mirror_per_byte * size
+
+    def fwd_cost(self, size: int) -> float:
+        """Forward-to-main-unit demand."""
+        return self.fwd_fixed + self.fwd_per_byte * size
+
+    def ede_cost(self, size: int) -> float:
+        """Business-logic (EDE) processing demand."""
+        return self.ede_fixed + self.ede_per_byte * size
+
+    def update_cost(self, size: int) -> float:
+        """Client update-distribution demand (per output event)."""
+        return self.update_fixed + self.update_per_byte * size
+
+    def request_cost(self, state_bytes: int) -> float:
+        """Initial-state request service demand for a state of that size."""
+        return self.request_fixed + self.request_per_state_byte * state_bytes
+
+    def ser_cost(self, size: int) -> float:
+        """Wire-serialization demand for one outgoing message."""
+        return self.ser_fixed + self.ser_per_byte * size
+
+
+class Node:
+    """One cluster machine: named CPU resource + cost model.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Unique node name (used in link lookups and reports).
+    cpus:
+        Processor count; the paper's nodes were dual-processor.
+    costs:
+        CPU service-demand table; defaults to the calibrated model.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        cpus: int = 2,
+        costs: Optional[CostModel] = None,
+    ):
+        if cpus < 1:
+            raise ValueError(f"node needs >= 1 cpu, got {cpus}")
+        self.env = env
+        self.name = name
+        self.cpu = Resource(env, capacity=cpus)
+        self.costs = costs if costs is not None else CostModel()
+
+    def execute(self, demand: float) -> Generator:
+        """Process fragment: occupy one CPU for ``demand`` seconds.
+
+        Usage inside a process: ``yield from node.execute(cost)``.
+        Zero-demand work completes without a context switch.
+        """
+        if demand < 0:
+            raise ValueError(f"negative CPU demand {demand}")
+        if demand == 0:
+            return
+        yield from self.cpu.acquire(demand)
+
+    def utilization(self) -> float:
+        """CPU utilisation so far (0..1)."""
+        return self.cpu.utilization()
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r}, cpus={self.cpu.capacity})"

@@ -1,0 +1,132 @@
+"""Message transport: moving typed messages between nodes.
+
+``Transport.send`` is the one place where a message pays its full price:
+serialization CPU on the sender, link transmission + latency, and
+delivery into the destination endpoint's inbox (a :class:`Store`).
+Loopback messages (same node) skip serialization and the wire entirely —
+that is what makes the aux-unit → main-unit forwarding cheap, as the
+paper's architecture intends.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..sim import Environment, Store
+from .network import Network
+from .node import Node
+
+__all__ = ["Message", "Endpoint", "Transport"]
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """A transport-level message.
+
+    ``kind`` distinguishes data from control traffic (the framework runs
+    them on separate logical channels, per the paper's ECho setup);
+    ``size`` is the wire size in bytes used for all cost accounting.
+    """
+
+    kind: str
+    payload: Any
+    size: int
+    src: str = ""
+    dst: str = ""
+    sent_at: float = 0.0
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __post_init__(self):
+        if self.size < 0:
+            raise ValueError("message size must be >= 0")
+
+
+class Endpoint:
+    """A named message sink living on a node.
+
+    Consumers drain ``inbox``; the transport fills it.  One endpoint per
+    unit-and-channel (e.g. ``"mirror1.aux.data"``).
+
+    ``capacity`` bounds the inbox: when a consumer falls behind, senders
+    block in :meth:`Transport.send` — the backpressure that lets an
+    overloaded mirror site slow the central site's sending task, the
+    coupling the paper's adaptive mirroring exists to relieve.
+    """
+
+    def __init__(self, env: Environment, name: str, node: Node, capacity: Optional[int] = None):
+        self.env = env
+        self.name = name
+        self.node = node
+        self.inbox = Store(env, capacity=capacity)
+        self.delivered = 0
+
+    def deliver(self, message: Message):
+        """Process fragment: enqueue, blocking while the inbox is full."""
+        yield self.inbox.put(message)
+        self.delivered += 1
+
+    def __repr__(self) -> str:
+        return f"Endpoint({self.name!r} on {self.node.name!r})"
+
+
+class Transport:
+    """Routes messages between registered endpoints over the network."""
+
+    def __init__(self, env: Environment, network: Network):
+        self.env = env
+        self.network = network
+        self._endpoints: Dict[str, Endpoint] = {}
+        #: message-loss injection hook: callable(Message) -> bool, True = drop.
+        #: Used by the failure-injection tests; None means lossless (the
+        #: paper's checkpointing assumes reliable intra-cluster channels
+        #: but must *tolerate* lost control events, which we verify).
+        self.loss_filter = None
+        self.dropped = 0
+
+    def register(self, name: str, node: Node, capacity: Optional[int] = None) -> Endpoint:
+        """Create and register an endpoint ``name`` on ``node``.
+
+        ``capacity`` bounds the endpoint inbox (None = unbounded).
+        """
+        if name in self._endpoints:
+            raise ValueError(f"endpoint {name!r} already registered")
+        ep = Endpoint(self.env, name, node, capacity=capacity)
+        self._endpoints[name] = ep
+        return ep
+
+    def endpoint(self, name: str) -> Endpoint:
+        """Look up a registered endpoint (KeyError when unknown)."""
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise KeyError(f"unknown endpoint {name!r}") from None
+
+    def send(self, src_node: Node, dst_name: str, message: Message):
+        """Process fragment: deliver ``message`` to endpoint ``dst_name``.
+
+        Charges sender-side serialization CPU for remote sends, then the
+        link, then delivers.  Yields until delivery completes; callers
+        that do not want to wait wrap it in ``env.process``.
+        """
+        dst = self.endpoint(dst_name)
+        message.src = src_node.name
+        message.dst = dst_name
+        message.sent_at = self.env.now
+
+        if self.loss_filter is not None and self.loss_filter(message):
+            self.dropped += 1
+            return
+
+        link = self.network.link(src_node.name, dst.node.name)
+        if link is not None:
+            yield from src_node.execute(src_node.costs.ser_cost(message.size))
+            yield from link.transmit(message.size)
+        yield from dst.deliver(message)
+
+    def post(self, src_node: Node, dst_name: str, message: Message):
+        """Fire-and-forget variant of :meth:`send` (spawns a process)."""
+        return self.env.process(self.send(src_node, dst_name, message))

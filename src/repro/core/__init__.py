@@ -1,0 +1,120 @@
+"""The paper's contribution: adaptable application-level event mirroring.
+
+Public surface:
+
+* events / timestamps — :class:`UpdateEvent`, :class:`VectorTimestamp`
+* semantic rules — :mod:`repro.core.rules`
+* configuration + Table-1 API — :class:`MirrorConfig`, :class:`MirrorControl`
+* named mirror functions — :mod:`repro.core.functions`
+* checkpoint protocol — :mod:`repro.core.checkpoint`
+* adaptation — :mod:`repro.core.adaptation`
+* runtime units and scenario assembly — :class:`MirroredServer`
+"""
+
+from .adaptation import (
+    MONITOR_BACKUP_QUEUE,
+    MONITOR_PENDING_REQUESTS,
+    MONITOR_READY_QUEUE,
+    AdaptationController,
+    apply_directives,
+)
+from .api import MirrorControl, UnboundControlError
+from .checkpoint import (
+    CheckpointCoordinator,
+    ChkptMsg,
+    ChkptRepMsg,
+    CommitMsg,
+    MainUnitCheckpointer,
+)
+from .config import (
+    DEFAULT_CHECKPOINT_FREQ,
+    AdaptDirective,
+    MirrorConfig,
+    MonitorSpec,
+    PARAM_CHECKPOINT_FREQ,
+    PARAM_COALESCE_ENABLED,
+    PARAM_COALESCE_MAX,
+    PARAM_MIRROR_FUNCTION,
+    PARAM_OVERWRITE_LEN,
+)
+from .events import DELTA_STATUS, FAA_POSITION, UpdateEvent, VectorTimestamp
+from .functions import (
+    adaptive_normal,
+    adaptive_reduced,
+    airline_semantic_rules,
+    coalescing_mirroring,
+    default_registry,
+    selective_low_chkpt,
+    selective_mirroring,
+    simple_mirroring,
+)
+from .queues import BackupQueue, StatusTable
+from .recovery import (
+    PromotionReport,
+    RejoinPlan,
+    plan_client_rejoin,
+    promote_mirror,
+)
+from .rules import (
+    CoalesceRule,
+    ComplexSequenceRule,
+    ComplexTupleRule,
+    ContentFilterRule,
+    OverwriteRule,
+    RuleEngine,
+    TypeFilterRule,
+)
+from .system import MirroredServer, ScenarioConfig, ScenarioResult, run_scenario
+
+__all__ = [
+    "MONITOR_BACKUP_QUEUE",
+    "MONITOR_PENDING_REQUESTS",
+    "MONITOR_READY_QUEUE",
+    "AdaptationController",
+    "apply_directives",
+    "MirrorControl",
+    "UnboundControlError",
+    "CheckpointCoordinator",
+    "ChkptMsg",
+    "ChkptRepMsg",
+    "CommitMsg",
+    "MainUnitCheckpointer",
+    "DEFAULT_CHECKPOINT_FREQ",
+    "AdaptDirective",
+    "MirrorConfig",
+    "MonitorSpec",
+    "PARAM_CHECKPOINT_FREQ",
+    "PARAM_COALESCE_ENABLED",
+    "PARAM_COALESCE_MAX",
+    "PARAM_MIRROR_FUNCTION",
+    "PARAM_OVERWRITE_LEN",
+    "DELTA_STATUS",
+    "FAA_POSITION",
+    "UpdateEvent",
+    "VectorTimestamp",
+    "adaptive_normal",
+    "adaptive_reduced",
+    "airline_semantic_rules",
+    "coalescing_mirroring",
+    "default_registry",
+    "selective_low_chkpt",
+    "selective_mirroring",
+    "simple_mirroring",
+    "BackupQueue",
+    "StatusTable",
+    "PromotionReport",
+    "RejoinPlan",
+    "plan_client_rejoin",
+    "promote_mirror",
+    "CoalesceRule",
+    "ComplexSequenceRule",
+    "ComplexTupleRule",
+    "ContentFilterRule",
+    "OverwriteRule",
+    "RuleEngine",
+    "TypeFilterRule",
+    "MirroredServer",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_scenario",
+]

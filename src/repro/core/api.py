@@ -1,0 +1,208 @@
+"""The mirroring API of Table 1.
+
+Every call in the paper's Table 1 appears here with the same name
+(Python-ised: ``set_params`` for ``set params()``) and the same
+argument meaning:
+
+====================================================  =====================================================
+``init(c, number, l)``                                initialise mirroring with default/optional parameters
+``mirror()``                                          execute the mirroring function (bound runtime)
+``fwd()``                                             execute the forwarding function (bound runtime)
+``set_mirror(func)``                                  set new mirroring function *func*
+``set_fwd(func)``                                     set new forwarding function *func*
+``set_params(c, number, f)``                          coalesce (*c*) up to *number* events; checkpoint at *f*
+``set_overwrite(t, l)``                               allow overwriting of events of *t*, max run length *l*
+``set_complex_seq(t1, value, t2)``                    discard events of *t2* after event of *t1* has *value*
+``set_complex_tuple(t, values, n)``                   combine *n* events with respective types and values
+``set_adapt(p_id, p)``                                modify parameter *p_id* by *p* percent on adaptation
+``set_monitor_values(index, p, s)``                   set primary *p* / secondary *s* threshold for monitor
+====================================================  =====================================================
+
+:class:`MirrorControl` accumulates the configuration; binding it to a
+running server (``bind``) makes ``mirror()``/``fwd()`` live and pushes
+dynamic parameter changes to the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Mapping, Optional, Sequence
+
+from .config import (
+    AdaptDirective,
+    DEFAULT_CHECKPOINT_FREQ,
+    MirrorConfig,
+    MonitorSpec,
+    PARAM_MIRROR_FUNCTION,
+)
+from .events import UpdateEvent
+from .queues import StatusTable
+
+__all__ = ["MirrorControl", "UnboundControlError"]
+
+
+class UnboundControlError(RuntimeError):
+    """``mirror()``/``fwd()`` called before binding to a runtime host."""
+
+
+class MirrorControl:
+    """Application-facing handle on the mirroring process.
+
+    Parameters accumulate into a :class:`MirrorConfig`; a bound host (an
+    auxiliary unit) is notified of dynamic changes via its
+    ``apply_config`` method, mirroring the paper's "Default mirroring
+    can be modified during the initialization process or dynamically".
+    """
+
+    def __init__(self):
+        self.config = MirrorConfig()
+        self._host = None
+        self._initialized = False
+
+    # -- lifecycle -------------------------------------------------------
+    def init(
+        self,
+        c: bool = False,
+        number: int = 1,
+        l: int = 1,  # noqa: E741 - matches the paper's signature
+    ) -> MirrorConfig:
+        """``init(int c, int number, int l)`` — initialise mirroring.
+
+        ``c`` toggles coalescing of up to ``number`` events; ``l`` is a
+        default overwrite run length applied when > 1 (the paper's
+        optional parameters).  Returns the resulting config.
+        """
+        self.config = MirrorConfig(
+            coalesce_enabled=bool(c),
+            coalesce_max=max(int(number), 1),
+            checkpoint_freq=DEFAULT_CHECKPOINT_FREQ,
+            function_name="default",
+        )
+        self._default_overwrite_len = int(l)
+        self._initialized = True
+        self._push()
+        return self.config
+
+    def bind(self, host) -> None:
+        """Attach to a runtime host exposing ``apply_config``,
+        ``do_mirror`` and ``do_fwd``."""
+        self._host = host
+        self._push()
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    # -- execution (Table 1: mirror / fwd) ---------------------------------
+    def mirror(self):
+        """Execute the mirroring function on the bound runtime."""
+        if self._host is None:
+            raise UnboundControlError("mirror() requires a bound runtime host")
+        return self._host.do_mirror()
+
+    def fwd(self):
+        """Execute the forwarding function on the bound runtime."""
+        if self._host is None:
+            raise UnboundControlError("fwd() requires a bound runtime host")
+        return self._host.do_fwd()
+
+    # -- function replacement ---------------------------------------------
+    def set_mirror(
+        self,
+        func: Callable[[UpdateEvent, StatusTable], Optional[List[UpdateEvent]]],
+    ) -> None:
+        """Install a custom mirroring function (send-side hook)."""
+        if not callable(func):
+            raise TypeError("set_mirror expects a callable")
+        self.config.custom_mirror = func
+        self._push()
+
+    def set_fwd(
+        self,
+        func: Callable[[UpdateEvent, StatusTable], Optional[List[UpdateEvent]]],
+    ) -> None:
+        """Install a custom forwarding function."""
+        if not callable(func):
+            raise TypeError("set_fwd expects a callable")
+        self.config.custom_fwd = func
+        self._push()
+
+    # -- parameters ----------------------------------------------------------
+    def set_params(self, c: bool, number: int, f: int) -> None:
+        """``set_params(int c, int number, int f)`` — coalescing +
+        checkpoint frequency."""
+        self.config.coalesce_enabled = bool(c)
+        self.config.coalesce_max = int(number)
+        self.config.checkpoint_freq = int(f)
+        self.config.validate()
+        self._push()
+
+    def set_type_filter(self, *ev_types: str) -> None:
+        """Never mirror events of the given kinds (type filtering [12];
+        a convenience beyond Table 1's listed calls)."""
+        if not ev_types:
+            raise ValueError("set_type_filter needs at least one kind")
+        self.config.type_filters = tuple(self.config.type_filters) + tuple(ev_types)
+        self._push()
+
+    def set_overwrite(self, ev_type: str, l: int) -> None:  # noqa: E741
+        """``set_overwrite(ev_type t, int l)`` — allow overwriting runs
+        of up to ``l`` events of type ``ev_type``."""
+        if int(l) < 1:
+            raise ValueError("overwrite length must be >= 1")
+        self.config.overwrite[ev_type] = int(l)
+        self._push()
+
+    def set_complex_seq(
+        self, t1: str, value: Mapping[str, Any], t2: str
+    ) -> None:
+        """``set_complex_seq(ev_type t1, event *value, ev_type t2)`` —
+        discard events of ``t2`` once an event of ``t1`` matching
+        ``value`` has been seen for the same key."""
+        self.config.complex_seq.append((t1, dict(value), t2))
+        self._push()
+
+    def set_complex_tuple(
+        self,
+        t: Sequence[str],
+        values: Sequence[Mapping[str, Any]],
+        n: int,
+        combined_kind: Optional[str] = None,
+        suppresses: Sequence[str] = (),
+    ) -> None:
+        """``set_complex_tuple(ev_type *t, event *values, int n)`` —
+        combine ``n`` events with respective types and values into one
+        complex event (named ``combined_kind``, default derived)."""
+        t = list(t)
+        values = [dict(v) for v in values]
+        if len(t) != n or len(values) != n:
+            raise ValueError("t and values must each have exactly n entries")
+        kind = combined_kind or ("+".join(t))
+        self.config.complex_tuple.append(
+            (tuple(t), tuple(values), kind, tuple(suppresses))
+        )
+        self._push()
+
+    # -- adaptation -------------------------------------------------------
+    def set_adapt(
+        self, p_id: str, p: float, function_name: Optional[str] = None
+    ) -> None:
+        """``set_adapt(int p_id, int p)`` — when the adaptation triggers,
+        modify parameter ``p_id`` by ``p`` percent (or install the named
+        mirror function for :data:`PARAM_MIRROR_FUNCTION`)."""
+        self.config.adapt_directives.append(
+            AdaptDirective(param=p_id, percent=float(p), function_name=function_name)
+        )
+        self._push()
+
+    def set_monitor_values(self, index: str, p: float, s: float) -> None:
+        """``set_monitor_values(int index, int p, int s)`` — primary and
+        secondary thresholds for monitored variable ``index``."""
+        self.config.monitors[index] = MonitorSpec(
+            index=index, primary=float(p), secondary=float(s)
+        )
+        self._push()
+
+    # -- plumbing -------------------------------------------------------------
+    def _push(self) -> None:
+        if self._host is not None:
+            self._host.apply_config(self.config)

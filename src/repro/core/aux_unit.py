@@ -1,0 +1,360 @@
+"""Auxiliary units: the mirroring machinery (§3.1–3.2).
+
+The central site's auxiliary unit runs the three tasks of the paper —
+*receiving*, *sending* and *control* — synchronised through the ready
+and backup queues and the status table:
+
+* the receiving task retrieves events from the incoming streams,
+  timestamps them (vector timestamps, one component per stream) and
+  places them on the ready queue;
+* the sending task removes events from the ready queue, forwards every
+  event to the co-located main unit (``fwd()`` — the regular clients'
+  stream stays complete), applies the semantic rule pipeline to decide
+  what to ``mirror()`` onto the outgoing channels, preserves mirrored
+  events in the backup queue, and triggers checkpointing every
+  ``checkpoint_freq`` mirrored events;
+* the control task runs the checkpoint coordinator and — piggybacked on
+  commit traffic — the adaptation mechanism.
+
+Mirror sites run a reduced auxiliary unit: receive mirrored events,
+keep backup copies, forward to the local main unit, and answer
+checkpoint control messages (attaching their monitored queue lengths to
+the replies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..channels import EventChannel
+from ..cluster import Message, Node, Transport
+from ..metrics import RunMetrics
+from ..sim import Environment, Store
+from .adaptation import (
+    MONITOR_BACKUP_QUEUE,
+    MONITOR_PENDING_REQUESTS,
+    MONITOR_READY_QUEUE,
+    AdaptCommand,
+    AdaptationController,
+)
+from .checkpoint import (
+    CONTROL_MSG_SIZE,
+    CheckpointCoordinator,
+    ChkptMsg,
+    ChkptRepMsg,
+    CommitMsg,
+)
+from .config import MirrorConfig
+from .events import UpdateEvent, VectorTimestamp
+from .main_unit import EOS, MainUnit
+from .queues import BackupQueue
+
+__all__ = ["CentralAuxUnit", "MirrorAuxUnit"]
+
+
+class CentralAuxUnit:
+    """Auxiliary unit of the central (primary) site."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        transport: Transport,
+        main_unit: MainUnit,
+        mirror_channel: EventChannel,
+        ctrl_channel: EventChannel,
+        config: MirrorConfig,
+        participants: set,
+        metrics: RunMetrics,
+        mirroring_enabled: bool = True,
+        adaptation: Optional[AdaptationController] = None,
+        data_capacity: Optional[int] = 256,
+    ):
+        self.env = env
+        self.node = node
+        self.transport = transport
+        self.main_unit = main_unit
+        self.mirror_channel = mirror_channel
+        self.ctrl_channel = ctrl_channel
+        self.config = config
+        self.metrics = metrics
+        self.mirroring_enabled = mirroring_enabled
+        self.adaptation = adaptation
+
+        self.data_in = transport.register(
+            "central.aux.data", node, capacity=data_capacity
+        )
+        self.ctrl_in = transport.register("central.aux.ctrl", node)
+        # the ready queue is bounded: the receiving task is flow-controlled
+        # by the sending task (an unbounded ready queue would let receive
+        # processing race arbitrarily far ahead of mirroring/forwarding)
+        self.ready = Store(env, capacity=64)
+        self.backup = BackupQueue()
+        self.engine = config.build_engine()
+        self.coordinator = CheckpointCoordinator(participants)
+        self.clock = VectorTimestamp()
+        self.processed_events = 0
+        self.stream_done = env.event()
+
+        env.process(self._receiving_task())
+        env.process(self._sending_task())
+        env.process(self._control_task())
+
+    # -- MirrorControl host interface -------------------------------------
+    def apply_config(self, config: MirrorConfig) -> None:
+        """Install a new mirroring configuration (dynamic API changes and
+        adaptation commands both land here).  The status table survives
+        the swap: rule history (overwrite runs, suppressions) is
+        application state, not function state."""
+        self.config = config
+        self.engine = config.build_engine(table=self.engine.table)
+
+    def do_mirror(self):
+        """Table-1 ``mirror()``: drain whatever is currently ready."""
+        return None  # mirroring is continuous; explicit calls are no-ops
+
+    def do_fwd(self):
+        """Table-1 ``fwd()``: forwarding is continuous; explicit no-op."""
+        return None
+
+    # -- monitoring -----------------------------------------------------
+    def monitor_readings(self) -> Dict[str, float]:
+        """Central-site monitored variables (queue/buffer lengths)."""
+        return {
+            MONITOR_READY_QUEUE: float(self.ready.level),
+            MONITOR_BACKUP_QUEUE: float(len(self.backup)),
+            MONITOR_PENDING_REQUESTS: float(self.main_unit.pending_requests()),
+        }
+
+    # -- tasks ------------------------------------------------------------
+    def _receiving_task(self):
+        costs = self.node.costs
+        while True:
+            msg = yield self.data_in.inbox.get()
+            if msg.payload == EOS:
+                yield self.ready.put(EOS)
+                continue
+            event: UpdateEvent = msg.payload
+            yield from self.node.execute(costs.recv_cost(event.size))
+            self.clock = self.clock.advanced(event.stream, event.seqno)
+            stamped = event.stamped(self.clock, entered_at=self.env.now)
+            yield self.ready.put(stamped)
+
+    def _sending_task(self):
+        costs = self.node.costs
+        while True:
+            item = yield self.ready.get()
+            if item == EOS:
+                # flush held events (partial tuples, coalesce buffers)
+                for out in self.engine.flush("receive"):
+                    yield from self._mirror_one(self.engine.on_send(out))
+                for out in self.engine.flush("send"):
+                    yield from self._mirror_one([out])
+                self._initiate_checkpoint()
+                self.metrics.rule_stats = self.engine.stats()
+                if self.metrics.tracer is not None:
+                    self.metrics.tracer.record(
+                        self.env.now, "stream", "central", "end_of_stream",
+                        processed=self.processed_events,
+                        mirrored=self.metrics.events_mirrored,
+                    )
+                if not self.stream_done.triggered:
+                    self.stream_done.succeed()
+                continue
+            event: UpdateEvent = item
+            # fwd(): every event reaches the central EDE / regular clients
+            yield from self.node.execute(costs.fwd_cost(event.size))
+            yield from self.transport.send(
+                self.node, "central.main",
+                Message(kind="data", payload=event, size=event.size),
+            )
+            self.metrics.events_forwarded += 1
+            if not self.mirroring_enabled:
+                continue
+            # mirror(): semantic rule pipeline decides what ships
+            yield from self.node.execute(costs.rule_fixed)
+            outs: List[UpdateEvent] = []
+            for passed in self.engine.on_receive(event):
+                outs.extend(self.engine.on_send(passed))
+            yield from self._mirror_one(outs)
+            # "invoked at a constant frequency of once per 50 *processed*
+            # events" (§3.2.1) — counted per ready-queue event, so the
+            # checkpoint (and adaptation) cadence is independent of how
+            # aggressively the rules filter
+            self.processed_events += 1
+            if self.processed_events % self.config.checkpoint_freq == 0:
+                self._initiate_checkpoint()
+
+    def _mirror_one(self, outs: List[UpdateEvent]):
+        costs = self.node.costs
+        for out in outs:
+            yield from self.node.execute(costs.mirror_cost(out.size))
+            yield from self.mirror_channel.publish(self.node, out, out.size)
+            yield from self.node.execute(costs.backup_fixed)
+            self.backup.append(out)
+            self.metrics.events_mirrored += 1
+
+    def _initiate_checkpoint(self) -> None:
+        msg = self.coordinator.initiate(self.backup.last_vt())
+        if msg is None:
+            return
+        self.env.process(self.node.execute(self.node.costs.control_round))
+        self.metrics.checkpoint_rounds += 1
+        if self.metrics.tracer is not None:
+            self.metrics.tracer.record(
+                self.env.now, "checkpoint", "central", "initiate",
+                round=msg.round_id, backup=len(self.backup),
+            )
+        # own main unit votes locally (loopback control is free), with the
+        # central site's monitored readings piggybacked
+        reply = self.main_unit.checkpointer.on_chkpt(msg, self.monitor_readings())
+        commit = self.coordinator.on_reply(reply)
+        if commit is not None:
+            # no mirrors: commit immediately
+            self.env.process(self._broadcast_commit(commit))
+            return
+        self.ctrl_channel.publish_nowait(self.node, msg, CONTROL_MSG_SIZE)
+
+    def _control_task(self):
+        costs = self.node.costs
+        while True:
+            msg = yield self.ctrl_in.inbox.get()
+            payload = msg.payload
+            if isinstance(payload, ChkptRepMsg):
+                yield from self.node.execute(costs.control_fixed)
+                commit = self.coordinator.on_reply(payload)
+                if commit is not None:
+                    yield from self._broadcast_commit(commit)
+
+    def _broadcast_commit(self, commit: CommitMsg):
+        costs = self.node.costs
+        # adaptation decision rides the commit (no extra control traffic)
+        if self.adaptation is not None:
+            monitored = dict(self.coordinator.monitored_view())
+            for index, value in self.monitor_readings().items():
+                monitored[index] = max(monitored.get(index, 0.0), value)
+            command = self.adaptation.evaluate(monitored)
+            if command is not None:
+                commit = CommitMsg(commit.round_id, commit.vt, adapt=command)
+                self.apply_config(command.config)
+                self.metrics.adaptations = self.adaptation.adaptations
+                self.metrics.reversions = self.adaptation.reversions
+                self.metrics.adaptation_log.append(
+                    (self.env.now, command.action, command.config.function_name)
+                )
+                if self.metrics.tracer is not None:
+                    self.metrics.tracer.record(
+                        self.env.now, "adaptation", "central", command.action,
+                        function=command.config.function_name, seq=command.seq,
+                    )
+        self.metrics.checkpoint_commits += 1
+        if self.metrics.tracer is not None:
+            self.metrics.tracer.record(
+                self.env.now, "checkpoint", "central", "commit",
+                round=commit.round_id, vt=str(commit.vt),
+            )
+        yield from self.node.execute(costs.control_round)
+        trimmed = self.backup.trim(self.main_unit.checkpointer.on_commit(commit))
+        if trimmed:
+            yield from self.node.execute(costs.trim_per_event * trimmed)
+        yield from self.ctrl_channel.publish(self.node, commit, CONTROL_MSG_SIZE)
+
+
+class MirrorAuxUnit:
+    """Auxiliary unit of a secondary mirror site."""
+
+    def __init__(
+        self,
+        env: Environment,
+        site: str,
+        node: Node,
+        transport: Transport,
+        main_unit: MainUnit,
+        metrics: RunMetrics,
+        data_capacity: Optional[int] = 128,
+    ):
+        self.env = env
+        self.site = site
+        self.node = node
+        self.transport = transport
+        self.main_unit = main_unit
+        self.metrics = metrics
+        self.data_in = transport.register(
+            f"{site}.aux.data", node, capacity=data_capacity
+        )
+        self.ctrl_in = transport.register(f"{site}.aux.ctrl", node)
+        self.ready = Store(env, capacity=64)
+        self.backup = BackupQueue()
+        self.applied_config: Optional[MirrorConfig] = None
+        self._applied_adapt_seq = 0
+
+        env.process(self._receiving_task())
+        env.process(self._sending_task())
+        env.process(self._control_task())
+
+    def monitor_readings(self) -> Dict[str, float]:
+        """Queue lengths the adaptation mechanism watches (§3.2.2)."""
+        return {
+            MONITOR_READY_QUEUE: float(self.ready.level + self.data_in.inbox.level),
+            MONITOR_BACKUP_QUEUE: float(len(self.backup)),
+            MONITOR_PENDING_REQUESTS: float(self.main_unit.pending_requests()),
+        }
+
+    def _receiving_task(self):
+        costs = self.node.costs
+        while True:
+            msg = yield self.data_in.inbox.get()
+            event: UpdateEvent = msg.payload
+            # receive + deserialize, plus the backup-queue copy; events
+            # arrive pre-stamped so no timestamping happens here, but
+            # moving the bytes off the wire is paid like everywhere else
+            yield from self.node.execute(
+                costs.recv_cost(event.size)
+                + costs.backup_fixed
+                + costs.backup_per_byte * event.size
+            )
+            self.backup.append(event)
+            yield self.ready.put(event)
+
+    def _sending_task(self):
+        costs = self.node.costs
+        while True:
+            event = yield self.ready.get()
+            yield from self.node.execute(costs.fwd_cost(event.size))
+            yield from self.transport.send(
+                self.node, f"{self.site}.main",
+                Message(kind="data", payload=event, size=event.size),
+            )
+
+    def _control_task(self):
+        costs = self.node.costs
+        while True:
+            msg = yield self.ctrl_in.inbox.get()
+            payload = msg.payload
+            # participant-side handling searches the backup queue
+            # (Figure 3) — markedly heavier than coordinator bookkeeping
+            yield from self.node.execute(costs.control_search)
+            if isinstance(payload, ChkptMsg):
+                reply = self.main_unit.checkpointer.on_chkpt(
+                    payload, self.monitor_readings()
+                )
+                yield from self.transport.send(
+                    self.node, "central.aux.ctrl",
+                    Message(kind="control", payload=reply, size=CONTROL_MSG_SIZE),
+                )
+            elif isinstance(payload, CommitMsg):
+                if payload.adapt is not None:
+                    self._apply_adapt(payload.adapt)
+                trimmed = self.backup.trim(
+                    self.main_unit.checkpointer.on_commit(payload)
+                )
+                if trimmed:
+                    yield from self.node.execute(costs.trim_per_event * trimmed)
+
+    def _apply_adapt(self, command: AdaptCommand) -> None:
+        """Install a piggybacked adaptation; stale commands are dropped
+        (sequence numbers protect against out-of-order control delivery)."""
+        if command.seq <= self._applied_adapt_seq:
+            return
+        self._applied_adapt_seq = command.seq
+        self.applied_config = command.config

@@ -1,0 +1,213 @@
+"""The modified 2-phase-commit checkpoint protocol (§3.2.1, Figure 3).
+
+The protocol keeps backup queues bounded while guaranteeing a consistent
+view across mirrors.  It deviates from textbook 2PC exactly the way the
+paper describes:
+
+* The central auxiliary unit (coordinator) proposes a timestamp — usually
+  the most recent value in its backup queue — in a ``CHKPT`` control
+  event (voting phase).
+* Every site's *main unit* answers with ``chkpt_rep = min(chkpt, last
+  processed)``; mirror aux units relay the reply to the central site.
+* The coordinator computes the componentwise **minimum** over all
+  replies and broadcasts a ``COMMIT`` for it.  Each unit trims its
+  backup queue up to the committed timestamp.
+* There are **no 'No' votes and no ABORT messages**, no commit-phase
+  acknowledgements, and **no timeouts**: if a round never completes, the
+  next round's commit encapsulates it; a commit naming an event no
+  longer in a backup queue is ignored.
+
+The classes here are pure state machines over control-message payloads;
+the runtime units in :mod:`repro.core.aux_unit` / :mod:`repro.core.main_unit`
+move the messages.  That separation lets the property-based tests drive
+the protocol directly, including message-loss schedules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set
+
+from .events import VectorTimestamp
+
+__all__ = [
+    "CHKPT",
+    "CHKPT_REP",
+    "COMMIT",
+    "ChkptMsg",
+    "ChkptRepMsg",
+    "CommitMsg",
+    "CheckpointCoordinator",
+    "MainUnitCheckpointer",
+    "CONTROL_MSG_SIZE",
+]
+
+CHKPT = "CHKPT"
+CHKPT_REP = "CHKPT_REP"
+COMMIT = "COMMIT"
+
+#: Wire size charged for checkpoint control events.  Small and constant:
+#: a vector timestamp plus a handful of piggybacked counters.
+CONTROL_MSG_SIZE = 128
+
+
+@dataclass(frozen=True)
+class ChkptMsg:
+    """Voting-phase proposal from the coordinator."""
+
+    round_id: int
+    vt: VectorTimestamp
+
+
+@dataclass(frozen=True)
+class ChkptRepMsg:
+    """A site's vote: the floor of the proposal and its own progress.
+
+    ``monitored`` piggybacks the site's monitored-variable readings
+    (ready/backup queue lengths, pending request buffer) so adaptation
+    needs no extra control traffic (§3.2.2: "adaptation messages are
+    piggybacked onto checkpointing messages").
+    """
+
+    round_id: int
+    site: str
+    vt: VectorTimestamp
+    monitored: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CommitMsg:
+    """Commit-phase broadcast: trim backup queues up to ``vt``.
+
+    ``adapt`` optionally piggybacks an adaptation command (an opaque
+    payload interpreted by :mod:`repro.core.adaptation`).
+    """
+
+    round_id: int
+    vt: VectorTimestamp
+    adapt: Optional[Any] = None
+
+
+class CheckpointCoordinator:
+    """Coordinator state machine run by the central auxiliary unit.
+
+    One round at a time: initiating a new round while a previous one is
+    still collecting replies *supersedes* it (the paper's no-timeout
+    rationale — "the later commit will encapsulate the earlier one").
+    """
+
+    def __init__(self, participants: Set[str]):
+        if not participants:
+            raise ValueError("coordinator needs at least one participant")
+        self.participants: FrozenSet[str] = frozenset(participants)
+        self._round_ids = itertools.count(1)
+        self._current_round: Optional[int] = None
+        self._proposal: Optional[VectorTimestamp] = None
+        self._replies: Dict[str, VectorTimestamp] = {}
+        self._last_monitored: Dict[str, Dict[str, float]] = {}
+        # statistics
+        self.rounds_started = 0
+        self.rounds_committed = 0
+        self.rounds_superseded = 0
+        self.stale_replies = 0
+        self.last_commit: Optional[VectorTimestamp] = None
+
+    @property
+    def collecting(self) -> bool:
+        """True while a round is awaiting replies."""
+        return self._current_round is not None
+
+    def initiate(self, proposal: Optional[VectorTimestamp]) -> Optional[ChkptMsg]:
+        """Start a round proposing ``proposal`` (the last backup-queue vt).
+
+        Returns the CHKPT message to broadcast, or ``None`` when there
+        is nothing to checkpoint (empty backup queue).  Any round still
+        collecting is abandoned.
+        """
+        if proposal is None:
+            return None
+        if self._current_round is not None:
+            self.rounds_superseded += 1
+        self._current_round = next(self._round_ids)
+        self._proposal = proposal
+        self._replies = {}
+        self.rounds_started += 1
+        return ChkptMsg(round_id=self._current_round, vt=proposal)
+
+    def on_reply(self, reply: ChkptRepMsg) -> Optional[CommitMsg]:
+        """Record a vote; returns the COMMIT once all sites have voted.
+
+        Votes for superseded rounds or from unknown sites are dropped
+        (a late reply cannot corrupt a newer round).
+        """
+        if reply.round_id != self._current_round:
+            self.stale_replies += 1
+            return None
+        if reply.site not in self.participants:
+            self.stale_replies += 1
+            return None
+        self._replies[reply.site] = reply.vt
+        if reply.monitored:
+            self._last_monitored[reply.site] = dict(reply.monitored)
+        if set(self._replies) != set(self.participants):
+            return None
+        # All votes in: the agreed value is the componentwise minimum of
+        # every reply (each already floored against the proposal).
+        commit_vt = self._proposal
+        for vt in self._replies.values():
+            commit_vt = commit_vt.floor(vt)
+        round_id = self._current_round
+        self._current_round = None
+        self._proposal = None
+        self._replies = {}
+        self.rounds_committed += 1
+        self.last_commit = commit_vt
+        return CommitMsg(round_id=round_id, vt=commit_vt)
+
+    def monitored_view(self) -> Dict[str, float]:
+        """Latest piggybacked monitor readings, aggregated by maximum.
+
+        The adaptation controller triggers on the *worst* site: a single
+        overloaded mirror is enough to justify shedding mirroring work.
+        """
+        agg: Dict[str, float] = {}
+        for readings in self._last_monitored.values():
+            for index, value in readings.items():
+                agg[index] = max(agg.get(index, 0.0), value)
+        return agg
+
+
+class MainUnitCheckpointer:
+    """Main-unit side of the protocol (every site, central included).
+
+    Tracks the vector timestamp of business-logic progress; answers
+    CHKPT proposals with ``min(chkpt, last processed)`` per Figure 3.
+    """
+
+    def __init__(self, site: str):
+        self.site = site
+        self.processed_vt = VectorTimestamp()
+        self.replies_sent = 0
+        self.commits_applied = 0
+
+    def note_processed(self, stream: str, seqno: int) -> None:
+        """Record that the EDE has processed event (stream, seqno)."""
+        self.processed_vt = self.processed_vt.advanced(stream, seqno)
+
+    def on_chkpt(
+        self, msg: ChkptMsg, monitored: Optional[Dict[str, float]] = None
+    ) -> ChkptRepMsg:
+        """Vote: the floor of the proposal and local progress."""
+        self.replies_sent += 1
+        return ChkptRepMsg(
+            round_id=msg.round_id,
+            site=self.site,
+            vt=msg.vt.floor(self.processed_vt),
+            monitored=dict(monitored or {}),
+        )
+
+    def on_commit(self, msg: CommitMsg) -> VectorTimestamp:
+        """Apply a commit; returns the vt to trim backup queues with."""
+        self.commits_applied += 1
+        return msg.vt

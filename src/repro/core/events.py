@@ -1,0 +1,189 @@
+"""Application-level update events and vector timestamps.
+
+The paper's framework operates on *update events*: typed records flowing
+from data sources (two streams in the evaluation — FAA flight positions
+and Delta internal flight status) into the central site, where the
+receiving task timestamps them.  Timestamps are vectors with one
+component per incoming stream; event order within a stream is given by
+per-stream sequence identifiers (§3.3 of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+__all__ = [
+    "EventKind",
+    "UpdateEvent",
+    "VectorTimestamp",
+    "FAA_POSITION",
+    "DELTA_STATUS",
+    "DERIVED",
+]
+
+# Well-known event kinds used throughout the OIS application.  Kinds are
+# plain strings so applications can add their own without registration.
+FAA_POSITION = "faa.position"
+DELTA_STATUS = "delta.status"
+DERIVED = "derived"
+
+#: Alias kept for API readability: the Table-1 calls take an ``ev_type``.
+EventKind = str
+
+_event_uids = itertools.count()
+
+
+class VectorTimestamp:
+    """Vector timestamp: per-stream high-water marks.
+
+    The component for stream *s* is the sequence number of the latest
+    event from *s* covered by this timestamp.  The checkpoint protocol
+    agrees on a componentwise-minimum vector; an event is *covered* by a
+    vector when its own (stream, seqno) is at or below that component.
+    """
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Optional[Mapping[str, int]] = None):
+        self._clock: Dict[str, int] = dict(clock) if clock else {}
+        for stream, seq in self._clock.items():
+            if seq < 0:
+                raise ValueError(f"negative sequence for stream {stream!r}")
+
+    # -- accessors -----------------------------------------------------
+    def component(self, stream: str) -> int:
+        """Sequence high-water mark for ``stream`` (0 when unseen)."""
+        return self._clock.get(stream, 0)
+
+    def streams(self) -> Iterable[str]:
+        """Streams with a recorded (non-zero at construction) component."""
+        return self._clock.keys()
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain ``{stream: seqno}`` copy of the clock."""
+        return dict(self._clock)
+
+    # -- algebra ---------------------------------------------------------
+    def advanced(self, stream: str, seqno: int) -> "VectorTimestamp":
+        """A copy with ``stream``'s component raised to ``seqno``.
+
+        Raising to a lower value is a no-op (components never regress).
+        """
+        if seqno < 0:
+            raise ValueError("seqno must be >= 0")
+        clock = dict(self._clock)
+        clock[stream] = max(clock.get(stream, 0), seqno)
+        return VectorTimestamp(clock)
+
+    def merge(self, other: "VectorTimestamp") -> "VectorTimestamp":
+        """Componentwise maximum (classic vector-clock merge)."""
+        clock = dict(self._clock)
+        for stream, seq in other._clock.items():
+            clock[stream] = max(clock.get(stream, 0), seq)
+        return VectorTimestamp(clock)
+
+    def floor(self, other: "VectorTimestamp") -> "VectorTimestamp":
+        """Componentwise minimum — the checkpoint agreement operator.
+
+        Streams absent from either side floor to 0 and are dropped.
+        """
+        clock = {}
+        for stream in set(self._clock) | set(other._clock):
+            m = min(self.component(stream), other.component(stream))
+            if m > 0:
+                clock[stream] = m
+        return VectorTimestamp(clock)
+
+    def covers(self, stream: str, seqno: int) -> bool:
+        """True when an event (stream, seqno) is at/below this vector."""
+        return seqno <= self.component(stream)
+
+    def dominates(self, other: "VectorTimestamp") -> bool:
+        """True when every component is >= the other's (partial order)."""
+        return all(
+            self.component(s) >= other.component(s) for s in other._clock
+        )
+
+    # -- dunder ----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorTimestamp):
+            return NotImplemented
+        streams = set(self._clock) | set(other._clock)
+        return all(self.component(s) == other.component(s) for s in streams)
+
+    def __hash__(self) -> int:
+        return hash(frozenset((s, q) for s, q in self._clock.items() if q))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s}:{q}" for s, q in sorted(self._clock.items()))
+        return f"VT({inner})"
+
+
+@dataclass
+class UpdateEvent:
+    """One application-level update event.
+
+    Attributes
+    ----------
+    kind:
+        Event type tag, e.g. :data:`FAA_POSITION`.  Semantic rules key on
+        it (``set_overwrite(ev_type, ...)``).
+    stream:
+        Name of the incoming stream this event arrived on.
+    seqno:
+        Stream-unique, monotonically increasing identifier (the paper
+        assumes in-stream order is captured by per-stream event ids).
+    key:
+        Entity key the event is *about* — a flight id for both FAA and
+        Delta streams.  Overwrite/coalesce rules group by it.
+    payload:
+        Application data (position fix, status change...).
+    size:
+        Wire size in bytes; drives all communication/CPU costs.
+    vt:
+        Vector timestamp assigned by the receiving task at the central
+        site (None until stamped).
+    entered_at:
+        Simulation time the event entered the OIS — update-delay
+        measurements (Figure 8/9) start here.
+    coalesced_from:
+        Number of original events represented (1 for plain events, >1
+        for combined/complex events).
+    """
+
+    kind: EventKind
+    stream: str
+    seqno: int
+    key: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    size: int = 1024
+    vt: Optional[VectorTimestamp] = None
+    entered_at: float = 0.0
+    coalesced_from: int = 1
+    uid: int = field(default_factory=lambda: next(_event_uids))
+
+    def __post_init__(self):
+        if self.seqno < 0:
+            raise ValueError("seqno must be >= 0")
+        if self.size < 0:
+            raise ValueError("size must be >= 0")
+        if self.coalesced_from < 1:
+            raise ValueError("coalesced_from must be >= 1")
+
+    def stamped(self, vt: VectorTimestamp, entered_at: float) -> "UpdateEvent":
+        """Copy with vector timestamp and entry time set (receiving task)."""
+        return replace(self, vt=vt, entered_at=entered_at)
+
+    def with_payload(self, **updates: Any) -> "UpdateEvent":
+        """Copy with payload fields merged in."""
+        merged = dict(self.payload)
+        merged.update(updates)
+        return replace(self, payload=merged)
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateEvent({self.kind}, {self.stream}#{self.seqno}, "
+            f"key={self.key!r}, size={self.size})"
+        )

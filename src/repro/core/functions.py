@@ -1,0 +1,166 @@
+"""Named mirror functions: the configurations the paper evaluates.
+
+A *mirror function* in the paper is the bundle of behaviour the sending
+and receiving tasks apply per event — which events get mirrored, how
+many are coalesced or overwritten, and how often checkpoints run.  The
+evaluation compares three named functions (simple, selective, selective
+with halved checkpoint frequency) and the adaptive pair of §4.3.  Here
+each is a :class:`MirrorConfig` factory so experiments and the
+adaptation controller can install them by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .config import DEFAULT_CHECKPOINT_FREQ, MirrorConfig
+from .events import DELTA_STATUS, FAA_POSITION
+
+__all__ = [
+    "simple_mirroring",
+    "selective_mirroring",
+    "selective_low_chkpt",
+    "coalescing_mirroring",
+    "adaptive_normal",
+    "adaptive_reduced",
+    "airline_semantic_rules",
+    "FunctionRegistry",
+    "default_registry",
+]
+
+
+def simple_mirroring(checkpoint_freq: int = DEFAULT_CHECKPOINT_FREQ) -> MirrorConfig:
+    """Default mirroring: every event mirrored to every site (§3.2.1)."""
+    return MirrorConfig(checkpoint_freq=checkpoint_freq, function_name="simple")
+
+
+def selective_mirroring(
+    overwrite_len: int = 10,
+    kind: str = FAA_POSITION,
+    checkpoint_freq: int = DEFAULT_CHECKPOINT_FREQ,
+) -> MirrorConfig:
+    """Selective mirroring: of each run of ``overwrite_len`` position
+    events per flight, mirror only the most recent one (§4.1/4.2)."""
+    return MirrorConfig(
+        overwrite={kind: overwrite_len},
+        checkpoint_freq=checkpoint_freq,
+        function_name="selective",
+    )
+
+
+def selective_low_chkpt(
+    overwrite_len: int = 10,
+    kind: str = FAA_POSITION,
+    base_freq: int = DEFAULT_CHECKPOINT_FREQ,
+) -> MirrorConfig:
+    """Selective mirroring with checkpoint frequency decreased by 50%
+    — Figure 7's third curve (checkpointing every 2×base events)."""
+    return MirrorConfig(
+        overwrite={kind: overwrite_len},
+        checkpoint_freq=base_freq * 2,
+        function_name="selective_low_chkpt",
+    )
+
+
+def coalescing_mirroring(
+    coalesce_max: int = 10,
+    kind: Optional[str] = FAA_POSITION,
+    checkpoint_freq: int = DEFAULT_CHECKPOINT_FREQ,
+) -> MirrorConfig:
+    """Coalesce up to N events per flight into one mirror event."""
+    return MirrorConfig(
+        coalesce_enabled=True,
+        coalesce_max=coalesce_max,
+        coalesce_kinds=(kind,) if kind else None,
+        checkpoint_freq=checkpoint_freq,
+        function_name="coalescing",
+    )
+
+
+def adaptive_normal() -> MirrorConfig:
+    """Figure 9's baseline function: "coalesces up to 10 events and then
+    produces one mirror event, thus overwriting up to 10 flight position
+    events.  Checkpointing is performed for every 50 events."""
+    cfg = coalescing_mirroring(coalesce_max=10, checkpoint_freq=50)
+    return _renamed(cfg, "adaptive_normal")
+
+
+def adaptive_reduced() -> MirrorConfig:
+    """Figure 9's load-shedding function: "overwrites up to 20 flight
+    position events and performs checkpointing every 100 events."""
+    return MirrorConfig(
+        overwrite={FAA_POSITION: 20},
+        checkpoint_freq=100,
+        function_name="adaptive_reduced",
+    )
+
+
+def airline_semantic_rules(config: MirrorConfig) -> MirrorConfig:
+    """Attach the paper's airline-domain complex rules to ``config``.
+
+    * discard FAA position fixes after Delta reports the flight landed
+      (``set_complex_seq(event_type_Delta, status='flight landed',
+      event_type_FAA)``), and
+    * collapse 'flight landed' + 'flight at runway' + 'flight at gate'
+      into one 'flight arrived' complex event, suppressing further
+      position updates for that flight.
+    """
+    out = config.copy()
+    out.complex_seq.append(
+        (DELTA_STATUS, {"status": "flight landed"}, FAA_POSITION)
+    )
+    out.complex_tuple.append(
+        (
+            (DELTA_STATUS + ".landed", DELTA_STATUS + ".at_runway", DELTA_STATUS + ".at_gate"),
+            ({"status": "flight landed"}, {"status": "flight at runway"}, {"status": "flight at gate"}),
+            DELTA_STATUS + ".arrived",
+            (FAA_POSITION,),
+        )
+    )
+    return out
+
+
+def _renamed(cfg: MirrorConfig, name: str) -> MirrorConfig:
+    cfg.function_name = name
+    return cfg
+
+
+class FunctionRegistry:
+    """Name → mirror-function factory, used by ``set_adapt`` to install
+    "a different mirroring function" at runtime (§3.2.2)."""
+
+    def __init__(self):
+        self._factories: Dict[str, Callable[[], MirrorConfig]] = {}
+
+    def register(self, name: str, factory: Callable[[], MirrorConfig]) -> None:
+        """Register a named mirror-function factory (names are unique)."""
+        if name in self._factories:
+            raise ValueError(f"mirror function {name!r} already registered")
+        self._factories[name] = factory
+
+    def build(self, name: str) -> MirrorConfig:
+        """Instantiate a fresh config for the named function."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise KeyError(f"unknown mirror function {name!r}") from None
+        return factory()
+
+    def names(self):
+        """Registered function names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+
+def default_registry() -> FunctionRegistry:
+    """Registry pre-loaded with the paper's named functions."""
+    reg = FunctionRegistry()
+    reg.register("simple", simple_mirroring)
+    reg.register("selective", selective_mirroring)
+    reg.register("selective_low_chkpt", selective_low_chkpt)
+    reg.register("coalescing", coalescing_mirroring)
+    reg.register("adaptive_normal", adaptive_normal)
+    reg.register("adaptive_reduced", adaptive_reduced)
+    return reg

@@ -1,0 +1,163 @@
+"""The main unit: business logic host (§3.1).
+
+Each site runs a *main unit* executing the application-specific code —
+the Event Derivation Engine — over the events its auxiliary unit
+forwards.  The central site's main unit additionally distributes the
+resulting state updates to the regular-client population; every site's
+main unit serves client initial-state requests (the mirror sites'
+"primary task", per the paper, is exactly that request service).
+
+The main unit also holds the site's half of the checkpoint protocol
+(:class:`~repro.core.checkpoint.MainUnitCheckpointer`): checkpoint
+replies are computed from *its* processing progress, because the commit
+must never cover an event some EDE has not yet applied.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster import Message, Node, Transport
+from ..metrics import RunMetrics
+from ..ois.clients import ClientPool, InitStateRequest, InitStateResponse
+from ..ois.ede import EventDerivationEngine
+from ..sim import Environment, Store
+from .checkpoint import MainUnitCheckpointer
+from .events import UpdateEvent
+
+__all__ = ["EOS", "MainUnit"]
+
+#: End-of-stream sentinel payload.
+EOS = "__end_of_stream__"
+
+
+class MainUnit:
+    """Business-logic unit of one site.
+
+    Parameters
+    ----------
+    site:
+        Site name (``"central"``, ``"mirror1"``, ...).
+    node:
+        The cluster node this unit shares with its auxiliary unit — the
+        CPU contention between request service and event processing on
+        this shared resource is the perturbation the paper measures.
+    distribute_updates:
+        True on the central site only: charge per-update distribution
+        cost, record update delays, and push updates to the client pool.
+    clients_endpoint:
+        Transport endpoint of the (external) client population; updates
+        and snapshots are transmitted there when set, charging the
+        client-ethernet link.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        site: str,
+        node: Node,
+        transport: Transport,
+        metrics: RunMetrics,
+        distribute_updates: bool = False,
+        clients_endpoint: Optional[str] = None,
+        client_pool: Optional[ClientPool] = None,
+        snapshot_on_wire: bool = True,
+        request_workers: int = 4,
+    ):
+        if request_workers < 1:
+            raise ValueError("request_workers must be >= 1")
+        self.env = env
+        self.site = site
+        self.node = node
+        self.transport = transport
+        self.metrics = metrics
+        self.distribute_updates = distribute_updates
+        self.clients_endpoint = clients_endpoint
+        self.client_pool = client_pool
+        #: False models recovering clients reached over their own links
+        #: (per-client paths, not the single modelled client ethernet)
+        self.snapshot_on_wire = snapshot_on_wire
+        self.ede = EventDerivationEngine()
+        self.checkpointer = MainUnitCheckpointer(site)
+        self.inbox = transport.register(f"{site}.main", node)
+        self.requests = transport.register(f"{site}.requests", node)
+        self._requests_in_service = 0
+        self.events_processed = 0
+        self.requests_served = 0
+        env.process(self._event_loop())
+        # a pool of request-handler threads: under a request storm the
+        # handlers crowd the node CPU's FIFO queue, starving the site's
+        # event path — the perturbation §4.3 adapts away
+        for _ in range(request_workers):
+            env.process(self._request_loop())
+
+    # -- monitoring ------------------------------------------------------
+    def pending_requests(self) -> int:
+        """Outstanding request count: the paper's 'application level
+        buffer holding all pending client requests' monitor."""
+        return self.requests.inbox.level + self._requests_in_service
+
+    # -- processes ---------------------------------------------------------
+    def _event_loop(self):
+        costs = self.node.costs
+        while True:
+            msg = yield self.inbox.inbox.get()
+            if msg.payload == EOS:
+                continue
+            event: UpdateEvent = msg.payload
+            yield from self.node.execute(costs.ede_cost(event.size))
+            outputs = self.ede.process(event)
+            self.checkpointer.note_processed(event.stream, event.seqno)
+            self.events_processed += 1
+            if self.site == "central":
+                self.metrics.events_processed_central += 1
+            if self.distribute_updates:
+                for out in outputs:
+                    yield from self.node.execute(costs.update_cost(out.size))
+                    # update delay is measured when the EDE *sends* the
+                    # update (paper §4.3) — client-link transit is not
+                    # part of it, and distribution must not stall the EDE
+                    self.metrics.update_delay.observe(self.env.now, out.entered_at)
+                    self.metrics.updates_distributed += 1
+                    # the server reaches its client population over
+                    # "multiple network links" (§1): distribution CPU is
+                    # charged above, but updates do not serialise through
+                    # the single modelled client link (snapshots do)
+                    if self.client_pool is not None:
+                        self.client_pool.on_update(out, self.env.now)
+
+    def _request_loop(self):
+        costs = self.node.costs
+        while True:
+            msg = yield self.requests.inbox.get()
+            request: InitStateRequest = msg.payload
+            self._requests_in_service += 1
+            # snapshot construction is the CPU-heavy part — this is what
+            # steals cycles from event processing and perturbs the site
+            state_bytes = self.ede.state.state_bytes()
+            yield from self.node.execute(costs.request_cost(state_bytes))
+            snapshot = self.ede.state.snapshot(self.env.now)
+            self._requests_in_service -= 1
+            self.requests_served += 1
+            # the transfer to the recovering client rides the client
+            # link asynchronously; the next request's service starts now
+            self.env.process(self._respond(request, snapshot))
+
+    def _respond(self, request: "InitStateRequest", snapshot):
+        if self.clients_endpoint is not None and self.snapshot_on_wire:
+            yield from self.transport.send(
+                self.node,
+                self.clients_endpoint,
+                Message(kind="data", payload=snapshot, size=snapshot.size),
+            )
+        response = InitStateResponse(
+            client_id=request.client_id,
+            issued_at=request.issued_at,
+            served_at=self.env.now,
+            snapshot_size=snapshot.size,
+            served_by=self.site,
+        )
+        self.metrics.requests_served += 1
+        self.metrics.request_latency.observe(response.latency)
+        if self.client_pool is not None:
+            self.client_pool.on_init_response(response)

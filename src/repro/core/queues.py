@@ -1,0 +1,204 @@
+"""Framework data structures: backup queue and status table.
+
+Per §3.1 of the paper, the auxiliary unit's tasks synchronise through
+shared queues — the *ready* queue (events awaiting mirroring; in the
+simulation runtime that is a blocking :class:`repro.sim.Store`), the
+*backup* queue (mirrored events retained until a checkpoint commits),
+and a *status table* of application-level history (overwrite run
+counters, last values, terminal-status flags, partial complex tuples).
+
+Backup queue and status table are pure, runtime-agnostic data
+structures so both the simulation and the asyncio runtimes share them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from .events import UpdateEvent, VectorTimestamp
+
+__all__ = ["BackupQueue", "StatusTable"]
+
+
+class BackupQueue:
+    """Events already mirrored, kept until a checkpoint commit trims them.
+
+    The queue is ordered by mirroring order; trimming removes exactly the
+    events *covered* by the committed vector timestamp.  A commit naming
+    an event no longer present simply trims nothing (the paper: "If a
+    unit receives a commit identifying an event no longer in its backup,
+    this event is ignored").
+    """
+
+    def __init__(self):
+        self._events: Deque[UpdateEvent] = deque()
+        self.total_appended = 0
+        self.total_trimmed = 0
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def append(self, event: UpdateEvent) -> None:
+        """Retain a just-mirrored event; it must be stamped."""
+        if event.vt is None:
+            raise ValueError("only stamped events may enter the backup queue")
+        self._events.append(event)
+        self.total_appended += 1
+        self.peak = max(self.peak, len(self._events))
+
+    def last_vt(self) -> Optional[VectorTimestamp]:
+        """Timestamp of the most recently retained event.
+
+        This is the value the central aux unit proposes in a CHKPT
+        message ("usually the most recent value found in its backup
+        queue"); ``None`` when the queue is empty.
+        """
+        return self._events[-1].vt if self._events else None
+
+    def trim(self, commit: VectorTimestamp) -> int:
+        """Drop all events covered by ``commit``; returns count removed."""
+        kept: Deque[UpdateEvent] = deque()
+        removed = 0
+        for ev in self._events:
+            if commit.covers(ev.stream, ev.seqno):
+                removed += 1
+            else:
+                kept.append(ev)
+        self._events = kept
+        self.total_trimmed += removed
+        return removed
+
+    def events(self) -> List[UpdateEvent]:
+        """Snapshot of retained events, oldest first."""
+        return list(self._events)
+
+    def covered_count(self, vt: VectorTimestamp) -> int:
+        """How many retained events ``vt`` covers (trim preview)."""
+        return sum(1 for ev in self._events if vt.covers(ev.stream, ev.seqno))
+
+
+@dataclass
+class _KeyStatus:
+    """Per-entity history used by the semantic rules."""
+
+    #: consecutive-run counters per event kind (overwrite rules)
+    run_counters: Dict[str, int] = field(default_factory=dict)
+    #: last seen payload per kind
+    last_payload: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: kinds suppressed for this key (complex-sequence rules fired)
+    suppressed_kinds: set = field(default_factory=set)
+    #: partially assembled complex tuples: rule-id -> {kind: event}
+    partial_tuples: Dict[str, Dict[str, UpdateEvent]] = field(default_factory=dict)
+    #: pending coalesce buffers: rule-id -> list of events
+    coalesce_buffers: Dict[str, List[UpdateEvent]] = field(default_factory=dict)
+
+
+class StatusTable:
+    """Application-level status per entity key (§3.2.1).
+
+    The paper: "The status table is used ... to keep track of number of
+    overwritten flight updates for a particular flight, value of a
+    particular event that has an action associated with it, etc."
+    """
+
+    def __init__(self):
+        self._by_key: Dict[str, _KeyStatus] = {}
+        self.discarded_overwrite = 0
+        self.discarded_sequence = 0
+        self.combined_tuples = 0
+        self.coalesced_events = 0
+
+    def _status(self, key: str) -> _KeyStatus:
+        st = self._by_key.get(key)
+        if st is None:
+            st = _KeyStatus()
+            self._by_key[key] = st
+        return st
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def keys(self) -> List[str]:
+        """Entity keys with recorded status."""
+        return list(self._by_key)
+
+    # -- overwrite support ----------------------------------------------
+    def overwrite_step(self, key: str, kind: str, max_length: int) -> bool:
+        """Advance the overwrite run counter; True = mirror this event.
+
+        Implements the paper's send-one-then-discard-(L-1) semantics:
+        of every run of ``max_length`` same-kind events for ``key``,
+        exactly the first is mirrored.
+        """
+        if max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        st = self._status(key)
+        count = st.run_counters.get(kind, 0)
+        mirror = count == 0
+        st.run_counters[kind] = (count + 1) % max_length
+        if not mirror:
+            self.discarded_overwrite += 1
+        return mirror
+
+    def reset_run(self, key: str, kind: str) -> None:
+        """Restart the overwrite run (e.g. after an adaptation change)."""
+        st = self._by_key.get(key)
+        if st is not None:
+            st.run_counters.pop(kind, None)
+
+    # -- last-value / suppression support --------------------------------
+    def note_payload(self, key: str, kind: str, payload: Dict[str, Any]) -> None:
+        """Record the most recent payload of ``kind`` for ``key``."""
+        self._status(key).last_payload[kind] = dict(payload)
+
+    def last_payload(self, key: str, kind: str) -> Optional[Dict[str, Any]]:
+        """The most recent payload of ``kind`` for ``key`` (None if unseen)."""
+        st = self._by_key.get(key)
+        return None if st is None else st.last_payload.get(kind)
+
+    def suppress(self, key: str, kind: str) -> None:
+        """All later events of ``kind`` for ``key`` are to be discarded."""
+        self._status(key).suppressed_kinds.add(kind)
+
+    def is_suppressed(self, key: str, kind: str) -> bool:
+        """True when ``kind`` events for ``key`` are being discarded."""
+        st = self._by_key.get(key)
+        return st is not None and kind in st.suppressed_kinds
+
+    def count_sequence_discard(self) -> None:
+        """Bump the complex-sequence discard counter (stats)."""
+        self.discarded_sequence += 1
+
+    # -- complex tuple support --------------------------------------------
+    def tuple_slot(self, key: str, rule_id: str) -> Dict[str, UpdateEvent]:
+        """The partial-tuple accumulator for (key, rule)."""
+        return self._status(key).partial_tuples.setdefault(rule_id, {})
+
+    def clear_tuple(self, key: str, rule_id: str) -> None:
+        """Drop the partial tuple for (key, rule) after it fired."""
+        st = self._by_key.get(key)
+        if st is not None:
+            st.partial_tuples.pop(rule_id, None)
+
+    # -- coalesce support ---------------------------------------------------
+    def coalesce_buffer(self, key: str, rule_id: str) -> List[UpdateEvent]:
+        """The pending coalesce buffer for (key, rule), created lazily."""
+        return self._status(key).coalesce_buffers.setdefault(rule_id, [])
+
+    def clear_coalesce(self, key: str, rule_id: str) -> None:
+        """Drop the coalesce buffer for (key, rule) after it emitted."""
+        st = self._by_key.get(key)
+        if st is not None:
+            st.coalesce_buffers.pop(rule_id, None)
+
+    def pending_coalesce(self) -> List[Tuple[str, str, List[UpdateEvent]]]:
+        """All non-empty coalesce buffers as (key, rule_id, events)."""
+        out = []
+        for key, st in self._by_key.items():
+            for rule_id, buf in st.coalesce_buffers.items():
+                if buf:
+                    out.append((key, rule_id, list(buf)))
+        return out

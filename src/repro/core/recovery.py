@@ -1,0 +1,184 @@
+"""Recovery support: mirror promotion and client/site rejoin planning.
+
+The paper lists recovery as future work ("extending the mirroring
+infrastructure with recovery support, for both client failures, and
+failures of a node within the cluster server") but the machinery it
+builds — replicated EDE state, backup queues trimmed only after a
+checkpoint commits, and snapshot ``as_of`` vectors — is exactly what
+recovery needs.  This module implements that extension:
+
+* :func:`plan_client_rejoin` — what a recovering thin client (or a
+  rejoining mirror) needs: a state snapshot plus the backed-up events
+  past the snapshot's high-water marks, or a full snapshot when the
+  backup queue has already been trimmed past the client's horizon.
+* :func:`promote_mirror` — after a central-site failure, select the
+  most advanced mirror as the new primary and account for exactly
+  which events must be replayed to it; the checkpoint safety invariant
+  guarantees zero *committed* loss, which the report verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .checkpoint import MainUnitCheckpointer
+from .events import UpdateEvent, VectorTimestamp
+from .queues import BackupQueue
+
+__all__ = [
+    "RejoinPlan",
+    "PromotionReport",
+    "plan_client_rejoin",
+    "promote_mirror",
+]
+
+
+@dataclass(frozen=True)
+class RejoinPlan:
+    """What a recovering consumer must receive to catch up.
+
+    ``full_snapshot`` is True when the server's backup queue no longer
+    holds every event past the consumer's horizon (they were trimmed by
+    checkpoint commits), so an incremental catch-up is impossible and a
+    fresh initial-state view must be shipped instead.
+    """
+
+    full_snapshot: bool
+    replay_events: tuple
+    #: per-stream horizon the consumer claimed to have
+    from_vt: VectorTimestamp
+    #: per-stream horizon the consumer will be at afterwards
+    to_vt: VectorTimestamp
+
+    @property
+    def replay_count(self) -> int:
+        return len(self.replay_events)
+
+
+def plan_client_rejoin(
+    client_vt: VectorTimestamp,
+    backup: BackupQueue,
+    committed_vt: Optional[VectorTimestamp],
+) -> RejoinPlan:
+    """Plan catch-up for a consumer that saw events up to ``client_vt``.
+
+    ``committed_vt`` is the latest checkpoint commit (events at or
+    below it may have been trimmed from ``backup``).  If the client's
+    horizon is behind the committed vector, trimmed events it never saw
+    can no longer be replayed — it gets a full snapshot.  Otherwise the
+    backup queue contains everything newer than ``client_vt`` and the
+    plan lists exactly those events, oldest first.
+    """
+    retained = backup.events()
+    to_vt = client_vt
+    for ev in retained:
+        to_vt = to_vt.advanced(ev.stream, ev.seqno)
+
+    if committed_vt is not None and not client_vt.dominates(committed_vt):
+        # some events the client is missing were already trimmed
+        return RejoinPlan(
+            full_snapshot=True,
+            replay_events=(),
+            from_vt=client_vt,
+            to_vt=to_vt,
+        )
+    replay = tuple(
+        ev for ev in retained if not client_vt.covers(ev.stream, ev.seqno)
+    )
+    return RejoinPlan(
+        full_snapshot=False,
+        replay_events=replay,
+        from_vt=client_vt,
+        to_vt=to_vt,
+    )
+
+
+@dataclass(frozen=True)
+class PromotionReport:
+    """Outcome of promoting a mirror to primary after a central failure."""
+
+    new_primary: str
+    #: per-site business-logic progress at failure time
+    progress: Dict[str, Dict[str, int]]
+    #: events retained in the new primary's backup queue but not yet
+    #: processed by its main unit (must be replayed into its EDE)
+    replay_into_ede: tuple
+    #: events some *other* surviving site processed that the new primary
+    #: has not seen at all (need re-forwarding from that site's backup)
+    fetch_from_peers: Dict[str, tuple]
+    #: True when every event covered by the last commit is at or below
+    #: the new primary's progress — the zero-committed-loss guarantee
+    committed_loss_free: bool
+
+
+def promote_mirror(
+    candidates: Mapping[str, MainUnitCheckpointer],
+    backups: Mapping[str, BackupQueue],
+    last_commit: Optional[VectorTimestamp],
+) -> PromotionReport:
+    """Choose and prepare a new primary from the surviving mirrors.
+
+    Parameters
+    ----------
+    candidates:
+        Surviving sites' main-unit checkpointers (progress vectors).
+    backups:
+        The same sites' backup queues.
+    last_commit:
+        The latest committed checkpoint vector (None if none committed).
+
+    The most advanced site (componentwise-largest progress; total
+    progress sum breaks ties, then site name for determinism) becomes
+    primary.  The report lists the catch-up work and verifies the
+    checkpoint safety property: a commit only ever covers events every
+    main unit processed, so the committed prefix survives any single
+    site's failure.
+    """
+    if not candidates:
+        raise ValueError("no surviving sites to promote")
+
+    def progress_key(item):
+        name, checkpointer = item
+        vt = checkpointer.processed_vt
+        total = sum(vt.component(s) for s in vt.streams())
+        return (total, name)
+
+    new_primary, primary_ckpt = max(candidates.items(), key=progress_key)
+    primary_vt = primary_ckpt.processed_vt
+
+    replay = tuple(
+        ev
+        for ev in backups[new_primary].events()
+        if not primary_vt.covers(ev.stream, ev.seqno)
+    )
+
+    fetch: Dict[str, tuple] = {}
+    for name, checkpointer in candidates.items():
+        if name == new_primary:
+            continue
+        missing = tuple(
+            ev
+            for ev in backups[name].events()
+            if not primary_vt.covers(ev.stream, ev.seqno)
+            and all(
+                ev.seqno != r.seqno or ev.stream != r.stream for r in replay
+            )
+        )
+        if missing:
+            fetch[name] = missing
+
+    loss_free = True
+    if last_commit is not None:
+        loss_free = primary_vt.dominates(last_commit)
+
+    return PromotionReport(
+        new_primary=new_primary,
+        progress={
+            name: ckpt.processed_vt.as_dict()
+            for name, ckpt in candidates.items()
+        },
+        replay_into_ede=replay,
+        fetch_from_peers=fetch,
+        committed_loss_free=loss_free,
+    )

@@ -1,0 +1,31 @@
+"""Per-figure experiment modules (the paper's evaluation, §4).
+
+``figure4`` … ``figure9`` each expose ``run(quick=True) -> FigureResult``
+regenerating the corresponding figure's series plus shape checks;
+``ablations`` sweeps the design parameters DESIGN.md calls out.
+"""
+
+from . import ablations, figure4, figure5, figure6, figure7, figure8, figure9
+from .common import FigureResult, ShapeCheck
+
+ALL_FIGURES = {
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+}
+
+__all__ = [
+    "ablations",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "FigureResult",
+    "ShapeCheck",
+    "ALL_FIGURES",
+]

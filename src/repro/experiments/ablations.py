@@ -1,0 +1,517 @@
+"""Ablation studies over the framework's design parameters.
+
+DESIGN.md §4 commits to ablating the design choices the paper leaves
+as knobs.  Each ablation returns a :class:`FigureResult` so the
+benchmark harness prints and checks them like the paper figures:
+
+* ``overwrite_length`` — how aggressively selective mirroring may
+  overwrite (L ∈ {1, 2, 5, 10, 20, 50}); traffic and exec time should
+  fall monotonically with diminishing returns.
+* ``coalesce_count`` — coalescing degree for the coalescing function.
+* ``checkpoint_frequency`` — cost of consistency: exec time vs
+  checkpoint interval.
+* ``burst_amplitude`` — how hard the Figure-9 storm must hit before
+  the non-adaptive configuration degrades.
+* ``hysteresis`` — adaptation-controller oscillation vs the secondary
+  threshold (too little hysteresis ⇒ thrashing).
+* ``weather_surge`` — the paper's §1 Case (2): an inclement-weather
+  tracking surge (more fixes, higher precision) overloads the *event*
+  side; adaptation sheds mirroring work instead of request work.
+* ``straggler_mirror`` — cluster heterogeneity: one mirror N x slower
+  than the rest throttles the whole server through backpressure;
+  selective mirroring is the remedy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import (
+    MirrorConfig,
+    ScenarioConfig,
+    coalescing_mirroring,
+    run_scenario,
+    selective_mirroring,
+)
+from ..core.adaptation import MONITOR_READY_QUEUE
+from ..core.config import AdaptDirective, MonitorSpec, PARAM_MIRROR_FUNCTION
+from ..core.functions import adaptive_normal
+from ..ois import FlightDataConfig, WeatherFront, apply_weather, generate_script
+from ..workload import Burst, BurstyPattern, arrival_times
+from .common import FigureResult, ShapeCheck, monotone_nondecreasing
+from .figure9 import adaptive_base_config
+
+__all__ = [
+    "overwrite_length",
+    "coalesce_count",
+    "checkpoint_frequency",
+    "burst_amplitude",
+    "hysteresis",
+    "weather_surge",
+    "straggler_mirror",
+    "ALL_ABLATIONS",
+]
+
+EVENT_SIZE = 4096
+
+
+def _microbench_workload(quick: bool) -> FlightDataConfig:
+    return FlightDataConfig(
+        n_flights=10,
+        positions_per_flight=60 if quick else 200,
+        event_size=EVENT_SIZE,
+        seed=40,
+    )
+
+
+def overwrite_length(quick: bool = True) -> FigureResult:
+    """Exec time + mirror traffic vs the overwrite run length L."""
+    lengths = [1, 2, 5, 10, 20, 50]
+    wl = _microbench_workload(quick)
+    script = generate_script(wl)
+    times: List[float] = []
+    ratios: List[float] = []
+    for length in lengths:
+        metrics = run_scenario(
+            ScenarioConfig(
+                n_mirrors=1,
+                mirror_config=selective_mirroring(length),
+                workload=wl,
+            ),
+            script=script,
+        ).metrics
+        times.append(metrics.total_execution_time)
+        ratios.append(metrics.mirror_traffic_ratio())
+
+    checks = [
+        ShapeCheck(
+            claim="mirror traffic falls monotonically with L",
+            measured=f"ratios {[f'{r:.3f}' for r in ratios]}",
+            passed=all(b <= a for a, b in zip(ratios, ratios[1:])),
+        ),
+        ShapeCheck(
+            claim="L=1 mirrors everything (ratio ~1); traffic at L=10 is "
+            "roughly a tenth of the positions stream",
+            measured=f"L=1 ratio {ratios[0]:.3f}, L=10 ratio {ratios[3]:.3f}",
+            passed=ratios[0] > 0.99 and ratios[3] < 0.25,
+        ),
+        ShapeCheck(
+            claim="execution time improves with L with diminishing returns "
+            "(L=50 buys little over L=10)",
+            measured=f"times {[f'{t:.4f}' for t in times]}",
+            passed=times[3] < times[0]
+            and (times[3] - times[5]) < (times[0] - times[3]),
+        ),
+    ]
+    return FigureResult(
+        figure="Ablation A1",
+        title="Overwrite run length L (selective mirroring, 1 mirror)",
+        x_label="overwrite_L",
+        x_values=lengths,
+        series={"exec_time_s": times, "mirror_traffic_ratio": ratios},
+        checks=checks,
+    )
+
+
+def coalesce_count(quick: bool = True) -> FigureResult:
+    """Exec time + traffic vs coalescing degree N."""
+    counts = [1, 2, 5, 10, 20]
+    wl = _microbench_workload(quick)
+    script = generate_script(wl)
+    times: List[float] = []
+    ratios: List[float] = []
+    for n in counts:
+        metrics = run_scenario(
+            ScenarioConfig(
+                n_mirrors=1,
+                mirror_config=coalescing_mirroring(coalesce_max=n),
+                workload=wl,
+            ),
+            script=script,
+        ).metrics
+        times.append(metrics.total_execution_time)
+        ratios.append(metrics.mirror_traffic_ratio())
+
+    checks = [
+        ShapeCheck(
+            claim="coalescing N>1 reduces mirror traffic monotonically",
+            measured=f"ratios {[f'{r:.3f}' for r in ratios]}",
+            passed=all(b <= a + 1e-9 for a, b in zip(ratios, ratios[1:]))
+            and ratios[-1] < ratios[0] / 2,
+        ),
+        ShapeCheck(
+            claim="coalescing reduces execution time vs N=1",
+            measured=f"times {[f'{t:.4f}' for t in times]}",
+            passed=times[-1] < times[0],
+        ),
+    ]
+    return FigureResult(
+        figure="Ablation A2",
+        title="Coalescing degree N (coalescing mirroring, 1 mirror)",
+        x_label="coalesce_N",
+        x_values=counts,
+        series={"exec_time_s": times, "mirror_traffic_ratio": ratios},
+        checks=checks,
+    )
+
+
+def checkpoint_frequency(quick: bool = True) -> FigureResult:
+    """Exec time vs checkpoint interval (events between rounds)."""
+    intervals = [10, 25, 50, 100, 200]
+    wl = _microbench_workload(quick)
+    script = generate_script(wl)
+    times: List[float] = []
+    commits: List[float] = []
+    for f in intervals:
+        metrics = run_scenario(
+            ScenarioConfig(
+                n_mirrors=1,
+                mirror_config=MirrorConfig(checkpoint_freq=f, function_name=f"chkpt{f}"),
+                workload=wl,
+            ),
+            script=script,
+        ).metrics
+        times.append(metrics.total_execution_time)
+        commits.append(float(metrics.checkpoint_commits))
+
+    checks = [
+        ShapeCheck(
+            claim="checkpoint commits scale inversely with the interval",
+            measured=f"commits {commits}",
+            passed=all(b <= a for a, b in zip(commits, commits[1:]))
+            and commits[0] > 3 * commits[-1],
+        ),
+        ShapeCheck(
+            claim="more frequent checkpointing costs execution time "
+            "(interval 10 slower than interval 200)",
+            measured=f"times {[f'{t:.4f}' for t in times]}",
+            passed=times[0] > times[-1],
+        ),
+    ]
+    return FigureResult(
+        figure="Ablation A3",
+        title="Checkpoint interval (events between rounds)",
+        x_label="chkpt_interval",
+        x_values=intervals,
+        series={"exec_time_s": times, "commits": commits},
+        checks=checks,
+    )
+
+
+def burst_amplitude(quick: bool = True) -> FigureResult:
+    """Non-adaptive degradation vs the request-storm amplitude."""
+    amplitudes = [100, 300, 600] if quick else [100, 200, 300, 450, 600]
+    window = 8.0
+    wl = FlightDataConfig(
+        n_flights=20,
+        positions_per_flight=int(window * 2000.0 / 20),
+        event_size=2048,
+        position_rate=2000.0,
+        seed=41,
+    )
+    script = generate_script(wl)
+    delays: List[float] = []
+    adapted_delays: List[float] = []
+    for amp in amplitudes:
+        req = arrival_times(
+            BurstyPattern(base_rate=20.0, bursts=(Burst(2.0, 2.0, float(amp)),)),
+            horizon=window,
+        )
+        for adapt, sink in [(False, delays), (True, adapted_delays)]:
+            metrics = run_scenario(
+                ScenarioConfig(
+                    n_mirrors=1,
+                    mirror_config=adaptive_base_config(),
+                    workload=wl,
+                    request_times=req,
+                    adaptation=adapt,
+                ),
+                script=script,
+            ).metrics
+            sink.append(metrics.update_delay.mean * 1e3)
+
+    checks = [
+        ShapeCheck(
+            claim="non-adaptive mean delay grows with burst amplitude",
+            measured=f"delays {[f'{d:.2f}' for d in delays]} ms",
+            passed=monotone_nondecreasing(delays, tolerance=0.05)
+            and delays[-1] > 2 * delays[0],
+        ),
+        ShapeCheck(
+            claim="adaptation holds the mean delay down at every amplitude",
+            measured=f"adapted {[f'{d:.2f}' for d in adapted_delays]} ms",
+            passed=all(a <= d for a, d in zip(adapted_delays, delays))
+            and adapted_delays[-1] < delays[-1] / 2,
+        ),
+    ]
+    return FigureResult(
+        figure="Ablation A4",
+        title="Request-storm amplitude vs update delay (adaptive vs not)",
+        x_label="burst_req_per_s",
+        x_values=list(amplitudes),
+        series={
+            "no_adaptation_ms": delays,
+            "with_adaptation_ms": adapted_delays,
+        },
+        checks=checks,
+    )
+
+
+def hysteresis(quick: bool = True) -> FigureResult:
+    """Adaptation thrash vs the secondary (hysteresis) threshold.
+
+    Two request storms separated by a lull.  With a *narrow* band the
+    controller reverts in the lull and must re-adapt at the second
+    storm (4 switches); with the *widest* legal band (secondary ==
+    primary, i.e. restore only below zero) it adapts once and rides
+    out the whole window (1 switch) — queue lengths cannot go negative,
+    so reversion never fires.  The paper's secondary threshold is
+    exactly this stability/responsiveness dial.
+    """
+    primary = 30.0
+    secondaries = [5.0, 15.0, 30.0]
+    window = 8.0
+    wl = FlightDataConfig(
+        n_flights=20,
+        positions_per_flight=int(window * 2000.0 / 20),
+        event_size=2048,
+        position_rate=2000.0,
+        seed=42,
+    )
+    script = generate_script(wl)
+    bursts = (
+        Burst(start=1.5, duration=0.8, rate=600.0),
+        Burst(start=4.5, duration=0.8, rate=600.0),
+    )
+    req = arrival_times(
+        BurstyPattern(base_rate=20.0, bursts=bursts), horizon=window
+    )
+    switches: List[float] = []
+    delays: List[float] = []
+    for secondary in secondaries:
+        base = adaptive_base_config()
+        spec = base.monitors["pending_requests"]
+        base.monitors["pending_requests"] = type(spec)(
+            spec.index, primary, secondary
+        )
+        metrics = run_scenario(
+            ScenarioConfig(
+                n_mirrors=1,
+                mirror_config=base,
+                workload=wl,
+                request_times=req,
+                adaptation=True,
+            ),
+            script=script,
+        ).metrics
+        switches.append(float(metrics.adaptations + metrics.reversions))
+        delays.append(metrics.update_delay.mean * 1e3)
+
+    checks = [
+        ShapeCheck(
+            claim="narrow hysteresis thrashes: strictly more switches "
+            "than the widest band",
+            measured=f"switches {switches} for secondary {secondaries}",
+            passed=switches[0] > switches[-1],
+        ),
+        ShapeCheck(
+            claim="the widest band (secondary == primary) adapts exactly "
+            "once and never reverts",
+            measured=f"widest band switches {switches[-1]}",
+            passed=switches[-1] == 1.0,
+        ),
+        ShapeCheck(
+            claim="every configuration adapts at least once",
+            measured=f"switches {switches}",
+            passed=all(s >= 1 for s in switches),
+        ),
+    ]
+    return FigureResult(
+        figure="Ablation A5",
+        title="Hysteresis (secondary threshold) vs adaptation thrash",
+        x_label="secondary_threshold",
+        x_values=list(secondaries),
+        series={"switches": switches, "mean_delay_ms": delays},
+        checks=checks,
+    )
+
+
+def weather_surge(quick: bool = True) -> FigureResult:
+    """Update delay through an inclement-weather tracking surge.
+
+    During the front, FAA fixes arrive at 3x the base rate with doubled
+    precision payloads (§1 Case 2).  The event-side overload hits the
+    *central* site; the adaptation monitor here is the ready-queue
+    length, and the response (overwrite-20 / checkpoint-100) sheds
+    mirroring work to keep the update stream flowing.
+    """
+    window = 3.0 if quick else 4.0
+    rate = 2500.0
+    wl = FlightDataConfig(
+        n_flights=20,
+        positions_per_flight=int(window * rate / 20),
+        event_size=2048,
+        position_rate=rate,
+        seed=17,
+    )
+    front = WeatherFront(
+        start=1.0 if quick else 1.5,
+        duration=1.0 if quick else 1.5,
+        rate_multiplier=3.0,
+        precision_size_multiplier=2.0,
+    )
+    script = apply_weather(wl, front)
+
+    base = adaptive_normal()
+    base.adapt_directives.append(
+        AdaptDirective(
+            param=PARAM_MIRROR_FUNCTION, function_name="adaptive_reduced"
+        )
+    )
+    base.monitors[MONITOR_READY_QUEUE] = MonitorSpec(
+        MONITOR_READY_QUEUE, primary=40, secondary=35
+    )
+
+    stats = {}
+    for label, adapt in [("pinned", False), ("adaptive", True)]:
+        stats[label] = run_scenario(
+            ScenarioConfig(
+                n_mirrors=1,
+                mirror_config=base.copy(),
+                workload=wl,
+                adaptation=adapt,
+            ),
+            script=script,
+        ).metrics
+
+    pinned, adaptive = stats["pinned"], stats["adaptive"]
+    series = {}
+    for label, metrics in stats.items():
+        _, means = metrics.update_delay.series.bucketed(0.5, until=window)
+        values = means.tolist()
+        while values and values[-1] != values[-1]:  # trim trailing NaN
+            values.pop()
+        worst = max((v for v in values if v == v), default=0.0)
+        series[f"{label}_ms"] = [
+            (v if v == v else worst) * 1e3 for v in values
+        ]
+    n = min(len(v) for v in series.values())
+    series = {k: v[:n] for k, v in series.items()}
+    reduction = (
+        (pinned.update_delay.mean - adaptive.update_delay.mean)
+        / pinned.update_delay.mean * 100.0
+    )
+
+    checks = [
+        ShapeCheck(
+            claim="the weather front overloads the pinned configuration "
+            "(surge delay >> calm delay)",
+            measured=f"peak {max(series['pinned_ms']):.2f}ms vs calm "
+            f"{series['pinned_ms'][0]:.2f}ms",
+            passed=max(series["pinned_ms"]) > 10 * max(series["pinned_ms"][0], 1e-6),
+        ),
+        ShapeCheck(
+            claim="event-side adaptation reduces the mean update delay "
+            "through the surge (>= 20%)",
+            measured=f"mean {pinned.update_delay.mean*1e3:.2f}ms -> "
+            f"{adaptive.update_delay.mean*1e3:.2f}ms ({reduction:.1f}%)",
+            passed=reduction >= 20.0,
+        ),
+        ShapeCheck(
+            claim="the controller adapts on the ready-queue monitor and "
+            "reverts after the front passes",
+            measured=f"adaptations={adaptive.adaptations}, "
+            f"reversions={adaptive.reversions}",
+            passed=adaptive.adaptations >= 1 and adaptive.reversions >= 1,
+        ),
+    ]
+    return FigureResult(
+        figure="Ablation A6",
+        title="Inclement-weather tracking surge (event-side adaptation)",
+        x_label="half_second",
+        x_values=list(range(1, len(series["pinned_ms"]) + 1)),
+        series=series,
+        checks=checks,
+        notes=f"Front: {front.rate_multiplier:.0f}x fix rate, "
+        f"{front.precision_size_multiplier:.0f}x payload during "
+        f"[{front.start}, {front.end}) s of a {window:.0f} s window.",
+    )
+
+
+def straggler_mirror(quick: bool = True) -> FigureResult:
+    """Execution time vs one mirror's slowdown factor, with and without
+    selective mirroring.
+
+    The slow mirror cannot keep up with the full mirrored stream; its
+    bounded inbox throttles the central sending task, so the *whole
+    server* degrades with the straggler.  Selective mirroring (the
+    framework's own remedy) shrinks the straggler's event work ten-fold
+    and flattens the curve.
+    """
+    factors = [1.0, 2.0, 4.0] if quick else [1.0, 1.5, 2.0, 3.0, 4.0, 6.0]
+    wl = FlightDataConfig(
+        n_flights=5,
+        positions_per_flight=60 if quick else 160,
+        event_size=4096,
+        seed=43,
+    )
+    script = generate_script(wl)
+    simple_times: List[float] = []
+    selective_times: List[float] = []
+    for factor in factors:
+        for mc, sink in [
+            (MirrorConfig(function_name="simple"), simple_times),
+            (selective_mirroring(10), selective_times),
+        ]:
+            metrics = run_scenario(
+                ScenarioConfig(
+                    n_mirrors=2,
+                    mirror_config=mc,
+                    workload=wl,
+                    mirror_speed_factors=[factor, 1.0],
+                ),
+                script=script,
+            ).metrics
+            sink.append(metrics.total_execution_time)
+
+    slowdown = [t / simple_times[0] for t in simple_times]
+    rescued = [t / selective_times[0] for t in selective_times]
+
+    checks = [
+        ShapeCheck(
+            claim="a straggler mirror slows the whole server under "
+            "simple mirroring (backpressure)",
+            measured=f"relative times {[f'{s:.2f}x' for s in slowdown]}",
+            passed=slowdown[-1] > 1.2,
+        ),
+        ShapeCheck(
+            claim="selective mirroring flattens the straggler curve",
+            measured=f"selective relative times {[f'{s:.2f}x' for s in rescued]}",
+            passed=rescued[-1] < slowdown[-1] * 0.85,
+        ),
+        ShapeCheck(
+            claim="selective is at least as fast as simple at every factor",
+            measured=f"simple {[f'{t:.4f}' for t in simple_times]} vs "
+            f"selective {[f'{t:.4f}' for t in selective_times]}",
+            passed=all(se <= si + 1e-6 for se, si in zip(selective_times, simple_times)),
+        ),
+    ]
+    return FigureResult(
+        figure="Ablation A7",
+        title="Straggler mirror (heterogeneous cluster) vs mirroring function",
+        x_label="straggler_factor",
+        x_values=list(factors),
+        series={"simple_s": simple_times, "selective_s": selective_times},
+        checks=checks,
+    )
+
+
+ALL_ABLATIONS = {
+    "overwrite_length": overwrite_length,
+    "coalesce_count": coalesce_count,
+    "checkpoint_frequency": checkpoint_frequency,
+    "burst_amplitude": burst_amplitude,
+    "hysteresis": hysteresis,
+    "weather_surge": weather_surge,
+    "straggler_mirror": straggler_mirror,
+}

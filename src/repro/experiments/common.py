@@ -1,0 +1,75 @@
+"""Shared scaffolding for the per-figure experiment modules.
+
+Each ``figureN`` module exposes ``run(quick=True) -> FigureResult``.
+``quick`` trims workload sizes so the whole benchmark suite finishes in
+minutes; ``quick=False`` runs closer to paper scale.  Both modes use
+the same scenarios — only event counts change — so the shape checks
+hold in either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..metrics import format_series
+
+__all__ = ["FigureResult", "ShapeCheck", "monotone_nondecreasing"]
+
+
+@dataclass
+class ShapeCheck:
+    """One verifiable claim about a figure's shape.
+
+    ``passed`` is evaluated by the figure module; benchmarks assert it,
+    and EXPERIMENTS.md reports it as paper-vs-measured.
+    """
+
+    claim: str
+    measured: str
+    passed: bool
+
+
+@dataclass
+class FigureResult:
+    """The regenerated figure: x axis + named series + shape checks."""
+
+    figure: str
+    title: str
+    x_label: str
+    x_values: List
+    series: Dict[str, List[float]]
+    checks: List[ShapeCheck] = field(default_factory=list)
+    notes: str = ""
+
+    def table(self) -> str:
+        """The figure as an aligned text table (what the bench prints)."""
+        return format_series(
+            self.x_label, self.x_values, self.series,
+            title=f"{self.figure}: {self.title}",
+        )
+
+    def render(self) -> str:
+        """Table plus shape-check report."""
+        lines = [self.table(), ""]
+        for check in self.checks:
+            status = "PASS" if check.passed else "FAIL"
+            lines.append(f"[{status}] {check.claim}")
+            lines.append(f"       measured: {check.measured}")
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def failed_checks(self) -> List[ShapeCheck]:
+        """The checks that did not pass (empty when all green)."""
+        return [c for c in self.checks if not c.passed]
+
+
+def monotone_nondecreasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """True when each value is >= its predecessor (within tolerance)."""
+    return all(b >= a - tolerance for a, b in zip(values, values[1:]))

@@ -1,0 +1,96 @@
+"""Figure 5 — Overheads implied by additional mirrors.
+
+Paper setup: microbenchmark at a fixed event size; total execution
+time as the number of mirror sites grows (1, 2, 4, 6, 8 on the 8-node
+cluster), no client load.
+
+Paper findings reproduced as shape checks:
+
+* "on the average, there is a less than 10% increase in the execution
+  time of the application when a new mirror site is added";
+* §1's headline: "mirroring can result in a 30% slowdown on our
+  cluster machine when there are 4 mirror machines".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import ScenarioConfig, run_scenario, simple_mirroring
+from ..metrics import percent_change
+from ..ois import FlightDataConfig
+from .common import FigureResult, ShapeCheck, monotone_nondecreasing
+
+__all__ = ["run", "main"]
+
+MIRRORS = [1, 2, 4, 6, 8]
+EVENT_SIZE = 2048
+
+
+def run(quick: bool = True) -> FigureResult:
+    """Regenerate Figure 5: exec time vs number of mirror sites."""
+    wl = FlightDataConfig(
+        n_flights=10,
+        positions_per_flight=60 if quick else 200,
+        event_size=EVENT_SIZE,
+        seed=5,
+    )
+    baseline = run_scenario(
+        ScenarioConfig(n_mirrors=0, mirroring=False, workload=wl)
+    ).metrics.total_execution_time
+
+    times: List[float] = []
+    for k in MIRRORS:
+        times.append(
+            run_scenario(
+                ScenarioConfig(
+                    n_mirrors=k, mirror_config=simple_mirroring(), workload=wl
+                )
+            ).metrics.total_execution_time
+        )
+    slowdown = [percent_change(baseline, t) for t in times]
+    marginal = [
+        percent_change(a, b) / (k2 - k1)
+        for (a, k1), (b, k2) in zip(zip(times, MIRRORS), zip(times[1:], MIRRORS[1:]))
+    ]
+    at4 = slowdown[MIRRORS.index(4)]
+
+    checks = [
+        ShapeCheck(
+            claim="execution time grows with each added mirror",
+            measured=f"times {[f'{t:.4f}' for t in times]}",
+            passed=monotone_nondecreasing(times),
+        ),
+        ShapeCheck(
+            claim="less than 10% increase per added mirror site",
+            measured=f"marginal increases {[f'{m:.1f}%' for m in marginal]}",
+            passed=all(m < 10.0 for m in marginal),
+        ),
+        ShapeCheck(
+            claim="~30% slowdown with 4 mirrors (accepted band 15-45%)",
+            measured=f"{at4:.1f}% at 4 mirrors",
+            passed=15.0 <= at4 <= 45.0,
+        ),
+    ]
+    return FigureResult(
+        figure="Figure 5",
+        title="Overheads implied by additional mirrors",
+        x_label="n_mirrors",
+        x_values=list(MIRRORS),
+        series={
+            "exec_time_s": times,
+            "slowdown_vs_no_mirroring_pct": slowdown,
+        },
+        checks=checks,
+        notes=f"Baseline (no mirroring) {baseline:.4f}s at {EVENT_SIZE}B events. "
+        "Paper: <10% per added mirror; ~30% total at 4 mirrors.",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    """Print the full-scale figure to stdout."""
+    print(run(quick=False).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

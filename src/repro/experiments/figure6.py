@@ -1,0 +1,120 @@
+"""Figure 6 — Mirroring to multiple sites under constant request load.
+
+Paper setup: total time to process the event sequence *and* service
+all client requests, under a constant 100 req/s load balanced across
+the mirror sites, for servers with 1, 2 and 4 mirrors, as the data
+event size grows (to 6000 B).
+
+Paper finding reproduced as shape checks: "for data sizes larger than
+some cross-over size (where experimental lines intersect), mirroring
+overheads can be outweighed by the performance improvements attained
+from mirroring".  Concretely: beyond the crossover the 1-mirror
+server — whose single mirror carries the entire request load on top
+of the full mirrored event stream — saturates and its completion time
+departs upward, while spreading requests over 2 and then 4 mirrors
+keeps every site under capacity.
+
+Deviation note: in this reproduction the small-size end shows the
+three curves *coinciding* rather than the 1-mirror line being
+strictly cheapest — with the event feed paced below central capacity,
+the extra fan-out cost of 4 mirrors is absorbed by idle headroom and
+is not visible in the makespan.  The crossover itself (the 1-mirror
+line leaving the pack, then the 2-mirror line) reproduces clearly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core import ScenarioConfig, run_scenario, simple_mirroring
+from ..ois import FlightDataConfig
+from .common import FigureResult, ShapeCheck
+
+__all__ = ["run", "main"]
+
+SIZES_FULL = [500, 1500, 3000, 4500, 6000]
+SIZES_QUICK = [500, 3000, 6000]
+MIRROR_COUNTS = [1, 2, 4]
+REQUEST_RATE = 100.0
+PRELOAD_FLIGHTS = 700
+POSITION_RATE = 5200.0
+
+
+def run(quick: bool = True) -> FigureResult:
+    """Regenerate Figure 6: exec time vs event size for 1/2/4 mirrors."""
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    series: Dict[str, List[float]] = {f"{k}_mirrors_s": [] for k in MIRROR_COUNTS}
+    for size in sizes:
+        wl = FlightDataConfig(
+            n_flights=10,
+            positions_per_flight=100 if quick else 300,
+            event_size=size,
+            position_rate=POSITION_RATE,
+            seed=6,
+        )
+        for k in MIRROR_COUNTS:
+            metrics = run_scenario(
+                ScenarioConfig(
+                    n_mirrors=k,
+                    mirror_config=simple_mirroring(),
+                    workload=wl,
+                    request_rate=REQUEST_RATE,
+                    preload_flights=PRELOAD_FLIGHTS,
+                    snapshot_on_wire=False,
+                )
+            ).metrics
+            series[f"{k}_mirrors_s"].append(metrics.total_execution_time)
+
+    t1 = series["1_mirrors_s"]
+    t2 = series["2_mirrors_s"]
+    t4 = series["4_mirrors_s"]
+    gap = [a - b for a, b in zip(t1, t4)]
+
+    checks = [
+        ShapeCheck(
+            claim="below the crossover the curves run together "
+            "(within 3% at the smallest size)",
+            measured=f"at {sizes[0]}B: 1m={t1[0]:.4f} 2m={t2[0]:.4f} 4m={t4[0]:.4f}",
+            passed=max(t1[0], t2[0], t4[0]) <= 1.03 * min(t1[0], t2[0], t4[0]),
+        ),
+        ShapeCheck(
+            claim="beyond the crossover, mirroring wins: 1-mirror is "
+            ">10% slower than 4-mirror at the largest size",
+            measured=f"at {sizes[-1]}B: 1m={t1[-1]:.4f} vs 4m={t4[-1]:.4f} "
+            f"({(t1[-1]/t4[-1]-1)*100:.1f}%)",
+            passed=t1[-1] > 1.10 * t4[-1],
+        ),
+        ShapeCheck(
+            claim="at the largest size servers order by mirror count: "
+            "4 mirrors <= 2 mirrors <= 1 mirror",
+            measured=f"4m={t4[-1]:.4f} 2m={t2[-1]:.4f} 1m={t1[-1]:.4f}",
+            passed=t4[-1] <= t2[-1] <= t1[-1],
+        ),
+        ShapeCheck(
+            claim="the 1-vs-4 mirror gap widens with event size "
+            "(lines intersect once and diverge)",
+            measured=f"gap {[f'{g:+.4f}' for g in gap]}",
+            passed=gap[-1] > gap[0] + 0.01,
+        ),
+    ]
+    return FigureResult(
+        figure="Figure 6",
+        title="Mirroring to multiple mirror sites under constant "
+        f"{REQUEST_RATE:.0f} req/s balanced across the mirrors",
+        x_label="event_size_B",
+        x_values=list(sizes),
+        series=series,
+        checks=checks,
+        notes="Paper: lines intersect at a cross-over data size beyond "
+        "which mirroring overheads are outweighed by the performance "
+        "improvements attained from mirroring (request parallelization).",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    """Print the full-scale figure to stdout."""
+    print(run(quick=False).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,176 @@
+"""Figure 9 — Dynamic adaptation of the mirroring function.
+
+Paper setup (§4.3): a bursty client-request pattern hits the mirror
+sites over a ~15 s window.  Two mirroring functions are prepared:
+
+* **normal** — coalesce up to 10 flight-position events into one
+  mirror event; checkpoint every 50 processed events;
+* **reduced** — overwrite up to 20 flight-position events; checkpoint
+  every 100 processed events.
+
+The adaptive run monitors the mirror-side queue/buffer lengths
+(piggybacked on checkpoint replies) and switches between the two
+functions around primary/secondary thresholds; the non-adaptive run
+stays on the normal function throughout.  The metric is the
+processing delay from event entry until the central EDE sends the
+update, plotted per second.
+
+Paper findings reproduced as shape checks:
+
+* "total processing latency of the published events is reduced by up
+  to 40%" (we measure substantially more — the burst-window delay
+  collapses once the reduced function is installed);
+* "the performance levels offered to clients experience much less
+  perturbation than in the non-adaptive case";
+* the adaptation actually triggers during the burst and reverts after
+  it (hysteresis works).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from ..core import (
+    AdaptDirective,
+    MonitorSpec,
+    PARAM_MIRROR_FUNCTION,
+    ScenarioConfig,
+    adaptive_normal,
+    run_scenario,
+)
+from ..core.adaptation import MONITOR_PENDING_REQUESTS
+from ..ois import FlightDataConfig, generate_script
+from ..workload import Burst, BurstyPattern, arrival_times
+from .common import FigureResult, ShapeCheck
+
+__all__ = ["run", "main", "adaptive_base_config"]
+
+WINDOW_S = 15.0
+POSITION_RATE = 2000.0
+EVENT_SIZE = 2048
+BASE_REQ_RATE = 20.0
+BURST = Burst(start=5.0, duration=3.0, rate=600.0)
+PRIMARY_THRESHOLD = 30.0
+SECONDARY_THRESHOLD = 25.0
+
+
+def adaptive_base_config():
+    """The §4.3 configuration: normal function + reduced alternative,
+    monitoring the pending-request buffer with hysteresis."""
+    cfg = adaptive_normal()
+    cfg.adapt_directives.append(
+        AdaptDirective(
+            param=PARAM_MIRROR_FUNCTION, function_name="adaptive_reduced"
+        )
+    )
+    cfg.monitors[MONITOR_PENDING_REQUESTS] = MonitorSpec(
+        MONITOR_PENDING_REQUESTS,
+        primary=PRIMARY_THRESHOLD,
+        secondary=SECONDARY_THRESHOLD,
+    )
+    return cfg
+
+
+def run(quick: bool = True) -> FigureResult:
+    """Regenerate Figure 9: per-second update delay, adaptive vs not."""
+    window = 10.0 if quick else WINDOW_S
+    burst = Burst(start=3.0, duration=2.0, rate=600.0) if quick else BURST
+    n_events = int(window * POSITION_RATE)
+    wl = FlightDataConfig(
+        n_flights=30,
+        positions_per_flight=max(1, n_events // 30),
+        event_size=EVENT_SIZE,
+        position_rate=POSITION_RATE,
+        seed=9,
+    )
+    script = generate_script(wl)
+    request_times = arrival_times(
+        BurstyPattern(base_rate=BASE_REQ_RATE, bursts=(burst,)), horizon=window
+    )
+
+    per_second: Dict[str, List[float]] = {}
+    stats = {}
+    for name, adapt in [("no_adaptation_ms", False), ("with_adaptation_ms", True)]:
+        metrics = run_scenario(
+            ScenarioConfig(
+                n_mirrors=1,
+                mirror_config=adaptive_base_config(),
+                workload=wl,
+                request_times=request_times,
+                adaptation=adapt,
+            ),
+            script=script,
+        ).metrics
+        _, means = metrics.update_delay.series.bucketed(1.0, until=window)
+        worst = np.nanmax(means) if means.size else math.nan
+        filled = np.where(np.isnan(means), worst, means)
+        per_second[name] = [v * 1e3 for v in filled.tolist()]
+        stats[name] = metrics
+
+    no_adapt = stats["no_adaptation_ms"]
+    with_adapt = stats["with_adaptation_ms"]
+    mean_reduction = (
+        (no_adapt.update_delay.mean - with_adapt.update_delay.mean)
+        / no_adapt.update_delay.mean
+        * 100.0
+    )
+    peak_no = max(per_second["no_adaptation_ms"])
+    peak_with = max(per_second["with_adaptation_ms"])
+
+    checks = [
+        ShapeCheck(
+            claim="adaptation reduces total processing latency by up to "
+            "40% (paper; accepted >= 30% mean reduction)",
+            measured=f"mean delay {no_adapt.update_delay.mean*1e3:.2f}ms -> "
+            f"{with_adapt.update_delay.mean*1e3:.2f}ms ({mean_reduction:.1f}%)",
+            passed=mean_reduction >= 30.0,
+        ),
+        ShapeCheck(
+            claim="clients experience much less perturbation with "
+            "adaptation (lower peak + lower perturbation index)",
+            measured=f"peak {peak_no:.2f}ms vs {peak_with:.2f}ms; "
+            f"perturbation {no_adapt.perturbation():.2f} vs "
+            f"{with_adapt.perturbation():.2f}",
+            passed=peak_with < peak_no
+            and with_adapt.perturbation() < no_adapt.perturbation(),
+        ),
+        ShapeCheck(
+            claim="the controller adapts during the burst and reverts "
+            "afterwards (hysteresis)",
+            measured=f"adaptations={with_adapt.adaptations}, "
+            f"reversions={with_adapt.reversions}, "
+            f"log={with_adapt.adaptation_log}",
+            passed=with_adapt.adaptations >= 1 and with_adapt.reversions >= 1,
+        ),
+        ShapeCheck(
+            claim="the non-adaptive run actually suffers during the burst "
+            "(delay mountain exists to be adapted away)",
+            measured=f"non-adaptive peak {peak_no:.2f}ms vs pre-burst "
+            f"{per_second['no_adaptation_ms'][0]:.2f}ms",
+            passed=peak_no > 5.0 * max(per_second["no_adaptation_ms"][0], 1e-6),
+        ),
+    ]
+    return FigureResult(
+        figure="Figure 9",
+        title="Dynamic adaptation of the mirroring function under a "
+        "bursty request pattern (per-second update delay)",
+        x_label="time_s",
+        x_values=list(range(1, len(per_second["no_adaptation_ms"]) + 1)),
+        series=per_second,
+        checks=checks,
+        notes="Paper: latency reduced up to 40%, much less perturbation. "
+        f"Burst: {burst.rate:.0f} req/s during [{burst.start:.0f}, "
+        f"{burst.end:.0f}) s on a {BASE_REQ_RATE:.0f} req/s base.",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    """Print the full-scale figure to stdout."""
+    print(run(quick=False).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,72 @@
+"""Batch runner: regenerate every figure/ablation and persist results.
+
+``run_all`` is what produced ``results/full_figures.txt``; the CLI
+(``python -m repro all --save DIR``) and tests drive it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from . import ALL_FIGURES
+from .ablations import ALL_ABLATIONS
+from .common import FigureResult
+
+__all__ = ["RunRecord", "run_all", "write_report"]
+
+
+@dataclass
+class RunRecord:
+    """One regenerated figure/ablation plus its wall time."""
+
+    name: str
+    result: FigureResult
+    wall_seconds: float
+
+    @property
+    def passed(self) -> bool:
+        return self.result.all_passed
+
+
+def run_all(
+    quick: bool = True,
+    figures: bool = True,
+    ablations: bool = True,
+    progress=None,
+) -> List[RunRecord]:
+    """Regenerate everything; returns the records in run order.
+
+    ``progress`` is an optional callable invoked with each finished
+    :class:`RunRecord` (the CLI uses it for live status lines).
+    """
+    targets: Dict[str, object] = {}
+    if figures:
+        targets.update({name: mod.run for name, mod in ALL_FIGURES.items()})
+    if ablations:
+        targets.update(ALL_ABLATIONS)
+
+    records: List[RunRecord] = []
+    for name, runner in targets.items():
+        t0 = time.time()
+        result = runner(quick=quick)
+        record = RunRecord(name=name, result=result, wall_seconds=time.time() - t0)
+        records.append(record)
+        if progress is not None:
+            progress(record)
+    return records
+
+
+def write_report(records: List[RunRecord], path) -> Path:
+    """Write the rendered tables + checks of every record to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    chunks = []
+    for record in records:
+        chunks.append(f"### {record.name} (wall {record.wall_seconds:.0f}s)")
+        chunks.append(record.result.render())
+        chunks.append("")
+    path.write_text("\n".join(chunks))
+    return path

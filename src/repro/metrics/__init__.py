@@ -1,0 +1,13 @@
+"""Measurement and reporting for scenario runs."""
+
+from .collectors import RunMetrics, UpdateDelayTracker, perturbation_index
+from .report import format_series, format_table, percent_change
+
+__all__ = [
+    "RunMetrics",
+    "UpdateDelayTracker",
+    "perturbation_index",
+    "format_series",
+    "format_table",
+    "percent_change",
+]

@@ -1,0 +1,128 @@
+"""Run-level measurement: the statistics every figure is built from.
+
+The paper's evaluation uses two primary metrics:
+
+* **total execution time** — wall time to process the entire event
+  sequence *and* service all client requests (Figures 4–7);
+* **update delay** — per-event delay from entry into the OIS until the
+  central EDE sends the update to clients (Figures 8–9), including its
+  evolution over time and its *perturbation* (the paper's scalability
+  metric is "deviations in the levels of service offered to regular
+  clients").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..sim import Tally, TimeSeries
+from ..sim.trace import Tracer
+
+__all__ = ["UpdateDelayTracker", "RunMetrics", "perturbation_index"]
+
+
+class UpdateDelayTracker:
+    """Per-event update delays at the central EDE, with a time series."""
+
+    def __init__(self):
+        self.tally = Tally("update_delay")
+        self.series = TimeSeries("update_delay")
+
+    def observe(self, now: float, entered_at: float) -> None:
+        """Record one update sent at ``now`` for an event that entered at
+        ``entered_at``."""
+        delay = now - entered_at
+        if delay < 0:
+            raise ValueError("event sent before it entered the system")
+        self.tally.observe(delay)
+        self.series.record(now, delay)
+
+    @property
+    def mean(self) -> float:
+        return self.tally.mean
+
+    @property
+    def count(self) -> int:
+        return self.tally.count
+
+
+def perturbation_index(series: TimeSeries, bucket: float = 1.0) -> float:
+    """Quantify service perturbation as the standard deviation (seconds)
+    of the bucketed mean update delay — how far service levels swing
+    over time, the paper's scalability notion ("deviations in the levels
+    of service offered to regular clients").
+
+    NaN buckets (no updates delivered in an interval — a stall) are
+    scored as the worst observed bucket, so total stalls register as
+    perturbation rather than vanishing from the average.
+    """
+    _, means = series.bucketed(bucket)
+    if means.size == 0:
+        return math.nan
+    worst = np.nanmax(means) if not np.all(np.isnan(means)) else math.nan
+    filled = np.where(np.isnan(means), worst, means)
+    return float(filled.std())
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured in one scenario run."""
+
+    #: makespan: events fully processed + all requests served
+    total_execution_time: float = math.nan
+    #: update delay at the central EDE
+    update_delay: UpdateDelayTracker = field(default_factory=UpdateDelayTracker)
+    #: initial-state request latencies
+    request_latency: Tally = field(default_factory=lambda: Tally("request_latency"))
+    requests_issued: int = 0
+    requests_served: int = 0
+    #: event accounting
+    events_generated: int = 0
+    events_mirrored: int = 0
+    events_forwarded: int = 0
+    events_processed_central: int = 0
+    updates_distributed: int = 0
+    #: rule-engine traffic-reduction stats (from RuleEngine.stats())
+    rule_stats: Dict[str, int] = field(default_factory=dict)
+    #: checkpoint protocol accounting
+    checkpoint_rounds: int = 0
+    checkpoint_commits: int = 0
+    #: adaptation accounting
+    adaptations: int = 0
+    reversions: int = 0
+    adaptation_log: List[tuple] = field(default_factory=list)
+    #: interconnect accounting
+    bytes_on_wire: int = 0
+    #: per-node CPU utilisation at end of run
+    cpu_utilization: Dict[str, float] = field(default_factory=dict)
+    #: optional control-plane trace (ScenarioConfig(trace=True))
+    tracer: Optional[Tracer] = None
+
+    def mirror_traffic_ratio(self) -> float:
+        """Mirrored events / generated events (1.0 = simple mirroring)."""
+        if self.events_generated == 0:
+            return math.nan
+        return self.events_mirrored / self.events_generated
+
+    def perturbation(self, bucket: float = 1.0) -> float:
+        """Service-perturbation index of this run's update-delay series."""
+        return perturbation_index(self.update_delay.series, bucket)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for table printing."""
+        return {
+            "total_execution_time": self.total_execution_time,
+            "mean_update_delay": self.update_delay.mean,
+            "updates": float(self.update_delay.count),
+            "requests_served": float(self.requests_served),
+            "mean_request_latency": self.request_latency.mean,
+            "events_mirrored": float(self.events_mirrored),
+            "mirror_traffic_ratio": self.mirror_traffic_ratio(),
+            "checkpoint_commits": float(self.checkpoint_commits),
+            "adaptations": float(self.adaptations),
+            "bytes_on_wire": float(self.bytes_on_wire),
+        }

@@ -1,0 +1,74 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every figure benchmark prints the same rows/series the paper plots;
+these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "percent_change"]
+
+
+def _fmt(value, width: int = 12, precision: int = 4) -> str:
+    if value is None:
+        return " " * (width - 1) + "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return " " * (width - 3) + "nan"
+        return f"{value:>{width}.{precision}g}"
+    return f"{value!s:>{width}}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Aligned fixed-width text table."""
+    widths = [max(12, len(h) + 2) for h in headers]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("".join(f"{h:>{w}}" for h, w in zip(headers, widths)))
+    lines.append("".join("-" * w for w in widths))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        lines.append(
+            "".join(_fmt(v, w, precision) for v, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """One x column + one column per named series (a 'figure' as text)."""
+    headers = [x_label] + list(series)
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, x has {len(x_values)}"
+            )
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def percent_change(baseline: float, value: float) -> float:
+    """Signed percent difference of ``value`` relative to ``baseline``."""
+    if baseline == 0:
+        return math.nan
+    return (value - baseline) / baseline * 100.0

@@ -1,0 +1,36 @@
+"""OIS application substrate: flight data, business logic, state, clients.
+
+Implements the Delta-Air-Lines-style operational information system the
+paper evaluates on (DESIGN.md §2): synthetic FAA/Delta event streams,
+the Event Derivation Engine, the replicated operational state store,
+and client models.
+"""
+
+from .clients import ClientPool, InitStateRequest, InitStateResponse
+from .ede import EventDerivationEngine
+from .flightdata import (
+    STATUS_LIFECYCLE,
+    EventScript,
+    FlightDataConfig,
+    ScriptedEvent,
+    generate_script,
+)
+from .state import FlightState, OperationalStateStore, StateSnapshot
+from .weather import WeatherFront, apply_weather
+
+__all__ = [
+    "ClientPool",
+    "InitStateRequest",
+    "InitStateResponse",
+    "EventDerivationEngine",
+    "STATUS_LIFECYCLE",
+    "EventScript",
+    "FlightDataConfig",
+    "ScriptedEvent",
+    "generate_script",
+    "FlightState",
+    "OperationalStateStore",
+    "StateSnapshot",
+    "WeatherFront",
+    "apply_weather",
+]

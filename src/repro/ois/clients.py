@@ -1,0 +1,90 @@
+"""Client models: regular update consumers and recovering thin clients.
+
+The paper's client population splits into *regular* clients that
+continuously consume the state-update stream (airport displays, gate
+agent PCs) and *thin clients* that, after a failure such as an airport
+power loss, request a fresh initial-state view before they can
+interpret further events (§1, Case 1).
+
+Regular clients here are lightweight sinks recording end-to-end delivery
+delay; recovery requests are produced by :mod:`repro.workload.httperf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.events import UpdateEvent
+from ..sim import Tally
+
+__all__ = ["InitStateRequest", "InitStateResponse", "ClientPool"]
+
+
+@dataclass
+class InitStateRequest:
+    """A thin client's request for a new initial state view."""
+
+    client_id: str
+    issued_at: float
+    #: endpoint name the response should be accounted against
+    reply_to: str = ""
+
+
+@dataclass(frozen=True)
+class InitStateResponse:
+    """Snapshot handed back to a recovering client."""
+
+    client_id: str
+    issued_at: float
+    served_at: float
+    snapshot_size: int
+    served_by: str
+
+    @property
+    def latency(self) -> float:
+        return self.served_at - self.issued_at
+
+
+class ClientPool:
+    """Aggregated regular-client population.
+
+    Rather than simulating tens of thousands of individual client
+    processes (Delta's OIS has "10's of thousands"), the pool is the
+    measurement sink for the update stream: the distribution fan-out
+    cost is charged by the main unit per *client group*, and the pool
+    records per-event delivery statistics.
+    """
+
+    def __init__(self, name: str = "clients"):
+        self.name = name
+        self.updates_received = 0
+        self.bytes_received = 0
+        #: end-to-end delay, event entry -> delivery to the client side
+        self.delivery_delay = Tally(f"{name}.delivery_delay")
+        self.responses: List[InitStateResponse] = []
+
+    def on_update(self, event: UpdateEvent, now: float) -> None:
+        """Record delivery of one state update to the population."""
+        self.updates_received += 1
+        self.bytes_received += event.size
+        if event.entered_at <= now:
+            self.delivery_delay.observe(now - event.entered_at)
+
+    def on_init_response(self, response: InitStateResponse) -> None:
+        """Record a completed initial-state request."""
+        self.responses.append(response)
+
+    def request_latency(self) -> Tally:
+        """Tally of all recorded initial-state request latencies."""
+        t = Tally(f"{self.name}.request_latency")
+        for r in self.responses:
+            t.observe(r.latency)
+        return t
+
+    def served_by_counts(self) -> Dict[str, int]:
+        """How many requests each site served (load-balance evidence)."""
+        counts: Dict[str, int] = {}
+        for r in self.responses:
+            counts[r.served_by] = counts.get(r.served_by, 0) + 1
+        return counts

@@ -1,0 +1,248 @@
+"""Synthetic flight-data streams (FAA positions + Delta statuses).
+
+The paper's evaluation replays "a demo replay of original FAA streams
+[containing] flight position entries for different flights", plus
+Delta's internal flight-status stream.  We generate deterministic,
+seeded equivalents (DESIGN.md §2): the semantic rules only care about
+per-flight runs of position fixes and the status lifecycle, both of
+which are controlled here.
+
+A generated :class:`EventScript` is a timed list of events; experiments
+replay *the same script* under every configuration being compared, just
+as the paper processes "the same event sequence" across its curves.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.events import DELTA_STATUS, FAA_POSITION, UpdateEvent
+from ..sim import RandomStreams
+
+__all__ = ["ScriptedEvent", "EventScript", "FlightDataConfig", "generate_script"]
+
+#: Ordered Delta status lifecycle for one flight.
+STATUS_LIFECYCLE = (
+    "boarding started",
+    "doors closed",
+    "departed",
+    "flight landed",
+    "flight at runway",
+    "flight at gate",
+)
+
+
+@dataclass(frozen=True)
+class ScriptedEvent:
+    """One timed event in a replayable script."""
+
+    at: float
+    event: UpdateEvent
+
+
+class EventScript:
+    """A deterministic, replayable event sequence.
+
+    ``fresh_events`` materialises brand-new :class:`UpdateEvent`
+    instances on every call so that two runs of the same script never
+    share mutable payloads or event identities.
+    """
+
+    def __init__(self, entries: Sequence[ScriptedEvent]):
+        self._entries = sorted(entries, key=lambda se: (se.at, se.event.stream, se.event.seqno))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def duration(self) -> float:
+        return self._entries[-1].at if self._entries else 0.0
+
+    def streams(self) -> List[str]:
+        """Stream names appearing in the script, sorted."""
+        return sorted({se.event.stream for se in self._entries})
+
+    def fresh_events(self) -> Iterator[ScriptedEvent]:
+        """Yield brand-new event instances for one replay of the script."""
+        for se in self._entries:
+            ev = se.event
+            yield ScriptedEvent(
+                at=se.at,
+                event=UpdateEvent(
+                    kind=ev.kind,
+                    stream=ev.stream,
+                    seqno=ev.seqno,
+                    key=ev.key,
+                    payload=dict(ev.payload),
+                    size=ev.size,
+                ),
+            )
+
+    def counts_by_kind(self) -> dict:
+        """Event counts per kind (workload sanity checks)."""
+        counts: dict = {}
+        for se in self._entries:
+            counts[se.event.kind] = counts.get(se.event.kind, 0) + 1
+        return counts
+
+
+@dataclass(frozen=True)
+class FlightDataConfig:
+    """Workload knobs for :func:`generate_script`.
+
+    ``position_rate`` is the aggregate FAA arrival rate (events/second);
+    0 means "as fast as possible" (all events available at t=0, the
+    server is the bottleneck — the paper's total-execution-time setup).
+    ``event_size`` is the FAA position event wire size in bytes, the
+    x-axis of Figures 4 and 6.
+    """
+
+    n_flights: int = 20
+    positions_per_flight: int = 50
+    event_size: int = 1024
+    position_rate: float = 0.0
+    include_delta: bool = True
+    passengers_per_flight: int = 0
+    delta_event_size: int = 512
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_flights < 1:
+            raise ValueError("n_flights must be >= 1")
+        if self.positions_per_flight < 0:
+            raise ValueError("positions_per_flight must be >= 0")
+        if self.event_size < 0 or self.delta_event_size < 0:
+            raise ValueError("event sizes must be >= 0")
+        if self.position_rate < 0:
+            raise ValueError("position_rate must be >= 0")
+        if self.passengers_per_flight < 0:
+            raise ValueError("passengers_per_flight must be >= 0")
+
+    @property
+    def total_positions(self) -> int:
+        return self.n_flights * self.positions_per_flight
+
+
+def _flight_id(i: int) -> str:
+    return f"DL{i + 100}"
+
+
+def generate_script(config: FlightDataConfig) -> EventScript:
+    """Build the deterministic workload script for ``config``.
+
+    FAA position fixes are dealt to flights in shuffled round-robin
+    *runs* (a flight in motion produces consecutive fixes), matching the
+    run structure that makes the paper's overwrite rules effective.
+    Delta lifecycle events for each flight are interleaved across the
+    same time span.
+    """
+    rng = RandomStreams(config.seed)
+    entries: List[ScriptedEvent] = []
+
+    # --- FAA position stream -----------------------------------------
+    faa_seq = itertools.count(1)
+    faa_stream = rng.stream("faa.order")
+    remaining = {_flight_id(i): config.positions_per_flight for i in range(config.n_flights)}
+    order: List[str] = []
+    active = [f for f, n in remaining.items() if n > 0]
+    while active:
+        fid = active[int(faa_stream.integers(len(active)))]
+        # a run of consecutive fixes for this flight (1..5)
+        run = int(faa_stream.integers(1, 6))
+        take = min(run, remaining[fid])
+        order.extend([fid] * take)
+        remaining[fid] -= take
+        if remaining[fid] == 0:
+            active.remove(fid)
+
+    pos_stream = rng.stream("faa.pos")
+    t = 0.0
+    interarrival = 1.0 / config.position_rate if config.position_rate > 0 else 0.0
+    for i, fid in enumerate(order):
+        entries.append(
+            ScriptedEvent(
+                at=t,
+                event=UpdateEvent(
+                    kind=FAA_POSITION,
+                    stream="faa",
+                    seqno=next(faa_seq),
+                    key=fid,
+                    payload={
+                        "lat": float(pos_stream.uniform(24.0, 49.0)),
+                        "lon": float(pos_stream.uniform(-125.0, -67.0)),
+                        "alt": float(pos_stream.uniform(0.0, 41000.0)),
+                        "fix": i,
+                    },
+                    size=config.event_size,
+                ),
+            )
+        )
+        t += interarrival
+
+    # --- Delta status stream -------------------------------------------
+    if config.include_delta:
+        delta_seq = itertools.count(1)
+        span = max(t, 1e-9)
+        delta_stream = rng.stream("delta.times")
+        for i in range(config.n_flights):
+            fid = _flight_id(i)
+            milestones: List[Tuple[str, dict]] = []
+            if config.passengers_per_flight > 0:
+                milestones.append((
+                    "boarding started",
+                    {"status": "boarding started",
+                     "passengers_expected": config.passengers_per_flight},
+                ))
+                for _p in range(config.passengers_per_flight):
+                    milestones.append((
+                        "passenger boarded", {"passenger_boarded": True},
+                    ))
+                milestones.append(("doors closed", {"status": "doors closed"}))
+            for status in STATUS_LIFECYCLE:
+                if config.passengers_per_flight > 0 and status in (
+                    "boarding started", "doors closed",
+                ):
+                    continue  # already emitted above
+                milestones.append((status, {"status": status}))
+            # spread this flight's lifecycle over the script span
+            times = sorted(
+                float(delta_stream.uniform(0.0, span)) for _ in milestones
+            )
+            for when, (_name, payload) in zip(times, milestones):
+                entries.append(
+                    ScriptedEvent(
+                        at=when,
+                        event=UpdateEvent(
+                            kind=DELTA_STATUS,
+                            stream="delta",
+                            seqno=next(delta_seq),
+                            key=fid,
+                            payload=dict(payload),
+                            size=config.delta_event_size,
+                        ),
+                    )
+                )
+
+    # Re-sequence the delta stream in arrival-time order so seqnos are
+    # monotone within the stream (the paper assumes in-stream order).
+    entries.sort(key=lambda se: se.at)
+    delta_renumber = itertools.count(1)
+    fixed: List[ScriptedEvent] = []
+    for se in entries:
+        if se.event.stream == "delta":
+            ev = se.event
+            fixed.append(
+                ScriptedEvent(
+                    at=se.at,
+                    event=UpdateEvent(
+                        kind=ev.kind, stream=ev.stream,
+                        seqno=next(delta_renumber), key=ev.key,
+                        payload=dict(ev.payload), size=ev.size,
+                    ),
+                )
+            )
+        else:
+            fixed.append(se)
+    return EventScript(fixed)

@@ -1,0 +1,134 @@
+"""Operational state store: the replicated application state.
+
+Every site's main unit applies the same business logic to the same
+mirrored events, so operational state is "naturally replicated across
+all cluster machines participating in event mirroring" (§1).  The store
+tracks per-flight operational facts and can build the *initial state
+views* that recovering thin clients request — the expensive operation
+whose burstiness motivates the whole design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.events import DELTA_STATUS, FAA_POSITION, UpdateEvent
+
+__all__ = ["FlightState", "StateSnapshot", "OperationalStateStore"]
+
+#: Serialized footprint of one flight's operational record in a snapshot.
+PER_FLIGHT_SNAPSHOT_BYTES = 2048
+
+
+@dataclass
+class FlightState:
+    """Operational record for one flight."""
+
+    flight_id: str
+    position: Optional[Dict[str, Any]] = None
+    status: str = "scheduled"
+    passengers_expected: int = 0
+    passengers_boarded: int = 0
+    updates_applied: int = 0
+    arrived: bool = False
+
+    @property
+    def boarding_complete(self) -> bool:
+        return (
+            self.passengers_expected > 0
+            and self.passengers_boarded >= self.passengers_expected
+        )
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """An initial-state view served to a recovering thin client.
+
+    ``size`` is the wire size of the snapshot: proportional to the number
+    of flights it must describe, which is what makes initialization
+    requests heavyweight relative to streaming updates.
+    """
+
+    taken_at: float
+    flight_count: int
+    size: int
+    as_of: Dict[str, int]  # per-stream seqno high-water marks
+
+
+class OperationalStateStore:
+    """Mutable flight table updated by business logic.
+
+    ``apply`` is intentionally dumb — the EDE decides *what* an event
+    means; the store just records facts and exposes the derivable
+    predicates (boarding complete, arrived) the EDE's rules query.
+    """
+
+    def __init__(self):
+        self._flights: Dict[str, FlightState] = {}
+        self._stream_seen: Dict[str, int] = {}
+        self.events_applied = 0
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def flight(self, flight_id: str) -> FlightState:
+        """The record for ``flight_id``, created on first reference."""
+        st = self._flights.get(flight_id)
+        if st is None:
+            st = FlightState(flight_id=flight_id)
+            self._flights[flight_id] = st
+        return st
+
+    def flights(self) -> List[FlightState]:
+        """All flight records (insertion order)."""
+        return list(self._flights.values())
+
+    def stream_high_water(self, stream: str) -> int:
+        """Highest seqno applied from ``stream`` (0 if none)."""
+        return self._stream_seen.get(stream, 0)
+
+    def apply(self, event: UpdateEvent) -> FlightState:
+        """Record ``event``'s facts; returns the affected flight state."""
+        st = self.flight(event.key)
+        st.updates_applied += 1
+        self.events_applied += 1
+        self._stream_seen[event.stream] = max(
+            self._stream_seen.get(event.stream, 0), event.seqno
+        )
+        payload = event.payload
+        if event.kind == FAA_POSITION:
+            st.position = {
+                k: payload[k] for k in ("lat", "lon", "alt") if k in payload
+            } or dict(payload)
+        elif event.kind.startswith(DELTA_STATUS):
+            status = payload.get("status")
+            if status:
+                st.status = status
+            if "passengers_expected" in payload:
+                st.passengers_expected = int(payload["passengers_expected"])
+            if payload.get("passenger_boarded"):
+                st.passengers_boarded += 1
+            if status in ("flight arrived",) or payload.get("arrived"):
+                st.arrived = True
+        else:
+            # derived/complex events may mark arrival too
+            if payload.get("arrived") or event.kind.endswith("arrived"):
+                st.arrived = True
+            status = payload.get("status")
+            if status:
+                st.status = status
+        return st
+
+    def state_bytes(self) -> int:
+        """Approximate serialized size of the whole operational state."""
+        return len(self._flights) * PER_FLIGHT_SNAPSHOT_BYTES
+
+    def snapshot(self, now: float) -> StateSnapshot:
+        """Build an initial-state view (the client-initialisation payload)."""
+        return StateSnapshot(
+            taken_at=now,
+            flight_count=len(self._flights),
+            size=max(self.state_bytes(), PER_FLIGHT_SNAPSHOT_BYTES),
+            as_of=dict(self._stream_seen),
+        )

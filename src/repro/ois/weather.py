@@ -1,0 +1,133 @@
+"""Inclement-weather surges: the paper's §1 Case (2).
+
+"In inclement weather conditions, it would be appropriate to track
+planes at increased levels of precision, thus resulting in increased
+loads on servers caused by the additional tracking processing and in
+increased communication loads due to the distribution of tracking
+data."
+
+A :class:`WeatherFront` modifies a base flight-data script inside a
+time window: FAA position fixes arrive at a multiple of the base rate
+and carry higher-precision (larger) payloads.  The resulting script is
+what an adaptation-enabled server faces — the *event-side* overload
+case, complementing the request storms of Figure 9 (Case 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List
+
+from ..core.events import FAA_POSITION, UpdateEvent
+from ..sim import RandomStreams
+from .flightdata import EventScript, FlightDataConfig, ScriptedEvent, generate_script
+
+__all__ = ["WeatherFront", "apply_weather"]
+
+
+@dataclass(frozen=True)
+class WeatherFront:
+    """One weather window over the event stream.
+
+    During ``[start, start + duration)`` the FAA position rate is
+    multiplied by ``rate_multiplier`` (extra high-precision fixes are
+    interleaved) and every position fix in the window grows by
+    ``precision_size_multiplier`` (more radar detail per event).
+    """
+
+    start: float
+    duration: float
+    rate_multiplier: float = 3.0
+    precision_size_multiplier: float = 2.0
+
+    def __post_init__(self):
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("front needs start >= 0 and duration > 0")
+        if self.rate_multiplier < 1.0:
+            raise ValueError("rate_multiplier must be >= 1")
+        if self.precision_size_multiplier < 1.0:
+            raise ValueError("precision_size_multiplier must be >= 1")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def covers(self, t: float) -> bool:
+        """True when time ``t`` falls inside the front's window."""
+        return self.start <= t < self.end
+
+
+def apply_weather(
+    base_config: FlightDataConfig, front: WeatherFront
+) -> EventScript:
+    """Build the base script and overlay the weather front on it.
+
+    The base script must be *paced* (``position_rate > 0``) — a weather
+    front over an as-fast-as-possible replay has no meaning.  Extra
+    fixes inside the window are interleaved between base fixes for the
+    same flights; all in-window position events get the precision size.
+    FAA stream sequence numbers are re-issued so the combined stream
+    stays monotone.
+    """
+    if base_config.position_rate <= 0:
+        raise ValueError("weather fronts require a paced base script")
+    base = generate_script(base_config)
+
+    rng = RandomStreams(base_config.seed).stream("weather")
+    extra_per_base = front.rate_multiplier - 1.0
+    inflated_size = int(
+        round(base_config.event_size * front.precision_size_multiplier)
+    )
+
+    entries: List[ScriptedEvent] = []
+    carry = 0.0
+    for se in base.fresh_events():
+        ev = se.event
+        if ev.kind != FAA_POSITION or not front.covers(se.at):
+            entries.append(se)
+            continue
+        boosted = UpdateEvent(
+            kind=ev.kind, stream=ev.stream, seqno=ev.seqno, key=ev.key,
+            payload=dict(ev.payload, weather=True),
+            size=inflated_size,
+        )
+        entries.append(ScriptedEvent(at=se.at, event=boosted))
+        # interleave extra high-precision fixes for the same flight
+        carry += extra_per_base
+        n_extra = int(carry)
+        carry -= n_extra
+        base_gap = 1.0 / base_config.position_rate
+        for j in range(n_extra):
+            jitter = float(rng.uniform(0.05, 0.95))
+            entries.append(
+                ScriptedEvent(
+                    at=se.at + base_gap * (j + jitter) / (n_extra + 1),
+                    event=UpdateEvent(
+                        kind=FAA_POSITION, stream="faa", seqno=0,  # reseq below
+                        key=ev.key,
+                        payload=dict(ev.payload, weather=True, extra_fix=j),
+                        size=inflated_size,
+                    ),
+                )
+            )
+
+    # re-issue FAA sequence numbers in arrival order (stream monotonicity)
+    entries.sort(key=lambda s: (s.at, s.event.stream))
+    seq = itertools.count(1)
+    fixed: List[ScriptedEvent] = []
+    for se in entries:
+        ev = se.event
+        if ev.stream == "faa":
+            fixed.append(
+                ScriptedEvent(
+                    at=se.at,
+                    event=UpdateEvent(
+                        kind=ev.kind, stream=ev.stream, seqno=next(seq),
+                        key=ev.key, payload=dict(ev.payload), size=ev.size,
+                    ),
+                )
+            )
+        else:
+            fixed.append(se)
+    return EventScript(fixed)

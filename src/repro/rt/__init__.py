@@ -1,0 +1,23 @@
+"""Live asyncio runtime: a second backend for the same mirroring core.
+
+The simulation backend (:mod:`repro.core.system`) produces the paper's
+figures with a calibrated cost model; this backend runs the identical
+protocol logic — rule engines, checkpoint state machines, adaptation —
+as real asyncio tasks, demonstrating the system live (DESIGN.md §2:
+"asyncio prototype easy; throughput numbers less faithful").
+"""
+
+from .channels import AsyncChannel, AsyncSubscription
+from .sites import AsyncCentralSite, AsyncMainUnit, AsyncMirrorSite, EOS
+from .system import AsyncMirroredServer, AsyncRunSummary
+
+__all__ = [
+    "AsyncChannel",
+    "AsyncSubscription",
+    "AsyncCentralSite",
+    "AsyncMainUnit",
+    "AsyncMirrorSite",
+    "EOS",
+    "AsyncMirroredServer",
+    "AsyncRunSummary",
+]

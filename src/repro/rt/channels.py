@@ -1,0 +1,81 @@
+"""Asyncio event channels for the live runtime.
+
+The live runtime (see :mod:`repro.rt`) re-uses every piece of pure
+protocol logic from :mod:`repro.core` — rule engines, checkpoint state
+machines, the adaptation controller, the EDE — but executes them as
+asyncio tasks communicating over these channels instead of simulated
+processes.  Per the reproduction bands in DESIGN.md, this backend is
+the *runnable prototype*: its timing reflects the host Python runtime,
+not the paper's calibrated cost model, so figures come from the
+simulation backend while this one demonstrates the system live.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["AsyncSubscription", "AsyncChannel"]
+
+
+class AsyncSubscription:
+    """One subscriber: a bounded queue (bound = backpressure depth)."""
+
+    def __init__(self, name: str, capacity: int = 128,
+                 accepts: Optional[Callable[[Any], bool]] = None):
+        self.name = name
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=capacity)
+        self.accepts = accepts
+        self.delivered = 0
+
+    async def get(self) -> Any:
+        """Await the next delivered payload."""
+        item = await self.queue.get()
+        return item
+
+    def level(self) -> int:
+        """Items currently queued for this subscriber."""
+        return self.queue.qsize()
+
+
+class AsyncChannel:
+    """Named fan-out channel: publish awaits space at every subscriber.
+
+    A slow subscriber therefore exerts backpressure on publishers, the
+    same coupling the simulated transport models with bounded inboxes.
+    """
+
+    def __init__(self, name: str, kind: str = "data"):
+        if kind not in ("data", "control"):
+            raise ValueError(f"channel kind must be 'data' or 'control', got {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.subscriptions: List[AsyncSubscription] = []
+        self.published = 0
+
+    def subscribe(
+        self,
+        name: str,
+        capacity: int = 128,
+        accepts: Optional[Callable[[Any], bool]] = None,
+    ) -> AsyncSubscription:
+        """Add a subscriber with its own bounded queue."""
+        sub = AsyncSubscription(name, capacity=capacity, accepts=accepts)
+        self.subscriptions.append(sub)
+        return sub
+
+    def unsubscribe(self, name: str) -> None:
+        """Remove all subscriptions registered under ``name``."""
+        self.subscriptions = [s for s in self.subscriptions if s.name != name]
+
+    async def publish(self, payload: Any) -> int:
+        """Deliver ``payload`` to every subscriber; returns deliveries."""
+        self.published += 1
+        count = 0
+        for sub in self.subscriptions:
+            if sub.accepts is not None and not sub.accepts(payload):
+                continue
+            await sub.queue.put(payload)
+            sub.delivered += 1
+            count += 1
+        return count

@@ -1,0 +1,289 @@
+"""Live (asyncio) central and mirror sites.
+
+Each site runs the same unit split as the simulation backend — an
+auxiliary unit (receiving/sending/control tasks) and a main unit (EDE +
+request service) — as asyncio tasks.  All protocol logic is the *same
+objects* the simulation uses: :class:`~repro.core.rules.RuleEngine`,
+:class:`~repro.core.checkpoint.CheckpointCoordinator` /
+:class:`MainUnitCheckpointer`, :class:`~repro.core.queues.BackupQueue`
+and :class:`~repro.core.adaptation.AdaptationController`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional
+
+from ..core.adaptation import (
+    MONITOR_BACKUP_QUEUE,
+    MONITOR_PENDING_REQUESTS,
+    MONITOR_READY_QUEUE,
+    AdaptationController,
+)
+from ..core.checkpoint import (
+    CheckpointCoordinator,
+    ChkptMsg,
+    ChkptRepMsg,
+    CommitMsg,
+    MainUnitCheckpointer,
+)
+from ..core.config import MirrorConfig
+from ..core.events import UpdateEvent, VectorTimestamp
+from ..ois.clients import InitStateRequest, InitStateResponse
+from ..ois.ede import EventDerivationEngine
+from ..core.queues import BackupQueue
+from .channels import AsyncChannel, AsyncSubscription
+
+__all__ = ["EOS", "AsyncMainUnit", "AsyncCentralSite", "AsyncMirrorSite"]
+
+EOS = "__end_of_stream__"
+
+
+class AsyncMainUnit:
+    """EDE host + request service for one live site."""
+
+    def __init__(self, site: str, clock=time.monotonic,
+                 request_service_delay: float = 0.0, engine_factory=None):
+        self.site = site
+        self.clock = clock
+        #: wall-clock seconds each initial-state request takes to serve
+        #: (stands in for the snapshot-build CPU cost the simulation
+        #: backend models explicitly)
+        self.request_service_delay = request_service_delay
+        #: business logic: anything with process(event) -> outputs and
+        #: state_digest(); defaults to the airline EDE.  Engines exposing
+        #: .state.snapshot() serve real snapshots; others get a stub.
+        self.ede = engine_factory() if engine_factory is not None else EventDerivationEngine()
+        self.checkpointer = MainUnitCheckpointer(site)
+        self.inbox: asyncio.Queue = asyncio.Queue()
+        self.requests: asyncio.Queue = asyncio.Queue()
+        self.updates: List[UpdateEvent] = []
+        self.responses: List[InitStateResponse] = []
+        self.update_delays: List[float] = []
+        self._pending_requests = 0
+        self.distribute_updates = False
+
+    def pending_requests(self) -> int:
+        """Outstanding request count (queued + in service)."""
+        return self.requests.qsize() + self._pending_requests
+
+    async def event_loop(self) -> None:
+        """Drain the inbox through the business logic until EOS."""
+        while True:
+            event = await self.inbox.get()
+            if event == EOS:
+                break
+            outputs = self.ede.process(event)
+            self.checkpointer.note_processed(event.stream, event.seqno)
+            if self.distribute_updates:
+                for out in outputs:
+                    self.updates.append(out)
+                    self.update_delays.append(self.clock() - out.entered_at)
+            await asyncio.sleep(0)  # cooperative yield
+
+    async def request_loop(self) -> None:
+        """Serve initial-state requests until EOS."""
+        while True:
+            request = await self.requests.get()
+            if request == EOS:
+                break
+            self._pending_requests += 1
+            if self.request_service_delay > 0:
+                await asyncio.sleep(self.request_service_delay)
+            state = getattr(self.ede, "state", None)
+            if state is not None:
+                snapshot = state.snapshot(self.clock())
+                snapshot_size = snapshot.size
+            else:
+                snapshot_size = 2048  # engines without a state store
+            self._pending_requests -= 1
+            self.responses.append(
+                InitStateResponse(
+                    client_id=request.client_id,
+                    issued_at=request.issued_at,
+                    served_at=self.clock(),
+                    snapshot_size=snapshot_size,
+                    served_by=self.site,
+                )
+            )
+            await asyncio.sleep(0)
+
+
+class AsyncCentralSite:
+    """Live central site: auxiliary unit + main unit + coordinator."""
+
+    def __init__(
+        self,
+        config: MirrorConfig,
+        mirror_channel: AsyncChannel,
+        ctrl_channel: AsyncChannel,
+        participants: set,
+        adaptation: Optional[AdaptationController] = None,
+        clock=time.monotonic,
+    ):
+        self.config = config
+        self.clock = clock
+        self.mirror_channel = mirror_channel
+        self.ctrl_channel = ctrl_channel
+        self.adaptation = adaptation
+        self.main = AsyncMainUnit("central", clock=clock)
+        self.main.distribute_updates = True
+        self.data_in: asyncio.Queue = asyncio.Queue(maxsize=256)
+        self.ctrl_in: asyncio.Queue = asyncio.Queue()
+        self.ready: asyncio.Queue = asyncio.Queue(maxsize=64)
+        self.backup = BackupQueue()
+        self.engine = config.build_engine()
+        self.coordinator = CheckpointCoordinator(participants)
+        self.clock_vt = VectorTimestamp()
+        self.processed_events = 0
+        self.mirrored_events = 0
+        self.adaptation_log: List[tuple] = []
+        self.stream_done = asyncio.Event()
+
+    def apply_config(self, config: MirrorConfig) -> None:
+        """Hot-swap the mirroring configuration (status table survives)."""
+        self.config = config
+        self.engine = config.build_engine(table=self.engine.table)
+
+    def monitor_readings(self) -> Dict[str, float]:
+        """Central-site monitored variables."""
+        return {
+            MONITOR_READY_QUEUE: float(self.ready.qsize()),
+            MONITOR_BACKUP_QUEUE: float(len(self.backup)),
+            MONITOR_PENDING_REQUESTS: float(self.main.pending_requests()),
+        }
+
+    async def receiving_task(self) -> None:
+        """Stamp incoming events and feed the ready queue."""
+        while True:
+            event = await self.data_in.get()
+            if event == EOS:
+                await self.ready.put(EOS)
+                break
+            self.clock_vt = self.clock_vt.advanced(event.stream, event.seqno)
+            await self.ready.put(event.stamped(self.clock_vt, self.clock()))
+
+    async def sending_task(self) -> None:
+        """fwd() everything; mirror() what the rules pass; checkpoint."""
+        while True:
+            item = await self.ready.get()
+            if item == EOS:
+                for out in self.engine.flush("receive"):
+                    await self._mirror(self.engine.on_send(out))
+                for out in self.engine.flush("send"):
+                    await self._mirror([out])
+                await self._initiate_checkpoint()
+                await self.main.inbox.put(EOS)
+                self.stream_done.set()
+                break
+            await self.main.inbox.put(item)  # fwd(): EDE sees everything
+            outs: List[UpdateEvent] = []
+            for passed in self.engine.on_receive(item):
+                outs.extend(self.engine.on_send(passed))
+            await self._mirror(outs)
+            self.processed_events += 1
+            if self.processed_events % self.config.checkpoint_freq == 0:
+                await self._initiate_checkpoint()
+
+    async def _mirror(self, outs: List[UpdateEvent]) -> None:
+        for out in outs:
+            await self.mirror_channel.publish(out)
+            self.backup.append(out)
+            self.mirrored_events += 1
+
+    async def _initiate_checkpoint(self) -> None:
+        msg = self.coordinator.initiate(self.backup.last_vt())
+        if msg is None:
+            return
+        reply = self.main.checkpointer.on_chkpt(msg, self.monitor_readings())
+        commit = self.coordinator.on_reply(reply)
+        if commit is not None:
+            await self._broadcast_commit(commit)
+            return
+        await self.ctrl_channel.publish(msg)
+
+    async def control_task(self) -> None:
+        """Collect checkpoint votes; broadcast commits."""
+        while True:
+            msg = await self.ctrl_in.get()
+            if msg == EOS:
+                break
+            if isinstance(msg, ChkptRepMsg):
+                commit = self.coordinator.on_reply(msg)
+                if commit is not None:
+                    await self._broadcast_commit(commit)
+
+    async def _broadcast_commit(self, commit: CommitMsg) -> None:
+        if self.adaptation is not None:
+            monitored = dict(self.coordinator.monitored_view())
+            for index, value in self.monitor_readings().items():
+                monitored[index] = max(monitored.get(index, 0.0), value)
+            command = self.adaptation.evaluate(monitored)
+            if command is not None:
+                commit = CommitMsg(commit.round_id, commit.vt, adapt=command)
+                self.apply_config(command.config)
+                self.adaptation_log.append(
+                    (self.clock(), command.action, command.config.function_name)
+                )
+        self.backup.trim(self.main.checkpointer.on_commit(commit))
+        await self.ctrl_channel.publish(commit)
+
+
+class AsyncMirrorSite:
+    """Live mirror site: receive mirrored events, serve requests,
+    answer checkpoint control traffic."""
+
+    def __init__(
+        self,
+        site: str,
+        data_in: AsyncSubscription,
+        ctrl_in: AsyncSubscription,
+        reply_to: asyncio.Queue,
+        clock=time.monotonic,
+    ):
+        self.site = site
+        self.clock = clock
+        self.data_in = data_in
+        self.ctrl_in = ctrl_in
+        self.reply_to = reply_to
+        self.main = AsyncMainUnit(site, clock=clock)
+        self.backup = BackupQueue()
+        self.applied_config: Optional[MirrorConfig] = None
+        self._applied_adapt_seq = 0
+        self.stopped = asyncio.Event()
+
+    def monitor_readings(self) -> Dict[str, float]:
+        """Mirror-site monitored variables (piggybacked on votes)."""
+        return {
+            MONITOR_READY_QUEUE: float(self.data_in.level()),
+            MONITOR_BACKUP_QUEUE: float(len(self.backup)),
+            MONITOR_PENDING_REQUESTS: float(self.main.pending_requests()),
+        }
+
+    async def receiving_task(self) -> None:
+        """Back up and forward mirrored events to the local main unit."""
+        while True:
+            event = await self.data_in.get()
+            if event == EOS:
+                await self.main.inbox.put(EOS)
+                break
+            self.backup.append(event)
+            await self.main.inbox.put(event)
+
+    async def control_task(self) -> None:
+        """Answer CHKPT proposals; apply COMMITs and adaptations."""
+        while True:
+            msg = await self.ctrl_in.get()
+            if msg == EOS:
+                break
+            if isinstance(msg, ChkptMsg):
+                reply = self.main.checkpointer.on_chkpt(
+                    msg, self.monitor_readings()
+                )
+                await self.reply_to.put(reply)
+            elif isinstance(msg, CommitMsg):
+                if msg.adapt is not None and msg.adapt.seq > self._applied_adapt_seq:
+                    self._applied_adapt_seq = msg.adapt.seq
+                    self.applied_config = msg.adapt.config
+                self.backup.trim(self.main.checkpointer.on_commit(msg))

@@ -1,0 +1,227 @@
+"""Live mirrored server: wires asyncio sites into the Figure-2 shape.
+
+``AsyncMirroredServer.run`` feeds an event script and a request
+schedule through real asyncio tasks and returns a summary.  Timing
+reflects the host interpreter (DESIGN.md: the asyncio backend is the
+runnable prototype; the calibrated figures come from ``repro.sim``),
+but every protocol property — rule filtering, checkpoint consistency,
+adaptation decisions, replica convergence — is the real thing and is
+asserted by ``tests/rt``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.adaptation import AdaptationController
+from ..core.config import MirrorConfig
+from ..core.functions import default_registry, simple_mirroring
+from ..ois.clients import InitStateRequest
+from ..ois.flightdata import EventScript
+from ..workload import RoundRobinBalancer
+from .channels import AsyncChannel
+from .sites import EOS, AsyncCentralSite, AsyncMirrorSite
+
+__all__ = ["AsyncRunSummary", "AsyncMirroredServer"]
+
+
+@dataclass
+class AsyncRunSummary:
+    """What a live run produced (counters + consistency evidence)."""
+
+    events_in: int = 0
+    events_mirrored: int = 0
+    events_processed_central: int = 0
+    updates_distributed: int = 0
+    requests_served: int = 0
+    checkpoint_rounds: int = 0
+    checkpoint_commits: int = 0
+    adaptations: int = 0
+    reversions: int = 0
+    adaptation_log: List[tuple] = field(default_factory=list)
+    replica_digests: List[tuple] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    mean_update_delay: float = 0.0
+
+    @property
+    def replicas_consistent(self) -> bool:
+        return len(set(self.replica_digests)) <= 1
+
+
+class AsyncMirroredServer:
+    """Build and run one live scenario.
+
+    Parameters
+    ----------
+    n_mirrors:
+        Secondary mirror sites.
+    mirror_config:
+        Mirroring function/parameters (same objects as the simulation).
+    adaptation:
+        Enable the adaptation controller (config must carry monitors
+        and directives).
+    time_factor:
+        Multiplier applied to script/request timestamps when replaying
+        in wall-clock time; 0 replays as fast as possible.
+    """
+
+    def __init__(
+        self,
+        n_mirrors: int = 1,
+        mirror_config: Optional[MirrorConfig] = None,
+        adaptation: bool = False,
+        time_factor: float = 0.0,
+        request_service_delay: float = 0.0,
+        engine_factory=None,
+    ):
+        if n_mirrors < 0:
+            raise ValueError("n_mirrors must be >= 0")
+        if time_factor < 0:
+            raise ValueError("time_factor must be >= 0")
+        if request_service_delay < 0:
+            raise ValueError("request_service_delay must be >= 0")
+        self.n_mirrors = n_mirrors
+        self.config = mirror_config if mirror_config is not None else simple_mirroring()
+        self.time_factor = time_factor
+        self.request_service_delay = request_service_delay
+        self.engine_factory = engine_factory
+        self.adaptation_enabled = adaptation
+        self.central: Optional[AsyncCentralSite] = None
+        self.mirrors: List[AsyncMirrorSite] = []
+
+    def _build(self) -> None:
+        mirror_channel = AsyncChannel("mirror.data")
+        ctrl_channel = AsyncChannel("mirror.ctrl", kind="control")
+        participants = {"central"} | {f"mirror{i+1}" for i in range(self.n_mirrors)}
+        adaptation = (
+            AdaptationController(self.config, registry=default_registry())
+            if self.adaptation_enabled
+            else None
+        )
+        self.central = AsyncCentralSite(
+            self.config, mirror_channel, ctrl_channel, participants,
+            adaptation=adaptation,
+        )
+        if self.engine_factory is not None:
+            self.central.main.ede = self.engine_factory()
+        self.central.main.request_service_delay = self.request_service_delay
+        self.mirrors = []
+        for i in range(self.n_mirrors):
+            site = f"mirror{i+1}"
+            data_sub = mirror_channel.subscribe(site)
+            ctrl_sub = ctrl_channel.subscribe(site)
+            mirror = AsyncMirrorSite(site, data_sub, ctrl_sub, self.central.ctrl_in)
+            if self.engine_factory is not None:
+                mirror.main.ede = self.engine_factory()
+            mirror.main.request_service_delay = self.request_service_delay
+            self.mirrors.append(mirror)
+
+    async def _source(self, script: EventScript) -> None:
+        start = time.monotonic()
+        for se in script.fresh_events():
+            if self.time_factor > 0:
+                target = start + se.at * self.time_factor
+                delay = target - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            await self.central.data_in.put(se.event)
+            await asyncio.sleep(0)
+        await self.central.data_in.put(EOS)
+
+    async def _requests(
+        self, request_times: Sequence[float], balancer: RoundRobinBalancer
+    ) -> None:
+        start = time.monotonic()
+        sites = {"central": self.central.main}
+        for mirror in self.mirrors:
+            sites[mirror.site] = mirror.main
+        for i, at in enumerate(sorted(request_times)):
+            if self.time_factor > 0:
+                target = start + at * self.time_factor
+                delay = target - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            target_site = balancer.pick()
+            await sites[target_site].requests.put(
+                InitStateRequest(client_id=f"thin{i}", issued_at=time.monotonic())
+            )
+            await asyncio.sleep(0)
+
+    async def run(
+        self,
+        script: EventScript,
+        request_times: Sequence[float] = (),
+    ) -> AsyncRunSummary:
+        """Replay ``script`` (and requests) through the live server."""
+        self._build()
+        central = self.central
+        t0 = time.monotonic()
+
+        tasks = [
+            asyncio.create_task(central.receiving_task()),
+            asyncio.create_task(central.sending_task()),
+            asyncio.create_task(central.control_task()),
+            asyncio.create_task(central.main.event_loop()),
+            asyncio.create_task(central.main.request_loop()),
+        ]
+        for mirror in self.mirrors:
+            tasks.append(asyncio.create_task(mirror.receiving_task()))
+            tasks.append(asyncio.create_task(mirror.control_task()))
+            tasks.append(asyncio.create_task(mirror.main.event_loop()))
+            tasks.append(asyncio.create_task(mirror.main.request_loop()))
+
+        drivers = [asyncio.create_task(self._source(script))]
+        if request_times:
+            targets = (
+                [m.site for m in self.mirrors] if self.mirrors else ["central"]
+            )
+            drivers.append(
+                asyncio.create_task(
+                    self._requests(request_times, RoundRobinBalancer(targets))
+                )
+            )
+
+        await asyncio.gather(*drivers)
+        await central.stream_done.wait()
+        # propagate shutdown: mirrors drain their data queues, then stop
+        await central.mirror_channel.publish(EOS)
+        await central.ctrl_channel.publish(EOS)
+        # let queues drain
+        while any(
+            m.main.inbox.qsize() or m.data_in.level() for m in self.mirrors
+        ) or central.main.inbox.qsize():
+            await asyncio.sleep(0.001)
+        for site_main in [central.main] + [m.main for m in self.mirrors]:
+            await site_main.requests.put(EOS)
+        await central.ctrl_in.put(EOS)
+        await asyncio.gather(*tasks)
+
+        summary = AsyncRunSummary(
+            events_in=len(script),
+            events_mirrored=central.mirrored_events,
+            events_processed_central=central.main.ede.processed,
+            updates_distributed=len(central.main.updates),
+            requests_served=len(central.main.responses)
+            + sum(len(m.main.responses) for m in self.mirrors),
+            checkpoint_rounds=central.coordinator.rounds_started,
+            checkpoint_commits=central.coordinator.rounds_committed,
+            adaptations=(
+                central.adaptation.adaptations if central.adaptation else 0
+            ),
+            reversions=(
+                central.adaptation.reversions if central.adaptation else 0
+            ),
+            adaptation_log=list(central.adaptation_log),
+            replica_digests=[central.main.ede.state_digest()]
+            + [m.main.ede.state_digest() for m in self.mirrors],
+            wall_seconds=time.monotonic() - t0,
+            mean_update_delay=(
+                sum(central.main.update_delays) / len(central.main.update_delays)
+                if central.main.update_delays
+                else 0.0
+            ),
+        )
+        return summary

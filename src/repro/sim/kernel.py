@@ -1,0 +1,407 @@
+"""Discrete-event simulation kernel.
+
+This module is the execution substrate for the whole reproduction: the
+paper's evaluation ran on an 8-node Solaris cluster; we substitute a
+deterministic discrete-event simulator so that every figure can be
+regenerated bit-for-bit from a seed (see DESIGN.md section 2).
+
+The design follows the classic process-interaction style (as popularised
+by SimPy): simulation *processes* are Python generators that ``yield``
+:class:`Event` objects; the kernel resumes a process when the event it is
+waiting on fires.  The kernel itself is a single ordered heap of
+``(time, priority, sequence)`` entries, so two events scheduled for the
+same instant always fire in schedule order — this is what makes runs
+deterministic.
+
+Example
+-------
+>>> env = Environment()
+>>> def proc(env, log):
+...     yield env.timeout(5)
+...     log.append(env.now)
+>>> log = []
+>>> _ = env.process(proc(env, log))
+>>> env.run()
+>>> log
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for kernel-internal wakeups that must run before
+#: ordinary events at the same timestamp (e.g. process initialisation).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+# Sentinel distinguishing "event not yet fired" from "fired with value None".
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double-trigger, run without processes...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt()``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    *triggers* it, scheduling its callbacks to run at the current
+    simulation time.  Events may only be triggered once.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value (it may not yet
+        have been processed by the kernel)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """False when the event failed (callbacks receive an exception)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("value of event is not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule_event(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have ``exception`` thrown at their yield
+        point.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule_event(self, NORMAL)
+        return self
+
+    # -- composition ---------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        env._schedule_event(self, NORMAL, delay=delay)
+
+
+class _Initialize(Event):
+    """Kernel-internal: starts a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule_event(self, URGENT)
+
+
+class Process(Event):
+    """Wraps a generator as a simulation process.
+
+    The process object is itself an :class:`Event` that fires with the
+    generator's return value when it finishes (or fails with the
+    exception that escaped it), so processes can wait on one another::
+
+        result = yield env.process(child(env))
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        Interrupting a dead process is an error; interrupting a process
+        at the moment it is waiting on another event simply revokes that
+        wait (the event's callback is unregistered).
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a dead process")
+        if self._target is self:
+            raise SimulationError("a process cannot interrupt itself")
+        # Deliver via a little helper event so the interrupt obeys the
+        # same scheduling discipline as every other wakeup.
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._defused = True  # never treat as an unhandled failure
+        wakeup.callbacks.append(self._resume)
+        self.env._schedule_event(wakeup, URGENT)
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+
+    # -- kernel interface ------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self._target = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process {self._generator!r} yielded a non-event: {next_event!r}"
+            )
+        if next_event.callbacks is None:
+            # Already processed: resume immediately at current time.
+            immediate = Event(self.env)
+            immediate._ok = next_event._ok
+            immediate._value = next_event._value
+            if not next_event._ok:
+                next_event._defused = True
+                immediate._defused = True
+            immediate.callbacks.append(self._resume)
+            self.env._schedule_event(immediate, URGENT)
+            self._target = next_event
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        for ev in self._events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        if not self._events and not self.triggered:
+            self.succeed({})
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only *processed* events count: a Timeout carries its value from
+        # construction, so `triggered` alone would claim future events.
+        return {ev: ev._value for ev in self._events if ev.processed}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* component events have fired."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        if all(ev.processed for ev in self._events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as *any* component event fires."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation environment: clock + event heap + factories."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event (trigger it with ``.succeed()``)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register ``generator`` as a new process, started immediately."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event firing when every given event has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event firing when any one of the given events fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule_event(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the heap."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", False):
+            # A failure nobody waited on must not pass silently.
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the heap drains, time ``until`` passes, or event fires.
+
+        When ``until`` is an :class:`Event`, returns its value.
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event._value
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(f"until={stop_time} is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return stop_event._value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event._value
+            raise SimulationError(
+                "run() finished with its until-event still pending: "
+                "the simulation deadlocked or the event is never triggered"
+            )
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,209 @@
+"""Measurement probes: counters, tallies, time-weighted gauges, series.
+
+These are the instruments behind every number in EXPERIMENTS.md.  They
+are deliberately dependency-light (plain floats + numpy only at summary
+time) so attaching probes does not distort the simulated timings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Counter", "Tally", "TimeWeightedGauge", "TimeSeries", "SummaryStats"]
+
+
+@dataclass
+class SummaryStats:
+    """Summary of a set of observations."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def of(cls, values: List[float]) -> "SummaryStats":
+        if not values:
+            return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan)
+        arr = np.asarray(values, dtype=float)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std()),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+        )
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def increment(self, by: int = 1) -> None:
+        """Add ``by`` (>= 0) to the count."""
+        if by < 0:
+            raise ValueError("Counter can only increase; use a Gauge for levels")
+        self.value += by
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Tally:
+    """Accumulates independent observations (e.g. per-event delays)."""
+
+    def __init__(self, name: str = "", keep_samples: bool = True):
+        self.name = name
+        self.keep_samples = keep_samples
+        self.samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        v = float(value)
+        self._count += 1
+        self._sum += v
+        self._sumsq += v * v
+        self._min = min(self._min, v)
+        self._max = max(self._max, v)
+        if self.keep_samples:
+            self.samples.append(v)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else math.nan
+
+    @property
+    def std(self) -> float:
+        if not self._count:
+            return math.nan
+        var = self._sumsq / self._count - self.mean**2
+        return math.sqrt(max(var, 0.0))
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._count else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._count else math.nan
+
+    def summary(self) -> SummaryStats:
+        """Full summary; percentiles require ``keep_samples=True``."""
+        if self.keep_samples:
+            return SummaryStats.of(self.samples)
+        return SummaryStats(
+            self._count, self.mean, self.std, self.minimum, self.maximum,
+            math.nan, math.nan, math.nan,
+        )
+
+
+class TimeWeightedGauge:
+    """A level that varies over time (queue length, pending requests).
+
+    The time-average is the integral of the level divided by elapsed
+    time — the right statistic for "how long were the queues" questions
+    the adaptation mechanism asks.
+    """
+
+    def __init__(self, name: str = "", initial: float = 0.0, at: float = 0.0):
+        self.name = name
+        self._level = float(initial)
+        self._last_change = float(at)
+        self._integral = 0.0
+        self.peak = float(initial)
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def set(self, level: float, now: float) -> None:
+        """Record the level changing to ``level`` at time ``now``."""
+        if now < self._last_change:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_change}"
+            )
+        self._integral += self._level * (now - self._last_change)
+        self._last_change = now
+        self._level = float(level)
+        self.peak = max(self.peak, self._level)
+
+    def adjust(self, delta: float, now: float) -> None:
+        """Change the level by ``delta`` at time ``now``."""
+        self.set(self._level + delta, now)
+
+    def time_average(self, now: float) -> float:
+        """Time-weighted mean level over [0, now]."""
+        if now <= 0:
+            return self._level
+        total = self._integral + self._level * (now - self._last_change)
+        return total / now
+
+
+class TimeSeries:
+    """Timestamped samples, e.g. update delay vs. time for Figure 9."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        """Append one sample; times must be non-decreasing."""
+        if self.times and t < self.times[-1]:
+            raise ValueError("samples must be recorded in time order")
+        self.times.append(float(t))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def bucketed(
+        self, width: float, until: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Average the series into fixed-width buckets.
+
+        Returns ``(bucket_end_times, bucket_means)``; empty buckets get
+        NaN.  This is how the per-second points in Figure 9 are produced.
+        """
+        if width <= 0:
+            raise ValueError("bucket width must be positive")
+        if not self.times:
+            return np.array([]), np.array([])
+        horizon = until if until is not None else self.times[-1]
+        n = max(1, int(math.ceil(horizon / width)))
+        edges = np.arange(1, n + 1) * width
+        sums = np.zeros(n)
+        counts = np.zeros(n)
+        for t, v in zip(self.times, self.values):
+            idx = min(int(t // width), n - 1)
+            sums[idx] += v
+            counts[idx] += 1
+        with np.errstate(invalid="ignore"):
+            means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        return edges, means

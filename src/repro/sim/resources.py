@@ -1,0 +1,244 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Two primitives carry the whole cost model of the reproduction:
+
+* :class:`Resource` — a counted server pool with a FIFO wait queue.  Each
+  cluster node's CPU is a ``Resource(capacity=n_processors)`` (the paper's
+  testbed nodes were dual-processor Pentium IIIs, so capacity 2); every
+  action that costs CPU time acquires it for its service demand.
+* :class:`Store` — an unbounded-or-bounded FIFO buffer of Python objects
+  with blocking ``get``/``put``.  The mirroring framework's *ready queue*
+  and channel inboxes are Stores.
+
+Both follow the kernel's event protocol, so processes simply::
+
+    with node.cpu.request() as req:
+        yield req
+        yield env.timeout(cost)
+
+or use the :meth:`Resource.acquire` convenience generator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+from .kernel import Environment, Event, SimulationError
+
+__all__ = ["Request", "Release", "Resource", "StorePut", "StoreGet", "Store"]
+
+
+class Request(Event):
+    """Pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        self.resource._cancel(self)
+
+
+class Release(Event):
+    """Event returned by :meth:`Resource.release`; fires immediately."""
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        resource._do_release(request)
+        self.succeed()
+
+
+class Resource:
+    """Counted resource with FIFO granting.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Number of simultaneous holders (>= 1).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+        # Monitoring hooks: total busy integral for utilisation metrics.
+        self._busy_since: dict[Request, float] = {}
+        self.busy_time = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Give back a previously granted slot."""
+        return Release(self, request)
+
+    def acquire(self, hold: float) -> Generator:
+        """Convenience process fragment: request, hold ``hold``, release.
+
+        Usage: ``yield from resource.acquire(cost)``.
+        """
+        with self.request() as req:
+            yield req
+            if hold:
+                yield self.env.timeout(hold)
+
+    # -- internals -------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self._grant(request)
+        else:
+            self.queue.append(request)
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        self._busy_since[request] = self.env.now
+        request.succeed()
+
+    def _do_release(self, request: Request) -> None:
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Releasing an unqueued/ungranted request is a no-op (it may
+            # have been cancelled); releasing twice likewise.
+            self._cancel(request)
+            return
+        started = self._busy_since.pop(request)
+        self.busy_time += self.env.now - started
+        while self.queue and len(self.users) < self.capacity:
+            self._grant(self.queue.popleft())
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of capacity-time spent busy since t=0.
+
+        Includes currently held slots up to ``env.now``.
+        """
+        elapsed = self.env.now if elapsed is None else elapsed
+        if elapsed <= 0:
+            return 0.0
+        in_flight = sum(self.env.now - s for s in self._busy_since.values())
+        return (self.busy_time + in_flight) / (elapsed * self.capacity)
+
+
+class StorePut(Event):
+    """Pending put into a :class:`Store` (blocks when at capacity)."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    """Pending get from a :class:`Store` (blocks when empty)."""
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._dispatch()
+
+
+class Store:
+    """FIFO object buffer with blocking get/put.
+
+    ``capacity=None`` means unbounded (puts never block).  A ``watcher``
+    callable, when provided, is invoked as ``watcher(store)`` after every
+    level change — the adaptation monitors in :mod:`repro.core.adaptation`
+    use this to observe queue lengths without polling.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: Optional[int] = None,
+        watcher: Optional[Callable[["Store"], None]] = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._put_queue: deque[StorePut] = deque()
+        self._get_queue: deque[StoreGet] = deque()
+        self.watcher = watcher
+        # peak level, for perturbation diagnostics
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def level(self) -> int:
+        """Current number of buffered items."""
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; fires once space is available."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Remove and return the oldest item; fires once available."""
+        return StoreGet(self)
+
+    def try_get(self) -> Any:
+        """Non-blocking get; raises :class:`SimulationError` if empty."""
+        if not self.items:
+            raise SimulationError("try_get on empty store")
+        item = self.items.popleft()
+        self._dispatch()
+        return item
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # admit pending puts while below capacity
+            while self._put_queue and (
+                self.capacity is None or len(self.items) < self.capacity
+            ):
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # satisfy pending gets while items exist
+            while self._get_queue and self.items:
+                get = self._get_queue.popleft()
+                get.succeed(self.items.popleft())
+                progress = True
+        if len(self.items) > self.peak:
+            self.peak = len(self.items)
+        if self.watcher is not None:
+            self.watcher(self)

@@ -1,0 +1,85 @@
+"""Control-plane tracing: what the framework decided, and when.
+
+A :class:`Tracer` collects timestamped records of the interesting
+*decisions* in a run — checkpoint rounds, commits, adaptation switches,
+stream milestones — without touching the data path (per-event tracing
+would swamp both memory and the reader).  Scenario runs attach one via
+``ScenarioConfig(trace=True)``; tests and the examples read it back.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced decision."""
+
+    t: float
+    category: str
+    site: str
+    label: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.t:10.6f}] {self.site:<10} {self.category:<10} {self.label} {extra}".rstrip()
+
+
+class Tracer:
+    """Bounded in-memory trace collector.
+
+    ``limit`` caps retained records (oldest dropped first) so tracing a
+    long run cannot exhaust memory; ``dropped`` counts the overflow.
+    """
+
+    def __init__(self, limit: int = 100_000):
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = limit
+        self._records: Deque[TraceRecord] = deque(maxlen=limit)
+        self.dropped = 0
+        self.total = 0
+
+    def record(
+        self, t: float, category: str, site: str, label: str, **detail: Any
+    ) -> None:
+        """Append one record (oldest evicted beyond the limit)."""
+        if len(self._records) == self.limit:
+            self.dropped += 1
+        self.total += 1
+        self._records.append(
+            TraceRecord(t=t, category=category, site=site, label=label, detail=detail)
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(
+        self,
+        category: Optional[str] = None,
+        site: Optional[str] = None,
+    ) -> List[TraceRecord]:
+        """Retained records, optionally filtered."""
+        out = list(self._records)
+        if category is not None:
+            out = [r for r in out if r.category == category]
+        if site is not None:
+            out = [r for r in out if r.site == site]
+        return out
+
+    def categories(self) -> Dict[str, int]:
+        """Record counts per category (retained records only)."""
+        counts: Dict[str, int] = {}
+        for r in self._records:
+            counts[r.category] = counts.get(r.category, 0) + 1
+        return counts
+
+    def render(self, **filters: Any) -> str:
+        """The (filtered) trace as text, one record per line."""
+        return "\n".join(str(r) for r in self.records(**filters))

@@ -1,0 +1,25 @@
+"""Workload generation: httperf-style request load + load balancing.
+
+Substitutes for the paper's httperf 0.8 client machines (DESIGN.md §2).
+"""
+
+from .balancer import LeastPendingBalancer, RoundRobinBalancer
+from .httperf import (
+    ArrivalPattern,
+    Burst,
+    BurstyPattern,
+    ConstantRate,
+    PoissonArrivals,
+    arrival_times,
+)
+
+__all__ = [
+    "LeastPendingBalancer",
+    "RoundRobinBalancer",
+    "ArrivalPattern",
+    "Burst",
+    "BurstyPattern",
+    "ConstantRate",
+    "PoissonArrivals",
+    "arrival_times",
+]

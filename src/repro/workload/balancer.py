@@ -1,0 +1,57 @@
+"""Client-request load balancing across mirror sites.
+
+"Mirroring ... coupled with simple load balancing strategies enables us
+to offer timely services to clients even when request loads become
+high" (§1) — the paper leans on prior work showing simple policies
+suffice on cluster servers [1, 10].  Two such policies are provided:
+
+* :class:`RoundRobinBalancer` — the evaluation's "constant request load
+  evenly distributed across mirror sites";
+* :class:`LeastPendingBalancer` — route to the site with the fewest
+  outstanding requests (join-shortest-queue).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+__all__ = ["RoundRobinBalancer", "LeastPendingBalancer"]
+
+
+class RoundRobinBalancer:
+    """Cycle through target names in order."""
+
+    def __init__(self, targets: Sequence[str]):
+        if not targets:
+            raise ValueError("balancer needs at least one target")
+        self.targets = list(targets)
+        self._next = 0
+        self.assignments = {t: 0 for t in self.targets}
+
+    def pick(self) -> str:
+        """Next target in rotation."""
+        target = self.targets[self._next]
+        self._next = (self._next + 1) % len(self.targets)
+        self.assignments[target] += 1
+        return target
+
+
+class LeastPendingBalancer:
+    """Join-shortest-queue: route to the least-loaded target.
+
+    ``pending_of`` reports a target's current outstanding-request count;
+    ties break in target order (deterministic).
+    """
+
+    def __init__(self, targets: Sequence[str], pending_of: Callable[[str], int]):
+        if not targets:
+            raise ValueError("balancer needs at least one target")
+        self.targets = list(targets)
+        self.pending_of = pending_of
+        self.assignments = {t: 0 for t in self.targets}
+
+    def pick(self) -> str:
+        """The target with the fewest pending requests right now."""
+        target = min(self.targets, key=lambda t: (self.pending_of(t), self.targets.index(t)))
+        self.assignments[target] += 1
+        return target

@@ -1,0 +1,134 @@
+"""httperf-style client request load generation.
+
+The paper uses httperf 0.8 on separate client machines "to simulate
+client requests that add load to the server's sites" — an *open-loop*
+generator: requests arrive at a configured rate regardless of how fast
+the server answers (which is exactly what makes overload visible).
+
+Three arrival patterns cover the evaluation:
+
+* :class:`ConstantRate` — fixed req/s (Figures 6–8's x-axis),
+* :class:`PoissonArrivals` — exponential interarrivals at a mean rate,
+* :class:`BurstyPattern` — a base rate plus rectangular bursts (the
+  power-failure recovery storms of Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..sim import RandomStreams
+
+__all__ = [
+    "ArrivalPattern",
+    "ConstantRate",
+    "PoissonArrivals",
+    "Burst",
+    "BurstyPattern",
+    "arrival_times",
+]
+
+
+class ArrivalPattern:
+    """Base: yields request arrival times over ``[0, horizon)``."""
+
+    def times(self, horizon: float, rng: RandomStreams) -> Iterator[float]:
+        """Yield arrival times in [0, horizon), non-decreasing."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantRate(ArrivalPattern):
+    """``rate`` requests per second, evenly spaced."""
+
+    rate: float
+
+    def __post_init__(self):
+        if self.rate < 0:
+            raise ValueError("rate must be >= 0")
+
+    def times(self, horizon: float, rng: RandomStreams) -> Iterator[float]:
+        """Evenly spaced arrivals starting at t=0."""
+        if self.rate == 0:
+            return
+        step = 1.0 / self.rate
+        # index multiplication, not accumulation: no float drift at the
+        # horizon boundary
+        i = 0
+        while (t := i * step) < horizon - 1e-12:
+            yield t
+            i += 1
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalPattern):
+    """Poisson process with mean ``rate`` requests per second."""
+
+    rate: float
+    stream: str = "httperf.poisson"
+
+    def __post_init__(self):
+        if self.rate < 0:
+            raise ValueError("rate must be >= 0")
+
+    def times(self, horizon: float, rng: RandomStreams) -> Iterator[float]:
+        """Exponential interarrivals drawn from the named RNG stream."""
+        if self.rate == 0:
+            return
+        gen = rng.stream(self.stream)
+        t = float(gen.exponential(1.0 / self.rate))
+        while t < horizon:
+            yield t
+            t += float(gen.exponential(1.0 / self.rate))
+
+
+@dataclass(frozen=True)
+class Burst:
+    """A rectangular surge: ``rate`` req/s during [start, start+duration)."""
+
+    start: float
+    duration: float
+    rate: float
+
+    def __post_init__(self):
+        if self.start < 0 or self.duration <= 0 or self.rate <= 0:
+            raise ValueError("burst needs start >= 0, duration > 0, rate > 0")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class BurstyPattern(ArrivalPattern):
+    """Base-rate traffic plus superimposed bursts (recovery storms)."""
+
+    base_rate: float
+    bursts: Tuple[Burst, ...] = ()
+
+    def __post_init__(self):
+        if self.base_rate < 0:
+            raise ValueError("base_rate must be >= 0")
+
+    def times(self, horizon: float, rng: RandomStreams) -> Iterator[float]:
+        """Base-rate ticks with every burst's arrivals merged in."""
+        arrivals: List[float] = list(ConstantRate(self.base_rate).times(horizon, rng))
+        for burst in self.bursts:
+            step = 1.0 / burst.rate
+            end = min(burst.end, horizon)
+            i = 0
+            while (t := burst.start + i * step) < end - 1e-12:
+                arrivals.append(t)
+                i += 1
+        arrivals.sort()
+        yield from arrivals
+
+
+def arrival_times(
+    pattern: ArrivalPattern, horizon: float, seed: int = 0
+) -> List[float]:
+    """Materialise a pattern's arrivals (deterministic per seed)."""
+    if horizon < 0:
+        raise ValueError("horizon must be >= 0")
+    return list(pattern.times(horizon, RandomStreams(seed)))

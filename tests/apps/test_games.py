@@ -1,0 +1,160 @@
+"""Tests for the Olympic-games application domain."""
+
+import pytest
+
+from repro.apps.games import (
+    MEDAL_AWARDED,
+    OFFICIAL_RESULT,
+    RESULT_LIFECYCLE,
+    SCORE_UPDATE,
+    GamesWorkload,
+    ScoreboardEngine,
+    games_mirroring,
+    generate_games_script,
+)
+from repro.core import ScenarioConfig, run_scenario
+from repro.core.events import UpdateEvent
+
+
+# ----------------------------------------------------------------- workload
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        GamesWorkload(n_contests=0)
+    with pytest.raises(ValueError):
+        GamesWorkload(score_updates_per_contest=-1)
+    with pytest.raises(ValueError):
+        GamesWorkload(score_rate=-1)
+
+
+def test_script_event_counts():
+    wl = GamesWorkload(n_contests=5, score_updates_per_contest=20)
+    script = generate_games_script(wl)
+    counts = script.counts_by_kind()
+    assert counts[SCORE_UPDATE] == 100
+    assert counts[OFFICIAL_RESULT] == 5 * len(RESULT_LIFECYCLE)
+
+
+def test_script_deterministic():
+    wl = GamesWorkload(n_contests=4, score_updates_per_contest=10, seed=3)
+
+    def fp():
+        return [
+            (se.at, se.event.kind, se.event.key, se.event.seqno,
+             tuple(sorted(se.event.payload.items())))
+            for se in generate_games_script(wl).fresh_events()
+        ]
+
+    assert fp() == fp()
+
+
+def test_scores_monotone_per_contest():
+    wl = GamesWorkload(n_contests=3, score_updates_per_contest=15, seed=1)
+    last: dict = {}
+    for se in generate_games_script(wl).fresh_events():
+        if se.event.kind != SCORE_UPDATE:
+            continue
+        score = se.event.payload["score"]
+        assert score > last.get(se.event.key, 0)
+        last[se.event.key] = score
+
+
+def test_stream_seqnos_monotone():
+    wl = GamesWorkload(n_contests=4, score_updates_per_contest=12, seed=5)
+    last = {}
+    for se in generate_games_script(wl).fresh_events():
+        stream = se.event.stream
+        assert se.event.seqno > last.get(stream, 0)
+        last[stream] = se.event.seqno
+
+
+def test_every_contest_gets_a_final_with_winner():
+    wl = GamesWorkload(n_contests=6, score_updates_per_contest=5, seed=7)
+    finals = {}
+    for se in generate_games_script(wl).fresh_events():
+        if se.event.payload.get("status") == "final":
+            finals[se.event.key] = se.event.payload["winner"]
+    assert len(finals) == 6
+    assert all(w.startswith("athlete") for w in finals.values())
+
+
+# ---------------------------------------------------------- mirror function
+def test_games_mirroring_composition():
+    cfg = games_mirroring(overwrite_scores=8, checkpoint_freq=40)
+    assert cfg.overwrite[SCORE_UPDATE] == 8
+    assert cfg.checkpoint_freq == 40
+    assert cfg.complex_seq == [(OFFICIAL_RESULT, {"status": "final"}, SCORE_UPDATE)]
+    assert cfg.function_name == "games"
+
+
+def test_games_mirroring_rules_behave():
+    engine = games_mirroring(overwrite_scores=3).build_engine()
+    passed = []
+    for i in range(6):
+        ev = UpdateEvent(kind=SCORE_UPDATE, stream="scores", seqno=i + 1,
+                         key="EV100", payload={"score": i})
+        passed.extend(engine.on_receive(ev))
+    assert len(passed) == 2  # 1 of every run of 3
+    # a final stops score mirroring entirely
+    engine.on_receive(
+        UpdateEvent(kind=OFFICIAL_RESULT, stream="results", seqno=1,
+                    key="EV100", payload={"status": "final", "winner": "a1"})
+    )
+    late = UpdateEvent(kind=SCORE_UPDATE, stream="scores", seqno=7,
+                       key="EV100", payload={"score": 99})
+    assert engine.on_receive(late) == []
+
+
+# ------------------------------------------------------------ ScoreboardEngine
+def test_scoreboard_tracks_scores_and_medals():
+    eng = ScoreboardEngine()
+    eng.process(UpdateEvent(kind=SCORE_UPDATE, stream="scores", seqno=1,
+                            key="EV1", payload={"score": 3}))
+    out = eng.process(
+        UpdateEvent(kind=OFFICIAL_RESULT, stream="results", seqno=1,
+                    key="EV1", payload={"status": "final", "winner": "ath9"})
+    )
+    assert eng.scores["EV1"] == 3
+    assert eng.finals["EV1"] == "ath9"
+    assert eng.medals["ath9"] == 1
+    assert any(e.kind == MEDAL_AWARDED for e in out)
+
+
+def test_scoreboard_digest_orders_consistently():
+    a, b = ScoreboardEngine(), ScoreboardEngine()
+    events = [
+        UpdateEvent(kind=SCORE_UPDATE, stream="scores", seqno=i + 1,
+                    key=f"EV{i%2}", payload={"score": i + 1})
+        for i in range(4)
+    ]
+    for e in events:
+        a.process(e)
+        b.process(e)
+    assert a.state_digest() == b.state_digest()
+
+
+# -------------------------------------------------------------- end to end
+def test_games_workload_through_the_mirroring_framework():
+    """The whole games system runs through the unmodified framework:
+    the script feeds the OIS scenario via the script= hook, the games
+    mirror function filters traffic, and the run completes cleanly."""
+    # paced scores so official results interleave with the score stream
+    wl = GamesWorkload(
+        n_contests=8, score_updates_per_contest=40, seed=11, score_rate=5000.0
+    )
+    script = generate_games_script(wl)
+    from repro.ois import FlightDataConfig
+
+    cfg = ScenarioConfig(
+        n_mirrors=2,
+        mirror_config=games_mirroring(overwrite_scores=10),
+        workload=FlightDataConfig(n_flights=1, positions_per_flight=0),
+    )
+    result = run_scenario(cfg, script=script)
+    m = result.metrics
+    assert m.events_generated == len(script)
+    assert m.events_processed_central == len(script)
+    # scores heavily filtered, official results all mirrored
+    assert m.events_mirrored < 0.35 * m.events_generated
+    assert m.rule_stats["discarded_overwrite"] > 0
+    assert m.rule_stats["discarded_sequence"] > 0
+    assert m.checkpoint_commits > 0

@@ -1,0 +1,209 @@
+"""Unit tests for links, network registry, and the message transport."""
+
+import pytest
+
+from repro.cluster import (
+    CLIENT_ETHERNET,
+    INTRA_CLUSTER,
+    LinkSpec,
+    Message,
+    Network,
+    Node,
+    Transport,
+)
+from repro.sim import Environment
+
+
+# ---------------------------------------------------------------- LinkSpec
+def test_linkspec_transfer_time():
+    spec = LinkSpec(latency=1e-3, bandwidth=1_000_000)
+    assert spec.transfer_time(500_000) == pytest.approx(0.5)
+
+
+def test_linkspec_validation():
+    with pytest.raises(ValueError):
+        LinkSpec(latency=-1, bandwidth=1)
+    with pytest.raises(ValueError):
+        LinkSpec(latency=0, bandwidth=0)
+
+
+def test_intra_cluster_faster_than_client_ethernet():
+    assert INTRA_CLUSTER.latency < CLIENT_ETHERNET.latency
+    assert INTRA_CLUSTER.bandwidth > CLIENT_ETHERNET.bandwidth
+
+
+# -------------------------------------------------------------------- Link
+def test_link_transmit_timing():
+    env = Environment()
+    net = Network(env)
+    link = net.add_link("a", "b", LinkSpec(latency=0.1, bandwidth=1000))
+    done = []
+
+    def xfer():
+        yield from link.transmit(500)
+        done.append(env.now)
+
+    env.process(xfer())
+    env.run()
+    # 500B at 1000 B/s = 0.5s + 0.1s latency
+    assert done == [pytest.approx(0.6)]
+    assert link.bytes_carried == 500
+    assert link.messages_carried == 1
+
+
+def test_link_serialises_concurrent_messages_but_pipelines_latency():
+    env = Environment()
+    net = Network(env)
+    link = net.add_link("a", "b", LinkSpec(latency=1.0, bandwidth=1000))
+    done = []
+
+    def xfer(tag):
+        yield from link.transmit(1000)
+        done.append((env.now, tag))
+
+    env.process(xfer("m1"))
+    env.process(xfer("m2"))
+    env.run()
+    # tx times serialise (1s each), latency overlaps
+    assert done == [(pytest.approx(2.0), "m1"), (pytest.approx(3.0), "m2")]
+
+
+def test_link_rejects_negative_size():
+    env = Environment()
+    net = Network(env)
+    link = net.add_link("a", "b", INTRA_CLUSTER)
+
+    def xfer():
+        yield from link.transmit(-1)
+
+    env.process(xfer())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+# ----------------------------------------------------------------- Network
+def test_network_loopback_is_none():
+    env = Environment()
+    net = Network(env)
+    assert net.link("a", "a") is None
+
+
+def test_network_explicit_loopback_link_rejected():
+    env = Environment()
+    net = Network(env)
+    with pytest.raises(ValueError):
+        net.add_link("a", "a", INTRA_CLUSTER)
+
+
+def test_network_default_internal_vs_external():
+    env = Environment()
+    net = Network(env)
+    net.mark_external("client")
+    internal = net.link("n0", "n1")
+    external = net.link("n0", "client")
+    assert internal.spec == INTRA_CLUSTER
+    assert external.spec == CLIENT_ETHERNET
+    assert net.is_external("client")
+    assert not net.is_external("n0")
+
+
+def test_network_link_is_cached():
+    env = Environment()
+    net = Network(env)
+    assert net.link("a", "b") is net.link("a", "b")
+
+
+def test_network_total_bytes():
+    env = Environment()
+    net = Network(env)
+    link = net.link("a", "b")
+
+    def xfer():
+        yield from link.transmit(100)
+        yield from link.transmit(200)
+
+    env.process(xfer())
+    env.run()
+    assert net.total_bytes() == 300
+
+
+# --------------------------------------------------------------- Transport
+def _setup():
+    env = Environment()
+    net = Network(env)
+    tp = Transport(env, net)
+    n0 = Node(env, "n0")
+    n1 = Node(env, "n1")
+    return env, net, tp, n0, n1
+
+
+def test_transport_register_and_lookup():
+    env, net, tp, n0, n1 = _setup()
+    ep = tp.register("n1.data", n1)
+    assert tp.endpoint("n1.data") is ep
+    with pytest.raises(KeyError):
+        tp.endpoint("nope")
+    with pytest.raises(ValueError):
+        tp.register("n1.data", n1)
+
+
+def test_transport_delivers_remote_message():
+    env, net, tp, n0, n1 = _setup()
+    ep = tp.register("n1.data", n1)
+    msg = Message(kind="data", payload={"x": 1}, size=1000)
+
+    def sender():
+        yield from tp.send(n0, "n1.data", msg)
+
+    env.process(sender())
+    env.run()
+    assert ep.delivered == 1
+    assert ep.inbox.try_get() is msg
+    assert msg.src == "n0" and msg.dst == "n1.data"
+    assert env.now > 0  # paid serialization + wire time
+
+
+def test_transport_loopback_is_instant_and_free():
+    env, net, tp, n0, _ = _setup()
+    ep = tp.register("n0.main", n0)
+    msg = Message(kind="data", payload=None, size=10_000)
+
+    def sender():
+        yield from tp.send(n0, "n0.main", msg)
+
+    env.process(sender())
+    env.run()
+    assert ep.delivered == 1
+    assert env.now == 0.0
+    assert net.total_bytes() == 0
+
+
+def test_transport_post_fire_and_forget():
+    env, net, tp, n0, n1 = _setup()
+    ep = tp.register("n1.ctrl", n1)
+    tp.post(n0, "n1.ctrl", Message(kind="ctrl", payload="CHKPT", size=64))
+    env.run()
+    assert ep.delivered == 1
+
+
+def test_transport_loss_filter_drops():
+    env, net, tp, n0, n1 = _setup()
+    ep = tp.register("n1.ctrl", n1)
+    tp.loss_filter = lambda m: m.kind == "ctrl"
+    tp.post(n0, "n1.ctrl", Message(kind="ctrl", payload="CHKPT", size=64))
+    tp.post(n0, "n1.ctrl", Message(kind="data", payload="ev", size=64))
+    env.run()
+    assert ep.delivered == 1
+    assert tp.dropped == 1
+    assert ep.inbox.try_get().kind == "data"
+
+
+def test_message_rejects_negative_size():
+    with pytest.raises(ValueError):
+        Message(kind="data", payload=None, size=-5)
+
+
+def test_message_ids_unique():
+    a = Message(kind="d", payload=None, size=0)
+    b = Message(kind="d", payload=None, size=0)
+    assert a.msg_id != b.msg_id

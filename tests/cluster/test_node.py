@@ -1,0 +1,119 @@
+"""Unit tests for the node / cost-model layer."""
+
+import pytest
+
+from repro.cluster import CostModel, Node
+from repro.sim import Environment
+
+
+def test_cost_model_linear_demands():
+    cm = CostModel(recv_fixed=10e-6, recv_per_byte=1e-9)
+    assert cm.recv_cost(0) == pytest.approx(10e-6)
+    assert cm.recv_cost(1000) == pytest.approx(10e-6 + 1e-6)
+
+
+def test_cost_model_all_helpers_positive():
+    cm = CostModel()
+    size = 4096
+    for cost in [
+        cm.recv_cost(size),
+        cm.mirror_cost(size),
+        cm.fwd_cost(size),
+        cm.ede_cost(size),
+        cm.update_cost(size),
+        cm.request_cost(1_000_000),
+        cm.ser_cost(size),
+    ]:
+        assert cost > 0
+
+
+def test_cost_model_scaled():
+    cm = CostModel()
+    slow = cm.scaled(2.0)
+    assert slow.ede_fixed == pytest.approx(cm.ede_fixed * 2)
+    assert slow.recv_per_byte == pytest.approx(cm.recv_per_byte * 2)
+    with pytest.raises(ValueError):
+        cm.scaled(0)
+
+
+def test_cost_model_is_frozen():
+    cm = CostModel()
+    with pytest.raises(AttributeError):
+        cm.recv_fixed = 1.0
+
+
+def test_node_requires_cpu():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Node(env, "bad", cpus=0)
+
+
+def test_node_execute_charges_cpu_serially():
+    env = Environment()
+    node = Node(env, "n0", cpus=1)
+    done = []
+
+    def task(tag):
+        yield from node.execute(1.0)
+        done.append((env.now, tag))
+
+    env.process(task("a"))
+    env.process(task("b"))
+    env.run()
+    assert done == [(1.0, "a"), (2.0, "b")]
+
+
+def test_node_dual_cpu_parallelism():
+    env = Environment()
+    node = Node(env, "n0", cpus=2)
+    done = []
+
+    def task(tag):
+        yield from node.execute(1.0)
+        done.append((env.now, tag))
+
+    for tag in "abc":
+        env.process(task(tag))
+    env.run()
+    # two in parallel, third queued behind the first release
+    assert done == [(1.0, "a"), (1.0, "b"), (2.0, "c")]
+
+
+def test_node_zero_demand_is_free():
+    env = Environment()
+    node = Node(env, "n0")
+    done = []
+
+    def task():
+        yield from node.execute(0.0)
+        done.append(env.now)
+        yield env.timeout(0)
+
+    env.process(task())
+    env.run()
+    assert done == [0.0]
+
+
+def test_node_negative_demand_rejected():
+    env = Environment()
+    node = Node(env, "n0")
+
+    def task():
+        yield from node.execute(-1.0)
+
+    env.process(task())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_node_utilization():
+    env = Environment()
+    node = Node(env, "n0", cpus=1)
+
+    def task():
+        yield from node.execute(5.0)
+        yield env.timeout(5.0)
+
+    env.process(task())
+    env.run()
+    assert node.utilization() == pytest.approx(0.5)

@@ -1,0 +1,139 @@
+"""Unit tests for update events and vector timestamps."""
+
+import pytest
+
+from repro.core.events import (
+    DELTA_STATUS,
+    FAA_POSITION,
+    UpdateEvent,
+    VectorTimestamp,
+)
+
+
+# -------------------------------------------------------- VectorTimestamp
+def test_vt_empty_components_are_zero():
+    vt = VectorTimestamp()
+    assert vt.component("faa") == 0
+    assert not list(vt.streams())
+
+
+def test_vt_rejects_negative_seq():
+    with pytest.raises(ValueError):
+        VectorTimestamp({"faa": -1})
+
+
+def test_vt_advanced_raises_component():
+    vt = VectorTimestamp().advanced("faa", 5)
+    assert vt.component("faa") == 5
+
+
+def test_vt_advanced_never_regresses():
+    vt = VectorTimestamp({"faa": 10})
+    assert vt.advanced("faa", 3).component("faa") == 10
+
+
+def test_vt_advanced_is_a_copy():
+    vt = VectorTimestamp({"faa": 1})
+    vt2 = vt.advanced("faa", 2)
+    assert vt.component("faa") == 1
+    assert vt2.component("faa") == 2
+
+
+def test_vt_merge_componentwise_max():
+    a = VectorTimestamp({"faa": 5, "delta": 2})
+    b = VectorTimestamp({"faa": 3, "delta": 7, "x": 1})
+    m = a.merge(b)
+    assert m.component("faa") == 5
+    assert m.component("delta") == 7
+    assert m.component("x") == 1
+
+
+def test_vt_floor_componentwise_min():
+    a = VectorTimestamp({"faa": 5, "delta": 2})
+    b = VectorTimestamp({"faa": 3, "delta": 7})
+    f = a.floor(b)
+    assert f.component("faa") == 3
+    assert f.component("delta") == 2
+
+
+def test_vt_floor_missing_stream_is_zero():
+    a = VectorTimestamp({"faa": 5})
+    b = VectorTimestamp({"delta": 7})
+    f = a.floor(b)
+    assert f.component("faa") == 0
+    assert f.component("delta") == 0
+    assert f == VectorTimestamp()
+
+
+def test_vt_covers():
+    vt = VectorTimestamp({"faa": 5})
+    assert vt.covers("faa", 5)
+    assert vt.covers("faa", 1)
+    assert not vt.covers("faa", 6)
+    assert not vt.covers("delta", 1)
+    assert vt.covers("delta", 0)
+
+
+def test_vt_dominates_partial_order():
+    big = VectorTimestamp({"faa": 5, "delta": 5})
+    small = VectorTimestamp({"faa": 3, "delta": 5})
+    incomparable = VectorTimestamp({"faa": 9, "delta": 1})
+    assert big.dominates(small)
+    assert not small.dominates(big)
+    assert not big.dominates(incomparable)
+    assert not incomparable.dominates(big)
+
+
+def test_vt_equality_ignores_zero_components():
+    assert VectorTimestamp({"faa": 0}) == VectorTimestamp()
+    assert VectorTimestamp({"faa": 1}) != VectorTimestamp()
+    assert hash(VectorTimestamp({"faa": 0})) == hash(VectorTimestamp())
+
+
+def test_vt_repr_sorted():
+    vt = VectorTimestamp({"b": 2, "a": 1})
+    assert repr(vt) == "VT(a:1, b:2)"
+
+
+# ------------------------------------------------------------ UpdateEvent
+def make_event(**kw):
+    defaults = dict(
+        kind=FAA_POSITION, stream="faa", seqno=1, key="DL100",
+        payload={"lat": 33.6}, size=1000,
+    )
+    defaults.update(kw)
+    return UpdateEvent(**defaults)
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        make_event(seqno=-1)
+    with pytest.raises(ValueError):
+        make_event(size=-1)
+    with pytest.raises(ValueError):
+        make_event(coalesced_from=0)
+
+
+def test_event_uids_unique():
+    assert make_event().uid != make_event().uid
+
+
+def test_event_stamped_copy():
+    ev = make_event()
+    vt = VectorTimestamp({"faa": 1})
+    stamped = ev.stamped(vt, entered_at=2.5)
+    assert stamped.vt == vt
+    assert stamped.entered_at == 2.5
+    assert ev.vt is None  # original untouched
+    assert stamped.uid == ev.uid  # same logical event
+
+
+def test_event_with_payload_merges():
+    ev = make_event(payload={"lat": 1.0})
+    ev2 = ev.with_payload(lon=2.0)
+    assert ev2.payload == {"lat": 1.0, "lon": 2.0}
+    assert ev.payload == {"lat": 1.0}
+
+
+def test_event_kinds_distinct():
+    assert FAA_POSITION != DELTA_STATUS

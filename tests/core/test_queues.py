@@ -1,0 +1,159 @@
+"""Unit tests for the backup queue and status table."""
+
+import pytest
+
+from repro.core.events import FAA_POSITION, UpdateEvent, VectorTimestamp
+from repro.core.queues import BackupQueue, StatusTable
+
+
+def stamped(stream, seqno, key="DL1"):
+    ev = UpdateEvent(kind=FAA_POSITION, stream=stream, seqno=seqno, key=key)
+    return ev.stamped(VectorTimestamp({stream: seqno}), entered_at=0.0)
+
+
+# -------------------------------------------------------------- BackupQueue
+def test_backup_append_requires_stamp():
+    bq = BackupQueue()
+    with pytest.raises(ValueError):
+        bq.append(UpdateEvent(kind=FAA_POSITION, stream="faa", seqno=1, key="DL1"))
+
+
+def test_backup_last_vt():
+    bq = BackupQueue()
+    assert bq.last_vt() is None
+    bq.append(stamped("faa", 1))
+    bq.append(stamped("faa", 2))
+    assert bq.last_vt() == VectorTimestamp({"faa": 2})
+
+
+def test_backup_trim_removes_covered_events():
+    bq = BackupQueue()
+    for i in range(1, 6):
+        bq.append(stamped("faa", i))
+    removed = bq.trim(VectorTimestamp({"faa": 3}))
+    assert removed == 3
+    assert len(bq) == 2
+    assert [e.seqno for e in bq.events()] == [4, 5]
+    assert bq.total_trimmed == 3
+
+
+def test_backup_trim_unknown_commit_is_ignored():
+    bq = BackupQueue()
+    bq.append(stamped("faa", 10))
+    # commit naming long-gone events trims nothing, per the paper
+    assert bq.trim(VectorTimestamp({"faa": 5})) == 0
+    assert len(bq) == 1
+
+
+def test_backup_trim_multi_stream():
+    bq = BackupQueue()
+    bq.append(stamped("faa", 1))
+    bq.append(stamped("delta", 1))
+    bq.append(stamped("faa", 2))
+    removed = bq.trim(VectorTimestamp({"faa": 2}))
+    assert removed == 2
+    assert [e.stream for e in bq.events()] == ["delta"]
+
+
+def test_backup_trim_idempotent():
+    bq = BackupQueue()
+    bq.append(stamped("faa", 1))
+    vt = VectorTimestamp({"faa": 1})
+    assert bq.trim(vt) == 1
+    assert bq.trim(vt) == 0
+
+
+def test_backup_covered_count_preview():
+    bq = BackupQueue()
+    for i in range(1, 4):
+        bq.append(stamped("faa", i))
+    assert bq.covered_count(VectorTimestamp({"faa": 2})) == 2
+    assert len(bq) == 3  # preview does not trim
+
+
+def test_backup_peak_tracking():
+    bq = BackupQueue()
+    for i in range(1, 4):
+        bq.append(stamped("faa", i))
+    bq.trim(VectorTimestamp({"faa": 3}))
+    assert bq.peak == 3
+    assert bq.total_appended == 3
+
+
+# -------------------------------------------------------------- StatusTable
+def test_overwrite_step_mirror_then_discard():
+    st = StatusTable()
+    results = [st.overwrite_step("DL1", FAA_POSITION, 3) for _ in range(7)]
+    # mirror the 1st of every run of 3
+    assert results == [True, False, False, True, False, False, True]
+    assert st.discarded_overwrite == 4
+
+
+def test_overwrite_step_per_key_independent():
+    st = StatusTable()
+    assert st.overwrite_step("DL1", FAA_POSITION, 2)
+    assert st.overwrite_step("DL2", FAA_POSITION, 2)  # other key unaffected
+    assert not st.overwrite_step("DL1", FAA_POSITION, 2)
+
+
+def test_overwrite_step_length_one_always_mirrors():
+    st = StatusTable()
+    assert all(st.overwrite_step("DL1", FAA_POSITION, 1) for _ in range(5))
+    assert st.discarded_overwrite == 0
+
+
+def test_overwrite_step_invalid_length():
+    st = StatusTable()
+    with pytest.raises(ValueError):
+        st.overwrite_step("DL1", FAA_POSITION, 0)
+
+
+def test_reset_run_restarts_sequence():
+    st = StatusTable()
+    assert st.overwrite_step("DL1", FAA_POSITION, 3)
+    st.reset_run("DL1", FAA_POSITION)
+    assert st.overwrite_step("DL1", FAA_POSITION, 3)  # counts as fresh run
+    st.reset_run("ghost", FAA_POSITION)  # unknown key is a no-op
+
+
+def test_note_and_read_last_payload():
+    st = StatusTable()
+    assert st.last_payload("DL1", FAA_POSITION) is None
+    st.note_payload("DL1", FAA_POSITION, {"lat": 1})
+    assert st.last_payload("DL1", FAA_POSITION) == {"lat": 1}
+
+
+def test_suppress_flags():
+    st = StatusTable()
+    assert not st.is_suppressed("DL1", FAA_POSITION)
+    st.suppress("DL1", FAA_POSITION)
+    assert st.is_suppressed("DL1", FAA_POSITION)
+    assert not st.is_suppressed("DL2", FAA_POSITION)
+
+
+def test_tuple_slot_accumulates_and_clears():
+    st = StatusTable()
+    slot = st.tuple_slot("DL1", "rule0")
+    slot["a"] = "event-a"
+    assert st.tuple_slot("DL1", "rule0") == {"a": "event-a"}
+    st.clear_tuple("DL1", "rule0")
+    assert st.tuple_slot("DL1", "rule0") == {}
+
+
+def test_coalesce_buffer_and_pending():
+    st = StatusTable()
+    buf = st.coalesce_buffer("DL1", "r")
+    buf.append("e1")
+    st.coalesce_buffer("DL2", "r").append("e2")
+    pending = {(k, tuple(evs)) for k, _, evs in st.pending_coalesce()}
+    assert pending == {("DL1", ("e1",)), ("DL2", ("e2",))}
+    st.clear_coalesce("DL1", "r")
+    assert len(st.pending_coalesce()) == 1
+
+
+def test_status_table_len_and_keys():
+    st = StatusTable()
+    st.suppress("DL1", FAA_POSITION)
+    st.note_payload("DL2", FAA_POSITION, {})
+    assert len(st) == 2
+    assert set(st.keys()) == {"DL1", "DL2"}

@@ -1,0 +1,163 @@
+"""Unit tests for recovery planning (client rejoin, mirror promotion)."""
+
+import pytest
+
+from repro.core.checkpoint import MainUnitCheckpointer
+from repro.core.events import FAA_POSITION, UpdateEvent, VectorTimestamp
+from repro.core.queues import BackupQueue
+from repro.core.recovery import (
+    PromotionReport,
+    plan_client_rejoin,
+    promote_mirror,
+)
+
+
+def stamped(stream, seqno, key="DL1"):
+    ev = UpdateEvent(kind=FAA_POSITION, stream=stream, seqno=seqno, key=key)
+    return ev.stamped(VectorTimestamp({stream: seqno}), 0.0)
+
+
+def backup_with(*seqnos, stream="faa"):
+    bq = BackupQueue()
+    for seq in seqnos:
+        bq.append(stamped(stream, seq))
+    return bq
+
+
+def vt(**kw):
+    return VectorTimestamp(kw)
+
+
+# -------------------------------------------------------- client rejoin
+def test_rejoin_replays_only_missing_events():
+    backup = backup_with(3, 4, 5)
+    plan = plan_client_rejoin(vt(faa=3), backup, committed_vt=vt(faa=2))
+    assert not plan.full_snapshot
+    assert [e.seqno for e in plan.replay_events] == [4, 5]
+    assert plan.replay_count == 2
+    assert plan.to_vt == vt(faa=5)
+
+
+def test_rejoin_up_to_date_client_needs_nothing():
+    backup = backup_with(4, 5)
+    plan = plan_client_rejoin(vt(faa=5), backup, committed_vt=vt(faa=3))
+    assert not plan.full_snapshot
+    assert plan.replay_events == ()
+
+
+def test_rejoin_behind_commit_needs_full_snapshot():
+    """Events the client never saw were trimmed at the last commit —
+    incremental catch-up is impossible."""
+    backup = backup_with(8, 9)  # 1..7 trimmed by commits
+    plan = plan_client_rejoin(vt(faa=2), backup, committed_vt=vt(faa=7))
+    assert plan.full_snapshot
+    assert plan.replay_events == ()
+
+
+def test_rejoin_without_any_commit_replays_from_backup():
+    backup = backup_with(1, 2, 3)
+    plan = plan_client_rejoin(vt(), backup, committed_vt=None)
+    assert not plan.full_snapshot
+    assert plan.replay_count == 3
+
+
+def test_rejoin_multi_stream_horizons():
+    bq = BackupQueue()
+    bq.append(stamped("faa", 5))
+    bq.append(stamped("delta", 2))
+    plan = plan_client_rejoin(
+        vt(faa=5, delta=1), bq, committed_vt=vt(faa=4, delta=1)
+    )
+    assert [e.stream for e in plan.replay_events] == ["delta"]
+
+
+# ----------------------------------------------------------- promotion
+def checkpointer(site, **progress):
+    ck = MainUnitCheckpointer(site)
+    for stream, seq in progress.items():
+        ck.note_processed(stream, seq)
+    return ck
+
+
+def test_promote_requires_candidates():
+    with pytest.raises(ValueError):
+        promote_mirror({}, {}, None)
+
+
+def test_promote_picks_most_advanced_mirror():
+    candidates = {
+        "mirror1": checkpointer("mirror1", faa=50),
+        "mirror2": checkpointer("mirror2", faa=80),
+    }
+    backups = {"mirror1": backup_with(), "mirror2": backup_with()}
+    report = promote_mirror(candidates, backups, last_commit=vt(faa=40))
+    assert report.new_primary == "mirror2"
+    assert report.committed_loss_free
+    assert report.progress["mirror1"] == {"faa": 50}
+
+
+def test_promote_tie_breaks_deterministically():
+    candidates = {
+        "mirror1": checkpointer("mirror1", faa=50),
+        "mirror2": checkpointer("mirror2", faa=50),
+    }
+    backups = {"mirror1": backup_with(), "mirror2": backup_with()}
+    report = promote_mirror(candidates, backups, None)
+    assert report.new_primary == "mirror2"  # lexicographically largest name
+
+
+def test_promote_lists_replay_into_ede():
+    """Events sitting in the new primary's backup queue beyond its EDE
+    progress must be replayed into its business logic."""
+    candidates = {"mirror1": checkpointer("mirror1", faa=3)}
+    backups = {"mirror1": backup_with(2, 3, 4, 5)}
+    report = promote_mirror(candidates, backups, last_commit=vt(faa=2))
+    assert [e.seqno for e in report.replay_into_ede] == [4, 5]
+    assert report.committed_loss_free
+
+
+def test_promote_fetches_missing_events_from_peers():
+    candidates = {
+        "mirror1": checkpointer("mirror1", faa=10),
+        "mirror2": checkpointer("mirror2", faa=8),
+    }
+    backups = {
+        "mirror1": backup_with(9, 10),
+        "mirror2": backup_with(9, 10, 11, 12),
+    }
+    report = promote_mirror(candidates, backups, last_commit=vt(faa=8))
+    assert report.new_primary == "mirror1"
+    assert [e.seqno for e in report.fetch_from_peers["mirror2"]] == [11, 12]
+
+
+def test_promote_detects_committed_loss():
+    """A candidate behind the last commit would violate the safety
+    guarantee — the report must flag it (it cannot happen when the
+    protocol ran correctly, which the integration test asserts)."""
+    candidates = {"mirror1": checkpointer("mirror1", faa=5)}
+    backups = {"mirror1": backup_with()}
+    report = promote_mirror(candidates, backups, last_commit=vt(faa=9))
+    assert not report.committed_loss_free
+
+
+def test_promotion_after_real_run_is_loss_free():
+    """End to end: run a mirrored scenario, fail the central, promote."""
+    from repro.core import ScenarioConfig, run_scenario
+    from repro.ois import FlightDataConfig
+
+    result = run_scenario(
+        ScenarioConfig(
+            n_mirrors=2,
+            workload=FlightDataConfig(n_flights=4, positions_per_flight=60, seed=5),
+        )
+    )
+    server = result.server
+    candidates = {
+        m.site: m.checkpointer for m in server.mirror_mains
+    }
+    backups = {aux.site: aux.backup for aux in server.mirror_auxes}
+    report = promote_mirror(
+        candidates, backups, server.central_aux.coordinator.last_commit
+    )
+    assert report.committed_loss_free
+    assert report.new_primary in candidates

@@ -1,0 +1,54 @@
+"""Tests for the ``python -m repro`` command-line runner."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_unknown_target_errors():
+    with pytest.raises(SystemExit) as exc:
+        main(["bogus"])
+    assert exc.value.code == 2
+
+
+def test_unknown_ablation_errors():
+    with pytest.raises(SystemExit):
+        main(["ablation", "bogus"])
+
+
+def test_single_figure_quick(capsys):
+    assert main(["figure5"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "[PASS]" in out
+    assert "quick mode" in out
+
+
+def test_single_ablation_quick(capsys):
+    assert main(["ablation", "checkpoint_frequency"]) == 0
+    out = capsys.readouterr().out
+    assert "Ablation A3" in out
+
+
+def test_all_target_with_save(tmp_path, capsys, monkeypatch):
+    import repro.__main__ as cli
+    from repro.experiments.common import FigureResult, ShapeCheck
+
+    def fake_run(quick=True):
+        return FigureResult(
+            figure="Figure T", title="t", x_label="x", x_values=[1],
+            series={"s": [1.0]},
+            checks=[ShapeCheck("c", "m", True)],
+        )
+
+    monkeypatch.setattr(
+        "repro.experiments.runner.ALL_FIGURES",
+        {"figT": type("M", (), {"run": staticmethod(fake_run)})},
+    )
+    monkeypatch.setattr("repro.experiments.runner.ALL_ABLATIONS", {})
+    out_file = tmp_path / "report.txt"
+    assert cli.main(["all", "--save", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "figT: PASS" in out
+    assert out_file.exists()
+    assert "### figT" in out_file.read_text()

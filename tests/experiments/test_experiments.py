@@ -1,0 +1,110 @@
+"""Tests for the experiment scaffolding and calibration estimators.
+
+The figure modules themselves are exercised end-to-end by the
+benchmark harness; here we test the shared machinery plus one cheap
+end-to-end figure run as a smoke test.
+"""
+
+import pytest
+
+from repro.cluster import CostModel
+from repro.experiments import ALL_FIGURES, FigureResult, ShapeCheck
+from repro.experiments.calibration import (
+    central_capacity,
+    central_event_demand,
+    mirror_event_demand,
+    paced_rate,
+)
+from repro.experiments.common import monotone_nondecreasing
+
+
+# ------------------------------------------------------------- FigureResult
+def make_result(passed=True):
+    return FigureResult(
+        figure="Figure X",
+        title="t",
+        x_label="x",
+        x_values=[1, 2],
+        series={"a": [1.0, 2.0]},
+        checks=[ShapeCheck(claim="c", measured="m", passed=passed)],
+    )
+
+
+def test_figure_result_table_contains_series():
+    out = make_result().table()
+    assert "Figure X" in out and "a" in out
+
+
+def test_figure_result_render_reports_status():
+    assert "[PASS]" in make_result(True).render()
+    assert "[FAIL]" in make_result(False).render()
+
+
+def test_figure_result_all_passed_and_failed():
+    good, bad = make_result(True), make_result(False)
+    assert good.all_passed and not bad.all_passed
+    assert len(bad.failed_checks()) == 1
+
+
+def test_monotone_nondecreasing():
+    assert monotone_nondecreasing([1, 1, 2, 3])
+    assert not monotone_nondecreasing([1, 0.5])
+    assert monotone_nondecreasing([1, 0.95], tolerance=0.1)
+
+
+# -------------------------------------------------------------- calibration
+def test_central_demand_grows_with_size_and_mirrors():
+    cm = CostModel()
+    assert central_event_demand(cm, 8192, 1) > central_event_demand(cm, 512, 1)
+    assert central_event_demand(cm, 1024, 4) > central_event_demand(cm, 1024, 1)
+
+
+def test_no_mirroring_demand_is_smaller():
+    cm = CostModel()
+    assert central_event_demand(cm, 1024, 1, mirroring=False) < central_event_demand(
+        cm, 1024, 1, mirroring=True
+    )
+
+
+def test_mirror_demand_below_central_demand():
+    """The mirror site must be lighter per event than the central site,
+    otherwise mirrors (not the central) would bound the microbenchmarks,
+    contradicting Figure 5's per-mirror growth."""
+    cm = CostModel()
+    for size in [256, 1024, 4096, 8192]:
+        assert mirror_event_demand(cm, size) < central_event_demand(cm, size, 1)
+
+
+def test_capacity_is_inverse_demand():
+    cm = CostModel()
+    demand = central_event_demand(cm, 2048, 2)
+    assert central_capacity(cm, 2048, 2) == pytest.approx(1.0 / demand)
+
+
+def test_paced_rate_validates_utilization():
+    cm = CostModel()
+    with pytest.raises(ValueError):
+        paced_rate(cm, 1024, 1, utilization=0.0)
+    with pytest.raises(ValueError):
+        paced_rate(cm, 1024, 1, utilization=1.5)
+    assert paced_rate(cm, 1024, 1, 0.5) == pytest.approx(
+        0.5 * central_capacity(cm, 1024, 1)
+    )
+
+
+# ----------------------------------------------------------------- registry
+def test_all_figures_registry_complete():
+    assert set(ALL_FIGURES) == {f"figure{i}" for i in range(4, 10)}
+    for mod in ALL_FIGURES.values():
+        assert hasattr(mod, "run")
+
+
+# ------------------------------------------------------------- smoke (slow)
+def test_figure4_quick_smoke():
+    result = ALL_FIGURES["figure4"].run(quick=True)
+    assert result.all_passed, result.render()
+    assert len(result.x_values) == len(result.series["simple_s"])
+    # mirroring must cost something at every size
+    assert all(
+        s > n for s, n in zip(result.series["simple_s"], result.series["no_mirroring_s"])
+    )

@@ -1,0 +1,52 @@
+"""Tests for the batch runner (report persistence)."""
+
+from repro.experiments.common import FigureResult, ShapeCheck
+from repro.experiments.runner import RunRecord, write_report
+
+
+def record(name="figureX", passed=True):
+    return RunRecord(
+        name=name,
+        result=FigureResult(
+            figure=name, title="t", x_label="x", x_values=[1],
+            series={"s": [1.0]},
+            checks=[ShapeCheck("c", "m", passed)],
+        ),
+        wall_seconds=1.2,
+    )
+
+
+def test_record_passed_property():
+    assert record(passed=True).passed
+    assert not record(passed=False).passed
+
+
+def test_write_report_creates_file(tmp_path):
+    path = write_report([record("figA"), record("figB")], tmp_path / "r" / "out.txt")
+    text = path.read_text()
+    assert "### figA" in text and "### figB" in text
+    assert "[PASS]" in text
+    assert path.parent.name == "r"
+
+
+def test_run_all_figures_only_smoke(monkeypatch):
+    """run_all with stubbed targets wires names, order and progress."""
+    import repro.experiments.runner as runner_mod
+
+    calls = []
+
+    def fake_run(quick=True):
+        calls.append(quick)
+        return record().result
+
+    monkeypatch.setattr(
+        runner_mod, "ALL_FIGURES",
+        {"figA": type("M", (), {"run": staticmethod(fake_run)})},
+    )
+    monkeypatch.setattr(runner_mod, "ALL_ABLATIONS", {"ablB": fake_run})
+
+    seen = []
+    records = runner_mod.run_all(quick=True, progress=lambda r: seen.append(r.name))
+    assert [r.name for r in records] == ["figA", "ablB"]
+    assert seen == ["figA", "ablB"]
+    assert calls == [True, True]

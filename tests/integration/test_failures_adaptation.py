@@ -1,0 +1,173 @@
+"""Integration tests: failure injection and end-to-end adaptation.
+
+The paper's checkpoint protocol claims robustness without timeouts:
+lost control events are absorbed by later rounds, commits naming
+unknown events are ignored, and a failed mirror site does not block
+progress (its events "have already been processed by all main units").
+These tests inject exactly those failures.
+"""
+
+import pytest
+
+from repro.core import (
+    AdaptDirective,
+    MonitorSpec,
+    PARAM_MIRROR_FUNCTION,
+    ScenarioConfig,
+    adaptive_normal,
+    run_scenario,
+    simple_mirroring,
+)
+from repro.core.adaptation import MONITOR_PENDING_REQUESTS
+from repro.core.system import MirroredServer
+from repro.ois import FlightDataConfig
+from repro.workload import Burst, BurstyPattern, arrival_times
+
+
+def workload(**kw):
+    defaults = dict(n_flights=4, positions_per_flight=60, seed=21)
+    defaults.update(kw)
+    return FlightDataConfig(**defaults)
+
+
+# ----------------------------------------------------- control-message loss
+def drop_every_nth_control(n):
+    counter = {"seen": 0}
+
+    def loss(message):
+        if message.kind != "control":
+            return False
+        counter["seen"] += 1
+        return counter["seen"] % n == 0
+
+    return loss
+
+
+def test_lost_control_events_do_not_block_progress():
+    cfg = ScenarioConfig(n_mirrors=2, workload=workload(positions_per_flight=150))
+    server = MirroredServer(cfg)
+    server.transport.loss_filter = drop_every_nth_control(9)
+    metrics = server.run()
+    # the run completes, every event is processed everywhere
+    assert metrics.events_processed_central == metrics.events_generated
+    assert len(set(server.replica_digests())) == 1
+    assert server.transport.dropped > 0
+    # some rounds never commit, but later rounds still do
+    assert metrics.checkpoint_commits < metrics.checkpoint_rounds
+    assert metrics.checkpoint_commits > 0
+
+
+def test_lost_control_events_keep_checkpoint_safety():
+    cfg = ScenarioConfig(n_mirrors=2, workload=workload(positions_per_flight=150))
+    server = MirroredServer(cfg)
+    server.transport.loss_filter = drop_every_nth_control(9)
+    server.run()
+    commit = server.central_aux.coordinator.last_commit
+    assert commit is not None
+    # safety: nothing committed beyond any main unit's progress
+    mains = [server.central_main] + server.mirror_mains
+    for main in mains:
+        for stream in commit.streams():
+            assert commit.component(stream) <= main.checkpointer.processed_vt.component(stream)
+
+
+def test_total_control_blackout_still_completes():
+    """Even with *all* control traffic dropped, data flow and business
+    logic finish; only backup queues stay untrimmed at the mirrors."""
+    cfg = ScenarioConfig(n_mirrors=1, workload=workload())
+    server = MirroredServer(cfg)
+    server.transport.loss_filter = lambda m: m.kind == "control"
+    metrics = server.run()
+    assert metrics.events_processed_central == metrics.events_generated
+    mirror = server.mirror_auxes[0]
+    assert len(mirror.backup) == mirror.backup.total_appended
+
+
+# ----------------------------------------------------------- mirror failure
+def test_dead_mirror_does_not_block_central():
+    """A mirror whose control task never answers (site failure): rounds
+    stop committing, but the central keeps processing and distributing."""
+    cfg = ScenarioConfig(n_mirrors=2, workload=workload())
+    server = MirroredServer(cfg)
+    dead = server.mirror_auxes[0].site
+    server.transport.loss_filter = (
+        lambda m: m.kind == "control" and m.dst == f"{dead}.aux.ctrl"
+    )
+    metrics = server.run()
+    assert metrics.events_processed_central == metrics.events_generated
+    assert metrics.checkpoint_commits == 0  # coordinator never hears from it
+    # the healthy mirror still processed the full stream
+    healthy = server.mirror_mains[1]
+    assert healthy.ede.processed == metrics.events_generated
+
+
+# ------------------------------------------------------- adaptation e2e
+def adaptive_config():
+    cfg = adaptive_normal()
+    cfg.adapt_directives.append(
+        AdaptDirective(param=PARAM_MIRROR_FUNCTION, function_name="adaptive_reduced")
+    )
+    cfg.monitors[MONITOR_PENDING_REQUESTS] = MonitorSpec(
+        MONITOR_PENDING_REQUESTS, primary=15, secondary=12
+    )
+    return cfg
+
+
+def storm_scenario(adaptation: bool) -> ScenarioConfig:
+    wl = workload(
+        n_flights=10, positions_per_flight=800, position_rate=2000.0, seed=22
+    )
+    request_times = arrival_times(
+        BurstyPattern(base_rate=10.0, bursts=(Burst(1.0, 1.0, 500.0),)),
+        horizon=4.0,
+    )
+    return ScenarioConfig(
+        n_mirrors=1,
+        mirror_config=adaptive_config(),
+        workload=wl,
+        request_times=request_times,
+        adaptation=adaptation,
+    )
+
+
+def test_adaptation_triggers_and_reverts_under_storm():
+    result = run_scenario(storm_scenario(adaptation=True))
+    m = result.metrics
+    assert m.adaptations >= 1
+    assert m.reversions >= 1
+    actions = [entry[1] for entry in m.adaptation_log]
+    assert actions[0] == "adapt"
+    assert "revert" in actions
+
+
+def test_adaptation_reduces_update_delay_under_storm():
+    off = run_scenario(storm_scenario(adaptation=False)).metrics
+    on = run_scenario(storm_scenario(adaptation=True)).metrics
+    assert on.update_delay.mean < off.update_delay.mean
+    assert off.adaptations == 0
+
+
+def test_mirror_applies_piggybacked_adaptation():
+    result = run_scenario(storm_scenario(adaptation=True))
+    mirror = result.server.mirror_auxes[0]
+    # the mirror saw at least one piggybacked command and recorded the
+    # last applied configuration
+    assert mirror.applied_config is not None
+    assert result.server.adaptation is not None
+
+
+def test_adaptation_switches_central_engine_config():
+    result = run_scenario(storm_scenario(adaptation=True))
+    log = result.metrics.adaptation_log
+    adapted_names = {name for _, action, name in log if action == "adapt"}
+    assert any("adaptive_reduced" in n or "adapted" in n for n in adapted_names)
+    # after revert, the central runs the base function again
+    final_action = log[-1][1]
+    if final_action == "revert":
+        assert result.server.central_aux.config.function_name == "adaptive_normal"
+
+
+def test_no_adaptation_without_flag_even_with_monitors():
+    result = run_scenario(storm_scenario(adaptation=False))
+    assert result.metrics.adaptations == 0
+    assert result.server.adaptation is None

@@ -1,0 +1,81 @@
+"""Integration tests: heterogeneous clusters (per-mirror speed factors)."""
+
+import pytest
+
+from repro.core import ScenarioConfig, run_scenario, selective_mirroring
+from repro.ois import FlightDataConfig
+
+
+def workload(**kw):
+    defaults = dict(n_flights=4, positions_per_flight=80, seed=71,
+                    event_size=4096)
+    defaults.update(kw)
+    return FlightDataConfig(**defaults)
+
+
+def test_speed_factor_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig(mirror_speed_factors=[0.0])
+    with pytest.raises(ValueError):
+        ScenarioConfig(mirror_speed_factors=[-2.0])
+
+
+def test_short_factor_list_pads_with_one():
+    cfg = ScenarioConfig(
+        n_mirrors=3, workload=workload(), mirror_speed_factors=[2.0]
+    )
+    result = run_scenario(cfg)
+    nodes = result.server.mirror_nodes
+    assert nodes[0].costs.ede_fixed == pytest.approx(2 * nodes[1].costs.ede_fixed)
+    assert nodes[1].costs == nodes[2].costs
+
+
+def test_slow_mirror_is_busier():
+    cfg = ScenarioConfig(
+        n_mirrors=2, workload=workload(), mirror_speed_factors=[2.5, 1.0]
+    )
+    m = run_scenario(cfg).metrics
+    assert m.cpu_utilization["mirror1"] > m.cpu_utilization["mirror2"]
+
+
+def test_straggler_mirror_extends_makespan():
+    """A mirror 4x slower than the rest becomes the bottleneck: its
+    backpressure throttles the central sending task and the run takes
+    visibly longer than with uniform mirrors."""
+    uniform = run_scenario(
+        ScenarioConfig(n_mirrors=2, workload=workload())
+    ).metrics.total_execution_time
+    straggler = run_scenario(
+        ScenarioConfig(
+            n_mirrors=2, workload=workload(), mirror_speed_factors=[4.0]
+        )
+    ).metrics.total_execution_time
+    assert straggler > 1.1 * uniform
+
+
+def test_selective_mirroring_rescues_the_straggler():
+    """The framework's own remedy applies: filtering the mirror stream
+    removes most of the straggler's event work."""
+    def run(mc):
+        return run_scenario(
+            ScenarioConfig(
+                n_mirrors=2,
+                mirror_config=mc,
+                workload=workload(),
+                mirror_speed_factors=[4.0],
+            )
+        ).metrics.total_execution_time
+
+    from repro.core import simple_mirroring
+
+    simple = run(simple_mirroring())
+    selective = run(selective_mirroring(10))
+    assert selective < 0.9 * simple
+
+
+def test_straggler_still_converges():
+    cfg = ScenarioConfig(
+        n_mirrors=2, workload=workload(), mirror_speed_factors=[3.0]
+    )
+    result = run_scenario(cfg)
+    assert len(set(result.server.replica_digests())) == 1

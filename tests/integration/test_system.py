@@ -1,0 +1,245 @@
+"""Integration tests: the fully wired mirrored server."""
+
+import pytest
+
+from repro.core import (
+    ScenarioConfig,
+    run_scenario,
+    selective_mirroring,
+    simple_mirroring,
+)
+from repro.ois import FlightDataConfig
+
+
+def small_workload(**kw):
+    defaults = dict(n_flights=4, positions_per_flight=30, seed=11)
+    defaults.update(kw)
+    return FlightDataConfig(**defaults)
+
+
+def test_all_events_reach_central_ede():
+    cfg = ScenarioConfig(n_mirrors=1, workload=small_workload())
+    result = run_scenario(cfg)
+    m = result.metrics
+    assert m.events_generated > 0
+    # fwd() forwards every event to the central EDE regardless of rules
+    assert m.events_forwarded == m.events_generated
+    assert m.events_processed_central == m.events_generated
+
+
+def test_simple_mirroring_mirrors_everything():
+    cfg = ScenarioConfig(n_mirrors=2, workload=small_workload())
+    m = run_scenario(cfg).metrics
+    assert m.events_mirrored == m.events_generated
+    assert m.mirror_traffic_ratio() == pytest.approx(1.0)
+
+
+def test_selective_mirroring_cuts_traffic():
+    wl = small_workload(positions_per_flight=50, include_delta=False)
+    m = run_scenario(
+        ScenarioConfig(
+            n_mirrors=1, mirror_config=selective_mirroring(10), workload=wl
+        )
+    ).metrics
+    # 200 positions, runs of 10 per flight -> ~20 mirrored
+    assert m.events_mirrored == 20
+    assert m.events_forwarded == 200
+
+
+def test_no_mirroring_baseline_sends_nothing():
+    cfg = ScenarioConfig(n_mirrors=0, mirroring=False, workload=small_workload())
+    m = run_scenario(cfg).metrics
+    assert m.events_mirrored == 0
+    assert m.checkpoint_rounds == 0
+    assert m.bytes_on_wire == 0  # no mirrors, no snapshots, updates off-wire
+
+
+def test_replicas_converge_to_identical_state_simple():
+    cfg = ScenarioConfig(n_mirrors=3, workload=small_workload())
+    result = run_scenario(cfg)
+    digests = result.server.replica_digests()
+    assert len(set(digests)) == 1
+
+
+def test_mirror_state_is_subset_under_selective_mirroring():
+    """With overwrite rules, mirrors see fewer position updates but the
+    same flights and final statuses (consistency is *traded*, per key
+    the last mirrored value may lag)."""
+    wl = small_workload(positions_per_flight=40)
+    result = run_scenario(
+        ScenarioConfig(
+            n_mirrors=1, mirror_config=selective_mirroring(10), workload=wl
+        )
+    )
+    central = result.server.central_main.ede
+    mirror = result.server.mirror_mains[0].ede
+    assert len(mirror.state) == len(central.state)
+    for flight in central.state.flights():
+        assert mirror.state.flight(flight.flight_id).status == flight.status
+
+
+def test_checkpoints_trim_backup_queues():
+    wl = small_workload(positions_per_flight=100)
+    result = run_scenario(ScenarioConfig(n_mirrors=2, workload=wl))
+    m = result.metrics
+    assert m.checkpoint_rounds > 0
+    assert m.checkpoint_commits > 0
+    central_backup = result.server.central_aux.backup
+    assert central_backup.total_trimmed > 0
+    # the final checkpoint (triggered at EOS flush) empties the queues
+    assert len(central_backup) < central_backup.total_appended
+
+
+def test_requests_served_and_latency_recorded():
+    cfg = ScenarioConfig(
+        n_mirrors=2,
+        workload=small_workload(),
+        request_times=[0.0, 0.001, 0.002, 0.003],
+    )
+    m = run_scenario(cfg).metrics
+    assert m.requests_issued == 4
+    assert m.requests_served == 4
+    assert m.request_latency.count == 4
+    assert m.request_latency.mean > 0
+
+
+def test_requests_balanced_round_robin_across_mirrors():
+    cfg = ScenarioConfig(
+        n_mirrors=2,
+        workload=small_workload(),
+        request_times=[i * 0.001 for i in range(6)],
+    )
+    result = run_scenario(cfg)
+    served = result.server.client_pool.served_by_counts()
+    assert served == {"mirror1": 3, "mirror2": 3}
+
+
+def test_requests_fall_back_to_central_without_mirrors():
+    cfg = ScenarioConfig(
+        n_mirrors=0,
+        mirroring=False,
+        workload=small_workload(),
+        request_times=[0.0, 0.001],
+    )
+    result = run_scenario(cfg)
+    assert result.server.client_pool.served_by_counts() == {"central": 2}
+
+
+def test_request_target_central_explicit():
+    cfg = ScenarioConfig(
+        n_mirrors=2,
+        workload=small_workload(),
+        request_times=[0.0],
+        request_target="central",
+    )
+    result = run_scenario(cfg)
+    assert result.server.client_pool.served_by_counts() == {"central": 1}
+
+
+def test_update_delays_recorded_for_every_output():
+    cfg = ScenarioConfig(n_mirrors=1, workload=small_workload())
+    m = run_scenario(cfg).metrics
+    assert m.update_delay.count == m.updates_distributed
+    assert m.update_delay.count >= m.events_generated  # + derived events
+
+
+def test_regular_clients_receive_updates():
+    cfg = ScenarioConfig(n_mirrors=1, workload=small_workload())
+    result = run_scenario(cfg)
+    pool = result.server.client_pool
+    assert pool.updates_received == result.metrics.updates_distributed
+    assert pool.delivery_delay.count > 0
+
+
+def test_same_seed_same_results():
+    def run():
+        cfg = ScenarioConfig(
+            n_mirrors=2,
+            mirror_config=selective_mirroring(5),
+            workload=small_workload(seed=77),
+            request_times=[0.0, 0.005, 0.01],
+        )
+        m = run_scenario(cfg).metrics
+        return (
+            m.total_execution_time,
+            m.events_mirrored,
+            m.update_delay.mean,
+            m.request_latency.mean,
+            m.checkpoint_commits,
+        )
+
+    assert run() == run()
+
+
+def test_different_seeds_change_the_workload_not_the_costs():
+    """Seeds reshuffle the event mix (keys/payloads); the aggregate cost
+    profile — same counts, same sizes — stays put, so execution time is
+    essentially identical while the actual event streams differ."""
+
+    def run(seed):
+        cfg = ScenarioConfig(n_mirrors=1, workload=small_workload(seed=seed))
+        result = run_scenario(cfg)
+        digest = result.server.central_main.ede.state_digest()
+        return result.metrics.total_execution_time, digest
+
+    t1, d1 = run(1)
+    t2, d2 = run(2)
+    assert d1 != d2
+    assert t1 == pytest.approx(t2, rel=0.05)
+
+
+def test_preload_increases_request_cost():
+    times = []
+    for preload in [0, 2000]:
+        cfg = ScenarioConfig(
+            n_mirrors=1,
+            workload=small_workload(),
+            request_times=[0.0] * 10,
+            preload_flights=preload,
+            snapshot_on_wire=False,
+        )
+        times.append(run_scenario(cfg).metrics.request_latency.mean)
+    assert times[1] > times[0]
+
+
+def test_time_limit_stops_run():
+    wl = small_workload(positions_per_flight=200)
+    cfg = ScenarioConfig(n_mirrors=1, workload=wl, time_limit=0.001)
+    m = run_scenario(cfg).metrics
+    assert m.total_execution_time == pytest.approx(0.001)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig(n_mirrors=-1)
+    with pytest.raises(ValueError):
+        ScenarioConfig(request_target="moon")
+    with pytest.raises(ValueError):
+        ScenarioConfig(request_times=[-1.0])
+    with pytest.raises(ValueError):
+        ScenarioConfig(request_rate=-5.0)
+    with pytest.raises(ValueError):
+        ScenarioConfig(request_rate=10.0, request_times=[0.0])
+    with pytest.raises(ValueError):
+        ScenarioConfig(preload_flights=-1)
+
+
+def test_rule_stats_populated_after_run():
+    wl = small_workload(positions_per_flight=50, include_delta=False)
+    m = run_scenario(
+        ScenarioConfig(
+            n_mirrors=1, mirror_config=selective_mirroring(10), workload=wl
+        )
+    ).metrics
+    assert m.rule_stats["discarded_overwrite"] == 180
+    assert m.rule_stats["received"] == 200
+
+
+def test_server_runs_only_once():
+    from repro.core.system import MirroredServer
+
+    server = MirroredServer(ScenarioConfig(n_mirrors=0, mirroring=False,
+                                           workload=small_workload()))
+    server.run()
+    with pytest.raises(RuntimeError, match="only be called once"):
+        server.run()

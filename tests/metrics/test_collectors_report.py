@@ -1,0 +1,117 @@
+"""Unit tests for metrics collectors and report formatting."""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    RunMetrics,
+    UpdateDelayTracker,
+    format_series,
+    format_table,
+    percent_change,
+    perturbation_index,
+)
+from repro.sim import TimeSeries
+
+
+# ------------------------------------------------------ UpdateDelayTracker
+def test_tracker_observes_delay():
+    t = UpdateDelayTracker()
+    t.observe(now=5.0, entered_at=4.0)
+    t.observe(now=6.0, entered_at=5.5)
+    assert t.count == 2
+    assert t.mean == pytest.approx(0.75)
+    assert len(t.series) == 2
+
+
+def test_tracker_rejects_negative_delay():
+    t = UpdateDelayTracker()
+    with pytest.raises(ValueError):
+        t.observe(now=1.0, entered_at=2.0)
+
+
+# -------------------------------------------------------------- perturbation
+def test_perturbation_zero_for_constant_delay():
+    ts = TimeSeries()
+    for i in range(10):
+        ts.record(i * 0.5, 1.0)
+    assert perturbation_index(ts, bucket=1.0) == pytest.approx(0.0)
+
+
+def test_perturbation_higher_for_bursty_delay():
+    flat, bursty = TimeSeries(), TimeSeries()
+    for i in range(20):
+        flat.record(i * 0.5, 1.0)
+        bursty.record(i * 0.5, 10.0 if 5 <= i < 10 else 1.0)
+    assert perturbation_index(bursty) > perturbation_index(flat)
+
+
+def test_perturbation_counts_stalls_as_perturbation():
+    # a gap (no updates for seconds) must not look like calm service
+    gappy = TimeSeries()
+    gappy.record(0.5, 1.0)
+    gappy.record(5.5, 1.0)  # 4 empty buckets in between
+    smooth = TimeSeries()
+    for i in range(12):
+        smooth.record(i * 0.5, 1.0)
+    assert perturbation_index(gappy, bucket=1.0) >= 0.0
+    assert not math.isnan(perturbation_index(gappy, bucket=1.0))
+
+
+def test_perturbation_empty_series_nan():
+    assert math.isnan(perturbation_index(TimeSeries()))
+
+
+# ---------------------------------------------------------------- RunMetrics
+def test_run_metrics_mirror_traffic_ratio():
+    m = RunMetrics()
+    assert math.isnan(m.mirror_traffic_ratio())
+    m.events_generated = 100
+    m.events_mirrored = 10
+    assert m.mirror_traffic_ratio() == pytest.approx(0.1)
+
+
+def test_run_metrics_summary_keys():
+    m = RunMetrics()
+    m.events_generated = 10
+    summary = m.summary()
+    assert "total_execution_time" in summary
+    assert "mean_update_delay" in summary
+    assert "mirror_traffic_ratio" in summary
+
+
+# -------------------------------------------------------------------- report
+def test_format_table_alignment_and_title():
+    out = format_table(["x", "y"], [[1, 2.5], [10, 0.25]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "x" in lines[2] and "y" in lines[2]
+    assert len(lines) == 6
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_renders_nan_and_none():
+    out = format_table(["v"], [[float("nan")], [None]])
+    assert "nan" in out
+    assert "-" in out
+
+
+def test_format_series():
+    out = format_series("size", [1, 2], {"a": [0.1, 0.2], "b": [1.0, 2.0]})
+    assert "size" in out and "a" in out and "b" in out
+
+
+def test_format_series_length_mismatch():
+    with pytest.raises(ValueError):
+        format_series("x", [1, 2], {"a": [1.0]})
+
+
+def test_percent_change():
+    assert percent_change(10.0, 12.0) == pytest.approx(20.0)
+    assert percent_change(10.0, 8.0) == pytest.approx(-20.0)
+    assert math.isnan(percent_change(0.0, 5.0))

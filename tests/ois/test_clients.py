@@ -1,0 +1,67 @@
+"""Unit tests for client models (pool, requests, responses)."""
+
+import pytest
+
+from repro.core.events import FAA_POSITION, UpdateEvent
+from repro.ois.clients import ClientPool, InitStateRequest, InitStateResponse
+
+
+def update(size=100, entered_at=1.0):
+    return UpdateEvent(
+        kind=FAA_POSITION, stream="faa", seqno=1, key="DL1",
+        size=size, entered_at=entered_at,
+    )
+
+
+def test_pool_counts_updates_and_bytes():
+    pool = ClientPool()
+    pool.on_update(update(size=100), now=2.0)
+    pool.on_update(update(size=300), now=3.0)
+    assert pool.updates_received == 2
+    assert pool.bytes_received == 400
+
+
+def test_pool_records_delivery_delay():
+    pool = ClientPool()
+    pool.on_update(update(entered_at=1.0), now=1.5)
+    assert pool.delivery_delay.count == 1
+    assert pool.delivery_delay.mean == pytest.approx(0.5)
+
+
+def test_pool_skips_delay_for_future_entered_at():
+    # defensive: an event stamped after 'now' must not record negative delay
+    pool = ClientPool()
+    pool.on_update(update(entered_at=5.0), now=1.0)
+    assert pool.delivery_delay.count == 0
+    assert pool.updates_received == 1
+
+
+def test_response_latency():
+    r = InitStateResponse(
+        client_id="c1", issued_at=1.0, served_at=1.25,
+        snapshot_size=2048, served_by="mirror1",
+    )
+    assert r.latency == pytest.approx(0.25)
+
+
+def test_pool_request_latency_tally():
+    pool = ClientPool()
+    for served_at in (1.1, 1.3):
+        pool.on_init_response(
+            InitStateResponse("c", 1.0, served_at, 1024, "mirror1")
+        )
+    tally = pool.request_latency()
+    assert tally.count == 2
+    assert tally.mean == pytest.approx(0.2)
+
+
+def test_pool_served_by_counts():
+    pool = ClientPool()
+    for site in ("mirror1", "mirror2", "mirror1"):
+        pool.on_init_response(InitStateResponse("c", 0.0, 0.1, 1024, site))
+    assert pool.served_by_counts() == {"mirror1": 2, "mirror2": 1}
+
+
+def test_request_defaults():
+    req = InitStateRequest(client_id="thin1", issued_at=3.0)
+    assert req.reply_to == ""

@@ -1,0 +1,143 @@
+"""Unit tests for the synthetic flight-data script generator."""
+
+import pytest
+
+from repro.core.events import DELTA_STATUS, FAA_POSITION
+from repro.ois.flightdata import (
+    STATUS_LIFECYCLE,
+    EventScript,
+    FlightDataConfig,
+    generate_script,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FlightDataConfig(n_flights=0)
+    with pytest.raises(ValueError):
+        FlightDataConfig(positions_per_flight=-1)
+    with pytest.raises(ValueError):
+        FlightDataConfig(event_size=-1)
+    with pytest.raises(ValueError):
+        FlightDataConfig(position_rate=-1)
+
+
+def test_script_has_expected_event_counts():
+    cfg = FlightDataConfig(n_flights=4, positions_per_flight=10, include_delta=True)
+    script = generate_script(cfg)
+    counts = script.counts_by_kind()
+    assert counts[FAA_POSITION] == 40
+    assert counts[DELTA_STATUS] == 4 * len(STATUS_LIFECYCLE)
+
+
+def test_script_without_delta():
+    cfg = FlightDataConfig(n_flights=2, positions_per_flight=5, include_delta=False)
+    script = generate_script(cfg)
+    assert script.counts_by_kind() == {FAA_POSITION: 10}
+    assert script.streams() == ["faa"]
+
+
+def test_script_deterministic_for_seed():
+    cfg = FlightDataConfig(n_flights=3, positions_per_flight=8, seed=11)
+    s1, s2 = generate_script(cfg), generate_script(cfg)
+    e1 = [(se.at, se.event.kind, se.event.key, se.event.seqno, se.event.payload)
+          for se in s1.fresh_events()]
+    e2 = [(se.at, se.event.kind, se.event.key, se.event.seqno, se.event.payload)
+          for se in s2.fresh_events()]
+    assert e1 == e2
+
+
+def test_script_differs_across_seeds():
+    a = generate_script(FlightDataConfig(n_flights=3, positions_per_flight=8, seed=1))
+    b = generate_script(FlightDataConfig(n_flights=3, positions_per_flight=8, seed=2))
+    ka = [se.event.key for se in a.fresh_events()]
+    kb = [se.event.key for se in b.fresh_events()]
+    assert ka != kb
+
+
+def test_stream_seqnos_monotonic():
+    cfg = FlightDataConfig(n_flights=5, positions_per_flight=20, seed=3,
+                           passengers_per_flight=3)
+    script = generate_script(cfg)
+    last = {}
+    for se in script.fresh_events():
+        stream = se.event.stream
+        assert se.event.seqno > last.get(stream, 0)
+        last[stream] = se.event.seqno
+
+
+def test_event_sizes_respected():
+    cfg = FlightDataConfig(n_flights=2, positions_per_flight=4,
+                           event_size=7777, delta_event_size=333)
+    for se in generate_script(cfg).fresh_events():
+        if se.event.kind == FAA_POSITION:
+            assert se.event.size == 7777
+        else:
+            assert se.event.size == 333
+
+
+def test_positions_arrive_at_configured_rate():
+    cfg = FlightDataConfig(n_flights=2, positions_per_flight=10,
+                           position_rate=100.0, include_delta=False)
+    script = generate_script(cfg)
+    times = [se.at for se in script.fresh_events()]
+    assert times[0] == 0.0
+    assert times[1] == pytest.approx(0.01)
+    assert script.duration == pytest.approx(0.19)
+
+
+def test_positions_asap_when_rate_zero():
+    cfg = FlightDataConfig(n_flights=2, positions_per_flight=5,
+                           position_rate=0.0, include_delta=False)
+    script = generate_script(cfg)
+    assert script.duration == 0.0
+
+
+def test_all_flights_get_positions():
+    cfg = FlightDataConfig(n_flights=6, positions_per_flight=7, include_delta=False)
+    script = generate_script(cfg)
+    per_flight = {}
+    for se in script.fresh_events():
+        per_flight[se.event.key] = per_flight.get(se.event.key, 0) + 1
+    assert len(per_flight) == 6
+    assert all(v == 7 for v in per_flight.values())
+
+
+def test_passenger_events_generated():
+    cfg = FlightDataConfig(n_flights=1, positions_per_flight=2,
+                           passengers_per_flight=4, seed=5)
+    script = generate_script(cfg)
+    boarded = [
+        se for se in script.fresh_events()
+        if se.event.payload.get("passenger_boarded")
+    ]
+    assert len(boarded) == 4
+    expected = [
+        se for se in script.fresh_events()
+        if se.event.payload.get("passengers_expected")
+    ]
+    assert len(expected) == 1
+
+
+def test_fresh_events_returns_new_instances():
+    cfg = FlightDataConfig(n_flights=1, positions_per_flight=3, include_delta=False)
+    script = generate_script(cfg)
+    first = [se.event for se in script.fresh_events()]
+    second = [se.event for se in script.fresh_events()]
+    assert all(a is not b for a, b in zip(first, second))
+    # mutating one copy must not leak into the next replay
+    first[0].payload["poisoned"] = True
+    third = [se.event for se in script.fresh_events()]
+    assert "poisoned" not in third[0].payload
+
+
+def test_script_lifecycle_statuses_complete():
+    cfg = FlightDataConfig(n_flights=3, positions_per_flight=1, seed=9)
+    script = generate_script(cfg)
+    statuses = {}
+    for se in script.fresh_events():
+        s = se.event.payload.get("status")
+        if s:
+            statuses.setdefault(se.event.key, set()).add(s)
+    for fid, seen in statuses.items():
+        assert set(STATUS_LIFECYCLE) <= seen

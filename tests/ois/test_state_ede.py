@@ -1,0 +1,179 @@
+"""Unit tests for the operational state store and the EDE."""
+
+import pytest
+
+from repro.core.events import DELTA_STATUS, FAA_POSITION, UpdateEvent
+from repro.ois.ede import BOARDING_COMPLETE, FLIGHT_ARRIVED, EventDerivationEngine
+from repro.ois.state import PER_FLIGHT_SNAPSHOT_BYTES, OperationalStateStore
+
+_seq = iter(range(1, 100000))
+
+
+def ev(kind=FAA_POSITION, key="DL100", stream="faa", **payload):
+    return UpdateEvent(kind=kind, stream=stream, seqno=next(_seq), key=key, payload=payload)
+
+
+# ------------------------------------------------------------------- state
+def test_store_creates_flight_lazily():
+    store = OperationalStateStore()
+    assert len(store) == 0
+    st = store.flight("DL100")
+    assert st.status == "scheduled"
+    assert len(store) == 1
+
+
+def test_store_applies_position():
+    store = OperationalStateStore()
+    store.apply(ev(lat=10.0, lon=20.0, alt=30000.0))
+    st = store.flight("DL100")
+    assert st.position == {"lat": 10.0, "lon": 20.0, "alt": 30000.0}
+    assert st.updates_applied == 1
+
+
+def test_store_applies_status_and_boarding():
+    store = OperationalStateStore()
+    store.apply(ev(kind=DELTA_STATUS, stream="delta",
+                   status="boarding started", passengers_expected=2))
+    store.apply(ev(kind=DELTA_STATUS, stream="delta", passenger_boarded=True))
+    st = store.flight("DL100")
+    assert st.status == "boarding started"
+    assert st.passengers_expected == 2
+    assert st.passengers_boarded == 1
+    assert not st.boarding_complete
+    store.apply(ev(kind=DELTA_STATUS, stream="delta", passenger_boarded=True))
+    assert st.boarding_complete
+
+
+def test_store_tracks_stream_high_water():
+    store = OperationalStateStore()
+    e = ev()
+    store.apply(e)
+    assert store.stream_high_water("faa") == e.seqno
+    assert store.stream_high_water("delta") == 0
+
+
+def test_store_snapshot_size_scales_with_flights():
+    store = OperationalStateStore()
+    for i in range(5):
+        store.apply(ev(key=f"DL{i}"))
+    snap = store.snapshot(now=1.0)
+    assert snap.flight_count == 5
+    assert snap.size == 5 * PER_FLIGHT_SNAPSHOT_BYTES
+    assert snap.taken_at == 1.0
+    assert snap.as_of["faa"] > 0
+
+
+def test_store_snapshot_min_size_when_empty():
+    snap = OperationalStateStore().snapshot(now=0.0)
+    assert snap.size == PER_FLIGHT_SNAPSHOT_BYTES
+
+
+def test_store_derived_arrival_kind_marks_arrived():
+    store = OperationalStateStore()
+    store.apply(ev(kind=DELTA_STATUS + ".arrived", stream="delta", arrived=True))
+    assert store.flight("DL100").arrived
+
+
+# --------------------------------------------------------------------- EDE
+def test_ede_outputs_compact_update_first():
+    from repro.ois.ede import UPDATE_DELTA_SIZE
+
+    ede = EventDerivationEngine()
+    e = ev(lat=1.5)
+    e.size = 8192
+    out = ede.process(e)
+    update = out[0]
+    # the first output is the state update for the input: same identity
+    # fields and timing, but compact (a delta, not the raw event)
+    assert update.kind == e.kind and update.key == e.key
+    assert update.seqno == e.seqno
+    assert update.payload == e.payload
+    assert update.size == UPDATE_DELTA_SIZE
+    assert ede.processed == 1
+
+
+def test_ede_update_never_larger_than_input():
+    ede = EventDerivationEngine()
+    e = ev()
+    e.size = 100  # already smaller than the delta cap
+    out = ede.process(e)
+    assert out[0].size == 100
+
+
+def test_ede_boarding_complete_derivation():
+    ede = EventDerivationEngine()
+    ede.process(ev(kind=DELTA_STATUS, stream="delta",
+                   status="boarding started", passengers_expected=2))
+    out1 = ede.process(ev(kind=DELTA_STATUS, stream="delta", passenger_boarded=True))
+    assert len(out1) == 1  # not complete yet
+    out2 = ede.process(ev(kind=DELTA_STATUS, stream="delta", passenger_boarded=True))
+    kinds = [e.kind for e in out2]
+    assert BOARDING_COMPLETE in kinds
+    assert ede.derived == 1
+
+
+def test_ede_arrival_derivation_requires_full_sequence():
+    ede = EventDerivationEngine()
+    out = ede.process(ev(kind=DELTA_STATUS, stream="delta", status="flight landed"))
+    assert len(out) == 1
+    out = ede.process(ev(kind=DELTA_STATUS, stream="delta", status="flight at runway"))
+    assert len(out) == 1
+    out = ede.process(ev(kind=DELTA_STATUS, stream="delta", status="flight at gate"))
+    kinds = [e.kind for e in out]
+    assert FLIGHT_ARRIVED in kinds
+    assert ede.state.flight("DL100").arrived
+
+
+def test_ede_arrival_not_rederived():
+    ede = EventDerivationEngine()
+    for status in ("flight landed", "flight at runway", "flight at gate"):
+        ede.process(ev(kind=DELTA_STATUS, stream="delta", status=status))
+    out = ede.process(ev(kind=DELTA_STATUS, stream="delta", status="flight at gate"))
+    assert [e.kind for e in out] == [DELTA_STATUS]
+
+
+def test_ede_arrival_per_flight():
+    ede = EventDerivationEngine()
+    for status in ("flight landed", "flight at runway"):
+        ede.process(ev(kind=DELTA_STATUS, stream="delta", key="DL1", status=status))
+    out = ede.process(
+        ev(kind=DELTA_STATUS, stream="delta", key="DL2", status="flight at gate")
+    )
+    assert len(out) == 1  # DL2 only has one milestone
+
+
+def test_ede_derived_events_inherit_key_and_timing():
+    ede = EventDerivationEngine()
+    ede.process(ev(kind=DELTA_STATUS, stream="delta",
+                   status="boarding started", passengers_expected=1))
+    trigger = ev(kind=DELTA_STATUS, stream="delta", passenger_boarded=True)
+    out = ede.process(trigger)
+    derived = [e for e in out if e.kind == BOARDING_COMPLETE][0]
+    assert derived.key == trigger.key
+    assert derived.seqno == trigger.seqno
+
+
+def test_ede_replicas_converge_on_same_digest():
+    """Two EDEs fed the same event sequence have identical state
+    — the replication invariant mirroring relies on."""
+    def feed(ede):
+        for i in range(3):
+            ede.process(UpdateEvent(kind=FAA_POSITION, stream="faa", seqno=i + 1,
+                                    key="DL1", payload={"lat": float(i)}))
+        for j, status in enumerate(
+            ("flight landed", "flight at runway", "flight at gate")
+        ):
+            ede.process(UpdateEvent(kind=DELTA_STATUS, stream="delta", seqno=j + 1,
+                                    key="DL1", payload={"status": status}))
+
+    a, b = EventDerivationEngine(), EventDerivationEngine()
+    feed(a)
+    feed(b)
+    assert a.state_digest() == b.state_digest()
+
+
+def test_ede_digest_differs_on_divergence():
+    a, b = EventDerivationEngine(), EventDerivationEngine()
+    a.process(ev(lat=1.0))
+    b.process(ev(lat=2.0))
+    assert a.state_digest() != b.state_digest()

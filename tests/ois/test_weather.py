@@ -1,0 +1,121 @@
+"""Unit tests for the inclement-weather surge generator (§1 Case 2)."""
+
+import pytest
+
+from repro.core.events import DELTA_STATUS, FAA_POSITION
+from repro.ois import FlightDataConfig, WeatherFront, apply_weather, generate_script
+
+
+def base_config(**kw):
+    defaults = dict(
+        n_flights=5, positions_per_flight=100, event_size=1000,
+        position_rate=1000.0, seed=8,
+    )
+    defaults.update(kw)
+    return FlightDataConfig(**defaults)
+
+
+def test_front_validation():
+    with pytest.raises(ValueError):
+        WeatherFront(start=-1, duration=1)
+    with pytest.raises(ValueError):
+        WeatherFront(start=0, duration=0)
+    with pytest.raises(ValueError):
+        WeatherFront(start=0, duration=1, rate_multiplier=0.5)
+    with pytest.raises(ValueError):
+        WeatherFront(start=0, duration=1, precision_size_multiplier=0.5)
+
+
+def test_front_covers_window():
+    front = WeatherFront(start=1.0, duration=2.0)
+    assert front.covers(1.0)
+    assert front.covers(2.9)
+    assert not front.covers(3.0)
+    assert not front.covers(0.9)
+    assert front.end == 3.0
+
+
+def test_weather_requires_paced_base():
+    with pytest.raises(ValueError):
+        apply_weather(base_config(position_rate=0.0), WeatherFront(0.0, 1.0))
+
+
+def test_weather_adds_events_inside_window_only():
+    cfg = base_config()
+    front = WeatherFront(start=0.1, duration=0.2, rate_multiplier=3.0)
+    base = generate_script(cfg)
+    surged = apply_weather(cfg, front)
+    assert len(surged) > len(base)
+    extra = len(surged) - len(base)
+    # window holds ~200 base fixes; 2 extra per base fix expected
+    assert 300 < extra < 500
+    for se in surged.fresh_events():
+        if se.event.payload.get("extra_fix") is not None:
+            assert front.covers(se.at)
+
+
+def test_weather_inflates_in_window_position_sizes():
+    cfg = base_config(event_size=1000)
+    front = WeatherFront(start=0.1, duration=0.1, precision_size_multiplier=2.0)
+    for se in apply_weather(cfg, front).fresh_events():
+        ev = se.event
+        if ev.kind != FAA_POSITION:
+            continue
+        if front.covers(se.at):
+            assert ev.size == 2000
+            assert ev.payload.get("weather")
+        else:
+            assert ev.size == 1000
+            assert "weather" not in ev.payload
+
+
+def test_weather_preserves_delta_stream():
+    cfg = base_config()
+    front = WeatherFront(start=0.0, duration=0.5)
+    base_delta = [
+        (se.at, se.event.seqno)
+        for se in generate_script(cfg).fresh_events()
+        if se.event.kind == DELTA_STATUS
+    ]
+    surged_delta = [
+        (se.at, se.event.seqno)
+        for se in apply_weather(cfg, front).fresh_events()
+        if se.event.kind == DELTA_STATUS
+    ]
+    assert base_delta == surged_delta
+
+
+def test_weather_faa_seqnos_monotone():
+    cfg = base_config()
+    front = WeatherFront(start=0.05, duration=0.3, rate_multiplier=4.0)
+    last = 0
+    for se in apply_weather(cfg, front).fresh_events():
+        if se.event.stream == "faa":
+            assert se.event.seqno == last + 1
+            last = se.event.seqno
+
+
+def test_weather_deterministic():
+    cfg = base_config(seed=33)
+    front = WeatherFront(start=0.1, duration=0.2)
+
+    def fingerprint():
+        return [
+            (se.at, se.event.seqno, se.event.key, se.event.size)
+            for se in apply_weather(cfg, front).fresh_events()
+        ]
+
+    assert fingerprint() == fingerprint()
+
+
+def test_rate_multiplier_one_adds_nothing():
+    cfg = base_config()
+    front = WeatherFront(start=0.0, duration=10.0, rate_multiplier=1.0,
+                         precision_size_multiplier=1.5)
+    base = generate_script(cfg)
+    surged = apply_weather(cfg, front)
+    assert len(surged) == len(base)
+    # but precision inflation still applies
+    sizes = {se.event.size for se in surged.fresh_events()
+             if se.event.kind == FAA_POSITION}
+    assert sizes == {1500}

@@ -1,0 +1,135 @@
+"""Property-based tests: vector-timestamp algebra and backup queues."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import FAA_POSITION, UpdateEvent, VectorTimestamp
+from repro.core.queues import BackupQueue
+
+streams = st.sampled_from(["faa", "delta", "ops", "wx"])
+clocks = st.dictionaries(streams, st.integers(min_value=0, max_value=1000), max_size=4)
+vts = clocks.map(VectorTimestamp)
+
+
+# ------------------------------------------------------------ VT lattice
+@given(vts, vts)
+def test_merge_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@given(vts, vts, vts)
+def test_merge_associative(a, b, c):
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(vts)
+def test_merge_idempotent(a):
+    assert a.merge(a) == a
+
+
+@given(vts, vts)
+def test_floor_commutative(a, b):
+    assert a.floor(b) == b.floor(a)
+
+
+@given(vts, vts, vts)
+def test_floor_associative(a, b, c):
+    assert a.floor(b).floor(c) == a.floor(b.floor(c))
+
+
+@given(vts, vts)
+def test_merge_dominates_both(a, b):
+    m = a.merge(b)
+    assert m.dominates(a) and m.dominates(b)
+
+
+@given(vts, vts)
+def test_both_dominate_floor(a, b):
+    f = a.floor(b)
+    assert a.dominates(f) and b.dominates(f)
+
+
+@given(vts, vts)
+def test_absorption_laws(a, b):
+    assert a.merge(a.floor(b)) == a
+    assert a.floor(a.merge(b)) == a
+
+
+@given(vts, streams, st.integers(min_value=0, max_value=1000))
+def test_advanced_monotone(vt, stream, seq):
+    adv = vt.advanced(stream, seq)
+    assert adv.dominates(vt)
+    assert adv.component(stream) == max(vt.component(stream), seq)
+
+
+@given(vts, streams, st.integers(min_value=0, max_value=1000))
+def test_covers_iff_component_geq(vt, stream, seq):
+    assert vt.covers(stream, seq) == (vt.component(stream) >= seq)
+
+
+@given(vts, vts)
+def test_dominates_antisymmetric_up_to_equality(a, b):
+    if a.dominates(b) and b.dominates(a):
+        assert a == b
+
+
+@given(vts)
+def test_hash_consistent_with_eq(a):
+    same = VectorTimestamp(a.as_dict())
+    assert a == same and hash(a) == hash(same)
+
+
+# ------------------------------------------------------------ BackupQueue
+events_lists = st.lists(
+    st.tuples(streams, st.integers(min_value=1, max_value=500)),
+    min_size=0,
+    max_size=60,
+)
+
+
+def build_queue(pairs):
+    bq = BackupQueue()
+    seq_per_stream = {}
+    for stream, _raw in pairs:
+        # per-stream monotone seqnos, as the receiving task guarantees
+        seq = seq_per_stream.get(stream, 0) + 1
+        seq_per_stream[stream] = seq
+        ev = UpdateEvent(kind=FAA_POSITION, stream=stream, seqno=seq, key="K")
+        bq.append(ev.stamped(VectorTimestamp({stream: seq}), 0.0))
+    return bq
+
+
+@given(events_lists, vts)
+@settings(max_examples=200)
+def test_trim_removes_exactly_covered_events(pairs, commit):
+    bq = build_queue(pairs)
+    total = len(bq)
+    covered = bq.covered_count(commit)
+    removed = bq.trim(commit)
+    assert removed == covered
+    assert len(bq) == total - removed
+    # no surviving event is covered
+    for ev in bq.events():
+        assert not commit.covers(ev.stream, ev.seqno)
+
+
+@given(events_lists, vts)
+def test_trim_idempotent(pairs, commit):
+    bq = build_queue(pairs)
+    bq.trim(commit)
+    assert bq.trim(commit) == 0
+
+
+@given(events_lists, vts, vts)
+@settings(max_examples=200)
+def test_later_commit_encapsulates_earlier(pairs, a, b):
+    """Trimming with a then a.merge(b) equals trimming once with the
+    merge — the paper's 'later commit encapsulates the earlier one'."""
+    bq1 = build_queue(pairs)
+    bq2 = build_queue(pairs)
+    bq1.trim(a)
+    bq1.trim(a.merge(b))
+    bq2.trim(a.merge(b))
+    ids1 = [(e.stream, e.seqno) for e in bq1.events()]
+    ids2 = [(e.stream, e.seqno) for e in bq2.events()]
+    assert ids1 == ids2

@@ -1,0 +1,161 @@
+"""Property-based tests: checkpoint protocol and adaptation controller."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptation import AdaptationController, MONITOR_READY_QUEUE
+from repro.core.checkpoint import (
+    CheckpointCoordinator,
+    ChkptRepMsg,
+    MainUnitCheckpointer,
+)
+from repro.core.config import (
+    AdaptDirective,
+    MirrorConfig,
+    MonitorSpec,
+    PARAM_CHECKPOINT_FREQ,
+)
+from repro.core.events import FAA_POSITION, VectorTimestamp
+
+
+# ------------------------------------------------------- protocol schedules
+site_names = ["central", "m1", "m2"]
+
+#: a random protocol run: per round, a proposal level and per-site
+#: (progress, reply_delivered) decisions
+rounds_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=500),  # proposal seq
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=500),  # site progress bump
+                st.booleans(),  # reply delivered?
+            ),
+            min_size=len(site_names),
+            max_size=len(site_names),
+        ),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(rounds_strategy)
+@settings(max_examples=300)
+def test_checkpoint_safety_under_arbitrary_schedules(rounds):
+    """For any schedule of proposals, per-site progress and lost
+    replies: every commit's vt is covered by every site's progress at
+    the time it voted, and successive commits are monotone."""
+    coord = CheckpointCoordinator(set(site_names))
+    units = {name: MainUnitCheckpointer(name) for name in site_names}
+    commits = []
+
+    proposal_level = 0
+    for proposal_bump, site_actions in rounds:
+        # real proposals are the backup queue's *last* timestamp, which
+        # only advances — accumulate the generated bumps
+        proposal_level += proposal_bump
+        msg = coord.initiate(VectorTimestamp({"faa": proposal_level}))
+        assert msg is not None
+        progress_at_vote = {}
+        for name, (bump, delivered) in zip(site_names, site_actions):
+            unit = units[name]
+            if bump:
+                unit.note_processed("faa", unit.processed_vt.component("faa") + bump)
+            reply = unit.on_chkpt(msg)
+            progress_at_vote[name] = unit.processed_vt.component("faa")
+            if delivered:
+                commit = coord.on_reply(reply)
+                if commit is not None:
+                    commits.append((commit, dict(progress_at_vote)))
+
+    for commit, progress in commits:
+        for name, seen in progress.items():
+            assert commit.vt.component("faa") <= units[name].processed_vt.component("faa")
+    # commits are monotone (later encapsulates earlier)
+    for (a, _), (b, _) in zip(commits, commits[1:]):
+        assert b.vt.dominates(a.vt) or b.vt == a.vt
+
+
+@given(rounds_strategy)
+@settings(max_examples=200)
+def test_commit_requires_all_live_replies(rounds):
+    """A round commits only when every participant's reply arrives."""
+    coord = CheckpointCoordinator(set(site_names))
+    units = {name: MainUnitCheckpointer(name) for name in site_names}
+    for proposal_seq, site_actions in rounds:
+        msg = coord.initiate(VectorTimestamp({"faa": proposal_seq}))
+        delivered = 0
+        committed = False
+        for name, (bump, deliver) in zip(site_names, site_actions):
+            unit = units[name]
+            if bump:
+                unit.note_processed("faa", bump)
+            if deliver:
+                delivered += 1
+                committed = coord.on_reply(unit.on_chkpt(msg)) is not None
+        assert committed == (delivered == len(site_names))
+
+
+# ------------------------------------------------------- adaptation control
+monitor_values = st.lists(
+    st.floats(min_value=0, max_value=300, allow_nan=False), min_size=1, max_size=60
+)
+
+
+def controller(primary=100.0, secondary=60.0):
+    cfg = MirrorConfig(
+        checkpoint_freq=50,
+        adapt_directives=[AdaptDirective(param=PARAM_CHECKPOINT_FREQ, percent=100.0)],
+        monitors={
+            MONITOR_READY_QUEUE: MonitorSpec(MONITOR_READY_QUEUE, primary, secondary)
+        },
+    )
+    return AdaptationController(cfg)
+
+
+@given(monitor_values)
+@settings(max_examples=300)
+def test_adaptation_commands_strictly_alternate(values):
+    ctl = controller()
+    actions = []
+    for v in values:
+        cmd = ctl.evaluate({MONITOR_READY_QUEUE: v})
+        if cmd is not None:
+            actions.append(cmd.action)
+    for a, b in zip(actions, actions[1:]):
+        assert a != b  # adapt / revert strictly alternate
+    if actions:
+        assert actions[0] == "adapt"
+
+
+@given(monitor_values)
+@settings(max_examples=300)
+def test_adaptation_trigger_and_restore_thresholds(values):
+    primary, secondary = 100.0, 60.0
+    ctl = controller(primary, secondary)
+    adapted = False
+    for v in values:
+        cmd = ctl.evaluate({MONITOR_READY_QUEUE: v})
+        if cmd is not None and cmd.action == "adapt":
+            assert v >= primary
+            adapted = True
+        elif cmd is not None and cmd.action == "revert":
+            assert v < primary - secondary
+            adapted = False
+        else:
+            # no command: either calm and not adapted, or inside the band
+            if not adapted:
+                assert v < primary
+            else:
+                assert v >= primary - secondary
+    assert ctl.adapted == adapted
+
+
+@given(monitor_values)
+def test_adaptation_state_matches_command_count(values):
+    ctl = controller()
+    for v in values:
+        ctl.evaluate({MONITOR_READY_QUEUE: v})
+    assert ctl.adaptations - ctl.reversions in (0, 1)
+    assert ctl.adapted == (ctl.adaptations == ctl.reversions + 1)

@@ -1,0 +1,150 @@
+"""Property-based tests: semantic-rule invariants (DESIGN.md §6)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import DELTA_STATUS, FAA_POSITION, UpdateEvent
+from repro.core.rules import (
+    CoalesceRule,
+    ComplexSequenceRule,
+    OverwriteRule,
+    RuleEngine,
+)
+
+keys = st.sampled_from(["DL1", "DL2", "DL3"])
+kinds = st.sampled_from([FAA_POSITION, DELTA_STATUS])
+
+_uid = itertools.count(1)
+
+
+def make_events(spec):
+    """spec: list of (kind, key, lat) tuples -> stamped-ish events."""
+    events = []
+    seq = itertools.count(1)
+    for kind, key, lat in spec:
+        events.append(
+            UpdateEvent(
+                kind=kind, stream="s", seqno=next(seq), key=key,
+                payload={"lat": lat},
+            )
+        )
+    return events
+
+
+event_specs = st.lists(
+    st.tuples(kinds, keys, st.floats(0, 90, allow_nan=False)),
+    min_size=0, max_size=120,
+)
+
+
+# -------------------------------------------------------------- Overwrite
+@given(event_specs, st.integers(min_value=1, max_value=12))
+@settings(max_examples=200)
+def test_overwrite_keeps_every_lth_event(spec, L):
+    engine = RuleEngine([OverwriteRule(FAA_POSITION, L)])
+    position_index = {}  # key -> count of positions seen
+    for ev in make_events(spec):
+        out = engine.on_receive(ev)
+        if ev.kind != FAA_POSITION:
+            assert out == [ev]
+            continue
+        n = position_index.get(ev.key, 0)
+        position_index[ev.key] = n + 1
+        # exactly the first of every run of L is mirrored
+        assert (len(out) == 1) == (n % L == 0)
+
+
+@given(event_specs, st.integers(min_value=1, max_value=12))
+def test_overwrite_conservation(spec, L):
+    engine = RuleEngine([OverwriteRule(FAA_POSITION, L)])
+    passed = 0
+    for ev in make_events(spec):
+        passed += len(engine.on_receive(ev))
+    stats = engine.stats()
+    assert passed + stats["discarded_overwrite"] == stats["received"]
+
+
+# --------------------------------------------------------------- Coalesce
+@given(event_specs, st.integers(min_value=1, max_value=10))
+@settings(max_examples=200)
+def test_coalesce_conservation_and_last_value(spec, N):
+    engine = RuleEngine([CoalesceRule(N)])
+    events = make_events(spec)
+    emitted = []
+    for ev in events:
+        emitted.extend(engine.on_send(ev))
+    flushed = engine.flush("send")
+    # conservation: every original is represented exactly once
+    total_represented = sum(e.coalesced_from for e in emitted + flushed)
+    assert total_represented == len(events)
+    # each combined event carries the payload of its last constituent
+    per_key_lats = {}
+    for ev in events:
+        per_key_lats.setdefault(ev.key, []).append(ev.payload["lat"])
+    for combined in emitted + flushed:
+        assert combined.payload["lat"] in per_key_lats[combined.key]
+
+
+@given(event_specs, st.integers(min_value=2, max_value=10))
+def test_coalesce_never_exceeds_max(spec, N):
+    engine = RuleEngine([CoalesceRule(N)])
+    for ev in make_events(spec):
+        for out in engine.on_send(ev):
+            assert out.coalesced_from <= N
+    for out in engine.flush("send"):
+        assert out.coalesced_from <= N
+
+
+# -------------------------------------------------------- ComplexSequence
+trigger_positions = st.lists(
+    st.tuples(keys, st.booleans(), st.floats(0, 90, allow_nan=False)),
+    min_size=0, max_size=100,
+)
+
+
+@given(trigger_positions)
+@settings(max_examples=200)
+def test_no_position_survives_after_landing(seq):
+    """For any interleaving of landings and position fixes, no FAA
+    position event for a flight passes the engine after that flight's
+    'flight landed' event (paper's set_complex_seq example)."""
+    engine = RuleEngine(
+        [ComplexSequenceRule(DELTA_STATUS, {"status": "flight landed"}, FAA_POSITION)]
+    )
+    landed = set()
+    seqno = itertools.count(1)
+    for key, is_landing, lat in seq:
+        if is_landing:
+            ev = UpdateEvent(
+                kind=DELTA_STATUS, stream="s", seqno=next(seqno), key=key,
+                payload={"status": "flight landed"},
+            )
+            engine.on_receive(ev)
+            landed.add(key)
+        else:
+            ev = UpdateEvent(
+                kind=FAA_POSITION, stream="s", seqno=next(seqno), key=key,
+                payload={"lat": lat},
+            )
+            out = engine.on_receive(ev)
+            assert (out == []) == (key in landed)
+
+
+# ------------------------------------------------------------ pipelines
+@given(event_specs, st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))
+@settings(max_examples=100)
+def test_overwrite_then_coalesce_composition_conserves(spec, L, N):
+    """Receive-side overwrite composed with send-side coalesce: every
+    received event is either discarded by overwrite or represented in
+    exactly one emitted/flushed mirror event."""
+    engine = RuleEngine([OverwriteRule(FAA_POSITION, L), CoalesceRule(N)])
+    events = make_events(spec)
+    emitted = []
+    for ev in events:
+        for passed in engine.on_receive(ev):
+            emitted.extend(engine.on_send(passed))
+    emitted.extend(engine.flush("send"))
+    represented = sum(e.coalesced_from for e in emitted)
+    assert represented + engine.table.discarded_overwrite == len(events)

@@ -1,0 +1,104 @@
+"""Property-based tests: the simulation kernel itself.
+
+Determinism and conservation properties of the substrate — if these
+break, every figure silently changes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+# A random workload shape: per "job", (arrival_gap, service_demand)
+jobs_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50),   # gap (ms as ints)
+        st.integers(min_value=1, max_value=40),   # service (ms)
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def run_fifo_workload(jobs, capacity):
+    """Jobs arrive sequentially and compete for a shared resource."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    completions = []
+
+    def job(idx, service):
+        yield from res.acquire(service / 1000.0)
+        completions.append((idx, round(env.now, 9)))
+
+    def arrivals():
+        for idx, (gap, service) in enumerate(jobs):
+            if gap:
+                yield env.timeout(gap / 1000.0)
+            env.process(job(idx, service))
+
+    env.process(arrivals())
+    env.run()
+    return completions, env.now
+
+
+@given(jobs_strategy, st.integers(min_value=1, max_value=3))
+@settings(max_examples=150)
+def test_identical_runs_identical_traces(jobs, capacity):
+    assert run_fifo_workload(jobs, capacity) == run_fifo_workload(jobs, capacity)
+
+
+@given(jobs_strategy)
+@settings(max_examples=150)
+def test_single_server_makespan_conserves_work(jobs):
+    """With one server, total busy time equals the sum of demands and
+    the makespan is at least max(total work, last arrival + service)."""
+    completions, makespan = run_fifo_workload(jobs, capacity=1)
+    total_work = sum(s for _, s in jobs) / 1000.0
+    assert len(completions) == len(jobs)
+    assert makespan >= total_work - 1e-9
+    arrival = 0.0
+    for gap, service in jobs:
+        arrival += gap / 1000.0
+    assert makespan >= arrival  # last arrival bounds the makespan too
+
+
+@given(jobs_strategy, st.integers(min_value=1, max_value=3))
+@settings(max_examples=100)
+def test_wider_resource_never_slower(jobs, capacity):
+    _, narrow = run_fifo_workload(jobs, capacity)
+    _, wide = run_fifo_workload(jobs, capacity + 1)
+    assert wide <= narrow + 1e-9
+
+
+@given(jobs_strategy)
+@settings(max_examples=100)
+def test_fifo_completion_order_single_server(jobs):
+    """Capacity-1 resources grant strictly in request order."""
+    completions, _ = run_fifo_workload(jobs, capacity=1)
+    indices = [idx for idx, _ in completions]
+    assert indices == sorted(indices)
+
+
+items_strategy = st.lists(st.integers(), min_size=0, max_size=60)
+
+
+@given(items_strategy, st.integers(min_value=1, max_value=8))
+@settings(max_examples=150)
+def test_store_preserves_fifo_and_conserves_items(items, capacity):
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            received.append((yield store.get()))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == list(items)
+    assert store.level == 0

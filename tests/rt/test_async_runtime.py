@@ -1,0 +1,217 @@
+"""Tests for the live asyncio runtime."""
+
+import asyncio
+
+import pytest
+
+from repro.core import (
+    AdaptDirective,
+    MonitorSpec,
+    PARAM_MIRROR_FUNCTION,
+    adaptive_normal,
+    selective_mirroring,
+    simple_mirroring,
+)
+from repro.core.adaptation import MONITOR_PENDING_REQUESTS
+from repro.ois import FlightDataConfig, generate_script
+from repro.rt import AsyncChannel, AsyncMirroredServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def script(**kw):
+    defaults = dict(n_flights=4, positions_per_flight=30, seed=31)
+    defaults.update(kw)
+    return generate_script(FlightDataConfig(**defaults))
+
+
+# ------------------------------------------------------------ AsyncChannel
+def test_channel_kind_validated():
+    with pytest.raises(ValueError):
+        AsyncChannel("c", kind="gossip")
+
+
+def test_channel_fanout_and_filters():
+    async def scenario():
+        ch = AsyncChannel("c")
+        all_sub = ch.subscribe("all")
+        filtered = ch.subscribe("odd", accepts=lambda p: p % 2 == 1)
+        for i in range(4):
+            await ch.publish(i)
+        return all_sub.delivered, filtered.delivered, all_sub.level()
+
+    total, odd, level = run(scenario())
+    assert total == 4 and odd == 2 and level == 4
+
+
+def test_channel_unsubscribe():
+    async def scenario():
+        ch = AsyncChannel("c")
+        sub = ch.subscribe("s")
+        ch.unsubscribe("s")
+        return await ch.publish("x")
+
+    assert run(scenario()) == 0
+
+
+def test_channel_backpressure_blocks_publisher():
+    async def scenario():
+        ch = AsyncChannel("c")
+        ch.subscribe("slow", capacity=2)
+        await ch.publish(1)
+        await ch.publish(2)
+        with pytest.raises(asyncio.TimeoutError):
+            await asyncio.wait_for(ch.publish(3), timeout=0.05)
+        return True
+
+    assert run(scenario())
+
+
+# --------------------------------------------------------------- full runs
+def test_server_validates_args():
+    with pytest.raises(ValueError):
+        AsyncMirroredServer(n_mirrors=-1)
+    with pytest.raises(ValueError):
+        AsyncMirroredServer(time_factor=-1)
+
+
+def test_live_run_processes_everything():
+    server = AsyncMirroredServer(n_mirrors=2)
+    summary = run(server.run(script()))
+    assert summary.events_processed_central == summary.events_in
+    assert summary.events_mirrored == summary.events_in  # simple mirroring
+    assert summary.updates_distributed >= summary.events_in
+    assert summary.wall_seconds > 0
+
+
+def test_live_replicas_converge():
+    server = AsyncMirroredServer(n_mirrors=3)
+    summary = run(server.run(script(positions_per_flight=50)))
+    assert summary.replicas_consistent
+
+
+def test_live_selective_mirroring_cuts_traffic():
+    server = AsyncMirroredServer(
+        n_mirrors=1, mirror_config=selective_mirroring(10)
+    )
+    sc = script(positions_per_flight=50, include_delta=False)
+    summary = run(server.run(sc))
+    assert summary.events_mirrored == 20  # 200 positions / 10
+    assert summary.events_processed_central == 200
+
+
+def test_live_checkpoints_commit():
+    server = AsyncMirroredServer(n_mirrors=2)
+    summary = run(server.run(script(positions_per_flight=60)))
+    assert summary.checkpoint_rounds > 0
+    assert summary.checkpoint_commits > 0
+
+
+def test_live_backup_queues_trimmed():
+    server = AsyncMirroredServer(n_mirrors=1)
+    run(server.run(script(positions_per_flight=60)))
+    central_backup = server.central.backup
+    assert central_backup.total_trimmed > 0
+    assert len(central_backup) < central_backup.total_appended
+
+
+def test_live_requests_served_round_robin():
+    server = AsyncMirroredServer(n_mirrors=2)
+    summary = run(server.run(script(), request_times=[0.0] * 6))
+    assert summary.requests_served == 6
+    by_site = {
+        m.site: len(m.main.responses) for m in server.mirrors
+    }
+    assert by_site == {"mirror1": 3, "mirror2": 3}
+
+
+def test_live_requests_to_central_without_mirrors():
+    server = AsyncMirroredServer(n_mirrors=0)
+    summary = run(server.run(script(), request_times=[0.0, 0.0]))
+    assert summary.requests_served == 2
+    assert len(server.central.main.responses) == 2
+
+
+def test_live_no_mirrors_still_checkpoints_locally():
+    server = AsyncMirroredServer(n_mirrors=0)
+    summary = run(server.run(script(positions_per_flight=60)))
+    assert summary.checkpoint_commits == summary.checkpoint_rounds > 0
+
+
+def test_live_adaptation_triggers():
+    cfg = adaptive_normal()
+    cfg.adapt_directives.append(
+        AdaptDirective(param=PARAM_MIRROR_FUNCTION, function_name="adaptive_reduced")
+    )
+    cfg.monitors[MONITOR_PENDING_REQUESTS] = MonitorSpec(
+        MONITOR_PENDING_REQUESTS, primary=3, secondary=2
+    )
+    server = AsyncMirroredServer(
+        n_mirrors=1, mirror_config=cfg, adaptation=True,
+        request_service_delay=0.002,
+    )
+    # flood one mirror with slow-to-serve requests so its pending buffer
+    # trips the primary threshold at a checkpoint round
+    summary = run(
+        server.run(script(positions_per_flight=200), request_times=[0.0] * 200)
+    )
+    assert summary.adaptations >= 1
+    assert summary.adaptation_log[0][1] == "adapt"
+    assert server.mirrors[0].applied_config is not None
+
+
+def test_live_run_deterministic_event_accounting():
+    def go():
+        server = AsyncMirroredServer(n_mirrors=1, mirror_config=selective_mirroring(5))
+        summary = run(server.run(script(seed=99)))
+        return (
+            summary.events_in,
+            summary.events_mirrored,
+            summary.events_processed_central,
+            summary.replica_digests[0],
+        )
+
+    assert go() == go()
+
+
+def test_live_time_factor_paces_replay():
+    sc = script(n_flights=2, positions_per_flight=5, position_rate=100.0)
+    fast = AsyncMirroredServer(n_mirrors=0, time_factor=0.0)
+    paced = AsyncMirroredServer(n_mirrors=0, time_factor=1.0)
+    t_fast = run(fast.run(sc)).wall_seconds
+    t_paced = run(paced.run(sc)).wall_seconds
+    # the script spans ~0.09 s of event time; paced replay honours it
+    assert t_paced > t_fast
+    assert t_paced >= 0.08
+
+
+def test_live_games_domain_runs_on_injected_engine():
+    """The games business logic replaces the airline EDE in the live
+    runtime; replicas still converge on the scoreboard digest."""
+    from repro.apps.games import (
+        GamesWorkload,
+        ScoreboardEngine,
+        games_mirroring,
+        generate_games_script,
+    )
+
+    wl = GamesWorkload(n_contests=6, score_updates_per_contest=30,
+                       score_rate=5000.0, seed=13)
+    games_script = generate_games_script(wl)
+    server = AsyncMirroredServer(
+        n_mirrors=2,
+        mirror_config=games_mirroring(overwrite_scores=5),
+        engine_factory=ScoreboardEngine,
+    )
+    summary = run(server.run(games_script, request_times=[0.0] * 4))
+    assert summary.events_processed_central == len(games_script)
+    assert summary.events_mirrored < len(games_script)
+    assert summary.requests_served == 4
+    # every mirror converged on the same final scoreboard for the
+    # contests it saw finals for
+    central = server.central.main.ede
+    for mirror in server.mirrors:
+        assert mirror.main.ede.finals == central.finals
+        assert mirror.main.ede.medals == central.medals

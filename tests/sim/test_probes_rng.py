@@ -1,0 +1,170 @@
+"""Unit tests for measurement probes and random streams."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import Counter, RandomStreams, Tally, TimeSeries, TimeWeightedGauge
+from repro.sim.probes import SummaryStats
+
+
+# ----------------------------------------------------------------- Counter
+def test_counter_increments():
+    c = Counter("events")
+    c.increment()
+    c.increment(4)
+    assert int(c) == 5
+
+
+def test_counter_rejects_negative():
+    c = Counter()
+    with pytest.raises(ValueError):
+        c.increment(-1)
+
+
+# ------------------------------------------------------------------- Tally
+def test_tally_basic_stats():
+    t = Tally("delay")
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        t.observe(v)
+    assert t.count == 4
+    assert t.mean == pytest.approx(2.5)
+    assert t.minimum == 1.0
+    assert t.maximum == 4.0
+    assert t.std == pytest.approx(np.std([1, 2, 3, 4]))
+
+
+def test_tally_empty_stats_are_nan():
+    t = Tally()
+    assert math.isnan(t.mean)
+    assert math.isnan(t.std)
+    assert math.isnan(t.minimum)
+
+
+def test_tally_summary_percentiles():
+    t = Tally()
+    for v in range(101):
+        t.observe(float(v))
+    s = t.summary()
+    assert s.p50 == pytest.approx(50.0)
+    assert s.p95 == pytest.approx(95.0)
+    assert s.p99 == pytest.approx(99.0)
+
+
+def test_tally_without_samples_still_tracks_moments():
+    t = Tally(keep_samples=False)
+    for v in [10.0, 20.0]:
+        t.observe(v)
+    assert t.samples == []
+    s = t.summary()
+    assert s.mean == pytest.approx(15.0)
+    assert math.isnan(s.p50)
+
+
+def test_summary_of_empty_list():
+    s = SummaryStats.of([])
+    assert s.count == 0
+    assert math.isnan(s.mean)
+
+
+# ------------------------------------------------------------------- Gauge
+def test_gauge_time_average():
+    g = TimeWeightedGauge("queue")
+    g.set(10, now=0.0)
+    g.set(0, now=5.0)
+    # level 10 for [0,5), 0 for [5,10) -> average 5
+    assert g.time_average(10.0) == pytest.approx(5.0)
+    assert g.peak == 10
+
+
+def test_gauge_adjust():
+    g = TimeWeightedGauge()
+    g.adjust(+3, now=0.0)
+    g.adjust(-1, now=2.0)
+    assert g.level == 2
+
+
+def test_gauge_rejects_time_reversal():
+    g = TimeWeightedGauge()
+    g.set(1, now=5.0)
+    with pytest.raises(ValueError):
+        g.set(2, now=3.0)
+
+
+# -------------------------------------------------------------- TimeSeries
+def test_timeseries_records_in_order():
+    ts = TimeSeries("delay")
+    ts.record(0.5, 10)
+    ts.record(1.5, 20)
+    assert len(ts) == 2
+    with pytest.raises(ValueError):
+        ts.record(1.0, 5)
+
+
+def test_timeseries_bucketed_means():
+    ts = TimeSeries()
+    ts.record(0.1, 10)
+    ts.record(0.9, 30)
+    ts.record(1.5, 5)
+    edges, means = ts.bucketed(width=1.0, until=3.0)
+    assert list(edges) == [1.0, 2.0, 3.0]
+    assert means[0] == pytest.approx(20.0)
+    assert means[1] == pytest.approx(5.0)
+    assert math.isnan(means[2])
+
+
+def test_timeseries_bucketed_empty():
+    ts = TimeSeries()
+    edges, means = ts.bucketed(1.0)
+    assert len(edges) == 0 and len(means) == 0
+
+
+def test_timeseries_bucket_width_positive():
+    ts = TimeSeries()
+    ts.record(0, 1)
+    with pytest.raises(ValueError):
+        ts.bucketed(0)
+
+
+# --------------------------------------------------------------------- RNG
+def test_rng_same_seed_same_stream():
+    a = RandomStreams(42).stream("x").random(5)
+    b = RandomStreams(42).stream("x").random(5)
+    assert np.allclose(a, b)
+
+
+def test_rng_different_names_independent():
+    rs = RandomStreams(42)
+    a = rs.stream("alpha").random(5)
+    b = rs.stream("beta").random(5)
+    assert not np.allclose(a, b)
+
+
+def test_rng_creation_order_irrelevant():
+    rs1 = RandomStreams(7)
+    rs1.stream("a")
+    v1 = rs1.stream("b").random()
+
+    rs2 = RandomStreams(7)
+    v2 = rs2.stream("b").random()
+    assert v1 == v2
+
+
+def test_rng_stream_cached():
+    rs = RandomStreams(1)
+    assert rs.stream("s") is rs.stream("s")
+
+
+def test_rng_exponential_and_uniform_helpers():
+    rs = RandomStreams(3)
+    assert rs.exponential("e", 2.0) > 0
+    v = rs.uniform("u", 5.0, 6.0)
+    assert 5.0 <= v <= 6.0
+    with pytest.raises(ValueError):
+        rs.exponential("e", 0.0)
+
+
+def test_rng_negative_master_seed_rejected():
+    with pytest.raises(ValueError):
+        RandomStreams(-1)

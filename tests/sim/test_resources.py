@@ -1,0 +1,257 @@
+"""Unit tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError, Store
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_rejects_bad_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    env.run()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+    assert len(res.queue) == 1
+
+
+def test_resource_release_grants_next_in_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(tag, hold):
+        with res.request() as req:
+            yield req
+            order.append((env.now, tag))
+            yield env.timeout(hold)
+
+    for i, tag in enumerate(["a", "b", "c"]):
+        env.process(user(tag, 2))
+    env.run()
+    assert order == [(0.0, "a"), (2.0, "b"), (4.0, "c")]
+
+
+def test_resource_parallel_capacity_two():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    done = []
+
+    def user(tag):
+        yield from res.acquire(5)
+        done.append((env.now, tag))
+
+    for tag in "abcd":
+        env.process(user(tag))
+    env.run()
+    # two run in parallel, next two follow
+    assert done == [(5.0, "a"), (5.0, "b"), (10.0, "c"), (10.0, "d")]
+
+
+def test_resource_acquire_zero_hold():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    done = []
+
+    def user():
+        yield from res.acquire(0)
+        done.append(env.now)
+
+    env.process(user())
+    env.run()
+    assert done == [0.0]
+    assert res.count == 0
+
+
+def test_resource_context_manager_releases_on_exception():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def bad_user():
+        with res.request() as req:
+            yield req
+            raise RuntimeError("dies holding resource")
+
+    def next_user(log):
+        yield env.timeout(1)
+        yield from res.acquire(1)
+        log.append(env.now)
+
+    log = []
+    env.process(bad_user())
+    env.process(next_user(log))
+    with pytest.raises(RuntimeError):
+        env.run()
+    env.run()
+    assert log == [2.0]
+
+
+def test_resource_cancel_waiting_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    holder = res.request()
+    waiter = res.request()
+    env.run()
+    waiter.cancel()
+    res.release(holder)
+    env.run()
+    assert not waiter.triggered
+    assert res.count == 0
+
+
+def test_resource_utilization():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user():
+        yield from res.acquire(5)
+
+    env.process(user())
+    env.run()
+    env._now = 10.0  # pretend more idle time passed
+    assert res.utilization() == pytest.approx(0.5)
+
+
+def test_resource_utilization_includes_in_flight_holders():
+    env = Environment()
+    res = Resource(env, capacity=2)
+
+    def user():
+        yield from res.acquire(100)
+
+    env.process(user())
+    env.run(until=10)
+    assert res.utilization() == pytest.approx(10.0 / (10.0 * 2))
+
+
+# ------------------------------------------------------------------- Store
+def test_store_put_get_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((env.now, item))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert [item for _, item in got] == [0, 1, 2]
+
+
+def test_store_get_blocks_until_item():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(7)
+        yield store.put("x")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(7.0, "x")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("a", env.now))
+        yield store.put("b")
+        log.append(("b", env.now))
+
+    def consumer():
+        yield env.timeout(5)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert log == [("a", 0.0), ("b", 5.0)]
+
+
+def test_store_bad_capacity_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_try_get():
+    env = Environment()
+    store = Store(env)
+    store.put("only")
+    env.run()
+    assert store.try_get() == "only"
+    with pytest.raises(SimulationError):
+        store.try_get()
+
+
+def test_store_level_and_peak():
+    env = Environment()
+    store = Store(env)
+    for i in range(5):
+        store.put(i)
+    env.run()
+    assert store.level == 5
+    assert store.peak == 5
+    store.try_get()
+    assert store.level == 4
+    assert store.peak == 5
+
+
+def test_store_watcher_sees_level_changes():
+    env = Environment()
+    seen = []
+    store = Store(env, watcher=lambda s: seen.append(s.level))
+    store.put(1)
+    store.put(2)
+    env.run()
+    store.try_get()
+    assert seen[-1] == 1
+    assert max(seen) == 2
+
+
+def test_store_multiple_blocked_consumers_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    env.process(consumer("first"))
+    env.process(consumer("second"))
+
+    def producer():
+        yield env.timeout(1)
+        yield store.put("x")
+        yield store.put("y")
+
+    env.process(producer())
+    env.run()
+    assert got == [("first", "x"), ("second", "y")]

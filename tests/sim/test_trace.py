@@ -1,0 +1,86 @@
+"""Unit tests for the control-plane tracer."""
+
+import pytest
+
+from repro.sim import Tracer
+from repro.sim.trace import TraceRecord
+
+
+def test_tracer_records_and_filters():
+    t = Tracer()
+    t.record(1.0, "checkpoint", "central", "initiate", round=1)
+    t.record(2.0, "adaptation", "central", "adapt", function="reduced")
+    t.record(3.0, "checkpoint", "mirror1", "commit")
+    assert len(t) == 3
+    assert [r.label for r in t.records(category="checkpoint")] == ["initiate", "commit"]
+    assert [r.t for r in t.records(site="central")] == [1.0, 2.0]
+    assert t.records(category="checkpoint", site="mirror1")[0].label == "commit"
+
+
+def test_tracer_limit_and_dropped():
+    t = Tracer(limit=3)
+    for i in range(5):
+        t.record(float(i), "c", "s", f"l{i}")
+    assert len(t) == 3
+    assert t.dropped == 2
+    assert t.total == 5
+    assert [r.label for r in t.records()] == ["l2", "l3", "l4"]
+
+
+def test_tracer_limit_validated():
+    with pytest.raises(ValueError):
+        Tracer(limit=0)
+
+
+def test_tracer_categories_counts():
+    t = Tracer()
+    t.record(0.0, "a", "s", "x")
+    t.record(0.1, "a", "s", "y")
+    t.record(0.2, "b", "s", "z")
+    assert t.categories() == {"a": 2, "b": 1}
+
+
+def test_record_str_rendering():
+    r = TraceRecord(t=1.5, category="checkpoint", site="central",
+                    label="commit", detail={"round": 7})
+    text = str(r)
+    assert "checkpoint" in text and "commit" in text and "round=7" in text
+
+
+def test_render_joins_lines():
+    t = Tracer()
+    t.record(0.0, "a", "s", "one")
+    t.record(1.0, "b", "s", "two")
+    out = t.render()
+    assert out.count("\n") == 1
+    assert "one" in out and "two" in out
+
+
+def test_scenario_trace_integration():
+    """A traced scenario records checkpoint and stream milestones."""
+    from repro.core import ScenarioConfig, run_scenario
+    from repro.ois import FlightDataConfig
+
+    cfg = ScenarioConfig(
+        n_mirrors=1,
+        workload=FlightDataConfig(n_flights=3, positions_per_flight=40, seed=3),
+        trace=True,
+    )
+    m = run_scenario(cfg).metrics
+    assert m.tracer is not None
+    cats = m.tracer.categories()
+    assert cats.get("checkpoint", 0) >= m.checkpoint_rounds
+    stream_records = m.tracer.records(category="stream")
+    assert len(stream_records) == 1
+    assert stream_records[0].label == "end_of_stream"
+
+
+def test_untraced_scenario_has_no_tracer():
+    from repro.core import ScenarioConfig, run_scenario
+    from repro.ois import FlightDataConfig
+
+    cfg = ScenarioConfig(
+        n_mirrors=0, mirroring=False,
+        workload=FlightDataConfig(n_flights=2, positions_per_flight=5, seed=1),
+    )
+    assert run_scenario(cfg).metrics.tracer is None

@@ -1,0 +1,121 @@
+"""Unit tests for request arrival patterns and load balancers."""
+
+import pytest
+
+from repro.workload import (
+    Burst,
+    BurstyPattern,
+    ConstantRate,
+    LeastPendingBalancer,
+    PoissonArrivals,
+    RoundRobinBalancer,
+    arrival_times,
+)
+
+
+# ----------------------------------------------------------- ConstantRate
+def test_constant_rate_spacing():
+    times = arrival_times(ConstantRate(10.0), horizon=1.0)
+    assert len(times) == 10
+    assert times[0] == 0.0
+    assert times[1] == pytest.approx(0.1)
+
+
+def test_constant_rate_zero_is_empty():
+    assert arrival_times(ConstantRate(0.0), horizon=10.0) == []
+
+
+def test_constant_rate_validation():
+    with pytest.raises(ValueError):
+        ConstantRate(-1.0)
+    with pytest.raises(ValueError):
+        arrival_times(ConstantRate(1.0), horizon=-1.0)
+
+
+# -------------------------------------------------------- PoissonArrivals
+def test_poisson_mean_rate_approximate():
+    times = arrival_times(PoissonArrivals(100.0), horizon=50.0, seed=1)
+    rate = len(times) / 50.0
+    assert 85.0 < rate < 115.0
+
+
+def test_poisson_deterministic_per_seed():
+    a = arrival_times(PoissonArrivals(20.0), horizon=5.0, seed=7)
+    b = arrival_times(PoissonArrivals(20.0), horizon=5.0, seed=7)
+    c = arrival_times(PoissonArrivals(20.0), horizon=5.0, seed=8)
+    assert a == b
+    assert a != c
+
+
+def test_poisson_zero_rate():
+    assert arrival_times(PoissonArrivals(0.0), horizon=5.0) == []
+
+
+def test_poisson_times_sorted_within_horizon():
+    times = arrival_times(PoissonArrivals(50.0), horizon=2.0, seed=3)
+    assert times == sorted(times)
+    assert all(0 <= t < 2.0 for t in times)
+
+
+# ------------------------------------------------------------ BurstyPattern
+def test_burst_validation():
+    with pytest.raises(ValueError):
+        Burst(start=-1, duration=1, rate=1)
+    with pytest.raises(ValueError):
+        Burst(start=0, duration=0, rate=1)
+    with pytest.raises(ValueError):
+        Burst(start=0, duration=1, rate=0)
+
+
+def test_bursty_pattern_superimposes():
+    pattern = BurstyPattern(base_rate=1.0, bursts=(Burst(start=2.0, duration=1.0, rate=10.0),))
+    times = arrival_times(pattern, horizon=5.0)
+    in_burst = [t for t in times if 2.0 <= t < 3.0]
+    assert len(times) == 5 + 10
+    assert len(in_burst) == 11  # 10 burst arrivals + 1 base tick at t=2
+    assert times == sorted(times)
+    # base ticks present outside the burst window
+    assert {0.0, 1.0, 3.0, 4.0} <= set(times)
+
+
+def test_bursty_pattern_burst_clipped_by_horizon():
+    pattern = BurstyPattern(base_rate=0.0, bursts=(Burst(start=4.0, duration=10.0, rate=5.0),))
+    times = arrival_times(pattern, horizon=5.0)
+    assert all(4.0 <= t < 5.0 for t in times)
+    assert len(times) == 5
+
+
+def test_bursty_base_only():
+    pattern = BurstyPattern(base_rate=2.0)
+    assert len(arrival_times(pattern, horizon=3.0)) == 6
+
+
+# --------------------------------------------------------------- balancers
+def test_round_robin_cycles():
+    b = RoundRobinBalancer(["a", "b", "c"])
+    picks = [b.pick() for _ in range(7)]
+    assert picks == ["a", "b", "c", "a", "b", "c", "a"]
+    assert b.assignments == {"a": 3, "b": 2, "c": 2}
+
+
+def test_round_robin_requires_targets():
+    with pytest.raises(ValueError):
+        RoundRobinBalancer([])
+
+
+def test_least_pending_picks_min():
+    pending = {"a": 5, "b": 1, "c": 3}
+    b = LeastPendingBalancer(["a", "b", "c"], pending_of=lambda t: pending[t])
+    assert b.pick() == "b"
+    pending["b"] = 9
+    assert b.pick() == "c"
+
+
+def test_least_pending_tie_breaks_in_order():
+    b = LeastPendingBalancer(["x", "y"], pending_of=lambda t: 0)
+    assert b.pick() == "x"
+
+
+def test_least_pending_requires_targets():
+    with pytest.raises(ValueError):
+        LeastPendingBalancer([], pending_of=lambda t: 0)
