@@ -9,6 +9,8 @@ turn into 'the paper's numbers changed'.
 import pytest
 
 from repro.core import ScenarioConfig, run_scenario, selective_mirroring
+
+pytestmark = pytest.mark.perf  # timing-sensitive: deselect with -m "not perf"
 from repro.core.checkpoint import CheckpointCoordinator, ChkptRepMsg
 from repro.core.events import FAA_POSITION, UpdateEvent, VectorTimestamp
 from repro.core.rules import CoalesceRule, OverwriteRule, RuleEngine

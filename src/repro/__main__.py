@@ -8,6 +8,7 @@ Usage::
     python -m repro ablations          # all ablations
     python -m repro ablation hysteresis
     python -m repro all --save results/figures.txt   # everything + report
+    python -m repro bench --out BENCH_PR1.json       # substrate op/s record
 """
 
 from __future__ import annotations
@@ -32,6 +33,13 @@ def _run_one(name: str, runner, quick: bool) -> bool:
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code (0 = all checks pass)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # the bench runner owns its own argparse options (--out, --scale…)
+        from .bench import main as bench_main
+
+        return bench_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the evaluation of 'Adaptable Mirroring in "
@@ -39,7 +47,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        help="'figures', 'ablations', 'all', a figure name "
+        help="'figures', 'ablations', 'all', 'bench', a figure name "
         "(figure4..figure9), or 'ablation <name>'",
     )
     parser.add_argument("extra", nargs="?", help="ablation name")

@@ -1,0 +1,268 @@
+"""Microbenchmark suite + runner for the substrate hot paths.
+
+This is the op/s counterpart of ``benchmarks/test_microbenchmarks.py``:
+the same five hot paths — kernel event scheduling, store handoff, rule
+engine evaluation, checkpoint rounds, end-to-end scenario — timed with
+a plain best-of-N ``perf_counter`` harness (no pytest-benchmark
+dependency) and written to a ``BENCH_*.json`` record so the performance
+trajectory of the reproduction is tracked across PRs.
+
+Run it as::
+
+    python -m repro bench                      # full suite -> BENCH.json
+    python -m repro bench --out BENCH_PR1.json --label PR1
+    python -m repro bench --quick              # tiny op counts (smoke)
+    python benchmarks/run_bench.py             # same entry point
+
+Numbers are host-dependent: compare records produced on the same
+machine (the ``machine`` block is stored for exactly this reason).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+__all__ = ["BENCHMARKS", "run_suite", "main"]
+
+
+# --------------------------------------------------------------- benchmarks
+#
+# Each benchmark is a factory taking a ``scale`` float and returning
+# (ops, run) where ``run()`` performs ``ops`` operations.  Scaling keeps
+# the CLI smoke test fast while the default matches the pytest suite.
+
+
+def _bench_kernel_timeouts(scale: float) -> Tuple[int, Callable[[], None]]:
+    from .sim import Environment
+
+    n = max(1, int(20_000 * scale))
+
+    def run():
+        env = Environment()
+
+        def proc():
+            for _ in range(n):
+                yield env.timeout(1)
+
+        env.process(proc())
+        env.run()
+        assert env.now == n
+
+    return n, run
+
+
+def _bench_store_put_get(scale: float) -> Tuple[int, Callable[[], None]]:
+    from .sim import Environment, Store
+
+    n = max(1, int(10_000 * scale))
+
+    def run():
+        env = Environment()
+        store = Store(env, capacity=64)
+        got = []
+
+        def producer():
+            for i in range(n):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(n):
+                got.append((yield store.get()))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert len(got) == n
+
+    return n, run
+
+
+def _bench_rule_engine(scale: float) -> Tuple[int, Callable[[], None]]:
+    from .core.events import FAA_POSITION, UpdateEvent
+    from .core.rules import CoalesceRule, OverwriteRule, RuleEngine
+
+    n = max(1, int(10_000 * scale))
+
+    def run():
+        engine = RuleEngine([OverwriteRule(FAA_POSITION, 10), CoalesceRule(5)])
+        passed = 0
+        for i in range(n):
+            ev = UpdateEvent(
+                kind=FAA_POSITION, stream="faa", seqno=i + 1,
+                key=f"DL{i % 20}", payload={"lat": float(i)},
+            )
+            for out in engine.on_receive(ev):
+                passed += len(engine.on_send(out))
+        assert passed >= 0
+
+    return n, run
+
+
+def _bench_checkpoint_rounds(scale: float) -> Tuple[int, Callable[[], None]]:
+    from .core.checkpoint import CheckpointCoordinator, ChkptRepMsg
+    from .core.events import VectorTimestamp
+
+    n = max(1, int(2_000 * scale))
+
+    def run():
+        sites = ["central", "m1", "m2", "m3"]
+        coord = CheckpointCoordinator(set(sites))
+        commits = 0
+        for i in range(1, n + 1):
+            msg = coord.initiate(VectorTimestamp({"faa": i * 10}))
+            for site in sites:
+                out = coord.on_reply(
+                    ChkptRepMsg(msg.round_id, site, VectorTimestamp({"faa": i * 10 - 1}))
+                )
+            commits += out is not None
+        assert commits == n
+
+    return n, run
+
+
+def _bench_scenario_end_to_end(scale: float) -> Tuple[int, Callable[[], None]]:
+    from .core import ScenarioConfig, run_scenario, selective_mirroring
+    from .ois import FlightDataConfig
+
+    positions = max(10, int(120 * scale))
+    wl = FlightDataConfig(n_flights=5, positions_per_flight=positions, seed=3)
+
+    def run():
+        metrics = run_scenario(
+            ScenarioConfig(
+                n_mirrors=1,
+                mirror_config=selective_mirroring(10),
+                workload=wl,
+            )
+        ).metrics
+        assert metrics.events_processed_central > 0
+
+    # ops = events through the central site, so op/s is comparable across
+    # scales (approximate: positions*flights + per-flight status events)
+    return positions * 5, run
+
+
+BENCHMARKS: Dict[str, Callable[[float], Tuple[int, Callable[[], None]]]] = {
+    "kernel_timeout_throughput": _bench_kernel_timeouts,
+    "store_put_get_throughput": _bench_store_put_get,
+    "rule_engine_throughput": _bench_rule_engine,
+    "checkpoint_round_throughput": _bench_checkpoint_rounds,
+    "scenario_end_to_end": _bench_scenario_end_to_end,
+}
+
+
+# ------------------------------------------------------------------ harness
+def _time_once(run: Callable[[], None]) -> float:
+    t0 = time.perf_counter()
+    run()
+    return time.perf_counter() - t0
+
+
+def run_suite(
+    scale: float = 1.0,
+    repeats: int = 5,
+    only: List[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> Dict[str, Dict[str, float]]:
+    """Time every benchmark; returns {name: {ops, best_seconds, ops_per_sec}}.
+
+    Best-of-``repeats`` wall time (plus one untimed warmup) is used, the
+    standard way to suppress scheduler noise in throughput microbenches.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for name, factory in BENCHMARKS.items():
+        if only and name not in only:
+            continue
+        ops, run = factory(scale)
+        run()  # warmup (also validates)
+        best = min(_time_once(run) for _ in range(max(1, repeats)))
+        results[name] = {
+            "ops": ops,
+            "best_seconds": best,
+            "ops_per_sec": ops / best if best > 0 else float("inf"),
+            "repeats": repeats,
+        }
+        if progress is not None:
+            progress(
+                f"{name:32s} {results[name]['ops_per_sec']:>12,.0f} op/s "
+                f"({ops} ops, best of {repeats})"
+            )
+    return results
+
+
+def machine_info() -> Dict[str, object]:
+    """Host fingerprint stored with every record (numbers are host-bound)."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point for ``python -m repro bench``; returns exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Run the substrate microbenchmarks and write an op/s record.",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default="BENCH.json",
+        help="where to write the JSON record (default: BENCH.json)",
+    )
+    parser.add_argument(
+        "--label", default=None,
+        help="record label, e.g. PR1 (default: derived from --out)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repetitions per benchmark; best is kept (default 5)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="op-count multiplier (default 1.0 = pytest suite sizes)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: --scale 0.02 --repeats 1",
+    )
+    parser.add_argument(
+        "--only", action="append", choices=sorted(BENCHMARKS), default=None,
+        help="run a subset (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    scale = 0.02 if args.quick else args.scale
+    repeats = 1 if args.quick else args.repeats
+    if scale <= 0:
+        parser.error("--scale must be positive")
+    if repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    results = run_suite(
+        scale=scale, repeats=repeats, only=args.only, progress=print
+    )
+    record = {
+        "label": args.label
+        or os.path.splitext(os.path.basename(args.out))[0].replace("BENCH_", "")
+        or "bench",
+        "created_unix": time.time(),
+        "scale": scale,
+        "machine": machine_info(),
+        "benchmarks": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"record written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,11 +108,25 @@ class EventChannel:
         completion — so ordering per subscriber is preserved and a slow
         subscriber eventually blocks the publisher (backpressure).
         """
+        from ..core.events import EventBatch  # deferred: avoids layer cycle
+
         self.published += 1
         for sub in self.subscriptions:
-            if sub.accepts is not None and not sub.accepts(payload):
-                continue
-            msg = Message(kind=self.kind, payload=payload, size=size)
+            sub_payload, sub_size = payload, size
+            if sub.accepts is not None:
+                if isinstance(payload, EventBatch):
+                    # subscriber predicates see individual events: the
+                    # batch delivered to this subscriber carries exactly
+                    # the members it would have accepted one-by-one
+                    kept = [ev for ev in payload.events if sub.accepts(ev)]
+                    if not kept:
+                        continue
+                    if len(kept) < len(payload.events):
+                        sub_payload = EventBatch(kept)
+                        sub_size = sub_payload.size
+                elif not sub.accepts(payload):
+                    continue
+            msg = Message(kind=self.kind, payload=sub_payload, size=sub_size)
             yield sub._window.put(msg)
             self.deliveries += 1
             self.env.process(self._deliver(src_node, sub, msg))

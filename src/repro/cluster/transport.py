@@ -86,6 +86,10 @@ class Transport:
         #: but must *tolerate* lost control events, which we verify).
         self.loss_filter = None
         self.dropped = 0
+        #: messages that actually crossed a link (loopback excluded) —
+        #: the denominator of the batching trade-off: batching shrinks
+        #: this while bytes_on_wire stays ~constant
+        self.wire_messages = 0
 
     def register(self, name: str, node: Node, capacity: Optional[int] = None) -> Endpoint:
         """Create and register an endpoint ``name`` on ``node``.
@@ -123,6 +127,7 @@ class Transport:
 
         link = self.network.link(src_node.name, dst.node.name)
         if link is not None:
+            self.wire_messages += 1
             yield from src_node.execute(src_node.costs.ser_cost(message.size))
             yield from link.transmit(message.size)
         yield from dst.deliver(message)

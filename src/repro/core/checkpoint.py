@@ -192,8 +192,13 @@ class MainUnitCheckpointer:
         self.commits_applied = 0
 
     def note_processed(self, stream: str, seqno: int) -> None:
-        """Record that the EDE has processed event (stream, seqno)."""
-        self.processed_vt = self.processed_vt.advanced(stream, seqno)
+        """Record that the EDE has processed event (stream, seqno).
+
+        ``processed_vt`` is private to this checkpointer (votes hand out
+        fresh floors of it), so the in-place advance is safe and saves
+        one timestamp allocation per processed event.
+        """
+        self.processed_vt.advance(stream, seqno)
 
     def on_chkpt(
         self, msg: ChkptMsg, monitored: Optional[Dict[str, float]] = None

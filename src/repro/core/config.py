@@ -123,6 +123,12 @@ class MirrorConfig:
     overwrite: Dict[str, int] = field(default_factory=dict)
     #: (5) checkpoint every N sent events
     checkpoint_freq: int = DEFAULT_CHECKPOINT_FREQ
+    #: mirror-event batching: the sending task drains up to this many
+    #: ready events into one wire message (sum of event sizes + one
+    #: header), paying the per-message channel costs once per batch.
+    #: 1 = one message per event — the paper's configuration; every
+    #: figure reproduces bit-for-bit at the default.
+    batch_size: int = 1
     #: complex-sequence rules: (trigger_kind, trigger_value, target_kind)
     complex_seq: List[Tuple[str, Dict[str, Any], str]] = field(default_factory=list)
     #: complex-tuple rules: (kinds, values, combined_kind, suppresses)
@@ -148,6 +154,8 @@ class MirrorConfig:
             raise ValueError("coalesce_max must be >= 1")
         if self.checkpoint_freq < 1:
             raise ValueError("checkpoint_freq must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         for kind, length in self.overwrite.items():
             if length < 1:
                 raise ValueError(f"overwrite length for {kind!r} must be >= 1")
@@ -188,22 +196,42 @@ class MirrorConfig:
         return RuleEngine(rules, table=table)
 
 
-class _CustomHookRule(Rule):
-    """Adapter wrapping a user callable from set_mirror()/set_fwd()."""
+class _CustomSendRule(Rule):
+    """Adapter for a set_mirror() callable: send-side hook only.
 
-    def __init__(self, func, side: str):
+    One class per side (instead of one class overriding both hooks with
+    a runtime ``side`` check) so the :class:`RuleEngine` dispatch index
+    sees exactly the hook the callable implements and never routes
+    events through the other side.
+    """
+
+    side = "send"
+
+    def __init__(self, func):
         super().__init__()
-        if side not in ("send", "receive"):
-            raise ValueError("side must be 'send' or 'receive'")
         self.func = func
-        self.side = side
-
-    def on_receive(self, event, table):
-        if self.side == "receive":
-            return self.func(event, table)
-        return None
 
     def on_send(self, event, table):
-        if self.side == "send":
-            return self.func(event, table)
-        return None
+        return self.func(event, table)
+
+
+class _CustomReceiveRule(Rule):
+    """Adapter for a set_fwd() callable: receive-side hook only."""
+
+    side = "receive"
+
+    def __init__(self, func):
+        super().__init__()
+        self.func = func
+
+    def on_receive(self, event, table):
+        return self.func(event, table)
+
+
+def _CustomHookRule(func, side: str) -> Rule:
+    """Wrap a user callable as a rule for the given pipeline side."""
+    if side == "send":
+        return _CustomSendRule(func)
+    if side == "receive":
+        return _CustomReceiveRule(func)
+    raise ValueError("side must be 'send' or 'receive'")

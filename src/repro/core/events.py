@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 __all__ = [
     "EventKind",
     "UpdateEvent",
     "VectorTimestamp",
+    "EventBatch",
+    "MIRROR_BATCH_HEADER",
     "FAA_POSITION",
     "DELTA_STATUS",
     "DERIVED",
@@ -66,6 +68,14 @@ class VectorTimestamp:
         return dict(self._clock)
 
     # -- algebra ---------------------------------------------------------
+    @classmethod
+    def _wrap(cls, clock: Dict[str, int]) -> "VectorTimestamp":
+        """Adopt ``clock`` without copying or validating (internal fast
+        path: callers guarantee non-negative components)."""
+        vt = cls.__new__(cls)
+        vt._clock = clock
+        return vt
+
     def advanced(self, stream: str, seqno: int) -> "VectorTimestamp":
         """A copy with ``stream``'s component raised to ``seqno``.
 
@@ -73,38 +83,60 @@ class VectorTimestamp:
         """
         if seqno < 0:
             raise ValueError("seqno must be >= 0")
-        clock = dict(self._clock)
-        clock[stream] = max(clock.get(stream, 0), seqno)
-        return VectorTimestamp(clock)
+        clock = self._clock.copy()
+        if seqno > clock.get(stream, 0):
+            clock[stream] = seqno
+        return VectorTimestamp._wrap(clock)
+
+    def advance(self, stream: str, seqno: int) -> "VectorTimestamp":
+        """In-place :meth:`advanced`; returns self.
+
+        Allocation-free, so it is the right call in per-event loops —
+        but only on timestamps that are *private* to the caller.  A
+        timestamp already attached to an event (or proposed to the
+        checkpoint protocol) must never be advanced in place: events
+        carry snapshots of the clock at stamping time.
+        """
+        if seqno < 0:
+            raise ValueError("seqno must be >= 0")
+        if seqno > self._clock.get(stream, 0):
+            self._clock[stream] = seqno
+        return self
 
     def merge(self, other: "VectorTimestamp") -> "VectorTimestamp":
         """Componentwise maximum (classic vector-clock merge)."""
-        clock = dict(self._clock)
+        clock = self._clock.copy()
         for stream, seq in other._clock.items():
-            clock[stream] = max(clock.get(stream, 0), seq)
-        return VectorTimestamp(clock)
+            if seq > clock.get(stream, 0):
+                clock[stream] = seq
+        return VectorTimestamp._wrap(clock)
 
     def floor(self, other: "VectorTimestamp") -> "VectorTimestamp":
         """Componentwise minimum — the checkpoint agreement operator.
 
         Streams absent from either side floor to 0 and are dropped.
         """
+        ours, theirs = self._clock, other._clock
         clock = {}
-        for stream in set(self._clock) | set(other._clock):
-            m = min(self.component(stream), other.component(stream))
+        for stream, seq in ours.items():
+            m = theirs.get(stream, 0)
+            if m > seq:
+                m = seq
             if m > 0:
                 clock[stream] = m
-        return VectorTimestamp(clock)
+        return VectorTimestamp._wrap(clock)
 
     def covers(self, stream: str, seqno: int) -> bool:
         """True when an event (stream, seqno) is at/below this vector."""
-        return seqno <= self.component(stream)
+        return seqno <= self._clock.get(stream, 0)
 
     def dominates(self, other: "VectorTimestamp") -> bool:
         """True when every component is >= the other's (partial order)."""
-        return all(
-            self.component(s) >= other.component(s) for s in other._clock
-        )
+        ours = self._clock
+        for stream, seq in other._clock.items():
+            if ours.get(stream, 0) < seq:
+                return False
+        return True
 
     # -- dunder ----------------------------------------------------------
     def __eq__(self, other: object) -> bool:
@@ -121,7 +153,7 @@ class VectorTimestamp:
         return f"VT({inner})"
 
 
-@dataclass
+@dataclass(slots=True)
 class UpdateEvent:
     """One application-level update event.
 
@@ -162,7 +194,7 @@ class UpdateEvent:
     vt: Optional[VectorTimestamp] = None
     entered_at: float = 0.0
     coalesced_from: int = 1
-    uid: int = field(default_factory=lambda: next(_event_uids))
+    uid: int = field(default_factory=_event_uids.__next__)
 
     def __post_init__(self):
         if self.seqno < 0:
@@ -172,9 +204,53 @@ class UpdateEvent:
         if self.coalesced_from < 1:
             raise ValueError("coalesced_from must be >= 1")
 
+    @classmethod
+    def unchecked(
+        cls,
+        kind: EventKind,
+        stream: str,
+        seqno: int,
+        key: str,
+        payload: Dict[str, Any],
+        size: int = 1024,
+        vt: Optional[VectorTimestamp] = None,
+        entered_at: float = 0.0,
+        coalesced_from: int = 1,
+    ) -> "UpdateEvent":
+        """Validation-free constructor for internal hot paths.
+
+        The rule pipeline and the copy helpers build events from fields
+        that are already validated (they came out of other events), so
+        re-running ``__post_init__`` per event is pure overhead.  The
+        payload dict is adopted, not copied.
+        """
+        ev = object.__new__(cls)
+        ev.kind = kind
+        ev.stream = stream
+        ev.seqno = seqno
+        ev.key = key
+        ev.payload = payload
+        ev.size = size
+        ev.vt = vt
+        ev.entered_at = entered_at
+        ev.coalesced_from = coalesced_from
+        ev.uid = next(_event_uids)
+        return ev
+
     def stamped(self, vt: VectorTimestamp, entered_at: float) -> "UpdateEvent":
         """Copy with vector timestamp and entry time set (receiving task)."""
-        return replace(self, vt=vt, entered_at=entered_at)
+        ev = object.__new__(UpdateEvent)
+        ev.kind = self.kind
+        ev.stream = self.stream
+        ev.seqno = self.seqno
+        ev.key = self.key
+        ev.payload = self.payload
+        ev.size = self.size
+        ev.vt = vt
+        ev.entered_at = entered_at
+        ev.coalesced_from = self.coalesced_from
+        ev.uid = self.uid  # same logical event
+        return ev
 
     def with_payload(self, **updates: Any) -> "UpdateEvent":
         """Copy with payload fields merged in."""
@@ -187,3 +263,41 @@ class UpdateEvent:
             f"UpdateEvent({self.kind}, {self.stream}#{self.seqno}, "
             f"key={self.key!r}, size={self.size})"
         )
+
+
+#: Wire bytes charged once per mirror batch: framing plus the per-event
+#: offset table a real serializer would prepend.  Small against event
+#: sizes (paper events are 1 KB+), so batching B events saves close to
+#: (B-1) per-message latencies for one extra header.
+MIRROR_BATCH_HEADER = 64
+
+
+@dataclass(slots=True)
+class EventBatch:
+    """Several mirror events travelling as one wire message.
+
+    The sending task drains up to ``batch_size`` ready events into one
+    batch so the per-message overheads of the mirror channel — fixed
+    serialization cost, link latency, one delivery wakeup — are paid
+    once per batch instead of once per event.  Receivers unpack and
+    process the contained events exactly as if they had arrived
+    individually, so batching changes *when* bytes move, never *what*
+    is mirrored.
+    """
+
+    events: List[UpdateEvent]
+
+    def __post_init__(self):
+        if not self.events:
+            raise ValueError("an EventBatch needs at least one event")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def size(self) -> int:
+        """Wire size: sum of the member event sizes + one batch header."""
+        return sum(ev.size for ev in self.events) + MIRROR_BATCH_HEADER

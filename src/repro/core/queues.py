@@ -59,15 +59,22 @@ class BackupQueue:
         return self._events[-1].vt if self._events else None
 
     def trim(self, commit: VectorTimestamp) -> int:
-        """Drop all events covered by ``commit``; returns count removed."""
-        kept: Deque[UpdateEvent] = deque()
+        """Drop the covered prefix of the queue; returns count removed.
+
+        In-protocol commits are componentwise minima (floors) of
+        timestamps the participants actually reached, and every
+        participant processes its stream prefixes in mirroring order —
+        so the set of events a commit covers is always a *prefix* of
+        this queue.  Trimming therefore pops from the left until the
+        first uncovered event: O(removed), not O(len(queue)), which is
+        what keeps steady-state checkpointing cheap when the queue is
+        long (the exact situation checkpoints exist to bound).
+        """
+        events = self._events
         removed = 0
-        for ev in self._events:
-            if commit.covers(ev.stream, ev.seqno):
-                removed += 1
-            else:
-                kept.append(ev)
-        self._events = kept
+        while events and commit.covers(events[0].stream, events[0].seqno):
+            events.popleft()
+            removed += 1
         self.total_trimmed += removed
         return removed
 
@@ -76,8 +83,17 @@ class BackupQueue:
         return list(self._events)
 
     def covered_count(self, vt: VectorTimestamp) -> int:
-        """How many retained events ``vt`` covers (trim preview)."""
-        return sum(1 for ev in self._events if vt.covers(ev.stream, ev.seqno))
+        """How many retained events ``vt`` covers (trim preview).
+
+        Counts the covered *prefix*, mirroring :meth:`trim`'s semantics
+        exactly so a preview always equals what a trim would remove.
+        """
+        count = 0
+        for ev in self._events:
+            if not vt.covers(ev.stream, ev.seqno):
+                break
+            count += 1
+        return count
 
 
 @dataclass
@@ -106,6 +122,9 @@ class StatusTable:
 
     def __init__(self):
         self._by_key: Dict[str, _KeyStatus] = {}
+        #: rule_id -> {key: buffer}; the buffer *objects* are shared with
+        #: ``_KeyStatus.coalesce_buffers`` so appends show up in both views.
+        self._coalesce_index: Dict[str, Dict[str, List[UpdateEvent]]] = {}
         self.discarded_overwrite = 0
         self.discarded_sequence = 0
         self.combined_tuples = 0
@@ -142,6 +161,33 @@ class StatusTable:
         if not mirror:
             self.discarded_overwrite += 1
         return mirror
+
+    def overwrite_note_step(
+        self, key: str, kind: str, payload: Dict[str, Any], max_length: int
+    ) -> bool:
+        """Fused :meth:`note_payload` + :meth:`overwrite_step`.
+
+        One status lookup per event instead of two — this is the
+        per-event hot path of every overwrite rule.  Unlike
+        :meth:`note_payload`, the payload reference is stored as-is:
+        event payloads are immutable once inside the pipeline, so the
+        defensive copy would cost one dict allocation per event for
+        nothing.  Observable values are identical to the sequential
+        composition of the two methods.
+        """
+        if max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        st = self._by_key.get(key)
+        if st is None:
+            st = self._by_key[key] = _KeyStatus()
+        st.last_payload[kind] = payload
+        counters = st.run_counters
+        count = counters.get(kind, 0)
+        counters[kind] = (count + 1) % max_length
+        if count:
+            self.discarded_overwrite += 1
+            return False
+        return True
 
     def reset_run(self, key: str, kind: str) -> None:
         """Restart the overwrite run (e.g. after an adaptation change)."""
@@ -186,19 +232,42 @@ class StatusTable:
     # -- coalesce support ---------------------------------------------------
     def coalesce_buffer(self, key: str, rule_id: str) -> List[UpdateEvent]:
         """The pending coalesce buffer for (key, rule), created lazily."""
-        return self._status(key).coalesce_buffers.setdefault(rule_id, [])
+        bufs = self._status(key).coalesce_buffers
+        buf = bufs.get(rule_id)
+        if buf is None:
+            buf = bufs[rule_id] = []
+            self._coalesce_index.setdefault(rule_id, {})[key] = buf
+        return buf
 
     def clear_coalesce(self, key: str, rule_id: str) -> None:
         """Drop the coalesce buffer for (key, rule) after it emitted."""
         st = self._by_key.get(key)
-        if st is not None:
-            st.coalesce_buffers.pop(rule_id, None)
+        if st is not None and st.coalesce_buffers.pop(rule_id, None) is not None:
+            by_key = self._coalesce_index.get(rule_id)
+            if by_key is not None:
+                by_key.pop(key, None)
 
-    def pending_coalesce(self) -> List[Tuple[str, str, List[UpdateEvent]]]:
-        """All non-empty coalesce buffers as (key, rule_id, events)."""
+    def pending_coalesce(
+        self, rule_id: Optional[str] = None
+    ) -> List[Tuple[str, str, List[UpdateEvent]]]:
+        """Non-empty coalesce buffers as (key, rule_id, events).
+
+        With ``rule_id`` given, only that rule's buffers are visited via
+        the per-rule index — O(buffers of that rule) instead of a scan
+        over every entity key, which made ``RuleEngine.flush`` cost
+        O(rules x keys).  Buffer creation order (== key first-seen
+        order) is preserved either way, so flush output stays
+        deterministic.
+        """
+        if rule_id is not None:
+            return [
+                (key, rule_id, list(buf))
+                for key, buf in self._coalesce_index.get(rule_id, {}).items()
+                if buf
+            ]
         out = []
         for key, st in self._by_key.items():
-            for rule_id, buf in st.coalesce_buffers.items():
+            for rid, buf in st.coalesce_buffers.items():
                 if buf:
-                    out.append((key, rule_id, list(buf)))
+                    out.append((key, rid, list(buf)))
         return out

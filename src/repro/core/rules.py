@@ -80,6 +80,16 @@ class Rule:
     def __init__(self):
         self.rule_id = f"{type(self).__name__}#{next(_rule_ids)}"
 
+    def match_kinds(self) -> Optional[frozenset]:
+        """Event kinds this rule's hooks can possibly act on.
+
+        ``None`` means *all* kinds (content filters, custom hooks).  The
+        :class:`RuleEngine` dispatch index uses this to route an event
+        only through the rules that can affect it; a rule MUST be
+        a no-op (hook returns ``None``) for every kind outside this set.
+        """
+        return None
+
     def on_receive(
         self, event: UpdateEvent, table: StatusTable
     ) -> Optional[List[UpdateEvent]]:
@@ -110,6 +120,9 @@ class TypeFilterRule(Rule):
         if not kinds:
             raise ValueError("TypeFilterRule needs at least one kind")
         self.kinds = frozenset(kinds)
+
+    def match_kinds(self):
+        return self.kinds
 
     def on_receive(self, event, table):
         if event.kind in self.kinds:
@@ -144,11 +157,16 @@ class OverwriteRule(Rule):
         self.kind = kind
         self.max_length = max_length
 
+    def match_kinds(self):
+        return frozenset((self.kind,))
+
     def on_receive(self, event, table):
         if event.kind != self.kind:
             return None
-        table.note_payload(event.key, event.kind, event.payload)
-        if table.overwrite_step(event.key, event.kind, self.max_length):
+        # fused note_payload + overwrite_step (one status lookup per event)
+        if table.overwrite_note_step(
+            event.key, event.kind, event.payload, self.max_length
+        ):
             return None  # first of the run: mirror as-is
         return []  # overwritten: discard
 
@@ -172,6 +190,9 @@ class ComplexSequenceRule(Rule):
         self.trigger_kind = trigger_kind
         self.trigger_value = dict(trigger_value)
         self.target_kind = target_kind
+
+    def match_kinds(self):
+        return frozenset((self.trigger_kind, self.target_kind))
 
     def on_receive(self, event, table):
         if event.kind == self.target_kind and table.is_suppressed(
@@ -220,6 +241,9 @@ class ComplexTupleRule(Rule):
         self.combined_kind = combined_kind
         self.suppresses = tuple(suppresses)
 
+    def match_kinds(self):
+        return frozenset(self.kinds) | frozenset(self.suppresses)
+
     def _matches_component(self, event: UpdateEvent) -> Optional[str]:
         for kind, value in zip(self.kinds, self.values):
             if event.kind == kind and payload_matches(event.payload, value):
@@ -247,7 +271,7 @@ class ComplexTupleRule(Rule):
         for comp in components:
             merged.update(comp.payload)
         merged["combined_from"] = [c.kind for c in components]
-        combined = UpdateEvent(
+        combined = UpdateEvent.unchecked(
             kind=self.combined_kind,
             stream=event.stream,
             seqno=event.seqno,
@@ -292,13 +316,16 @@ class CoalesceRule(Rule):
         self.max_count = max_count
         self.kinds = frozenset(kinds) if kinds is not None else None
 
+    def match_kinds(self):
+        return self.kinds
+
     def _applies(self, event: UpdateEvent) -> bool:
         return self.kinds is None or event.kind in self.kinds
 
     @staticmethod
     def _combine(buffer: List[UpdateEvent]) -> UpdateEvent:
         last = buffer[-1]
-        return UpdateEvent(
+        return UpdateEvent.unchecked(
             kind=last.kind,
             stream=last.stream,
             seqno=last.seqno,
@@ -324,9 +351,9 @@ class CoalesceRule(Rule):
 
     def flush(self, table):
         out: List[UpdateEvent] = []
-        for key, rule_id, buf in table.pending_coalesce():
-            if rule_id != self.rule_id:
-                continue
+        # indexed by rule_id: visits only this rule's buffers instead of
+        # scanning every entity key once per coalesce rule
+        for key, rule_id, buf in table.pending_coalesce(self.rule_id):
             out.append(self._combine(buf))
             table.coalesced_events += len(buf) - 1
             table.clear_coalesce(key, rule_id)
@@ -350,45 +377,144 @@ class RuleEngine:
         self.passed_receive = 0
         self.sent = 0
         self.passed_send = 0
+        self._rebuild_index()
+
+    # -- dispatch index ----------------------------------------------------
+    #
+    # The naive pipeline walks *every* rule for *every* event and calls
+    # both hooks through getattr — for kind-keyed rule sets (the normal
+    # case: overwrite/sequence/tuple rules all declare their kinds) most
+    # of those calls are guaranteed no-ops.  The index, rebuilt whenever
+    # the rule list changes, keeps per hook the rules that actually
+    # override it, together with their declared kind sets; per event
+    # kind a "lane" — the ordered tuple of (position, bound hook) that
+    # can affect that kind — is computed once and cached.
+
+    def _rebuild_index(self) -> None:
+        self._recv_declared: List[tuple] = []
+        self._send_declared: List[tuple] = []
+        self._recv_lanes: Dict[str, tuple] = {}
+        self._send_lanes: Dict[str, tuple] = {}
+        for position, rule in enumerate(self.rules):
+            cls = type(rule)
+            kinds = rule.match_kinds()
+            if cls.on_receive is not Rule.on_receive:
+                self._recv_declared.append((position, rule.on_receive, kinds))
+            if cls.on_send is not Rule.on_send:
+                self._send_declared.append((position, rule.on_send, kinds))
+
+    def _lane(self, kind: str, declared: List[tuple], lanes: Dict[str, tuple]) -> tuple:
+        lane = lanes.get(kind)
+        if lane is None:
+            lane = lanes[kind] = tuple(
+                (position, hook)
+                for position, hook, kinds in declared
+                if kinds is None or kind in kinds
+            )
+        return lane
 
     def add_rule(self, rule: Rule) -> None:
         """Append a rule to the end of the pipeline."""
         self.rules.append(rule)
+        self._rebuild_index()
 
     def remove_rules(self, rule_type: type) -> int:
         """Drop all rules of a given class; returns how many were removed."""
         before = len(self.rules)
         self.rules = [r for r in self.rules if not isinstance(r, rule_type)]
+        self._rebuild_index()
         return before - len(self.rules)
 
-    def _stage(self, event: UpdateEvent, hook: str) -> List[UpdateEvent]:
-        current = [event]
-        for rule in self.rules:
-            nxt: List[UpdateEvent] = []
-            for ev in current:
-                result = getattr(rule, hook)(ev, self.table)
-                if result is None:
-                    nxt.append(ev)
-                else:
-                    nxt.extend(result)
-            current = nxt
-            if not current:
-                break
-        return current
+    def _dispatch(
+        self,
+        event: UpdateEvent,
+        declared: List[tuple],
+        lanes: Dict[str, tuple],
+        start: int = 0,
+    ) -> List[UpdateEvent]:
+        """Run ``event`` through the rules at pipeline position >= ``start``
+        that can affect its kind.  Replacement events re-enter at the
+        position after the rule that produced them (a rule never re-sees
+        its own output), each dispatched down its *own* kind's lane —
+        this is exactly the naive pipeline's semantics, reached without
+        touching unrelated rules."""
+        table = self.table
+        for position, hook in self._lane(event.kind, declared, lanes):
+            if position < start:
+                continue
+            result = hook(event, table)
+            if result is None:
+                continue
+            if not result:
+                return result
+            if len(result) == 1:
+                replacement = result[0]
+                if replacement is event:
+                    continue
+                event = replacement
+                # re-enter: the replacement's kind may follow another lane
+                return self._dispatch(event, declared, lanes, position + 1)
+            out: List[UpdateEvent] = []
+            for replacement in result:
+                out.extend(self._dispatch(replacement, declared, lanes, position + 1))
+            return out
+        return [event]
+
+    def _replacements(
+        self,
+        result: List[UpdateEvent],
+        declared: List[tuple],
+        lanes: Dict[str, tuple],
+        position: int,
+    ) -> List[UpdateEvent]:
+        if len(result) == 1:
+            return self._dispatch(result[0], declared, lanes, position + 1)
+        out: List[UpdateEvent] = []
+        for replacement in result:
+            out.extend(self._dispatch(replacement, declared, lanes, position + 1))
+        return out
 
     def on_receive(self, event: UpdateEvent) -> List[UpdateEvent]:
         """Receive-side pipeline: events to place on the ready queue."""
         self.received += 1
-        out = self._stage(event, "on_receive")
-        self.passed_receive += len(out)
-        return out
+        # inlined _dispatch fast path: pass-through and discard return
+        # without a second call frame (this is the per-event hot loop)
+        lane = self._recv_lanes.get(event.kind)
+        if lane is None:
+            lane = self._lane(event.kind, self._recv_declared, self._recv_lanes)
+        table = self.table
+        for position, hook in lane:
+            result = hook(event, table)
+            if result is None:
+                continue
+            if result:
+                result = self._replacements(
+                    result, self._recv_declared, self._recv_lanes, position
+                )
+            self.passed_receive += len(result)
+            return result
+        self.passed_receive += 1
+        return [event]
 
     def on_send(self, event: UpdateEvent) -> List[UpdateEvent]:
         """Send-side pipeline: events to actually mirror right now."""
         self.sent += 1
-        out = self._stage(event, "on_send")
-        self.passed_send += len(out)
-        return out
+        lane = self._send_lanes.get(event.kind)
+        if lane is None:
+            lane = self._lane(event.kind, self._send_declared, self._send_lanes)
+        table = self.table
+        for position, hook in lane:
+            result = hook(event, table)
+            if result is None:
+                continue
+            if result:
+                result = self._replacements(
+                    result, self._send_declared, self._send_lanes, position
+                )
+            self.passed_send += len(result)
+            return result
+        self.passed_send += 1
+        return [event]
 
     def flush(self, side: Optional[str] = None) -> List[UpdateEvent]:
         """Flush what rules are still holding.

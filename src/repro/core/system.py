@@ -285,6 +285,7 @@ class MirroredServer:
         self.env.run(until=self.config.time_limit)
         self.metrics.total_execution_time = self.env.now
         self.metrics.bytes_on_wire = self.network.total_bytes()
+        self.metrics.wire_messages = self.transport.wire_messages
         self.metrics.cpu_utilization = {
             node.name: node.utilization()
             for node in [self.central_node, *self.mirror_nodes]

@@ -97,6 +97,9 @@ class RunMetrics:
     adaptation_log: List[tuple] = field(default_factory=list)
     #: interconnect accounting
     bytes_on_wire: int = 0
+    #: messages that crossed a link (loopback excluded); mirror-event
+    #: batching reduces this while bytes_on_wire stays roughly constant
+    wire_messages: int = 0
     #: per-node CPU utilisation at end of run
     cpu_utilization: Dict[str, float] = field(default_factory=dict)
     #: optional control-plane trace (ScenarioConfig(trace=True))

@@ -15,6 +15,8 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable, Dict, List, Optional
 
+from ..core.events import EventBatch, UpdateEvent
+
 __all__ = ["AsyncSubscription", "AsyncChannel"]
 
 
@@ -76,6 +78,31 @@ class AsyncChannel:
             if sub.accepts is not None and not sub.accepts(payload):
                 continue
             await sub.queue.put(payload)
+            sub.delivered += 1
+            count += 1
+        return count
+
+    async def publish_batch(self, events: List[UpdateEvent]) -> int:
+        """Deliver ``events`` as one :class:`EventBatch` per subscriber.
+
+        Subscriber predicates are applied per *event*, so each
+        subscriber's batch carries exactly the members it would have
+        accepted one-by-one; subscribers with no accepted member get
+        nothing.  One queue put (one wakeup) per subscriber per batch is
+        the live-runtime counterpart of the simulation's one-wire-message
+        batching.
+        """
+        self.published += 1
+        count = 0
+        for sub in self.subscriptions:
+            kept = (
+                events
+                if sub.accepts is None
+                else [ev for ev in events if sub.accepts(ev)]
+            )
+            if not kept:
+                continue
+            await sub.queue.put(EventBatch(list(kept)))
             sub.delivered += 1
             count += 1
         return count

@@ -29,7 +29,7 @@ from ..core.checkpoint import (
     MainUnitCheckpointer,
 )
 from ..core.config import MirrorConfig
-from ..core.events import UpdateEvent, VectorTimestamp
+from ..core.events import EventBatch, UpdateEvent, VectorTimestamp
 from ..ois.clients import InitStateRequest, InitStateResponse
 from ..ois.ede import EventDerivationEngine
 from ..core.queues import BackupQueue
@@ -169,26 +169,67 @@ class AsyncCentralSite:
         while True:
             item = await self.ready.get()
             if item == EOS:
-                for out in self.engine.flush("receive"):
-                    await self._mirror(self.engine.on_send(out))
-                for out in self.engine.flush("send"):
-                    await self._mirror([out])
-                await self._initiate_checkpoint()
-                await self.main.inbox.put(EOS)
-                self.stream_done.set()
+                await self._finish_stream()
                 break
             await self.main.inbox.put(item)  # fwd(): EDE sees everything
             outs: List[UpdateEvent] = []
             for passed in self.engine.on_receive(item):
                 outs.extend(self.engine.on_send(passed))
-            await self._mirror(outs)
-            self.processed_events += 1
-            if self.processed_events % self.config.checkpoint_freq == 0:
-                await self._initiate_checkpoint()
+            batch_size = self.config.batch_size
+            if batch_size <= 1:
+                await self._mirror(outs)
+                self.processed_events += 1
+                if self.processed_events % self.config.checkpoint_freq == 0:
+                    await self._initiate_checkpoint()
+                continue
+            # batch path: drain events already waiting on the ready queue
+            # (never awaiting more — an empty queue ships what's in hand)
+            drained = 1
+            eos_seen = False
+            while drained < batch_size:
+                try:
+                    nxt = self.ready.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt == EOS:
+                    eos_seen = True
+                    break
+                await self.main.inbox.put(nxt)
+                for passed in self.engine.on_receive(nxt):
+                    outs.extend(self.engine.on_send(passed))
+                drained += 1
+            await self._mirror_batch(outs)
+            for _ in range(drained):
+                self.processed_events += 1
+                if self.processed_events % self.config.checkpoint_freq == 0:
+                    await self._initiate_checkpoint()
+            if eos_seen:
+                await self._finish_stream()
+                break
+
+    async def _finish_stream(self) -> None:
+        for out in self.engine.flush("receive"):
+            await self._mirror(self.engine.on_send(out))
+        for out in self.engine.flush("send"):
+            await self._mirror([out])
+        await self._initiate_checkpoint()
+        await self.main.inbox.put(EOS)
+        self.stream_done.set()
 
     async def _mirror(self, outs: List[UpdateEvent]) -> None:
         for out in outs:
             await self.mirror_channel.publish(out)
+            self.backup.append(out)
+            self.mirrored_events += 1
+
+    async def _mirror_batch(self, outs: List[UpdateEvent]) -> None:
+        if not outs:
+            return
+        if len(outs) == 1:
+            await self._mirror(outs)
+            return
+        await self.mirror_channel.publish_batch(outs)
+        for out in outs:
             self.backup.append(out)
             self.mirrored_events += 1
 
@@ -268,6 +309,11 @@ class AsyncMirrorSite:
             if event == EOS:
                 await self.main.inbox.put(EOS)
                 break
+            if isinstance(event, EventBatch):
+                for member in event.events:
+                    self.backup.append(member)
+                    await self.main.inbox.put(member)
+                continue
             self.backup.append(event)
             await self.main.inbox.put(event)
 

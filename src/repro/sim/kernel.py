@@ -78,11 +78,19 @@ class Event:
     simulation time.  Events may only be triggered once.
     """
 
+    # Slots keep per-event memory flat and attribute access cheap; the
+    # kernel allocates one or more Events per simulated occurrence, so
+    # this is the hottest allocation site in the whole substrate.
+    # ``_defused`` is a real field (always present) so the step loop can
+    # read it directly instead of a per-event ``getattr`` with default.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._ok = True
+        self._defused = False
 
     # -- inspection ----------------------------------------------------
     @property
@@ -147,18 +155,26 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # field assignments inlined (no super().__init__) — timeouts are
+        # created once per simulated delay, the kernel's hottest factory
+        self.env = env
+        self.callbacks = []
         self.delay = float(delay)
         self._ok = True
         self._value = value
+        self._defused = False
         env._schedule_event(self, NORMAL, delay=delay)
 
 
 class _Initialize(Event):
     """Kernel-internal: starts a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
@@ -178,12 +194,15 @@ class Process(Event):
         result = yield env.process(child(env))
     """
 
+    __slots__ = ("_generator", "_target", "_immediate")
+
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        self._immediate: Optional[Event] = None
         _Initialize(env, self)
 
     @property
@@ -243,14 +262,19 @@ class Process(Event):
                 f"process {self._generator!r} yielded a non-event: {next_event!r}"
             )
         if next_event.callbacks is None:
-            # Already processed: resume immediately at current time.
-            immediate = Event(self.env)
-            immediate._ok = next_event._ok
+            # Already processed: resume immediately at current time.  A
+            # process has at most one wait in flight, so one relay event
+            # per process can be recycled instead of allocated per hop
+            # (it is always fully processed before it could be reused).
+            immediate = self._immediate
+            if immediate is None:
+                immediate = self._immediate = Event(self.env)
+            immediate.callbacks = [self._resume]
+            immediate._ok = ok = next_event._ok
             immediate._value = next_event._value
-            if not next_event._ok:
+            immediate._defused = not ok
+            if not ok:
                 next_event._defused = True
-                immediate._defused = True
-            immediate.callbacks.append(self._resume)
             self.env._schedule_event(immediate, URGENT)
             self._target = next_event
         else:
@@ -260,6 +284,8 @@ class Process(Event):
 
 class _Condition(Event):
     """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("_events",)
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -287,6 +313,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Fires when *all* component events have fired."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -300,6 +328,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Fires as soon as *any* component event fires."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -367,7 +397,7 @@ class Environment:
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not getattr(event, "_defused", False):
+        if not event._ok and not event._defused:
             # A failure nobody waited on must not pass silently.
             raise event._value
 
@@ -386,6 +416,22 @@ class Environment:
             stop_time = float(until)
             if stop_time < self._now:
                 raise ValueError(f"until={stop_time} is in the past (now={self._now})")
+
+        if stop_event is None and stop_time == float("inf"):
+            # Drain-the-heap fast path (the common `env.run()` call):
+            # the step body is inlined so the kernel pays zero Python
+            # method calls per event beyond its callbacks.
+            queue = self._queue
+            pop = heapq.heappop
+            while queue:
+                when, _prio, _eid, event = pop(queue)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            return None
 
         while self._queue:
             if stop_event is not None and stop_event.processed:

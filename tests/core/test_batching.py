@@ -1,0 +1,69 @@
+"""Mirror-transport batching: fewer wire messages, same replica state.
+
+``MirrorConfig.batch_size`` > 1 lets the central sending task drain
+events already waiting on the ready queue and ship them as one
+:class:`~repro.core.events.EventBatch` (one per-message transport charge
+per batch instead of per event).  Batching is a throughput knob, not a
+semantic one: mirrored events, replica digests and checkpoint commits
+must not change — only message counts (and, slightly, timing) may.
+"""
+
+import pytest
+
+from repro.core.events import EventBatch, UpdateEvent, MIRROR_BATCH_HEADER
+from repro.core.functions import simple_mirroring
+from repro.core.system import ScenarioConfig, run_scenario
+from repro.ois.flightdata import FlightDataConfig
+
+WORKLOAD = FlightDataConfig(n_flights=6, positions_per_flight=50, seed=1234)
+
+
+def run_with_batch(batch_size):
+    cfg = simple_mirroring()
+    cfg.batch_size = batch_size
+    return run_scenario(
+        ScenarioConfig(n_mirrors=2, mirror_config=cfg, workload=WORKLOAD)
+    )
+
+
+# ----------------------------------------------------------- EventBatch
+def _event(size=512):
+    return UpdateEvent(
+        kind="faa.position", stream="faa", seqno=1, key="DL1", size=size
+    )
+
+
+def test_event_batch_size_is_sum_plus_header():
+    batch = EventBatch([_event(512), _event(256)])
+    assert batch.size == 512 + 256 + MIRROR_BATCH_HEADER
+
+
+def test_event_batch_rejects_empty():
+    with pytest.raises(ValueError):
+        EventBatch([])
+
+
+# ------------------------------------------------------- scenario level
+def test_batching_reduces_wire_messages_preserves_state():
+    results = {b: run_with_batch(b) for b in (1, 4, 16)}
+
+    msgs = {b: r.metrics.wire_messages for b, r in results.items()}
+    assert msgs[4] < msgs[1]
+    assert msgs[16] < msgs[4]
+
+    baseline = results[1]
+    for b, r in results.items():
+        # identical mirrored-event stream and replica state at any batch
+        assert r.metrics.events_mirrored == baseline.metrics.events_mirrored
+        assert r.metrics.events_forwarded == baseline.metrics.events_forwarded
+        assert r.metrics.checkpoint_commits == baseline.metrics.checkpoint_commits
+        digests = r.server.replica_digests()
+        assert len(set(digests)) == 1, f"replicas diverged at batch_size={b}"
+        assert digests[0] == baseline.server.replica_digests()[0]
+
+
+def test_batch_size_validation():
+    cfg = simple_mirroring()
+    cfg.batch_size = 0
+    with pytest.raises(ValueError):
+        cfg.validate()

@@ -1,0 +1,153 @@
+"""Determinism regression: seeded scenarios pin their exact metrics.
+
+The PR-1 fast path (indexed rule dispatch, slotted events, kernel fast
+path, batched transport) must not perturb simulation results at the
+default ``batch_size=1``: the paper figures are regenerated from these
+runs and have to stay bit-for-bit reproducible.  These values were
+captured from seeded runs and match the pre-optimization engine
+exactly, with one documented exception: the semantic scenario's
+``total_execution_time`` moved by ~3µs (0.04199293760000018 →
+0.04198993760000018) when ``BackupQueue.trim`` became a prefix pop —
+commits that skip over interleaved coalesced events now defer a couple
+of per-event trim charges past end-of-run.  Every other field is
+identical.
+
+If an intentional semantic change moves these numbers, update them in
+the same PR and say why in its description.
+"""
+
+import pytest
+
+from repro.core.functions import (
+    airline_semantic_rules,
+    coalescing_mirroring,
+    selective_mirroring,
+    simple_mirroring,
+)
+from repro.core.system import ScenarioConfig, run_scenario
+from repro.ois.flightdata import FlightDataConfig
+
+WORKLOAD = FlightDataConfig(n_flights=6, positions_per_flight=50, seed=1234)
+
+SCENARIOS = {
+    "selective": dict(
+        config=lambda: ScenarioConfig(
+            n_mirrors=2,
+            mirror_config=selective_mirroring(10),
+            workload=WORKLOAD,
+            request_rate=20.0,
+        ),
+        expected=dict(
+            bytes_on_wire=105728,
+            wire_messages=175,
+            checkpoint_commits=7,
+            checkpoint_rounds=7,
+            digests_consistent=False,  # selective drops events by design
+            events_forwarded=336,
+            events_generated=336,
+            events_mirrored=66,
+            mean_update_delay=0.0063410933777777855,
+            updates=342,
+            requests_served=1,
+            rule_stats=dict(
+                received=336, passed_receive=66, sent=66, passed_send=66,
+                discarded_overwrite=270, discarded_sequence=0,
+                combined_tuples=0, coalesced_events=0,
+            ),
+            total_execution_time=0.05,
+        ),
+    ),
+    "simple": dict(
+        config=lambda: ScenarioConfig(
+            n_mirrors=1,
+            mirror_config=simple_mirroring(),
+            workload=WORKLOAD,
+        ),
+        expected=dict(
+            bytes_on_wire=328320,
+            wire_messages=357,
+            checkpoint_commits=7,
+            checkpoint_rounds=7,
+            digests_consistent=True,
+            events_forwarded=336,
+            events_generated=336,
+            events_mirrored=336,
+            mean_update_delay=0.007053501214035094,
+            updates=342,
+            requests_served=0,
+            rule_stats=dict(
+                received=336, passed_receive=336, sent=336, passed_send=336,
+                discarded_overwrite=0, discarded_sequence=0,
+                combined_tuples=0, coalesced_events=0,
+            ),
+            total_execution_time=0.043883224000000186,
+        ),
+    ),
+    "semantic": dict(
+        config=lambda: ScenarioConfig(
+            n_mirrors=2,
+            mirror_config=airline_semantic_rules(coalescing_mirroring(4)),
+            workload=WORKLOAD,
+        ),
+        expected=dict(
+            bytes_on_wire=201984,
+            wire_messages=270,
+            checkpoint_commits=7,
+            checkpoint_rounds=7,
+            digests_consistent=True,
+            events_forwarded=336,
+            events_generated=336,
+            events_mirrored=114,
+            mean_update_delay=0.0064622223953216375,
+            updates=342,
+            requests_served=0,
+            rule_stats=dict(
+                received=336, passed_receive=336, sent=336, passed_send=108,
+                discarded_overwrite=0, discarded_sequence=0,
+                combined_tuples=0, coalesced_events=222,
+            ),
+            total_execution_time=0.04198993760000018,
+        ),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_seeded_scenario_metrics_pinned(name):
+    scenario = SCENARIOS[name]
+    result = run_scenario(scenario["config"]())
+    m = result.metrics
+    expected = scenario["expected"]
+    actual = dict(
+        bytes_on_wire=m.bytes_on_wire,
+        wire_messages=m.wire_messages,
+        checkpoint_commits=m.checkpoint_commits,
+        checkpoint_rounds=m.checkpoint_rounds,
+        digests_consistent=len(set(result.server.replica_digests())) == 1,
+        events_forwarded=m.events_forwarded,
+        events_generated=m.events_generated,
+        events_mirrored=m.events_mirrored,
+        mean_update_delay=m.update_delay.mean,
+        updates=m.update_delay.count,
+        requests_served=m.requests_served,
+        rule_stats=dict(m.rule_stats),
+        total_execution_time=m.total_execution_time,
+    )
+    assert actual == expected
+
+
+def test_reruns_are_bit_identical():
+    """Two builds of the same seeded scenario agree on every pinned field
+    (guards against hidden global state in the fast paths)."""
+
+    def run_once():
+        result = run_scenario(SCENARIOS["semantic"]["config"]())
+        m = result.metrics
+        return (
+            m.bytes_on_wire, m.wire_messages, m.events_mirrored,
+            m.update_delay.mean, m.total_execution_time,
+            tuple(sorted(m.rule_stats.items())),
+            tuple(result.server.replica_digests()),
+        )
+
+    assert run_once() == run_once()

@@ -46,13 +46,21 @@ def test_backup_trim_unknown_commit_is_ignored():
 
 
 def test_backup_trim_multi_stream():
+    # In-protocol commits are floors of timestamps the participants
+    # actually reached, so the covered set is always a *prefix* of the
+    # mirroring-order queue; trim pops exactly that prefix.  A commit
+    # vector that skips over an uncovered event ({"faa": 2} here, with
+    # the delta event in between) stops at it — the delta event and
+    # everything after it stay queued until a commit covers them too.
     bq = BackupQueue()
     bq.append(stamped("faa", 1))
     bq.append(stamped("delta", 1))
     bq.append(stamped("faa", 2))
-    removed = bq.trim(VectorTimestamp({"faa": 2}))
-    assert removed == 2
-    assert [e.stream for e in bq.events()] == ["delta"]
+    assert bq.trim(VectorTimestamp({"faa": 2})) == 1
+    assert [e.stream for e in bq.events()] == ["delta", "faa"]
+    # a commit covering the full prefix removes everything
+    assert bq.trim(VectorTimestamp({"faa": 2, "delta": 1})) == 2
+    assert len(bq) == 0
 
 
 def test_backup_trim_idempotent():

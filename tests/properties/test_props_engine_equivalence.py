@@ -1,0 +1,252 @@
+"""Property-based equivalence: indexed RuleEngine vs. naive linear scan.
+
+The PR-1 dispatch index (per-hook declared lists + per-kind lanes,
+skipping unoverridden base-class hooks) must be *behaviour-preserving*:
+for any rule set built from the five §3.2.1 rule types and any event
+stream, the indexed engine must emit byte-identical events and identical
+``stats()`` to the seed's naive pipeline, which walked every rule for
+every event via ``getattr``.
+
+The reference engine below is a verbatim transplant of the seed's
+``RuleEngine._stage`` loop, so this test pins the indexed engine to the
+original semantics rather than to itself.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import DELTA_STATUS, FAA_POSITION, UpdateEvent
+from repro.core.queues import StatusTable
+from repro.core.rules import (
+    CoalesceRule,
+    ComplexSequenceRule,
+    ComplexTupleRule,
+    ContentFilterRule,
+    OverwriteRule,
+    RuleEngine,
+    TypeFilterRule,
+)
+
+WX_ALERT = "wx.alert"
+KINDS = [FAA_POSITION, DELTA_STATUS, WX_ALERT]
+
+
+class NaiveRuleEngine:
+    """The seed's linear-scan pipeline, kept as the reference semantics."""
+
+    def __init__(self, rules):
+        self.rules = list(rules)
+        self.table = StatusTable()
+        self.received = 0
+        self.passed_receive = 0
+        self.sent = 0
+        self.passed_send = 0
+
+    def _stage(self, event, hook):
+        current = [event]
+        for rule in self.rules:
+            nxt = []
+            for ev in current:
+                result = getattr(rule, hook)(ev, self.table)
+                if result is None:
+                    nxt.append(ev)
+                else:
+                    nxt.extend(result)
+            current = nxt
+            if not current:
+                break
+        return current
+
+    def on_receive(self, event):
+        self.received += 1
+        out = self._stage(event, "on_receive")
+        self.passed_receive += len(out)
+        return out
+
+    def on_send(self, event):
+        self.sent += 1
+        out = self._stage(event, "on_send")
+        self.passed_send += len(out)
+        return out
+
+    def flush(self, side=None):
+        out = []
+        for rule in self.rules:
+            if side is None or rule.flush_side == side:
+                out.extend(rule.flush(self.table))
+        return out
+
+    def stats(self):
+        return {
+            "received": self.received,
+            "passed_receive": self.passed_receive,
+            "sent": self.sent,
+            "passed_send": self.passed_send,
+            "discarded_overwrite": self.table.discarded_overwrite,
+            "discarded_sequence": self.table.discarded_sequence,
+            "combined_tuples": self.table.combined_tuples,
+            "coalesced_events": self.table.coalesced_events,
+        }
+
+
+# ------------------------------------------------------- rule-set strategy
+#
+# Rule *specs* (not instances) are generated so each engine gets its own
+# fresh rule objects: rules keep per-engine state in the status table and
+# must not be shared between the two pipelines under comparison.
+
+rule_specs = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("type_filter"),
+            st.lists(st.sampled_from(KINDS), min_size=1, max_size=2, unique=True),
+        ),
+        st.tuples(st.just("content_filter"), st.just(None)),
+        st.tuples(
+            st.just("overwrite"),
+            st.tuples(st.sampled_from(KINDS), st.integers(1, 4)),
+        ),
+        st.tuples(
+            st.just("complex_seq"),
+            st.tuples(st.sampled_from(KINDS), st.sampled_from(KINDS)),
+        ),
+        st.tuples(
+            st.just("complex_tuple"),
+            st.tuples(
+                st.permutations(KINDS).map(lambda p: p[:2]),
+                st.booleans(),  # suppress the first component kind afterwards?
+            ),
+        ),
+        st.tuples(
+            st.just("coalesce"),
+            st.tuples(
+                st.integers(1, 4),
+                st.one_of(
+                    st.none(),
+                    st.lists(
+                        st.sampled_from(KINDS), min_size=1, max_size=2, unique=True
+                    ),
+                ),
+            ),
+        ),
+    ),
+    min_size=0,
+    max_size=5,
+)
+
+
+def build_rules(specs):
+    rules = []
+    for name, arg in specs:
+        if name == "type_filter":
+            rules.append(TypeFilterRule(arg))
+        elif name == "content_filter":
+            rules.append(ContentFilterRule(lambda ev: ev.payload.get("drop", 0) == 1))
+        elif name == "overwrite":
+            rules.append(OverwriteRule(arg[0], arg[1]))
+        elif name == "complex_seq":
+            rules.append(ComplexSequenceRule(arg[0], {"status": "landed"}, arg[1]))
+        elif name == "complex_tuple":
+            kinds, suppress = arg
+            rules.append(
+                ComplexTupleRule(
+                    kinds,
+                    [{"status": "landed"}] * len(kinds),
+                    "derived",
+                    suppresses=(kinds[0],) if suppress else (),
+                )
+            )
+        elif name == "coalesce":
+            rules.append(CoalesceRule(arg[0], kinds=arg[1]))
+    return rules
+
+
+event_specs = st.lists(
+    st.tuples(
+        st.sampled_from(KINDS),
+        st.sampled_from(["DL1", "DL2", "DL3"]),
+        st.sampled_from(["landed", "enroute", "gate"]),
+        st.integers(0, 1),  # content-filter "drop" flag
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def build_events(specs):
+    seq = {}
+    events = []
+    for kind, key, status, drop in specs:
+        stream = kind.split(".")[0]
+        seq[stream] = seq.get(stream, 0) + 1
+        events.append(
+            UpdateEvent(
+                kind=kind,
+                stream=stream,
+                seqno=seq[stream],
+                key=key,
+                payload={"status": status, "drop": drop},
+                size=512,
+            )
+        )
+    return events
+
+
+def signature(ev):
+    """Byte-level identity of an event, excluding the per-instance uid
+    (combined/coalesced events get fresh uids in each engine)."""
+    return (
+        ev.kind,
+        ev.stream,
+        ev.seqno,
+        ev.key,
+        repr(sorted(ev.payload.items(), key=repr)),
+        ev.size,
+        None if ev.vt is None else ev.vt.as_dict(),
+        ev.entered_at,
+        ev.coalesced_from,
+    )
+
+
+def drive(engine, events):
+    """Run the aux-unit pattern: receive -> send per event, then flush."""
+    mirrored = []
+    for ev in events:
+        for passed in engine.on_receive(ev):
+            mirrored.extend(engine.on_send(passed))
+    for held in engine.flush("receive"):
+        mirrored.extend(engine.on_send(held))
+    mirrored.extend(engine.flush("send"))
+    return [signature(ev) for ev in mirrored]
+
+
+@given(rule_specs, event_specs)
+@settings(max_examples=150, deadline=None)
+def test_indexed_engine_matches_naive_reference(specs, ev_specs):
+    indexed = RuleEngine(build_rules(specs))
+    naive = NaiveRuleEngine(build_rules(specs))
+    events = build_events(ev_specs)
+    assert drive(indexed, events) == drive(naive, events)
+    assert indexed.stats() == naive.stats()
+
+
+@given(rule_specs, event_specs)
+@settings(max_examples=50, deadline=None)
+def test_index_survives_rule_list_mutation(specs, ev_specs):
+    """add_rule/remove_rules rebuild the index; behaviour must still
+    match a naive engine over the same final rule list."""
+    rules_a = build_rules(specs)
+    indexed = RuleEngine(rules_a[: len(rules_a) // 2])
+    for rule in rules_a[len(rules_a) // 2 :]:
+        indexed.add_rule(rule)
+    indexed.remove_rules(TypeFilterRule)
+    survivors = [type(r) for r in indexed.rules]
+
+    rules_b = [
+        r for r in build_rules(specs) if not isinstance(r, TypeFilterRule)
+    ]
+    assert [type(r) for r in rules_b] == survivors
+    naive = NaiveRuleEngine(rules_b)
+    events = build_events(ev_specs)
+    assert drive(indexed, events) == drive(naive, events)
+    assert indexed.stats() == naive.stats()

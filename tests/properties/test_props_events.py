@@ -101,16 +101,25 @@ def build_queue(pairs):
 
 @given(events_lists, vts)
 @settings(max_examples=200)
-def test_trim_removes_exactly_covered_events(pairs, commit):
+def test_trim_removes_exactly_covered_prefix(pairs, commit):
+    """Trim pops exactly the covered *prefix* of the queue.
+
+    In-protocol commits always cover a prefix (they are floors of
+    timestamps participants reached in mirroring order); for an
+    arbitrary vector the contract is: remove leading covered events,
+    stop at the first uncovered one, leave the suffix untouched.
+    """
     bq = build_queue(pairs)
-    total = len(bq)
+    before = [(e.stream, e.seqno) for e in bq.events()]
     covered = bq.covered_count(commit)
     removed = bq.trim(commit)
     assert removed == covered
-    assert len(bq) == total - removed
-    # no surviving event is covered
-    for ev in bq.events():
-        assert not commit.covers(ev.stream, ev.seqno)
+    # survivors are exactly the original suffix, in order
+    assert [(e.stream, e.seqno) for e in bq.events()] == before[removed:]
+    # the queue head (if any) is the first uncovered event
+    survivors = bq.events()
+    if survivors:
+        assert not commit.covers(survivors[0].stream, survivors[0].seqno)
 
 
 @given(events_lists, vts)

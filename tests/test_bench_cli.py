@@ -1,0 +1,42 @@
+"""Smoke tests for the ``python -m repro bench`` op/s runner."""
+
+import json
+
+from repro.bench import BENCHMARKS, main, run_suite
+
+
+def test_bench_quick_writes_record(tmp_path, capsys):
+    out = tmp_path / "BENCH_SMOKE.json"
+    assert main(["--quick", "--out", str(out), "--label", "smoke"]) == 0
+    record = json.loads(out.read_text())
+    assert record["label"] == "smoke"
+    assert set(record["benchmarks"]) == set(BENCHMARKS)
+    for entry in record["benchmarks"].values():
+        assert entry["ops"] >= 1
+        assert entry["best_seconds"] > 0
+        assert entry["ops_per_sec"] > 0
+    assert record["machine"]["python"]
+    assert "record written" in capsys.readouterr().out
+
+
+def test_bench_only_subset(tmp_path):
+    out = tmp_path / "BENCH_ONE.json"
+    assert main([
+        "--quick", "--only", "rule_engine_throughput", "--out", str(out)
+    ]) == 0
+    record = json.loads(out.read_text())
+    assert list(record["benchmarks"]) == ["rule_engine_throughput"]
+
+
+def test_run_suite_scales_op_counts():
+    tiny = run_suite(scale=0.01, repeats=1, only=["kernel_timeout_throughput"])
+    assert tiny["kernel_timeout_throughput"]["ops"] == 200
+
+
+def test_module_cli_dispatch(tmp_path):
+    """`python -m repro bench ...` routes to the bench runner."""
+    from repro.__main__ import main as repro_main
+
+    out = tmp_path / "BENCH_CLI.json"
+    assert repro_main(["bench", "--quick", "--out", str(out)]) == 0
+    assert out.exists()
