@@ -59,18 +59,34 @@ def main(argv=None) -> int:
         "--save", metavar="PATH", default=None,
         help="with 'all': also write the rendered report to PATH",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run independent sweeps in N worker processes (default 1; "
+        "result order is identical to a serial run)",
+    )
     args = parser.parse_args(argv)
     quick = not args.full
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    progress = lambda r: print(  # noqa: E731
+        f"== {r.name}: {'PASS' if r.passed else 'FAIL'} "
+        f"({r.wall_seconds:.0f}s)"
+    )
+
+    def _run_parallel(figures: bool, ablations: bool, only=None) -> bool:
+        records = run_all(
+            quick=quick, figures=figures, ablations=ablations,
+            progress=progress, jobs=args.jobs, only=only,
+        )
+        for record in records:
+            print()
+            print(record.result.render())
+        return all(r.passed for r in records)
 
     ok = True
     if args.target == "all":
-        records = run_all(
-            quick=quick,
-            progress=lambda r: print(
-                f"== {r.name}: {'PASS' if r.passed else 'FAIL'} "
-                f"({r.wall_seconds:.0f}s)"
-            ),
-        )
+        records = run_all(quick=quick, progress=progress, jobs=args.jobs)
         for record in records:
             print()
             print(record.result.render())
@@ -79,13 +95,22 @@ def main(argv=None) -> int:
             print(f"\nreport written to {path}")
         ok = all(r.passed for r in records)
     elif args.target == "figures":
-        for name, mod in ALL_FIGURES.items():
-            ok &= _run_one(name, mod.run, quick)
+        if args.jobs > 1:
+            ok = _run_parallel(figures=True, ablations=False)
+        else:
+            for name, mod in ALL_FIGURES.items():
+                ok &= _run_one(name, mod.run, quick)
     elif args.target == "ablations":
-        for name, fn in ALL_ABLATIONS.items():
-            ok &= _run_one(name, fn, quick)
+        if args.jobs > 1:
+            ok = _run_parallel(figures=False, ablations=True)
+        else:
+            for name, fn in ALL_ABLATIONS.items():
+                ok &= _run_one(name, fn, quick)
     elif args.target in ALL_FIGURES:
-        ok = _run_one(args.target, ALL_FIGURES[args.target].run, quick)
+        if args.jobs > 1:
+            ok = _run_parallel(figures=True, ablations=False, only=[args.target])
+        else:
+            ok = _run_one(args.target, ALL_FIGURES[args.target].run, quick)
     elif args.target == "ablation":
         if args.extra not in ALL_ABLATIONS:
             parser.error(

@@ -148,12 +148,85 @@ def _bench_scenario_end_to_end(scale: float) -> Tuple[int, Callable[[], None]]:
     return positions * 5, run
 
 
+def _snapshot_store(n_flights: int):
+    """A populated store for the snapshot benches (1k-flight default)."""
+    from .ois.state import OperationalStateStore
+
+    store = OperationalStateStore()
+    for i in range(n_flights):
+        f = store.flight(f"DL{i:04d}")
+        f.position = {"lat": float(i), "lon": -float(i)}
+        store.touch(f.flight_id)
+    return store
+
+
+def _bench_snapshot_full(scale: float) -> Tuple[int, Callable[[], None]]:
+    """Uncached baseline: force a full snapshot rebuild every request."""
+    n = max(1, int(200 * scale))
+    store = _snapshot_store(1000)
+
+    def run():
+        for i in range(n):
+            snap = store.rebuild_snapshot(float(i))
+            assert snap.flight_count == 1000
+
+    return n, run
+
+
+def _bench_snapshot_cached(scale: float) -> Tuple[int, Callable[[], None]]:
+    """Fast path: repeated serving hits the generation-cached view."""
+    n = max(1, int(20_000 * scale))
+    store = _snapshot_store(1000)
+    store.snapshot(0.0)  # prime the cache
+
+    def run():
+        for i in range(n):
+            snap = store.snapshot(float(i))
+            assert snap.flight_count == 1000
+
+    return n, run
+
+
+def _bench_snapshot_delta(scale: float):
+    """Delta serving for a client 1% behind a 1k-flight store."""
+    from .core.events import FAA_POSITION, UpdateEvent
+
+    n = max(1, int(5_000 * scale))
+    store = _snapshot_store(1000)
+    base = store.snapshot(0.0)
+    for i in range(10):  # 1% of flights change past the client's view
+        store.apply(
+            UpdateEvent(
+                kind=FAA_POSITION, stream="faa", seqno=i + 1,
+                key=f"DL{i:04d}", payload={"lat": 9.9, "lon": 1.0},
+            )
+        )
+    full = store.snapshot(0.0)
+    delta = store.delta_snapshot(0.0, since_generation=base.generation)
+    assert delta.is_delta
+
+    def run():
+        for i in range(n):
+            view = store.delta_snapshot(float(i), since_generation=base.generation)
+            assert view.is_delta and view.flight_count == 10
+
+    info = {
+        "full_bytes": full.size,
+        "delta_bytes": delta.size,
+        "bytes_ratio": full.size / delta.size,
+    }
+    return n, run, info
+
+
 BENCHMARKS: Dict[str, Callable[[float], Tuple[int, Callable[[], None]]]] = {
     "kernel_timeout_throughput": _bench_kernel_timeouts,
     "store_put_get_throughput": _bench_store_put_get,
     "rule_engine_throughput": _bench_rule_engine,
     "checkpoint_round_throughput": _bench_checkpoint_rounds,
     "scenario_end_to_end": _bench_scenario_end_to_end,
+    "snapshot_full": _bench_snapshot_full,
+    "snapshot_cached": _bench_snapshot_cached,
+    "snapshot_delta": _bench_snapshot_delta,
 }
 
 
@@ -179,7 +252,11 @@ def run_suite(
     for name, factory in BENCHMARKS.items():
         if only and name not in only:
             continue
-        ops, run = factory(scale)
+        made = factory(scale)
+        # factories return (ops, run) or (ops, run, info) where ``info``
+        # carries extra facts worth recording (e.g. delta byte ratios)
+        ops, run = made[0], made[1]
+        info = made[2] if len(made) > 2 else {}
         run()  # warmup (also validates)
         best = min(_time_once(run) for _ in range(max(1, repeats)))
         results[name] = {
@@ -187,6 +264,7 @@ def run_suite(
             "best_seconds": best,
             "ops_per_sec": ops / best if best > 0 else float("inf"),
             "repeats": repeats,
+            **info,
         }
         if progress is not None:
             progress(

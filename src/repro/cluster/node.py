@@ -58,6 +58,10 @@ class CostModel:
     #: serve one client initial-state request (snapshot build + send)
     request_fixed: float = 2.5e-3
     request_per_state_byte: float = 1e-9
+    #: serve a request from the generation-cached snapshot (lookup + send
+    #: setup of an already-built serialization; no per-flight rebuild)
+    request_cached_fixed: float = 150e-6
+    request_cached_per_byte: float = 0.05e-9
     #: checkpoint control-message handling at the coordinator (per
     #: message): vote bookkeeping is O(1) — the proposal is the *last*
     #: backup-queue entry and the agreement a running minimum
@@ -110,6 +114,16 @@ class CostModel:
     def request_cost(self, state_bytes: int) -> float:
         """Initial-state request service demand for a state of that size."""
         return self.request_fixed + self.request_per_state_byte * state_bytes
+
+    def request_cached_cost(self, state_bytes: int) -> float:
+        """Serving demand when the snapshot is already built (cache hit
+        or a request coalesced onto an in-flight build)."""
+        return self.request_cached_fixed + self.request_cached_per_byte * state_bytes
+
+    def request_delta_cost(self, delta_bytes: int) -> float:
+        """Serving demand for an incremental view: cached-path fixed cost
+        plus build work proportional to the changed flights only."""
+        return self.request_cached_fixed + self.request_per_state_byte * delta_bytes
 
     def ser_cost(self, size: int) -> float:
         """Wire-serialization demand for one outgoing message."""

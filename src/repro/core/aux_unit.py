@@ -108,6 +108,7 @@ class CentralAuxUnit:
         application state, not function state."""
         self.config = config
         self.engine = config.build_engine(table=self.engine.table)
+        self.main_unit.configure_snapshots(config)
 
     def do_mirror(self):
         """Table-1 ``mirror()``: drain whatever is currently ready."""
@@ -428,3 +429,4 @@ class MirrorAuxUnit:
             return
         self._applied_adapt_seq = command.seq
         self.applied_config = command.config
+        self.main_unit.configure_snapshots(command.config)

@@ -129,6 +129,18 @@ class MirrorConfig:
     #: 1 = one message per event — the paper's configuration; every
     #: figure reproduces bit-for-bit at the default.
     batch_size: int = 1
+    #: snapshot fast path: serve initialization requests from the
+    #: generation-cached view when state has not changed (cache hits and
+    #: coalesced requests charge the cheap cached-service cost instead of
+    #: a full build).  Off = the paper's serve-from-scratch economics;
+    #: every figure reproduces bit-for-bit at the default.
+    serve_cached_snapshots: bool = False
+    #: answer resume-capable requests with delta snapshots (only the
+    #: flights changed since the client's previous view).  Opt-in.
+    delta_snapshots: bool = False
+    #: fall back to a full view when the delta would exceed this fraction
+    #: of the full snapshot's size
+    delta_fallback_fraction: float = 0.25
     #: complex-sequence rules: (trigger_kind, trigger_value, target_kind)
     complex_seq: List[Tuple[str, Dict[str, Any], str]] = field(default_factory=list)
     #: complex-tuple rules: (kinds, values, combined_kind, suppresses)
@@ -156,6 +168,8 @@ class MirrorConfig:
             raise ValueError("checkpoint_freq must be >= 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if not (0 < self.delta_fallback_fraction <= 1):
+            raise ValueError("delta_fallback_fraction must be in (0, 1]")
         for kind, length in self.overwrite.items():
             if length < 1:
                 raise ValueError(f"overwrite length for {kind!r} must be >= 1")

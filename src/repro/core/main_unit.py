@@ -23,6 +23,7 @@ from ..ois.clients import ClientPool, InitStateRequest, InitStateResponse
 from ..ois.ede import EventDerivationEngine
 from ..sim import Environment, Store
 from .checkpoint import MainUnitCheckpointer
+from .config import MirrorConfig
 from .events import UpdateEvent
 
 __all__ = ["EOS", "MainUnit"]
@@ -63,6 +64,7 @@ class MainUnit:
         client_pool: Optional[ClientPool] = None,
         snapshot_on_wire: bool = True,
         request_workers: int = 4,
+        mirror_config: Optional[MirrorConfig] = None,
     ):
         if request_workers < 1:
             raise ValueError("request_workers must be >= 1")
@@ -84,12 +86,37 @@ class MainUnit:
         self._requests_in_service = 0
         self.events_processed = 0
         self.requests_served = 0
+        # snapshot fast path (configured from the MirrorConfig; aux units
+        # re-apply it on adaptation config swaps)
+        self._serve_cached = False
+        self._serve_deltas = False
+        self._delta_fraction = 0.25
+        self.configure_snapshots(mirror_config)
+        # request coalescing: while a snapshot build is in flight, the
+        # builder's completion event lets concurrent requests share the
+        # one build instead of each paying for their own
+        self._build_done = None
+        self._shared_snapshot = None
         env.process(self._event_loop())
         # a pool of request-handler threads: under a request storm the
         # handlers crowd the node CPU's FIFO queue, starving the site's
         # event path — the perturbation §4.3 adapts away
         for _ in range(request_workers):
             env.process(self._request_loop())
+
+    # -- configuration ---------------------------------------------------
+    def configure_snapshots(self, config: Optional[MirrorConfig]) -> None:
+        """Install the snapshot-serving parameters from ``config``.
+
+        Called at construction and again whenever an aux unit swaps the
+        mirroring configuration (dynamic API change or adaptation), so
+        the fast path can be toggled cluster-wide at runtime.
+        """
+        if config is None:
+            return
+        self._serve_cached = config.serve_cached_snapshots
+        self._serve_deltas = config.delta_snapshots
+        self._delta_fraction = config.delta_fallback_fraction
 
     # -- monitoring ------------------------------------------------------
     def pending_requests(self) -> int:
@@ -132,16 +159,89 @@ class MainUnit:
             msg = yield self.requests.inbox.get()
             request: InitStateRequest = msg.payload
             self._requests_in_service += 1
-            # snapshot construction is the CPU-heavy part — this is what
-            # steals cycles from event processing and perturbs the site
-            state_bytes = self.ede.state.state_bytes()
-            yield from self.node.execute(costs.request_cost(state_bytes))
-            snapshot = self.ede.state.snapshot(self.env.now)
+            yield from self._serve_request(request, costs)
             self._requests_in_service -= 1
             self.requests_served += 1
-            # the transfer to the recovering client rides the client
-            # link asynchronously; the next request's service starts now
-            self.env.process(self._respond(request, snapshot))
+
+    def _take_snapshot(self):
+        """Snapshot via the store's generation cache, keeping the
+        build/hit accounting in the run metrics."""
+        store = self.ede.state
+        builds_before = store.snapshot_builds
+        snapshot = store.snapshot(self.env.now)
+        if store.snapshot_builds > builds_before:
+            self.metrics.snapshot_builds += 1
+        else:
+            self.metrics.snapshot_cache_hits += 1
+        return snapshot
+
+    def _serve_request(self, request: InitStateRequest, costs):
+        """Charge the service cost and hand off the response transfer.
+
+        Default path (``serve_cached_snapshots`` off) charges the full
+        build cost per request, exactly the paper's economics — the
+        store-level view cache still elides the redundant Python-side
+        rebuild, which cannot perturb simulated time.  With the fast
+        path on, cache hits and requests coalesced onto an in-flight
+        build charge only the cached-service cost, and resume-capable
+        requests can be answered with a delta view.
+        """
+        store = self.ede.state
+        state_bytes = store.state_bytes()
+        if self._serve_deltas and getattr(request, "resumable", False):
+            builds_before = store.snapshot_builds
+            view = store.delta_snapshot(
+                self.env.now,
+                since_generation=request.resume_generation,
+                since_marks=request.resume_as_of,
+                max_fraction=self._delta_fraction,
+            )
+            built = store.snapshot_builds > builds_before
+            if built:
+                self.metrics.snapshot_builds += 1
+            if view.is_delta:
+                self.metrics.delta_snapshots_served += 1
+                self.metrics.bytes_saved_by_delta += view.bytes_saved
+                yield from self.node.execute(costs.request_delta_cost(view.size))
+            elif self._serve_cached and not built:
+                # fallback full view, served straight from the cache
+                self.metrics.snapshot_cache_hits += 1
+                yield from self.node.execute(costs.request_cached_cost(state_bytes))
+            else:
+                yield from self.node.execute(costs.request_cost(state_bytes))
+            self.env.process(self._respond(request, view))
+            return
+        if not self._serve_cached:
+            # snapshot construction is the CPU-heavy part — this is what
+            # steals cycles from event processing and perturbs the site
+            yield from self.node.execute(costs.request_cost(state_bytes))
+            snapshot = self._take_snapshot()
+        elif store.cache_fresh:
+            yield from self.node.execute(costs.request_cached_cost(state_bytes))
+            snapshot = self._take_snapshot()
+        elif self._build_done is not None:
+            # coalesce: a build is already in flight on this site — pay
+            # the cached-service cost and share the builder's view
+            # (capture the event first: the builder may finish, and clear
+            # the slot, while this request's service cost elapses)
+            done = self._build_done
+            yield from self.node.execute(costs.request_cached_cost(state_bytes))
+            if not done.processed:
+                yield done
+            # published before the event fires, and never cleared
+            snapshot = self._shared_snapshot
+            self.metrics.snapshot_cache_hits += 1
+        else:
+            # leader: pay the full build, publish it to any coalescers
+            self._build_done = self.env.event()
+            yield from self.node.execute(costs.request_cost(state_bytes))
+            snapshot = self._take_snapshot()
+            self._shared_snapshot = snapshot
+            done, self._build_done = self._build_done, None
+            done.succeed()
+        # the transfer to the recovering client rides the client
+        # link asynchronously; the next request's service starts now
+        self.env.process(self._respond(request, snapshot))
 
     def _respond(self, request: "InitStateRequest", snapshot):
         if self.clients_endpoint is not None and self.snapshot_on_wire:
@@ -150,12 +250,16 @@ class MainUnit:
                 self.clients_endpoint,
                 Message(kind="data", payload=snapshot, size=snapshot.size),
             )
+        is_delta = getattr(snapshot, "is_delta", False)
         response = InitStateResponse(
             client_id=request.client_id,
             issued_at=request.issued_at,
             served_at=self.env.now,
             snapshot_size=snapshot.size,
             served_by=self.site,
+            generation=getattr(snapshot, "generation", 0),
+            delta=is_delta,
+            full_size=snapshot.full_size if is_delta else snapshot.size,
         )
         self.metrics.requests_served += 1
         self.metrics.request_latency.observe(response.latency)

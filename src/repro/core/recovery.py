@@ -50,6 +50,12 @@ class RejoinPlan:
     from_vt: VectorTimestamp
     #: per-stream horizon the consumer will be at afterwards
     to_vt: VectorTimestamp
+    #: the initial-state view to ship when ``full_snapshot`` is True and
+    #: a store was offered to the planner: a ``StateSnapshot``, or a
+    #: ``DeltaSnapshot`` when the store can still prove which flights
+    #: changed past the client's horizon (cheaper than a full view even
+    #: though the *event* replay horizon was trimmed)
+    snapshot: Optional[object] = None
 
     @property
     def replay_count(self) -> int:
@@ -60,6 +66,10 @@ def plan_client_rejoin(
     client_vt: VectorTimestamp,
     backup: BackupQueue,
     committed_vt: Optional[VectorTimestamp],
+    *,
+    store=None,
+    now: float = 0.0,
+    delta_fallback_fraction: Optional[float] = None,
 ) -> RejoinPlan:
     """Plan catch-up for a consumer that saw events up to ``client_vt``.
 
@@ -69,6 +79,14 @@ def plan_client_rejoin(
     can no longer be replayed — it gets a full snapshot.  Otherwise the
     backup queue contains everything newer than ``client_vt`` and the
     plan lists exactly those events, oldest first.
+
+    When the serving site's ``store`` (its
+    :class:`~repro.ois.state.OperationalStateStore`) is passed, the
+    full-snapshot plan also carries the view to ship: a delta view of
+    the flights changed past ``client_vt`` when
+    ``delta_fallback_fraction`` is given (the store's change journal
+    outlives backup-queue trims, so this usually beats the full view),
+    otherwise the generation-cached full snapshot.
     """
     retained = backup.events()
     to_vt = client_vt
@@ -77,11 +95,22 @@ def plan_client_rejoin(
 
     if committed_vt is not None and not client_vt.dominates(committed_vt):
         # some events the client is missing were already trimmed
+        snapshot = None
+        if store is not None:
+            if delta_fallback_fraction is not None:
+                snapshot = store.delta_snapshot(
+                    now,
+                    since_marks=client_vt.as_dict(),
+                    max_fraction=delta_fallback_fraction,
+                )
+            else:
+                snapshot = store.snapshot(now)
         return RejoinPlan(
             full_snapshot=True,
             replay_events=(),
             from_vt=client_vt,
             to_vt=to_vt,
+            snapshot=snapshot,
         )
     replay = tuple(
         ev for ev in retained if not client_vt.covers(ev.stream, ev.seqno)

@@ -83,6 +83,12 @@ class ScenarioConfig:
     snapshot_on_wire: bool = True
     #: request-handler threads per site (thread-per-request server model)
     request_workers: int = 4
+    #: size of a rotating pool of *resume-capable* thin clients: when
+    #: > 0, requests are issued round-robin from this many client ids,
+    #: each advertising the generation of its previous view so servers
+    #: with ``delta_snapshots`` enabled can answer incrementally.
+    #: 0 = the paper's anonymous one-shot clients.
+    delta_client_pool: int = 0
     #: hard stop for the simulation (None = run to quiescence)
     time_limit: Optional[float] = None
     #: enable the adaptation controller when the config has monitors
@@ -104,6 +110,8 @@ class ScenarioConfig:
             raise ValueError("give request_times or request_rate, not both")
         if self.preload_flights < 0:
             raise ValueError("preload_flights must be >= 0")
+        if self.delta_client_pool < 0:
+            raise ValueError("delta_client_pool must be >= 0")
         if any(f <= 0 for f in self.mirror_speed_factors):
             raise ValueError("mirror speed factors must be positive")
 
@@ -162,6 +170,7 @@ class MirroredServer:
             client_pool=self.client_pool,
             snapshot_on_wire=cfg.snapshot_on_wire,
             request_workers=cfg.request_workers,
+            mirror_config=cfg.mirror_config,
         )
         self.mirror_mains = [
             MainUnit(
@@ -171,6 +180,7 @@ class MirroredServer:
                 client_pool=self.client_pool,
                 snapshot_on_wire=cfg.snapshot_on_wire,
                 request_workers=cfg.request_workers,
+                mirror_config=cfg.mirror_config,
             )
             for node in self.mirror_nodes
         ]
@@ -243,10 +253,20 @@ class MirroredServer:
         return RoundRobinBalancer(targets)
 
     def _issue_request(self, balancer: RoundRobinBalancer, i: int):
-        request = InitStateRequest(
-            client_id=f"thin{i:05d}", issued_at=self.env.now,
-            reply_to="clients.sink",
-        )
+        cfg = self.config
+        if cfg.delta_client_pool > 0:
+            # a rotating pool of known clients: repeat visitors advertise
+            # the generation of their previous view (resume capability)
+            request = self.client_pool.resume_request(
+                f"thin{i % cfg.delta_client_pool:05d}",
+                self.env.now,
+                reply_to="clients.sink",
+            )
+        else:
+            request = InitStateRequest(
+                client_id=f"thin{i:05d}", issued_at=self.env.now,
+                reply_to="clients.sink",
+            )
         self.metrics.requests_issued += 1
         ep = self.transport.endpoint(balancer.pick())
         return ep.inbox.put(Message(kind="data", payload=request, size=64))

@@ -80,6 +80,15 @@ class RunMetrics:
     request_latency: Tally = field(default_factory=lambda: Tally("request_latency"))
     requests_issued: int = 0
     requests_served: int = 0
+    #: snapshot fast-path accounting: full builds actually performed vs
+    #: requests served from the generation-cached view (including
+    #: requests coalesced onto an in-flight build)
+    snapshot_builds: int = 0
+    snapshot_cache_hits: int = 0
+    #: incremental initial-state views served, and the wire bytes they
+    #: saved versus shipping the full view
+    delta_snapshots_served: int = 0
+    bytes_saved_by_delta: int = 0
     #: event accounting
     events_generated: int = 0
     events_mirrored: int = 0
@@ -123,6 +132,10 @@ class RunMetrics:
             "updates": float(self.update_delay.count),
             "requests_served": float(self.requests_served),
             "mean_request_latency": self.request_latency.mean,
+            "snapshot_builds": float(self.snapshot_builds),
+            "snapshot_cache_hits": float(self.snapshot_cache_hits),
+            "delta_snapshots_served": float(self.delta_snapshots_served),
+            "bytes_saved_by_delta": float(self.bytes_saved_by_delta),
             "events_mirrored": float(self.events_mirrored),
             "mirror_traffic_ratio": self.mirror_traffic_ratio(),
             "checkpoint_commits": float(self.checkpoint_commits),

@@ -23,12 +23,28 @@ __all__ = ["InitStateRequest", "InitStateResponse", "ClientPool"]
 
 @dataclass
 class InitStateRequest:
-    """A thin client's request for a new initial state view."""
+    """A thin client's request for a new initial state view.
+
+    A client that held a view before (and is only slightly behind)
+    advertises the *resume capability*: the generation of its previous
+    snapshot, or failing that its per-stream high-water marks.  Servers
+    with delta serving enabled answer such requests with only the
+    flights changed since (``repro.ois.state.DeltaSnapshot``); plain
+    requests always receive a full view.
+    """
 
     client_id: str
     issued_at: float
     #: endpoint name the response should be accounted against
     reply_to: str = ""
+    #: generation of the client's previous snapshot (None = no view held)
+    resume_generation: Optional[int] = None
+    #: per-stream seqno marks of the previous view (generation preferred)
+    resume_as_of: Optional[Dict[str, int]] = None
+
+    @property
+    def resumable(self) -> bool:
+        return self.resume_generation is not None or self.resume_as_of is not None
 
 
 @dataclass(frozen=True)
@@ -40,10 +56,24 @@ class InitStateResponse:
     served_at: float
     snapshot_size: int
     served_by: str
+    #: store generation of the served view (clients resume from it)
+    generation: int = 0
+    #: True when an incremental (delta) view was served
+    delta: bool = False
+    #: wire size the equivalent full view would have had (= snapshot_size
+    #: for full views)
+    full_size: Optional[int] = None
 
     @property
     def latency(self) -> float:
         return self.served_at - self.issued_at
+
+    @property
+    def bytes_saved(self) -> int:
+        """Bytes the delta saved over a full view (0 for full views)."""
+        if not self.delta or self.full_size is None:
+            return 0
+        return max(0, self.full_size - self.snapshot_size)
 
 
 class ClientPool:
@@ -63,6 +93,8 @@ class ClientPool:
         #: end-to-end delay, event entry -> delivery to the client side
         self.delivery_delay = Tally(f"{name}.delivery_delay")
         self.responses: List[InitStateResponse] = []
+        #: per-client generation of the last served view (resume capability)
+        self.last_generation: Dict[str, int] = {}
 
     def on_update(self, event: UpdateEvent, now: float) -> None:
         """Record delivery of one state update to the population."""
@@ -74,6 +106,23 @@ class ClientPool:
     def on_init_response(self, response: InitStateResponse) -> None:
         """Record a completed initial-state request."""
         self.responses.append(response)
+        self.last_generation[response.client_id] = response.generation
+
+    def resume_request(
+        self, client_id: str, now: float, reply_to: str = ""
+    ) -> InitStateRequest:
+        """Build a request carrying the client's resume capability: the
+        generation of its last served view, if it ever received one."""
+        return InitStateRequest(
+            client_id=client_id,
+            issued_at=now,
+            reply_to=reply_to,
+            resume_generation=self.last_generation.get(client_id),
+        )
+
+    def delta_responses(self) -> List[InitStateResponse]:
+        """The responses that were served as incremental views."""
+        return [r for r in self.responses if r.delta]
 
     def request_latency(self) -> Tally:
         """Tally of all recorded initial-state request latencies."""

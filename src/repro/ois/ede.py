@@ -101,6 +101,9 @@ class EventDerivationEngine:
             seen.add(status)
             if len(seen) == len(_ARRIVAL_SEQUENCE):
                 flight.arrived = True
+                # direct record mutation: advance the store generation so
+                # cached/delta snapshot views stay coherent
+                self.state.touch(flight.flight_id)
                 out.append(self._derived_event(event, FLIGHT_ARRIVED, {
                     "status": "flight arrived",
                     "arrived": True,

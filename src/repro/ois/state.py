@@ -6,19 +6,50 @@ all cluster machines participating in event mirroring" (§1).  The store
 tracks per-flight operational facts and can build the *initial state
 views* that recovering thin clients request — the expensive operation
 whose burstiness motivates the whole design.
+
+Snapshot fast path (PR 2)
+-------------------------
+The store is *generation counted*: every mutation bumps ``generation``,
+and the full initial-state view is built once per generation and reused
+until state actually changes.  A cache miss refreshes only the per
+flight views dirtied since the last build, so rebuild work is
+proportional to the number of changed flights, not the whole table.
+The change journal additionally supports *delta snapshots*: a client
+that reconnects with the generation (or per-stream high-water marks) of
+its previous view receives only the flights changed since, with an
+automatic fallback to the full view when the delta would not be
+meaningfully smaller.
+
+The cache relies on every mutation going through :meth:`apply`,
+:meth:`flight` (record creation) or :meth:`touch`; callers that mutate
+a :class:`FlightState` record directly after obtaining it must call
+:meth:`touch` so the generation advances.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from types import MappingProxyType
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..core.events import DELTA_STATUS, FAA_POSITION, UpdateEvent
 
-__all__ = ["FlightState", "StateSnapshot", "OperationalStateStore"]
+__all__ = [
+    "FlightState",
+    "FlightView",
+    "StateSnapshot",
+    "DeltaSnapshot",
+    "OperationalStateStore",
+    "apply_delta",
+]
 
 #: Serialized footprint of one flight's operational record in a snapshot.
 PER_FLIGHT_SNAPSHOT_BYTES = 2048
+
+#: Fixed framing overhead of a delta snapshot (base/target generation,
+#: per-stream high-water vector, changed-flight count).
+DELTA_HEADER_BYTES = 64
 
 
 @dataclass
@@ -42,18 +73,108 @@ class FlightState:
 
 
 @dataclass(frozen=True)
+class FlightView:
+    """Immutable copy of one flight's record as carried by a snapshot.
+
+    ``position`` is stored as a sorted item tuple so views are hashable
+    and cannot alias the live (mutable) :class:`FlightState` dict.
+    """
+
+    flight_id: str
+    status: str
+    passengers_expected: int
+    passengers_boarded: int
+    updates_applied: int
+    arrived: bool
+    position: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, st: FlightState) -> "FlightView":
+        return cls(
+            flight_id=st.flight_id,
+            status=st.status,
+            passengers_expected=st.passengers_expected,
+            passengers_boarded=st.passengers_boarded,
+            updates_applied=st.updates_applied,
+            arrived=st.arrived,
+            position=tuple(sorted(st.position.items())) if st.position else (),
+        )
+
+
+def _frozen_marks(marks: Mapping[str, int]) -> Mapping[str, int]:
+    """An immutable copy of a per-stream high-water mapping."""
+    return MappingProxyType(dict(marks))
+
+
+@dataclass(frozen=True)
 class StateSnapshot:
     """An initial-state view served to a recovering thin client.
 
     ``size`` is the wire size of the snapshot: proportional to the number
     of flights it must describe, which is what makes initialization
-    requests heavyweight relative to streaming updates.
+    requests heavyweight relative to streaming updates.  The snapshot
+    records the store ``generation`` it was built at, so a client can
+    later resume with a cheap delta, and ``as_of`` is an immutable
+    mapping — a served view can never be corrupted after the fact.
     """
 
     taken_at: float
     flight_count: int
     size: int
-    as_of: Dict[str, int]  # per-stream seqno high-water marks
+    as_of: Mapping[str, int]  # per-stream seqno high-water marks
+    generation: int = 0
+    flights: Tuple[FlightView, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "as_of", _frozen_marks(self.as_of))
+
+    @property
+    def is_delta(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class DeltaSnapshot:
+    """An incremental initial-state view: only the flights changed since
+    ``base_generation``.  Applying it over the client's previous full
+    view (see :func:`apply_delta`) reproduces the state the full
+    snapshot at ``generation`` would describe.
+    """
+
+    taken_at: float
+    base_generation: int
+    generation: int
+    flight_count: int  # flights described (the changed ones)
+    size: int
+    full_size: int  # what the equivalent full view would have cost
+    as_of: Mapping[str, int]
+    flights: Tuple[FlightView, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "as_of", _frozen_marks(self.as_of))
+
+    @property
+    def is_delta(self) -> bool:
+        return True
+
+    @property
+    def bytes_saved(self) -> int:
+        return max(0, self.full_size - self.size)
+
+
+def apply_delta(
+    base: StateSnapshot, delta: DeltaSnapshot
+) -> Dict[str, FlightView]:
+    """Merge ``delta`` over ``base``: the reconstructed per-flight views.
+
+    Flights are never removed from the operational table, so the merge
+    is a plain overlay; the result equals the view mapping of a full
+    snapshot taken at ``delta.generation``.
+    """
+    merged = {v.flight_id: v for v in base.flights}
+    for v in delta.flights:
+        merged[v.flight_id] = v
+    return merged
 
 
 class OperationalStateStore:
@@ -68,9 +189,42 @@ class OperationalStateStore:
         self._flights: Dict[str, FlightState] = {}
         self._stream_seen: Dict[str, int] = {}
         self.events_applied = 0
+        #: bumped on every mutation; snapshots are cached per generation
+        self.generation = 0
+        # change journal: parallel (generation, flight_id) lists, gens
+        # strictly increasing — binary search finds "changed since g"
+        self._log_gens: List[int] = []
+        self._log_fids: List[str] = []
+        # per-stream (seqnos, gens) monotone logs mapping a client's
+        # high-water mark back to the generation it covers
+        self._stream_log: Dict[str, Tuple[List[int], List[int]]] = {}
+        # snapshot cache: per-flight views + the last built full view
+        self._views: Dict[str, FlightView] = {}
+        self._dirty: set = set()
+        self._cached: Optional[StateSnapshot] = None
+        self.snapshot_builds = 0
+        self.snapshot_cache_hits = 0
+        self.delta_snapshots_built = 0
 
     def __len__(self) -> int:
         return len(self._flights)
+
+    # -- mutation tracking ------------------------------------------------
+    def _mark_changed(self, flight_id: str) -> None:
+        self.generation += 1
+        self._log_gens.append(self.generation)
+        self._log_fids.append(flight_id)
+        self._dirty.add(flight_id)
+
+    def touch(self, flight_id: str) -> None:
+        """Record an out-of-band mutation of ``flight_id``'s record.
+
+        Callers that write a :class:`FlightState` field directly (the
+        EDE's arrival derivation does) must call this so cached and
+        delta views stay coherent.
+        """
+        if flight_id in self._flights:
+            self._mark_changed(flight_id)
 
     def flight(self, flight_id: str) -> FlightState:
         """The record for ``flight_id``, created on first reference."""
@@ -78,6 +232,7 @@ class OperationalStateStore:
         if st is None:
             st = FlightState(flight_id=flight_id)
             self._flights[flight_id] = st
+            self._mark_changed(flight_id)
         return st
 
     def flights(self) -> List[FlightState]:
@@ -93,9 +248,15 @@ class OperationalStateStore:
         st = self.flight(event.key)
         st.updates_applied += 1
         self.events_applied += 1
-        self._stream_seen[event.stream] = max(
-            self._stream_seen.get(event.stream, 0), event.seqno
-        )
+        self._mark_changed(event.key)
+        prev = self._stream_seen.get(event.stream, 0)
+        if event.seqno > prev:
+            self._stream_seen[event.stream] = event.seqno
+            log = self._stream_log.get(event.stream)
+            if log is None:
+                log = self._stream_log[event.stream] = ([], [])
+            log[0].append(event.seqno)
+            log[1].append(self.generation)
         payload = event.payload
         if event.kind == FAA_POSITION:
             st.position = {
@@ -124,11 +285,119 @@ class OperationalStateStore:
         """Approximate serialized size of the whole operational state."""
         return len(self._flights) * PER_FLIGHT_SNAPSHOT_BYTES
 
+    # -- snapshot fast path ----------------------------------------------
+    @property
+    def cache_fresh(self) -> bool:
+        """True when the cached full view matches the live generation."""
+        return self._cached is not None and self._cached.generation == self.generation
+
     def snapshot(self, now: float) -> StateSnapshot:
-        """Build an initial-state view (the client-initialisation payload)."""
-        return StateSnapshot(
+        """Build (or reuse) an initial-state view.
+
+        The view is cached per generation: repeated requests against
+        unchanged state return the same immutable snapshot (its
+        ``taken_at`` is the build time — the view is *as of* that
+        instant).  A miss refreshes only the flights dirtied since the
+        previous build.
+        """
+        if self.cache_fresh:
+            self.snapshot_cache_hits += 1
+            return self._cached
+        return self._build_snapshot(now)
+
+    def rebuild_snapshot(self, now: float) -> StateSnapshot:
+        """Force a from-scratch build (the uncached baseline): every
+        flight view is reconstructed.  Benchmarks use this to measure
+        what each request cost before caching."""
+        self._views.clear()
+        self._dirty.clear()
+        self._dirty.update(self._flights)
+        return self._build_snapshot(now)
+
+    def _build_snapshot(self, now: float) -> StateSnapshot:
+        views = self._views
+        flights = self._flights
+        for fid in self._dirty:
+            st = flights.get(fid)
+            if st is not None:
+                views[fid] = FlightView.of(st)
+        self._dirty.clear()
+        snap = StateSnapshot(
             taken_at=now,
-            flight_count=len(self._flights),
+            flight_count=len(flights),
             size=max(self.state_bytes(), PER_FLIGHT_SNAPSHOT_BYTES),
-            as_of=dict(self._stream_seen),
+            as_of=self._stream_seen,
+            generation=self.generation,
+            flights=tuple(views[fid] for fid in flights),
+        )
+        self._cached = snap
+        self.snapshot_builds += 1
+        return snap
+
+    def generation_for(self, as_of: Mapping[str, int]) -> int:
+        """The latest generation fully covered by per-stream marks.
+
+        Conservative: with interleaved streams the returned generation
+        may pre-date some events the client has seen, which only makes
+        the resulting delta a superset — never incomplete.
+        """
+        floor = self.generation
+        for stream, (seqnos, gens) in self._stream_log.items():
+            mark = as_of.get(stream, 0)
+            i = bisect.bisect_right(seqnos, mark)
+            if i < len(seqnos):
+                floor = min(floor, gens[i] - 1)
+        return floor
+
+    def changed_since(self, generation: int) -> List[str]:
+        """Flight ids changed after ``generation`` (journal order,
+        deduplicated); O(changed), not O(all flights)."""
+        start = bisect.bisect_right(self._log_gens, generation)
+        seen: set = set()
+        out: List[str] = []
+        for fid in self._log_fids[start:]:
+            if fid not in seen:
+                seen.add(fid)
+                out.append(fid)
+        return out
+
+    def delta_snapshot(
+        self,
+        now: float,
+        since_generation: Optional[int] = None,
+        since_marks: Optional[Mapping[str, int]] = None,
+        max_fraction: float = 0.25,
+    ):
+        """An incremental view for a client that resumes from an earlier
+        snapshot, identified by its ``generation`` (preferred) or its
+        per-stream high-water ``marks``.
+
+        Returns a :class:`DeltaSnapshot` covering only the flights
+        changed since, or falls back to the cached full
+        :class:`StateSnapshot` when the delta would exceed
+        ``max_fraction`` of the full view's size (a client too far
+        behind gains nothing from a delta).
+        """
+        if since_generation is None:
+            since_generation = self.generation_for(since_marks or {})
+        full = self.snapshot(now)  # also refreshes the view cache
+        changed = (
+            self.changed_since(since_generation)
+            if since_generation < self.generation
+            else []
+        )
+        size = DELTA_HEADER_BYTES + len(changed) * PER_FLIGHT_SNAPSHOT_BYTES
+        if size > max_fraction * full.size:
+            return full
+        views = self._views
+        self.delta_snapshots_built += 1
+        return DeltaSnapshot(
+            taken_at=full.taken_at,
+            base_generation=since_generation,
+            generation=self.generation,
+            flight_count=len(changed),
+            size=size,
+            full_size=full.size,
+            as_of=self._stream_seen,
+            flights=tuple(views[fid] for fid in changed if fid in views),
         )

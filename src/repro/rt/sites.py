@@ -63,6 +63,18 @@ class AsyncMainUnit:
         self.update_delays: List[float] = []
         self._pending_requests = 0
         self.distribute_updates = False
+        #: snapshot fast path (all off = the original serve-from-scratch
+        #: behaviour; AsyncMirroredServer(snapshot_fast_path=True) wires
+        #: these on for every site)
+        self.coalesce_requests = False
+        self.serve_cached_snapshots = False
+        self.delta_snapshots = False
+        self.delta_fallback_fraction = 0.25
+        #: fast-path accounting (mirrors RunMetrics in the sim backend)
+        self.snapshot_builds = 0
+        self.snapshot_cache_hits = 0
+        self.delta_snapshots_served = 0
+        self.bytes_saved_by_delta = 0
 
     def pending_requests(self) -> int:
         """Outstanding request count (queued + in service)."""
@@ -83,31 +95,98 @@ class AsyncMainUnit:
             await asyncio.sleep(0)  # cooperative yield
 
     async def request_loop(self) -> None:
-        """Serve initial-state requests until EOS."""
+        """Serve initial-state requests until EOS.
+
+        With ``coalesce_requests`` on, every request already queued when
+        one is picked up is drained into the same service batch: the
+        snapshot-build delay is paid once for the whole batch instead of
+        once per request (the coalescing the simulation backend models
+        with shared build events).  All flags off reproduces the
+        original serve-from-scratch loop exactly.
+        """
         while True:
             request = await self.requests.get()
             if request == EOS:
                 break
-            self._pending_requests += 1
-            if self.request_service_delay > 0:
-                await asyncio.sleep(self.request_service_delay)
+            batch = [request]
+            if self.coalesce_requests:
+                while True:
+                    try:
+                        batch.append(self.requests.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+            eos_drained = EOS in batch
+            live = [r for r in batch if r != EOS]
+            self._pending_requests += len(live)
             state = getattr(self.ede, "state", None)
-            if state is not None:
-                snapshot = state.snapshot(self.clock())
-                snapshot_size = snapshot.size
-            else:
-                snapshot_size = 2048  # engines without a state store
-            self._pending_requests -= 1
-            self.responses.append(
-                InitStateResponse(
-                    client_id=request.client_id,
-                    issued_at=request.issued_at,
-                    served_at=self.clock(),
-                    snapshot_size=snapshot_size,
-                    served_by=self.site,
-                )
-            )
+            if self.request_service_delay > 0:
+                if self.serve_cached_snapshots and state is not None:
+                    # one build amortised over the batch; a fresh cache
+                    # skips the build delay entirely
+                    if not state.cache_fresh:
+                        await asyncio.sleep(self.request_service_delay)
+                else:
+                    for _ in live:
+                        await asyncio.sleep(self.request_service_delay)
+            for req in live:
+                self.responses.append(self._serve_one(req, state))
+                self._pending_requests -= 1
             await asyncio.sleep(0)
+            if eos_drained:
+                break
+
+    def _serve_one(self, request: InitStateRequest, state) -> InitStateResponse:
+        """Build the response for one request (delta path when enabled
+        and the request carries resume capability)."""
+        if state is None:
+            # engines without a state store (e.g. alternate scoreboard
+            # engines) get the stub snapshot, as before
+            return InitStateResponse(
+                client_id=request.client_id,
+                issued_at=request.issued_at,
+                served_at=self.clock(),
+                snapshot_size=2048,
+                served_by=self.site,
+            )
+        if self.delta_snapshots and getattr(request, "resumable", False):
+            builds_before = state.snapshot_builds
+            view = state.delta_snapshot(
+                self.clock(),
+                since_generation=request.resume_generation,
+                since_marks=request.resume_as_of,
+                max_fraction=self.delta_fallback_fraction,
+            )
+            if state.snapshot_builds > builds_before:
+                self.snapshot_builds += 1
+            elif not view.is_delta:
+                self.snapshot_cache_hits += 1
+            if view.is_delta:
+                self.delta_snapshots_served += 1
+                self.bytes_saved_by_delta += view.bytes_saved
+            return InitStateResponse(
+                client_id=request.client_id,
+                issued_at=request.issued_at,
+                served_at=self.clock(),
+                snapshot_size=view.size,
+                served_by=self.site,
+                generation=view.generation,
+                delta=view.is_delta,
+                full_size=view.full_size if view.is_delta else view.size,
+            )
+        builds_before = state.snapshot_builds
+        snapshot = state.snapshot(self.clock())
+        if state.snapshot_builds > builds_before:
+            self.snapshot_builds += 1
+        else:
+            self.snapshot_cache_hits += 1
+        return InitStateResponse(
+            client_id=request.client_id,
+            issued_at=request.issued_at,
+            served_at=self.clock(),
+            snapshot_size=snapshot.size,
+            served_by=self.site,
+            generation=snapshot.generation,
+        )
 
 
 class AsyncCentralSite:

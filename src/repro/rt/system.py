@@ -41,6 +41,11 @@ class AsyncRunSummary:
     checkpoint_commits: int = 0
     adaptations: int = 0
     reversions: int = 0
+    #: snapshot fast-path accounting, aggregated across all sites
+    snapshot_builds: int = 0
+    snapshot_cache_hits: int = 0
+    delta_snapshots_served: int = 0
+    bytes_saved_by_delta: int = 0
     adaptation_log: List[tuple] = field(default_factory=list)
     replica_digests: List[tuple] = field(default_factory=list)
     wall_seconds: float = 0.0
@@ -66,6 +71,11 @@ class AsyncMirroredServer:
     time_factor:
         Multiplier applied to script/request timestamps when replaying
         in wall-clock time; 0 replays as fast as possible.
+    snapshot_fast_path:
+        Turn on request coalescing + cached snapshot serving on every
+        site (delta serving additionally honours the mirror config's
+        ``delta_snapshots``/``delta_fallback_fraction``).  Off keeps the
+        original serve-every-request-from-scratch behaviour.
     """
 
     def __init__(
@@ -76,6 +86,7 @@ class AsyncMirroredServer:
         time_factor: float = 0.0,
         request_service_delay: float = 0.0,
         engine_factory=None,
+        snapshot_fast_path: bool = False,
     ):
         if n_mirrors < 0:
             raise ValueError("n_mirrors must be >= 0")
@@ -89,8 +100,17 @@ class AsyncMirroredServer:
         self.request_service_delay = request_service_delay
         self.engine_factory = engine_factory
         self.adaptation_enabled = adaptation
+        self.snapshot_fast_path = snapshot_fast_path
         self.central: Optional[AsyncCentralSite] = None
         self.mirrors: List[AsyncMirrorSite] = []
+
+    def _configure_main(self, main) -> None:
+        main.request_service_delay = self.request_service_delay
+        if self.snapshot_fast_path:
+            main.coalesce_requests = True
+            main.serve_cached_snapshots = True
+        main.delta_snapshots = self.config.delta_snapshots
+        main.delta_fallback_fraction = self.config.delta_fallback_fraction
 
     def _build(self) -> None:
         mirror_channel = AsyncChannel("mirror.data")
@@ -107,7 +127,7 @@ class AsyncMirroredServer:
         )
         if self.engine_factory is not None:
             self.central.main.ede = self.engine_factory()
-        self.central.main.request_service_delay = self.request_service_delay
+        self._configure_main(self.central.main)
         self.mirrors = []
         for i in range(self.n_mirrors):
             site = f"mirror{i+1}"
@@ -116,7 +136,7 @@ class AsyncMirroredServer:
             mirror = AsyncMirrorSite(site, data_sub, ctrl_sub, self.central.ctrl_in)
             if self.engine_factory is not None:
                 mirror.main.ede = self.engine_factory()
-            mirror.main.request_service_delay = self.request_service_delay
+            self._configure_main(mirror.main)
             self.mirrors.append(mirror)
 
     async def _source(self, script: EventScript) -> None:
@@ -199,6 +219,7 @@ class AsyncMirroredServer:
         await central.ctrl_in.put(EOS)
         await asyncio.gather(*tasks)
 
+        mains = [central.main] + [m.main for m in self.mirrors]
         summary = AsyncRunSummary(
             events_in=len(script),
             events_mirrored=central.mirrored_events,
@@ -214,6 +235,10 @@ class AsyncMirroredServer:
             reversions=(
                 central.adaptation.reversions if central.adaptation else 0
             ),
+            snapshot_builds=sum(m.snapshot_builds for m in mains),
+            snapshot_cache_hits=sum(m.snapshot_cache_hits for m in mains),
+            delta_snapshots_served=sum(m.delta_snapshots_served for m in mains),
+            bytes_saved_by_delta=sum(m.bytes_saved_by_delta for m in mains),
             adaptation_log=list(central.adaptation_log),
             replica_digests=[central.main.ede.state_digest()]
             + [m.main.ede.state_digest() for m in self.mirrors],

@@ -12,6 +12,13 @@ commits that skip over interleaved coalesced events now defer a couple
 of per-event trim charges past end-of-run.  Every other field is
 identical.
 
+The PR-2 snapshot fast path adds the same guarantee: the store-level
+generation cache is always on but only elides redundant Python-side
+work, so the three paper scenarios pin the *same* timings as before
+(plus the new snapshot counters).  The opt-in serving economics
+(``serve_cached_snapshots``/``delta_snapshots``) get their own pinned
+scenario ("fastpath").
+
 If an intentional semantic change moves these numbers, update them in
 the same PR and say why in its description.
 """
@@ -54,6 +61,10 @@ SCENARIOS = {
                 discarded_overwrite=270, discarded_sequence=0,
                 combined_tuples=0, coalesced_events=0,
             ),
+            snapshot_builds=1,
+            snapshot_cache_hits=0,
+            delta_snapshots_served=0,
+            bytes_saved_by_delta=0,
             total_execution_time=0.05,
         ),
     ),
@@ -80,6 +91,10 @@ SCENARIOS = {
                 discarded_overwrite=0, discarded_sequence=0,
                 combined_tuples=0, coalesced_events=0,
             ),
+            snapshot_builds=0,
+            snapshot_cache_hits=0,
+            delta_snapshots_served=0,
+            bytes_saved_by_delta=0,
             total_execution_time=0.043883224000000186,
         ),
     ),
@@ -106,10 +121,58 @@ SCENARIOS = {
                 discarded_overwrite=0, discarded_sequence=0,
                 combined_tuples=0, coalesced_events=222,
             ),
+            snapshot_builds=0,
+            snapshot_cache_hits=0,
+            delta_snapshots_served=0,
+            bytes_saved_by_delta=0,
             total_execution_time=0.04198993760000018,
         ),
     ),
 }
+
+
+def _fastpath_config():
+    """The opt-in serving fast path, pinned like the paper scenarios:
+    cached + delta serving with a rotating resume-capable client pool."""
+    mc = selective_mirroring(10)
+    mc.serve_cached_snapshots = True
+    mc.delta_snapshots = True
+    return ScenarioConfig(
+        n_mirrors=2,
+        mirror_config=mc,
+        workload=WORKLOAD,
+        request_rate=400.0,
+        delta_client_pool=3,
+        preload_flights=40,
+    )
+
+
+SCENARIOS["fastpath"] = dict(
+    config=_fastpath_config,
+    expected=dict(
+        bytes_on_wire=761728,
+        wire_messages=190,
+        checkpoint_commits=7,
+        checkpoint_rounds=7,
+        digests_consistent=False,  # selective drops events by design
+        events_forwarded=336,
+        events_generated=336,
+        events_mirrored=66,
+        mean_update_delay=0.0063409844771929865,
+        updates=342,
+        requests_served=16,
+        rule_stats=dict(
+            received=336, passed_receive=66, sent=66, passed_send=66,
+            discarded_overwrite=270, discarded_sequence=0,
+            combined_tuples=0, coalesced_events=0,
+        ),
+        snapshot_builds=16,
+        snapshot_cache_hits=0,
+        delta_snapshots_served=10,
+        bytes_saved_by_delta=830848,
+        total_execution_time=0.041163052000000144,
+    ),
+)
 
 
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
@@ -131,6 +194,10 @@ def test_seeded_scenario_metrics_pinned(name):
         updates=m.update_delay.count,
         requests_served=m.requests_served,
         rule_stats=dict(m.rule_stats),
+        snapshot_builds=m.snapshot_builds,
+        snapshot_cache_hits=m.snapshot_cache_hits,
+        delta_snapshots_served=m.delta_snapshots_served,
+        bytes_saved_by_delta=m.bytes_saved_by_delta,
         total_execution_time=m.total_execution_time,
     )
     assert actual == expected

@@ -61,6 +61,78 @@ def test_rejoin_without_any_commit_replays_from_backup():
     assert plan.replay_count == 3
 
 
+def test_rejoin_plan_attaches_cached_snapshot():
+    """When the serving site's store is offered, the full-snapshot plan
+    carries the view to ship (from the generation cache)."""
+    from repro.ois.state import OperationalStateStore
+
+    store = OperationalStateStore()
+    for seq in range(1, 8):
+        store.apply(
+            UpdateEvent(
+                kind=FAA_POSITION, stream="faa", seqno=seq, key=f"DL{seq % 3}",
+                payload={"lat": float(seq)},
+            )
+        )
+    backup = backup_with(8, 9)
+    plan = plan_client_rejoin(
+        vt(faa=2), backup, committed_vt=vt(faa=7), store=store, now=1.5
+    )
+    assert plan.full_snapshot
+    assert plan.snapshot is not None
+    assert not plan.snapshot.is_delta
+    assert plan.snapshot.generation == store.generation
+    # a second plan reuses the cached view — no rebuild
+    builds = store.snapshot_builds
+    plan2 = plan_client_rejoin(
+        vt(faa=2), backup, committed_vt=vt(faa=7), store=store, now=2.0
+    )
+    assert plan2.snapshot is plan.snapshot
+    assert store.snapshot_builds == builds
+
+
+def test_rejoin_plan_prefers_delta_when_fraction_given():
+    """The store's change journal outlives backup-queue trims: a client
+    whose *event* horizon was trimmed can still get a delta view."""
+    from repro.ois.state import OperationalStateStore
+
+    store = OperationalStateStore()
+    for seq in range(1, 21):
+        store.apply(
+            UpdateEvent(
+                kind=FAA_POSITION, stream="faa", seqno=seq, key=f"DL{seq % 10}",
+                payload={"lat": float(seq)},
+            )
+        )
+    snap = store.snapshot(0.0)  # the view the client holds
+    store.apply(
+        UpdateEvent(
+            kind=FAA_POSITION, stream="faa", seqno=21, key="DL0",
+            payload={"lat": 99.0},
+        )
+    )
+    backup = backup_with(22)  # 1..21 trimmed
+    plan = plan_client_rejoin(
+        vt(faa=20), backup, committed_vt=vt(faa=21),
+        store=store, now=3.0, delta_fallback_fraction=0.5,
+    )
+    assert plan.full_snapshot
+    assert plan.snapshot.is_delta
+    assert {v.flight_id for v in plan.snapshot.flights} == {"DL0"}
+
+
+def test_rejoin_incremental_plan_carries_no_snapshot():
+    backup = backup_with(3, 4, 5)
+    from repro.ois.state import OperationalStateStore
+
+    plan = plan_client_rejoin(
+        vt(faa=3), backup, committed_vt=vt(faa=2),
+        store=OperationalStateStore(), now=1.0,
+    )
+    assert not plan.full_snapshot
+    assert plan.snapshot is None
+
+
 def test_rejoin_multi_stream_horizons():
     bq = BackupQueue()
     bq.append(stamped("faa", 5))

@@ -50,3 +50,67 @@ def test_run_all_figures_only_smoke(monkeypatch):
     assert [r.name for r in records] == ["figA", "ablB"]
     assert seen == ["figA", "ablB"]
     assert calls == [True, True]
+
+
+def _stub_targets(monkeypatch, names):
+    """Install fake figure targets that record which name ran."""
+    import repro.experiments.runner as runner_mod
+
+    def make(name):
+        def fake_run(quick=True):
+            return record(name).result
+
+        return type("M", (), {"run": staticmethod(fake_run)})
+
+    monkeypatch.setattr(
+        runner_mod, "ALL_FIGURES", {n: make(n) for n in names}
+    )
+    monkeypatch.setattr(runner_mod, "ALL_ABLATIONS", {})
+    return runner_mod
+
+
+def test_run_all_rejects_bad_jobs_and_unknown_only(monkeypatch):
+    import pytest
+
+    runner_mod = _stub_targets(monkeypatch, ["figA"])
+    with pytest.raises(ValueError):
+        runner_mod.run_all(jobs=0)
+    with pytest.raises(ValueError):
+        runner_mod.run_all(only=["nope"])
+
+
+def test_run_all_only_filters_in_canonical_order(monkeypatch):
+    runner_mod = _stub_targets(monkeypatch, ["figA", "figB", "figC"])
+    records = runner_mod.run_all(only=["figC", "figA"])
+    # canonical (registration) order, not the order given in ``only``
+    assert [r.name for r in records] == ["figA", "figC"]
+
+
+def test_run_all_parallel_merge_is_deterministic(monkeypatch):
+    """jobs=2 runs in worker processes but the merged record order (and
+    progress callbacks) match the serial run exactly."""
+    runner_mod = _stub_targets(monkeypatch, ["figA", "figB", "figC", "figD"])
+    seen = []
+    records = runner_mod.run_all(
+        quick=True, jobs=2, progress=lambda r: seen.append(r.name)
+    )
+    names = [r.name for r in records]
+    assert names == ["figA", "figB", "figC", "figD"]
+    assert seen == names
+    assert all(r.passed for r in records)
+    serial = runner_mod.run_all(quick=True, jobs=1)
+    assert [r.name for r in serial] == names
+
+
+def test_run_all_parallel_real_targets_smoke():
+    """Two real quick sweeps through the process pool produce the same
+    figures as the serial path."""
+    from repro.experiments.runner import run_all
+
+    only = ["figure4", "figure5"]
+    parallel = run_all(quick=True, jobs=2, only=only, ablations=False)
+    assert [r.name for r in parallel] == only
+    serial = run_all(quick=True, jobs=1, only=only, ablations=False)
+    for p, s in zip(parallel, serial):
+        assert p.result.series == s.result.series
+        assert p.result.x_values == s.result.x_values

@@ -1,0 +1,186 @@
+"""Unit tests for the snapshot fast path: generation counting, the
+cached view, delta snapshots and their fallback."""
+
+import pytest
+
+from repro.core.events import DELTA_STATUS, FAA_POSITION, UpdateEvent
+from repro.ois.state import (
+    DELTA_HEADER_BYTES,
+    PER_FLIGHT_SNAPSHOT_BYTES,
+    DeltaSnapshot,
+    OperationalStateStore,
+    StateSnapshot,
+    apply_delta,
+)
+
+
+def ev(seqno, key="DL1", stream="faa", kind=FAA_POSITION, **payload):
+    payload = payload or {"lat": float(seqno), "lon": 1.0}
+    return UpdateEvent(kind=kind, stream=stream, seqno=seqno, key=key, payload=payload)
+
+
+def populated(n=5):
+    store = OperationalStateStore()
+    for i in range(n):
+        store.apply(ev(i + 1, key=f"DL{i}"))
+    return store
+
+
+# ----------------------------------------------------------- generations
+def test_generation_bumps_on_every_mutation():
+    store = OperationalStateStore()
+    g0 = store.generation
+    store.flight("DL1")
+    assert store.generation == g0 + 1
+    store.apply(ev(1))  # existing flight: one bump for the apply
+    assert store.generation == g0 + 2
+    store.touch("DL1")
+    assert store.generation == g0 + 3
+
+
+def test_touch_of_unknown_flight_is_a_noop():
+    store = OperationalStateStore()
+    store.touch("GHOST")
+    assert store.generation == 0
+
+
+# ---------------------------------------------------------------- caching
+def test_snapshot_cached_until_state_changes():
+    store = populated()
+    s1 = store.snapshot(1.0)
+    s2 = store.snapshot(2.0)
+    assert s2 is s1  # same immutable object, original taken_at
+    assert store.snapshot_builds == 1
+    assert store.snapshot_cache_hits == 1
+    assert store.cache_fresh
+    store.apply(ev(99, key="DL0"))
+    assert not store.cache_fresh
+    s3 = store.snapshot(3.0)
+    assert s3 is not s1
+    assert s3.generation == store.generation
+    assert store.snapshot_builds == 2
+
+
+def test_snapshot_carries_generation_and_views():
+    store = populated(3)
+    snap = store.snapshot(0.5)
+    assert isinstance(snap, StateSnapshot)
+    assert snap.generation == store.generation
+    assert snap.flight_count == 3
+    assert {v.flight_id for v in snap.flights} == {"DL0", "DL1", "DL2"}
+    assert not snap.is_delta
+
+
+def test_snapshot_as_of_is_immutable():
+    store = populated()
+    snap = store.snapshot(0.0)
+    assert snap.as_of["faa"] == 5
+    with pytest.raises(TypeError):
+        snap.as_of["faa"] = 0
+    # later mutations must not leak into an already-served view
+    store.apply(ev(50))
+    assert snap.as_of["faa"] == 5
+
+
+def test_rebuild_snapshot_forces_full_build():
+    store = populated()
+    store.snapshot(0.0)
+    before = store.snapshot_builds
+    snap = store.rebuild_snapshot(1.0)
+    assert store.snapshot_builds == before + 1
+    assert snap.flight_count == 5
+    # the rebuilt view replaces the cache
+    assert store.snapshot(2.0) is snap
+
+
+def test_cache_miss_refreshes_only_dirty_views():
+    store = populated(4)
+    s1 = store.snapshot(0.0)
+    store.apply(ev(99, key="DL2"))
+    s2 = store.snapshot(1.0)
+    views1 = {v.flight_id: v for v in s1.flights}
+    views2 = {v.flight_id: v for v in s2.flights}
+    # untouched flights reuse the very same view objects
+    for fid in ("DL0", "DL1", "DL3"):
+        assert views2[fid] is views1[fid]
+    assert views2["DL2"] is not views1["DL2"]
+
+
+# ----------------------------------------------------------------- deltas
+def test_delta_snapshot_covers_only_changed_flights():
+    store = populated(10)
+    base = store.snapshot(0.0)
+    store.apply(ev(100, key="DL3"))
+    store.apply(ev(101, key="DL7"))
+    delta = store.delta_snapshot(1.0, since_generation=base.generation, max_fraction=1.0)
+    assert isinstance(delta, DeltaSnapshot)
+    assert delta.is_delta
+    assert {v.flight_id for v in delta.flights} == {"DL3", "DL7"}
+    assert delta.base_generation == base.generation
+    assert delta.generation == store.generation
+    assert delta.size == DELTA_HEADER_BYTES + 2 * PER_FLIGHT_SNAPSHOT_BYTES
+    assert delta.full_size == 10 * PER_FLIGHT_SNAPSHOT_BYTES
+    assert delta.bytes_saved == delta.full_size - delta.size
+
+
+def test_delta_applied_over_base_equals_full_view():
+    store = populated(8)
+    base = store.snapshot(0.0)
+    for i, seq in enumerate(range(100, 103)):
+        store.apply(ev(seq, key=f"DL{i * 2}"))
+    delta = store.delta_snapshot(1.0, since_generation=base.generation, max_fraction=1.0)
+    full = store.snapshot(1.0)
+    merged = apply_delta(base, delta)
+    assert merged == {v.flight_id: v for v in full.flights}
+
+
+def test_delta_falls_back_to_full_when_too_large():
+    store = populated(4)
+    base = store.snapshot(0.0)
+    for i in range(4):  # everything changed: delta >= full
+        store.apply(ev(200 + i, key=f"DL{i}"))
+    view = store.delta_snapshot(1.0, since_generation=base.generation, max_fraction=0.25)
+    assert not view.is_delta
+    assert isinstance(view, StateSnapshot)
+
+
+def test_delta_from_stream_marks():
+    store = populated(6)
+    base = store.snapshot(0.0)
+    marks = dict(base.as_of)
+    store.apply(ev(100, key="DL5"))
+    delta = store.delta_snapshot(1.0, since_marks=marks, max_fraction=1.0)
+    assert delta.is_delta
+    assert {v.flight_id for v in delta.flights} == {"DL5"}
+
+
+def test_generation_for_is_conservative_across_streams():
+    store = OperationalStateStore()
+    store.apply(ev(1, key="DL0", stream="faa"))
+    store.apply(
+        ev(1, key="DL1", stream="delta", kind=DELTA_STATUS, status="boarding")
+    )
+    store.apply(ev(2, key="DL2", stream="faa"))
+    # client saw faa<=1 only: generation floor must pre-date faa#2
+    g = store.generation_for({"faa": 1, "delta": 1})
+    changed = store.changed_since(g)
+    assert "DL2" in changed
+
+
+def test_changed_since_is_deduplicated_and_ordered():
+    store = populated(3)
+    g = store.generation
+    store.apply(ev(10, key="DL1"))
+    store.apply(ev(11, key="DL1"))
+    store.apply(ev(12, key="DL0"))
+    assert store.changed_since(g) == ["DL1", "DL0"]
+    assert store.changed_since(store.generation) == []
+
+
+def test_up_to_date_client_gets_empty_delta():
+    store = populated(5)
+    snap = store.snapshot(0.0)
+    delta = store.delta_snapshot(1.0, since_generation=snap.generation)
+    assert delta.is_delta
+    assert delta.flight_count == 0
+    assert delta.size == DELTA_HEADER_BYTES

@@ -162,6 +162,94 @@ def test_live_adaptation_triggers():
     assert server.mirrors[0].applied_config is not None
 
 
+def test_live_snapshot_fast_path_coalesces_and_caches():
+    """With the fast path on, a burst of slow-to-serve requests is
+    coalesced into a handful of snapshot builds instead of paying the
+    build delay once per request."""
+    server = AsyncMirroredServer(
+        n_mirrors=1, snapshot_fast_path=True, request_service_delay=0.005,
+    )
+    summary = run(server.run(script(), request_times=[0.0] * 40))
+    assert summary.requests_served == 40
+    assert summary.snapshot_builds + summary.snapshot_cache_hits == 40
+    assert summary.snapshot_cache_hits > 0
+    # without coalescing, 40 requests x 5 ms would take >= 0.2 s alone
+    assert summary.wall_seconds < 0.2
+
+
+def test_live_fast_path_off_by_default():
+    server = AsyncMirroredServer(n_mirrors=1)
+    summary = run(server.run(script(), request_times=[0.0] * 3))
+    assert summary.requests_served == 3
+    for m in [server.central.main] + [mm.main for mm in server.mirrors]:
+        assert not m.coalesce_requests
+        assert not m.serve_cached_snapshots
+    # accounting still ticks: every request either built or hit
+    assert summary.snapshot_builds + summary.snapshot_cache_hits == 3
+
+
+def test_live_delta_serving_for_resuming_clients():
+    from repro.ois.clients import InitStateRequest
+
+    cfg = simple_mirroring()
+    cfg.delta_snapshots = True
+    # the tiny 4-flight script makes even a 1-flight delta ~26% of the
+    # full view; raise the fallback bound so the delta path is taken
+    cfg.delta_fallback_fraction = 0.5
+
+    async def scenario():
+        server = AsyncMirroredServer(
+            n_mirrors=0, mirror_config=cfg, snapshot_fast_path=True,
+        )
+        server._build()
+        central = server.central
+        tasks = [
+            asyncio.create_task(central.receiving_task()),
+            asyncio.create_task(central.sending_task()),
+            asyncio.create_task(central.control_task()),
+            asyncio.create_task(central.main.event_loop()),
+            asyncio.create_task(central.main.request_loop()),
+        ]
+        for se in script(positions_per_flight=60).fresh_events():
+            await central.data_in.put(se.event)
+        await central.data_in.put("__end_of_stream__")
+        await central.stream_done.wait()
+        while central.main.inbox.qsize():
+            await asyncio.sleep(0.001)
+        # first request: full view; second resumes from its generation
+        await central.main.requests.put(
+            InitStateRequest(client_id="c1", issued_at=0.0)
+        )
+        while not central.main.responses:
+            await asyncio.sleep(0.001)
+        first = central.main.responses[0]
+        assert not first.delta and first.generation > 0
+        # one more mutation so the resume has something to pick up —
+        # a single changed flight easily beats the fallback fraction
+        central.main.ede.state.touch(
+            central.main.ede.state.flights()[0].flight_id
+        )
+        await central.main.requests.put(
+            InitStateRequest(
+                client_id="c1", issued_at=0.0,
+                resume_generation=first.generation,
+            )
+        )
+        while len(central.main.responses) < 2:
+            await asyncio.sleep(0.001)
+        await central.main.requests.put("__end_of_stream__")
+        await central.ctrl_in.put("__end_of_stream__")
+        await asyncio.gather(*tasks)
+        return central.main
+
+    main = run(scenario())
+    second = main.responses[1]
+    assert second.delta
+    assert second.snapshot_size < second.full_size
+    assert main.delta_snapshots_served == 1
+    assert main.bytes_saved_by_delta == second.bytes_saved
+
+
 def test_live_run_deterministic_event_accounting():
     def go():
         server = AsyncMirroredServer(n_mirrors=1, mirror_config=selective_mirroring(5))
