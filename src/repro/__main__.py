@@ -9,11 +9,14 @@ Usage::
     python -m repro ablation hysteresis
     python -m repro all --save results/figures.txt   # everything + report
     python -m repro bench --out BENCH_PR1.json       # substrate op/s record
+    python -m repro lint                   # repo-specific static analysis
+    python -m repro modelcheck --sites 2 --events 3  # protocol checker
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -23,10 +26,10 @@ from .experiments.runner import run_all, write_report
 
 
 def _run_one(name: str, runner, quick: bool) -> bool:
-    t0 = time.time()
+    t0 = time.time()  # lint: allow-wallclock
     result = runner(quick=quick)
     print(result.render())
-    print(f"\n({name} regenerated in {time.time() - t0:.1f}s, "
+    print(f"\n({name} regenerated in {time.time() - t0:.1f}s, "  # lint: allow-wallclock
           f"{'quick' if quick else 'full'} mode)\n")
     return result.all_passed
 
@@ -40,6 +43,14 @@ def main(argv=None) -> int:
         from .bench import main as bench_main
 
         return bench_main(list(argv[1:]))
+    if argv and argv[0] == "lint":
+        from .analysis.cli import lint_main
+
+        return lint_main(list(argv[1:]))
+    if argv and argv[0] == "modelcheck":
+        from .analysis.cli import modelcheck_main
+
+        return modelcheck_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the evaluation of 'Adaptable Mirroring in "
@@ -127,4 +138,9 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # downstream pipe (head, grep -q) closed early — not an error
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

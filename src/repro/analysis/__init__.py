@@ -1,0 +1,43 @@
+"""Static analysis and protocol verification tooling (`repro-lint`).
+
+The repo's headline guarantee — pinned, bit-identical figures — rests on
+strict determinism of the simulation substrate and on the checkpoint
+protocol's safety properties.  This package turns both from after-the-
+fact regression tests into *enforced* properties:
+
+* :mod:`repro.analysis.lint` — an AST-based linter with repo-specific
+  determinism, hot-path, and protocol rules (``python -m repro lint``);
+* :mod:`repro.analysis.modelcheck` — an exhaustive interleaving model
+  checker for the 2-phase checkpoint protocol, driving the *real*
+  :mod:`repro.core.checkpoint` state machines (``python -m repro
+  modelcheck``);
+* the runtime invariant monitor lives in :mod:`repro.core.invariants`
+  (it is part of the server, not of the tooling — the linter and the
+  model checker only ever *read* the tree).
+"""
+
+from .lint import (
+    DEFAULT_RULES,
+    Finding,
+    LintRule,
+    lint_paths,
+    lint_source,
+)
+from .modelcheck import (
+    MUTANTS,
+    ModelCheckReport,
+    ModelCheckViolation,
+    check_protocol,
+)
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Finding",
+    "LintRule",
+    "lint_paths",
+    "lint_source",
+    "MUTANTS",
+    "ModelCheckReport",
+    "ModelCheckViolation",
+    "check_protocol",
+]

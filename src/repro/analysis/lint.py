@@ -1,0 +1,254 @@
+"""AST-lint engine: findings, pragmas, scopes, and the file walker.
+
+The linter is deliberately repo-specific: its rules encode *this*
+codebase's determinism contract (every figure regenerates bit-for-bit
+from a seed), its hot-path conventions (``slots=True`` event/kernel
+classes), and its protocol discipline (checkpoint control events are
+born in :mod:`repro.core.checkpoint` and nowhere else).  The concrete
+rules live in :mod:`repro.analysis.rules`; this module provides the
+machinery they share.
+
+Scopes
+------
+Rules declare where they apply via path predicates over the module path
+*relative to the repro package root* (``core/checkpoint.py``):
+
+* :data:`STRICT_PACKAGES` — the sim-deterministic packages.  Inside
+  them the determinism rules admit **no pragmas**: a suppression
+  comment is itself reported (``pragma-misuse``).
+* :data:`HOT_MODULES` — the per-event hot path, where the slots /
+  ``__dict__`` rules apply.
+* ``rt/`` is exempt from the wall-clock rules entirely: it is the
+  real-time (asyncio) runtime, where wall-clock time is the point.
+
+Pragmas
+-------
+``# lint: allow-<rule>`` at the end of a line suppresses that rule for
+that line (several rules: ``allow-a,b``).  Outside the strict packages
+this is the sanctioned escape hatch for report-only wall-clock use
+(``bench.py``, ``experiments/runner.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+__all__ = [
+    "STRICT_PACKAGES",
+    "HOT_MODULES",
+    "WALLCLOCK_EXEMPT",
+    "RNG_FACILITY",
+    "DETERMINISM_RULES",
+    "Finding",
+    "LintRule",
+    "lint_source",
+    "lint_paths",
+    "DEFAULT_RULES",
+]
+
+#: Packages whose code runs under the deterministic simulation clock.
+#: Everything here must be reproducible from a seed alone.
+STRICT_PACKAGES = ("core", "sim", "ois", "cluster", "channels")
+
+#: Modules on the per-event hot path: event/timestamp/queue/kernel
+#: classes.  The slots rules apply here.
+HOT_MODULES = (
+    "core/events.py",
+    "core/queues.py",
+    "core/checkpoint.py",
+    "sim/kernel.py",
+)
+
+#: Path prefixes exempt from the wall-clock rules: the asyncio runtime
+#: genuinely runs on wall-clock time.
+WALLCLOCK_EXEMPT = ("rt/",)
+
+#: The seeded randomness facility itself — the one module allowed to
+#: touch ``numpy.random`` construction APIs.
+RNG_FACILITY = ("sim/rng.py",)
+
+#: Rule ids whose pragmas are rejected inside :data:`STRICT_PACKAGES`.
+DETERMINISM_RULES = frozenset({"wallclock", "unseeded-random", "set-iteration"})
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow-([a-z0-9,\s-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, pointing at a source line."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+class LintRule:
+    """Base class: one named check over a parsed module.
+
+    Subclasses set :attr:`rule_id` / :attr:`description` and implement
+    :meth:`check`, yielding :class:`Finding` objects.  :meth:`applies_to`
+    gates the rule by module path (see the scope helpers below).
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        return True
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # -- helpers for subclasses ---------------------------------------
+    def finding(self, relpath: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def in_strict_package(relpath: str) -> bool:
+    """True when ``relpath`` lives in a sim-deterministic package."""
+    return relpath.split("/", 1)[0] in STRICT_PACKAGES
+
+
+def is_hot_module(relpath: str) -> bool:
+    return relpath in HOT_MODULES
+
+
+def wallclock_exempt(relpath: str) -> bool:
+    return any(relpath.startswith(p) for p in WALLCLOCK_EXEMPT)
+
+
+def is_rng_facility(relpath: str) -> bool:
+    return relpath in RNG_FACILITY
+
+
+def _pragmas_by_line(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule ids allowed on that line."""
+    out: Dict[int, Set[str]] = {}
+    for i, text in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA_RE.search(text)
+        if m:
+            out[i] = {part.strip() for part in m.group(1).split(",") if part.strip()}
+    return out
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    rules: Optional[Sequence[LintRule]] = None,
+    display_path: Optional[str] = None,
+) -> List[Finding]:
+    """Lint one module given as text.
+
+    ``relpath`` is the module path relative to the package root — it
+    decides which rules and scopes apply.  ``display_path`` overrides
+    the path findings are reported under (defaults to ``relpath``).
+    """
+    if rules is None:
+        rules = DEFAULT_RULES()
+    shown = display_path if display_path is not None else relpath
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax-error",
+                path=shown,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    pragmas = _pragmas_by_line(source)
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(relpath):
+            continue
+        for f in rule.check(tree, relpath):
+            if rule.rule_id in pragmas.get(f.line, ()):
+                continue  # suppressed (pragma misuse handled below)
+            if shown != relpath:
+                f = Finding(f.rule, shown, f.line, f.col, f.message)
+            findings.append(f)
+    # Pragmas for determinism rules are rejected inside strict packages:
+    # the whole point of those packages is that there is no escape hatch.
+    if in_strict_package(relpath):
+        for line, allowed in sorted(pragmas.items()):
+            misused = sorted(allowed & DETERMINISM_RULES)
+            if misused:
+                findings.append(
+                    Finding(
+                        rule="pragma-misuse",
+                        path=shown,
+                        line=line,
+                        col=0,
+                        message=(
+                            "determinism pragmas are not honoured inside "
+                            f"sim-deterministic packages: allow-{', allow-'.join(misused)}"
+                        ),
+                    )
+                )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    package_root: Optional[Path] = None,
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[Finding]:
+    """Lint files / directory trees.
+
+    ``package_root`` anchors the scope-relative paths; it defaults to
+    the installed ``repro`` package directory, so ``lint_paths([root])``
+    with no arguments lints the package against its own scopes.
+    """
+    if package_root is None:
+        package_root = Path(__file__).resolve().parent.parent
+    if rules is None:
+        rules = DEFAULT_RULES()
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    findings: List[Finding] = []
+    for file in files:
+        resolved = file.resolve()
+        try:
+            rel = resolved.relative_to(package_root.resolve()).as_posix()
+        except ValueError:
+            rel = file.name
+        findings.extend(
+            lint_source(
+                file.read_text(encoding="utf-8"),
+                rel,
+                rules=rules,
+                display_path=str(file),
+            )
+        )
+    return findings
+
+
+def DEFAULT_RULES() -> List[LintRule]:
+    """Fresh instances of every built-in rule (rules are stateless
+    between files, but fresh instances keep that a non-promise)."""
+    from .rules import default_rules
+
+    return default_rules()

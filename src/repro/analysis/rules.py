@@ -1,0 +1,600 @@
+"""The repo-specific lint rules.
+
+Three families, mirroring the repo's three standing contracts:
+
+**Determinism** (the figures regenerate bit-for-bit from a seed):
+
+* ``wallclock`` — no wall-clock reads (``time.time``/``monotonic``/
+  ``perf_counter``, ``datetime.now`` ...) outside the real-time runtime;
+  report-only call sites carry ``# lint: allow-wallclock``.
+* ``unseeded-random`` — no ``import random`` and no ``numpy.random``
+  construction APIs outside :mod:`repro.sim.rng`; every stochastic draw
+  goes through the seeded named substreams.
+* ``set-iteration`` — no iteration over ``set``/``frozenset`` values in
+  the sim-deterministic packages: string-set iteration order is hash-
+  salted per process, which is exactly how "works on my machine"
+  nondeterminism enters event/checkpoint paths.
+
+**Hot path** (per-event allocations stay flat):
+
+* ``slots-required`` — dataclasses in the hot modules must pass
+  ``slots=True``.
+* ``dict-reintro`` — no ``__dict__`` use, and no slot-less subclasses
+  of slotted classes, in the hot modules (either silently reintroduces
+  a per-instance dict).
+
+**Protocol** (checkpoint discipline):
+
+* ``checkpoint-ctor`` — ``ChkptMsg``/``ChkptRepMsg``/``CommitMsg`` are
+  constructed only inside :mod:`repro.core.checkpoint`; everything else
+  receives them from the state machines.
+* ``vt-compare`` — vector timestamps are compared with the
+  allocation-free ``covers``/``dominates`` API, never with ordering
+  operators (which they do not define) or ``a.floor(b) == b`` idioms
+  (which allocate a throwaway timestamp per comparison).
+
+**Pairing hygiene** (repo-wide): ``eq-without-hash`` — a handwritten
+``__eq__`` without ``__hash__`` silently makes instances unhashable,
+breaking their use as dict/set members.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from .lint import (
+    Finding,
+    LintRule,
+    in_strict_package,
+    is_hot_module,
+    is_rng_facility,
+    wallclock_exempt,
+)
+
+__all__ = ["default_rules"]
+
+_WALL_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+    }
+)
+_WALL_DT_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+class WallClockRule(LintRule):
+    rule_id = "wallclock"
+    description = (
+        "no wall-clock reads outside rt/: simulated time comes from "
+        "Environment.now, report timing carries # lint: allow-wallclock"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return not wallclock_exempt(relpath)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        time_aliases: Set[str] = set()
+        dt_mod_aliases: Set[str] = set()
+        dt_cls_aliases: Set[str] = set()
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+                    elif alias.name == "datetime":
+                        dt_mod_aliases.add(alias.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    bad = [a.name for a in node.names if a.name in _WALL_TIME_ATTRS]
+                    if bad:
+                        findings.append(
+                            self.finding(
+                                relpath,
+                                node,
+                                f"wall-clock import from time: {', '.join(bad)}",
+                            )
+                        )
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            dt_cls_aliases.add(alias.asname or alias.name)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in time_aliases
+                and node.attr in _WALL_TIME_ATTRS
+            ):
+                findings.append(
+                    self.finding(relpath, node, f"wall-clock read: {value.id}.{node.attr}")
+                )
+            elif (
+                isinstance(value, ast.Name)
+                and value.id in dt_cls_aliases
+                and node.attr in _WALL_DT_ATTRS
+            ):
+                findings.append(
+                    self.finding(relpath, node, f"wall-clock read: {value.id}.{node.attr}()")
+                )
+            elif (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id in dt_mod_aliases
+                and value.attr in ("datetime", "date")
+                and node.attr in _WALL_DT_ATTRS
+            ):
+                findings.append(
+                    self.finding(
+                        relpath,
+                        node,
+                        f"wall-clock read: {value.value.id}.{value.attr}.{node.attr}()",
+                    )
+                )
+        return findings
+
+
+#: numpy.random names that are fine anywhere: they are types (used in
+#: annotations) rather than draw/construction entry points.
+_NP_RANDOM_TYPES = frozenset({"Generator", "BitGenerator", "SeedSequence"})
+
+
+class UnseededRandomRule(LintRule):
+    rule_id = "unseeded-random"
+    description = (
+        "all stochastic draws go through sim.rng.RandomStreams: no "
+        "stdlib random, no numpy.random construction outside sim/rng.py"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return not is_rng_facility(relpath)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        np_aliases: Set[str] = set()
+        np_random_names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        findings.append(
+                            self.finding(
+                                relpath,
+                                node,
+                                "stdlib random is process-seeded; draw from "
+                                "the scenario's sim.rng.RandomStreams instead",
+                            )
+                        )
+                    elif alias.name == "numpy":
+                        np_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        np_random_names.add(alias.asname or "")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    findings.append(
+                        self.finding(
+                            relpath,
+                            node,
+                            "stdlib random is process-seeded; draw from "
+                            "the scenario's sim.rng.RandomStreams instead",
+                        )
+                    )
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            np_random_names.add(alias.asname or "random")
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr in _NP_RANDOM_TYPES:
+                continue
+            value = node.value
+            is_np_random = (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in np_aliases
+            ) or (isinstance(value, ast.Name) and value.id in np_random_names)
+            if is_np_random:
+                findings.append(
+                    self.finding(
+                        relpath,
+                        node,
+                        f"numpy.random.{node.attr} bypasses the seeded "
+                        "substreams; use sim.rng.RandomStreams",
+                    )
+                )
+        return findings
+
+
+def _is_set_annotation(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset", "Set", "FrozenSet", "MutableSet", "AbstractSet")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Set", "FrozenSet", "MutableSet", "AbstractSet")
+    if isinstance(node, ast.Subscript):
+        return _is_set_annotation(node.value)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.split("[", 1)[0].strip()
+        return text in ("set", "frozenset", "Set", "FrozenSet")
+    return False
+
+
+class SetIterationRule(LintRule):
+    rule_id = "set-iteration"
+    description = (
+        "no iteration over set/frozenset values in sim-deterministic "
+        "packages: string-set order is hash-salted per process"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return in_strict_package(relpath)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        # Set-typed symbols, tracked with enough scope awareness to stay
+        # precise: plain names module-wide, ``self.x`` attributes *per
+        # enclosing class* (two classes may reuse an attribute name for
+        # different types), other attributes in a shared bucket.
+        set_names: Set[str] = set()
+        class_attrs: Dict[str, Set[str]] = {}
+
+        def is_set_value(node: ast.AST) -> bool:
+            if isinstance(node, (ast.Set, ast.SetComp)):
+                return True
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                return node.func.id in ("set", "frozenset")
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+            ):
+                return is_set_value(node.left) or is_set_value(node.right)
+            return False
+
+        def note_target(target: ast.AST, cls: str) -> None:
+            if isinstance(target, ast.Name):
+                set_names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                bucket = (
+                    cls
+                    if isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    else "*"
+                )
+                class_attrs.setdefault(bucket, set()).add(target.attr)
+
+        def collect(node: ast.AST, cls: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_cls = child.name if isinstance(child, ast.ClassDef) else cls
+                if isinstance(child, ast.Assign) and is_set_value(child.value):
+                    for target in child.targets:
+                        note_target(target, child_cls)
+                elif isinstance(child, ast.AnnAssign) and (
+                    _is_set_annotation(child.annotation)
+                    or (child.value is not None and is_set_value(child.value))
+                ):
+                    note_target(child.target, child_cls)
+                elif isinstance(child, ast.arg) and child.annotation is not None:
+                    if _is_set_annotation(child.annotation):
+                        set_names.add(child.arg)
+                collect(child, child_cls)
+
+        collect(tree, "")
+        any_attrs: Set[str] = set()
+        for attrs in class_attrs.values():
+            any_attrs.update(attrs)
+
+        def is_set_expr(node: ast.AST, cls: str) -> bool:
+            if is_set_value(node):
+                return True
+            if isinstance(node, ast.Name):
+                return node.id in set_names
+            if isinstance(node, ast.Attribute):
+                if isinstance(node.value, ast.Name) and node.value.id == "self":
+                    return node.attr in class_attrs.get(cls, ())
+                return node.attr in any_attrs
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in (
+                    "union",
+                    "intersection",
+                    "difference",
+                    "symmetric_difference",
+                ):
+                    return is_set_expr(node.func.value, cls)
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+            ):
+                return is_set_expr(node.left, cls) or is_set_expr(node.right, cls)
+            return False
+
+        findings: List[Finding] = []
+
+        def flag(iter_node: ast.AST) -> None:
+            findings.append(
+                self.finding(
+                    relpath,
+                    iter_node,
+                    "iteration over a set has process-salted order; use an "
+                    "insertion-ordered dict-as-set, or sorted(...) when the "
+                    "order is otherwise immaterial",
+                )
+            )
+
+        def scan(node: ast.AST, cls: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_cls = child.name if isinstance(child, ast.ClassDef) else cls
+                if isinstance(child, ast.For) and is_set_expr(child.iter, child_cls):
+                    flag(child.iter)
+                elif isinstance(
+                    child,
+                    (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp),
+                ):
+                    for gen in child.generators:
+                        if is_set_expr(gen.iter, child_cls):
+                            flag(gen.iter)
+                scan(child, child_cls)
+
+        scan(tree, "")
+        return findings
+
+
+def _dataclass_decorator(node: ast.ClassDef):
+    """The dataclass decorator node of ``node``, or None."""
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr
+            if isinstance(target, ast.Attribute)
+            else None
+        )
+        if name == "dataclass":
+            return deco
+    return None
+
+
+def _dataclass_has_slots(deco: ast.AST) -> bool:
+    if not isinstance(deco, ast.Call):
+        return False
+    for kw in deco.keywords:
+        if kw.arg == "slots" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return False
+
+
+def _defines_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "__slots__" for t in stmt.targets
+            ):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "__slots__":
+                return True
+    return False
+
+
+class SlotsRequiredRule(LintRule):
+    rule_id = "slots-required"
+    description = "dataclasses in hot modules must pass slots=True"
+
+    def applies_to(self, relpath: str) -> bool:
+        return is_hot_module(relpath)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            deco = _dataclass_decorator(node)
+            if deco is None:
+                continue
+            if not _dataclass_has_slots(deco):
+                findings.append(
+                    self.finding(
+                        relpath,
+                        node,
+                        f"dataclass {node.name} is on the per-event hot path: "
+                        "pass slots=True",
+                    )
+                )
+        return findings
+
+
+class DictReintroRule(LintRule):
+    rule_id = "dict-reintro"
+    description = (
+        "no __dict__ use and no slot-less subclasses of slotted classes "
+        "in hot modules"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return is_hot_module(relpath)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        slotted: Set[str] = set()
+        classes: List[ast.ClassDef] = [
+            n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)
+        ]
+        for node in classes:
+            deco = _dataclass_decorator(node)
+            if _defines_slots(node) or (deco is not None and _dataclass_has_slots(deco)):
+                slotted.add(node.name)
+        for node in classes:
+            bases = {b.id for b in node.bases if isinstance(b, ast.Name)}
+            if not (bases & slotted):
+                continue
+            deco = _dataclass_decorator(node)
+            if _defines_slots(node) or (deco is not None and _dataclass_has_slots(deco)):
+                continue
+            findings.append(
+                self.finding(
+                    relpath,
+                    node,
+                    f"{node.name} subclasses a slotted class without declaring "
+                    "__slots__: this reintroduces a per-instance __dict__",
+                )
+            )
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and node.attr == "__dict__":
+                findings.append(
+                    self.finding(
+                        relpath, node, "__dict__ access on the hot path"
+                    )
+                )
+        return findings
+
+
+class EqWithoutHashRule(LintRule):
+    rule_id = "eq-without-hash"
+    description = "a handwritten __eq__ needs a matching __hash__"
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _dataclass_decorator(node) is not None:
+                continue  # dataclass eq/hash semantics are explicit
+            has_eq = False
+            has_hash = False
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if stmt.name == "__eq__":
+                        has_eq = True
+                    elif stmt.name == "__hash__":
+                        has_hash = True
+                elif isinstance(stmt, ast.Assign):
+                    if any(
+                        isinstance(t, ast.Name) and t.id == "__hash__"
+                        for t in stmt.targets
+                    ):
+                        has_hash = True
+            if has_eq and not has_hash:
+                findings.append(
+                    self.finding(
+                        relpath,
+                        node,
+                        f"{node.name} defines __eq__ without __hash__ "
+                        "(instances become unhashable)",
+                    )
+                )
+        return findings
+
+
+_CONTROL_MSGS = frozenset({"ChkptMsg", "ChkptRepMsg", "CommitMsg"})
+
+
+class CheckpointCtorRule(LintRule):
+    rule_id = "checkpoint-ctor"
+    description = (
+        "checkpoint control events are constructed only inside "
+        "core/checkpoint.py"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath != "core/checkpoint.py"
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name in _CONTROL_MSGS:
+                findings.append(
+                    self.finding(
+                        relpath,
+                        node,
+                        f"{name} constructed outside core/checkpoint.py: "
+                        "only the protocol state machines may mint control "
+                        "events",
+                    )
+                )
+        return findings
+
+
+def _vt_like(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "vt" or node.id.endswith("_vt")
+    if isinstance(node, ast.Attribute):
+        return node.attr == "vt" or node.attr.endswith("_vt")
+    return False
+
+
+class VtCompareRule(LintRule):
+    rule_id = "vt-compare"
+    description = (
+        "vector timestamps are compared with covers()/dominates(), not "
+        "ordering operators or floor()/merge() == idioms"
+    )
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)) for op in node.ops):
+                if any(_vt_like(op) for op in operands):
+                    findings.append(
+                        self.finding(
+                            relpath,
+                            node,
+                            "ordering comparison on a vector timestamp: use "
+                            "covers()/dominates() (vector time is a partial "
+                            "order)",
+                        )
+                    )
+                continue
+            if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                for operand in operands:
+                    if (
+                        isinstance(operand, ast.Call)
+                        and isinstance(operand.func, ast.Attribute)
+                        and operand.func.attr in ("floor", "merge")
+                        and _vt_like(operand.func.value)
+                    ):
+                        findings.append(
+                            self.finding(
+                                relpath,
+                                node,
+                                f"{operand.func.attr}()==... dominance test "
+                                "allocates a throwaway timestamp; use "
+                                "dominates()",
+                            )
+                        )
+                        break
+        return findings
+
+
+def default_rules() -> List[LintRule]:
+    """Fresh instances of every built-in rule, in reporting order."""
+    return [
+        WallClockRule(),
+        UnseededRandomRule(),
+        SetIterationRule(),
+        SlotsRequiredRule(),
+        DictReintroRule(),
+        EqWithoutHashRule(),
+        CheckpointCtorRule(),
+        VtCompareRule(),
+    ]

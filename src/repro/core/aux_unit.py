@@ -46,6 +46,7 @@ from .checkpoint import (
 )
 from .config import MirrorConfig
 from .events import EventBatch, UpdateEvent, VectorTimestamp
+from .invariants import InvariantMonitor
 from .main_unit import EOS, MainUnit
 from .queues import BackupQueue
 
@@ -69,6 +70,7 @@ class CentralAuxUnit:
         mirroring_enabled: bool = True,
         adaptation: Optional[AdaptationController] = None,
         data_capacity: Optional[int] = 256,
+        monitor: Optional[InvariantMonitor] = None,
     ):
         self.env = env
         self.node = node
@@ -80,6 +82,7 @@ class CentralAuxUnit:
         self.metrics = metrics
         self.mirroring_enabled = mirroring_enabled
         self.adaptation = adaptation
+        self.monitor = monitor
 
         self.data_in = transport.register(
             "central.aux.data", node, capacity=data_capacity
@@ -91,7 +94,7 @@ class CentralAuxUnit:
         self.ready = Store(env, capacity=64)
         self.backup = BackupQueue()
         self.engine = config.build_engine()
-        self.coordinator = CheckpointCoordinator(participants)
+        self.coordinator = CheckpointCoordinator(participants, monitor=monitor)
         self.clock = VectorTimestamp()
         self.processed_events = 0
         self.stream_done = env.event()
@@ -138,6 +141,8 @@ class CentralAuxUnit:
             event: UpdateEvent = msg.payload
             yield from self.node.execute(costs.recv_cost(event.size))
             self.clock = self.clock.advanced(event.stream, event.seqno)
+            if self.monitor is not None:
+                self.monitor.on_stamped(event.stream, event.seqno)
             stamped = event.stamped(self.clock, entered_at=self.env.now)
             yield self.ready.put(stamped)
 
@@ -146,11 +151,15 @@ class CentralAuxUnit:
         while True:
             item = yield self.ready.get()
             if item == EOS:
-                # flush held events (partial tuples, coalesce buffers)
+                # flush held events (partial tuples, coalesce buffers) —
+                # flush emissions may carry timestamps older than events
+                # already mirrored, so the order invariant is waived
                 for out in self.engine.flush("receive"):
-                    yield from self._mirror_one(self.engine.on_send(out))
+                    yield from self._mirror_one(
+                        self.engine.on_send(out), ordered=False
+                    )
                 for out in self.engine.flush("send"):
-                    yield from self._mirror_one([out])
+                    yield from self._mirror_one([out], ordered=False)
                 self._initiate_checkpoint()
                 self.metrics.rule_stats = self.engine.stats()
                 if self.metrics.tracer is not None:
@@ -220,9 +229,11 @@ class CentralAuxUnit:
                 if self.processed_events % self.config.checkpoint_freq == 0:
                     self._initiate_checkpoint()
 
-    def _mirror_one(self, outs: List[UpdateEvent]):
+    def _mirror_one(self, outs: List[UpdateEvent], ordered: bool = True):
         costs = self.node.costs
         for out in outs:
+            if self.monitor is not None:
+                self.monitor.on_mirrored(out, ordered=ordered)
             yield from self.node.execute(costs.mirror_cost(out.size))
             yield from self.mirror_channel.publish(self.node, out, out.size)
             yield from self.node.execute(costs.backup_fixed)
@@ -243,6 +254,8 @@ class CentralAuxUnit:
             return
         costs = self.node.costs
         for out in outs:
+            if self.monitor is not None:
+                self.monitor.on_mirrored(out)
             yield from self.node.execute(costs.mirror_cost(out.size))
         batch = EventBatch(outs)
         yield from self.mirror_channel.publish(self.node, batch, batch.size)
@@ -292,7 +305,7 @@ class CentralAuxUnit:
                 monitored[index] = max(monitored.get(index, 0.0), value)
             command = self.adaptation.evaluate(monitored)
             if command is not None:
-                commit = CommitMsg(commit.round_id, commit.vt, adapt=command)
+                commit = commit.with_adapt(command)
                 self.apply_config(command.config)
                 self.metrics.adaptations = self.adaptation.adaptations
                 self.metrics.reversions = self.adaptation.reversions
@@ -311,7 +324,14 @@ class CentralAuxUnit:
                 round=commit.round_id, vt=str(commit.vt),
             )
         yield from self.node.execute(costs.control_round)
-        trimmed = self.backup.trim(self.main_unit.checkpointer.on_commit(commit))
+        vt = self.main_unit.checkpointer.on_commit(commit)
+        covered = self.backup.covered_count(vt) if self.monitor is not None else 0
+        trimmed = self.backup.trim(vt)
+        if self.monitor is not None:
+            self.monitor.on_commit_applied(
+                "central", commit.round_id, vt,
+                self.main_unit.checkpointer.processed_vt, covered, trimmed,
+            )
         if trimmed:
             yield from self.node.execute(costs.trim_per_event * trimmed)
         yield from self.ctrl_channel.publish(self.node, commit, CONTROL_MSG_SIZE)
@@ -329,6 +349,7 @@ class MirrorAuxUnit:
         main_unit: MainUnit,
         metrics: RunMetrics,
         data_capacity: Optional[int] = 128,
+        monitor: Optional[InvariantMonitor] = None,
     ):
         self.env = env
         self.site = site
@@ -336,6 +357,7 @@ class MirrorAuxUnit:
         self.transport = transport
         self.main_unit = main_unit
         self.metrics = metrics
+        self.monitor = monitor
         self.data_in = transport.register(
             f"{site}.aux.data", node, capacity=data_capacity
         )
@@ -416,9 +438,19 @@ class MirrorAuxUnit:
             elif isinstance(payload, CommitMsg):
                 if payload.adapt is not None:
                     self._apply_adapt(payload.adapt)
-                trimmed = self.backup.trim(
-                    self.main_unit.checkpointer.on_commit(payload)
+                vt = self.main_unit.checkpointer.on_commit(payload)
+                covered = (
+                    self.backup.covered_count(vt)
+                    if self.monitor is not None
+                    else 0
                 )
+                trimmed = self.backup.trim(vt)
+                if self.monitor is not None:
+                    self.monitor.on_commit_applied(
+                        self.site, payload.round_id, vt,
+                        self.main_unit.checkpointer.processed_vt,
+                        covered, trimmed,
+                    )
                 if trimmed:
                     yield from self.node.execute(costs.trim_per_event * trimmed)
 

@@ -52,7 +52,7 @@ COMMIT = "COMMIT"
 CONTROL_MSG_SIZE = 128
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChkptMsg:
     """Voting-phase proposal from the coordinator."""
 
@@ -60,7 +60,7 @@ class ChkptMsg:
     vt: VectorTimestamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChkptRepMsg:
     """A site's vote: the floor of the proposal and its own progress.
 
@@ -76,7 +76,7 @@ class ChkptRepMsg:
     monitored: Dict[str, float] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitMsg:
     """Commit-phase broadcast: trim backup queues up to ``vt``.
 
@@ -88,6 +88,17 @@ class CommitMsg:
     vt: VectorTimestamp
     adapt: Optional[Any] = None
 
+    def with_adapt(self, command: Any) -> "CommitMsg":
+        """Copy of this commit with an adaptation command piggybacked.
+
+        Keeping the derived-commit constructor here preserves the
+        protocol discipline that checkpoint control events are only ever
+        *born* in this module (enforced by ``repro-lint``'s
+        ``checkpoint-ctor`` rule): the piggybacked copy carries the same
+        round and vector, so it is the same protocol decision.
+        """
+        return CommitMsg(round_id=self.round_id, vt=self.vt, adapt=command)
+
 
 class CheckpointCoordinator:
     """Coordinator state machine run by the central auxiliary unit.
@@ -97,10 +108,13 @@ class CheckpointCoordinator:
     rationale — "the later commit will encapsulate the earlier one").
     """
 
-    def __init__(self, participants: Set[str]):
+    def __init__(self, participants: Set[str], monitor: Optional[Any] = None):
         if not participants:
             raise ValueError("coordinator needs at least one participant")
         self.participants: FrozenSet[str] = frozenset(participants)
+        #: optional invariant monitor (``repro.core.invariants``); its
+        #: ``on_commit_decided`` hook sees every commit before broadcast
+        self.monitor = monitor
         self._round_ids = itertools.count(1)
         self._current_round: Optional[int] = None
         self._proposal: Optional[VectorTimestamp] = None
@@ -157,6 +171,8 @@ class CheckpointCoordinator:
         commit_vt = self._proposal
         for vt in self._replies.values():
             commit_vt = commit_vt.floor(vt)
+        if self.monitor is not None:
+            self.monitor.on_commit_decided(self._proposal, self._replies, commit_vt)
         round_id = self._current_round
         self._current_round = None
         self._proposal = None

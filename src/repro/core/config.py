@@ -141,6 +141,11 @@ class MirrorConfig:
     #: fall back to a full view when the delta would exceed this fraction
     #: of the full snapshot's size
     delta_fallback_fraction: float = 0.25
+    #: opt-in runtime invariant monitor (:mod:`repro.core.invariants`):
+    #: asserts stamp/mirror-order monotonicity, min-timestamp agreement
+    #: and trim safety while the server runs.  Off by default — when off,
+    #: no monitor object exists and the hot paths pay one None test.
+    check_invariants: bool = False
     #: complex-sequence rules: (trigger_kind, trigger_value, target_kind)
     complex_seq: List[Tuple[str, Dict[str, Any], str]] = field(default_factory=list)
     #: complex-tuple rules: (kinds, values, combined_kind, suppresses)

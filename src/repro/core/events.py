@@ -142,8 +142,13 @@ class VectorTimestamp:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, VectorTimestamp):
             return NotImplemented
-        streams = set(self._clock) | set(other._clock)
-        return all(self.component(s) == other.component(s) for s in streams)
+        ours, theirs = self._clock, other._clock
+        if ours == theirs:
+            return True
+        # zero components are representational noise: {a:0} == {}
+        return {s: q for s, q in ours.items() if q} == {
+            s: q for s, q in theirs.items() if q
+        }
 
     def __hash__(self) -> int:
         return hash(frozenset((s, q) for s, q in self._clock.items() if q))

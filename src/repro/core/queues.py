@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from .events import UpdateEvent, VectorTimestamp
 
@@ -96,7 +96,7 @@ class BackupQueue:
         return count
 
 
-@dataclass
+@dataclass(slots=True)
 class _KeyStatus:
     """Per-entity history used by the semantic rules."""
 
@@ -104,8 +104,9 @@ class _KeyStatus:
     run_counters: Dict[str, int] = field(default_factory=dict)
     #: last seen payload per kind
     last_payload: Dict[str, Dict[str, Any]] = field(default_factory=dict)
-    #: kinds suppressed for this key (complex-sequence rules fired)
-    suppressed_kinds: set = field(default_factory=set)
+    #: kinds suppressed for this key (complex-sequence rules fired);
+    #: membership-only (never iterated), so a set is safe here
+    suppressed_kinds: Set[str] = field(default_factory=set)
     #: partially assembled complex tuples: rule-id -> {kind: event}
     partial_tuples: Dict[str, Dict[str, UpdateEvent]] = field(default_factory=dict)
     #: pending coalesce buffers: rule-id -> list of events

@@ -28,6 +28,7 @@ from .adaptation import AdaptationController
 from .aux_unit import CentralAuxUnit, MirrorAuxUnit
 from .config import MirrorConfig
 from .functions import FunctionRegistry, default_registry, simple_mirroring
+from .invariants import InvariantMonitor
 from .main_unit import EOS, MainUnit
 
 __all__ = ["ScenarioConfig", "ScenarioResult", "MirroredServer", "run_scenario"]
@@ -188,11 +189,18 @@ class MirroredServer:
             for i in range(cfg.preload_flights):
                 main.ede.state.flight(f"PRE{i:04d}")
 
+        # one monitor watches every unit: the cross-site invariants
+        # (per-round agreement) need the global view
+        self.monitor = (
+            InvariantMonitor() if cfg.mirror_config.check_invariants else None
+        )
+
         # mirror aux units + channels
         self.mirror_auxes = [
             MirrorAuxUnit(
                 env, node.name, node, self.transport, main, self.metrics,
                 data_capacity=cfg.mirror_inbox_capacity,
+                monitor=self.monitor,
             )
             for node, main in zip(self.mirror_nodes, self.mirror_mains)
         ]
@@ -217,6 +225,7 @@ class MirroredServer:
             mirroring_enabled=cfg.mirroring,
             adaptation=adaptation,
             data_capacity=cfg.central_inbox_capacity,
+            monitor=self.monitor,
         )
 
         # drivers

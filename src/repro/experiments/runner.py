@@ -56,9 +56,9 @@ def _resolve_targets(
 def _execute_target(name: str, quick: bool) -> Tuple[str, FigureResult, float]:
     """Run one sweep; top-level so worker processes can import it."""
     targets = _resolve_targets(figures=True, ablations=True)
-    t0 = time.time()
+    t0 = time.time()  # lint: allow-wallclock
     result = targets[name](quick=quick)
-    return name, result, time.time() - t0
+    return name, result, time.time() - t0  # lint: allow-wallclock
 
 
 def run_all(
@@ -84,10 +84,10 @@ def run_all(
     records: List[RunRecord] = []
     if jobs == 1 or len(targets) <= 1:
         for name, runner in targets.items():
-            t0 = time.time()
+            t0 = time.time()  # lint: allow-wallclock
             result = runner(quick=quick)
             record = RunRecord(
-                name=name, result=result, wall_seconds=time.time() - t0
+                name=name, result=result, wall_seconds=time.time() - t0  # lint: allow-wallclock
             )
             records.append(record)
             if progress is not None:

@@ -198,9 +198,12 @@ class OperationalStateStore:
         # per-stream (seqnos, gens) monotone logs mapping a client's
         # high-water mark back to the generation it covers
         self._stream_log: Dict[str, Tuple[List[int], List[int]]] = {}
-        # snapshot cache: per-flight views + the last built full view
+        # snapshot cache: per-flight views + the last built full view.
+        # The dirty collection is a dict-as-set (values unused): it is
+        # iterated when rebuilding views, and set iteration order is
+        # hash-salted per process — a dict keeps first-dirtied order.
         self._views: Dict[str, FlightView] = {}
-        self._dirty: set = set()
+        self._dirty: Dict[str, None] = {}
         self._cached: Optional[StateSnapshot] = None
         self.snapshot_builds = 0
         self.snapshot_cache_hits = 0
@@ -214,7 +217,7 @@ class OperationalStateStore:
         self.generation += 1
         self._log_gens.append(self.generation)
         self._log_fids.append(flight_id)
-        self._dirty.add(flight_id)
+        self._dirty[flight_id] = None
 
     def touch(self, flight_id: str) -> None:
         """Record an out-of-band mutation of ``flight_id``'s record.
@@ -311,7 +314,7 @@ class OperationalStateStore:
         what each request cost before caching."""
         self._views.clear()
         self._dirty.clear()
-        self._dirty.update(self._flights)
+        self._dirty.update(dict.fromkeys(self._flights))
         return self._build_snapshot(now)
 
     def _build_snapshot(self, now: float) -> StateSnapshot:

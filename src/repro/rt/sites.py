@@ -341,7 +341,7 @@ class AsyncCentralSite:
                 monitored[index] = max(monitored.get(index, 0.0), value)
             command = self.adaptation.evaluate(monitored)
             if command is not None:
-                commit = CommitMsg(commit.round_id, commit.vt, adapt=command)
+                commit = commit.with_adapt(command)
                 self.apply_config(command.config)
                 self.adaptation_log.append(
                     (self.clock(), command.action, command.config.function_name)

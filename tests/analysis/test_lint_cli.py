@@ -1,0 +1,96 @@
+"""`python -m repro lint` front end: exit codes, scoping, formats."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import lint_main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_lint_clean_on_the_real_tree(capsys):
+    """Acceptance criterion: the shipped package lints clean."""
+    assert lint_main([]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_lint_nonzero_on_bad_fixture(tmp_path, capsys):
+    pkg = tmp_path / "core"
+    pkg.mkdir()
+    bad = pkg / "clocky.py"
+    bad.write_text("import time\n\nT0 = time.time()\n")
+    rc = lint_main([str(tmp_path), "--package-root", str(tmp_path)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "[wallclock]" in out
+    assert "clocky.py:3" in out
+
+
+def test_lint_single_directory_becomes_package_root(tmp_path):
+    # a lone directory argument anchors the scopes, so files inside it
+    # get core/-style relative paths
+    pkg = tmp_path / "sim"
+    pkg.mkdir()
+    (pkg / "roll.py").write_text("import random\n")
+    assert lint_main([str(tmp_path)]) == 1
+
+
+def test_lint_select_restricts_rules(tmp_path):
+    pkg = tmp_path / "core"
+    pkg.mkdir()
+    (pkg / "clocky.py").write_text("import time\nT0 = time.time()\n")
+    args = [str(tmp_path), "--package-root", str(tmp_path)]
+    assert lint_main(args + ["--select", "wallclock"]) == 1
+    assert lint_main(args + ["--select", "vt-compare"]) == 0
+
+
+def test_lint_select_unknown_rule_errors():
+    with pytest.raises(SystemExit):
+        lint_main(["--select", "no-such-rule"])
+
+
+def test_lint_json_format(tmp_path, capsys):
+    pkg = tmp_path / "core"
+    pkg.mkdir()
+    (pkg / "clocky.py").write_text("import time\nT0 = time.time()\n")
+    rc = lint_main(
+        [str(tmp_path), "--package-root", str(tmp_path), "--format", "json"]
+    )
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload and payload[0]["rule"] == "wallclock"
+    assert payload[0]["line"] == 2
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "wallclock",
+        "unseeded-random",
+        "set-iteration",
+        "slots-required",
+        "dict-reintro",
+        "eq-without-hash",
+        "checkpoint-ctor",
+        "vt-compare",
+    ):
+        assert rule_id in out
+
+
+def test_module_entrypoint_wiring():
+    """``python -m repro lint`` reaches the linter (smoke, one file)."""
+    target = REPO_SRC / "repro" / "analysis" / "lint.py"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(target)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout

@@ -1,0 +1,374 @@
+"""Per-rule lint fixtures: every rule has a good and a bad example.
+
+Fixtures are linted as in-memory sources with a *relative module path*
+chosen to land inside (or outside) the rule's scope — that is the whole
+path-scoping mechanism exercised, without touching the filesystem.
+"""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.lint import DETERMINISM_RULES, Finding
+
+CORE = "core/pipeline.py"  # strict package, not a hot module
+HOT = "core/events.py"  # strict package + hot module
+RT = "rt/loop.py"  # wall-clock exempt
+TOOL = "experiments/timing.py"  # outside the strict packages
+
+
+def rules_in(source, relpath):
+    return [f.rule for f in lint_source(textwrap.dedent(source), relpath)]
+
+
+def findings_for(source, relpath, rule):
+    return [
+        f for f in lint_source(textwrap.dedent(source), relpath) if f.rule == rule
+    ]
+
+
+# ------------------------------------------------------------- wallclock
+def test_wallclock_bad_time_module():
+    src = """
+        import time
+
+        def stamp():
+            return time.time()
+    """
+    assert "wallclock" in rules_in(src, CORE)
+
+
+def test_wallclock_bad_from_import_and_datetime():
+    src = """
+        from time import perf_counter
+        from datetime import datetime
+
+        def stamp():
+            return perf_counter(), datetime.now()
+    """
+    found = rules_in(src, CORE)
+    assert found.count("wallclock") == 2
+
+
+def test_wallclock_bad_datetime_module_chain():
+    src = """
+        import datetime
+
+        def today():
+            return datetime.datetime.now()
+    """
+    assert "wallclock" in rules_in(src, CORE)
+
+
+def test_wallclock_good_sim_clock_and_unrelated_attrs():
+    src = """
+        def run(env, timer):
+            t0 = env.now
+            timer.time()        # not the time module
+            return env.now - t0
+    """
+    assert rules_in(src, CORE) == []
+
+
+def test_wallclock_exempt_in_rt():
+    src = """
+        import time
+
+        def now():
+            return time.monotonic()
+    """
+    assert rules_in(src, RT) == []
+
+
+def test_wallclock_pragma_allowed_outside_strict_packages():
+    src = """
+        import time
+
+        def wall():
+            return time.time()  # lint: allow-wallclock
+    """
+    assert rules_in(src, TOOL) == []
+
+
+def test_wallclock_pragma_rejected_inside_strict_packages():
+    src = """
+        import time
+
+        def wall():
+            return time.time()  # lint: allow-wallclock
+    """
+    found = rules_in(src, CORE)
+    # the suppression is ignored AND itself reported
+    assert "pragma-misuse" in found
+
+
+# -------------------------------------------------------- unseeded-random
+def test_unseeded_random_bad_stdlib_import():
+    assert "unseeded-random" in rules_in("import random\n", CORE)
+    assert "unseeded-random" in rules_in("from random import choice\n", CORE)
+
+
+def test_unseeded_random_bad_numpy_draws():
+    src = """
+        import numpy as np
+
+        def draw():
+            return np.random.default_rng().normal()
+    """
+    assert "unseeded-random" in rules_in(src, CORE)
+
+
+def test_unseeded_random_good_type_annotations_and_rng_facility():
+    src = """
+        import numpy as np
+
+        def spawn(rng: np.random.Generator):
+            return rng.normal()
+    """
+    assert rules_in(src, CORE) == []
+    # the facility itself may construct numpy generators
+    facility = """
+        import numpy as np
+
+        def make(seed):
+            return np.random.default_rng(np.random.SeedSequence(seed))
+    """
+    assert rules_in(facility, "sim/rng.py") == []
+
+
+# ---------------------------------------------------------- set-iteration
+def test_set_iteration_bad_for_loop_and_comprehension():
+    src = """
+        NAMES = {"a", "b"}
+
+        def walk():
+            for n in NAMES:
+                yield n
+
+        def squares(xs: set):
+            return [x * x for x in xs]
+    """
+    assert rules_in(src, CORE).count("set-iteration") == 2
+
+
+def test_set_iteration_bad_self_attribute_and_union():
+    src = """
+        class Tracker:
+            def __init__(self, keys):
+                self.keys = set(keys)
+
+            def walk(self, extra):
+                for k in self.keys.union(extra):
+                    yield k
+    """
+    assert "set-iteration" in rules_in(src, CORE)
+
+
+def test_set_iteration_good_sorted_membership_and_dicts():
+    src = """
+        NAMES = {"a", "b"}
+        ORDERED = dict.fromkeys(["a", "b"])
+
+        def walk():
+            for n in sorted(NAMES):
+                yield n
+            for n in ORDERED:
+                yield n
+
+        def has(x):
+            return x in NAMES
+    """
+    assert rules_in(src, CORE) == []
+
+
+def test_set_iteration_attribute_tracking_is_per_class():
+    # Two classes reuse the attribute name with different types: only
+    # the set-typed one may be flagged (regression: ComplexTupleRule's
+    # list-typed .kinds was flagged because TypeFilterRule's .kinds is a
+    # frozenset).
+    src = """
+        class Filter:
+            def __init__(self, kinds):
+                self.kinds = frozenset(kinds)
+
+        class Tuplizer:
+            def __init__(self, kinds):
+                self.kinds = list(kinds)
+
+            def components(self, slot):
+                return [slot[k] for k in self.kinds]
+    """
+    assert rules_in(src, CORE) == []
+
+
+def test_set_iteration_not_applied_outside_strict_packages():
+    src = """
+        def walk(xs: set):
+            return [x for x in xs]
+    """
+    assert rules_in(src, TOOL) == []
+
+
+# ---------------------------------------------------------- slots-required
+def test_slots_required_bad_and_good():
+    bad = """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Msg:
+            x: int
+    """
+    assert "slots-required" in rules_in(bad, HOT)
+    good = bad.replace("frozen=True", "frozen=True, slots=True")
+    assert rules_in(good, HOT) == []
+
+
+def test_slots_required_only_in_hot_modules():
+    src = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Record:
+            x: int
+    """
+    assert rules_in(src, CORE) == []
+
+
+# ------------------------------------------------------------ dict-reintro
+def test_dict_reintro_slotless_subclass():
+    src = """
+        class Event:
+            __slots__ = ("kind",)
+
+        class Special(Event):
+            pass
+    """
+    assert "dict-reintro" in rules_in(src, HOT)
+
+
+def test_dict_reintro_dict_access():
+    src = """
+        def fields(ev):
+            return ev.__dict__
+    """
+    assert "dict-reintro" in rules_in(src, HOT)
+
+
+def test_dict_reintro_good_slotted_subclass():
+    src = """
+        class Event:
+            __slots__ = ("kind",)
+
+        class Special(Event):
+            __slots__ = ("extra",)
+    """
+    assert rules_in(src, HOT) == []
+
+
+# --------------------------------------------------------- eq-without-hash
+def test_eq_without_hash_bad_good_and_dataclass_exempt():
+    bad = """
+        class Point:
+            def __eq__(self, other):
+                return True
+    """
+    assert "eq-without-hash" in rules_in(bad, CORE)
+    good = """
+        class Point:
+            def __eq__(self, other):
+                return True
+
+            def __hash__(self):
+                return 0
+
+        class Unhashable:
+            def __eq__(self, other):
+                return True
+
+            __hash__ = None
+    """
+    assert rules_in(good, CORE) == []
+    dc = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Point:
+            x: int
+    """
+    assert rules_in(dc, CORE) == []
+
+
+# --------------------------------------------------------- checkpoint-ctor
+def test_checkpoint_ctor_flagged_outside_checkpoint_module():
+    src = """
+        from repro.core.checkpoint import CommitMsg
+
+        def forge(round_id, vt):
+            return CommitMsg(round_id=round_id, vt=vt)
+    """
+    assert "checkpoint-ctor" in rules_in(src, "core/aux_unit.py")
+
+
+def test_checkpoint_ctor_allowed_in_checkpoint_module():
+    src = """
+        def emit(round_id, vt):
+            return CommitMsg(round_id=round_id, vt=vt)
+    """
+    assert rules_in(src, "core/checkpoint.py") == []
+
+
+def test_checkpoint_ctor_pragma_works_outside_strict_packages():
+    assert "checkpoint-ctor" not in DETERMINISM_RULES  # suppressible
+    src = """
+        def forge(vt):
+            return ChkptMsg(round_id=1, vt=vt)  # lint: allow-checkpoint-ctor
+    """
+    assert rules_in(src, "analysis/modelcheck.py") == []
+
+
+# -------------------------------------------------------------- vt-compare
+def test_vt_compare_ordering_flagged():
+    src = """
+        def stale(a_vt, b_vt):
+            return a_vt < b_vt
+    """
+    assert "vt-compare" in rules_in(src, CORE)
+
+
+def test_vt_compare_floor_eq_idiom_flagged():
+    src = """
+        def dominated(commit_vt, other):
+            return commit_vt.floor(other) == other
+    """
+    assert "vt-compare" in rules_in(src, CORE)
+
+
+def test_vt_compare_good_covers_dominates():
+    src = """
+        def ok(commit_vt, other, ev):
+            return commit_vt.dominates(other) and commit_vt.covers(
+                ev.stream, ev.seqno
+            )
+    """
+    assert rules_in(src, CORE) == []
+
+
+# ------------------------------------------------------------ engine bits
+def test_syntax_error_is_a_finding():
+    found = lint_source("def broken(:\n", CORE)
+    assert [f.rule for f in found] == ["syntax-error"]
+
+
+def test_finding_render_format():
+    f = Finding(rule="wallclock", path="core/x.py", line=3, col=7, message="boom")
+    assert f.render() == "core/x.py:3:7: [wallclock] boom"
+
+
+def test_multi_rule_pragma():
+    src = """
+        import time
+
+        def wall(xs: set):
+            return time.time(), [x for x in xs]  # lint: allow-wallclock,set-iteration
+    """
+    # outside strict packages only wallclock applies; both suppressed
+    assert rules_in(src, TOOL) == []

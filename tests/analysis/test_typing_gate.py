@@ -1,0 +1,44 @@
+"""The typing gate: py.typed marker, pyproject configuration, and — when
+mypy is available — an actual run over the strict packages.
+
+mypy is intentionally NOT a runtime dependency; the container image may
+not ship it.  CI installs it explicitly (see .github/workflows/ci.yml),
+so the real gate runs there; locally the mypy-run test skips cleanly.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+
+def test_py_typed_marker_ships_with_the_package():
+    marker = SRC / "repro" / "py.typed"
+    assert marker.exists(), "PEP 561 marker missing"
+    # the marker must actually be packaged, not just sit in the tree
+    pyproject = (REPO / "pyproject.toml").read_text()
+    assert 'repro = ["py.typed"]' in pyproject
+
+
+def test_pyproject_declares_the_typing_gate():
+    pyproject = (REPO / "pyproject.toml").read_text()
+    assert "[tool.mypy]" in pyproject
+    assert "[tool.ruff]" in pyproject
+    # the gate covers exactly the strict packages
+    assert '"repro.core"' in pyproject
+    assert '"repro.sim"' in pyproject
+
+
+def test_mypy_clean_on_strict_packages():
+    pytest.importorskip("mypy")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", str(REPO / "pyproject.toml")],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,163 @@
+"""The opt-in runtime invariant monitor (`MirrorConfig.check_invariants`).
+
+Two layers: unit tests drive the monitor hooks directly; integration
+tests run whole scenarios — a healthy server passes with the monitor on,
+and a deliberately broken user mirroring function is caught the moment
+it misbehaves (and is *not* caught with the monitor off, which is the
+default: zero checking cost unless asked for).
+"""
+
+import pytest
+
+from repro.core import ScenarioConfig, run_scenario, simple_mirroring
+from repro.core.events import VectorTimestamp
+from repro.core.invariants import InvariantMonitor, InvariantViolation
+from repro.ois import FlightDataConfig
+
+
+def vt(**kw):
+    return VectorTimestamp(kw)
+
+
+# ----------------------------------------------------------- unit: hooks
+def test_on_stamped_rejects_regression():
+    mon = InvariantMonitor()
+    mon.on_stamped("faa", 1)
+    mon.on_stamped("faa", 2)
+    mon.on_stamped("delta", 1)
+    with pytest.raises(InvariantViolation, match="stamping order"):
+        mon.on_stamped("faa", 2)
+
+
+def test_on_mirrored_requires_stamp_and_order():
+    from repro.core.events import UpdateEvent
+
+    mon = InvariantMonitor()
+    with pytest.raises(InvariantViolation, match="unstamped"):
+        mon.on_mirrored(UpdateEvent("k", "faa", 1, "F1"))
+    e1 = UpdateEvent("k", "faa", 1, "F1", vt=vt(faa=1))
+    e2 = UpdateEvent("k", "faa", 2, "F1", vt=vt(faa=2))
+    mon.on_mirrored(e1)
+    mon.on_mirrored(e2)
+    with pytest.raises(InvariantViolation, match="mirrored order"):
+        mon.on_mirrored(e1)
+
+
+def test_on_mirrored_flush_emissions_are_exempt():
+    from repro.core.events import UpdateEvent
+
+    mon = InvariantMonitor()
+    mon.on_mirrored(UpdateEvent("k", "faa", 5, "F1", vt=vt(faa=5)))
+    # an EOS flush may drain a held buffer carrying older timestamps
+    mon.on_mirrored(
+        UpdateEvent("k", "faa", 2, "F1", vt=vt(faa=2)), ordered=False
+    )
+
+
+def test_on_commit_decided_checks_the_floor():
+    mon = InvariantMonitor()
+    proposal = vt(faa=10, delta=4)
+    replies = {"central": vt(faa=10, delta=4), "m1": vt(faa=7, delta=4)}
+    mon.on_commit_decided(proposal, replies, vt(faa=7, delta=4))
+    with pytest.raises(InvariantViolation, match="agreement"):
+        mon.on_commit_decided(proposal, replies, proposal)
+
+
+def test_on_commit_applied_trim_safety_and_agreement():
+    mon = InvariantMonitor()
+    mon.on_commit_applied("central", 1, vt(faa=3), vt(faa=5), covered=3, removed=3)
+    # another site, same round, same vector: fine
+    mon.on_commit_applied("m1", 1, vt(faa=3), vt(faa=3), covered=3, removed=3)
+    # same round, different vector: agreement broken
+    with pytest.raises(InvariantViolation, match="disagreement"):
+        mon.on_commit_applied("m2", 1, vt(faa=2), vt(faa=4), covered=2, removed=2)
+
+
+def test_on_commit_applied_lost_update():
+    mon = InvariantMonitor()
+    with pytest.raises(InvariantViolation, match="lost update"):
+        mon.on_commit_applied("m1", 1, vt(faa=5), vt(faa=3), covered=0, removed=0)
+
+
+def test_on_commit_applied_monotonicity():
+    mon = InvariantMonitor()
+    mon.on_commit_applied("m1", 1, vt(faa=4), vt(faa=4), covered=4, removed=4)
+    with pytest.raises(InvariantViolation, match="regression"):
+        mon.on_commit_applied("m1", 2, vt(faa=3), vt(faa=4), covered=0, removed=0)
+
+
+def test_trim_count_mismatch():
+    mon = InvariantMonitor()
+    with pytest.raises(InvariantViolation, match="trim mismatch"):
+        mon.on_commit_applied("m1", 1, vt(faa=2), vt(faa=2), covered=2, removed=1)
+
+
+# ----------------------------------------- integration: healthy scenario
+def _workload(**kw):
+    defaults = dict(n_flights=4, positions_per_flight=25, seed=7)
+    defaults.update(kw)
+    return FlightDataConfig(**defaults)
+
+
+def test_healthy_scenario_passes_with_monitor_on():
+    config = simple_mirroring()
+    config.check_invariants = True
+    config.checkpoint_freq = 10
+    result = run_scenario(
+        ScenarioConfig(n_mirrors=2, mirror_config=config, workload=_workload())
+    )
+    server = result.server
+    assert server.monitor is not None
+    # the monitor actually saw traffic on every hook family
+    assert server.monitor.violations_checked > result.metrics.events_mirrored
+    assert result.metrics.checkpoint_commits > 0
+
+
+def test_monitor_off_by_default():
+    result = run_scenario(
+        ScenarioConfig(n_mirrors=1, workload=_workload())
+    )
+    assert result.server.monitor is None
+
+
+# ------------------------------------- integration: broken user function
+class ReorderingMirror:
+    """A buggy set_mirror() function: holds every other event back and
+    emits it *after* its successor — mirrored order regresses."""
+
+    def __init__(self):
+        self.held = None
+
+    def __call__(self, event, table):
+        if self.held is None:
+            self.held = event
+            return []
+        prev, self.held = self.held, None
+        return [event, prev]
+
+
+def _broken_config() -> "object":
+    config = simple_mirroring()
+    config.custom_mirror = ReorderingMirror()
+    return config
+
+
+def test_broken_mirror_function_caught_with_monitor():
+    config = _broken_config()
+    config.check_invariants = True
+    scenario = ScenarioConfig(
+        n_mirrors=1, mirror_config=config, workload=_workload()
+    )
+    with pytest.raises(InvariantViolation, match="mirrored"):
+        run_scenario(scenario)
+
+
+def test_broken_mirror_function_invisible_without_monitor():
+    """The same bug sails through silently when checking is off — the
+    monitor is the only thing that notices (digest divergence is masked
+    here because reordering within the backup window still converges)."""
+    scenario = ScenarioConfig(
+        n_mirrors=1, mirror_config=_broken_config(), workload=_workload()
+    )
+    result = run_scenario(scenario)
+    assert result.metrics.events_mirrored > 0
