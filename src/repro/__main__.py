@@ -11,6 +11,7 @@ Usage::
     python -m repro bench --out BENCH_PR1.json       # substrate op/s record
     python -m repro lint                   # repo-specific static analysis
     python -m repro modelcheck --sites 2 --events 3  # protocol checker
+    python -m repro chaos                  # seeded failure drills
 """
 
 from __future__ import annotations
@@ -51,6 +52,10 @@ def main(argv=None) -> int:
         from .analysis.cli import modelcheck_main
 
         return modelcheck_main(list(argv[1:]))
+    if argv and argv[0] == "chaos":
+        from .faults.chaos import chaos_main
+
+        return chaos_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the evaluation of 'Adaptable Mirroring in "

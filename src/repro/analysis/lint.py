@@ -52,7 +52,7 @@ __all__ = [
 
 #: Packages whose code runs under the deterministic simulation clock.
 #: Everything here must be reproducible from a seed alone.
-STRICT_PACKAGES = ("core", "sim", "ois", "cluster", "channels")
+STRICT_PACKAGES = ("core", "sim", "ois", "cluster", "channels", "faults")
 
 #: Modules on the per-event hot path: event/timestamp/queue/kernel
 #: classes.  The slots rules apply here.
@@ -61,6 +61,8 @@ HOT_MODULES = (
     "core/queues.py",
     "core/checkpoint.py",
     "sim/kernel.py",
+    "faults/plan.py",
+    "faults/detector.py",
 )
 
 #: Path prefixes exempt from the wall-clock rules: the asyncio runtime

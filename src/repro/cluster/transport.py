@@ -90,6 +90,33 @@ class Transport:
         #: the denominator of the batching trade-off: batching shrinks
         #: this while bytes_on_wire stays ~constant
         self.wire_messages = 0
+        #: fail-stop node set (``repro.faults``): messages to or from a
+        #: down node are dropped; messages *to* one are additionally kept
+        #: in ``dead_letters`` so the failover supervisor can re-route
+        #: salvageable traffic (client requests) to surviving sites
+        self._down_nodes: Dict[str, bool] = {}
+        self.dead_letters: list = []
+        #: optional link-fault hook (``repro.faults.link``): consulted
+        #: per remote send for partition / degradation windows
+        self.fault_controller = None
+
+    # -- failure injection -------------------------------------------------
+    def set_node_down(self, node_name: str, down: bool = True) -> None:
+        """Mark a node crashed (or recovered): affects future sends only."""
+        if down:
+            self._down_nodes[node_name] = True
+        else:
+            self._down_nodes.pop(node_name, None)
+
+    def node_down(self, node_name: str) -> bool:
+        """True while ``node_name`` is marked crashed."""
+        return node_name in self._down_nodes
+
+    def take_dead_letters(self) -> list:
+        """Drain and return the captured messages to dead nodes."""
+        letters = self.dead_letters
+        self.dead_letters = []
+        return letters
 
     def register(self, name: str, node: Node, capacity: Optional[int] = None) -> Endpoint:
         """Create and register an endpoint ``name`` on ``node``.
@@ -109,6 +136,11 @@ class Transport:
         except KeyError:
             raise KeyError(f"unknown endpoint {name!r}") from None
 
+    def endpoints_on(self, node_name: str) -> list:
+        """Every endpoint registered on ``node_name`` (registration
+        order); the fault injector crash-drains these on a site crash."""
+        return [ep for ep in self._endpoints.values() if ep.node.name == node_name]
+
     def send(self, src_node: Node, dst_name: str, message: Message):
         """Process fragment: deliver ``message`` to endpoint ``dst_name``.
 
@@ -124,13 +156,37 @@ class Transport:
         if self.loss_filter is not None and self.loss_filter(message):
             self.dropped += 1
             return
+        if self._down_nodes:
+            if dst.node.name in self._down_nodes:
+                self.dropped += 1
+                self.dead_letters.append(message)
+                return
+            if src_node.name in self._down_nodes:
+                # the sender died mid-send (its processes are being torn
+                # down); anything still leaving it is lost on the floor
+                self.dropped += 1
+                return
+
+        copies = 1
+        if self.fault_controller is not None:
+            verdict = self.fault_controller.on_send(
+                message, src_node.name, dst.node.name, self.env.now
+            )
+            if verdict is not None:
+                if verdict.drop:
+                    self.dropped += 1
+                    return
+                if verdict.delay > 0.0:
+                    yield self.env.timeout(verdict.delay)
+                copies += verdict.duplicates
 
         link = self.network.link(src_node.name, dst.node.name)
-        if link is not None:
-            self.wire_messages += 1
-            yield from src_node.execute(src_node.costs.ser_cost(message.size))
-            yield from link.transmit(message.size)
-        yield from dst.deliver(message)
+        for _ in range(copies):
+            if link is not None:
+                self.wire_messages += 1
+                yield from src_node.execute(src_node.costs.ser_cost(message.size))
+                yield from link.transmit(message.size)
+            yield from dst.deliver(message)
 
     def post(self, src_node: Node, dst_name: str, message: Message):
         """Fire-and-forget variant of :meth:`send` (spawns a process)."""

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional
 from ..channels import EventChannel
 from ..cluster import Message, Node, Transport
 from ..metrics import RunMetrics
-from ..sim import Environment, Store
+from ..sim import Environment, Interrupt, Store
 from .adaptation import (
     MONITOR_BACKUP_QUEUE,
     MONITOR_PENDING_REQUESTS,
@@ -49,8 +49,15 @@ from .events import EventBatch, UpdateEvent, VectorTimestamp
 from .invariants import InvariantMonitor
 from .main_unit import EOS, MainUnit
 from .queues import BackupQueue
+from .rules import RuleEngine
 
-__all__ = ["CentralAuxUnit", "MirrorAuxUnit"]
+__all__ = ["CentralAuxUnit", "MirrorAuxUnit", "PROMOTED_FIRST_ROUND"]
+
+#: Round-id offset for a promoted mirror's checkpoint coordinator: keeps
+#: its rounds disjoint from the deposed primary's, so a straggling
+#: in-flight reply to the old coordinator can never be mistaken for a
+#: vote in a new round (``repro.faults`` live failover).
+PROMOTED_FIRST_ROUND = 1_000_000
 
 
 class CentralAuxUnit:
@@ -98,10 +105,17 @@ class CentralAuxUnit:
         self.clock = VectorTimestamp()
         self.processed_events = 0
         self.stream_done = env.event()
+        self.processes: list = []
+        self.start_processes()
 
-        env.process(self._receiving_task())
-        env.process(self._sending_task())
-        env.process(self._control_task())
+    def start_processes(self) -> None:
+        """(Re)spawn the three aux tasks; the handles let the fault
+        injector interrupt them on a fail-stop crash (``repro.faults``)."""
+        self.processes = [
+            self.env.process(self._receiving_task()),
+            self.env.process(self._sending_task()),
+            self.env.process(self._control_task()),
+        ]
 
     # -- MirrorControl host interface -------------------------------------
     def apply_config(self, config: MirrorConfig) -> None:
@@ -132,6 +146,12 @@ class CentralAuxUnit:
 
     # -- tasks ------------------------------------------------------------
     def _receiving_task(self):
+        try:
+            yield from self._receiving_body()
+        except Interrupt:
+            return  # fail-stop crash injected between event steps
+
+    def _receiving_body(self):
         costs = self.node.costs
         while True:
             msg = yield self.data_in.inbox.get()
@@ -147,6 +167,12 @@ class CentralAuxUnit:
             yield self.ready.put(stamped)
 
     def _sending_task(self):
+        try:
+            yield from self._sending_body()
+        except Interrupt:
+            return  # fail-stop crash injected between event steps
+
+    def _sending_body(self):
         costs = self.node.costs
         while True:
             item = yield self.ready.get()
@@ -286,6 +312,12 @@ class CentralAuxUnit:
         self.ctrl_channel.publish_nowait(self.node, msg, CONTROL_MSG_SIZE)
 
     def _control_task(self):
+        try:
+            yield from self._control_body()
+        except Interrupt:
+            return  # fail-stop crash injected between event steps
+
+    def _control_body(self):
         costs = self.node.costs
         while True:
             msg = yield self.ctrl_in.inbox.get()
@@ -366,10 +398,80 @@ class MirrorAuxUnit:
         self.backup = BackupQueue()
         self.applied_config: Optional[MirrorConfig] = None
         self._applied_adapt_seq = 0
+        #: where checkpoint replies go; the failover supervisor re-targets
+        #: this when a promoted mirror becomes the coordinator
+        self.reply_endpoint = "central.aux.ctrl"
+        # -- promoted-primary state (repro.faults live failover) ----------
+        # Dormant until promote_to_primary(); a promoted mirror runs the
+        # central aux unit's duties with its existing three tasks.
+        self.promoted = False
+        self.config: Optional[MirrorConfig] = None
+        self.engine: Optional[RuleEngine] = None
+        self.coordinator: Optional[CheckpointCoordinator] = None
+        self.mirror_channel: Optional[EventChannel] = None
+        self.ctrl_channel: Optional[EventChannel] = None
+        self.clock = VectorTimestamp()
+        self.processed_events = 0
+        self.stream_done = env.event()
+        #: uids of raw source events this site stamped itself — only they
+        #: take the full primary pipeline (rules, mirroring, backup); the
+        #: deposed primary's backlog is already replicated and only needs
+        #: forwarding to the local main unit
+        self._fresh_uids: set = set()
+        #: rejoin dedup: channel deliveries at or below this timestamp
+        #: duplicate the snapshot+replay a restarted mirror came back with
+        self._rejoin_filter_vt: Optional[VectorTimestamp] = None
+        #: uid the sending task currently holds between ready-queue pop
+        #: and main-unit delivery — promotion replay must not double-feed
+        #: it (stale values are harmless: a delivered event is covered by
+        #: the main unit's processed vector soon after)
+        self._forwarding_uid = -1
+        self.processes: list = []
+        self.start_processes()
 
-        env.process(self._receiving_task())
-        env.process(self._sending_task())
-        env.process(self._control_task())
+    def start_processes(self) -> None:
+        """(Re)spawn the three aux tasks; the handles let the fault
+        injector interrupt them on a fail-stop crash (``repro.faults``)."""
+        self.processes = [
+            self.env.process(self._receiving_task()),
+            self.env.process(self._sending_task()),
+            self.env.process(self._control_task()),
+        ]
+
+    # -- live failover (repro.faults) -------------------------------------
+    def promote_to_primary(
+        self,
+        mirror_channel: EventChannel,
+        ctrl_channel: EventChannel,
+        config: MirrorConfig,
+        participants: set,
+        resume_vt: Optional[VectorTimestamp] = None,
+    ) -> None:
+        """Assume the central role at runtime.
+
+        The timestamp clock resumes from everything this site is known to
+        hold: its main unit's processing progress merged with its backup
+        queue's high-water marks (plus ``resume_vt``, the supervisor's
+        view of events still in flight towards this site), so fresh
+        source events extend — never collide with — the deposed
+        primary's numbering.  The checkpoint coordinator starts in a
+        disjoint round-id space for the same reason.
+        """
+        self.promoted = True
+        self.mirror_channel = mirror_channel
+        self.ctrl_channel = ctrl_channel
+        self.config = config
+        self.engine = config.build_engine()
+        clock = self.main_unit.checkpointer.processed_vt
+        backup_vt = self.backup.last_vt()
+        if backup_vt is not None:  # empty backup: crash before any mirroring
+            clock = clock.merge(backup_vt)
+        if resume_vt is not None:
+            clock = clock.merge(resume_vt)
+        self.clock = clock
+        self.coordinator = CheckpointCoordinator(
+            participants, monitor=self.monitor, first_round=PROMOTED_FIRST_ROUND
+        )
 
     def monitor_readings(self) -> Dict[str, float]:
         """Queue lengths the adaptation mechanism watches (§3.2.2)."""
@@ -380,10 +482,22 @@ class MirrorAuxUnit:
         }
 
     def _receiving_task(self):
+        try:
+            yield from self._receiving_body()
+        except Interrupt:
+            return  # fail-stop crash injected between event steps
+
+    def _receiving_body(self):
         costs = self.node.costs
         while True:
             msg = yield self.data_in.inbox.get()
             payload = msg.payload
+            if payload == EOS:
+                # only a promoted primary sees the stream end here: the
+                # re-routed source stream now terminates at this site
+                if self.promoted:
+                    yield self.ready.put(EOS)
+                continue
             if isinstance(payload, EventBatch):
                 # one receive/deserialize for the whole wire message,
                 # then the per-event backup copy for each member; events
@@ -391,6 +505,8 @@ class MirrorAuxUnit:
                 # downstream is batching-agnostic
                 yield from self.node.execute(costs.recv_cost(msg.size))
                 for event in payload.events:
+                    if self._is_rejoin_duplicate(event):
+                        continue
                     yield from self.node.execute(
                         costs.backup_fixed + costs.backup_per_byte * event.size
                     )
@@ -398,6 +514,18 @@ class MirrorAuxUnit:
                     yield self.ready.put(event)
                 continue
             event: UpdateEvent = payload
+            if event.vt is None:
+                # raw source event: only the promoted primary receives
+                # these — timestamp it exactly as the central receiving
+                # task would, and mark it for the full primary pipeline
+                yield from self.node.execute(costs.recv_cost(event.size))
+                self.clock = self.clock.advanced(event.stream, event.seqno)
+                stamped = event.stamped(self.clock, entered_at=self.env.now)
+                self._fresh_uids.add(stamped.uid)
+                yield self.ready.put(stamped)
+                continue
+            if self._is_rejoin_duplicate(event):
+                continue
             # receive + deserialize, plus the backup-queue copy; events
             # arrive pre-stamped so no timestamping happens here, but
             # moving the bytes off the wire is paid like everywhere else
@@ -409,21 +537,132 @@ class MirrorAuxUnit:
             self.backup.append(event)
             yield self.ready.put(event)
 
+    def _is_rejoin_duplicate(self, event: UpdateEvent) -> bool:
+        """A restarted mirror resumes from a snapshot + replay; channel
+        deliveries already covered by that resume point are duplicates."""
+        filter_vt = self._rejoin_filter_vt
+        return filter_vt is not None and filter_vt.covers(event.stream, event.seqno)
+
     def _sending_task(self):
+        try:
+            yield from self._sending_body()
+        except Interrupt:
+            return  # fail-stop crash injected between event steps
+
+    def _sending_body(self):
         costs = self.node.costs
         while True:
             event = yield self.ready.get()
+            if event == EOS:
+                if self.promoted:
+                    yield from self._finish_promoted_stream()
+                continue
+            self._forwarding_uid = event.uid
             yield from self.node.execute(costs.fwd_cost(event.size))
             yield from self.transport.send(
                 self.node, f"{self.site}.main",
                 Message(kind="data", payload=event, size=event.size),
             )
+            if not self.promoted or event.uid not in self._fresh_uids:
+                # pre-promotion backlog (or a plain mirror): the deposed
+                # primary already mirrored and backed this event up —
+                # forwarding it to the local main unit was all that's left
+                continue
+            # fresh source event on the promoted primary: run the central
+            # sending task's duties — rules, mirroring, backup, cadence
+            self._fresh_uids.discard(event.uid)
+            self.metrics.events_forwarded += 1
+            engine = self.engine
+            config = self.config
+            if engine is None or config is None:  # pragma: no cover
+                continue
+            yield from self.node.execute(costs.rule_fixed)
+            outs: List[UpdateEvent] = []
+            for passed in engine.on_receive(event):
+                outs.extend(engine.on_send(passed))
+            yield from self._mirror_promoted(outs)
+            self.processed_events += 1
+            if self.processed_events % config.checkpoint_freq == 0:
+                self._initiate_promoted_checkpoint()
+
+    def _finish_promoted_stream(self):
+        """Promoted-primary end of stream: flush the rule pipeline, run a
+        final checkpoint, and resolve this site's stream-done event."""
+        engine = self.engine
+        if engine is None:  # pragma: no cover
+            return
+        for out in engine.flush("receive"):
+            yield from self._mirror_promoted(engine.on_send(out))
+        for out in engine.flush("send"):
+            yield from self._mirror_promoted([out])
+        self._initiate_promoted_checkpoint()
+        self.metrics.rule_stats = engine.stats()
+        if not self.stream_done.triggered:
+            self.stream_done.succeed()
+
+    def _mirror_promoted(self, outs: List[UpdateEvent]):
+        costs = self.node.costs
+        channel = self.mirror_channel
+        if channel is None:  # pragma: no cover
+            return
+        for out in outs:
+            yield from self.node.execute(costs.mirror_cost(out.size))
+            yield from channel.publish(self.node, out, out.size)
+            yield from self.node.execute(costs.backup_fixed)
+            self.backup.append(out)
+            self.metrics.events_mirrored += 1
+
+    def _initiate_promoted_checkpoint(self) -> None:
+        coordinator = self.coordinator
+        ctrl_channel = self.ctrl_channel
+        if coordinator is None or ctrl_channel is None:  # pragma: no cover
+            return
+        msg = coordinator.initiate(self.backup.last_vt())
+        if msg is None:
+            return
+        self.env.process(self.node.execute(self.node.costs.control_round))
+        self.metrics.checkpoint_rounds += 1
+        # own main unit votes locally, exactly like the central site
+        reply = self.main_unit.checkpointer.on_chkpt(msg, self.monitor_readings())
+        commit = coordinator.on_reply(reply)
+        if commit is not None:
+            # sole survivor: commit immediately
+            self.env.process(self._broadcast_promoted_commit(commit))
+            return
+        ctrl_channel.publish_nowait(self.node, msg, CONTROL_MSG_SIZE)
+
+    def _broadcast_promoted_commit(self, commit: CommitMsg):
+        costs = self.node.costs
+        self.metrics.checkpoint_commits += 1
+        yield from self.node.execute(costs.control_round)
+        vt = self.main_unit.checkpointer.on_commit(commit)
+        trimmed = self.backup.trim(vt)
+        if trimmed:
+            yield from self.node.execute(costs.trim_per_event * trimmed)
+        if self.ctrl_channel is not None:
+            yield from self.ctrl_channel.publish(self.node, commit, CONTROL_MSG_SIZE)
 
     def _control_task(self):
+        try:
+            yield from self._control_body()
+        except Interrupt:
+            return  # fail-stop crash injected between event steps
+
+    def _control_body(self):
         costs = self.node.costs
         while True:
             msg = yield self.ctrl_in.inbox.get()
             payload = msg.payload
+            if self.promoted and isinstance(payload, ChkptRepMsg):
+                # coordinator side of the protocol, inherited at promotion
+                yield from self.node.execute(costs.control_fixed)
+                coordinator = self.coordinator
+                if coordinator is None:  # pragma: no cover
+                    continue
+                commit = coordinator.on_reply(payload)
+                if commit is not None:
+                    yield from self._broadcast_promoted_commit(commit)
+                continue
             # participant-side handling searches the backup queue
             # (Figure 3) — markedly heavier than coordinator bookkeeping
             yield from self.node.execute(costs.control_search)
@@ -432,7 +671,7 @@ class MirrorAuxUnit:
                     payload, self.monitor_readings()
                 )
                 yield from self.transport.send(
-                    self.node, "central.aux.ctrl",
+                    self.node, self.reply_endpoint,
                     Message(kind="control", payload=reply, size=CONTROL_MSG_SIZE),
                 )
             elif isinstance(payload, CommitMsg):

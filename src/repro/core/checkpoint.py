@@ -108,14 +108,23 @@ class CheckpointCoordinator:
     rationale — "the later commit will encapsulate the earlier one").
     """
 
-    def __init__(self, participants: Set[str], monitor: Optional[Any] = None):
+    def __init__(
+        self,
+        participants: Set[str],
+        monitor: Optional[Any] = None,
+        first_round: int = 1,
+    ):
         if not participants:
             raise ValueError("coordinator needs at least one participant")
         self.participants: FrozenSet[str] = frozenset(participants)
         #: optional invariant monitor (``repro.core.invariants``); its
         #: ``on_commit_decided`` hook sees every commit before broadcast
         self.monitor = monitor
-        self._round_ids = itertools.count(1)
+        # ``first_round`` lets a replacement coordinator (a mirror
+        # promoted after the central site failed) start in a round-id
+        # space disjoint from its predecessor's, so in-flight replies to
+        # the dead coordinator can never collide with a live round
+        self._round_ids = itertools.count(first_round)
         self._current_round: Optional[int] = None
         self._proposal: Optional[VectorTimestamp] = None
         self._replies: Dict[str, VectorTimestamp] = {}
@@ -164,6 +173,33 @@ class CheckpointCoordinator:
         self._replies[reply.site] = reply.vt
         if reply.monitored:
             self._last_monitored[reply.site] = dict(reply.monitored)
+        return self._complete_round()
+
+    def set_participants(self, participants: Set[str]) -> Optional[CommitMsg]:
+        """Install a new membership view (failover / site rejoin).
+
+        A round still collecting keeps running against the new set:
+        replies from removed sites are discarded, and if the survivors
+        have in fact all voted already, the round completes now — the
+        returned COMMIT must then be broadcast by the caller.  (A dead
+        site can otherwise wedge the round until the next initiation
+        supersedes it, which is safe but slower.)
+        """
+        if not participants:
+            raise ValueError("coordinator needs at least one participant")
+        self.participants = frozenset(participants)
+        if self._current_round is None:
+            return None
+        self._replies = {
+            site: vt for site, vt in self._replies.items()
+            if site in self.participants
+        }
+        return self._complete_round()
+
+    def _complete_round(self) -> Optional[CommitMsg]:
+        """Commit the collecting round once every participant has voted."""
+        if self._current_round is None or self._proposal is None:
+            return None
         if set(self._replies) != set(self.participants):
             return None
         # All votes in: the agreed value is the componentwise minimum of

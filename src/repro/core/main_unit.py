@@ -21,7 +21,7 @@ from ..cluster import Message, Node, Transport
 from ..metrics import RunMetrics
 from ..ois.clients import ClientPool, InitStateRequest, InitStateResponse
 from ..ois.ede import EventDerivationEngine
-from ..sim import Environment, Store
+from ..sim import Environment, Interrupt, Store
 from .checkpoint import MainUnitCheckpointer
 from .config import MirrorConfig
 from .events import UpdateEvent
@@ -84,6 +84,10 @@ class MainUnit:
         self.inbox = transport.register(f"{site}.main", node)
         self.requests = transport.register(f"{site}.requests", node)
         self._requests_in_service = 0
+        #: request messages currently inside ``_serve_request`` (one per
+        #: worker); a crash reclaims these into the dead letters so a
+        #: request caught mid-service is re-issued, not silently lost
+        self._serving_msgs: list = []
         self.events_processed = 0
         self.requests_served = 0
         # snapshot fast path (configured from the MirrorConfig; aux units
@@ -97,12 +101,27 @@ class MainUnit:
         # one build instead of each paying for their own
         self._build_done = None
         self._shared_snapshot = None
-        env.process(self._event_loop())
+        #: degraded-mode flag (``repro.faults``): set while a failover is
+        #: in flight — responses served now may be stale and say so
+        self.degraded = False
+        #: uid of the event currently inside ``ede.process`` (promotion
+        #: replay must not double-feed it); stale values are harmless —
+        #: a finished event is covered by ``checkpointer.processed_vt``
+        self._processing_uid = -1
+        self._request_workers = request_workers
+        self.processes: list = []
+        self.start_processes()
+
+    def start_processes(self) -> None:
+        """(Re)spawn this unit's processes; used at build and at restart
+        after a fault-injected crash (``repro.faults``)."""
+        env = self.env
+        self.processes = [env.process(self._event_loop())]
         # a pool of request-handler threads: under a request storm the
         # handlers crowd the node CPU's FIFO queue, starving the site's
         # event path — the perturbation §4.3 adapts away
-        for _ in range(request_workers):
-            env.process(self._request_loop())
+        for _ in range(self._request_workers):
+            self.processes.append(env.process(self._request_loop()))
 
     # -- configuration ---------------------------------------------------
     def configure_snapshots(self, config: Optional[MirrorConfig]) -> None:
@@ -126,12 +145,19 @@ class MainUnit:
 
     # -- processes ---------------------------------------------------------
     def _event_loop(self):
+        try:
+            yield from self._event_loop_body()
+        except Interrupt:
+            return  # fail-stop crash: die between (not inside) event steps
+
+    def _event_loop_body(self):
         costs = self.node.costs
         while True:
             msg = yield self.inbox.inbox.get()
             if msg.payload == EOS:
                 continue
             event: UpdateEvent = msg.payload
+            self._processing_uid = event.uid
             yield from self.node.execute(costs.ede_cost(event.size))
             outputs = self.ede.process(event)
             self.checkpointer.note_processed(event.stream, event.seqno)
@@ -155,13 +181,18 @@ class MainUnit:
 
     def _request_loop(self):
         costs = self.node.costs
-        while True:
-            msg = yield self.requests.inbox.get()
-            request: InitStateRequest = msg.payload
-            self._requests_in_service += 1
-            yield from self._serve_request(request, costs)
-            self._requests_in_service -= 1
-            self.requests_served += 1
+        try:
+            while True:
+                msg = yield self.requests.inbox.get()
+                request: InitStateRequest = msg.payload
+                self._requests_in_service += 1
+                self._serving_msgs.append(msg)
+                yield from self._serve_request(request, costs)
+                self._serving_msgs.remove(msg)
+                self._requests_in_service -= 1
+                self.requests_served += 1
+        except Interrupt:
+            return  # crash mid-service: the injector parks _serving_msgs
 
     def _take_snapshot(self):
         """Snapshot via the store's generation cache, keeping the
@@ -250,6 +281,8 @@ class MainUnit:
                 self.clients_endpoint,
                 Message(kind="data", payload=snapshot, size=snapshot.size),
             )
+        if self.transport.node_down(self.node.name):
+            return  # the site died while the transfer was in flight
         is_delta = getattr(snapshot, "is_delta", False)
         response = InitStateResponse(
             client_id=request.client_id,
@@ -260,7 +293,10 @@ class MainUnit:
             generation=getattr(snapshot, "generation", 0),
             delta=is_delta,
             full_size=snapshot.full_size if is_delta else snapshot.size,
+            degraded=self.degraded,
         )
+        if self.degraded:
+            self.metrics.requests_served_degraded += 1
         self.metrics.requests_served += 1
         self.metrics.request_latency.observe(response.latency)
         if self.client_pool is not None:

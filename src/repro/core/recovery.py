@@ -139,12 +139,22 @@ class PromotionReport:
     #: True when every event covered by the last commit is at or below
     #: the new primary's progress — the zero-committed-loss guarantee
     committed_loss_free: bool
+    #: full ``StateSnapshot`` of the new primary's store, attached
+    #: whenever the planner was given the stores.  Without it, the
+    #: all-trimmed edge case (every candidate's backup trimmed past the
+    #: horizon by checkpoint commits) hands consumers an empty replay
+    #: and *no* way to rebuild state — the snapshot is the fallback
+    #: that makes the plan self-sufficient.
+    snapshot: Optional[object] = None
 
 
 def promote_mirror(
     candidates: Mapping[str, MainUnitCheckpointer],
     backups: Mapping[str, BackupQueue],
     last_commit: Optional[VectorTimestamp],
+    *,
+    stores: Optional[Mapping[str, object]] = None,
+    now: float = 0.0,
 ) -> PromotionReport:
     """Choose and prepare a new primary from the surviving mirrors.
 
@@ -156,6 +166,14 @@ def promote_mirror(
         The same sites' backup queues.
     last_commit:
         The latest committed checkpoint vector (None if none committed).
+    stores:
+        Optional per-site ``OperationalStateStore`` map.  When given,
+        the report carries a full snapshot of the new primary's store —
+        mandatory state for consumers whose horizon predates the oldest
+        retained backup event (commit trims make replay-only catch-up
+        impossible in that case).
+    now:
+        Simulated time stamped onto the fallback snapshot.
 
     The most advanced site (componentwise-largest progress; total
     progress sum breaks ties, then site name for determinism) becomes
@@ -201,6 +219,12 @@ def promote_mirror(
     if last_commit is not None:
         loss_free = primary_vt.dominates(last_commit)
 
+    snapshot = None
+    if stores is not None:
+        store = stores.get(new_primary)
+        if store is not None:
+            snapshot = store.snapshot(now)  # type: ignore[attr-defined]
+
     return PromotionReport(
         new_primary=new_primary,
         progress={
@@ -210,4 +234,5 @@ def promote_mirror(
         replay_into_ede=replay,
         fetch_from_peers=fetch,
         committed_loss_free=loss_free,
+        snapshot=snapshot,
     )

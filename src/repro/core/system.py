@@ -15,7 +15,7 @@ process the entire event sequence *and* service all client requests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from ..channels import ChannelRegistry
 from ..cluster import CostModel, Message, Network, Node, Transport
@@ -97,6 +97,24 @@ class ScenarioConfig:
     #: collect a control-plane trace (metrics.tracer)
     trace: bool = False
     registry: Optional[FunctionRegistry] = None
+    # -- fault injection and failover (repro.faults) ----------------------
+    #: scripted faults to inject (a ``repro.faults.FaultPlan``); None
+    #: keeps every default-config run byte-identical to the seed
+    fault_plan: Optional[Any] = None
+    #: run the failure detector + failover supervisor (heartbeats,
+    #: membership, live mirror promotion)
+    failover: bool = False
+    #: seconds between liveness beacons from each site
+    heartbeat_interval: float = 0.5
+    #: uniform jitter fraction applied to each heartbeat period (seeded)
+    heartbeat_jitter: float = 0.0
+    #: seconds between detector timeout sweeps
+    detection_sweep: float = 0.25
+    #: detector thresholds, in heartbeat intervals (hysteresis pair)
+    suspect_after: float = 3.0
+    dead_after: float = 6.0
+    #: source retry spacing while the ingest endpoint's site is down
+    source_retry: float = 0.05
 
     def __post_init__(self):
         if self.n_mirrors < 0:
@@ -115,6 +133,25 @@ class ScenarioConfig:
             raise ValueError("delta_client_pool must be >= 0")
         if any(f <= 0 for f in self.mirror_speed_factors):
             raise ValueError("mirror speed factors must be positive")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if not 0.0 <= self.heartbeat_jitter < 1.0:
+            raise ValueError("heartbeat_jitter must be in [0, 1)")
+        if self.detection_sweep <= 0:
+            raise ValueError("detection_sweep must be positive")
+        if self.source_retry <= 0:
+            raise ValueError("source_retry must be positive")
+        if (
+            self.fault_plan is not None
+            and getattr(self.fault_plan, "site_actions", lambda: ())()
+            and not self.failover
+            and self.time_limit is None
+        ):
+            # a dead site with nobody recovering it leaves the source
+            # retrying forever: quiescence would never come
+            raise ValueError(
+                "site-level faults need failover=True or a time_limit"
+            )
 
 
 @dataclass
@@ -206,6 +243,8 @@ class MirroredServer:
         ]
         mirror_channel = self.channels.create("mirror.data", kind="data")
         ctrl_channel = self.channels.create("mirror.ctrl", kind="control")
+        self.mirror_channel = mirror_channel
+        self.ctrl_channel = ctrl_channel
         for aux in self.mirror_auxes:
             mirror_channel.subscribe(f"{aux.site}.aux.data")
             ctrl_channel.subscribe(f"{aux.site}.aux.ctrl")
@@ -228,30 +267,130 @@ class MirroredServer:
             monitor=self.monitor,
         )
 
+        # site registries (name -> unit/node) for routing and failover
+        self.mains = {"central": self.central_main}
+        self.mains.update({m.site: m for m in self.mirror_mains})
+        self.auxes: dict = {"central": self.central_aux}
+        self.auxes.update({a.site: a for a in self.mirror_auxes})
+        self.nodes = {"central": self.central_node}
+        self.nodes.update({n.name: n for n in self.mirror_nodes})
+
+        # live-failover state: which site plays primary, and where the
+        # source stream currently lands (both switched at promotion)
+        self.primary_site = "central"
+        self.ingest = "central.aux.data"
+        self.source_done = False
+        self._ingest_abandoned = False
+        self._request_driver_done = True
+        self.request_balancer = self._request_targets()
+
+        # fault wiring (deferred imports: repro.faults is layered on top
+        # of core and is only paid for when a scenario asks for it)
+        self.fault_injector = None
+        self.failover_supervisor = None
+        if cfg.fault_plan is not None and cfg.fault_plan.link_actions():
+            from ..faults.link import LinkFaultController
+
+            self.transport.fault_controller = LinkFaultController(cfg.fault_plan)
+        if cfg.failover:
+            from ..faults.failover import FailoverSupervisor
+
+            self.failover_supervisor = FailoverSupervisor(self)
+        if cfg.fault_plan is not None and cfg.fault_plan.site_actions():
+            from ..faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(self, cfg.fault_plan)
+
         # drivers
         env.process(self._source_driver())
         if cfg.request_times:
+            self._request_driver_done = False
             env.process(self._request_driver(sorted(cfg.request_times)))
         elif cfg.request_rate > 0:
+            self._request_driver_done = False
             env.process(self._rate_request_driver(cfg.request_rate))
+
+    # -- site lookups (repro.faults) ---------------------------------------
+    def main_of(self, site: str) -> MainUnit:
+        return self.mains[site]
+
+    def aux_of(self, site: str):
+        return self.auxes[site]
+
+    def node_of(self, site: str) -> Node:
+        return self.nodes[site]
+
+    def stream_done_event(self):
+        """The event that resolves when the stream is fully processed —
+        the central aux unit's, unless a promotion moved the stream's
+        tail to a new primary before the central one could finish."""
+        if self.primary_site == "central" or self.central_aux.stream_done.triggered:
+            return self.central_aux.stream_done
+        return self.auxes[self.primary_site].stream_done
+
+    def promote_site(self, site: str, participants: set, resume_vt=None) -> None:
+        """Re-point the server at a promoted primary (live failover).
+
+        Unsubscribes the promoted site from the mirror channels (it now
+        publishes to them), flips its aux unit into primary mode, makes
+        its main unit the update distributor, and re-targets every
+        survivor's checkpoint replies.  The *ingest* switch is left to
+        the failover supervisor: salvaged in-flight source events must be
+        re-fed to the new primary before fresh ones may flow.
+        """
+        aux = self.auxes[site]
+        self.mirror_channel.unsubscribe(f"{site}.aux.data")
+        self.ctrl_channel.unsubscribe(f"{site}.aux.ctrl")
+        config = aux.applied_config or self.config.mirror_config
+        aux.promote_to_primary(
+            self.mirror_channel, self.ctrl_channel, config, participants,
+            resume_vt=resume_vt,
+        )
+        self.mains[site].distribute_updates = True
+        for other, peer in self.auxes.items():
+            if other != site and isinstance(peer, MirrorAuxUnit):
+                peer.reply_endpoint = f"{site}.aux.ctrl"
+        self.primary_site = site
 
     # -- drivers -------------------------------------------------------------
     def _source_driver(self):
-        """Replay the event script into the central data endpoint.
+        """Replay the event script into the current ingest endpoint.
 
         The source is a driver, not a modelled component: events are
         injected at their scripted times and all cost accounting starts
-        at the central receiving task (DESIGN.md §5).
+        at the central receiving task (DESIGN.md §5).  While the ingest
+        site is down the source holds and retries — the wide-area feed's
+        flow control — so no *new* events enter during a failover.
         """
-        inbox = self.transport.endpoint("central.aux.data").inbox
         count = 0
         for se in self.script.fresh_events():
             if se.at > self.env.now:
                 yield self.env.timeout(se.at - self.env.now)
-            yield inbox.put(Message(kind="data", payload=se.event, size=se.event.size))
+            delivered = yield from self._ingest_put(
+                Message(kind="data", payload=se.event, size=se.event.size)
+            )
+            if not delivered:
+                self.metrics.events_lost_at_source += 1
             count += 1
         self.metrics.events_generated = count
-        yield inbox.put(Message(kind="data", payload=EOS, size=0))
+        self.source_done = True
+        yield from self._ingest_put(Message(kind="data", payload=EOS, size=0))
+
+    def _ingest_put(self, message: Message):
+        """Deliver into the ingest endpoint, waiting out a dead primary.
+
+        Returns False when delivery was abandoned (the primary died and
+        no failover is coming), which loses the event *at the source* —
+        uncommitted by definition.
+        """
+        while True:
+            ep = self.transport.endpoint(self.ingest)
+            if not self.transport.node_down(ep.node.name):
+                yield ep.inbox.put(message)
+                return True
+            if self._ingest_abandoned:
+                return False
+            yield self.env.timeout(self.config.source_retry)
 
     def _request_targets(self) -> RoundRobinBalancer:
         cfg = self.config
@@ -261,7 +400,7 @@ class MirroredServer:
             targets = ["central.requests"]
         return RoundRobinBalancer(targets)
 
-    def _issue_request(self, balancer: RoundRobinBalancer, i: int):
+    def _issue_request(self, i: int):
         cfg = self.config
         if cfg.delta_client_pool > 0:
             # a rotating pool of known clients: repeat visitors advertise
@@ -277,26 +416,37 @@ class MirroredServer:
                 reply_to="clients.sink",
             )
         self.metrics.requests_issued += 1
-        ep = self.transport.endpoint(balancer.pick())
-        return ep.inbox.put(Message(kind="data", payload=request, size=64))
+        # the balancer attribute is re-read per request: the failover
+        # supervisor swaps it when a serving site dies
+        ep = self.transport.endpoint(self.request_balancer.pick())
+        message = Message(kind="data", payload=request, size=64)
+        if self.transport.node_down(ep.node.name):
+            # undeliverable: park with the dead letters so the failover
+            # supervisor can re-issue it against a surviving site
+            self.transport.dropped += 1
+            self.transport.dead_letters.append(message)
+            return self.env.timeout(0.0)
+        return ep.inbox.put(message)
 
     def _request_driver(self, times: Sequence[float]):
         """httperf stand-in: open-loop arrivals at explicit times."""
-        balancer = self._request_targets()
         for i, at in enumerate(times):
             if at > self.env.now:
                 yield self.env.timeout(at - self.env.now)
-            yield self._issue_request(balancer, i)
+            yield self._issue_request(i)
+        self._request_driver_done = True
 
     def _rate_request_driver(self, rate: float):
         """Constant request load sustained while the event stream runs."""
-        balancer = self._request_targets()
         spacing = 1.0 / rate
         i = 0
-        while not self.central_aux.stream_done.triggered:
-            yield self._issue_request(balancer, i)
+        while not (
+            self.stream_done_event().triggered or self._ingest_abandoned
+        ):
+            yield self._issue_request(i)
             i += 1
             yield self.env.timeout(spacing)
+        self._request_driver_done = True
 
     # -- execution ------------------------------------------------------------
     def run(self) -> RunMetrics:
@@ -321,6 +471,10 @@ class MirroredServer:
         }
         if not self.metrics.rule_stats:
             self.metrics.rule_stats = self.central_aux.engine.stats()
+        if self.fault_injector is not None:
+            self.fault_injector.finalize(self.metrics)
+        if self.failover_supervisor is not None:
+            self.failover_supervisor.finalize(self.metrics)
         return self.metrics
 
     # -- consistency inspection (used by tests / recovery) ----------------

@@ -1,0 +1,238 @@
+"""Failure detection: heartbeats, a hysteresis detector, membership.
+
+The paper's adaptation machinery (§3.2.2) triggers on a primary
+threshold and restores below ``primary - secondary`` — a two-threshold
+hysteresis that avoids flapping.  The failure detector reuses exactly
+that shape in the time domain: a site is *suspected* after
+``suspect_after`` silent heartbeat intervals, *declared dead* after
+``dead_after`` (the second, wider threshold), and a suspected site must
+deliver ``recover_heartbeats`` consecutive on-time beats before it is
+trusted again — one timely beat after a jittery gap does not clear the
+suspicion, so transient scheduling noise cannot flap the membership
+view (the MSCS membership manager makes the same trade: regroup is
+expensive, so detection must be deliberately sluggish relative to
+heartbeat jitter).
+
+Death is sticky: only an explicit :meth:`FailureDetector.mark_restarted`
+(the supervisor's rejoin path) revives a dead site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SITE_ALIVE",
+    "SITE_SUSPECT",
+    "SITE_DEAD",
+    "HEARTBEAT_SIZE",
+    "Heartbeat",
+    "Transition",
+    "FailureDetector",
+    "MembershipView",
+]
+
+SITE_ALIVE = "alive"
+SITE_SUSPECT = "suspect"
+SITE_DEAD = "dead"
+
+#: Wire size of one heartbeat control event (site name + seqno + time).
+HEARTBEAT_SIZE = 64
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """Liveness beacon a site emits to the failover monitor.
+
+    Deliberately *not* a checkpoint control event (those are minted only
+    in :mod:`repro.core.checkpoint`); liveness and checkpointing are
+    separate protocols that merely share the control channel's class of
+    service.
+    """
+
+    site: str
+    seq: int
+    sent_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """One membership-status change the detector decided."""
+
+    site: str
+    old: str
+    new: str
+    at: float
+
+
+@dataclass(slots=True)
+class _SiteHealth:
+    last_heartbeat: float
+    last_seq: int = 0
+    status: str = SITE_ALIVE
+    consecutive_ok: int = 0
+    suspected_at: Optional[float] = None
+    dead_at: Optional[float] = None
+
+
+class FailureDetector:
+    """Timeout-with-hysteresis failure detector over heartbeat arrivals.
+
+    Thresholds are expressed in heartbeat intervals: with the defaults a
+    site is suspected after 3 silent intervals and declared dead after 6.
+    ``heartbeat`` feeds arrivals; ``evaluate`` advances the timers and
+    returns the transitions decided since the last call.
+    """
+
+    __slots__ = (
+        "interval",
+        "suspect_after",
+        "dead_after",
+        "recover_heartbeats",
+        "sites",
+        "transitions",
+        "stale_heartbeats",
+    )
+
+    def __init__(
+        self,
+        interval: float,
+        suspect_after: float = 3.0,
+        dead_after: float = 6.0,
+        recover_heartbeats: int = 3,
+    ):
+        if interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if suspect_after <= 0 or dead_after <= suspect_after:
+            raise ValueError("need 0 < suspect_after < dead_after")
+        if recover_heartbeats < 1:
+            raise ValueError("recover_heartbeats must be >= 1")
+        self.interval = interval
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.recover_heartbeats = recover_heartbeats
+        self.sites: Dict[str, _SiteHealth] = {}
+        self.transitions: List[Transition] = []
+        self.stale_heartbeats = 0
+
+    # -- feeding ----------------------------------------------------------
+    def register(self, site: str, now: float) -> None:
+        """Start watching ``site``; it is trusted as alive at ``now``."""
+        self.sites[site] = _SiteHealth(last_heartbeat=now)
+
+    def heartbeat(self, site: str, seq: int, now: float) -> Optional[Transition]:
+        """Record one heartbeat arrival; may clear a suspicion."""
+        health = self.sites.get(site)
+        if health is None or health.status == SITE_DEAD or seq <= health.last_seq:
+            # unknown, already-buried, or duplicated/reordered beat
+            self.stale_heartbeats += 1
+            return None
+        gap = now - health.last_heartbeat
+        health.last_heartbeat = now
+        health.last_seq = seq
+        on_time = gap <= self.suspect_after * self.interval
+        health.consecutive_ok = health.consecutive_ok + 1 if on_time else 1
+        if (
+            health.status == SITE_SUSPECT
+            and health.consecutive_ok >= self.recover_heartbeats
+        ):
+            # hysteresis satisfied: enough consecutive timely beats
+            return self._transition(site, health, SITE_ALIVE, now)
+        return None
+
+    # -- timers -----------------------------------------------------------
+    def evaluate(self, now: float) -> List[Transition]:
+        """Advance the silence timers; returns transitions decided now."""
+        decided: List[Transition] = []
+        for site, health in self.sites.items():
+            if health.status == SITE_DEAD:
+                continue
+            silent = now - health.last_heartbeat
+            if (
+                health.status == SITE_SUSPECT
+                and silent >= self.dead_after * self.interval
+            ):
+                decided.append(self._transition(site, health, SITE_DEAD, now))
+            elif (
+                health.status == SITE_ALIVE
+                and silent >= self.suspect_after * self.interval
+            ):
+                decided.append(self._transition(site, health, SITE_SUSPECT, now))
+        return decided
+
+    def mark_restarted(self, site: str, now: float) -> None:
+        """Administrative revival after a supervised rejoin."""
+        health = self.sites.get(site)
+        if health is None:
+            self.register(site, now)
+            return
+        health.last_heartbeat = now
+        health.consecutive_ok = 0
+        health.suspected_at = None
+        health.dead_at = None
+        if health.status != SITE_ALIVE:
+            self._transition(site, health, SITE_ALIVE, now)
+
+    # -- views ------------------------------------------------------------
+    def status_of(self, site: str) -> str:
+        return self.sites[site].status
+
+    def _transition(
+        self, site: str, health: _SiteHealth, new: str, now: float
+    ) -> Transition:
+        tr = Transition(site=site, old=health.status, new=new, at=now)
+        health.status = new
+        if new == SITE_SUSPECT:
+            health.suspected_at = now
+            health.consecutive_ok = 0
+        elif new == SITE_DEAD:
+            health.dead_at = now
+        self.transitions.append(tr)
+        return tr
+
+
+class MembershipView:
+    """The cluster's shared who-is-up view (MSCS membership, miniature).
+
+    Maintained by the failover supervisor from detector verdicts; units
+    consult it (via the server) for routing decisions.  ``incarnation``
+    bumps on every primary change so late messages from a deposed
+    primary are recognisable.
+    """
+
+    __slots__ = ("statuses", "primary", "incarnation", "log")
+
+    def __init__(self, sites: List[str], primary: str):
+        self.statuses: Dict[str, str] = {site: SITE_ALIVE for site in sites}
+        self.primary = primary
+        self.incarnation = 1
+        #: (time, site, status) history, for reports
+        self.log: List[tuple] = []
+
+    def mark(self, site: str, status: str, at: float) -> None:
+        self.statuses[site] = status
+        self.log.append((at, site, status))
+
+    def promote(self, new_primary: str, at: float) -> None:
+        self.primary = new_primary
+        self.incarnation += 1
+        self.log.append((at, new_primary, "primary"))
+
+    def is_alive(self, site: str) -> bool:
+        return self.statuses.get(site) == SITE_ALIVE
+
+    def is_dead(self, site: str) -> bool:
+        return self.statuses.get(site) == SITE_DEAD
+
+    def alive_sites(self) -> List[str]:
+        """Alive sites in registration order (deterministic)."""
+        return [s for s, status in self.statuses.items() if status == SITE_ALIVE]
+
+    def serving_sites(self) -> List[str]:
+        """Sites that can serve client requests right now (not dead).
+
+        Suspected sites keep serving: a suspicion is a hunch, and
+        yanking traffic on a hunch is how flapping becomes an outage.
+        """
+        return [s for s, status in self.statuses.items() if status != SITE_DEAD]

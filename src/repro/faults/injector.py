@@ -1,0 +1,184 @@
+"""Sim-time fault realisation: crash, pause and restart site processes.
+
+The injector turns a plan's *site* actions into scheduled processes on a
+built :class:`~repro.core.system.MirroredServer`:
+
+* **crash** — fail-stop: the transport marks the node down, every unit
+  process on the site is interrupted, and all of its queues are
+  crash-drained (waking blocked peers so the rest of the cluster never
+  deadlocks on a dead inbox).  Drained raw source events and a drained
+  end-of-stream marker are *salvaged* — with the source's flow control
+  holding new events back, the failover supervisor can re-feed them to
+  the promoted primary in order.  Drained client requests move to the
+  transport's dead letters for re-issue.  Drained *stamped* events are
+  counted as lost: they were timestamped but never mirrored, so they sit
+  above every commit — uncommitted loss, exactly the slice the paper's
+  checkpoint guarantee does not cover.
+* **pause** — all CPU slots of the site's node are seized for the
+  duration: everything the site runs (heartbeat emission included)
+  freezes, which is how a detector gets exercised against stalls that
+  are *not* deaths.
+* **restart** — the node comes back up and the site's processes are
+  respawned; when a failover supervisor is present the site rejoins
+  properly (snapshot + replay from the current primary), otherwise it
+  resumes with whatever state it had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cluster import Message
+from ..core.events import UpdateEvent
+from ..core.main_unit import EOS
+from ..ois.clients import InitStateRequest
+from .plan import CRASH_SITE, PAUSE_SITE, RESTART_SITE, FaultAction, FaultPlan
+
+__all__ = ["FaultRecord", "FaultInjector"]
+
+
+@dataclass(slots=True)
+class FaultRecord:
+    """What one executed site action actually did."""
+
+    at: float
+    kind: str
+    site: str
+    #: in-flight raw source messages salvaged from the dead site
+    salvaged_events: int = 0
+    #: stamped-but-unmirrored events lost with the site (uncommitted)
+    lost_stamped: int = 0
+    #: client requests moved to the dead letters for re-issue
+    parked_requests: int = 0
+    #: True when the end-of-stream marker was caught in the wreckage
+    salvaged_eos: bool = False
+
+
+@dataclass(slots=True)
+class _Salvage:
+    """In-flight material recovered from a crashed site, held for the
+    failover supervisor (re-fed to the promoted primary, in order)."""
+
+    raw_messages: List[Message] = field(default_factory=list)
+    eos: bool = False
+
+
+class FaultInjector:
+    """Executes a plan's site actions against a built server."""
+
+    def __init__(self, server, plan: FaultPlan):
+        self.server = server
+        self.plan = plan
+        self.env = server.env
+        self.records: List[FaultRecord] = []
+        #: per-site crash times, for detection-latency measurement
+        self.crash_times: Dict[str, List[float]] = {}
+        #: per-site salvage awaiting the failover supervisor
+        self.salvage: Dict[str, _Salvage] = {}
+        for action in plan.site_actions():
+            self.env.process(self._run_action(action))
+
+    # -- scheduling -------------------------------------------------------
+    def _run_action(self, action: FaultAction):
+        if action.at > self.env.now:
+            yield self.env.timeout(action.at - self.env.now)
+        if action.kind == CRASH_SITE:
+            self._crash(action)
+        elif action.kind == PAUSE_SITE:
+            self._pause(action)
+        elif action.kind == RESTART_SITE:
+            self._restart(action)
+
+    # -- crash ------------------------------------------------------------
+    def _crash(self, action: FaultAction) -> None:
+        site = action.site or ""
+        server = self.server
+        node = server.node_of(site)
+        server.transport.set_node_down(node.name, down=True)
+
+        main = server.main_of(site)
+        aux = server.aux_of(site)
+        for proc in list(main.processes) + list(aux.processes):
+            if proc.is_alive:
+                proc.interrupt(f"fault: crash {site}")
+
+        record = FaultRecord(at=self.env.now, kind=CRASH_SITE, site=site)
+        salvage = self.salvage.setdefault(site, _Salvage())
+        for ep in server.transport.endpoints_on(node.name):
+            for item in ep.inbox.crash_drain():
+                self._triage(item, record, salvage)
+        for item in aux.ready.crash_drain():
+            self._triage(item, record, salvage)
+        # requests caught mid-service (popped from the inbox, inside
+        # _serve_request when the worker was interrupted): no response
+        # ever left, so park them for re-issue like the queued ones
+        for msg in main._serving_msgs:
+            server.transport.dead_letters.append(msg)
+            record.parked_requests += 1
+        main._serving_msgs.clear()
+        main._requests_in_service = 0
+
+        self.records.append(record)
+        self.crash_times.setdefault(site, []).append(self.env.now)
+        server.metrics.sites_crashed += 1
+        supervisor = server.failover_supervisor
+        if supervisor is not None:
+            supervisor.on_crash(site, self.env.now)
+
+    def _triage(self, item, record: FaultRecord, salvage: _Salvage) -> None:
+        """Sort one drained queue item into salvage / dead letters / loss."""
+        payload = item.payload if isinstance(item, Message) else item
+        if payload == EOS:
+            salvage.eos = True
+            record.salvaged_eos = True
+            return
+        if isinstance(payload, InitStateRequest):
+            if isinstance(item, Message):
+                self.server.transport.dead_letters.append(item)
+            record.parked_requests += 1
+            return
+        if isinstance(payload, UpdateEvent):
+            if payload.vt is None and isinstance(item, Message):
+                salvage.raw_messages.append(item)
+                record.salvaged_events += 1
+            else:
+                record.lost_stamped += 1
+            return
+        # control messages, batches, anything else: lost with the site
+
+    def take_salvage(self, site: str) -> Optional[_Salvage]:
+        """Hand the supervisor whatever was recovered from ``site``."""
+        return self.salvage.pop(site, None)
+
+    # -- pause ------------------------------------------------------------
+    def _pause(self, action: FaultAction) -> None:
+        node = self.server.node_of(action.site or "")
+        self.records.append(
+            FaultRecord(at=self.env.now, kind=PAUSE_SITE, site=action.site or "")
+        )
+        for _ in range(node.cpu.capacity):
+            self.env.process(node.cpu.acquire(action.duration))
+
+    # -- restart ----------------------------------------------------------
+    def _restart(self, action: FaultAction) -> None:
+        site = action.site or ""
+        server = self.server
+        node = server.node_of(site)
+        if not server.transport.node_down(node.name):
+            return  # restart of a site that never crashed: no-op
+        server.transport.set_node_down(node.name, down=False)
+        self.records.append(
+            FaultRecord(at=self.env.now, kind=RESTART_SITE, site=site)
+        )
+        supervisor = server.failover_supervisor
+        if supervisor is not None:
+            supervisor.rejoin_site(site)
+        else:
+            # blind restart: fresh processes over whatever state survived
+            server.main_of(site).start_processes()
+            server.aux_of(site).start_processes()
+
+    # -- reporting --------------------------------------------------------
+    def finalize(self, metrics) -> None:
+        metrics.faults_injected += len(self.records)

@@ -1,0 +1,85 @@
+"""Link-level fault realisation: the transport's fault controller.
+
+:class:`LinkFaultController` turns a plan's partition / degradation /
+control-loss actions into per-send verdicts.  The transport consults it
+once per remote send (:meth:`on_send`); the controller checks which
+windows are active at that simulated time and rolls the seeded dice.
+
+Partitions are symmetric (both directions of the named node pair are
+cut) — the MSCS-style failure model where a network split, not a node
+death, makes a site unreachable.  The failure detector cannot tell the
+two apart, which is exactly the point: detection works on silence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..sim import RandomStreams
+from .plan import DEGRADE_LINK, DROP_CONTROL, PARTITION_LINK, FaultAction, FaultPlan
+
+__all__ = ["LinkVerdict", "LinkFaultController"]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkVerdict:
+    """What the active fault windows decided for one message."""
+
+    drop: bool = False
+    delay: float = 0.0
+    duplicates: int = 0
+
+
+class LinkFaultController:
+    """Evaluates a plan's link windows against each remote send."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = RandomStreams(plan.seed)
+        self._windows: List[FaultAction] = plan.link_actions()
+        self.dropped = 0
+        self.delayed = 0
+        self.duplicated = 0
+
+    @staticmethod
+    def _matches(action: FaultAction, message, src: str, dst: str) -> bool:
+        if action.traffic is not None and message.kind != action.traffic:
+            return False
+        if action.kind == DROP_CONTROL:
+            return True
+        pair = {action.src, action.dst}
+        return src in pair and dst in pair and src != dst
+
+    def on_send(self, message, src: str, dst: str, now: float) -> Optional[LinkVerdict]:
+        """Verdict for one remote send, or None when no window applies."""
+        delay = 0.0
+        duplicates = 0
+        hit = False
+        for action in self._windows:
+            if not (action.at <= now < action.until):
+                continue
+            if not self._matches(action, message, src, dst):
+                continue
+            hit = True
+            if action.kind == PARTITION_LINK:
+                self.dropped += 1
+                return LinkVerdict(drop=True)
+            if action.drop_prob > 0.0:
+                roll = self.rng.uniform("faults.link.drop", 0.0, 1.0)
+                if roll < action.drop_prob:
+                    self.dropped += 1
+                    return LinkVerdict(drop=True)
+            if action.extra_latency > 0.0:
+                delay += action.extra_latency
+            if action.duplicate_prob > 0.0:
+                roll = self.rng.uniform("faults.link.dup", 0.0, 1.0)
+                if roll < action.duplicate_prob:
+                    duplicates += 1
+        if not hit:
+            return None
+        if delay > 0.0:
+            self.delayed += 1
+        if duplicates:
+            self.duplicated += duplicates
+        return LinkVerdict(drop=False, delay=delay, duplicates=duplicates)

@@ -1,0 +1,204 @@
+"""Deterministic fault plans: what breaks, when, and for how long.
+
+A :class:`FaultPlan` is a seeded, declarative schedule of fault actions
+against one scenario run — the reproduction's equivalent of the fault
+drills that make an availability claim credible (TerraServer's cluster
+operations report is explicit that replicas alone prove nothing until
+node loss is actually exercised).  Plans are pure data: the simulation
+injector (:mod:`repro.faults.injector`) realises site actions as
+sim-time processes, and the link controller
+(:mod:`repro.faults.link`) realises network actions as windows
+consulted by :class:`repro.cluster.Transport`.
+
+All randomness inside a plan's execution (probabilistic drops, jittered
+heartbeats) draws from named substreams of the plan's ``seed`` via
+:class:`repro.sim.RandomStreams`, so the same plan against the same
+scenario reproduces byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "CRASH_SITE",
+    "PAUSE_SITE",
+    "RESTART_SITE",
+    "PARTITION_LINK",
+    "DEGRADE_LINK",
+    "DROP_CONTROL",
+    "FaultAction",
+    "FaultPlan",
+]
+
+#: Fail-stop a site: its unit processes die, its endpoints drain, and
+#: the transport drops traffic to/from its node until a restart.
+CRASH_SITE = "crash_site"
+#: Stall a site for a duration: all CPU slots of its node are seized, so
+#: everything it runs (including its heartbeat emitter) freezes.
+PAUSE_SITE = "pause_site"
+#: Bring a crashed site back: fresh processes, state re-seeded through
+#: the rejoin path (snapshot + replay) from the current primary.
+RESTART_SITE = "restart_site"
+#: Cut a node pair's connectivity (both directions) for a window.
+PARTITION_LINK = "partition_link"
+#: Degrade a node pair's link for a window: probabilistic drops, added
+#: latency, and/or duplicate deliveries.
+DEGRADE_LINK = "degrade_link"
+#: Cluster-wide probabilistic loss of control-kind messages for a
+#: window (checkpoint / heartbeat traffic robustness).
+DROP_CONTROL = "drop_control"
+
+_SITE_KINDS = (CRASH_SITE, PAUSE_SITE, RESTART_SITE)
+_LINK_KINDS = (PARTITION_LINK, DEGRADE_LINK)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultAction:
+    """One scheduled fault.
+
+    ``site`` names the target for site actions; ``src``/``dst`` name the
+    node pair for link actions (windows apply to both directions).
+    Probabilities are per-message; ``extra_latency`` is seconds added to
+    each affected send; ``duplicate_prob`` is the chance a message is
+    delivered twice (safe for control traffic, which the protocol
+    tolerates — duplicating *data* events would corrupt replicas, so
+    data duplication is rejected at validation).
+    """
+
+    at: float
+    kind: str
+    site: Optional[str] = None
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    duration: float = 0.0
+    drop_prob: float = 0.0
+    extra_latency: float = 0.0
+    duplicate_prob: float = 0.0
+    #: None = both traffic kinds; "data" or "control" to scope a window
+    traffic: Optional[str] = None
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.kind in _SITE_KINDS:
+            if not self.site:
+                raise ValueError(f"{self.kind} needs a site")
+        elif self.kind in _LINK_KINDS:
+            if not self.src or not self.dst:
+                raise ValueError(f"{self.kind} needs src and dst nodes")
+        elif self.kind != DROP_CONTROL:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in (PAUSE_SITE, PARTITION_LINK, DEGRADE_LINK, DROP_CONTROL):
+            if self.duration <= 0:
+                raise ValueError(f"{self.kind} needs a positive duration")
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ValueError("drop_prob must be in [0, 1]")
+        if not 0.0 <= self.duplicate_prob <= 1.0:
+            raise ValueError("duplicate_prob must be in [0, 1]")
+        if self.extra_latency < 0:
+            raise ValueError("extra_latency must be >= 0")
+        if self.traffic not in (None, "data", "control"):
+            raise ValueError("traffic must be None, 'data' or 'control'")
+        if self.duplicate_prob > 0 and self.traffic != "control":
+            raise ValueError(
+                "duplicate injection is only safe for control traffic "
+                "(the checkpoint protocol tolerates duplicates; replica "
+                "state would not)"
+            )
+
+    @property
+    def until(self) -> float:
+        return self.at + self.duration
+
+
+class FaultPlan:
+    """An ordered, seeded schedule of :class:`FaultAction` entries.
+
+    Built fluently::
+
+        plan = (FaultPlan(seed=7)
+                .crash_site(0.8, "central")
+                .degrade_link(0.2, "central", "mirror1",
+                              duration=0.3, drop_prob=0.2,
+                              traffic="control"))
+    """
+
+    def __init__(self, seed: int = 0, actions: Tuple[FaultAction, ...] = ()):
+        if seed < 0:
+            raise ValueError("seed must be >= 0")
+        self.seed = int(seed)
+        self._actions: List[FaultAction] = list(actions)
+
+    # -- builders ---------------------------------------------------------
+    def add(self, action: FaultAction) -> "FaultPlan":
+        self._actions.append(action)
+        return self
+
+    def crash_site(self, at: float, site: str) -> "FaultPlan":
+        return self.add(FaultAction(at=at, kind=CRASH_SITE, site=site))
+
+    def pause_site(self, at: float, site: str, duration: float) -> "FaultPlan":
+        return self.add(
+            FaultAction(at=at, kind=PAUSE_SITE, site=site, duration=duration)
+        )
+
+    def restart_site(self, at: float, site: str) -> "FaultPlan":
+        return self.add(FaultAction(at=at, kind=RESTART_SITE, site=site))
+
+    def partition(
+        self, at: float, src: str, dst: str, duration: float,
+        traffic: Optional[str] = None,
+    ) -> "FaultPlan":
+        return self.add(FaultAction(
+            at=at, kind=PARTITION_LINK, src=src, dst=dst,
+            duration=duration, drop_prob=1.0, traffic=traffic,
+        ))
+
+    def degrade_link(
+        self, at: float, src: str, dst: str, duration: float,
+        drop_prob: float = 0.0, extra_latency: float = 0.0,
+        duplicate_prob: float = 0.0, traffic: Optional[str] = None,
+    ) -> "FaultPlan":
+        return self.add(FaultAction(
+            at=at, kind=DEGRADE_LINK, src=src, dst=dst, duration=duration,
+            drop_prob=drop_prob, extra_latency=extra_latency,
+            duplicate_prob=duplicate_prob, traffic=traffic,
+        ))
+
+    def drop_control(
+        self, at: float, duration: float, drop_prob: float
+    ) -> "FaultPlan":
+        return self.add(FaultAction(
+            at=at, kind=DROP_CONTROL, duration=duration,
+            drop_prob=drop_prob, traffic="control",
+        ))
+
+    # -- views ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def actions(self) -> List[FaultAction]:
+        """All actions in schedule order (time, then insertion order)."""
+        indexed = sorted(
+            enumerate(self._actions), key=lambda ia: (ia[1].at, ia[0])
+        )
+        return [action for _, action in indexed]
+
+    def site_actions(self) -> List[FaultAction]:
+        """Crash / pause / restart actions, schedule-ordered."""
+        return [a for a in self.actions() if a.kind in _SITE_KINDS]
+
+    def link_actions(self) -> List[FaultAction]:
+        """Partition / degradation / control-loss windows."""
+        return [
+            a for a in self.actions()
+            if a.kind in _LINK_KINDS or a.kind == DROP_CONTROL
+        ]
+
+    def crashes(self, site: str) -> List[FaultAction]:
+        return [
+            a for a in self.actions()
+            if a.kind == CRASH_SITE and a.site == site
+        ]

@@ -113,6 +113,31 @@ class RunMetrics:
     cpu_utilization: Dict[str, float] = field(default_factory=dict)
     #: optional control-plane trace (ScenarioConfig(trace=True))
     tracer: Optional[Tracer] = None
+    # -- availability accounting (repro.faults) ---------------------------
+    #: fault-plan actions actually executed by the injector
+    faults_injected: int = 0
+    #: liveness beacons emitted to the failover monitor
+    heartbeats_sent: int = 0
+    #: fail-stop crashes injected (site-level)
+    sites_crashed: int = 0
+    #: seconds from each injected crash to its detector DEAD verdict
+    detection_latencies: List[float] = field(default_factory=list)
+    #: seconds from each DEAD verdict until the promoted site caught up
+    failover_times: List[float] = field(default_factory=list)
+    #: completed primary promotions
+    failovers: int = 0
+    #: requests re-routed away from a dead site (dead-letter re-issue)
+    requests_redirected: int = 0
+    #: requests answered while a failover was in flight (degraded mode)
+    requests_served_degraded: int = 0
+    #: raw source events lost at the dead primary before they were
+    #: stamped/mirrored — uncommitted by definition (the paper's
+    #: guarantee covers the committed prefix only)
+    events_lost_at_source: int = 0
+    #: True when every failover preserved the full committed prefix
+    committed_loss_free: bool = True
+    #: (time, site, status) membership history from the failover monitor
+    membership_log: List[tuple] = field(default_factory=list)
 
     def mirror_traffic_ratio(self) -> float:
         """Mirrored events / generated events (1.0 = simple mirroring)."""
@@ -141,4 +166,32 @@ class RunMetrics:
             "checkpoint_commits": float(self.checkpoint_commits),
             "adaptations": float(self.adaptations),
             "bytes_on_wire": float(self.bytes_on_wire),
+        }
+
+    def availability_summary(self) -> Dict[str, float]:
+        """Flat dict of the fault/failover metrics (``repro.faults``).
+
+        Kept separate from :meth:`summary` so fault-free runs — and every
+        pinned figure built on them — render byte-identically with the
+        subsystem merely imported.
+        """
+        detect = self.detection_latencies
+        failover = self.failover_times
+        return {
+            "faults_injected": float(self.faults_injected),
+            "sites_crashed": float(self.sites_crashed),
+            "failovers": float(self.failovers),
+            "heartbeats_sent": float(self.heartbeats_sent),
+            "mean_detection_latency": (
+                sum(detect) / len(detect) if detect else math.nan
+            ),
+            "max_detection_latency": max(detect) if detect else math.nan,
+            "mean_failover_time": (
+                sum(failover) / len(failover) if failover else math.nan
+            ),
+            "max_failover_time": max(failover) if failover else math.nan,
+            "requests_redirected": float(self.requests_redirected),
+            "requests_served_degraded": float(self.requests_served_degraded),
+            "events_lost_at_source": float(self.events_lost_at_source),
+            "committed_loss_free": float(self.committed_loss_free),
         }

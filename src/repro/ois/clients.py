@@ -63,6 +63,9 @@ class InitStateResponse:
     #: wire size the equivalent full view would have had (= snapshot_size
     #: for full views)
     full_size: Optional[int] = None
+    #: True when served while a failover was in flight: the view may be
+    #: stale relative to the last committed checkpoint (degraded mode)
+    degraded: bool = False
 
     @property
     def latency(self) -> float:

@@ -42,6 +42,7 @@ __all__ = [
     "DeltaSnapshot",
     "OperationalStateStore",
     "apply_delta",
+    "load_snapshot",
 ]
 
 #: Serialized footprint of one flight's operational record in a snapshot.
@@ -404,3 +405,32 @@ class OperationalStateStore:
             as_of=self._stream_seen,
             flights=tuple(views[fid] for fid in changed if fid in views),
         )
+
+
+def load_snapshot(snapshot: StateSnapshot) -> OperationalStateStore:
+    """Reconstruct a live store from a full initial-state view.
+
+    A rejoining site bootstraps its EDE state this way (``repro.faults``
+    recovery): the returned store holds every flight the snapshot
+    describes plus its per-stream high-water marks, so backup events
+    replayed past ``as_of`` apply cleanly on top.  Each flight is
+    journalled as changed at load time, keeping delta serving against
+    pre-load generations conservative (a too-large delta falls back to
+    the full view) instead of wrongly empty.
+    """
+    store = OperationalStateStore()
+    for view in snapshot.flights:
+        st = store.flight(view.flight_id)
+        st.status = view.status
+        st.passengers_expected = view.passengers_expected
+        st.passengers_boarded = view.passengers_boarded
+        st.updates_applied = view.updates_applied
+        st.arrived = view.arrived
+        if view.position:
+            st.position = dict(view.position)
+    store._stream_seen = dict(snapshot.as_of)
+    # generation numbers are site-local; resume from wherever is larger
+    # so served views never report an older generation than the source
+    store.generation = max(store.generation, snapshot.generation)
+    store.events_applied = sum(v.updates_applied for v in snapshot.flights)
+    return store

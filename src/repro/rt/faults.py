@@ -1,0 +1,74 @@
+"""Wall-clock fault hooks for the live asyncio runtime.
+
+The simulation backend owns the full failure story — seeded plans,
+hysteresis detection, live promotion (:mod:`repro.faults`).  This module
+is its live counterpart at prototype fidelity: fail-stop *mirror*
+crashes realised by cancelling the site's asyncio tasks at a wall-clock
+deadline, so ``tests/rt`` can assert the protocol properties that
+survive a real task death — central keeps processing, surviving
+replicas stay consistent, and requests re-route around the hole.
+
+Central-site failover (detection, promotion, replay) is deliberately
+not re-implemented here; per DESIGN.md the asyncio backend demonstrates
+mechanisms live while calibrated behaviour comes from the simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["AsyncCrash", "AsyncFaultPlan", "AsyncFaultInjector"]
+
+
+@dataclass(frozen=True)
+class AsyncCrash:
+    """One fail-stop crash: ``site`` dies ``after`` wall-clock seconds."""
+
+    after: float
+    site: str
+
+
+class AsyncFaultPlan:
+    """An ordered script of crashes to apply to a live run."""
+
+    def __init__(self) -> None:
+        self._crashes: List[AsyncCrash] = []
+
+    def crash_site(self, after: float, site: str) -> "AsyncFaultPlan":
+        """Schedule a fail-stop crash of ``site``; returns self to chain."""
+        if after < 0:
+            raise ValueError("crash time must be >= 0")
+        self._crashes.append(AsyncCrash(after, site))
+        return self
+
+    def crashes(self) -> Tuple[AsyncCrash, ...]:
+        return tuple(sorted(self._crashes, key=lambda c: (c.after, c.site)))
+
+    def __len__(self) -> int:
+        return len(self._crashes)
+
+
+class AsyncFaultInjector:
+    """Applies an :class:`AsyncFaultPlan` against a running server.
+
+    ``drive`` is scheduled by ``AsyncMirroredServer.run`` alongside the
+    source/request drivers; each crash cancels the target site's tasks
+    through ``server.crash_site``.  ``records`` keeps ``(site,
+    wall_seconds_into_run)`` for every crash actually applied.
+    """
+
+    def __init__(self, plan: AsyncFaultPlan) -> None:
+        self.plan = plan
+        self.records: List[Tuple[str, float]] = []
+
+    async def drive(self, server) -> None:
+        start = time.monotonic()
+        for crash in self.plan.crashes():
+            delay = start + crash.after - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            server.crash_site(crash.site)
+            self.records.append((crash.site, time.monotonic() - start))

@@ -14,7 +14,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..core.adaptation import AdaptationController
 from ..core.config import MirrorConfig
@@ -103,6 +103,9 @@ class AsyncMirroredServer:
         self.snapshot_fast_path = snapshot_fast_path
         self.central: Optional[AsyncCentralSite] = None
         self.mirrors: List[AsyncMirrorSite] = []
+        #: sites killed by a fault injector during the current run
+        self.crashed: Set[str] = set()
+        self._site_tasks: Dict[str, List[asyncio.Task]] = {}
 
     def _configure_main(self, main) -> None:
         main.request_service_delay = self.request_service_delay
@@ -165,33 +168,85 @@ class AsyncMirroredServer:
                 if delay > 0:
                     await asyncio.sleep(delay)
             target_site = balancer.pick()
+            # re-route around crashed sites (central never crashes here:
+            # live failover is the simulation backend's job, see rt.faults)
+            for _ in range(len(sites)):
+                if target_site not in self.crashed:
+                    break
+                target_site = balancer.pick()
+            if target_site in self.crashed:
+                target_site = "central"
             await sites[target_site].requests.put(
                 InitStateRequest(client_id=f"thin{i}", issued_at=time.monotonic())
             )
             await asyncio.sleep(0)
 
+    def crash_site(self, site: str) -> None:
+        """Fail-stop ``site`` mid-run: cancel its tasks, drop its feeds.
+
+        Only mirror sites can be killed in the live prototype — central
+        failover (detection + promotion) belongs to the simulation
+        backend (:mod:`repro.faults`).
+        """
+        if site == "central":
+            raise ValueError(
+                "the live runtime supports mirror crashes only; central "
+                "failover is modelled by the simulation backend"
+            )
+        if site not in self._site_tasks:
+            raise ValueError(f"unknown site {site!r}")
+        if site in self.crashed:
+            return
+        self.crashed.add(site)
+        # stop event/control delivery first so publishers never block on
+        # a queue nobody will drain again
+        self.central.mirror_channel.unsubscribe(site)
+        self.central.ctrl_channel.unsubscribe(site)
+        for task in self._site_tasks[site]:
+            task.cancel()
+        # unblock any publisher caught mid-put on the dead site's full
+        # queues: drop whatever was queued (fail-stop loses volatile state)
+        mirror = next(m for m in self.mirrors if m.site == site)
+        for queue in (mirror.data_in.queue, mirror.ctrl_in.queue,
+                      mirror.main.inbox, mirror.main.requests):
+            while not queue.empty():
+                queue.get_nowait()
+
     async def run(
         self,
         script: EventScript,
         request_times: Sequence[float] = (),
+        fault_injector=None,
     ) -> AsyncRunSummary:
-        """Replay ``script`` (and requests) through the live server."""
+        """Replay ``script`` (and requests) through the live server.
+
+        ``fault_injector`` (an :class:`~repro.rt.faults.AsyncFaultInjector`)
+        runs alongside the drivers and may fail-stop mirror sites
+        mid-run; crashed sites are excluded from request routing, the
+        drain barrier, and the consistency evidence.
+        """
         self._build()
+        self.crashed = set()
         central = self.central
         t0 = time.monotonic()
 
-        tasks = [
-            asyncio.create_task(central.receiving_task()),
-            asyncio.create_task(central.sending_task()),
-            asyncio.create_task(central.control_task()),
-            asyncio.create_task(central.main.event_loop()),
-            asyncio.create_task(central.main.request_loop()),
-        ]
+        self._site_tasks = {
+            "central": [
+                asyncio.create_task(central.receiving_task()),
+                asyncio.create_task(central.sending_task()),
+                asyncio.create_task(central.control_task()),
+                asyncio.create_task(central.main.event_loop()),
+                asyncio.create_task(central.main.request_loop()),
+            ]
+        }
         for mirror in self.mirrors:
-            tasks.append(asyncio.create_task(mirror.receiving_task()))
-            tasks.append(asyncio.create_task(mirror.control_task()))
-            tasks.append(asyncio.create_task(mirror.main.event_loop()))
-            tasks.append(asyncio.create_task(mirror.main.request_loop()))
+            self._site_tasks[mirror.site] = [
+                asyncio.create_task(mirror.receiving_task()),
+                asyncio.create_task(mirror.control_task()),
+                asyncio.create_task(mirror.main.event_loop()),
+                asyncio.create_task(mirror.main.request_loop()),
+            ]
+        tasks = [t for ts in self._site_tasks.values() for t in ts]
 
         drivers = [asyncio.create_task(self._source(script))]
         if request_times:
@@ -203,23 +258,28 @@ class AsyncMirroredServer:
                     self._requests(request_times, RoundRobinBalancer(targets))
                 )
             )
+        if fault_injector is not None:
+            drivers.append(asyncio.create_task(fault_injector.drive(self)))
 
         await asyncio.gather(*drivers)
         await central.stream_done.wait()
         # propagate shutdown: mirrors drain their data queues, then stop
         await central.mirror_channel.publish(EOS)
         await central.ctrl_channel.publish(EOS)
-        # let queues drain
+        # let queues drain (a crashed mirror's queues will never move)
+        alive_mirrors = [m for m in self.mirrors if m.site not in self.crashed]
         while any(
-            m.main.inbox.qsize() or m.data_in.level() for m in self.mirrors
+            m.main.inbox.qsize() or m.data_in.level() for m in alive_mirrors
         ) or central.main.inbox.qsize():
             await asyncio.sleep(0.001)
-        for site_main in [central.main] + [m.main for m in self.mirrors]:
+        for site_main in [central.main] + [m.main for m in alive_mirrors]:
             await site_main.requests.put(EOS)
         await central.ctrl_in.put(EOS)
-        await asyncio.gather(*tasks)
+        # crashed sites' tasks end in CancelledError; don't let that
+        # propagate past the survivors' clean exits
+        await asyncio.gather(*tasks, return_exceptions=True)
 
-        mains = [central.main] + [m.main for m in self.mirrors]
+        mains = [central.main] + [m.main for m in alive_mirrors]
         summary = AsyncRunSummary(
             events_in=len(script),
             events_mirrored=central.mirrored_events,
@@ -241,7 +301,7 @@ class AsyncMirroredServer:
             bytes_saved_by_delta=sum(m.bytes_saved_by_delta for m in mains),
             adaptation_log=list(central.adaptation_log),
             replica_digests=[central.main.ede.state_digest()]
-            + [m.main.ede.state_digest() for m in self.mirrors],
+            + [m.main.ede.state_digest() for m in alive_mirrors],
             wall_seconds=time.monotonic() - t0,
             mean_update_delay=(
                 sum(central.main.update_delays) / len(central.main.update_delays)

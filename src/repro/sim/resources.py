@@ -221,6 +221,27 @@ class Store:
         self._dispatch()
         return item
 
+    def crash_drain(self) -> list:
+        """Fail-stop support: empty the store, waking every blocked peer.
+
+        Models the store's owner dying: buffered items are lost (returned
+        to the caller so failure injectors can account for or salvage
+        them), every *blocked put is succeeded with its item dropped* (a
+        producer must not deadlock against a dead consumer's full inbox),
+        and pending gets are discarded (their waiting processes are
+        expected to have been interrupted by the same crash).
+        """
+        lost = list(self.items)
+        self.items.clear()
+        while self._put_queue:
+            put = self._put_queue.popleft()
+            lost.append(put.item)
+            put.succeed()
+        self._get_queue.clear()
+        if self.watcher is not None:
+            self.watcher(self)
+        return lost
+
     def _dispatch(self) -> None:
         progress = True
         while progress:

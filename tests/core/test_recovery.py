@@ -212,6 +212,57 @@ def test_promote_detects_committed_loss():
     assert not report.committed_loss_free
 
 
+def test_promote_all_trimmed_backups_attach_snapshot_fallback():
+    """Regression: when every candidate's backup queue was trimmed past
+    the horizon by checkpoint commits, the promotion plan has an empty
+    replay — consumers can only be rebuilt from state.  With the stores
+    offered, the report must carry the new primary's full snapshot."""
+    from repro.ois.state import OperationalStateStore
+
+    store = OperationalStateStore()
+    for seq in range(1, 6):
+        store.apply(
+            UpdateEvent(
+                kind=FAA_POSITION, stream="faa", seqno=seq, key=f"DL{seq % 2}",
+                payload={"lat": float(seq)},
+            )
+        )
+    candidates = {
+        "mirror1": checkpointer("mirror1", faa=5),
+        "mirror2": checkpointer("mirror2", faa=4),
+    }
+    backups = {"mirror1": backup_with(), "mirror2": backup_with()}  # trimmed
+    report = promote_mirror(
+        candidates, backups, last_commit=vt(faa=5),
+        stores={"mirror1": store, "mirror2": OperationalStateStore()},
+        now=2.0,
+    )
+    assert report.new_primary == "mirror1"
+    assert report.replay_into_ede == ()
+    assert report.fetch_from_peers == {}
+    assert report.snapshot is not None
+    assert not report.snapshot.is_delta
+    assert dict(report.snapshot.as_of) == {"faa": 5}
+    assert report.committed_loss_free
+
+
+def test_promote_without_stores_keeps_positional_signature():
+    """The pre-snapshot call shape (three positional arguments) still
+    works and simply carries no snapshot."""
+    candidates = {"mirror1": checkpointer("mirror1", faa=5)}
+    report = promote_mirror(candidates, {"mirror1": backup_with()}, vt(faa=4))
+    assert report.snapshot is None
+    assert report.committed_loss_free
+
+
+def test_promote_snapshot_skips_missing_store():
+    candidates = {"mirror1": checkpointer("mirror1", faa=5)}
+    report = promote_mirror(
+        candidates, {"mirror1": backup_with()}, vt(faa=4), stores={},
+    )
+    assert report.snapshot is None
+
+
 def test_promotion_after_real_run_is_loss_free():
     """End to end: run a mirrored scenario, fail the central, promote."""
     from repro.core import ScenarioConfig, run_scenario

@@ -1,0 +1,1 @@
+"""Tests for the fault-injection and failover subsystem."""

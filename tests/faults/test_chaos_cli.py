@@ -1,0 +1,66 @@
+"""Tests for the ``python -m repro chaos`` entry point."""
+
+import json
+
+import pytest
+
+from repro.faults.chaos import SCENARIOS, chaos_main, run_chaos_scenario
+
+pytestmark = pytest.mark.chaos
+
+
+def test_every_scenario_passes_at_seed_zero():
+    for name in sorted(SCENARIOS):
+        outcome = run_chaos_scenario(name, seed=0)
+        assert outcome.passed, (name, outcome.checks)
+
+
+def test_single_scenario_exit_code_and_report(capsys):
+    rc = chaos_main(["--scenario", "central-crash", "--seed", "0"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "scenario central-crash (seed 0): PASS" in out
+    assert "committed loss is zero" in out
+    assert "detection_latency_mean" in out
+
+
+def test_reports_are_byte_identical_across_runs(capsys):
+    """The acceptance criterion: same seed, same bytes."""
+    chaos_main(["--scenario", "mirror-crash"])
+    first = capsys.readouterr().out
+    chaos_main(["--scenario", "mirror-crash"])
+    assert capsys.readouterr().out == first
+
+
+def test_sweep_writes_bench_record(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    rc = chaos_main([
+        "--scenario", "central-crash", "--sweep", "2",
+        "--bench-out", str(out),
+    ])
+    assert rc == 0
+    record = json.loads(out.read_text())
+    assert record["label"] == "chaos"
+    assert record["checks_passed"] is True
+    chaos = record["chaos"]
+    assert chaos["detection_latency_seconds"]["count"] > 0
+    assert chaos["failover_time_seconds"]["min"] >= 0.0
+    assert (chaos["detection_latency_seconds"]["min"]
+            <= chaos["detection_latency_seconds"]["mean"]
+            <= chaos["detection_latency_seconds"]["max"])
+
+
+def test_report_file_written(tmp_path, capsys):
+    path = tmp_path / "report.txt"
+    rc = chaos_main(["--scenario", "mirror-crash", "--out", str(path)])
+    assert rc == 0
+    assert "scenario mirror-crash" in path.read_text()
+
+
+def test_bad_arguments_rejected(capsys):
+    with pytest.raises(SystemExit):
+        chaos_main(["--scenario", "asteroid"])
+    with pytest.raises(SystemExit):
+        chaos_main(["--seed", "-1"])
+    with pytest.raises(SystemExit):
+        chaos_main(["--bench-out", "x.json"])  # requires --sweep

@@ -1,0 +1,123 @@
+"""Unit tests for the hysteresis failure detector and membership view."""
+
+import pytest
+
+from repro.faults import (
+    FailureDetector,
+    MembershipView,
+    SITE_ALIVE,
+    SITE_DEAD,
+    SITE_SUSPECT,
+)
+from repro.sim import RandomStreams
+
+
+def detector(**kw):
+    defaults = dict(interval=1.0, suspect_after=3.0, dead_after=6.0,
+                    recover_heartbeats=3)
+    defaults.update(kw)
+    return FailureDetector(**defaults)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        FailureDetector(interval=0.0)
+    with pytest.raises(ValueError):
+        FailureDetector(interval=1.0, suspect_after=5.0, dead_after=5.0)
+    with pytest.raises(ValueError):
+        FailureDetector(interval=1.0, recover_heartbeats=0)
+
+
+def test_silence_escalates_suspect_then_dead():
+    det = detector()
+    det.register("s", now=0.0)
+    assert det.evaluate(2.9) == []
+    (tr,) = det.evaluate(3.0)
+    assert (tr.old, tr.new) == (SITE_ALIVE, SITE_SUSPECT)
+    assert det.evaluate(5.9) == []
+    (tr,) = det.evaluate(6.0)
+    assert (tr.old, tr.new) == (SITE_SUSPECT, SITE_DEAD)
+
+
+def test_death_is_sticky_until_marked_restarted():
+    det = detector()
+    det.register("s", now=0.0)
+    det.evaluate(3.0)
+    det.evaluate(6.0)
+    assert det.heartbeat("s", seq=1, now=6.5) is None
+    assert det.status_of("s") == SITE_DEAD
+    det.mark_restarted("s", now=7.0)
+    assert det.status_of("s") == SITE_ALIVE
+
+
+def test_one_timely_beat_does_not_clear_suspicion():
+    """Hysteresis: recovery needs ``recover_heartbeats`` consecutive
+    on-time beats, so a single beat after a jittery gap cannot flap."""
+    det = detector()
+    det.register("s", now=0.0)
+    det.evaluate(3.5)
+    assert det.status_of("s") == SITE_SUSPECT
+    assert det.heartbeat("s", seq=1, now=4.0) is None   # 1st ok beat
+    assert det.heartbeat("s", seq=2, now=5.0) is None   # 2nd
+    tr = det.heartbeat("s", seq=3, now=6.0)             # 3rd clears it
+    assert tr is not None and tr.new == SITE_ALIVE
+
+
+def test_late_beat_resets_the_recovery_count():
+    det = detector()
+    det.register("s", now=0.0)
+    det.evaluate(3.5)
+    det.heartbeat("s", seq=1, now=4.0)
+    det.heartbeat("s", seq=2, now=5.0)
+    # a wide gap (> suspect_after intervals) restarts the count: the
+    # late beat itself is #1 of the new run, so two on-time ones (2 < 3)
+    # still don't clear, and the third does
+    assert det.heartbeat("s", seq=3, now=9.0) is None
+    assert det.heartbeat("s", seq=4, now=10.0) is None
+    assert det.heartbeat("s", seq=5, now=11.0).new == SITE_ALIVE
+
+
+def test_stale_and_duplicate_beats_ignored():
+    det = detector()
+    det.register("s", now=0.0)
+    det.heartbeat("s", seq=2, now=1.0)
+    assert det.heartbeat("s", seq=2, now=1.5) is None   # duplicate
+    assert det.heartbeat("s", seq=1, now=1.6) is None   # reordered
+    assert det.heartbeat("ghost", seq=1, now=1.7) is None
+    assert det.stale_heartbeats == 3
+
+
+def test_jittered_heartbeats_never_flap():
+    """Beats with ±40% seeded jitter around the interval: the detector
+    must decide no transition at all over a long horizon."""
+    det = detector()
+    streams = RandomStreams(13)
+    det.register("s", now=0.0)
+    now, seq = 0.0, 0
+    while now < 200.0:
+        seq += 1
+        now += 1.0 * (1.0 + streams.uniform("test.jitter", -0.4, 0.4))
+        assert det.heartbeat("s", seq=seq, now=now) is None
+        assert det.evaluate(now) == []
+    assert det.status_of("s") == SITE_ALIVE
+    assert det.transitions == []
+
+
+def test_membership_view_marks_and_promotes():
+    view = MembershipView(["central", "mirror1", "mirror2"], primary="central")
+    assert view.alive_sites() == ["central", "mirror1", "mirror2"]
+    view.mark("central", SITE_DEAD, at=4.0)
+    view.mark("mirror1", SITE_SUSPECT, at=4.1)
+    # suspects keep serving; the dead do not
+    assert view.serving_sites() == ["mirror1", "mirror2"]
+    assert view.alive_sites() == ["mirror2"]
+    assert view.is_dead("central") and not view.is_alive("mirror1")
+    incarnation = view.incarnation
+    view.promote("mirror2", at=4.2)
+    assert view.primary == "mirror2"
+    assert view.incarnation == incarnation + 1
+    assert view.log == [
+        (4.0, "central", "dead"),
+        (4.1, "mirror1", "suspect"),
+        (4.2, "mirror2", "primary"),
+    ]

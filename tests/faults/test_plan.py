@@ -1,0 +1,95 @@
+"""Unit tests for fault plans (pure data: schedule + validation)."""
+
+import pytest
+
+from repro.faults import (
+    CRASH_SITE,
+    DEGRADE_LINK,
+    DROP_CONTROL,
+    FaultAction,
+    FaultPlan,
+    PARTITION_LINK,
+)
+
+
+def test_builders_chain_and_order_by_time():
+    plan = (FaultPlan(seed=7)
+            .crash_site(2.0, "central")
+            .pause_site(0.5, "mirror1", duration=0.2)
+            .restart_site(3.0, "central"))
+    assert len(plan) == 3
+    assert [a.kind for a in plan.actions()] == [
+        "pause_site", "crash_site", "restart_site",
+    ]
+    assert plan.seed == 7
+
+
+def test_equal_times_keep_insertion_order():
+    plan = (FaultPlan()
+            .crash_site(1.0, "mirror2")
+            .crash_site(1.0, "mirror1"))
+    assert [a.site for a in plan.actions()] == ["mirror2", "mirror1"]
+
+
+def test_site_and_link_views_partition_the_schedule():
+    plan = (FaultPlan()
+            .crash_site(1.0, "central")
+            .partition(0.5, "central", "mirror1", duration=0.3)
+            .drop_control(0.2, duration=0.1, drop_prob=0.5))
+    assert [a.kind for a in plan.site_actions()] == [CRASH_SITE]
+    assert [a.kind for a in plan.link_actions()] == [
+        DROP_CONTROL, PARTITION_LINK,
+    ]
+    assert [a.at for a in plan.crashes("central")] == [1.0]
+    assert plan.crashes("mirror1") == []
+
+
+def test_until_covers_the_window():
+    action = FaultAction(at=1.5, kind=DEGRADE_LINK, src="a", dst="b",
+                         duration=0.5, extra_latency=0.01)
+    assert action.until == 2.0
+
+
+def test_partition_implies_certain_drop():
+    plan = FaultPlan().partition(1.0, "central", "mirror1", duration=0.5)
+    (action,) = plan.link_actions()
+    assert action.drop_prob == 1.0
+
+
+def test_drop_control_scopes_to_control_traffic():
+    plan = FaultPlan().drop_control(1.0, duration=0.5, drop_prob=0.3)
+    (action,) = plan.link_actions()
+    assert action.traffic == "control"
+
+
+@pytest.mark.parametrize("bad", [
+    dict(at=-0.1, kind=CRASH_SITE, site="central"),
+    dict(at=0.0, kind=CRASH_SITE),                      # site missing
+    dict(at=0.0, kind=PARTITION_LINK, src="a"),         # dst missing
+    dict(at=0.0, kind="meteor-strike", site="central"),
+    dict(at=0.0, kind=PARTITION_LINK, src="a", dst="b"),  # no duration
+    dict(at=0.0, kind=DEGRADE_LINK, src="a", dst="b",
+         duration=1.0, drop_prob=1.5),
+    dict(at=0.0, kind=DEGRADE_LINK, src="a", dst="b",
+         duration=1.0, extra_latency=-1.0),
+])
+def test_invalid_actions_rejected(bad):
+    with pytest.raises(ValueError):
+        FaultAction(**bad)
+
+
+def test_data_duplication_rejected():
+    """Duplicating data events would corrupt replicas — only control
+    traffic (which the checkpoint protocol tolerates) may duplicate."""
+    with pytest.raises(ValueError):
+        FaultAction(at=0.0, kind=DEGRADE_LINK, src="a", dst="b",
+                    duration=1.0, duplicate_prob=0.1, traffic="data")
+    plan = FaultPlan().degrade_link(
+        0.0, "a", "b", duration=1.0, duplicate_prob=0.1, traffic="control",
+    )
+    assert len(plan) == 1
+
+
+def test_negative_seed_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan(seed=-1)

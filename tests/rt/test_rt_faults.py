@@ -1,0 +1,79 @@
+"""Tests for wall-clock fault hooks in the live asyncio runtime."""
+
+import asyncio
+
+import pytest
+
+from repro.ois import FlightDataConfig, generate_script
+from repro.rt import AsyncMirroredServer
+from repro.rt.faults import AsyncFaultInjector, AsyncFaultPlan
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def script(**kw):
+    defaults = dict(n_flights=4, positions_per_flight=30, seed=31)
+    defaults.update(kw)
+    return generate_script(FlightDataConfig(**defaults))
+
+
+def test_plan_orders_crashes_and_validates():
+    plan = (AsyncFaultPlan()
+            .crash_site(0.2, "mirror2")
+            .crash_site(0.1, "mirror1"))
+    assert len(plan) == 2
+    assert [c.site for c in plan.crashes()] == ["mirror1", "mirror2"]
+    with pytest.raises(ValueError):
+        AsyncFaultPlan().crash_site(-0.1, "mirror1")
+
+
+def test_mirror_crash_mid_run_leaves_survivors_consistent():
+    server = AsyncMirroredServer(n_mirrors=2, time_factor=0.02)
+    injector = AsyncFaultInjector(AsyncFaultPlan().crash_site(0.2, "mirror1"))
+    summary = run(server.run(
+        script(), request_times=[0.5, 1.0, 1.5], fault_injector=injector,
+    ))
+    assert server.crashed == {"mirror1"}
+    assert injector.records and injector.records[0][0] == "mirror1"
+    # central processed the whole stream despite the dead mirror
+    assert summary.events_processed_central == summary.events_in
+    # consistency evidence covers exactly the survivors
+    assert len(summary.replica_digests) == 2
+    assert summary.replicas_consistent
+    # every request was served by an alive site
+    assert summary.requests_served == 3
+
+
+def test_requests_reroute_around_crashed_mirror():
+    server = AsyncMirroredServer(n_mirrors=1, time_factor=0.02)
+    injector = AsyncFaultInjector(AsyncFaultPlan().crash_site(0.0, "mirror1"))
+    summary = run(server.run(
+        script(), request_times=[0.5, 1.0], fault_injector=injector,
+    ))
+    # the only mirror is dead: requests fall back to central
+    assert summary.requests_served == 2
+    assert len(summary.replica_digests) == 1
+
+
+def test_central_crash_is_rejected():
+    server = AsyncMirroredServer(n_mirrors=1, time_factor=0.02)
+    injector = AsyncFaultInjector(AsyncFaultPlan().crash_site(0.0, "central"))
+    with pytest.raises(ValueError):
+        run(server.run(script(), fault_injector=injector))
+
+
+def test_crash_of_unknown_site_is_rejected():
+    server = AsyncMirroredServer(n_mirrors=1, time_factor=0.02)
+    injector = AsyncFaultInjector(AsyncFaultPlan().crash_site(0.0, "mirror9"))
+    with pytest.raises(ValueError):
+        run(server.run(script(), fault_injector=injector))
+
+
+def test_run_without_injector_unchanged():
+    server = AsyncMirroredServer(n_mirrors=1)
+    summary = run(server.run(script()))
+    assert server.crashed == set()
+    assert summary.replicas_consistent
+    assert len(summary.replica_digests) == 2
