@@ -1,0 +1,89 @@
+"""Wire-codec benchmarks: compactness (deterministic) and socket fan-out.
+
+The byte-ratio test is NOT timing-sensitive — it asserts the PR's
+compactness acceptance bar (>= 5x fewer bytes per mirrored position
+update than JSON or pickle at batch size >= 32) on a fixed workload, so
+it runs in every suite invocation.  The fan-out test drives the full
+TCP backend and is perf-marked like the other throughput benchmarks.
+"""
+
+import asyncio
+import json
+import pickle  # noqa: S403 - size baseline only, never on the wire
+from dataclasses import replace
+
+import pytest
+
+from repro.core import simple_mirroring
+from repro.ois import FlightDataConfig, generate_script
+from repro.wire import WireDecoder, WireEncoder
+
+
+def _events(n_positions=100):
+    script = generate_script(
+        FlightDataConfig(n_flights=20, positions_per_flight=n_positions, seed=7)
+    )
+    return [se.event for se in script.fresh_events()]
+
+
+def _json_blob(ev) -> bytes:
+    return json.dumps(
+        {
+            "kind": ev.kind, "stream": ev.stream, "seqno": ev.seqno,
+            "key": ev.key, "payload": ev.payload, "size": ev.size,
+            "vt": ev.vt.as_dict() if ev.vt is not None else None,
+            "entered_at": ev.entered_at,
+            "coalesced_from": ev.coalesced_from, "uid": ev.uid,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def test_wire_beats_json_and_pickle_5x_at_batch_32():
+    events = _events()
+    n = len(events)
+    enc = WireEncoder()
+    wire_bytes = sum(
+        len(enc.encode_batch(events[i:i + 32])) for i in range(0, n, 32)
+    )
+    json_bytes = sum(len(_json_blob(ev)) for ev in events)
+    pickle_bytes = sum(len(pickle.dumps(ev)) for ev in events)
+    assert wire_bytes * 5 <= json_bytes, (
+        f"only {json_bytes / wire_bytes:.2f}x smaller than JSON"
+    )
+    assert wire_bytes * 5 <= pickle_bytes, (
+        f"only {pickle_bytes / wire_bytes:.2f}x smaller than pickle"
+    )
+
+
+def test_wire_batches_decode_back():
+    events = _events(n_positions=20)
+    enc, dec = WireEncoder(), WireDecoder()
+    out = []
+    for i in range(0, len(events), 32):
+        batch, _ = dec.decode_frame(enc.encode_batch(events[i:i + 32]))
+        out.extend(batch.events)
+    assert out == events
+
+
+@pytest.mark.perf
+def test_socket_fanout_throughput(benchmark):
+    """Mirror fan-out over real loopback sockets (events/s = fan-out
+    rate: every script event crosses to every mirror)."""
+    from repro.rt.net import run_net_scenario
+
+    script = generate_script(
+        FlightDataConfig(n_flights=20, positions_per_flight=100, seed=7)
+    )
+    mirrors = 4
+    config = replace(simple_mirroring(), batch_size=64, checkpoint_freq=500)
+
+    def run():
+        summary = asyncio.run(
+            run_net_scenario(script, n_mirrors=mirrors, config=config)
+        )
+        assert summary.replicas_consistent
+        return summary
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert summary.events_mirrored == len(script)

@@ -12,6 +12,7 @@ Usage::
     python -m repro lint                   # repo-specific static analysis
     python -m repro modelcheck --sites 2 --events 3  # protocol checker
     python -m repro chaos                  # seeded failure drills
+    python -m repro rt --net tcp           # live server over real sockets
 """
 
 from __future__ import annotations
@@ -56,6 +57,10 @@ def main(argv=None) -> int:
         from .faults.chaos import chaos_main
 
         return chaos_main(list(argv[1:]))
+    if argv and argv[0] == "rt":
+        from .rt.cli import main as rt_main
+
+        return rt_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the evaluation of 'Adaptable Mirroring in "

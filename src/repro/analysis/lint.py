@@ -51,8 +51,10 @@ __all__ = [
 ]
 
 #: Packages whose code runs under the deterministic simulation clock.
-#: Everything here must be reproducible from a seed alone.
-STRICT_PACKAGES = ("core", "sim", "ois", "cluster", "channels", "faults")
+#: Everything here must be reproducible from a seed alone.  ``wire`` is
+#: strict too: the codec is pure byte transformation, shared between the
+#: deterministic sim (measured-size probes) and the socket runtime.
+STRICT_PACKAGES = ("core", "sim", "ois", "cluster", "channels", "faults", "wire")
 
 #: Modules on the per-event hot path: event/timestamp/queue/kernel
 #: classes.  The slots rules apply here.

@@ -36,6 +36,14 @@ Three families, mirroring the repo's three standing contracts:
 **Pairing hygiene** (repo-wide): ``eq-without-hash`` — a handwritten
 ``__eq__`` without ``__hash__`` silently makes instances unhashable,
 breaking their use as dict/set members.
+
+**Wire safety** (codec + runtime transport):
+
+* ``wire-no-pickle`` — nothing under ``wire/`` or ``rt/`` may import
+  ``pickle``/``marshal`` or call ``eval``: frames arrive from a socket,
+  and deserializing them through an arbitrary-code-execution decoder
+  would turn any peer into a remote shell.  The explicit tag-based
+  codec in :mod:`repro.wire` is the only sanctioned decoder.
 """
 
 from __future__ import annotations
@@ -586,6 +594,66 @@ class VtCompareRule(LintRule):
         return findings
 
 
+#: Modules that decode bytes arriving from sockets.  ``pickle.loads``
+#: on attacker-supplied bytes is arbitrary code execution, so the whole
+#: family (and ``eval``) is banned on the wire path.
+_WIRE_SCOPES = ("wire/", "rt/")
+
+_UNSAFE_DECODE_MODULES = frozenset({"pickle", "cPickle", "marshal", "shelve", "dill"})
+
+
+class WireNoPickleRule(LintRule):
+    rule_id = "wire-no-pickle"
+    description = (
+        "no pickle/marshal imports and no eval() under wire/ or rt/: "
+        "socket bytes must only pass through the tag-based repro.wire codec"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return any(relpath.startswith(p) for p in _WIRE_SCOPES)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root in _UNSAFE_DECODE_MODULES:
+                        findings.append(
+                            self.finding(
+                                relpath,
+                                node,
+                                f"import {alias.name} on the wire path: "
+                                "deserializing socket bytes through it is "
+                                "arbitrary code execution; use repro.wire",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".", 1)[0]
+                if root in _UNSAFE_DECODE_MODULES:
+                    findings.append(
+                        self.finding(
+                            relpath,
+                            node,
+                            f"import from {node.module} on the wire path: "
+                            "deserializing socket bytes through it is "
+                            "arbitrary code execution; use repro.wire",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id in ("eval", "exec"):
+                    findings.append(
+                        self.finding(
+                            relpath,
+                            node,
+                            f"{func.id}() on the wire path: decoded frame "
+                            "content must never reach an evaluator",
+                        )
+                    )
+        return findings
+
+
 def default_rules() -> List[LintRule]:
     """Fresh instances of every built-in rule, in reporting order."""
     return [
@@ -597,4 +665,5 @@ def default_rules() -> List[LintRule]:
         EqWithoutHashRule(),
         CheckpointCtorRule(),
         VtCompareRule(),
+        WireNoPickleRule(),
     ]

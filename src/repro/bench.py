@@ -12,6 +12,8 @@ Run it as::
     python -m repro bench                      # full suite -> BENCH.json
     python -m repro bench --out BENCH_PR1.json --label PR1
     python -m repro bench --quick              # tiny op counts (smoke)
+    python -m repro bench --compare OLD.json NEW.json [--max-regress 25]
+    python -m repro bench --history            # BENCH_*.json trajectory
     python benchmarks/run_bench.py             # same entry point
 
 Numbers are host-dependent: compare records produced on the same
@@ -28,7 +30,15 @@ import sys
 import time
 from typing import Callable, Dict, List, Tuple
 
-__all__ = ["BENCHMARKS", "run_suite", "main"]
+__all__ = [
+    "BENCHMARKS",
+    "run_suite",
+    "main",
+    "load_record",
+    "compare_records",
+    "compare_main",
+    "history_main",
+]
 
 
 # --------------------------------------------------------------- benchmarks
@@ -220,6 +230,124 @@ def _bench_snapshot_delta(scale: float):
     return n, run, info
 
 
+def _wire_events(n: int):
+    """A realistic FAA/Delta event stream for the codec benches."""
+    from .ois.flightdata import FlightDataConfig, generate_script
+
+    script = generate_script(
+        FlightDataConfig(
+            n_flights=20, positions_per_flight=max(1, n // 20), seed=7
+        )
+    )
+    return [se.event for se in script.fresh_events()]
+
+
+def _bench_wire_roundtrip(scale: float) -> Tuple[int, Callable[[], None]]:
+    """Codec hot loop: encode 32-event batches, decode them back."""
+    from .wire import WireDecoder, WireEncoder
+
+    events = _wire_events(max(64, int(10_000 * scale)))
+    n = len(events)
+
+    def run():
+        enc, dec = WireEncoder(), WireDecoder()
+        decoded = 0
+        for i in range(0, n, 32):
+            frame = enc.encode_batch(events[i:i + 32])
+            batch, _ = dec.decode_frame(frame)
+            decoded += len(batch.events)
+        assert decoded == n
+
+    return n, run
+
+
+def _bench_wire_vs_json(scale: float):
+    """Wire-format compactness: encoded bytes per event vs JSON/pickle.
+
+    The recorded ``json_ratio``/``pickle_ratio`` facts back the PR's
+    compactness claim (>= 5x fewer bytes per mirrored position update at
+    batch >= 32); the timed loop is the wire encoder alone.
+    """
+    import json as _json
+    import pickle  # noqa: S403 - baseline comparison only, never on the wire
+
+    from .wire import WireEncoder
+
+    events = _wire_events(max(64, int(5_000 * scale)))
+    n = len(events)
+
+    def run():
+        enc = WireEncoder()
+        total = 0
+        for i in range(0, n, 32):
+            total += len(enc.encode_batch(events[i:i + 32]))
+        assert total > 0
+
+    def _json_blob(ev) -> bytes:
+        return _json.dumps(
+            {
+                "kind": ev.kind, "stream": ev.stream, "seqno": ev.seqno,
+                "key": ev.key, "payload": ev.payload, "size": ev.size,
+                "vt": ev.vt.as_dict() if ev.vt is not None else None,
+                "entered_at": ev.entered_at,
+                "coalesced_from": ev.coalesced_from, "uid": ev.uid,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    enc = WireEncoder()
+    wire_bytes = sum(
+        len(enc.encode_batch(events[i:i + 32])) for i in range(0, n, 32)
+    )
+    json_bytes = sum(len(_json_blob(ev)) for ev in events)
+    pickle_bytes = sum(len(pickle.dumps(ev)) for ev in events)
+    info = {
+        "wire_bytes_per_event": wire_bytes / n,
+        "json_bytes_per_event": json_bytes / n,
+        "pickle_bytes_per_event": pickle_bytes / n,
+        "json_ratio": json_bytes / wire_bytes,
+        "pickle_ratio": pickle_bytes / wire_bytes,
+    }
+    return n, run, info
+
+
+def _bench_socket_fanout(scale: float):
+    """Live TCP backend: mirror fan-out events/s over localhost sockets.
+
+    ``ops`` is events x mirrors, so ``ops_per_sec`` is the fan-out rate
+    the acceptance bar (>= 50k events/s) is stated in.  Single event
+    loop, every byte through real sockets.
+    """
+    import asyncio
+    from dataclasses import replace
+
+    from .core.functions import simple_mirroring
+    from .ois.flightdata import FlightDataConfig, generate_script
+    from .rt.net import run_net_scenario
+
+    mirrors = 4
+    script = generate_script(
+        FlightDataConfig(
+            n_flights=20,
+            positions_per_flight=max(5, int(300 * scale)),
+            seed=5,
+        )
+    )
+    config = replace(simple_mirroring(), batch_size=64, checkpoint_freq=500)
+
+    def run():
+        summary = asyncio.run(
+            run_net_scenario(
+                script=script, n_mirrors=mirrors, request_times=[],
+                config=config,
+            )
+        )
+        assert summary.replicas_consistent
+
+    info = {"mirrors": mirrors, "events": len(script)}
+    return len(script) * mirrors, run, info
+
+
 BENCHMARKS: Dict[str, Callable[[float], Tuple[int, Callable[[], None]]]] = {
     "kernel_timeout_throughput": _bench_kernel_timeouts,
     "store_put_get_throughput": _bench_store_put_get,
@@ -229,6 +357,9 @@ BENCHMARKS: Dict[str, Callable[[float], Tuple[int, Callable[[], None]]]] = {
     "snapshot_full": _bench_snapshot_full,
     "snapshot_cached": _bench_snapshot_cached,
     "snapshot_delta": _bench_snapshot_delta,
+    "wire_codec_roundtrip": _bench_wire_roundtrip,
+    "wire_codec_vs_json": _bench_wire_vs_json,
+    "socket_fanout": _bench_socket_fanout,
 }
 
 
@@ -276,6 +407,125 @@ def run_suite(
     return results
 
 
+# ------------------------------------------------------ record comparison
+def load_record(path: str) -> Dict[str, object]:
+    """Read one BENCH_*.json record."""
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare_records(
+    old: Dict[str, object], new: Dict[str, object]
+) -> List[Dict[str, object]]:
+    """Per-benchmark op/s deltas for benchmarks present in both records.
+
+    ``delta_pct`` > 0 is a speedup, < 0 a regression.  Benchmarks that
+    exist in only one record are reported with ``delta_pct = None`` so
+    new/removed benches never count as regressions.
+    """
+    rows: List[Dict[str, object]] = []
+    old_benches = old.get("benchmarks", {})
+    new_benches = new.get("benchmarks", {})
+    for name in sorted(set(old_benches) | set(new_benches)):
+        o = old_benches.get(name)
+        n = new_benches.get(name)
+        row: Dict[str, object] = {
+            "benchmark": name,
+            "old_ops_per_sec": o["ops_per_sec"] if o else None,
+            "new_ops_per_sec": n["ops_per_sec"] if n else None,
+            "delta_pct": None,
+        }
+        if o and n and o["ops_per_sec"] > 0:
+            row["delta_pct"] = (
+                (n["ops_per_sec"] / o["ops_per_sec"] - 1.0) * 100.0
+            )
+        rows.append(row)
+    return rows
+
+
+def _fmt_ops(value) -> str:
+    return f"{value:>14,.0f}" if value is not None else f"{'-':>14}"
+
+
+def render_compare(
+    old: Dict[str, object], new: Dict[str, object],
+    rows: List[Dict[str, object]],
+) -> str:
+    """Human-readable comparison table."""
+    lines = [
+        f"benchmark comparison: {old.get('label')} -> {new.get('label')}",
+        f"{'benchmark':32s} {'old op/s':>14} {'new op/s':>14} {'delta':>9}",
+    ]
+    for row in rows:
+        delta = row["delta_pct"]
+        delta_s = f"{delta:+8.1f}%" if delta is not None else f"{'new':>9}" \
+            if row["old_ops_per_sec"] is None else f"{'gone':>9}"
+        lines.append(
+            f"{row['benchmark']:32s} {_fmt_ops(row['old_ops_per_sec'])} "
+            f"{_fmt_ops(row['new_ops_per_sec'])} {delta_s}"
+        )
+    return "\n".join(lines)
+
+
+def compare_main(old_path: str, new_path: str,
+                 max_regress: float | None = None) -> int:
+    """``--compare`` mode: print the delta table; with ``max_regress``
+    set, exit nonzero when any shared benchmark slowed by more than that
+    percentage."""
+    old, new = load_record(old_path), load_record(new_path)
+    rows = compare_records(old, new)
+    print(render_compare(old, new, rows))
+    if max_regress is None:
+        return 0
+    offenders = [
+        row for row in rows
+        if row["delta_pct"] is not None and row["delta_pct"] < -max_regress
+    ]
+    if offenders:
+        print(
+            f"\nFAIL: {len(offenders)} benchmark(s) regressed more than "
+            f"{max_regress:.0f}%: "
+            + ", ".join(
+                f"{r['benchmark']} ({r['delta_pct']:+.1f}%)" for r in offenders
+            )
+        )
+        return 1
+    print(f"\nOK: no benchmark regressed more than {max_regress:.0f}%")
+    return 0
+
+
+def history_main(pattern: str = "BENCH_*.json") -> int:
+    """``--history`` mode: aggregate every BENCH_*.json in the working
+    directory into one op/s trajectory table (columns ordered by record
+    creation time)."""
+    import glob
+
+    paths = sorted(glob.glob(pattern))
+    if not paths:
+        print(f"no records matching {pattern!r}")
+        return 1
+    records = sorted(
+        (load_record(p) for p in paths),
+        key=lambda r: r.get("created_unix", 0.0),
+    )
+    labels = [str(r.get("label", "?")) for r in records]
+    names = sorted({n for r in records for n in r.get("benchmarks", {})})
+    width = max(12, max(len(lab) for lab in labels) + 2)
+    header = f"{'benchmark':32s}" + "".join(f"{lab:>{width}}" for lab in labels)
+    lines = [f"benchmark trajectory ({len(records)} records, op/s)", header]
+    for name in names:
+        cells = []
+        for record in records:
+            bench = record.get("benchmarks", {}).get(name)
+            cells.append(
+                f"{bench['ops_per_sec']:>{width},.0f}" if bench
+                else f"{'-':>{width}}"
+            )
+        lines.append(f"{name:32s}" + "".join(cells))
+    print("\n".join(lines))
+    return 0
+
+
 def machine_info() -> Dict[str, object]:
     """Host fingerprint stored with every record (numbers are host-bound)."""
     return {
@@ -317,7 +567,27 @@ def main(argv: List[str] | None = None) -> int:
         "--only", action="append", choices=sorted(BENCHMARKS), default=None,
         help="run a subset (repeatable)",
     )
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="compare two BENCH_*.json records instead of running",
+    )
+    parser.add_argument(
+        "--max-regress", type=float, default=None, metavar="PCT",
+        help="with --compare: exit nonzero when any shared benchmark "
+        "slowed by more than PCT percent",
+    )
+    parser.add_argument(
+        "--history", action="store_true",
+        help="aggregate all BENCH_*.json in the working directory into "
+        "one op/s trajectory table instead of running",
+    )
     args = parser.parse_args(argv)
+    if args.compare is not None:
+        return compare_main(args.compare[0], args.compare[1], args.max_regress)
+    if args.history:
+        return history_main()
+    if args.max_regress is not None:
+        parser.error("--max-regress requires --compare")
     scale = 0.02 if args.quick else args.scale
     repeats = 1 if args.quick else args.repeats
     if scale <= 0:

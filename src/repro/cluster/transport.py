@@ -99,6 +99,12 @@ class Transport:
         #: optional link-fault hook (``repro.faults.link``): consulted
         #: per remote send for partition / degradation windows
         self.fault_controller = None
+        #: optional measured-size oracle (``repro.wire.WireSizeProbe``):
+        #: when set, remote sends charge serialization and link costs
+        #: for the *actual encoded frame size* of the payload instead of
+        #: the modeled ``message.size``.  None keeps the modeled costs
+        #: byte-identical to previous behaviour.
+        self.size_probe = None
 
     # -- failure injection -------------------------------------------------
     def set_node_down(self, node_name: str, down: bool = True) -> None:
@@ -181,11 +187,14 @@ class Transport:
                 copies += verdict.duplicates
 
         link = self.network.link(src_node.name, dst.node.name)
+        wire_size = message.size
+        if link is not None and self.size_probe is not None:
+            wire_size = self.size_probe.measure(message)
         for _ in range(copies):
             if link is not None:
                 self.wire_messages += 1
-                yield from src_node.execute(src_node.costs.ser_cost(message.size))
-                yield from link.transmit(message.size)
+                yield from src_node.execute(src_node.costs.ser_cost(wire_size))
+                yield from link.transmit(wire_size)
             yield from dst.deliver(message)
 
     def post(self, src_node: Node, dst_name: str, message: Message):

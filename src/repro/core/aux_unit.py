@@ -105,6 +105,20 @@ class CentralAuxUnit:
         self.clock = VectorTimestamp()
         self.processed_events = 0
         self.stream_done = env.event()
+        # -- crash accounting (repro.faults) ------------------------------
+        # A fail-stop interrupt can land while a task holds an event in a
+        # local variable — popped from one queue, not yet placed in the
+        # next.  These slots make that in-hand material visible to the
+        # fault injector's crash-drain triage; without them an event can
+        # vanish from the books entirely (neither salvaged nor counted
+        # as uncommitted loss).
+        #: message the receiving task holds between inbox pop and ready put
+        self._recv_in_hand: Optional[Message] = None
+        #: event the sending task holds between ready pop and fwd delivery
+        self._send_in_hand: Optional[UpdateEvent] = None
+        #: rule output awaiting mirroring — populated while events are
+        #: published/backed up, drained as each one completes
+        self._mirror_in_hand: List[UpdateEvent] = []
         self.processes: list = []
         self.start_processes()
 
@@ -155,8 +169,10 @@ class CentralAuxUnit:
         costs = self.node.costs
         while True:
             msg = yield self.data_in.inbox.get()
+            self._recv_in_hand = msg
             if msg.payload == EOS:
                 yield self.ready.put(EOS)
+                self._recv_in_hand = None
                 continue
             event: UpdateEvent = msg.payload
             yield from self.node.execute(costs.recv_cost(event.size))
@@ -165,6 +181,7 @@ class CentralAuxUnit:
                 self.monitor.on_stamped(event.stream, event.seqno)
             stamped = event.stamped(self.clock, entered_at=self.env.now)
             yield self.ready.put(stamped)
+            self._recv_in_hand = None
 
     def _sending_task(self):
         try:
@@ -198,6 +215,7 @@ class CentralAuxUnit:
                     self.stream_done.succeed()
                 continue
             event: UpdateEvent = item
+            self._send_in_hand = event
             # fwd(): every event reaches the central EDE / regular clients
             yield from self.node.execute(costs.fwd_cost(event.size))
             yield from self.transport.send(
@@ -206,12 +224,18 @@ class CentralAuxUnit:
             )
             self.metrics.events_forwarded += 1
             if not self.mirroring_enabled:
+                self._send_in_hand = None
                 continue
             # mirror(): semantic rule pipeline decides what ships
             yield from self.node.execute(costs.rule_fixed)
             outs: List[UpdateEvent] = []
+            # alias: rule output appended below is tracked as in-hand the
+            # moment it exists; the forwarded event is released in the
+            # same step (no yield between), so its custody is continuous
+            self._mirror_in_hand = outs
             for passed in self.engine.on_receive(event):
                 outs.extend(self.engine.on_send(passed))
+            self._send_in_hand = None
             batch_size = self.config.batch_size
             if batch_size <= 1:
                 # the paper's configuration: one wire message per event —
@@ -239,6 +263,7 @@ class CentralAuxUnit:
                 and ready.items[0] != EOS
             ):
                 nxt: UpdateEvent = ready.try_get()
+                self._send_in_hand = nxt
                 yield from self.node.execute(costs.fwd_cost(nxt.size))
                 yield from self.transport.send(
                     self.node, "central.main",
@@ -248,6 +273,7 @@ class CentralAuxUnit:
                 yield from self.node.execute(costs.rule_fixed)
                 for passed in self.engine.on_receive(nxt):
                     outs.extend(self.engine.on_send(passed))
+                self._send_in_hand = None
                 drained += 1
             yield from self._mirror_batch(outs)
             for _ in range(drained):
@@ -257,11 +283,17 @@ class CentralAuxUnit:
 
     def _mirror_one(self, outs: List[UpdateEvent], ordered: bool = True):
         costs = self.node.costs
-        for out in outs:
+        in_hand = self._mirror_in_hand
+        if in_hand is not outs:
+            in_hand = self._mirror_in_hand = list(outs)
+        for out in list(outs):
             if self.monitor is not None:
                 self.monitor.on_mirrored(out, ordered=ordered)
             yield from self.node.execute(costs.mirror_cost(out.size))
             yield from self.mirror_channel.publish(self.node, out, out.size)
+            # published to every subscriber: survivors hold it from here
+            if out in in_hand:
+                in_hand.remove(out)
             yield from self.node.execute(costs.backup_fixed)
             self.backup.append(out)
             self.metrics.events_mirrored += 1
@@ -279,12 +311,16 @@ class CentralAuxUnit:
             yield from self._mirror_one(outs)
             return
         costs = self.node.costs
+        if self._mirror_in_hand is not outs:
+            self._mirror_in_hand = list(outs)
         for out in outs:
             if self.monitor is not None:
                 self.monitor.on_mirrored(out)
             yield from self.node.execute(costs.mirror_cost(out.size))
         batch = EventBatch(outs)
         yield from self.mirror_channel.publish(self.node, batch, batch.size)
+        # the whole batch reached every subscriber in one wire message
+        self._mirror_in_hand = []
         for out in outs:
             yield from self.node.execute(costs.backup_fixed)
             self.backup.append(out)
@@ -426,6 +462,12 @@ class MirrorAuxUnit:
         #: it (stale values are harmless: a delivered event is covered by
         #: the main unit's processed vector soon after)
         self._forwarding_uid = -1
+        # in-hand crash accounting, mirroring CentralAuxUnit's slots: the
+        # fault injector's triage reads these to account for material a
+        # fail-stop interrupt caught between queue pops
+        self._recv_in_hand: Optional[Message] = None
+        self._send_in_hand: Optional[UpdateEvent] = None
+        self._mirror_in_hand: List[UpdateEvent] = []
         self.processes: list = []
         self.start_processes()
 
@@ -491,12 +533,14 @@ class MirrorAuxUnit:
         costs = self.node.costs
         while True:
             msg = yield self.data_in.inbox.get()
+            self._recv_in_hand = msg
             payload = msg.payload
             if payload == EOS:
                 # only a promoted primary sees the stream end here: the
                 # re-routed source stream now terminates at this site
                 if self.promoted:
                     yield self.ready.put(EOS)
+                self._recv_in_hand = None
                 continue
             if isinstance(payload, EventBatch):
                 # one receive/deserialize for the whole wire message,
@@ -512,6 +556,7 @@ class MirrorAuxUnit:
                     )
                     self.backup.append(event)
                     yield self.ready.put(event)
+                self._recv_in_hand = None
                 continue
             event: UpdateEvent = payload
             if event.vt is None:
@@ -523,8 +568,10 @@ class MirrorAuxUnit:
                 stamped = event.stamped(self.clock, entered_at=self.env.now)
                 self._fresh_uids.add(stamped.uid)
                 yield self.ready.put(stamped)
+                self._recv_in_hand = None
                 continue
             if self._is_rejoin_duplicate(event):
+                self._recv_in_hand = None
                 continue
             # receive + deserialize, plus the backup-queue copy; events
             # arrive pre-stamped so no timestamping happens here, but
@@ -536,6 +583,7 @@ class MirrorAuxUnit:
             )
             self.backup.append(event)
             yield self.ready.put(event)
+            self._recv_in_hand = None
 
     def _is_rejoin_duplicate(self, event: UpdateEvent) -> bool:
         """A restarted mirror resumes from a snapshot + replay; channel
@@ -558,6 +606,7 @@ class MirrorAuxUnit:
                     yield from self._finish_promoted_stream()
                 continue
             self._forwarding_uid = event.uid
+            self._send_in_hand = event
             yield from self.node.execute(costs.fwd_cost(event.size))
             yield from self.transport.send(
                 self.node, f"{self.site}.main",
@@ -567,6 +616,7 @@ class MirrorAuxUnit:
                 # pre-promotion backlog (or a plain mirror): the deposed
                 # primary already mirrored and backed this event up —
                 # forwarding it to the local main unit was all that's left
+                self._send_in_hand = None
                 continue
             # fresh source event on the promoted primary: run the central
             # sending task's duties — rules, mirroring, backup, cadence
@@ -575,11 +625,14 @@ class MirrorAuxUnit:
             engine = self.engine
             config = self.config
             if engine is None or config is None:  # pragma: no cover
+                self._send_in_hand = None
                 continue
             yield from self.node.execute(costs.rule_fixed)
             outs: List[UpdateEvent] = []
+            self._mirror_in_hand = outs
             for passed in engine.on_receive(event):
                 outs.extend(engine.on_send(passed))
+            self._send_in_hand = None
             yield from self._mirror_promoted(outs)
             self.processed_events += 1
             if self.processed_events % config.checkpoint_freq == 0:
@@ -605,9 +658,15 @@ class MirrorAuxUnit:
         channel = self.mirror_channel
         if channel is None:  # pragma: no cover
             return
-        for out in outs:
+        in_hand = self._mirror_in_hand
+        if in_hand is not outs:
+            in_hand = self._mirror_in_hand = list(outs)
+        for out in list(outs):
             yield from self.node.execute(costs.mirror_cost(out.size))
             yield from channel.publish(self.node, out, out.size)
+            # published to every subscriber: survivors hold it from here
+            if out in in_hand:
+                in_hand.remove(out)
             yield from self.node.execute(costs.backup_fixed)
             self.backup.append(out)
             self.metrics.events_mirrored += 1

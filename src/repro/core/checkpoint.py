@@ -59,6 +59,14 @@ class ChkptMsg:
     round_id: int
     vt: VectorTimestamp
 
+    @classmethod
+    def from_wire(cls, round_id: int, vt: VectorTimestamp) -> "ChkptMsg":
+        """Codec hook (:mod:`repro.wire`).  Decoding re-materialises a
+        proposal some coordinator already minted, so constructing it
+        here keeps the checkpoint-ctor discipline: control events are
+        *born* only in this module."""
+        return cls(round_id=round_id, vt=vt)
+
 
 @dataclass(frozen=True, slots=True)
 class ChkptRepMsg:
@@ -74,6 +82,17 @@ class ChkptRepMsg:
     site: str
     vt: VectorTimestamp
     monitored: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_wire(
+        cls,
+        round_id: int,
+        site: str,
+        vt: VectorTimestamp,
+        monitored: Dict[str, float],
+    ) -> "ChkptRepMsg":
+        """Codec hook (:mod:`repro.wire`); see :meth:`ChkptMsg.from_wire`."""
+        return cls(round_id=round_id, site=site, vt=vt, monitored=monitored)
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,6 +117,13 @@ class CommitMsg:
         round and vector, so it is the same protocol decision.
         """
         return CommitMsg(round_id=self.round_id, vt=self.vt, adapt=command)
+
+    @classmethod
+    def from_wire(
+        cls, round_id: int, vt: VectorTimestamp, adapt: Optional[Any]
+    ) -> "CommitMsg":
+        """Codec hook (:mod:`repro.wire`); see :meth:`ChkptMsg.from_wire`."""
+        return cls(round_id=round_id, vt=vt, adapt=adapt)
 
 
 class CheckpointCoordinator:

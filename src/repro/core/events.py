@@ -76,6 +76,13 @@ class VectorTimestamp:
         vt._clock = clock
         return vt
 
+    @classmethod
+    def from_wire(cls, clock: Dict[str, int]) -> "VectorTimestamp":
+        """Codec hook (:mod:`repro.wire`): adopt a decoded component
+        mapping.  Components came off the wire as unsigned varints, so
+        the non-negativity invariant already holds."""
+        return cls._wrap(clock)
+
     def advanced(self, stream: str, seqno: int) -> "VectorTimestamp":
         """A copy with ``stream``'s component raised to ``seqno``.
 
@@ -240,6 +247,42 @@ class UpdateEvent:
         ev.entered_at = entered_at
         ev.coalesced_from = coalesced_from
         ev.uid = next(_event_uids)
+        return ev
+
+    @classmethod
+    def from_wire(
+        cls,
+        kind: EventKind,
+        stream: str,
+        seqno: int,
+        key: str,
+        payload: Dict[str, Any],
+        size: int,
+        vt: Optional[VectorTimestamp],
+        entered_at: float,
+        coalesced_from: int,
+        uid: int,
+    ) -> "UpdateEvent":
+        """Codec hook (:mod:`repro.wire`): rebuild a decoded event.
+
+        Unlike :meth:`unchecked`, the *sender's* ``uid`` is preserved so
+        an event keeps its identity across a process boundary (crash
+        triage and replay dedup key on it).  Uids minted locally after a
+        decode come from this process's counter, so they identify events
+        *created here* — cross-process uniqueness holds as long as
+        events are born at one source, which is the runtime's topology.
+        """
+        ev = object.__new__(cls)
+        ev.kind = kind
+        ev.stream = stream
+        ev.seqno = seqno
+        ev.key = key
+        ev.payload = payload
+        ev.size = size
+        ev.vt = vt
+        ev.entered_at = entered_at
+        ev.coalesced_from = coalesced_from
+        ev.uid = uid
         return ev
 
     def stamped(self, vt: VectorTimestamp, entered_at: float) -> "UpdateEvent":

@@ -90,6 +90,11 @@ class ScenarioConfig:
     #: with ``delta_snapshots`` enabled can answer incrementally.
     #: 0 = the paper's anonymous one-shot clients.
     delta_client_pool: int = 0
+    #: charge serialization + link costs for the *measured* binary wire
+    #: size of each remote payload (``repro.wire`` codec) instead of the
+    #: modeled ``Message.size``; False keeps every default-config run
+    #: byte-identical to the seed
+    measured_wire_sizes: bool = False
     #: hard stop for the simulation (None = run to quiescence)
     time_limit: Optional[float] = None
     #: enable the adaptation controller when the config has monitors
@@ -292,6 +297,10 @@ class MirroredServer:
             from ..faults.link import LinkFaultController
 
             self.transport.fault_controller = LinkFaultController(cfg.fault_plan)
+        if cfg.measured_wire_sizes:
+            from ..wire import WireSizeProbe
+
+            self.transport.size_probe = WireSizeProbe()
         if cfg.failover:
             from ..faults.failover import FailoverSupervisor
 
@@ -465,6 +474,11 @@ class MirroredServer:
         self.metrics.total_execution_time = self.env.now
         self.metrics.bytes_on_wire = self.network.total_bytes()
         self.metrics.wire_messages = self.transport.wire_messages
+        if self.transport.size_probe is not None:
+            probe = self.transport.size_probe
+            self.metrics.wire_frames_encoded = probe.frames_measured
+            self.metrics.wire_bytes_encoded = probe.bytes_measured
+            self.metrics.wire_encode_fallbacks = probe.fallbacks
         self.metrics.cpu_utilization = {
             node.name: node.utilization()
             for node in [self.central_node, *self.mirror_nodes]

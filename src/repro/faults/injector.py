@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..cluster import Message
-from ..core.events import UpdateEvent
+from ..core.events import EventBatch, UpdateEvent
 from ..core.main_unit import EOS
 from ..ois.clients import InitStateRequest
 from .plan import CRASH_SITE, PAUSE_SITE, RESTART_SITE, FaultAction, FaultPlan
@@ -105,11 +105,29 @@ class FaultInjector:
 
         record = FaultRecord(at=self.env.now, kind=CRASH_SITE, site=site)
         salvage = self.salvage.setdefault(site, _Salvage())
+        held = self._survivor_held_uids(site)
+        seen: set = set()
+        # queue contents first: a drained copy of an event is further
+        # along its pipeline than the in-hand copy of the same uid (e.g.
+        # the stamped event in a blocked ready-queue put vs the raw
+        # message the receiving task still holds), and the triage keeps
+        # whichever copy it meets first
         for ep in server.transport.endpoints_on(node.name):
             for item in ep.inbox.crash_drain():
-                self._triage(item, record, salvage)
+                self._triage(item, record, salvage, held, seen)
         for item in aux.ready.crash_drain():
-            self._triage(item, record, salvage)
+            self._triage(item, record, salvage, held, seen)
+        # material a fail-stop interrupt caught *in hand* — popped from
+        # one queue but not yet placed in the next; without these slots
+        # an event could vanish from the books entirely
+        recv_in_hand = getattr(aux, "_recv_in_hand", None)
+        if recv_in_hand is not None:
+            self._triage(recv_in_hand, record, salvage, held, seen)
+        send_in_hand = getattr(aux, "_send_in_hand", None)
+        if send_in_hand is not None:
+            self._triage(send_in_hand, record, salvage, held, seen)
+        for item in getattr(aux, "_mirror_in_hand", ()):
+            self._triage(item, record, salvage, held, seen)
         # requests caught mid-service (popped from the inbox, inside
         # _serve_request when the worker was interrupted): no response
         # ever left, so park them for re-issue like the queued ones
@@ -126,8 +144,18 @@ class FaultInjector:
         if supervisor is not None:
             supervisor.on_crash(site, self.env.now)
 
-    def _triage(self, item, record: FaultRecord, salvage: _Salvage) -> None:
-        """Sort one drained queue item into salvage / dead letters / loss."""
+    def _triage(
+        self, item, record: FaultRecord, salvage: _Salvage,
+        held: set, seen: set,
+    ) -> None:
+        """Sort one drained or in-hand item into salvage / dead letters /
+        loss.  ``seen`` dedups by uid: the same logical event can surface
+        both from a queue drain and an in-hand slot.  ``held`` is the set
+        of uids some *survivor* still holds — a stamped event a survivor
+        replicates is not lost with the site, the promoted primary will
+        cover it (mirrored-but-uncommitted events cannot have been
+        trimmed from survivor backups: a commit is a floor over vectors
+        the participants actually processed)."""
         payload = item.payload if isinstance(item, Message) else item
         if payload == EOS:
             salvage.eos = True
@@ -139,13 +167,50 @@ class FaultInjector:
             record.parked_requests += 1
             return
         if isinstance(payload, UpdateEvent):
+            if payload.uid in seen:
+                return
+            seen.add(payload.uid)
             if payload.vt is None and isinstance(item, Message):
                 salvage.raw_messages.append(item)
                 record.salvaged_events += 1
-            else:
+            elif payload.uid not in held:
                 record.lost_stamped += 1
             return
         # control messages, batches, anything else: lost with the site
+
+    def _survivor_held_uids(self, dead_site: str) -> set:
+        """Uids of stamped events any *surviving* site still holds, in a
+        structure that outlives the crash: backup queues, data inboxes,
+        ready queues and main-unit inboxes (buffered items plus admitted
+        blocked puts)."""
+        server = self.server
+        held: set = set()
+
+        def note(payload) -> None:
+            if isinstance(payload, EventBatch):
+                for ev in payload.events:
+                    held.add(ev.uid)
+            elif isinstance(payload, UpdateEvent):
+                held.add(payload.uid)
+
+        def note_store(store) -> None:
+            for item in store.items:
+                note(item.payload if isinstance(item, Message) else item)
+            for put in store._put_queue:
+                item = put.item
+                note(item.payload if isinstance(item, Message) else item)
+
+        for site, aux in server.auxes.items():
+            if site == dead_site:
+                continue
+            if server.transport.node_down(server.node_of(site).name):
+                continue
+            for ev in aux.backup.events():
+                held.add(ev.uid)
+            note_store(aux.data_in.inbox)
+            note_store(aux.ready)
+            note_store(server.main_of(site).inbox.inbox)
+        return held
 
     def take_salvage(self, site: str) -> Optional[_Salvage]:
         """Hand the supervisor whatever was recovered from ``site``."""

@@ -109,6 +109,15 @@ class RunMetrics:
     #: messages that crossed a link (loopback excluded); mirror-event
     #: batching reduces this while bytes_on_wire stays roughly constant
     wire_messages: int = 0
+    # -- measured wire-codec accounting (ScenarioConfig.measured_wire_sizes;
+    #    zero on default runs, which keeps summary() byte-identical) --------
+    #: remote payloads sized by actually encoding them (``repro.wire``)
+    wire_frames_encoded: int = 0
+    #: total encoded bytes across those frames (feeds bytes_on_wire when
+    #: the probe is enabled, via the per-send charged size)
+    wire_bytes_encoded: int = 0
+    #: payload types without a wire encoding (charged modeled size)
+    wire_encode_fallbacks: int = 0
     #: per-node CPU utilisation at end of run
     cpu_utilization: Dict[str, float] = field(default_factory=dict)
     #: optional control-plane trace (ScenarioConfig(trace=True))
@@ -166,6 +175,23 @@ class RunMetrics:
             "checkpoint_commits": float(self.checkpoint_commits),
             "adaptations": float(self.adaptations),
             "bytes_on_wire": float(self.bytes_on_wire),
+        }
+
+    def wire_summary(self) -> Dict[str, float]:
+        """Flat dict of the measured wire-codec metrics.
+
+        Kept separate from :meth:`summary` so default (modeled-size) runs
+        and every pinned figure built on them render byte-identically.
+        """
+        return {
+            "wire_frames_encoded": float(self.wire_frames_encoded),
+            "wire_bytes_encoded": float(self.wire_bytes_encoded),
+            "wire_encode_fallbacks": float(self.wire_encode_fallbacks),
+            "mean_frame_bytes": (
+                self.wire_bytes_encoded / self.wire_frames_encoded
+                if self.wire_frames_encoded
+                else math.nan
+            ),
         }
 
     def availability_summary(self) -> Dict[str, float]:

@@ -29,6 +29,26 @@ class AsyncSubscription:
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=capacity)
         self.accepts = accepts
         self.delivered = 0
+        #: deepest the queue has ever been (how close backpressure came)
+        self.high_watermark = 0
+        #: puts that found the queue full and had to block the publisher
+        self.blocked_puts = 0
+
+    async def put(self, item: Any) -> None:
+        """Enqueue for this subscriber, tracking backpressure.
+
+        A full queue blocks the caller (that *is* the backpressure
+        coupling), but the stall is counted so a run can report how
+        often publishers were held up and how deep queues ran.
+        """
+        try:
+            self.queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self.blocked_puts += 1
+            await self.queue.put(item)
+        depth = self.queue.qsize()
+        if depth > self.high_watermark:
+            self.high_watermark = depth
 
     async def get(self) -> Any:
         """Await the next delivered payload."""
@@ -77,7 +97,7 @@ class AsyncChannel:
         for sub in self.subscriptions:
             if sub.accepts is not None and not sub.accepts(payload):
                 continue
-            await sub.queue.put(payload)
+            await sub.put(payload)
             sub.delivered += 1
             count += 1
         return count
@@ -102,7 +122,7 @@ class AsyncChannel:
             )
             if not kept:
                 continue
-            await sub.queue.put(EventBatch(list(kept)))
+            await sub.put(EventBatch(list(kept)))
             sub.delivered += 1
             count += 1
         return count

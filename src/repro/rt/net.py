@@ -1,0 +1,1033 @@
+"""Real-socket runtime backend: the live server over localhost TCP.
+
+The asyncio backend in :mod:`repro.rt.system` wires sites together with
+in-process queues.  This module runs the *same* site objects over real
+TCP connections carrying the binary wire format (:mod:`repro.wire`):
+
+* the **central site** listens on a TCP port; each mirror's connection
+  multiplexes mirrored events (EVENT/BATCH frames), checkpoint control
+  traffic (CHKPT/COMMIT down, CHKPT_REP up) and stream shutdown (EOS)
+  on one socket.  Because every mirror receives an identical outbound
+  frame sequence, the central side encodes each message **once** (one
+  shared interning table) and fans the same bytes out to all
+  connections — per-connection writers only pace, fault-inject and
+  flush;
+* each **mirror site** additionally listens on its own port so thin
+  clients can ask it for initial state (REQUEST/RESPONSE frames) — the
+  paper's read-scaling story exercised over real sockets;
+* **clients** connect round-robin, mirroring the request balancer of
+  the other backends.
+
+Outbound event frames pass through an :class:`AdaptiveFlusher` — a
+Nagle-style coalescer that ships the buffered frames when they reach a
+byte budget or a frame budget, or when the oldest buffered frame hits a
+deadline.  The frame budget *adapts* with the same hysteresis shape as
+the paper's adaptation rules (§3.2.2): sustained sender backlog above a
+threshold fattens batches (throughput mode), and the budget reverts
+once the backlog falls back below a restore level (latency mode).
+Control frames always flush immediately: checkpoint latency bounds
+backup-queue growth, so it is never traded for throughput.
+
+Two ways to run the topology:
+
+* :func:`run_net_scenario` — every role in one process/event loop but
+  over real sockets (loopback).  Deterministic enough for tests and
+  benchmarks, and what ``tests/rt`` exercises.
+* :class:`NetProcessRunner` — central, mirrors and client as separate
+  OS processes (``multiprocessing`` spawn), the deployment shape of
+  ``python -m repro rt --net tcp``.
+
+Link chaos (:mod:`repro.faults.link`) plugs into the frame send path:
+an optional :class:`~repro.faults.link.LinkFaultController` is
+consulted per frame, and its drop / delay / duplicate verdicts are
+applied to the real socket writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.adaptation import AdaptationController
+from ..core.config import MirrorConfig
+from ..core.events import EventBatch, UpdateEvent
+from ..core.functions import default_registry, simple_mirroring
+from ..ois.clients import InitStateRequest, InitStateResponse
+from ..ois.flightdata import EventScript, FlightDataConfig, generate_script
+from ..wire import (
+    EOS as WIRE_EOS,
+    FrameSplitter,
+    Hello,
+    WireDecoder,
+    WireEncoder,
+)
+from .channels import AsyncChannel, AsyncSubscription
+from .sites import EOS, AsyncCentralSite, AsyncMirrorSite
+from .system import AsyncRunSummary
+
+__all__ = [
+    "AdaptiveFlusher",
+    "WireStats",
+    "NetRunSummary",
+    "NetCentral",
+    "NetMirror",
+    "run_net_scenario",
+    "NetProcessRunner",
+]
+
+
+@dataclass
+class WireStats:
+    """Per-run socket/codec accounting (aggregated over connections)."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    frames_sent: int = 0
+    frames_received: int = 0
+    flushes: int = 0
+    size_flushes: int = 0
+    deadline_flushes: int = 0
+    control_flushes: int = 0
+    flusher_adaptations: int = 0
+    encode_ns: int = 0
+    decode_ns: int = 0
+    frames_dropped: int = 0
+    frames_duplicated: int = 0
+
+    def merge(self, other: "WireStats") -> None:
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        self.frames_sent += other.frames_sent
+        self.frames_received += other.frames_received
+        self.flushes += other.flushes
+        self.size_flushes += other.size_flushes
+        self.deadline_flushes += other.deadline_flushes
+        self.control_flushes += other.control_flushes
+        self.flusher_adaptations += other.flusher_adaptations
+        self.encode_ns += other.encode_ns
+        self.decode_ns += other.decode_ns
+        self.frames_dropped += other.frames_dropped
+        self.frames_duplicated += other.frames_duplicated
+
+
+@dataclass
+class NetRunSummary(AsyncRunSummary):
+    """Live-run summary plus wire-level accounting."""
+
+    wire: WireStats = field(default_factory=WireStats)
+
+
+class AdaptiveFlusher:
+    """Size- and deadline-triggered output coalescing with adaptation.
+
+    A passive policy object owned by one connection's single sender
+    task (no internal tasks or locks): the sender adds encoded frames,
+    asks :attr:`should_flush`, and uses :attr:`deadline_in` as its
+    poll timeout so a lone frame never waits longer than ``max_delay``.
+
+    ``note_backlog`` implements the paper-style hysteresis pair: when
+    the sender's outbound backlog reaches ``fat_threshold`` the frame
+    budget jumps to ``fat_frames`` (fewer, larger writes — throughput
+    over latency); once backlog falls to ``restore_threshold`` the
+    budget reverts to ``base_frames``.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        stats: WireStats,
+        *,
+        max_bytes: int = 64 * 1024,
+        base_frames: int = 8,
+        fat_frames: int = 64,
+        max_delay: float = 0.002,
+        fat_threshold: int = 32,
+        restore_threshold: int = 8,
+        clock=time.monotonic,
+    ):
+        if restore_threshold > fat_threshold:
+            raise ValueError("restore_threshold must be <= fat_threshold")
+        self._writer = writer
+        self._stats = stats
+        self._clock = clock
+        self.max_bytes = max_bytes
+        self.base_frames = base_frames
+        self.fat_frames = fat_frames
+        self.max_delay = max_delay
+        self.fat_threshold = fat_threshold
+        self.restore_threshold = restore_threshold
+        self.frame_budget = base_frames
+        self.fat_mode = False
+        self._buf = bytearray()
+        self._frames = 0
+        self._oldest: Optional[float] = None
+
+    @property
+    def pending_frames(self) -> int:
+        return self._frames
+
+    @property
+    def should_flush(self) -> bool:
+        return len(self._buf) >= self.max_bytes or self._frames >= self.frame_budget
+
+    def deadline_in(self) -> Optional[float]:
+        """Seconds until the oldest buffered frame must ship (None when
+        the buffer is empty: the sender may block indefinitely)."""
+        if self._oldest is None:
+            return None
+        remaining = self._oldest + self.max_delay - self._clock()
+        return remaining if remaining > 0 else 0.0
+
+    def add(self, frame: bytes) -> None:
+        if not self._buf:
+            self._oldest = self._clock()
+        self._buf += frame
+        self._frames += 1
+
+    def note_backlog(self, depth: int) -> None:
+        if not self.fat_mode and depth >= self.fat_threshold:
+            self.fat_mode = True
+            self.frame_budget = self.fat_frames
+            self._stats.flusher_adaptations += 1
+        elif self.fat_mode and depth <= self.restore_threshold:
+            self.fat_mode = False
+            self.frame_budget = self.base_frames
+            self._stats.flusher_adaptations += 1
+
+    async def flush(self, reason: str = "size") -> None:
+        if not self._buf:
+            return
+        payload = bytes(self._buf)
+        self._buf.clear()
+        self._frames = 0
+        self._oldest = None
+        self._writer.write(payload)
+        stats = self._stats
+        stats.flushes += 1
+        stats.bytes_sent += len(payload)
+        if reason == "deadline":
+            stats.deadline_flushes += 1
+        elif reason == "control":
+            stats.control_flushes += 1
+        else:
+            stats.size_flushes += 1
+        await self._writer.drain()
+
+
+@dataclass
+class _FrameEnvelope:
+    """What the link-fault controller sees for one outbound frame
+    (duck-typed stand-in for the cluster transport's Message)."""
+
+    kind: str  # "data" | "control"
+    size: int
+
+
+async def _apply_link_faults(
+    faults, envelope: _FrameEnvelope, src: str, dst: str,
+    now: float, stats: WireStats,
+) -> int:
+    """Consult the controller; returns number of copies to send (0 =
+    dropped), sleeping out any injected delay."""
+    if faults is None:
+        return 1
+    verdict = faults.on_send(envelope, src, dst, now)
+    if verdict is None:
+        return 1
+    if verdict.drop:
+        stats.frames_dropped += 1
+        return 0
+    if verdict.delay > 0:
+        await asyncio.sleep(verdict.delay)
+    if verdict.duplicates:
+        stats.frames_duplicated += verdict.duplicates
+    return 1 + verdict.duplicates
+
+
+class _MirrorConnection:
+    """Central-side state for one connected mirror."""
+
+    def __init__(self, name: str):
+        self.name = name
+        #: outbound work for this connection's writer: (kind, item) where
+        #: item is pre-encoded bytes (shared-encode fast path) or the
+        #: message object itself (fault-injection path)
+        self.outbound: asyncio.Queue = asyncio.Queue()
+        #: connection-local encoder, used only under fault injection —
+        #: the codec's cross-frame state (interning tables, uid deltas)
+        #: means a dropped or duplicated *frame* would desynchronize the
+        #: peer's decoder, so faults apply per message, before encoding
+        self.encoder = WireEncoder()
+        self.done = asyncio.Event()
+        self.closed = False
+
+
+class NetCentral:
+    """Central site served over TCP.
+
+    Wraps an :class:`AsyncCentralSite` whose mirror/control channels
+    fan out to per-connection sender tasks instead of local queues.
+    """
+
+    def __init__(
+        self,
+        n_mirrors: int,
+        config: Optional[MirrorConfig] = None,
+        adaptation: bool = False,
+        request_service_delay: float = 0.0,
+        snapshot_fast_path: bool = False,
+        fault_controller=None,
+        flusher_options: Optional[Dict[str, Any]] = None,
+    ):
+        self.n_mirrors = n_mirrors
+        self.config = config if config is not None else simple_mirroring()
+        self.stats = WireStats()
+        self.fault_controller = fault_controller
+        self.flusher_options = dict(flusher_options or {})
+        self._t0 = time.monotonic()
+        mirror_channel = AsyncChannel("net.mirror.data")
+        ctrl_channel = AsyncChannel("net.mirror.ctrl", kind="control")
+        participants = {"central"} | {f"mirror{i+1}" for i in range(n_mirrors)}
+        controller = (
+            AdaptationController(self.config, registry=default_registry())
+            if adaptation
+            else None
+        )
+        self.site = AsyncCentralSite(
+            self.config, mirror_channel, ctrl_channel, participants,
+            adaptation=controller,
+        )
+        self.site.main.distribute_updates = True
+        self.site.main.request_service_delay = request_service_delay
+        if snapshot_fast_path:
+            self.site.main.coalesce_requests = True
+            self.site.main.serve_cached_snapshots = True
+        self.site.main.delta_snapshots = self.config.delta_snapshots
+        self.site.main.delta_fallback_fraction = self.config.delta_fallback_fraction
+        self.connections: Dict[str, _MirrorConnection] = {}
+        self.mirrors_connected = asyncio.Event()
+        if n_mirrors == 0:
+            self.mirrors_connected.set()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: List[asyncio.Task] = []
+        self.port: Optional[int] = None
+        # shared-encode fan-out: every mirror connection carries an
+        # identical outbound frame sequence (events + control broadcasts),
+        # so the central site's channels are subscribed ONCE and each
+        # message is encoded a single time by the broadcast loop; per-
+        # connection writers then pace, fault-inject and flush the same
+        # bytes independently.  One shared interning table serves all
+        # connections — which requires every mirror to be connected
+        # before the first frame is encoded (the orchestration waits on
+        # ``mirrors_connected`` before starting the stream).
+        self._uplink: asyncio.Queue = asyncio.Queue()
+        self._data_sub = self.site.mirror_channel.subscribe("net.uplink")
+        self._ctrl_sub = self.site.ctrl_channel.subscribe("net.uplink")
+        self._encoder = WireEncoder()
+        self._eos_pending = 2  # data channel + control channel
+        self._broadcast_tasks: List[asyncio.Task] = []
+
+    def _elapsed(self) -> float:
+        return time.monotonic() - self._t0
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind the listening socket; returns the bound port."""
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._broadcast_tasks = [
+            asyncio.create_task(_forward(self._data_sub, self._uplink, "data")),
+            asyncio.create_task(_forward(self._ctrl_sub, self._uplink, "control")),
+            asyncio.create_task(self._broadcast_loop()),
+        ]
+        return self.port
+
+    def _distribute(self, kind: str, frame: bytes) -> None:
+        for conn in self.connections.values():
+            if not conn.closed:
+                conn.outbound.put_nowait((kind, frame))
+
+    async def _broadcast_loop(self) -> None:
+        """Encode each outbound message exactly once; fan the same bytes
+        out to every live mirror connection's writer.
+
+        Under fault injection the message *object* is fanned out instead
+        and each connection encodes with its own table: link faults are
+        per destination, and the decoder on the other end can only stay
+        in sync (interning, uid deltas) with frames it actually receives
+        — so a dropped message must never have been encoded for that
+        connection at all.
+        """
+        stats = self.stats
+        faulty = self.fault_controller is not None
+        while True:
+            kind, payload = await self._uplink.get()
+            if payload == EOS:
+                self._eos_pending -= 1
+                if self._eos_pending > 0:
+                    continue
+                # EOS bypasses fault injection (a chaos-dropped shutdown
+                # frame would wedge the topology, not exercise it)
+                self._distribute(
+                    "eos", None if faulty else self._encoder.encode_eos()
+                )
+                break
+            if faulty:
+                self._distribute(kind, payload)
+                continue
+            t0 = time.perf_counter_ns()
+            frame = self._encoder.encode_message(payload)
+            stats.encode_ns += time.perf_counter_ns() - t0
+            self._distribute(kind, frame)
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        splitter = FrameSplitter()
+        decoder = WireDecoder()
+        hello = await _read_one_message(reader, splitter, decoder, self.stats)
+        if not isinstance(hello, Hello):
+            writer.close()
+            return
+        if hello.role == "mirror":
+            await self._serve_mirror(hello.name, reader, writer, splitter, decoder)
+        elif hello.role == "client":
+            await _serve_client(
+                self.site.main, reader, writer, splitter, decoder, self.stats
+            )
+        else:
+            writer.close()
+
+    async def _serve_mirror(
+        self, name, reader, writer, splitter, decoder
+    ) -> None:
+        conn = _MirrorConnection(name)
+        self.connections[name] = conn
+        sender = asyncio.create_task(self._writer_loop(conn, writer))
+        if len(self.connections) >= self.n_mirrors:
+            self.mirrors_connected.set()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                got_eos = False
+                for mtype, body in splitter.feed(chunk):
+                    t0 = time.perf_counter_ns()
+                    msg = decoder.decode_body(mtype, body)
+                    self.stats.decode_ns += time.perf_counter_ns() - t0
+                    self.stats.frames_received += 1
+                    self.stats.bytes_received += len(body) + 8
+                    if msg == WIRE_EOS:
+                        got_eos = True
+                    elif msg is not None and not isinstance(msg, Hello):
+                        await self.site.ctrl_in.put(msg)
+                if got_eos:
+                    break
+        finally:
+            conn.closed = True  # stop the broadcast fan-out to this one
+            await conn.outbound.put(("close", b""))
+            await asyncio.gather(sender, return_exceptions=True)
+            writer.close()
+            conn.done.set()
+
+    async def _writer_loop(self, conn: _MirrorConnection, writer) -> None:
+        """Pace, fault-inject and flush outbound frames for one
+        connection.  Without a fault controller the items are frames the
+        broadcast loop already encoded (shared bytes, zero per-connection
+        encode work); with one, the items are message objects and this
+        loop encodes the survivors on ``conn.encoder`` — a dropped
+        message leaves no trace in the connection's codec state, and a
+        duplicated one is encoded twice (the second copy is nearly all
+        interning references)."""
+        flusher = AdaptiveFlusher(writer, self.stats, **self.flusher_options)
+        stats = self.stats
+        faulty = self.fault_controller is not None
+        while True:
+            timeout = flusher.deadline_in()
+            try:
+                kind, item = await asyncio.wait_for(
+                    conn.outbound.get(), timeout=timeout
+                )
+            except asyncio.TimeoutError:
+                await flusher.flush("deadline")
+                continue
+            if kind == "close":
+                await flusher.flush("control")
+                break
+            if kind == "eos":
+                stats.frames_sent += 1
+                flusher.add(conn.encoder.encode_eos() if faulty else item)
+                await flusher.flush("control")
+                continue
+            # size is only known pre-encoding on the fast path; the
+            # controller's link rules match on traffic kind and endpoints
+            copies = await _apply_link_faults(
+                self.fault_controller,
+                _FrameEnvelope(kind=kind, size=len(item) if not faulty else 0),
+                "central", conn.name, self._elapsed(), stats,
+            )
+            for _ in range(copies):
+                if faulty:
+                    t0 = time.perf_counter_ns()
+                    frame = conn.encoder.encode_message(item)
+                    stats.encode_ns += time.perf_counter_ns() - t0
+                else:
+                    frame = item
+                stats.frames_sent += 1
+                flusher.add(frame)
+            flusher.note_backlog(conn.outbound.qsize())
+            if kind == "control":
+                await flusher.flush("control")
+            elif flusher.should_flush:
+                await flusher.flush("size")
+
+    async def shutdown_stream(self) -> None:
+        """Propagate end-of-stream to every mirror connection."""
+        await self.site.mirror_channel.publish(EOS)
+        await self.site.ctrl_channel.publish(EOS)
+
+    async def wait_mirrors_done(self) -> None:
+        for conn in self.connections.values():
+            await conn.done.wait()
+
+    async def close(self) -> None:
+        for task in self._broadcast_tasks:
+            task.cancel()
+        await asyncio.gather(*self._broadcast_tasks, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+
+async def _forward(sub: AsyncSubscription, outbound: asyncio.Queue, kind: str) -> None:
+    """Shovel one channel subscription into a connection's outbound
+    queue, tagging each item with its channel kind."""
+    while True:
+        item = await sub.get()
+        await outbound.put((kind, item))
+        if item == EOS:
+            break
+
+
+async def _read_one_message(reader, splitter, decoder, stats: WireStats):
+    """Read until one complete frame decodes (the HELLO preamble)."""
+    while True:
+        chunk = await reader.read(65536)
+        if not chunk:
+            return None
+        for mtype, body in splitter.feed(chunk):
+            t0 = time.perf_counter_ns()
+            msg = decoder.decode_body(mtype, body)
+            stats.decode_ns += time.perf_counter_ns() - t0
+            stats.frames_received += 1
+            stats.bytes_received += len(body) + 8
+            return msg
+
+
+async def _serve_client(
+    main, reader, writer, splitter, decoder, stats: WireStats
+) -> None:
+    """Serve REQUEST frames from one thin-client connection."""
+    encoder = WireEncoder()
+    try:
+        while True:
+            chunk = await reader.read(65536)
+            if not chunk:
+                break
+            done = False
+            for mtype, body in splitter.feed(chunk):
+                t0 = time.perf_counter_ns()
+                msg = decoder.decode_body(mtype, body)
+                stats.decode_ns += time.perf_counter_ns() - t0
+                stats.frames_received += 1
+                stats.bytes_received += len(body) + 8
+                if msg == WIRE_EOS:
+                    done = True
+                    break
+                if isinstance(msg, InitStateRequest):
+                    if main.request_service_delay > 0:
+                        await asyncio.sleep(main.request_service_delay)
+                    state = getattr(main.ede, "state", None)
+                    response = main._serve_one(msg, state)
+                    main.responses.append(response)
+                    t0 = time.perf_counter_ns()
+                    frame = encoder.encode_response(response)
+                    stats.encode_ns += time.perf_counter_ns() - t0
+                    stats.frames_sent += 1
+                    stats.bytes_sent += len(frame)
+                    stats.flushes += 1
+                    stats.control_flushes += 1
+                    writer.write(frame)
+                    await writer.drain()
+            if done:
+                break
+    finally:
+        writer.close()
+
+
+class NetMirror:
+    """Mirror site connected to the central server over TCP.
+
+    Runs the stock :class:`AsyncMirrorSite` over subscriptions fed by
+    the socket reader; checkpoint votes travel back on the same socket.
+    Also listens on its own port for thin-client REQUEST traffic.
+    """
+
+    def __init__(self, name: str, config: Optional[MirrorConfig] = None,
+                 request_service_delay: float = 0.0,
+                 snapshot_fast_path: bool = False):
+        self.name = name
+        self.config = config if config is not None else simple_mirroring()
+        self.stats = WireStats()
+        self.data_sub = AsyncSubscription(f"{name}.data", capacity=1024)
+        self.ctrl_sub = AsyncSubscription(f"{name}.ctrl", capacity=256)
+        self.reply_to: asyncio.Queue = asyncio.Queue()
+        self.site = AsyncMirrorSite(name, self.data_sub, self.ctrl_sub, self.reply_to)
+        self.site.main.request_service_delay = request_service_delay
+        if snapshot_fast_path:
+            self.site.main.coalesce_requests = True
+            self.site.main.serve_cached_snapshots = True
+        self.site.main.delta_snapshots = self.config.delta_snapshots
+        self.site.main.delta_fallback_fraction = self.config.delta_fallback_fraction
+        self.port: Optional[int] = None
+        self._client_server: Optional[asyncio.base_events.Server] = None
+
+    async def serve_clients(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Open this mirror's own client-facing port."""
+
+        async def handle(reader, writer):
+            await _serve_client(
+                self.site.main, reader, writer,
+                FrameSplitter(), WireDecoder(), self.stats,
+            )
+
+        self._client_server = await asyncio.start_server(handle, host, port)
+        self.port = self._client_server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def run(self, host: str, port: int) -> None:
+        """Connect to central and run the mirror site to completion."""
+        reader, writer = await asyncio.open_connection(host, port)
+        hello_enc = WireEncoder()
+        writer.write(hello_enc.encode_hello(Hello("mirror", self.name)))
+        await writer.drain()
+        self.stats.frames_sent += 1
+
+        site_tasks = [
+            asyncio.create_task(self.site.receiving_task()),
+            asyncio.create_task(self.site.control_task()),
+            asyncio.create_task(self.site.main.event_loop()),
+        ]
+        reply_writer = asyncio.create_task(
+            self._reply_loop(writer, hello_enc)
+        )
+        await self._reader_loop(reader)
+        await asyncio.gather(*site_tasks)
+        # site fully drained: close the uplink
+        await self.reply_to.put(EOS)
+        await asyncio.gather(reply_writer, return_exceptions=True)
+        writer.close()
+        if self._client_server is not None:
+            self._client_server.close()
+            await self._client_server.wait_closed()
+
+    async def _reader_loop(self, reader) -> None:
+        splitter = FrameSplitter()
+        decoder = WireDecoder()
+        stats = self.stats
+        while True:
+            chunk = await reader.read(65536)
+            if not chunk:
+                # central vanished: treat as end of stream
+                await self.data_sub.put(EOS)
+                await self.ctrl_sub.put(EOS)
+                break
+            got_eos = False
+            for mtype, body in splitter.feed(chunk):
+                t0 = time.perf_counter_ns()
+                msg = decoder.decode_body(mtype, body)
+                stats.decode_ns += time.perf_counter_ns() - t0
+                stats.frames_received += 1
+                stats.bytes_received += len(body) + 8
+                if msg == WIRE_EOS:
+                    await self.data_sub.put(EOS)
+                    await self.ctrl_sub.put(EOS)
+                    got_eos = True
+                    break
+                if isinstance(msg, (UpdateEvent, EventBatch)):
+                    await self.data_sub.put(msg)
+                    self.data_sub.delivered += 1
+                elif msg is not None:
+                    await self.ctrl_sub.put(msg)
+                    self.ctrl_sub.delivered += 1
+            if got_eos:
+                break
+
+    async def _reply_loop(self, writer, encoder: WireEncoder) -> None:
+        stats = self.stats
+        while True:
+            reply = await self.reply_to.get()
+            if reply == EOS:
+                frame = encoder.encode_eos()
+                stats.frames_sent += 1
+                stats.bytes_sent += len(frame)
+                writer.write(frame)
+                await writer.drain()
+                break
+            t0 = time.perf_counter_ns()
+            frame = encoder.encode_message(reply)
+            stats.encode_ns += time.perf_counter_ns() - t0
+            stats.frames_sent += 1
+            stats.bytes_sent += len(frame)
+            stats.flushes += 1
+            stats.control_flushes += 1
+            writer.write(frame)
+            await writer.drain()
+
+
+async def _run_client(
+    host: str, ports: Sequence[int], request_times: Sequence[float],
+    stats: WireStats, time_factor: float = 0.0,
+) -> List[float]:
+    """Round-robin thin client: one connection per target port, issuing
+    ``request_times`` requests and awaiting each RESPONSE.  Returns
+    request latencies (seconds)."""
+    conns: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter,
+                      FrameSplitter, WireDecoder, WireEncoder]] = []
+    for port in ports:
+        reader, writer = await asyncio.open_connection(host, port)
+        encoder = WireEncoder()
+        writer.write(encoder.encode_hello(Hello("client", "thin")))
+        await writer.drain()
+        conns.append((reader, writer, FrameSplitter(), WireDecoder(), encoder))
+    latencies: List[float] = []
+    start = time.monotonic()
+    for i, at in enumerate(sorted(request_times)):
+        if time_factor > 0:
+            delay = start + at * time_factor - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        reader, writer, splitter, decoder, encoder = conns[i % len(conns)]
+        issued = time.monotonic()
+        request = InitStateRequest(client_id=f"thin{i}", issued_at=issued)
+        frame = encoder.encode_request(request)
+        stats.frames_sent += 1
+        stats.bytes_sent += len(frame)
+        writer.write(frame)
+        await writer.drain()
+        response = await _read_one_message(reader, splitter, decoder, stats)
+        if isinstance(response, InitStateResponse):
+            latencies.append(time.monotonic() - issued)
+    for reader, writer, splitter, decoder, encoder in conns:
+        writer.write(encoder.encode_eos())
+        await writer.drain()
+        writer.close()
+    return latencies
+
+
+async def run_net_scenario(
+    script: Optional[EventScript] = None,
+    n_mirrors: int = 1,
+    request_times: Sequence[float] = (),
+    config: Optional[MirrorConfig] = None,
+    adaptation: bool = False,
+    request_service_delay: float = 0.0,
+    snapshot_fast_path: bool = False,
+    fault_controller=None,
+    flusher_options: Optional[Dict[str, Any]] = None,
+    host: str = "127.0.0.1",
+) -> NetRunSummary:
+    """Run one full scenario over real loopback sockets (single event
+    loop, every byte through TCP)."""
+    if script is None:
+        script = generate_script(FlightDataConfig())
+    central = NetCentral(
+        n_mirrors=n_mirrors,
+        config=config,
+        adaptation=adaptation,
+        request_service_delay=request_service_delay,
+        snapshot_fast_path=snapshot_fast_path,
+        fault_controller=fault_controller,
+        flusher_options=flusher_options,
+    )
+    t0 = time.monotonic()
+    port = await central.start(host=host)
+    mirrors = [
+        NetMirror(
+            f"mirror{i+1}", config=central.config,
+            request_service_delay=request_service_delay,
+            snapshot_fast_path=snapshot_fast_path,
+        )
+        for i in range(n_mirrors)
+    ]
+    client_ports: List[int] = []
+    for mirror in mirrors:
+        client_ports.append(await mirror.serve_clients(host=host))
+    if not client_ports:
+        client_ports = [port]  # no mirrors: ask central directly
+
+    mirror_tasks = [
+        asyncio.create_task(m.run(host, port)) for m in mirrors
+    ]
+    await central.mirrors_connected.wait()
+
+    site = central.site
+    central_tasks = [
+        asyncio.create_task(site.receiving_task()),
+        asyncio.create_task(site.sending_task()),
+        asyncio.create_task(site.control_task()),
+        asyncio.create_task(site.main.event_loop()),
+    ]
+
+    async def source() -> None:
+        for se in script.fresh_events():
+            await site.data_in.put(se.event)
+        await site.data_in.put(EOS)
+
+    client_stats = WireStats()
+    drivers = [asyncio.create_task(source())]
+    client_task = None
+    if request_times:
+        client_task = asyncio.create_task(
+            _run_client(host, client_ports, request_times, client_stats)
+        )
+        drivers.append(client_task)
+    await asyncio.gather(*drivers)
+    await site.stream_done.wait()
+    await central.shutdown_stream()
+    await central.wait_mirrors_done()
+    await asyncio.gather(*mirror_tasks)
+    await site.ctrl_in.put(EOS)
+    await asyncio.gather(*central_tasks)
+    await central.close()
+
+    stats = WireStats()
+    stats.merge(central.stats)
+    stats.merge(client_stats)
+    for mirror in mirrors:
+        stats.merge(mirror.stats)
+    mains = [site.main] + [m.site.main for m in mirrors]
+    subs = [central_sub
+            for channel in (site.mirror_channel, site.ctrl_channel)
+            for central_sub in channel.subscriptions]
+    subs += [m.data_sub for m in mirrors] + [m.ctrl_sub for m in mirrors]
+    latencies = client_task.result() if client_task is not None else []
+    return NetRunSummary(
+        events_in=len(script),
+        events_mirrored=site.mirrored_events,
+        events_processed_central=site.main.ede.processed,
+        updates_distributed=len(site.main.updates),
+        requests_served=sum(len(m.responses) for m in mains),
+        checkpoint_rounds=site.coordinator.rounds_started,
+        checkpoint_commits=site.coordinator.rounds_committed,
+        adaptations=site.adaptation.adaptations if site.adaptation else 0,
+        reversions=site.adaptation.reversions if site.adaptation else 0,
+        snapshot_builds=sum(m.snapshot_builds for m in mains),
+        snapshot_cache_hits=sum(m.snapshot_cache_hits for m in mains),
+        delta_snapshots_served=sum(m.delta_snapshots_served for m in mains),
+        bytes_saved_by_delta=sum(m.bytes_saved_by_delta for m in mains),
+        adaptation_log=list(site.adaptation_log),
+        replica_digests=[site.main.ede.state_digest()]
+        + [m.site.main.ede.state_digest() for m in mirrors],
+        wall_seconds=time.monotonic() - t0,
+        mean_update_delay=(
+            sum(latencies) / len(latencies) if latencies else 0.0
+        ),
+        channel_high_watermark=max((s.high_watermark for s in subs), default=0),
+        channel_blocked_puts=sum(s.blocked_puts for s in subs),
+        wire=stats,
+    )
+
+
+# --------------------------------------------------------------------------
+# Multiprocess deployment shape (python -m repro rt --net tcp)
+# --------------------------------------------------------------------------
+def _mirror_process_main(name: str, host: str, port: int,
+                         client_port: int, result_path: str) -> None:
+    """Entry point of one mirror OS process (spawn-safe: top level)."""
+
+    async def main() -> None:
+        mirror = NetMirror(name)
+        await mirror.serve_clients(host=host, port=client_port)
+        await mirror.run(host, port)
+        with open(result_path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "site": name,
+                    "events_applied": mirror.site.main.ede.processed,
+                    "requests_served": len(mirror.site.main.responses),
+                    "digest": list(mirror.site.main.ede.state_digest()),
+                    "frames_received": mirror.stats.frames_received,
+                    "bytes_received": mirror.stats.bytes_received,
+                },
+                fh,
+            )
+
+    asyncio.run(main())
+
+
+def _client_process_main(host: str, ports: List[int], n_requests: int,
+                         result_path: str) -> None:
+    """Entry point of the thin-client OS process."""
+
+    async def main() -> None:
+        stats = WireStats()
+        latencies = await _run_client(
+            host, ports, [0.0] * n_requests, stats
+        )
+        with open(result_path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "requests": n_requests,
+                    "responses": len(latencies),
+                    "mean_latency_s": (
+                        sum(latencies) / len(latencies) if latencies else 0.0
+                    ),
+                },
+                fh,
+            )
+
+    asyncio.run(main())
+
+
+class NetProcessRunner:
+    """Run the topology as real OS processes (the CLI deployment shape).
+
+    The parent process hosts the central site; each mirror and the thin
+    client run in spawned child processes and report their results
+    through JSON files in a scratch directory.
+    """
+
+    def __init__(self, n_mirrors: int = 1, n_requests: int = 0,
+                 script: Optional[EventScript] = None,
+                 config: Optional[MirrorConfig] = None,
+                 host: str = "127.0.0.1"):
+        self.n_mirrors = n_mirrors
+        self.n_requests = n_requests
+        self.script = script if script is not None else generate_script(
+            FlightDataConfig()
+        )
+        self.config = config
+        self.host = host
+
+    def run(self) -> Dict[str, Any]:
+        import multiprocessing
+        import tempfile
+        from pathlib import Path
+
+        ctx = multiprocessing.get_context("spawn")
+        with tempfile.TemporaryDirectory(prefix="repro-net-") as tmp:
+            tmpdir = Path(tmp)
+            summary = asyncio.run(
+                self._drive(ctx, tmpdir)
+            )
+            return summary
+
+    async def _drive(self, ctx, tmpdir) -> Dict[str, Any]:
+        central = NetCentral(n_mirrors=self.n_mirrors, config=self.config)
+        port = await central.start(host=self.host)
+        # pre-assign client ports so children can bind deterministically
+        import socket
+
+        client_ports: List[int] = []
+        placeholders = []
+        for _ in range(self.n_mirrors):
+            s = socket.socket()
+            s.bind((self.host, 0))
+            client_ports.append(s.getsockname()[1])
+            placeholders.append(s)
+        for s in placeholders:
+            s.close()
+
+        procs = []
+        mirror_results = []
+        for i in range(self.n_mirrors):
+            name = f"mirror{i+1}"
+            result_path = str(tmpdir / f"{name}.json")
+            mirror_results.append(result_path)
+            proc = ctx.Process(
+                target=_mirror_process_main,
+                args=(name, self.host, port, client_ports[i], result_path),
+            )
+            proc.start()
+            procs.append(proc)
+        await central.mirrors_connected.wait()
+
+        site = central.site
+        central_tasks = [
+            asyncio.create_task(site.receiving_task()),
+            asyncio.create_task(site.sending_task()),
+            asyncio.create_task(site.control_task()),
+            asyncio.create_task(site.main.event_loop()),
+        ]
+
+        client_proc = None
+        client_result = str(tmpdir / "client.json")
+        if self.n_requests > 0:
+            targets = client_ports if client_ports else [port]
+            client_proc = ctx.Process(
+                target=_client_process_main,
+                args=(self.host, targets, self.n_requests, client_result),
+            )
+            client_proc.start()
+
+        t0 = time.monotonic()
+        for se in self.script.fresh_events():
+            await site.data_in.put(se.event)
+        await site.data_in.put(EOS)
+        await site.stream_done.wait()
+        if client_proc is not None:
+            while client_proc.is_alive():
+                await asyncio.sleep(0.01)
+            client_proc.join()
+        await central.shutdown_stream()
+        await central.wait_mirrors_done()
+        await site.ctrl_in.put(EOS)
+        await asyncio.gather(*central_tasks)
+        await central.close()
+        wall = time.monotonic() - t0
+        for proc in procs:
+            proc.join(timeout=30)
+
+        mirrors = []
+        for path in mirror_results:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    mirrors.append(json.load(fh))
+            except FileNotFoundError:
+                mirrors.append({"error": "no result file"})
+        client = None
+        if client_proc is not None:
+            try:
+                with open(client_result, encoding="utf-8") as fh:
+                    client = json.load(fh)
+            except FileNotFoundError:
+                client = {"error": "no result file"}
+        central_digest = list(site.main.ede.state_digest())
+        digests = [central_digest] + [
+            m.get("digest") for m in mirrors if "digest" in m
+        ]
+        return {
+            "backend": "tcp",
+            "events_in": len(self.script),
+            "events_mirrored": site.mirrored_events,
+            "checkpoint_rounds": site.coordinator.rounds_started,
+            "checkpoint_commits": site.coordinator.rounds_committed,
+            "wall_seconds": wall,
+            "events_per_second": (
+                len(self.script) / wall if wall > 0 else 0.0
+            ),
+            "wire": {
+                "bytes_sent": central.stats.bytes_sent,
+                "frames_sent": central.stats.frames_sent,
+                "flushes": central.stats.flushes,
+                "encode_ns": central.stats.encode_ns,
+                "decode_ns": central.stats.decode_ns,
+            },
+            "replicas_consistent": len({json.dumps(d) for d in digests}) <= 1,
+            "mirrors": mirrors,
+            "client": client,
+        }

@@ -81,17 +81,24 @@ class AsyncMainUnit:
         return self.requests.qsize() + self._pending_requests
 
     async def event_loop(self) -> None:
-        """Drain the inbox through the business logic until EOS."""
+        """Drain the inbox through the business logic until EOS.
+
+        Accepts whole :class:`EventBatch` items as well as single
+        events: batched mirror transports forward a batch as one queue
+        item, paying the asyncio hop once per batch instead of once per
+        event."""
         while True:
-            event = await self.inbox.get()
-            if event == EOS:
+            item = await self.inbox.get()
+            if item == EOS:
                 break
-            outputs = self.ede.process(event)
-            self.checkpointer.note_processed(event.stream, event.seqno)
-            if self.distribute_updates:
-                for out in outputs:
-                    self.updates.append(out)
-                    self.update_delays.append(self.clock() - out.entered_at)
+            events = item.events if isinstance(item, EventBatch) else (item,)
+            for event in events:
+                outputs = self.ede.process(event)
+                self.checkpointer.note_processed(event.stream, event.seqno)
+                if self.distribute_updates:
+                    for out in outputs:
+                        self.updates.append(out)
+                        self.update_delays.append(self.clock() - out.entered_at)
             await asyncio.sleep(0)  # cooperative yield
 
     async def request_loop(self) -> None:
@@ -391,7 +398,9 @@ class AsyncMirrorSite:
             if isinstance(event, EventBatch):
                 for member in event.events:
                     self.backup.append(member)
-                    await self.main.inbox.put(member)
+                # forward the batch whole: one inbox hop per batch (the
+                # event loop unpacks it)
+                await self.main.inbox.put(event)
                 continue
             self.backup.append(event)
             await self.main.inbox.put(event)

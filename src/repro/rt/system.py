@@ -50,6 +50,10 @@ class AsyncRunSummary:
     replica_digests: List[tuple] = field(default_factory=list)
     wall_seconds: float = 0.0
     mean_update_delay: float = 0.0
+    #: channel backpressure evidence: deepest any subscription queue ran
+    #: and how many publisher puts blocked on a full queue
+    channel_high_watermark: int = 0
+    channel_blocked_puts: int = 0
 
     @property
     def replicas_consistent(self) -> bool:
@@ -280,6 +284,10 @@ class AsyncMirroredServer:
         await asyncio.gather(*tasks, return_exceptions=True)
 
         mains = [central.main] + [m.main for m in alive_mirrors]
+        subs = (
+            central.mirror_channel.subscriptions
+            + central.ctrl_channel.subscriptions
+        )
         summary = AsyncRunSummary(
             events_in=len(script),
             events_mirrored=central.mirrored_events,
@@ -308,5 +316,9 @@ class AsyncMirroredServer:
                 if central.main.update_delays
                 else 0.0
             ),
+            channel_high_watermark=max(
+                (s.high_watermark for s in subs), default=0
+            ),
+            channel_blocked_puts=sum(s.blocked_puts for s in subs),
         )
         return summary

@@ -1,0 +1,279 @@
+"""Low-level wire primitives: varints, interning tables, tagged values.
+
+Everything in this module operates on ``bytearray`` output buffers and
+``memoryview`` input buffers so the codec layer above can frame a whole
+batch into one allocation and decode it back without copying the frame.
+
+Integers travel as LEB128 varints (unsigned; signed values are zigzag
+mapped first).  Strings travel through a per-connection *interning
+table*: the first occurrence of a string is sent literally and assigned
+the next table id, every later occurrence is a 1–2 byte reference.  The
+table is purely prefix-deterministic — the decoder reconstructs it from
+the byte stream alone — and both sides drop their tables on a RESET
+frame (see :mod:`repro.wire.codec`).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Tuple, Union
+
+__all__ = [
+    "WireError",
+    "TruncatedFrame",
+    "encode_uvarint",
+    "decode_uvarint",
+    "encode_svarint",
+    "decode_svarint",
+    "InternEncoder",
+    "InternDecoder",
+    "encode_value",
+    "decode_value",
+]
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+class WireError(ValueError):
+    """Malformed or unsupported wire data."""
+
+
+class TruncatedFrame(WireError):
+    """The buffer ended before the encoded value did."""
+
+
+# --------------------------------------------------------------- varints
+def encode_uvarint(value: int, out: bytearray) -> None:
+    """Append ``value`` (>= 0) to ``out`` as a LEB128 varint."""
+    if value < 0:
+        raise WireError(f"uvarint cannot encode negative value {value}")
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def decode_uvarint(buf: Buffer, pos: int) -> Tuple[int, int]:
+    """Read a varint at ``pos``; returns (value, new_pos)."""
+    # single-byte fast path: the overwhelming majority of wire varints
+    # (lengths, interning refs, small deltas) fit in 7 bits
+    try:
+        byte = buf[pos]
+    except IndexError:
+        raise TruncatedFrame("varint runs past end of buffer") from None
+    if not byte & 0x80:
+        return byte, pos + 1
+    result = byte & 0x7F
+    shift = 7
+    pos += 1
+    end = len(buf)
+    while True:
+        if pos >= end:
+            raise TruncatedFrame("varint runs past end of buffer")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise WireError("varint longer than 64 bits")
+
+
+def encode_svarint(value: int, out: bytearray) -> None:
+    """Append a signed integer (zigzag + varint)."""
+    encode_uvarint((value << 1) ^ (value >> 63) if value < 0 else value << 1, out)
+
+
+def decode_svarint(buf: Buffer, pos: int) -> Tuple[int, int]:
+    raw, pos = decode_uvarint(buf, pos)
+    return (raw >> 1) ^ -(raw & 1), pos
+
+
+# ------------------------------------------------------------- interning
+#: Strings longer than this are never interned (a table of huge payloads
+#: would defeat the point of a *compact* reference table).
+INTERN_MAX_LEN = 64
+
+#: Per-connection table bound; beyond it new strings travel literally.
+INTERN_TABLE_LIMIT = 4096
+
+# Head values of an interned-string encoding: 0 = literal, assign the
+# next table id; 1 = literal, no assignment; n >= 2 = reference to table
+# entry n-2.  The decoder mirrors the assignment decision from the head
+# alone, so the table stays prefix-deterministic.
+_LITERAL_ASSIGN = 0
+_LITERAL_ONCE = 1
+
+
+class InternEncoder:
+    """Sender half of a per-connection string table."""
+
+    __slots__ = ("_ids",)
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def encode(self, text: str, out: bytearray) -> None:
+        ref = self._ids.get(text)
+        if ref is not None:
+            if ref < 0x7E:  # 1-byte reference fast path
+                out.append(ref + 2)
+            else:
+                encode_uvarint(ref + 2, out)
+            return
+        raw = text.encode("utf-8")
+        if len(raw) <= INTERN_MAX_LEN and len(self._ids) < INTERN_TABLE_LIMIT:
+            self._ids[text] = len(self._ids)
+            out.append(_LITERAL_ASSIGN)
+        else:
+            out.append(_LITERAL_ONCE)
+        encode_uvarint(len(raw), out)
+        out += raw
+
+    def reset(self) -> None:
+        self._ids.clear()
+
+
+class InternDecoder:
+    """Receiver half: rebuilt purely from the byte stream."""
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def decode(self, buf: Buffer, pos: int) -> Tuple[str, int]:
+        # inline single-byte head (1-byte references dominate the stream)
+        try:
+            head = buf[pos]
+        except IndexError:
+            raise TruncatedFrame("interning head runs past end of buffer") from None
+        if head & 0x80:
+            head, pos = decode_uvarint(buf, pos)
+        else:
+            pos += 1
+        if head >= 2:
+            index = head - 2
+            if index >= len(self._table):
+                raise WireError(f"interning reference {index} out of range")
+            return self._table[index], pos
+        length, pos = decode_uvarint(buf, pos)
+        end = pos + length
+        if end > len(buf):
+            raise TruncatedFrame("interned literal runs past end of buffer")
+        text = bytes(buf[pos:end]).decode("utf-8")
+        if head == _LITERAL_ASSIGN:
+            self._table.append(text)
+        return text, end
+
+    def reset(self) -> None:
+        self._table.clear()
+
+
+# ---------------------------------------------------------- tagged values
+# One tag byte per value; containers recurse.  Strings go through the
+# interning table, so repeated payload keys ("lat", "lon", ...) cost one
+# byte each after their first appearance on a connection.
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_STR = 5
+_T_LIST = 6
+_T_DICT = 7
+_T_BYTES = 8
+_T_TUPLE = 9
+
+_F64 = struct.Struct("<d")
+
+
+def encode_value(value: Any, out: bytearray, interner: InternEncoder) -> None:
+    """Append one tagged value (None/bool/int/float/str/bytes/list/tuple/
+    dict with string keys)."""
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        encode_svarint(value, out)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        out.append(_T_STR)
+        interner.encode(value, out)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_T_BYTES)
+        encode_uvarint(len(value), out)
+        out += value
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST if isinstance(value, list) else _T_TUPLE)
+        encode_uvarint(len(value), out)
+        for item in value:
+            encode_value(item, out, interner)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        encode_uvarint(len(value), out)
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireError(f"dict keys must be str, got {type(key).__name__}")
+            interner.encode(key, out)
+            encode_value(item, out, interner)
+    else:
+        raise WireError(f"unencodable value type {type(value).__name__}")
+
+
+def decode_value(buf: Buffer, pos: int, interner: InternDecoder) -> Tuple[Any, int]:
+    """Read one tagged value at ``pos``; returns (value, new_pos)."""
+    if pos >= len(buf):
+        raise TruncatedFrame("value tag runs past end of buffer")
+    tag = buf[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        return decode_svarint(buf, pos)
+    if tag == _T_FLOAT:
+        end = pos + 8
+        if end > len(buf):
+            raise TruncatedFrame("float runs past end of buffer")
+        return _F64.unpack_from(buf, pos)[0], end
+    if tag == _T_STR:
+        return interner.decode(buf, pos)
+    if tag == _T_BYTES:
+        length, pos = decode_uvarint(buf, pos)
+        end = pos + length
+        if end > len(buf):
+            raise TruncatedFrame("bytes run past end of buffer")
+        return bytes(buf[pos:end]), end
+    if tag in (_T_LIST, _T_TUPLE):
+        count, pos = decode_uvarint(buf, pos)
+        items = []
+        for _ in range(count):
+            item, pos = decode_value(buf, pos, interner)
+            items.append(item)
+        return (items if tag == _T_LIST else tuple(items)), pos
+    if tag == _T_DICT:
+        count, pos = decode_uvarint(buf, pos)
+        mapping: Dict[str, Any] = {}
+        for _ in range(count):
+            key, pos = interner.decode(buf, pos)
+            item, pos = decode_value(buf, pos, interner)
+            mapping[key] = item
+        return mapping, pos
+    raise WireError(f"unknown value tag 0x{tag:02x}")

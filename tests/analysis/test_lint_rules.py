@@ -372,3 +372,63 @@ def test_multi_rule_pragma():
     """
     # outside strict packages only wallclock applies; both suppressed
     assert rules_in(src, TOOL) == []
+
+
+# --------------------------------------------------------- wire-no-pickle
+WIRE = "wire/codec.py"  # wire path: strict + no-pickle scope
+
+
+def test_wire_no_pickle_import_flagged():
+    src = """
+        import pickle
+
+        def decode(raw):
+            return pickle.loads(raw)
+    """
+    assert "wire-no-pickle" in rules_in(src, WIRE)
+
+
+def test_wire_no_pickle_from_import_and_marshal():
+    src = """
+        from pickle import loads
+        import marshal
+    """
+    found = rules_in(src, RT)
+    assert found.count("wire-no-pickle") == 2
+
+
+def test_wire_no_pickle_eval_and_exec_flagged():
+    src = """
+        def apply(expr, payload):
+            eval(expr)
+            exec(payload)
+    """
+    assert rules_in(src, WIRE).count("wire-no-pickle") == 2
+
+
+def test_wire_no_pickle_good_tagged_codec():
+    src = """
+        def decode(buf):
+            tag = buf[0]
+            return tag, buf[1:]
+    """
+    assert rules_in(src, WIRE) == []
+
+
+def test_wire_no_pickle_not_applied_outside_wire_and_rt():
+    src = """
+        import pickle
+    """
+    # bench.py legitimately pickles in-process baselines for size
+    # comparison; the rule only polices bytes that cross a socket.
+    assert "wire-no-pickle" not in rules_in(src, "bench.py")
+
+
+def test_wire_package_is_strict():
+    src = """
+        import time
+
+        def stamp():
+            return time.time()
+    """
+    assert "wallclock" in rules_in(src, WIRE)

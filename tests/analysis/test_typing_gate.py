@@ -31,6 +31,7 @@ def test_pyproject_declares_the_typing_gate():
     # the gate covers exactly the strict packages
     assert '"repro.core"' in pyproject
     assert '"repro.sim"' in pyproject
+    assert '"repro.wire"' in pyproject
 
 
 def test_mypy_clean_on_strict_packages():

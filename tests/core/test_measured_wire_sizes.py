@@ -1,0 +1,60 @@
+"""Measured wire sizes in the simulation (`ScenarioConfig.measured_wire_sizes`).
+
+Enabling the probe swaps the modeled ``Message.size`` for the exact
+binary-codec frame size in every serialization/link-cost charge.  That
+changes the run's *economics* (bytes on wire, costs, therefore timing)
+but must never change *what* is mirrored — and leaving it off must keep
+every run byte-identical to the seed.
+"""
+
+import math
+
+from repro.core.functions import simple_mirroring
+from repro.core.system import ScenarioConfig, run_scenario
+from repro.ois.flightdata import FlightDataConfig
+
+WORKLOAD = FlightDataConfig(n_flights=6, positions_per_flight=40, seed=99)
+
+
+def run_with(measured: bool):
+    return run_scenario(
+        ScenarioConfig(
+            n_mirrors=2,
+            mirror_config=simple_mirroring(),
+            workload=WORKLOAD,
+            measured_wire_sizes=measured,
+        )
+    )
+
+
+def test_default_runs_carry_no_probe_state():
+    m = run_with(False).metrics
+    assert m.wire_frames_encoded == 0
+    assert m.wire_bytes_encoded == 0
+    assert m.wire_encode_fallbacks == 0
+    assert math.isnan(m.wire_summary()["mean_frame_bytes"])
+
+
+def test_measured_sizes_shrink_wire_bytes_same_state():
+    modeled = run_with(False)
+    measured = run_with(True)
+
+    # the codec is far more compact than the modeled 1 KiB-per-event
+    assert measured.metrics.bytes_on_wire < modeled.metrics.bytes_on_wire
+    assert measured.metrics.wire_frames_encoded > 0
+    assert measured.metrics.wire_encode_fallbacks == 0
+    ws = measured.metrics.wire_summary()
+    assert ws["wire_bytes_encoded"] == measured.metrics.wire_bytes_encoded
+    assert ws["mean_frame_bytes"] > 0
+
+    # same replicated state either way: sizes re-cost the run, they do
+    # not change what is mirrored
+    assert measured.metrics.wire_messages == modeled.metrics.wire_messages
+    assert modeled.server.replica_digests() == measured.server.replica_digests()
+
+
+def test_default_summary_untouched():
+    """The pinned figure summary has no wire keys (figures regenerate
+    byte-identically); measured metrics live in wire_summary()."""
+    m = run_with(False).metrics
+    assert not any(k.startswith("wire_") for k in m.summary())

@@ -1,0 +1,412 @@
+"""Property-based round-trip tests for the binary wire codec.
+
+The contract under test: for every message type the runtime moves,
+``decode(encode(msg)) == msg`` — across arbitrary payload shapes,
+unicode strings, interning-table state (including mid-stream RESETs),
+and arbitrary TCP chunking.  Malformed input (truncation, wrong magic,
+wrong version, reserved flags, unknown types) is rejected loudly, never
+misdecoded.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptation import AdaptCommand
+from repro.core.checkpoint import ChkptMsg, ChkptRepMsg, CommitMsg
+from repro.core.config import MirrorConfig
+from repro.core.events import EventBatch, UpdateEvent, VectorTimestamp
+from repro.ois.clients import InitStateRequest, InitStateResponse
+from repro.ois.state import DeltaSnapshot, FlightView, StateSnapshot
+from repro.wire import (
+    EOS,
+    HEADER,
+    MAGIC,
+    RESET,
+    WIRE_VERSION,
+    FrameSplitter,
+    Hello,
+    TruncatedFrame,
+    WireDecoder,
+    WireEncoder,
+    WireError,
+    WireSizeProbe,
+)
+from repro.wire.codec import _CONFIG_WIRE_FIELDS
+
+# ------------------------------------------------------------ strategies
+# st.text() excludes surrogates by default, so every draw is utf-8 safe;
+# short alphabets force interning-table collisions/reuse.
+names = st.text(min_size=1, max_size=12)
+short_names = st.sampled_from(["faa", "delta", "ops", "wx", "DL1", "DL2"])
+uints = st.integers(min_value=0, max_value=2**40)
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+# tagged-value space: svarint carries 64-bit signed at most
+ints64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+values = st.recursive(
+    st.none()
+    | st.booleans()
+    | ints64
+    | finite
+    | st.text(max_size=16)
+    | st.binary(max_size=16),
+    lambda children: st.lists(children, max_size=3)
+    | st.lists(children, max_size=3).map(tuple)
+    | st.dictionaries(st.text(max_size=8), children, max_size=3),
+    max_leaves=8,
+)
+payloads = st.dictionaries(st.text(max_size=8), values, max_size=4)
+
+clocks = st.dictionaries(short_names, st.integers(0, 10**6), max_size=4)
+vts = clocks.map(VectorTimestamp)
+
+events = st.builds(
+    UpdateEvent,
+    kind=short_names,
+    stream=short_names,
+    seqno=st.integers(0, 10**6),
+    key=names,
+    payload=payloads,
+    size=st.one_of(st.just(1024), st.integers(0, 10**6)),
+    vt=st.none() | vts,
+    entered_at=st.one_of(st.just(0.0), finite),
+    coalesced_from=st.integers(1, 64),
+    uid=st.integers(0, 2**40),
+)
+
+chkpts = st.builds(ChkptMsg.from_wire, round_id=uints, vt=vts)
+chkpt_reps = st.builds(
+    ChkptRepMsg.from_wire,
+    round_id=uints,
+    site=names,
+    vt=vts,
+    monitored=st.dictionaries(short_names, finite, max_size=4),
+)
+configs = st.builds(
+    MirrorConfig,
+    coalesce_enabled=st.booleans(),
+    coalesce_max=st.integers(1, 32),
+    coalesce_kinds=st.none() | st.tuples(short_names, short_names),
+    type_filters=st.tuples() | st.tuples(short_names),
+    overwrite=st.dictionaries(short_names, st.integers(1, 8), max_size=2),
+    checkpoint_freq=st.integers(1, 500),
+    batch_size=st.integers(1, 128),
+    serve_cached_snapshots=st.booleans(),
+    delta_snapshots=st.booleans(),
+    delta_fallback_fraction=st.floats(0.0, 1.0, exclude_min=True),
+)
+adapts = st.none() | st.builds(
+    AdaptCommand,
+    action=st.sampled_from(["adapt", "revert"]),
+    config=configs,
+    seq=uints,
+)
+commits = st.builds(CommitMsg.from_wire, round_id=uints, vt=vts, adapt=adapts)
+
+requests = st.builds(
+    InitStateRequest,
+    client_id=names,
+    issued_at=finite,
+    reply_to=st.just("") | names,
+    resume_generation=st.none() | uints,
+    resume_as_of=st.none() | clocks,
+)
+responses = st.builds(
+    InitStateResponse,
+    client_id=names,
+    issued_at=finite,
+    served_at=finite,
+    snapshot_size=uints,
+    served_by=names,
+    generation=uints,
+    delta=st.booleans(),
+    full_size=st.none() | uints,
+    degraded=st.booleans(),
+)
+
+positions = st.dictionaries(
+    st.sampled_from(["lat", "lon", "alt", "speed"]), finite, max_size=4
+).map(lambda d: tuple(sorted(d.items())))
+flight_views = st.builds(
+    FlightView,
+    flight_id=names,
+    status=short_names,
+    passengers_expected=st.integers(0, 500),
+    passengers_boarded=st.integers(0, 500),
+    updates_applied=uints,
+    arrived=st.booleans(),
+    position=positions,
+)
+snapshots = st.builds(
+    StateSnapshot,
+    taken_at=finite,
+    flight_count=uints,
+    size=uints,
+    as_of=clocks,
+    generation=uints,
+    flights=st.lists(flight_views, max_size=4).map(tuple),
+)
+deltas = st.builds(
+    DeltaSnapshot,
+    taken_at=finite,
+    base_generation=uints,
+    generation=uints,
+    flight_count=uints,
+    size=uints,
+    full_size=uints,
+    as_of=clocks,
+    flights=st.lists(flight_views, max_size=4).map(tuple),
+)
+hellos = st.builds(Hello, role=st.sampled_from(["mirror", "client"]), name=names)
+
+messages = st.one_of(
+    events,
+    st.lists(events, min_size=1, max_size=6).map(EventBatch),
+    chkpts,
+    chkpt_reps,
+    commits,
+    requests,
+    responses,
+    snapshots,
+    deltas,
+    hellos,
+    st.just(EOS),
+)
+
+
+def roundtrip(msg):
+    enc, dec = WireEncoder(), WireDecoder()
+    out, used = dec.decode_frame(enc.encode_message(msg))
+    frame_len = enc.bytes_out
+    assert used == frame_len
+    return out
+
+
+def assert_config_equal(a: MirrorConfig, b: MirrorConfig) -> None:
+    for name in _CONFIG_WIRE_FIELDS:
+        va, vb = getattr(a, name), getattr(b, name)
+        if isinstance(va, tuple) or isinstance(vb, tuple):
+            assert tuple(va) == tuple(vb), name
+        else:
+            assert va == vb, name
+
+
+# ----------------------------------------------------- per-type identity
+@given(events)
+@settings(max_examples=200)
+def test_event_roundtrip(ev):
+    assert roundtrip(ev) == ev
+
+
+@given(st.lists(events, min_size=1, max_size=8))
+@settings(max_examples=100)
+def test_batch_roundtrip(evs):
+    out = roundtrip(EventBatch(evs))
+    assert isinstance(out, EventBatch)
+    assert out.events == evs
+
+
+@given(chkpts)
+@settings(max_examples=100)
+def test_chkpt_roundtrip(msg):
+    out = roundtrip(msg)
+    assert (out.round_id, out.vt) == (msg.round_id, msg.vt)
+
+
+@given(chkpt_reps)
+@settings(max_examples=100)
+def test_chkpt_rep_roundtrip(msg):
+    out = roundtrip(msg)
+    assert (out.round_id, out.site, out.vt, out.monitored) == (
+        msg.round_id,
+        msg.site,
+        msg.vt,
+        msg.monitored,
+    )
+
+
+@given(commits)
+@settings(max_examples=100)
+def test_commit_roundtrip(msg):
+    out = roundtrip(msg)
+    assert (out.round_id, out.vt) == (msg.round_id, msg.vt)
+    if msg.adapt is None:
+        assert out.adapt is None
+    else:
+        assert out.adapt.action == msg.adapt.action
+        assert out.adapt.seq == msg.adapt.seq
+        assert_config_equal(out.adapt.config, msg.adapt.config)
+
+
+@given(requests)
+@settings(max_examples=100)
+def test_request_roundtrip(req):
+    out = roundtrip(req)
+    assert out == req
+
+
+@given(responses)
+@settings(max_examples=100)
+def test_response_roundtrip(resp):
+    assert roundtrip(resp) == resp
+
+
+@given(snapshots)
+@settings(max_examples=60)
+def test_snapshot_roundtrip(snap):
+    assert roundtrip(snap) == snap
+
+
+@given(deltas)
+@settings(max_examples=60)
+def test_delta_roundtrip(delta):
+    assert roundtrip(delta) == delta
+
+
+@given(hellos)
+@settings(max_examples=40)
+def test_hello_roundtrip(hello):
+    assert roundtrip(hello) == hello
+
+
+def test_eos_roundtrip():
+    assert roundtrip(EOS) == EOS
+
+
+# --------------------------------------- streams, interning, and RESETs
+@given(st.lists(messages, min_size=1, max_size=12), st.data())
+@settings(max_examples=60, deadline=None)
+def test_stream_roundtrip_with_interning_resets(msgs, data):
+    """A connection-long byte stream decodes back to the same message
+    sequence even when the encoder RESETs its interning table at
+    arbitrary points (both sides drop state in lockstep)."""
+    enc, dec = WireEncoder(), WireDecoder()
+    wire = bytearray()
+    for msg in msgs:
+        if data.draw(st.booleans(), label="reset before message"):
+            wire += enc.reset()
+        wire += enc.encode_message(msg)
+    out = dec.decode_all(bytes(wire))
+    assert len(out) == len(msgs)
+    for got, want in zip(out, msgs):
+        if isinstance(want, EventBatch):
+            assert got.events == want.events
+        elif isinstance(want, CommitMsg):
+            assert (got.round_id, got.vt) == (want.round_id, want.vt)
+        elif isinstance(want, (ChkptMsg, ChkptRepMsg)):
+            assert got.round_id == want.round_id and got.vt == want.vt
+        else:
+            assert got == want
+
+
+def test_reset_frame_drops_decoder_state():
+    enc, dec = WireEncoder(), WireDecoder()
+    ev = UpdateEvent("k", "s", 1, "key", {"a": 1}, uid=7)
+    first = enc.encode_event(ev)
+    wire = first + enc.reset() + enc.encode_event(ev)
+    out = dec.decode_all(wire)
+    assert out == [ev, ev]
+    # after the RESET the strings travel literally again, so the second
+    # event frame is as large as the first (no stale references)
+    assert len(enc.reset() or b"") >= HEADER.size
+
+
+@given(st.lists(events, min_size=2, max_size=6))
+@settings(max_examples=50)
+def test_interning_shrinks_repeated_frames(evs):
+    """Re-sending the same events on one connection can only get
+    cheaper: every string is a table reference the second time."""
+    enc = WireEncoder()
+    first = sum(len(enc.encode_event(ev)) for ev in evs)
+    second = sum(len(enc.encode_event(ev)) for ev in evs)
+    assert second <= first
+    dec = WireDecoder()
+    wire = bytearray()
+    enc2 = WireEncoder()
+    for ev in evs * 2:
+        wire += enc2.encode_event(ev)
+    assert dec.decode_all(bytes(wire)) == evs * 2
+
+
+# ----------------------------------------------------- malformed frames
+@given(messages, st.data())
+@settings(max_examples=100)
+def test_truncated_frames_rejected(msg, data):
+    frame = WireEncoder().encode_message(msg)
+    cut = data.draw(st.integers(0, len(frame) - 1), label="cut")
+    try:
+        WireDecoder().decode_frame(frame[:cut])
+    except TruncatedFrame:
+        pass
+    else:
+        raise AssertionError("strict frame prefix decoded successfully")
+
+
+@given(messages)
+@settings(max_examples=50)
+def test_bad_magic_and_version_rejected(msg):
+    frame = bytearray(WireEncoder().encode_message(msg))
+    bad_magic = bytes([frame[0] ^ 0xFF]) + bytes(frame[1:])
+    bad_version = bytes(frame[:1]) + bytes([WIRE_VERSION + 1]) + bytes(frame[2:])
+    bad_flags = bytes(frame[:3]) + b"\x01" + bytes(frame[4:])
+    for corrupted in (bad_magic, bad_version, bad_flags):
+        try:
+            WireDecoder().decode_frame(corrupted)
+        except TruncatedFrame:
+            raise AssertionError("corruption misread as truncation")
+        except WireError:
+            continue
+        raise AssertionError("corrupted frame decoded successfully")
+
+
+def test_unknown_frame_type_rejected():
+    frame = bytearray(HEADER.size)
+    HEADER.pack_into(frame, 0, MAGIC, WIRE_VERSION, 0x7F, 0, 0)
+    try:
+        WireDecoder().decode_frame(bytes(frame))
+    except WireError as exc:
+        assert "unknown frame type" in str(exc)
+    else:
+        raise AssertionError("unknown frame type decoded")
+
+
+# ------------------------------------------------------- TCP reassembly
+@given(st.lists(messages, min_size=1, max_size=8), st.data())
+@settings(max_examples=60, deadline=None)
+def test_frame_splitter_arbitrary_chunking(msgs, data):
+    """Chopping the byte stream at any boundaries (TCP gives no framing)
+    reassembles exactly the frames that were sent."""
+    enc = WireEncoder()
+    wire = b"".join(enc.encode_message(m) for m in msgs)
+    splitter = FrameSplitter()
+    decoder = WireDecoder()
+    out = []
+    pos = 0
+    while pos < len(wire):
+        step = data.draw(st.integers(1, max(1, len(wire) - pos)), label="chunk")
+        for mtype, body in splitter.feed(wire[pos:pos + step]):
+            decoded = decoder.decode_body(mtype, body)
+            if decoded is not RESET:
+                out.append(decoded)
+        pos += step
+    assert splitter.pending() == 0
+    assert len(out) == len(msgs)
+
+
+# --------------------------------------------- sim-vs-wire size agreement
+@given(st.lists(messages, min_size=1, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_probe_sizes_match_real_encoder(msgs):
+    """The simulation's measured-size probe reports exactly the bytes a
+    real connection would put on the wire: same per-destination encoder
+    state, same frames, byte for byte."""
+    from repro.cluster.transport import Message
+
+    probe = WireSizeProbe()
+    reference = WireEncoder()
+    for msg in msgs:
+        wrapped = Message(kind="data", payload=msg, size=1, src="a", dst="b")
+        measured = probe.measure(wrapped)
+        assert measured == len(reference.encode_message(msg))
+    assert probe.fallbacks == 0
+    assert probe.bytes_measured == reference.bytes_out
