@@ -48,6 +48,7 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -385,24 +386,19 @@ class NetCentral:
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        splitter = FrameSplitter()
-        decoder = WireDecoder()
-        hello = await _read_one_message(reader, splitter, decoder, self.stats)
+        frames = _FrameReader(reader, self.stats)
+        hello = await frames.next_message()
         if not isinstance(hello, Hello):
             writer.close()
             return
         if hello.role == "mirror":
-            await self._serve_mirror(hello.name, reader, writer, splitter, decoder)
+            await self._serve_mirror(hello.name, writer, frames)
         elif hello.role == "client":
-            await _serve_client(
-                self.site.main, reader, writer, splitter, decoder, self.stats
-            )
+            await _serve_client(self.site.main, writer, frames, self.stats)
         else:
             writer.close()
 
-    async def _serve_mirror(
-        self, name, reader, writer, splitter, decoder
-    ) -> None:
+    async def _serve_mirror(self, name, writer, frames: "_FrameReader") -> None:
         conn = _MirrorConnection(name)
         self.connections[name] = conn
         sender = asyncio.create_task(self._writer_loop(conn, writer))
@@ -410,22 +406,11 @@ class NetCentral:
             self.mirrors_connected.set()
         try:
             while True:
-                chunk = await reader.read(65536)
-                if not chunk:
+                msg = await frames.next_message()
+                if msg is None or msg == WIRE_EOS:
                     break
-                got_eos = False
-                for mtype, body in splitter.feed(chunk):
-                    t0 = time.perf_counter_ns()
-                    msg = decoder.decode_body(mtype, body)
-                    self.stats.decode_ns += time.perf_counter_ns() - t0
-                    self.stats.frames_received += 1
-                    self.stats.bytes_received += len(body) + 8
-                    if msg == WIRE_EOS:
-                        got_eos = True
-                    elif msg is not None and not isinstance(msg, Hello):
-                        await self.site.ctrl_in.put(msg)
-                if got_eos:
-                    break
+                if not isinstance(msg, Hello):
+                    await self.site.ctrl_in.put(msg)
         finally:
             conn.closed = True  # stop the broadcast fan-out to this one
             await conn.outbound.put(("close", b""))
@@ -462,11 +447,15 @@ class NetCentral:
                 flusher.add(conn.encoder.encode_eos() if faulty else item)
                 await flusher.flush("control")
                 continue
-            # size is only known pre-encoding on the fast path; the
-            # controller's link rules match on traffic kind and endpoints
+            # fast path: item is the encoded frame, use its real length;
+            # faulty path: item is the message object, use its modeled
+            # size so size-conditioned link rules see comparable values
             copies = await _apply_link_faults(
                 self.fault_controller,
-                _FrameEnvelope(kind=kind, size=len(item) if not faulty else 0),
+                _FrameEnvelope(
+                    kind=kind,
+                    size=getattr(item, "size", 0) if faulty else len(item),
+                ),
                 "central", conn.name, self._elapsed(), stats,
             )
             for _ in range(copies):
@@ -512,58 +501,65 @@ async def _forward(sub: AsyncSubscription, outbound: asyncio.Queue, kind: str) -
             break
 
 
-async def _read_one_message(reader, splitter, decoder, stats: WireStats):
-    """Read until one complete frame decodes (the HELLO preamble)."""
-    while True:
-        chunk = await reader.read(65536)
-        if not chunk:
-            return None
-        for mtype, body in splitter.feed(chunk):
-            t0 = time.perf_counter_ns()
-            msg = decoder.decode_body(mtype, body)
-            stats.decode_ns += time.perf_counter_ns() - t0
-            stats.frames_received += 1
-            stats.bytes_received += len(body) + 8
-            return msg
+class _FrameReader:
+    """Decode messages from one socket stream, one at a time.
+
+    A single TCP read can complete several frames — a client's HELLO and
+    first REQUEST routinely coalesce into one chunk — so every message
+    decoded from a chunk is queued and handed out by ``next_message``.
+    The queue travels with the connection when it is handed from the
+    preamble read to a serve loop, so no frame is ever dropped at the
+    handoff.
+    """
+
+    __slots__ = ("_reader", "_splitter", "_decoder", "_stats", "_pending")
+
+    def __init__(self, reader, stats: WireStats) -> None:
+        self._reader = reader
+        self._splitter = FrameSplitter()
+        self._decoder = WireDecoder()
+        self._stats = stats
+        self._pending: deque = deque()
+
+    async def next_message(self):
+        """Return the next decoded message; None once the peer closed."""
+        while not self._pending:
+            chunk = await self._reader.read(65536)
+            if not chunk:
+                return None
+            for mtype, body in self._splitter.feed(chunk):
+                t0 = time.perf_counter_ns()
+                msg = self._decoder.decode_body(mtype, body)
+                self._stats.decode_ns += time.perf_counter_ns() - t0
+                self._stats.frames_received += 1
+                self._stats.bytes_received += len(body) + 8
+                self._pending.append(msg)
+        return self._pending.popleft()
 
 
-async def _serve_client(
-    main, reader, writer, splitter, decoder, stats: WireStats
-) -> None:
+async def _serve_client(main, writer, frames: _FrameReader, stats: WireStats) -> None:
     """Serve REQUEST frames from one thin-client connection."""
     encoder = WireEncoder()
     try:
         while True:
-            chunk = await reader.read(65536)
-            if not chunk:
+            msg = await frames.next_message()
+            if msg is None or msg == WIRE_EOS:
                 break
-            done = False
-            for mtype, body in splitter.feed(chunk):
+            if isinstance(msg, InitStateRequest):
+                if main.request_service_delay > 0:
+                    await asyncio.sleep(main.request_service_delay)
+                state = getattr(main.ede, "state", None)
+                response = main._serve_one(msg, state)
+                main.responses.append(response)
                 t0 = time.perf_counter_ns()
-                msg = decoder.decode_body(mtype, body)
-                stats.decode_ns += time.perf_counter_ns() - t0
-                stats.frames_received += 1
-                stats.bytes_received += len(body) + 8
-                if msg == WIRE_EOS:
-                    done = True
-                    break
-                if isinstance(msg, InitStateRequest):
-                    if main.request_service_delay > 0:
-                        await asyncio.sleep(main.request_service_delay)
-                    state = getattr(main.ede, "state", None)
-                    response = main._serve_one(msg, state)
-                    main.responses.append(response)
-                    t0 = time.perf_counter_ns()
-                    frame = encoder.encode_response(response)
-                    stats.encode_ns += time.perf_counter_ns() - t0
-                    stats.frames_sent += 1
-                    stats.bytes_sent += len(frame)
-                    stats.flushes += 1
-                    stats.control_flushes += 1
-                    writer.write(frame)
-                    await writer.drain()
-            if done:
-                break
+                frame = encoder.encode_response(response)
+                stats.encode_ns += time.perf_counter_ns() - t0
+                stats.frames_sent += 1
+                stats.bytes_sent += len(frame)
+                stats.flushes += 1
+                stats.control_flushes += 1
+                writer.write(frame)
+                await writer.drain()
     finally:
         writer.close()
 
@@ -600,8 +596,8 @@ class NetMirror:
 
         async def handle(reader, writer):
             await _serve_client(
-                self.site.main, reader, writer,
-                FrameSplitter(), WireDecoder(), self.stats,
+                self.site.main, writer,
+                _FrameReader(reader, self.stats), self.stats,
             )
 
         self._client_server = await asyncio.start_server(handle, host, port)
@@ -635,36 +631,20 @@ class NetMirror:
             await self._client_server.wait_closed()
 
     async def _reader_loop(self, reader) -> None:
-        splitter = FrameSplitter()
-        decoder = WireDecoder()
-        stats = self.stats
+        frames = _FrameReader(reader, self.stats)
         while True:
-            chunk = await reader.read(65536)
-            if not chunk:
-                # central vanished: treat as end of stream
+            msg = await frames.next_message()
+            if msg is None or msg == WIRE_EOS:
+                # clean EOS, or central vanished: end of stream either way
                 await self.data_sub.put(EOS)
                 await self.ctrl_sub.put(EOS)
                 break
-            got_eos = False
-            for mtype, body in splitter.feed(chunk):
-                t0 = time.perf_counter_ns()
-                msg = decoder.decode_body(mtype, body)
-                stats.decode_ns += time.perf_counter_ns() - t0
-                stats.frames_received += 1
-                stats.bytes_received += len(body) + 8
-                if msg == WIRE_EOS:
-                    await self.data_sub.put(EOS)
-                    await self.ctrl_sub.put(EOS)
-                    got_eos = True
-                    break
-                if isinstance(msg, (UpdateEvent, EventBatch)):
-                    await self.data_sub.put(msg)
-                    self.data_sub.delivered += 1
-                elif msg is not None:
-                    await self.ctrl_sub.put(msg)
-                    self.ctrl_sub.delivered += 1
-            if got_eos:
-                break
+            if isinstance(msg, (UpdateEvent, EventBatch)):
+                await self.data_sub.put(msg)
+                self.data_sub.delivered += 1
+            else:
+                await self.ctrl_sub.put(msg)
+                self.ctrl_sub.delivered += 1
 
     async def _reply_loop(self, writer, encoder: WireEncoder) -> None:
         stats = self.stats
@@ -695,14 +675,13 @@ async def _run_client(
     """Round-robin thin client: one connection per target port, issuing
     ``request_times`` requests and awaiting each RESPONSE.  Returns
     request latencies (seconds)."""
-    conns: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter,
-                      FrameSplitter, WireDecoder, WireEncoder]] = []
+    conns: List[Tuple[asyncio.StreamWriter, _FrameReader, WireEncoder]] = []
     for port in ports:
         reader, writer = await asyncio.open_connection(host, port)
         encoder = WireEncoder()
         writer.write(encoder.encode_hello(Hello("client", "thin")))
         await writer.drain()
-        conns.append((reader, writer, FrameSplitter(), WireDecoder(), encoder))
+        conns.append((writer, _FrameReader(reader, stats), encoder))
     latencies: List[float] = []
     start = time.monotonic()
     for i, at in enumerate(sorted(request_times)):
@@ -710,7 +689,7 @@ async def _run_client(
             delay = start + at * time_factor - time.monotonic()
             if delay > 0:
                 await asyncio.sleep(delay)
-        reader, writer, splitter, decoder, encoder = conns[i % len(conns)]
+        writer, frames, encoder = conns[i % len(conns)]
         issued = time.monotonic()
         request = InitStateRequest(client_id=f"thin{i}", issued_at=issued)
         frame = encoder.encode_request(request)
@@ -718,10 +697,10 @@ async def _run_client(
         stats.bytes_sent += len(frame)
         writer.write(frame)
         await writer.drain()
-        response = await _read_one_message(reader, splitter, decoder, stats)
+        response = await frames.next_message()
         if isinstance(response, InitStateResponse):
             latencies.append(time.monotonic() - issued)
-    for reader, writer, splitter, decoder, encoder in conns:
+    for writer, frames, encoder in conns:
         writer.write(encoder.encode_eos())
         await writer.drain()
         writer.close()

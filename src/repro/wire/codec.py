@@ -443,6 +443,8 @@ class WireDecoder:
 
     # -- bodies --------------------------------------------------------
     def _vt(self, buf, pos: int) -> Tuple[Optional[VectorTimestamp], int]:
+        if pos >= len(buf):
+            raise TruncatedFrame("timestamp presence byte missing")
         present = buf[pos]
         pos += 1
         if not present:
@@ -592,6 +594,8 @@ class WireDecoder:
             pos += 1
             adapt = None
             if has_adapt:
+                if pos >= len(body):
+                    raise TruncatedFrame("commit adapt action missing")
                 action = "adapt" if body[pos] == 0 else "revert"
                 pos += 1
                 seq, pos = decode_uvarint(body, pos)
@@ -608,11 +612,15 @@ class WireDecoder:
             client_id, pos = self._interner.decode(body, 0)
             issued_at, pos = self._f64(body, pos)
             reply_to, pos = self._interner.decode(body, pos)
+            if pos >= len(body):
+                raise TruncatedFrame("request resume-generation flag missing")
             resume_generation = None
             if body[pos]:
                 resume_generation, pos = decode_uvarint(body, pos + 1)
             else:
                 pos += 1
+            if pos >= len(body):
+                raise TruncatedFrame("request resume-as-of flag missing")
             resume_as_of = None
             if body[pos]:
                 resume_as_of, pos = self._marks(body, pos + 1)
@@ -633,6 +641,8 @@ class WireDecoder:
             snapshot_size, pos = decode_uvarint(body, pos)
             served_by, pos = self._interner.decode(body, pos)
             generation, pos = decode_uvarint(body, pos)
+            if pos >= len(body):
+                raise TruncatedFrame("response flags byte missing")
             flags = body[pos]
             pos += 1
             full_size = None

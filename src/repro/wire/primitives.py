@@ -43,10 +43,21 @@ class TruncatedFrame(WireError):
 
 
 # --------------------------------------------------------------- varints
+# The wire integer range is exactly 64 bits: values outside it must be
+# rejected at *encode* time, because a wider zigzag would silently alias
+# (-2**63 - 1 maps onto +2**63) and the peer's decoder rejects >64-bit
+# varints, killing the connection asymmetrically.
+_U64_MAX = (1 << 64) - 1
+_S64_MIN = -(1 << 63)
+_S64_MAX = (1 << 63) - 1
+
+
 def encode_uvarint(value: int, out: bytearray) -> None:
     """Append ``value`` (>= 0) to ``out`` as a LEB128 varint."""
     if value < 0:
         raise WireError(f"uvarint cannot encode negative value {value}")
+    if value > _U64_MAX:
+        raise WireError(f"uvarint value {value} exceeds the 64-bit wire range")
     while value > 0x7F:
         out.append((value & 0x7F) | 0x80)
         value >>= 7
@@ -74,6 +85,8 @@ def decode_uvarint(buf: Buffer, pos: int) -> Tuple[int, int]:
         pos += 1
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
+            if result > _U64_MAX:
+                raise WireError("varint exceeds the 64-bit wire range")
             return result, pos
         shift += 7
         if shift > 63:
@@ -81,7 +94,9 @@ def decode_uvarint(buf: Buffer, pos: int) -> Tuple[int, int]:
 
 
 def encode_svarint(value: int, out: bytearray) -> None:
-    """Append a signed integer (zigzag + varint)."""
+    """Append a signed integer (zigzag + varint); 64-bit range only."""
+    if not _S64_MIN <= value <= _S64_MAX:
+        raise WireError(f"svarint value {value} outside the 64-bit wire range")
     encode_uvarint((value << 1) ^ (value >> 63) if value < 0 else value << 1, out)
 
 

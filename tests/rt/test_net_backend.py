@@ -70,6 +70,54 @@ def test_net_serves_client_requests():
     assert summary.replicas_consistent
 
 
+def test_net_central_serves_requests_without_mirrors():
+    """Regression: with no mirrors the thin client talks to central
+    directly and its HELLO and first REQUEST coalesce into one TCP
+    chunk; the request used to be dropped at the preamble handoff,
+    hanging the scenario."""
+    summary = run(
+        asyncio.wait_for(
+            run_net_scenario(script(), n_mirrors=0, request_times=[0.0, 0.0]),
+            timeout=30,
+        )
+    )
+    assert summary.requests_served == 2
+
+
+def test_frame_reader_keeps_coalesced_frames():
+    """Every frame completed by one TCP chunk is handed out in order —
+    none are lost when the reader outlives the preamble read."""
+    from repro.ois.clients import InitStateRequest
+    from repro.rt.net import WireStats, _FrameReader
+    from repro.wire import Hello, WireEncoder
+
+    class OneShotReader:
+        def __init__(self, data):
+            self._data = data
+
+        async def read(self, n):
+            data, self._data = self._data, b""
+            return data
+
+    enc = WireEncoder()
+    chunk = enc.encode_hello(Hello("client", "thin")) + enc.encode_request(
+        InitStateRequest(client_id="thin0", issued_at=0.0)
+    )
+
+    async def drain():
+        frames = _FrameReader(OneShotReader(chunk), WireStats())
+        out = []
+        while True:
+            msg = await frames.next_message()
+            if msg is None:
+                return out
+            out.append(msg)
+
+    hello, request = run(drain())
+    assert isinstance(hello, Hello)
+    assert isinstance(request, InitStateRequest)
+
+
 def test_net_run_summary_surfaces_channel_pressure():
     summary = run(run_net_scenario(script(), n_mirrors=2, config=batched()))
     assert summary.channel_high_watermark >= 1

@@ -359,6 +359,64 @@ def test_bad_magic_and_version_rejected(msg):
         raise AssertionError("corrupted frame decoded successfully")
 
 
+def test_varint_64bit_boundaries_roundtrip():
+    from repro.wire.primitives import decode_svarint, encode_svarint
+
+    for value in (-(2**63), -1, 0, 1, 2**63 - 1):
+        out = bytearray()
+        encode_svarint(value, out)
+        back, used = decode_svarint(bytes(out), 0)
+        assert back == value
+        assert used == len(out)
+
+
+def test_varint_out_of_wire_range_rejected():
+    """Ints outside the 64-bit wire range must fail loudly at encode
+    time — a wider zigzag silently aliases (-2**63 - 1 would round-trip
+    as +2**63) and the peer's decoder rejects the bytes anyway."""
+    from repro.wire.primitives import decode_uvarint, encode_svarint, encode_uvarint
+
+    for value in (-(2**63) - 1, 2**63, 2**200, -(2**200)):
+        try:
+            encode_svarint(value, bytearray())
+        except WireError:
+            continue
+        raise AssertionError(f"svarint encoded out-of-range {value}")
+    for value in (2**64, 2**200):
+        try:
+            encode_uvarint(value, bytearray())
+        except WireError:
+            continue
+        raise AssertionError(f"uvarint encoded out-of-range {value}")
+    # decode side: a varint carrying more than 64 bits is malformed
+    overwide = bytes([0xFF] * 9 + [0x7F])
+    try:
+        decode_uvarint(overwide, 0)
+    except WireError:
+        pass
+    else:
+        raise AssertionError("decoded a >64-bit varint")
+
+
+@given(messages)
+@settings(max_examples=60, deadline=None)
+def test_truncated_bodies_reject_cleanly(msg):
+    """Cutting a frame *body* anywhere raises the codec's WireError /
+    TruncatedFrame contract — never a bare IndexError (single-byte
+    flag reads must be bounds-checked like every other field)."""
+    frame = bytes(WireEncoder().encode_message(msg))
+    mtype = HEADER.unpack_from(frame, 0)[2]
+    body = frame[HEADER.size:]
+    for cut in range(len(body)):
+        try:
+            WireDecoder().decode_body(mtype, body[:cut])
+        except WireError:
+            continue
+        raise AssertionError(
+            f"{type(msg).__name__} body cut at {cut} decoded successfully"
+        )
+
+
 def test_unknown_frame_type_rejected():
     frame = bytearray(HEADER.size)
     HEADER.pack_into(frame, 0, MAGIC, WIRE_VERSION, 0x7F, 0, 0)
