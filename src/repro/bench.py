@@ -242,9 +242,16 @@ def _wire_events(n: int):
     return [se.event for se in script.fresh_events()]
 
 
-def _bench_wire_roundtrip(scale: float) -> Tuple[int, Callable[[], None]]:
-    """Codec hot loop: encode 32-event batches, decode them back."""
+def _bench_wire_roundtrip(scale: float) -> Tuple[int, Callable[[], None], dict]:
+    """Codec hot loop: encode 32-event batches, decode them back.
+
+    When the accelerated lane is loaded, the recorded info also carries
+    ``accel_speedup_vs_pure``: the same loop timed with ``accel.impl``
+    nulled (pure-Python lane) over the accelerated time — the fact
+    backing the PR's >= 5x codec-lane claim.
+    """
     from .wire import WireDecoder, WireEncoder
+    from .wire import accel as _accel_mod
 
     events = _wire_events(max(64, int(10_000 * scale)))
     n = len(events)
@@ -258,7 +265,21 @@ def _bench_wire_roundtrip(scale: float) -> Tuple[int, Callable[[], None]]:
             decoded += len(batch.events)
         assert decoded == n
 
-    return n, run
+    info: dict = {"accel_lane": _accel_mod.AVAILABLE}
+    if _accel_mod.AVAILABLE:
+        saved = _accel_mod.impl
+        _accel_mod.impl = None
+        try:
+            run()  # pure-lane warmup
+            pure_best = min(_time_once(run) for _ in range(3))
+        finally:
+            _accel_mod.impl = saved
+        run()  # accel-lane warmup
+        accel_best = min(_time_once(run) for _ in range(3))
+        info["pure_python_ops_per_sec"] = n / pure_best
+        info["accel_speedup_vs_pure"] = pure_best / accel_best
+
+    return n, run, info
 
 
 def _bench_wire_vs_json(scale: float):
@@ -526,6 +547,26 @@ def history_main(pattern: str = "BENCH_*.json") -> int:
     return 0
 
 
+def profile_main(name: str, scale: float = 1.0, top: int = 20) -> int:
+    """``--profile`` mode: run one benchmark under :mod:`cProfile` and
+    print the top ``top`` entries by cumulative time, so perf work can
+    locate hot spots without ad-hoc scripts."""
+    import cProfile
+    import pstats
+
+    made = BENCHMARKS[name](scale)
+    ops, run = made[0], made[1]
+    run()  # warm-up pass: imports and caches settle outside the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run()
+    profiler.disable()
+    print(f"profile: {name} ({ops} ops, scale {scale:g})")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
+    return 0
+
+
 def machine_info() -> Dict[str, object]:
     """Host fingerprint stored with every record (numbers are host-bound)."""
     return {
@@ -581,6 +622,11 @@ def main(argv: List[str] | None = None) -> int:
         help="aggregate all BENCH_*.json in the working directory into "
         "one op/s trajectory table instead of running",
     )
+    parser.add_argument(
+        "--profile", metavar="NAME", choices=sorted(BENCHMARKS), default=None,
+        help="run one benchmark under cProfile and print the top-20 "
+        "cumulative entries instead of timing",
+    )
     args = parser.parse_args(argv)
     if args.compare is not None:
         return compare_main(args.compare[0], args.compare[1], args.max_regress)
@@ -594,6 +640,8 @@ def main(argv: List[str] | None = None) -> int:
         parser.error("--scale must be positive")
     if repeats < 1:
         parser.error("--repeats must be >= 1")
+    if args.profile is not None:
+        return profile_main(args.profile, scale)
 
     results = run_suite(
         scale=scale, repeats=repeats, only=args.only, progress=print

@@ -72,11 +72,10 @@ class Link:
         """
         if nbytes < 0:
             raise ValueError("message size must be >= 0")
-        with self.channel.request() as req:
-            yield req
-            tx = self.spec.transfer_time(nbytes)
-            if tx:
-                yield self.env.timeout(tx)
+        # grant-with-hold acquire: one kernel event covers queueing for
+        # the channel plus the transmission time (transfer_time is pure,
+        # so computing it before the request is equivalent)
+        yield from self.channel.acquire(self.spec.transfer_time(nbytes))
         if self.spec.latency:
             yield self.env.timeout(self.spec.latency)
         self.bytes_carried += nbytes

@@ -23,7 +23,7 @@ __all__ = ["Message", "Endpoint", "Transport"]
 _msg_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A transport-level message.
 
@@ -195,7 +195,14 @@ class Transport:
                 self.wire_messages += 1
                 yield from src_node.execute(src_node.costs.ser_cost(wire_size))
                 yield from link.transmit(wire_size)
-            yield from dst.deliver(message)
+            # dst.deliver(message) inlined (one generator frame per
+            # delivered message saved on the hottest path); the yield
+            # exists only to wait out inbox backpressure, so when the
+            # inbox has room the item lands synchronously and the sender
+            # keeps its kernel step
+            if not dst.inbox.offer(message):
+                yield dst.inbox.put(message)
+            dst.delivered += 1
 
     def post(self, src_node: Node, dst_name: str, message: Message):
         """Fire-and-forget variant of :meth:`send` (spawns a process)."""

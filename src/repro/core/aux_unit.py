@@ -166,21 +166,30 @@ class CentralAuxUnit:
             return  # fail-stop crash injected between event steps
 
     def _receiving_body(self):
+        # invariants hoisted (node/transport/queues are init-bound);
+        # clock is NOT — it is rebound per event and on promotion
         costs = self.node.costs
+        execute = self.node.execute
+        data_get = self.data_in.inbox.get
+        ready_put = self.ready.put
+        ready_offer = self.ready.offer
+        env = self.env
         while True:
-            msg = yield self.data_in.inbox.get()
+            msg = yield data_get()
             self._recv_in_hand = msg
             if msg.payload == EOS:
-                yield self.ready.put(EOS)
+                yield ready_put(EOS)
                 self._recv_in_hand = None
                 continue
             event: UpdateEvent = msg.payload
-            yield from self.node.execute(costs.recv_cost(event.size))
-            self.clock = self.clock.advanced(event.stream, event.seqno)
+            yield from execute(costs.recv_cost(event.size))
+            clock = self.clock = self.clock.advanced(event.stream, event.seqno)
             if self.monitor is not None:
                 self.monitor.on_stamped(event.stream, event.seqno)
-            stamped = event.stamped(self.clock, entered_at=self.env.now)
-            yield self.ready.put(stamped)
+            stamped = event.stamped(clock, entered_at=env.now)
+            # yield only under backpressure (bounded ready queue full)
+            if not ready_offer(stamped):
+                yield ready_put(stamped)
             self._recv_in_hand = None
 
     def _sending_task(self):
@@ -190,9 +199,16 @@ class CentralAuxUnit:
             return  # fail-stop crash injected between event steps
 
     def _sending_body(self):
+        # invariants hoisted; engine/config stay per-iteration reads
+        # (adaptation swaps them at runtime)
         costs = self.node.costs
+        execute = self.node.execute
+        transport_send = self.transport.send
+        node = self.node
+        ready_get = self.ready.get
+        metrics = self.metrics
         while True:
-            item = yield self.ready.get()
+            item = yield ready_get()
             if item == EOS:
                 # flush held events (partial tuples, coalesce buffers) —
                 # flush emissions may carry timestamps older than events
@@ -217,17 +233,17 @@ class CentralAuxUnit:
             event: UpdateEvent = item
             self._send_in_hand = event
             # fwd(): every event reaches the central EDE / regular clients
-            yield from self.node.execute(costs.fwd_cost(event.size))
-            yield from self.transport.send(
-                self.node, "central.main",
+            yield from execute(costs.fwd_cost(event.size))
+            yield from transport_send(
+                node, "central.main",
                 Message(kind="data", payload=event, size=event.size),
             )
-            self.metrics.events_forwarded += 1
+            metrics.events_forwarded += 1
             if not self.mirroring_enabled:
                 self._send_in_hand = None
                 continue
             # mirror(): semantic rule pipeline decides what ships
-            yield from self.node.execute(costs.rule_fixed)
+            yield from execute(costs.rule_fixed)
             outs: List[UpdateEvent] = []
             # alias: rule output appended below is tracked as in-hand the
             # moment it exists; the forwarded event is released in the

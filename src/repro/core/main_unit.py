@@ -151,22 +151,31 @@ class MainUnit:
             return  # fail-stop crash: die between (not inside) event steps
 
     def _event_loop_body(self):
+        # loop invariants hoisted: ede / checkpointer / inbox are bound
+        # once at construction (distribute_updates is NOT — failover
+        # flips it at runtime, so it is read fresh each event)
         costs = self.node.costs
+        execute = self.node.execute
+        inbox_get = self.inbox.inbox.get
+        ede_process = self.ede.process
+        note_processed = self.checkpointer.note_processed
+        metrics = self.metrics
+        is_central = self.site == "central"
         while True:
-            msg = yield self.inbox.inbox.get()
+            msg = yield inbox_get()
             if msg.payload == EOS:
                 continue
             event: UpdateEvent = msg.payload
             self._processing_uid = event.uid
-            yield from self.node.execute(costs.ede_cost(event.size))
-            outputs = self.ede.process(event)
-            self.checkpointer.note_processed(event.stream, event.seqno)
+            yield from execute(costs.ede_cost(event.size))
+            outputs = ede_process(event)
+            note_processed(event.stream, event.seqno)
             self.events_processed += 1
-            if self.site == "central":
-                self.metrics.events_processed_central += 1
+            if is_central:
+                metrics.events_processed_central += 1
             if self.distribute_updates:
                 for out in outputs:
-                    yield from self.node.execute(costs.update_cost(out.size))
+                    yield from execute(costs.update_cost(out.size))
                     # update delay is measured when the EDE *sends* the
                     # update (paper §4.3) — client-link transit is not
                     # part of it, and distribution must not stall the EDE

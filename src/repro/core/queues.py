@@ -47,7 +47,22 @@ class BackupQueue:
             raise ValueError("only stamped events may enter the backup queue")
         self._events.append(event)
         self.total_appended += 1
-        self.peak = max(self.peak, len(self._events))
+        depth = len(self._events)
+        if depth > self.peak:
+            self.peak = depth
+
+    def extend(self, events) -> None:
+        """Bulk :meth:`append`: one deque extend for a whole batch."""
+        for event in events:
+            if event.vt is None:
+                raise ValueError(
+                    "only stamped events may enter the backup queue"
+                )
+        self._events.extend(events)
+        self.total_appended += len(events)
+        depth = len(self._events)
+        if depth > self.peak:
+            self.peak = depth
 
     def last_vt(self) -> Optional[VectorTimestamp]:
         """Timestamp of the most recently retained event.

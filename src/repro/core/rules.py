@@ -516,6 +516,31 @@ class RuleEngine:
         self.passed_send += 1
         return [event]
 
+    def forward_many(self, events: List[UpdateEvent]) -> List[UpdateEvent]:
+        """Receive- then send-side pipeline over several events.
+
+        Exactly equivalent to ``on_send(p) for p in on_receive(e)`` per
+        event (same outputs, same counters); a pipeline with no
+        overriding hooks — plain simple mirroring — short-circuits to
+        pure accounting instead of paying two calls and two list
+        allocations per event.
+        """
+        if not self._recv_declared and not self._send_declared:
+            n = len(events)
+            self.received += n
+            self.passed_receive += n
+            self.sent += n
+            self.passed_send += n
+            return list(events)
+        out: List[UpdateEvent] = []
+        extend = out.extend
+        on_receive = self.on_receive
+        on_send = self.on_send
+        for event in events:
+            for passed in on_receive(event):
+                extend(on_send(passed))
+        return out
+
     def flush(self, side: Optional[str] = None) -> List[UpdateEvent]:
         """Flush what rules are still holding.
 

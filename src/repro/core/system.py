@@ -14,6 +14,8 @@ process the entire event sequence *and* service all client requests.
 
 from __future__ import annotations
 
+import gc
+
 from dataclasses import dataclass, field, replace
 from typing import Any, List, Optional, Sequence
 
@@ -395,7 +397,10 @@ class MirroredServer:
         while True:
             ep = self.transport.endpoint(self.ingest)
             if not self.transport.node_down(ep.node.name):
-                yield ep.inbox.put(message)
+                # the driver only yields the put to wait out a full inbox;
+                # with room available the event lands synchronously
+                if not ep.inbox.offer(message):
+                    yield ep.inbox.put(message)
                 return True
             if self._ingest_abandoned:
                 return False
@@ -470,7 +475,17 @@ class MirroredServer:
                 "fresh server (or use run_scenario) for another run"
             )
         self._ran = True
-        self.env.run(until=self.config.time_limit)
+        # GC pacing (matches the socket runtime): the kernel allocates a
+        # handful of small objects per simulated event, so the collector's
+        # default gen-0 trigger fires thousands of times per run scanning
+        # mostly-live graphs.  Raise the threshold for the run's duration;
+        # collection stays enabled and thresholds are restored on exit.
+        gc_thresholds = gc.get_threshold()
+        gc.set_threshold(50_000, gc_thresholds[1], gc_thresholds[2])
+        try:
+            self.env.run(until=self.config.time_limit)
+        finally:
+            gc.set_threshold(*gc_thresholds)
         self.metrics.total_execution_time = self.env.now
         self.metrics.bytes_on_wire = self.network.total_bytes()
         self.metrics.wire_messages = self.transport.wire_messages

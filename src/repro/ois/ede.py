@@ -47,21 +47,37 @@ _ARRIVAL_SEQUENCE = ("flight landed", "flight at runway", "flight at gate")
 class EventDerivationEngine:
     """Deterministic business logic over an operational state store."""
 
+    #: advertises the ``process(event, emit_update=False)`` fast path to
+    #: event loops whose outputs are discarded (duck-typed engines
+    #: without this flag always get the plain ``process(event)`` call)
+    supports_discard = True
+
     def __init__(self, state: Optional[OperationalStateStore] = None):
         self.state = state if state is not None else OperationalStateStore()
         self._arrival_seen: dict[str, set] = {}
         self.processed = 0
         self.derived = 0
 
-    def process(self, event: UpdateEvent) -> List[UpdateEvent]:
+    def process(self, event: UpdateEvent,
+                emit_update: bool = True) -> List[UpdateEvent]:
         """Apply ``event``; returns output events (update + derivations).
 
         The first output is always the state-update event corresponding
         to the input (what regular clients receive); derived events
-        follow.
+        follow.  Sites that discard the update stream (mirror main
+        units with ``distribute_updates`` off) pass ``emit_update=False``
+        to skip building that per-event copy: state transitions,
+        derivation side effects and the ``processed``/``derived``
+        counters are identical either way.
         """
         self.processed += 1
         flight = self.state.apply(event)
+        if not emit_update:
+            derived = self._derive(event, flight)
+            self.derived += len(derived)
+            return derived
+        # the update snapshots the payload *before* derivation rules
+        # annotate it (e.g. _boarding_announced)
         update = UpdateEvent(
             kind=event.kind,
             stream=event.stream,
@@ -73,10 +89,33 @@ class EventDerivationEngine:
             entered_at=event.entered_at,
             coalesced_from=event.coalesced_from,
         )
-        outputs = [update]
-        outputs.extend(self._derive(event, flight))
-        self.derived += len(outputs) - 1
-        return outputs
+        derived = self._derive(event, flight)
+        self.derived += len(derived)
+        return [update] + derived
+
+    def process_many(self, events, note_processed=None) -> int:
+        """Discard-mode bulk :meth:`process` over ``events``.
+
+        Equivalent to ``process(event, emit_update=False)`` per member
+        (same state transitions, same ``processed``/``derived``
+        counters) with outputs dropped, in a single loop frame — the
+        mirror event loop's hot path.  ``note_processed(stream, seqno)``
+        is invoked per event when given, so checkpoint floors advance
+        exactly as in the unfused loop.  Returns the number processed.
+        """
+        state_apply = self.state.apply
+        derive = self._derive
+        n = 0
+        for event in events:
+            flight = state_apply(event)
+            derived = derive(event, flight)
+            if derived:
+                self.derived += len(derived)
+            n += 1
+            if note_processed is not None:
+                note_processed(event.stream, event.seqno)
+        self.processed += n
+        return n
 
     def _derive(self, event: UpdateEvent, flight) -> List[UpdateEvent]:
         out: List[UpdateEvent] = []

@@ -68,9 +68,11 @@ class EventScript:
         """Yield brand-new event instances for one replay of the script."""
         for se in self._entries:
             ev = se.event
+            # fields come from an already-validated event: the unchecked
+            # constructor skips re-validation (uids are minted the same)
             yield ScriptedEvent(
                 at=se.at,
-                event=UpdateEvent(
+                event=UpdateEvent.unchecked(
                     kind=ev.kind,
                     stream=ev.stream,
                     seqno=ev.seqno,

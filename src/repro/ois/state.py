@@ -248,24 +248,51 @@ class OperationalStateStore:
         return self._stream_seen.get(stream, 0)
 
     def apply(self, event: UpdateEvent) -> FlightState:
-        """Record ``event``'s facts; returns the affected flight state."""
-        st = self.flight(event.key)
+        """Record ``event``'s facts; returns the affected flight state.
+
+        This is the per-event hot path of every site (central and each
+        mirror re-apply the full stream), so the ``flight()`` /
+        ``_mark_changed`` helpers are inlined here — behaviour,
+        including the generation sequence (two bumps when an event
+        creates its flight record), is unchanged.
+        """
+        key = event.key
+        st = self._flights.get(key)
+        if st is None:
+            st = FlightState(flight_id=key)
+            self._flights[key] = st
+            self.generation += 1
+            self._log_gens.append(self.generation)
+            self._log_fids.append(key)
+            self._dirty[key] = None
         st.updates_applied += 1
         self.events_applied += 1
-        self._mark_changed(event.key)
-        prev = self._stream_seen.get(event.stream, 0)
-        if event.seqno > prev:
-            self._stream_seen[event.stream] = event.seqno
-            log = self._stream_log.get(event.stream)
+        self.generation += 1
+        self._log_gens.append(self.generation)
+        self._log_fids.append(key)
+        self._dirty[key] = None
+        stream = event.stream
+        seqno = event.seqno
+        if seqno > self._stream_seen.get(stream, 0):
+            self._stream_seen[stream] = seqno
+            log = self._stream_log.get(stream)
             if log is None:
-                log = self._stream_log[event.stream] = ([], [])
-            log[0].append(event.seqno)
+                log = self._stream_log[stream] = ([], [])
+            log[0].append(seqno)
             log[1].append(self.generation)
         payload = event.payload
         if event.kind == FAA_POSITION:
-            st.position = {
-                k: payload[k] for k in ("lat", "lon", "alt") if k in payload
-            } or dict(payload)
+            try:
+                # full fixes are the overwhelmingly common shape
+                st.position = {
+                    "lat": payload["lat"],
+                    "lon": payload["lon"],
+                    "alt": payload["alt"],
+                }
+            except KeyError:
+                st.position = {
+                    k: payload[k] for k in ("lat", "lon", "alt") if k in payload
+                } or dict(payload)
         elif event.kind.startswith(DELTA_STATUS):
             status = payload.get("status")
             if status:

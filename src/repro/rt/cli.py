@@ -47,6 +47,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--positions", type=int, default=50,
                         help="workload: position fixes per flight (default 50)")
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--loop", choices=("asyncio", "uvloop"), default="asyncio",
+        help="event-loop implementation; uvloop is opportunistic and "
+             "falls back to the stdlib loop when not installed",
+    )
     return parser
 
 
@@ -54,6 +59,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(list(argv) if argv is not None else None)
     if args.mirrors < 0 or args.requests < 0:
         raise SystemExit("--mirrors and --requests must be >= 0")
+    from .net import install_event_loop
+
+    loop_impl = install_event_loop(args.loop)
     script = generate_script(
         FlightDataConfig(
             n_flights=args.flights,
@@ -84,6 +92,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         payload = asdict(summary)
         payload["backend"] = "tcp(single-process)"
+        payload["event_loop"] = loop_impl
         payload["replicas_consistent"] = summary.replicas_consistent
         payload["events_per_second"] = (
             summary.events_in / summary.wall_seconds
@@ -102,6 +111,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     payload = asdict(summary)
     payload["backend"] = "asyncio"
+    payload["event_loop"] = loop_impl
     payload["replicas_consistent"] = summary.replicas_consistent
     print(json.dumps(payload, indent=2, default=list))
     return 0

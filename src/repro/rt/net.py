@@ -46,6 +46,7 @@ applied to the real socket writes.
 from __future__ import annotations
 
 import asyncio
+import gc
 import json
 import time
 from collections import deque
@@ -60,8 +61,10 @@ from ..ois.clients import InitStateRequest, InitStateResponse
 from ..ois.flightdata import EventScript, FlightDataConfig, generate_script
 from ..wire import (
     EOS as WIRE_EOS,
+    RESET as WIRE_RESET,
     FrameSplitter,
     Hello,
+    SharedFrameCache,
     WireDecoder,
     WireEncoder,
 )
@@ -77,7 +80,30 @@ __all__ = [
     "NetMirror",
     "run_net_scenario",
     "NetProcessRunner",
+    "install_event_loop",
 ]
+
+
+def install_event_loop(name: str = "asyncio") -> str:
+    """Select the event-loop implementation for subsequent runs.
+
+    ``uvloop`` is opportunistic (``--loop uvloop`` on the CLI): when the
+    package is importable its policy is installed and every later
+    ``asyncio.run`` uses it; when it is not, the stdlib loop keeps
+    working with no behaviour change — the wire bytes are identical
+    either way, uvloop only changes syscall batching and loop overhead.
+    Returns the implementation actually in effect.
+    """
+    if name in ("", "asyncio", "default"):
+        return "asyncio"
+    if name != "uvloop":
+        raise ValueError(f"unknown event loop {name!r} (asyncio|uvloop)")
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        return "asyncio"
+    uvloop.install()
+    return "uvloop"
 
 
 @dataclass
@@ -97,6 +123,10 @@ class WireStats:
     decode_ns: int = 0
     frames_dropped: int = 0
     frames_duplicated: int = 0
+    dead_connection_flushes: int = 0
+    frames_shared: int = 0
+    shared_encodes_saved: int = 0
+    shared_resets: int = 0
 
     def merge(self, other: "WireStats") -> None:
         self.bytes_sent += other.bytes_sent
@@ -112,6 +142,10 @@ class WireStats:
         self.decode_ns += other.decode_ns
         self.frames_dropped += other.frames_dropped
         self.frames_duplicated += other.frames_duplicated
+        self.dead_connection_flushes += other.dead_connection_flushes
+        self.frames_shared += other.frames_shared
+        self.shared_encodes_saved += other.shared_encodes_saved
+        self.shared_resets += other.shared_resets
 
 
 @dataclass
@@ -162,17 +196,29 @@ class AdaptiveFlusher:
         self.restore_threshold = restore_threshold
         self.frame_budget = base_frames
         self.fat_mode = False
-        self._buf = bytearray()
-        self._frames = 0
+        #: a closed/reset peer marks the flusher dead instead of letting
+        #: the exception kill the writer loop (chaos drills close
+        #: sockets mid-stream); once dead, adds and flushes are no-ops
+        self.dead = False
+        # buffer *chain*: frames are kept as the immutable bytes objects
+        # the encoder produced (often shared across all connections by
+        # the SharedFrameCache) and handed to the transport in one
+        # writelines() per flush — no per-frame bytearray append, no
+        # re-copy of bytes that were already contiguous
+        self._chunks: List[bytes] = []
+        self._bytes = 0
         self._oldest: Optional[float] = None
 
     @property
     def pending_frames(self) -> int:
-        return self._frames
+        return len(self._chunks)
 
     @property
     def should_flush(self) -> bool:
-        return len(self._buf) >= self.max_bytes or self._frames >= self.frame_budget
+        return (
+            self._bytes >= self.max_bytes
+            or len(self._chunks) >= self.frame_budget
+        )
 
     def deadline_in(self) -> Optional[float]:
         """Seconds until the oldest buffered frame must ship (None when
@@ -183,10 +229,12 @@ class AdaptiveFlusher:
         return remaining if remaining > 0 else 0.0
 
     def add(self, frame: bytes) -> None:
-        if not self._buf:
+        if self.dead:
+            return
+        if not self._chunks:
             self._oldest = self._clock()
-        self._buf += frame
-        self._frames += 1
+        self._chunks.append(frame)
+        self._bytes += len(frame)
 
     def note_backlog(self, depth: int) -> None:
         if not self.fat_mode and depth >= self.fat_threshold:
@@ -199,23 +247,37 @@ class AdaptiveFlusher:
             self._stats.flusher_adaptations += 1
 
     async def flush(self, reason: str = "size") -> None:
-        if not self._buf:
+        if not self._chunks:
             return
-        payload = bytes(self._buf)
-        self._buf.clear()
-        self._frames = 0
+        chunks = self._chunks
+        sent = self._bytes
+        self._chunks = []
+        self._bytes = 0
         self._oldest = None
-        self._writer.write(payload)
         stats = self._stats
-        stats.flushes += 1
-        stats.bytes_sent += len(payload)
-        if reason == "deadline":
-            stats.deadline_flushes += 1
-        elif reason == "control":
-            stats.control_flushes += 1
-        else:
-            stats.size_flushes += 1
-        await self._writer.drain()
+        if self.dead or self._writer.is_closing():
+            # peer already gone: drop silently, the reader side of the
+            # connection is what reports the failure
+            self.dead = True
+            stats.dead_connection_flushes += 1
+            return
+        try:
+            self._writer.writelines(chunks)
+            stats.flushes += 1
+            stats.bytes_sent += sent
+            if reason == "deadline":
+                stats.deadline_flushes += 1
+            elif reason == "control":
+                stats.control_flushes += 1
+            else:
+                stats.size_flushes += 1
+            await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            # the transport died under us (peer reset / chaos kill):
+            # mark the connection dead so the writer loop winds down
+            # instead of crashing the serving task
+            self.dead = True
+            stats.dead_connection_flushes += 1
 
 
 @dataclass
@@ -318,16 +380,16 @@ class NetCentral:
         # shared-encode fan-out: every mirror connection carries an
         # identical outbound frame sequence (events + control broadcasts),
         # so the central site's channels are subscribed ONCE and each
-        # message is encoded a single time by the broadcast loop; per-
-        # connection writers then pace, fault-inject and flush the same
-        # bytes independently.  One shared interning table serves all
-        # connections — which requires every mirror to be connected
-        # before the first frame is encoded (the orchestration waits on
-        # ``mirrors_connected`` before starting the stream).
+        # message is encoded a single time into the SharedFrameCache;
+        # per-connection writers then pace, fault-inject and flush the
+        # same immutable bytes independently.  A mirror attaching after
+        # the stream started invalidates the cache generation: the cache
+        # hands back a RESET frame that is broadcast to every member so
+        # all decoders restart from the same clean interning state.
         self._uplink: asyncio.Queue = asyncio.Queue()
         self._data_sub = self.site.mirror_channel.subscribe("net.uplink")
         self._ctrl_sub = self.site.ctrl_channel.subscribe("net.uplink")
-        self._encoder = WireEncoder()
+        self.shared = SharedFrameCache()
         self._eos_pending = 2  # data channel + control channel
         self._broadcast_tasks: List[asyncio.Task] = []
 
@@ -372,14 +434,14 @@ class NetCentral:
                 # EOS bypasses fault injection (a chaos-dropped shutdown
                 # frame would wedge the topology, not exercise it)
                 self._distribute(
-                    "eos", None if faulty else self._encoder.encode_eos()
+                    "eos", None if faulty else self.shared.encode_eos()
                 )
                 break
             if faulty:
                 self._distribute(kind, payload)
                 continue
             t0 = time.perf_counter_ns()
-            frame = self._encoder.encode_message(payload)
+            frame = self.shared.encode(payload)
             stats.encode_ns += time.perf_counter_ns() - t0
             self._distribute(kind, frame)
 
@@ -401,6 +463,15 @@ class NetCentral:
     async def _serve_mirror(self, name, writer, frames: "_FrameReader") -> None:
         conn = _MirrorConnection(name)
         self.connections[name] = conn
+        if self.fault_controller is None:
+            # join the shared broadcast group; a late attach (the cache
+            # already carries interning/uid state some decoder never
+            # saw) invalidates the generation and the returned RESET
+            # frame resynchronizes every member's decoder
+            reset_frame = self.shared.attach(name)
+            if reset_frame is not None:
+                self.stats.shared_resets += 1
+                self._distribute("data", reset_frame)
         sender = asyncio.create_task(self._writer_loop(conn, writer))
         if len(self.connections) >= self.n_mirrors:
             self.mirrors_connected.set()
@@ -413,6 +484,8 @@ class NetCentral:
                     await self.site.ctrl_in.put(msg)
         finally:
             conn.closed = True  # stop the broadcast fan-out to this one
+            if self.fault_controller is None:
+                self.shared.detach(name)
             await conn.outbound.put(("close", b""))
             await asyncio.gather(sender, return_exceptions=True)
             writer.close()
@@ -430,15 +503,30 @@ class NetCentral:
         flusher = AdaptiveFlusher(writer, self.stats, **self.flusher_options)
         stats = self.stats
         faulty = self.fault_controller is not None
+        # recycled once per connection: the fault controller only reads
+        # kind/size, so one mutable envelope serves every frame (no
+        # per-event object churn on the hot path)
+        envelope = _FrameEnvelope(kind="data", size=0)
+        outbound = conn.outbound
         while True:
-            timeout = flusher.deadline_in()
+            # steady-state fast path: when frames are already queued,
+            # take them without arming a wait_for timer (each wait_for
+            # allocates a task + timer handle — pure overhead while the
+            # producer is ahead of us)
             try:
-                kind, item = await asyncio.wait_for(
-                    conn.outbound.get(), timeout=timeout
-                )
-            except asyncio.TimeoutError:
-                await flusher.flush("deadline")
-                continue
+                kind, item = outbound.get_nowait()
+            except asyncio.QueueEmpty:
+                timeout = flusher.deadline_in()
+                try:
+                    if timeout is None:
+                        kind, item = await outbound.get()
+                    else:
+                        kind, item = await asyncio.wait_for(
+                            outbound.get(), timeout=timeout
+                        )
+                except asyncio.TimeoutError:
+                    await flusher.flush("deadline")
+                    continue
             if kind == "close":
                 await flusher.flush("control")
                 break
@@ -447,31 +535,36 @@ class NetCentral:
                 flusher.add(conn.encoder.encode_eos() if faulty else item)
                 await flusher.flush("control")
                 continue
-            # fast path: item is the encoded frame, use its real length;
-            # faulty path: item is the message object, use its modeled
-            # size so size-conditioned link rules see comparable values
-            copies = await _apply_link_faults(
-                self.fault_controller,
-                _FrameEnvelope(
-                    kind=kind,
-                    size=getattr(item, "size", 0) if faulty else len(item),
-                ),
-                "central", conn.name, self._elapsed(), stats,
-            )
-            for _ in range(copies):
-                if faulty:
+            if faulty:
+                # the message object travels here; the controller sees
+                # its modeled size so size-conditioned link rules see
+                # comparable values, and survivors are encoded on this
+                # connection's own codec state
+                envelope.kind = kind
+                envelope.size = getattr(item, "size", 0)
+                copies = await _apply_link_faults(
+                    self.fault_controller, envelope,
+                    "central", conn.name, self._elapsed(), stats,
+                )
+                for _ in range(copies):
                     t0 = time.perf_counter_ns()
                     frame = conn.encoder.encode_message(item)
                     stats.encode_ns += time.perf_counter_ns() - t0
-                else:
-                    frame = item
+                    stats.frames_sent += 1
+                    flusher.add(frame)
+            else:
+                # clean fast path: item is the shared pre-encoded frame;
+                # nothing is allocated between queue and buffer chain
                 stats.frames_sent += 1
-                flusher.add(frame)
-            flusher.note_backlog(conn.outbound.qsize())
+                flusher.add(item)
+            flusher.note_backlog(outbound.qsize())
             if kind == "control":
                 await flusher.flush("control")
             elif flusher.should_flush:
                 await flusher.flush("size")
+            if flusher.dead:
+                break
+        conn.closed = True
 
     async def shutdown_stream(self) -> None:
         """Propagate end-of-stream to every mirror connection."""
@@ -486,6 +579,8 @@ class NetCentral:
         for task in self._broadcast_tasks:
             task.cancel()
         await asyncio.gather(*self._broadcast_tasks, return_exceptions=True)
+        self.stats.frames_shared += self.shared.frames_shared
+        self.stats.shared_encodes_saved += self.shared.encodes_saved
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -533,7 +628,10 @@ class _FrameReader:
                 self._stats.decode_ns += time.perf_counter_ns() - t0
                 self._stats.frames_received += 1
                 self._stats.bytes_received += len(body) + 8
-                self._pending.append(msg)
+                # RESET is connection-state maintenance, already applied
+                # to the decoder's tables — never a message to deliver
+                if msg is not WIRE_RESET:
+                    self._pending.append(msg)
         return self._pending.popleft()
 
 
@@ -732,56 +830,77 @@ async def run_net_scenario(
         fault_controller=fault_controller,
         flusher_options=flusher_options,
     )
-    t0 = time.monotonic()
-    port = await central.start(host=host)
-    mirrors = [
-        NetMirror(
-            f"mirror{i+1}", config=central.config,
-            request_service_delay=request_service_delay,
-            snapshot_fast_path=snapshot_fast_path,
-        )
-        for i in range(n_mirrors)
-    ]
-    client_ports: List[int] = []
-    for mirror in mirrors:
-        client_ports.append(await mirror.serve_clients(host=host))
-    if not client_ports:
-        client_ports = [port]  # no mirrors: ask central directly
+    # GC pacing: the hot path recycles its buffers, so the cyclic
+    # collector's default gen-0 trigger (~700 container allocations)
+    # fires thousands of times per run scanning mostly-live objects.
+    # Raise the gen-0 threshold for the duration of the scenario —
+    # collection stays enabled (memory stays bounded), it just runs in
+    # far fewer, better-amortised passes.  Thresholds are restored on
+    # exit so callers and tests see no global change.
+    gc_thresholds = gc.get_threshold()
+    gc.set_threshold(50_000, gc_thresholds[1], gc_thresholds[2])
+    try:
+        t0 = time.monotonic()
+        port = await central.start(host=host)
+        mirrors = [
+            NetMirror(
+                f"mirror{i+1}", config=central.config,
+                request_service_delay=request_service_delay,
+                snapshot_fast_path=snapshot_fast_path,
+            )
+            for i in range(n_mirrors)
+        ]
+        client_ports: List[int] = []
+        for mirror in mirrors:
+            client_ports.append(await mirror.serve_clients(host=host))
+        if not client_ports:
+            client_ports = [port]  # no mirrors: ask central directly
 
-    mirror_tasks = [
-        asyncio.create_task(m.run(host, port)) for m in mirrors
-    ]
-    await central.mirrors_connected.wait()
+        mirror_tasks = [
+            asyncio.create_task(m.run(host, port)) for m in mirrors
+        ]
+        await central.mirrors_connected.wait()
 
-    site = central.site
-    central_tasks = [
-        asyncio.create_task(site.receiving_task()),
-        asyncio.create_task(site.sending_task()),
-        asyncio.create_task(site.control_task()),
-        asyncio.create_task(site.main.event_loop()),
-    ]
+        site = central.site
+        central_tasks = [
+            asyncio.create_task(site.receiving_task()),
+            asyncio.create_task(site.sending_task()),
+            asyncio.create_task(site.control_task()),
+            asyncio.create_task(site.main.event_loop()),
+        ]
 
-    async def source() -> None:
-        for se in script.fresh_events():
-            await site.data_in.put(se.event)
-        await site.data_in.put(EOS)
+        async def source() -> None:
+            # feed in batch-sized chunks: one data_in hop per chunk (the
+            # receiving task stamps members one by one, exactly as before)
+            chunk_size = max(1, central.config.batch_size)
+            chunk: List[UpdateEvent] = []
+            for se in script.fresh_events():
+                chunk.append(se.event)
+                if len(chunk) >= chunk_size:
+                    await site.data_in.put(chunk)
+                    chunk = []
+            if chunk:
+                await site.data_in.put(chunk)
+            await site.data_in.put(EOS)
 
-    client_stats = WireStats()
-    drivers = [asyncio.create_task(source())]
-    client_task = None
-    if request_times:
-        client_task = asyncio.create_task(
-            _run_client(host, client_ports, request_times, client_stats)
-        )
-        drivers.append(client_task)
-    await asyncio.gather(*drivers)
-    await site.stream_done.wait()
-    await central.shutdown_stream()
-    await central.wait_mirrors_done()
-    await asyncio.gather(*mirror_tasks)
-    await site.ctrl_in.put(EOS)
-    await asyncio.gather(*central_tasks)
-    await central.close()
+        client_stats = WireStats()
+        drivers = [asyncio.create_task(source())]
+        client_task = None
+        if request_times:
+            client_task = asyncio.create_task(
+                _run_client(host, client_ports, request_times, client_stats)
+            )
+            drivers.append(client_task)
+        await asyncio.gather(*drivers)
+        await site.stream_done.wait()
+        await central.shutdown_stream()
+        await central.wait_mirrors_done()
+        await asyncio.gather(*mirror_tasks)
+        await site.ctrl_in.put(EOS)
+        await asyncio.gather(*central_tasks)
+        await central.close()
+    finally:
+        gc.set_threshold(*gc_thresholds)
 
     stats = WireStats()
     stats.merge(central.stats)

@@ -92,13 +92,27 @@ class AsyncMainUnit:
             if item == EOS:
                 break
             events = item.events if isinstance(item, EventBatch) else (item,)
-            for event in events:
-                outputs = self.ede.process(event)
-                self.checkpointer.note_processed(event.stream, event.seqno)
-                if self.distribute_updates:
+            ede = self.ede
+            note_processed = self.checkpointer.note_processed
+            if self.distribute_updates:
+                for event in events:
+                    outputs = ede.process(event)
+                    note_processed(event.stream, event.seqno)
                     for out in outputs:
                         self.updates.append(out)
                         self.update_delays.append(self.clock() - out.entered_at)
+            elif getattr(ede, "supports_discard", False):
+                # outputs are dropped anyway: one fused bulk call skips
+                # building per-event update copies and per-event frames;
+                # advancing the checkpoint floor directly skips the
+                # note_processed wrapper (same in-place advance)
+                ede.process_many(
+                    events, self.checkpointer.processed_vt.advance
+                )
+            else:
+                for event in events:
+                    ede.process(event)
+                    note_processed(event.stream, event.seqno)
             await asyncio.sleep(0)  # cooperative yield
 
     async def request_loop(self) -> None:
@@ -241,14 +255,28 @@ class AsyncCentralSite:
         }
 
     async def receiving_task(self) -> None:
-        """Stamp incoming events and feed the ready queue."""
+        """Stamp incoming events and feed the ready queue.
+
+        Accepts either single events or lists of events per queue item:
+        a chunked feed pays the ``data_in`` hop once per chunk (the
+        stamping itself is identical either way)."""
         while True:
-            event = await self.data_in.get()
-            if event == EOS:
+            item = await self.data_in.get()
+            if item == EOS:
                 await self.ready.put(EOS)
                 break
-            self.clock_vt = self.clock_vt.advanced(event.stream, event.seqno)
-            await self.ready.put(event.stamped(self.clock_vt, self.clock()))
+            events = item if type(item) is list else (item,)
+            ready = self.ready
+            clock = self.clock
+            for event in events:
+                self.clock_vt = self.clock_vt.advanced(event.stream, event.seqno)
+                stamped = event.stamped(self.clock_vt, clock())
+                # a put on a non-full queue never blocks: skip the
+                # per-event coroutine when there is room
+                if ready.full():
+                    await ready.put(stamped)
+                else:
+                    ready.put_nowait(stamped)
 
     async def sending_task(self) -> None:
         """fwd() everything; mirror() what the rules pass; checkpoint."""
@@ -257,12 +285,12 @@ class AsyncCentralSite:
             if item == EOS:
                 await self._finish_stream()
                 break
-            await self.main.inbox.put(item)  # fwd(): EDE sees everything
-            outs: List[UpdateEvent] = []
-            for passed in self.engine.on_receive(item):
-                outs.extend(self.engine.on_send(passed))
             batch_size = self.config.batch_size
             if batch_size <= 1:
+                outs: List[UpdateEvent] = []
+                for passed in self.engine.on_receive(item):
+                    outs.extend(self.engine.on_send(passed))
+                await self.main.inbox.put(item)  # fwd(): EDE sees everything
                 await self._mirror(outs)
                 self.processed_events += 1
                 if self.processed_events % self.config.checkpoint_freq == 0:
@@ -270,9 +298,9 @@ class AsyncCentralSite:
                 continue
             # batch path: drain events already waiting on the ready queue
             # (never awaiting more — an empty queue ships what's in hand)
-            drained = 1
+            members = [item]
             eos_seen = False
-            while drained < batch_size:
+            while len(members) < batch_size:
                 try:
                     nxt = self.ready.get_nowait()
                 except asyncio.QueueEmpty:
@@ -280,10 +308,15 @@ class AsyncCentralSite:
                 if nxt == EOS:
                     eos_seen = True
                     break
-                await self.main.inbox.put(nxt)
-                for passed in self.engine.on_receive(nxt):
-                    outs.extend(self.engine.on_send(passed))
-                drained += 1
+                members.append(nxt)
+            outs = self.engine.forward_many(members)
+            drained = len(members)
+            # fwd(): the local EDE sees everything, one inbox hop per
+            # batch (its event loop unpacks EventBatch items)
+            if drained == 1:
+                await self.main.inbox.put(item)
+            else:
+                await self.main.inbox.put(EventBatch(members))
             await self._mirror_batch(outs)
             for _ in range(drained):
                 self.processed_events += 1
@@ -315,9 +348,8 @@ class AsyncCentralSite:
             await self._mirror(outs)
             return
         await self.mirror_channel.publish_batch(outs)
-        for out in outs:
-            self.backup.append(out)
-            self.mirrored_events += 1
+        self.backup.extend(outs)
+        self.mirrored_events += len(outs)
 
     async def _initiate_checkpoint(self) -> None:
         msg = self.coordinator.initiate(self.backup.last_vt())
@@ -396,8 +428,7 @@ class AsyncMirrorSite:
                 await self.main.inbox.put(EOS)
                 break
             if isinstance(event, EventBatch):
-                for member in event.events:
-                    self.backup.append(member)
+                self.backup.extend(event.events)
                 # forward the batch whole: one inbox hop per batch (the
                 # event loop unpacks it)
                 await self.main.inbox.put(event)

@@ -29,7 +29,6 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -194,13 +193,17 @@ class Process(Event):
         result = yield env.process(child(env))
     """
 
-    __slots__ = ("_generator", "_target", "_immediate")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "_immediate")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        # bound methods cached: _resume runs once per kernel event, and
+        # the attribute chain is measurable at that rate
+        self._send = generator.send
+        self._throw = generator.throw
         self._target: Optional[Event] = None
         self._immediate: Optional[Event] = None
         _Initialize(env, self)
@@ -238,47 +241,52 @@ class Process(Event):
 
     # -- kernel interface ------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if event._ok:
-                next_event = self._generator.send(event._value)
+                next_event = self._send(event._value)
             else:
                 event._defused = True
-                next_event = self._generator.throw(event._value)
+                next_event = self._throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self._target = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self._target = None
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
 
-        if not isinstance(next_event, Event):
+        # duck-typed event check: every Event has a callbacks field, so
+        # the AttributeError path replaces a per-resume isinstance call
+        try:
+            pending = next_event.callbacks
+        except AttributeError:
             raise SimulationError(
                 f"process {self._generator!r} yielded a non-event: {next_event!r}"
-            )
-        if next_event.callbacks is None:
+            ) from None
+        if pending is None:
             # Already processed: resume immediately at current time.  A
             # process has at most one wait in flight, so one relay event
             # per process can be recycled instead of allocated per hop
             # (it is always fully processed before it could be reused).
             immediate = self._immediate
             if immediate is None:
-                immediate = self._immediate = Event(self.env)
+                immediate = self._immediate = Event(env)
             immediate.callbacks = [self._resume]
             immediate._ok = ok = next_event._ok
             immediate._value = next_event._value
             immediate._defused = not ok
             if not ok:
                 next_event._defused = True
-            self.env._schedule_event(immediate, URGENT)
+            env._schedule_event(immediate, URGENT)
             self._target = next_event
         else:
-            next_event.callbacks.append(self._resume)
+            pending.append(self._resume)
             self._target = next_event
 
 
@@ -347,7 +355,7 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
-        self._eid = itertools.count()
+        self._eid = 0
         self._active_process: Optional[Process] = None
 
     @property
@@ -382,7 +390,8 @@ class Environment:
 
     # -- scheduling --------------------------------------------------------
     def _schedule_event(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        self._eid = eid = self._eid + 1
+        heapq.heappush(self._queue, (self._now + delay, priority, eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""

@@ -24,7 +24,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Generator, Optional
 
-from .kernel import Environment, Event, SimulationError
+from .kernel import NORMAL, Environment, Event, SimulationError
+from .kernel import _PENDING  # inlined Event.__init__ on the hot paths
 
 __all__ = ["Request", "Release", "Resource", "StorePut", "StoreGet", "Store"]
 
@@ -37,18 +38,39 @@ class Request(Event):
         with resource.request() as req:
             yield req
             ...
+
+    ``hold`` (used by :meth:`Resource.acquire`) folds the post-grant
+    service timer into the grant itself: the event fires ``hold`` time
+    units *after* the slot is granted, so request + hold costs one
+    kernel event instead of two.  The default (0) is the classic
+    request/grant protocol, which fires at the grant instant.
     """
 
-    def __init__(self, resource: "Resource"):
-        super().__init__(resource.env)
+    __slots__ = ("resource", "hold")
+
+    def __init__(self, resource: "Resource", hold: float = 0.0):
+        # Event.__init__ inlined: requests, puts and gets are the three
+        # hottest allocation sites in the whole simulation
+        self.env = resource.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
+        self.hold = hold
         resource._do_request(self)
 
     def __enter__(self) -> "Request":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.resource.release(self)
+        # Release synchronously: nobody can wait on the Release event a
+        # context-manager exit would mint, so routing it through the
+        # kernel heap only adds a no-op event per acquire/release cycle
+        # (the hottest pattern in the whole simulation).  Grant order is
+        # unchanged — _do_release hands freed slots to waiters exactly
+        # as Release.__init__ did, at the same simulated instant.
+        self.resource._do_release(self)
 
     def cancel(self) -> None:
         """Withdraw a not-yet-granted request from the wait queue."""
@@ -57,6 +79,8 @@ class Request(Event):
 
 class Release(Event):
     """Event returned by :meth:`Resource.release`; fires immediately."""
+
+    __slots__ = ()
 
     def __init__(self, resource: "Resource", request: Request):
         super().__init__(resource.env)
@@ -103,11 +127,25 @@ class Resource:
         """Convenience process fragment: request, hold ``hold``, release.
 
         Usage: ``yield from resource.acquire(cost)``.
+
+        A nonzero hold rides on the request itself (grant-with-hold, see
+        :class:`Request`): the kernel wakes this process once, when the
+        service interval ends, instead of once at the grant plus once at
+        timer expiry.  FIFO fairness, the busy-time integral and release
+        ordering (the finally fires inside the same kernel step the old
+        timeout did) are unchanged; an interrupt mid-hold still frees the
+        slot immediately via the finally, and the stale wake then fires
+        as a no-op.
         """
+        if hold:
+            request = Request(self, hold)
+            try:
+                yield request
+            finally:
+                self._do_release(request)
+            return
         with self.request() as req:
             yield req
-            if hold:
-                yield self.env.timeout(hold)
 
     # -- internals -------------------------------------------------------
     def _do_request(self, request: Request) -> None:
@@ -118,21 +156,47 @@ class Resource:
 
     def _grant(self, request: Request) -> None:
         self.users.append(request)
-        self._busy_since[request] = self.env.now
-        request.succeed()
+        self._busy_since[request] = self.env._now
+        hold = request.hold
+        if hold:
+            # grant-with-hold: the waiter would only wake to start a
+            # service timer, so schedule the wake at the timer's expiry
+            # instead — the busy interval [now, now + hold] is identical,
+            # the intermediate no-op wake is not paid
+            request._ok = True
+            request._value = None
+            self.env._schedule_event(request, NORMAL, delay=hold)
+        else:
+            request.succeed()
 
     def _do_release(self, request: Request) -> None:
+        users = self.users
         try:
-            self.users.remove(request)
+            users.remove(request)
         except ValueError:
             # Releasing an unqueued/ungranted request is a no-op (it may
             # have been cancelled); releasing twice likewise.
             self._cancel(request)
             return
-        started = self._busy_since.pop(request)
-        self.busy_time += self.env.now - started
-        while self.queue and len(self.users) < self.capacity:
-            self._grant(self.queue.popleft())
+        env = self.env
+        now = env._now
+        self.busy_time += now - self._busy_since.pop(request)
+        # _grant inlined for the freed slot(s): release→grant is the
+        # steady-state handoff when the resource is saturated
+        queue = self.queue
+        if queue and len(users) < self.capacity:
+            busy_since = self._busy_since
+            while queue and len(users) < self.capacity:
+                nxt = queue.popleft()
+                users.append(nxt)
+                busy_since[nxt] = now
+                hold = nxt.hold
+                if hold:
+                    nxt._ok = True
+                    nxt._value = None
+                    env._schedule_event(nxt, NORMAL, delay=hold)
+                else:
+                    nxt.succeed()
 
     def _cancel(self, request: Request) -> None:
         try:
@@ -155,20 +219,72 @@ class Resource:
 class StorePut(Event):
     """Pending put into a :class:`Store` (blocks when at capacity)."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
-        super().__init__(store.env)
+        env = store.env
+        self.env = env
+        self.callbacks = []
+        self._ok = True
+        self._defused = False
         self.item = item
-        store._put_queue.append(self)
-        store._dispatch()
+        items = store.items
+        if not store._put_queue and (
+            store.capacity is None or len(items) < store.capacity
+        ):
+            # Immediate admit — the overwhelmingly common case.  Inline
+            # of ``succeed()`` + the dispatch pass this operation would
+            # trigger: the put fires first, then any blocked getters, so
+            # wake order is identical to the general loop below.
+            items.append(item)
+            self._value = None
+            env._schedule_event(self, NORMAL)
+            gets = store._get_queue
+            while gets and items:
+                gets.popleft().succeed(items.popleft())
+            if len(items) > store.peak:
+                store.peak = len(items)
+            if store.watcher is not None:
+                store.watcher(store)
+        else:
+            self._value = _PENDING
+            store._put_queue.append(self)
+            store._dispatch()
 
 
 class StoreGet(Event):
     """Pending get from a :class:`Store` (blocks when empty)."""
 
+    __slots__ = ()
+
     def __init__(self, store: "Store"):
-        super().__init__(store.env)
-        store._get_queue.append(self)
-        store._dispatch()
+        env = store.env
+        self.env = env
+        self.callbacks = []
+        self._ok = True
+        self._defused = False
+        items = store.items
+        if items and not store._get_queue:
+            # Item ready — inline of ``succeed(item)`` + the dispatch
+            # pass: this get fires first, then the space it freed admits
+            # blocked puts, matching the general loop's wake order.
+            self._value = items.popleft()
+            env._schedule_event(self, NORMAL)
+            puts = store._put_queue
+            if puts:
+                capacity = store.capacity
+                while puts and (capacity is None or len(items) < capacity):
+                    put = puts.popleft()
+                    items.append(put.item)
+                    put.succeed()
+            if len(items) > store.peak:
+                store.peak = len(items)
+            if store.watcher is not None:
+                store.watcher(store)
+        else:
+            self._value = _PENDING
+            store._get_queue.append(self)
+            store._dispatch()
 
 
 class Store:
@@ -208,6 +324,34 @@ class Store:
     def put(self, item: Any) -> StorePut:
         """Insert ``item``; fires once space is available."""
         return StorePut(self, item)
+
+    def offer(self, item: Any) -> bool:
+        """Non-blocking put: True when ``item`` was admitted immediately.
+
+        The synchronous twin of :meth:`put` for producers that only yield
+        the put event to *wait out backpressure*: when the store has room
+        (and no earlier put is queued — FIFO admission must hold), the
+        item lands now and no kernel event is minted or scheduled, saving
+        the producer's wake on the hottest paths (transport delivery, the
+        workload driver).  Blocked getters are woken exactly as the
+        :class:`StorePut` fast path would wake them.  Returns False —
+        admitting nothing — when the put would block; the caller falls
+        back to ``yield store.put(item)``.
+        """
+        items = self.items
+        if self._put_queue or (
+            self.capacity is not None and len(items) >= self.capacity
+        ):
+            return False
+        items.append(item)
+        gets = self._get_queue
+        while gets and items:
+            gets.popleft().succeed(items.popleft())
+        if len(items) > self.peak:
+            self.peak = len(items)
+        if self.watcher is not None:
+            self.watcher(self)
+        return True
 
     def get(self) -> StoreGet:
         """Remove and return the oldest item; fires once available."""

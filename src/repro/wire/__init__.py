@@ -35,6 +35,7 @@ from .codec import (
     WIRE_VERSION,
     FrameSplitter,
     Hello,
+    SharedFrameCache,
     WireDecoder,
     WireEncoder,
     WireSizeProbe,
@@ -75,6 +76,7 @@ __all__ = [
     "WireEncoder",
     "WireDecoder",
     "FrameSplitter",
+    "SharedFrameCache",
     "WireSizeProbe",
     "Hello",
     "InternEncoder",

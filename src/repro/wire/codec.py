@@ -48,6 +48,7 @@ from ..core.config import MirrorConfig
 from ..core.events import EventBatch, UpdateEvent, VectorTimestamp
 from ..ois.clients import InitStateRequest, InitStateResponse
 from ..ois.state import DeltaSnapshot, FlightView, StateSnapshot
+from . import accel as _accel
 from .primitives import (
     InternDecoder,
     InternEncoder,
@@ -84,6 +85,7 @@ __all__ = [
     "WireEncoder",
     "WireDecoder",
     "FrameSplitter",
+    "SharedFrameCache",
     "WireSizeProbe",
     "Hello",
 ]
@@ -264,6 +266,17 @@ class WireEncoder:
         self._last_uid = ev.uid
 
     def encode_event(self, ev: UpdateEvent) -> bytes:
+        # hot path: the C lane builds the whole frame in one buffer,
+        # sharing this encoder's interning dict and uid delta base so
+        # its bytes are identical to the pure lane below
+        acc = _accel.impl
+        if acc is not None:
+            frame, self._last_uid = acc.encode_event_frame(
+                ev, self._interner._ids, self._last_uid
+            )
+            self.frames_out += 1
+            self.bytes_out += len(frame)
+            return frame
         body = bytearray()
         self._event_body(ev, body)
         return self._frame(T_EVENT, body)
@@ -272,6 +285,14 @@ class WireEncoder:
         """Frame several events as one BATCH: ``count`` length-prefixed
         event bodies in a single output buffer."""
         events = batch.events if isinstance(batch, EventBatch) else batch
+        acc = _accel.impl
+        if acc is not None:
+            frame, self._last_uid = acc.encode_batch_frame(
+                events, self._interner._ids, self._last_uid
+            )
+            self.frames_out += 1
+            self.bytes_out += len(frame)
+            return frame
         body = bytearray()
         encode_uvarint(len(events), body)
         scratch = self._scratch
@@ -549,10 +570,22 @@ class WireDecoder:
         self.frames_in += 1
         self.bytes_in += HEADER.size + len(body)
         if mtype == T_EVENT:
+            acc = _accel.impl
+            if acc is not None:
+                ev, self._last_uid = acc.decode_event_body(
+                    body, self._interner._table, self._last_uid
+                )
+                return ev
             ev, pos = self._event(body, 0)
             self._check_consumed(body, pos)
             return ev
         if mtype == T_BATCH:
+            acc = _accel.impl
+            if acc is not None:
+                decoded, self._last_uid = acc.decode_batch_body(
+                    body, self._interner._table, self._last_uid
+                )
+                return EventBatch(decoded)
             mv = memoryview(body) if not isinstance(body, memoryview) else body
             count, pos = decode_uvarint(mv, 0)
             events: List[UpdateEvent] = []
@@ -794,6 +827,105 @@ class FrameSplitter:
     def pending(self) -> int:
         """Bytes buffered awaiting the rest of a frame."""
         return len(self._buf)
+
+
+class SharedFrameCache:
+    """Encode-once broadcast frames shared by a group of connections.
+
+    The central site's push stream carries an *identical* frame sequence
+    to every mirror connection, so re-encoding per connection pays the
+    serialization cost N times for the same bytes (the Gryphon
+    observation: a broker fanning one event to N consumers must encode
+    once).  This object owns the single master :class:`WireEncoder` of
+    such a broadcast group; :meth:`encode` returns an immutable
+    ``bytes`` frame that every member's writer shares by reference —
+    one encode, N sockets, zero copies.
+
+    Correctness hinges on one invariant: each member decoder's
+    connection state (interning table, uid delta base) must equal the
+    master encoder's state at the point of every frame it receives.
+    Frames only ever *append* to that state, so members present since
+    the group was clean stay in sync for the connection's lifetime.  A
+    member attaching after frames were encoded would observe interning
+    references into a table it never saw — so :meth:`attach` detects a
+    dirty master and *invalidates the generation*: the master encoder
+    resets and the returned RESET frame must be broadcast to every
+    member (the newcomer included, harmlessly), dropping all decoder
+    tables to the same empty state.  :meth:`reset` performs that
+    invalidation explicitly — when any connection's decoder resets, the
+    whole shared group must follow, because shared bytes cannot carry
+    per-member interning state.
+    """
+
+    __slots__ = (
+        "_encoder",
+        "_members",
+        "generation",
+        "frames_shared",
+        "encodes_saved",
+        "resets",
+    )
+
+    def __init__(self) -> None:
+        self._encoder = WireEncoder()
+        #: member name -> generation it attached under (diagnostics)
+        self._members: Dict[str, int] = {}
+        self.generation = 0
+        self.frames_shared = 0
+        #: encodes avoided vs. the per-connection path (N-1 per frame)
+        self.encodes_saved = 0
+        self.resets = 0
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def dirty(self) -> bool:
+        """True when the master encoder holds any connection state a
+        newly attached member's decoder would not have."""
+        enc = self._encoder
+        return bool(
+            enc.frames_out or enc._last_uid or len(enc._interner)
+        )
+
+    def attach(self, member: str) -> Optional[bytes]:
+        """Add ``member`` to the broadcast group.  Returns a RESET frame
+        the caller must send to **all** members when the master holds
+        prior state, None when the group is still clean."""
+        frame = self.reset() if self.dirty else None
+        self._members[member] = self.generation
+        return frame
+
+    def detach(self, member: str) -> None:
+        """Remove ``member``; the shared state is unaffected (remaining
+        members stay in sync)."""
+        self._members.pop(member, None)
+
+    def reset(self) -> bytes:
+        """Invalidate the shared generation: reset the master encoder
+        and return the RESET frame to broadcast to every member."""
+        self.generation += 1
+        self.resets += 1
+        for member in self._members:
+            self._members[member] = self.generation
+        return self._encoder.reset()
+
+    def encode(self, message: Any) -> bytes:
+        """Encode ``message`` once for the whole group."""
+        frame = self._encoder.encode_message(message)
+        self.frames_shared += 1
+        fanout = len(self._members)
+        if fanout > 1:
+            self.encodes_saved += fanout - 1
+        return frame
+
+    def encode_eos(self) -> bytes:
+        frame = self._encoder.encode_eos()
+        self.frames_shared += 1
+        fanout = len(self._members)
+        if fanout > 1:
+            self.encodes_saved += fanout - 1
+        return frame
 
 
 class WireSizeProbe:

@@ -25,6 +25,7 @@ from repro.wire import (
     WIRE_VERSION,
     FrameSplitter,
     Hello,
+    SharedFrameCache,
     TruncatedFrame,
     WireDecoder,
     WireEncoder,
@@ -468,3 +469,96 @@ def test_probe_sizes_match_real_encoder(msgs):
         assert measured == len(reference.encode_message(msg))
     assert probe.fallbacks == 0
     assert probe.bytes_measured == reference.bytes_out
+
+
+# ------------------------------------------- shared-broadcast frame cache
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_shared_cache_members_never_desync(data):
+    """Under any interleaving of attaches, detaches, encodes and resets,
+    every member decoder stays in lockstep with the shared master
+    encoder: each frame broadcast while a member is attached decodes on
+    that member to exactly the event the master encoded (RESET frames
+    decode to the RESET marker), and no decode ever errors.
+
+    This is the invariant :class:`SharedFrameCache` exists to keep — a
+    late joiner must force a generation reset broadcast to *everyone*,
+    because shared bytes cannot carry per-member interning state.
+    """
+    cache = SharedFrameCache()
+    members: dict = {}  # name -> (decoder, decoded-events list)
+    expected: dict = {}  # name -> events encoded while attached
+    evs = data.draw(st.lists(events, min_size=1, max_size=10), label="events")
+    next_member = 0
+
+    def broadcast(frame):
+        for name, (decoder, got) in members.items():
+            msg, used = decoder.decode_frame(frame)
+            assert used == len(frame)
+            if msg is not RESET:
+                got.append(msg)
+
+    for ev in evs:
+        action = data.draw(
+            st.sampled_from(["attach", "detach", "reset", "send"]),
+            label="action",
+        )
+        if action == "attach":
+            name = f"m{next_member}"
+            next_member += 1
+            reset_frame = cache.attach(name)
+            members[name] = (WireDecoder(), [])
+            expected[name] = []
+            if reset_frame is not None:
+                broadcast(reset_frame)
+            else:
+                # a clean master never holds state a newcomer lacks
+                assert not cache.dirty
+        elif action == "detach" and members:
+            name = data.draw(
+                st.sampled_from(sorted(members)), label="detach who"
+            )
+            cache.detach(name)
+            members.pop(name)
+        elif action == "reset":
+            broadcast(cache.reset())
+        frame = cache.encode(ev)
+        broadcast(frame)
+        for name in members:
+            expected[name].append(ev)
+
+    for name, (_, got) in members.items():
+        assert got == expected[name]
+
+
+def test_shared_cache_late_join_without_reset_desyncs():
+    """Witness that the attach-time RESET is load-bearing: a decoder
+    bolted onto a dirty master without it reconstructs *wrong* events
+    (the uid delta base and interning table refer to state it never
+    saw)."""
+    cache = SharedFrameCache()
+    cache.attach("old")
+    old_dec = WireDecoder()
+    ev1 = UpdateEvent("k", "faa", 1, "key", {}, uid=50)
+    ev2 = UpdateEvent("k", "faa", 2, "key", {}, uid=100)
+    frame1 = cache.encode(ev1)
+    assert old_dec.decode_frame(frame1)[0] == ev1
+    assert cache.dirty
+    # wrong: skip attach()/RESET and point a fresh decoder at the stream
+    rogue = WireDecoder()
+    frame2 = cache.encode(ev2)
+    assert old_dec.decode_frame(frame2)[0] == ev2
+    try:
+        got = rogue.decode_frame(frame2)[0]
+    except WireError:
+        return  # loud rejection is an acceptable outcome
+    assert got != ev2  # silent desync: uid rebuilt off the wrong base
+    # done right, attach() hands back the RESET that re-syncs everyone
+    reset_frame = cache.attach("new")
+    assert reset_frame is not None
+    synced = WireDecoder()
+    assert synced.decode_frame(reset_frame)[0] is RESET
+    assert old_dec.decode_frame(reset_frame)[0] is RESET
+    frame3 = cache.encode(ev2)
+    assert synced.decode_frame(frame3)[0] == ev2
+    assert old_dec.decode_frame(frame3)[0] == ev2
