@@ -54,7 +54,9 @@ __all__ = [
 #: Everything here must be reproducible from a seed alone.  ``wire`` is
 #: strict too: the codec is pure byte transformation, shared between the
 #: deterministic sim (measured-size probes) and the socket runtime.
-STRICT_PACKAGES = ("core", "sim", "ois", "cluster", "channels", "faults", "wire")
+STRICT_PACKAGES = (
+    "core", "sim", "ois", "cluster", "channels", "faults", "wire", "shard",
+)
 
 #: Modules on the per-event hot path: event/timestamp/queue/kernel
 #: classes.  The slots rules apply here.

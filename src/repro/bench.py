@@ -369,6 +369,46 @@ def _bench_socket_fanout(scale: float):
     return len(script) * mirrors, run, info
 
 
+def _bench_shard_fanout(scale: float):
+    """Sharded cluster: ingress-router events/s across 4 shard centrals.
+
+    ``ops`` is events routed cluster-wide, so ``ops_per_sec`` is the
+    aggregate ingest rate the sharding tentpole is measured by.  Single
+    event loop (the deterministic bench shape); every byte over loopback
+    TCP, cross-shard handoffs included in the stream.
+    """
+    import asyncio
+    from dataclasses import replace
+
+    from .core.functions import simple_mirroring
+    from .ois.flightdata import FlightDataConfig, generate_script
+    from .rt.shards import run_sharded_scenario
+
+    shards = 4
+    script = generate_script(
+        FlightDataConfig(
+            n_flights=20,
+            positions_per_flight=max(5, int(300 * scale)),
+            seed=5,
+            handoffs=8,
+        )
+    )
+    config = replace(simple_mirroring(), batch_size=64, checkpoint_freq=500)
+
+    def run():
+        summary = asyncio.run(
+            run_sharded_scenario(
+                script=script, n_shards=shards, n_mirrors=1,
+                config=config, router_batch=64,
+            )
+        )
+        assert summary.replicas_consistent
+        assert summary.transfers_started == summary.transfers_completed
+
+    info = {"shards": shards, "events": len(script)}
+    return len(script), run, info
+
+
 BENCHMARKS: Dict[str, Callable[[float], Tuple[int, Callable[[], None]]]] = {
     "kernel_timeout_throughput": _bench_kernel_timeouts,
     "store_put_get_throughput": _bench_store_put_get,
@@ -381,6 +421,7 @@ BENCHMARKS: Dict[str, Callable[[float], Tuple[int, Callable[[], None]]]] = {
     "wire_codec_roundtrip": _bench_wire_roundtrip,
     "wire_codec_vs_json": _bench_wire_vs_json,
     "socket_fanout": _bench_socket_fanout,
+    "shard_fanout": _bench_shard_fanout,
 }
 
 

@@ -23,6 +23,7 @@ __all__ = [
     "FAA_POSITION",
     "DELTA_STATUS",
     "DERIVED",
+    "HANDOFF",
 ]
 
 # Well-known event kinds used throughout the OIS application.  Kinds are
@@ -30,6 +31,12 @@ __all__ = [
 FAA_POSITION = "faa.position"
 DELTA_STATUS = "delta.status"
 DERIVED = "derived"
+#: Airport-handoff control event: the flight named by ``key`` is now
+#: worked from the airport in ``payload["airport"]``.  In a sharded
+#: cluster this is the event that can move a flight's ownership between
+#: central shards (:mod:`repro.shard`); unsharded servers apply it as a
+#: plain state update.
+HANDOFF = "ois.handoff"
 
 #: Alias kept for API readability: the Table-1 calls take an ``ev_type``.
 EventKind = str

@@ -122,6 +122,12 @@ class ScenarioConfig:
     dead_after: float = 6.0
     #: source retry spacing while the ingest endpoint's site is down
     source_retry: float = 0.05
+    #: name of the shard this scenario's cluster represents (e.g.
+    #: ``shard0``).  Local site names stay bare; fault-plan actions and
+    #: supervisor notifications may then use shard-qualified ids
+    #: (``shard0/mirror1``), resolved exactly — see
+    #: :mod:`repro.faults.siteid`.  "" = unsharded.
+    shard: str = ""
 
     def __post_init__(self):
         if self.n_mirrors < 0:

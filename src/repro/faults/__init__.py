@@ -49,8 +49,12 @@ from .plan import (
     FaultAction,
     FaultPlan,
 )
+from .siteid import qualify_site, resolve_site, split_site
 
 __all__ = [
+    "qualify_site",
+    "resolve_site",
+    "split_site",
     "CRASH_SITE",
     "PAUSE_SITE",
     "RESTART_SITE",

@@ -33,6 +33,7 @@ from ..core.system import ScenarioConfig, ScenarioResult, run_scenario
 from ..ois.flightdata import FlightDataConfig
 from .detector import SITE_DEAD
 from .plan import FaultPlan
+from .siteid import qualify_site
 
 __all__ = ["SCENARIOS", "ChaosOutcome", "run_chaos_scenario", "chaos_main"]
 
@@ -50,9 +51,11 @@ _DETECT_MIN = (DEAD_AFTER - 1.0) * HEARTBEAT_INTERVAL
 _DETECT_MAX = DEAD_AFTER * HEARTBEAT_INTERVAL + 2 * DETECTION_SWEEP
 
 
-def _base_config(seed: int, plan: FaultPlan, **overrides) -> ScenarioConfig:
+def _base_config(seed: int, plan: FaultPlan, shard: str = "",
+                 **overrides) -> ScenarioConfig:
     kwargs = dict(
         n_mirrors=2,
+        shard=shard,
         workload=FlightDataConfig(
             n_flights=30, positions_per_flight=8, seed=seed,
             position_rate=50.0,
@@ -134,10 +137,10 @@ def _common_measurements(outcome: ChaosOutcome, result: ScenarioResult) -> None:
 
 # ------------------------------------------------------------- scenarios
 
-def _scenario_central_crash(seed: int) -> ChaosOutcome:
+def _scenario_central_crash(seed: int, shard: str = "") -> ChaosOutcome:
     """The headline drill: kill the primary mid-stream, live-promote."""
-    plan = FaultPlan(seed=seed).crash_site(3.0, "central")
-    result = run_scenario(_base_config(seed, plan))
+    plan = FaultPlan(seed=seed).crash_site(3.0, qualify_site(shard, "central"))
+    result = run_scenario(_base_config(seed, plan, shard))
     m = result.metrics
     outcome = ChaosOutcome("central-crash", seed)
     _common_measurements(outcome, result)
@@ -159,10 +162,10 @@ def _scenario_central_crash(seed: int) -> ChaosOutcome:
     return outcome
 
 
-def _scenario_mirror_crash(seed: int) -> ChaosOutcome:
+def _scenario_mirror_crash(seed: int, shard: str = "") -> ChaosOutcome:
     """A serving mirror dies: its requests re-route, nobody promotes."""
-    plan = FaultPlan(seed=seed).crash_site(2.0, "mirror1")
-    result = run_scenario(_base_config(seed, plan))
+    plan = FaultPlan(seed=seed).crash_site(2.0, qualify_site(shard, "mirror1"))
+    result = run_scenario(_base_config(seed, plan, shard))
     m = result.metrics
     outcome = ChaosOutcome("mirror-crash", seed)
     _common_measurements(outcome, result)
@@ -178,12 +181,12 @@ def _scenario_mirror_crash(seed: int) -> ChaosOutcome:
     return outcome
 
 
-def _scenario_mirror_rejoin(seed: int) -> ChaosOutcome:
+def _scenario_mirror_rejoin(seed: int, shard: str = "") -> ChaosOutcome:
     """Crash a mirror, restart it: snapshot + replay re-converges it."""
     plan = (FaultPlan(seed=seed)
-            .crash_site(2.0, "mirror1")
-            .restart_site(4.0, "mirror1"))
-    result = run_scenario(_base_config(seed, plan))
+            .crash_site(2.0, qualify_site(shard, "mirror1"))
+            .restart_site(4.0, qualify_site(shard, "mirror1")))
+    result = run_scenario(_base_config(seed, plan, shard))
     m = result.metrics
     outcome = ChaosOutcome("mirror-rejoin", seed)
     _common_measurements(outcome, result)
@@ -200,10 +203,12 @@ def _scenario_mirror_rejoin(seed: int) -> ChaosOutcome:
     return outcome
 
 
-def _scenario_pause(seed: int) -> ChaosOutcome:
+def _scenario_pause(seed: int, shard: str = "") -> ChaosOutcome:
     """Stall the primary long enough to be suspected, not buried."""
-    plan = FaultPlan(seed=seed).pause_site(2.0, "central", duration=0.9)
-    result = run_scenario(_base_config(seed, plan))
+    plan = FaultPlan(seed=seed).pause_site(
+        2.0, qualify_site(shard, "central"), duration=0.9,
+    )
+    result = run_scenario(_base_config(seed, plan, shard))
     m = result.metrics
     outcome = ChaosOutcome("pause-recovers", seed)
     _common_measurements(outcome, result)
@@ -222,11 +227,11 @@ def _scenario_pause(seed: int) -> ChaosOutcome:
     return outcome
 
 
-def _scenario_control_loss(seed: int) -> ChaosOutcome:
+def _scenario_control_loss(seed: int, shard: str = "") -> ChaosOutcome:
     """Probabilistic control-plane loss: checkpoint rounds are simply
     superseded, and heartbeat hysteresis keeps membership stable."""
     plan = FaultPlan(seed=seed).drop_control(1.0, duration=2.0, drop_prob=0.3)
-    result = run_scenario(_base_config(seed, plan))
+    result = run_scenario(_base_config(seed, plan, shard))
     m = result.metrics
     controller = result.server.transport.fault_controller
     outcome = ChaosOutcome("control-loss", seed)
@@ -247,12 +252,12 @@ def _scenario_control_loss(seed: int) -> ChaosOutcome:
     return outcome
 
 
-def _scenario_degraded_link(seed: int) -> ChaosOutcome:
+def _scenario_degraded_link(seed: int, shard: str = "") -> ChaosOutcome:
     """Added latency on the central→mirror1 link: slower, never wrong."""
     plan = FaultPlan(seed=seed).degrade_link(
         1.0, "central", "mirror1", duration=2.0, extra_latency=0.02,
     )
-    result = run_scenario(_base_config(seed, plan))
+    result = run_scenario(_base_config(seed, plan, shard))
     m = result.metrics
     controller = result.server.transport.fault_controller
     outcome = ChaosOutcome("degraded-link", seed)
@@ -273,14 +278,14 @@ def _scenario_degraded_link(seed: int) -> ChaosOutcome:
     return outcome
 
 
-def _scenario_crash_storm(seed: int) -> ChaosOutcome:
+def _scenario_crash_storm(seed: int, shard: str = "") -> ChaosOutcome:
     """The combined drill: a mirror bounces, then the primary dies."""
     plan = (FaultPlan(seed=seed)
-            .crash_site(1.5, "mirror1")
-            .restart_site(3.0, "mirror1")
-            .crash_site(4.5, "central"))
+            .crash_site(1.5, qualify_site(shard, "mirror1"))
+            .restart_site(3.0, qualify_site(shard, "mirror1"))
+            .crash_site(4.5, qualify_site(shard, "central")))
     result = run_scenario(_base_config(
-        seed, plan,
+        seed, plan, shard,
         workload=FlightDataConfig(
             n_flights=40, positions_per_flight=10, seed=seed,
             position_rate=40.0,
@@ -300,7 +305,7 @@ def _scenario_crash_storm(seed: int) -> ChaosOutcome:
     return outcome
 
 
-SCENARIOS: Dict[str, Callable[[int], ChaosOutcome]] = {
+SCENARIOS: Dict[str, Callable[..., ChaosOutcome]] = {
     "central-crash": _scenario_central_crash,
     "mirror-crash": _scenario_mirror_crash,
     "mirror-rejoin": _scenario_mirror_rejoin,
@@ -314,9 +319,11 @@ SCENARIOS: Dict[str, Callable[[int], ChaosOutcome]] = {
 _SWEEP_SCENARIOS = ("central-crash", "crash-storm")
 
 
-def run_chaos_scenario(name: str, seed: int) -> ChaosOutcome:
-    """Execute one named scenario at ``seed``."""
-    return SCENARIOS[name](seed)
+def run_chaos_scenario(name: str, seed: int, shard: str = "") -> ChaosOutcome:
+    """Execute one named scenario at ``seed``; with ``shard``, the
+    drill addresses its target sites by shard-qualified id
+    (``shard0/central``) against a cluster representing that shard."""
+    return SCENARIOS[name](seed, shard)
 
 
 # --------------------------------------------------------------- reporting
@@ -337,8 +344,8 @@ def _render_distribution(label: str, dist: Dict[str, float]) -> str:
             f"max={dist['max']:.6f}")
 
 
-def _run_report(names: List[str], seed: int) -> tuple:
-    outcomes = [run_chaos_scenario(name, seed) for name in names]
+def _run_report(names: List[str], seed: int, shard: str = "") -> tuple:
+    outcomes = [run_chaos_scenario(name, seed, shard) for name in names]
     blocks = [outcome.render() for outcome in outcomes]
     n_pass = sum(1 for o in outcomes if o.passed)
     blocks.append(
@@ -360,6 +367,11 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
         help="run one scenario (default: all)",
     )
     parser.add_argument("--seed", type=int, default=0, help="plan seed")
+    parser.add_argument(
+        "--shard", default="",
+        help="address the drilled sites by shard-qualified id inside "
+        "this named shard (e.g. shard0); default: unsharded ids",
+    )
     parser.add_argument(
         "--sweep", type=int, default=0, metavar="N",
         help="additionally run the failover scenarios over N seeds and "
@@ -384,13 +396,15 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
         parser.error("--sweep must be >= 0")
     if args.bench_out and not args.sweep:
         parser.error("--bench-out requires --sweep")
+    if "/" in args.shard:
+        parser.error("--shard is a shard name (no '/')")
 
     names = [args.scenario] if args.scenario else sorted(SCENARIOS)
-    outcomes, report = _run_report(names, args.seed)
+    outcomes, report = _run_report(names, args.seed, args.shard)
     ok = all(o.passed for o in outcomes)
 
     if args.check_determinism:
-        _, report2 = _run_report(names, args.seed)
+        _, report2 = _run_report(names, args.seed, args.shard)
         identical = report == report2
         report += ("\n\ndeterminism: reports byte-identical across reruns: "
                    f"{'yes' if identical else 'NO'}")
@@ -402,7 +416,7 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
         failover: List[float] = []
         for name in _SWEEP_SCENARIOS:
             for s in range(args.sweep):
-                outcome = run_chaos_scenario(name, args.seed + s)
+                outcome = run_chaos_scenario(name, args.seed + s, args.shard)
                 ok = ok and outcome.passed
                 if "detection_latency_mean" in outcome.measurements:
                     detection.append(

@@ -55,6 +55,7 @@ from .detector import (
     MembershipView,
     Transition,
 )
+from .siteid import resolve_site
 
 __all__ = ["MONITOR_ENDPOINT", "FailoverSupervisor"]
 
@@ -70,6 +71,9 @@ class FailoverSupervisor:
         self.env = server.env
         cfg = server.config
         self.cfg = cfg
+        #: shard this cluster represents ("" = unsharded); notifications
+        #: and rejoin requests may then use shard-qualified site ids
+        self.shard = getattr(cfg, "shard", "")
         seed = getattr(cfg.fault_plan, "seed", 0) if cfg.fault_plan else 0
         self.rng = RandomStreams(seed)
         self.detector = FailureDetector(
@@ -181,8 +185,11 @@ class FailoverSupervisor:
             self._mirror_death(tr.site)
 
     def on_crash(self, site: str, at: float) -> None:
-        """Injector notification: a crash happened (detection pending)."""
-        self._crash_times[site] = at
+        """Injector notification: a crash happened (detection pending).
+
+        ``site`` may be shard-qualified (``shard0/mirror1``); it is
+        resolved exactly against this cluster's shard."""
+        self._crash_times[resolve_site(site, self.shard)] = at
 
     # -- failover ---------------------------------------------------------
     def _failover_process(self, dead: str, failed_at: float):
@@ -387,8 +394,9 @@ class FailoverSupervisor:
 
     # -- rejoin -----------------------------------------------------------
     def rejoin_site(self, site: str) -> None:
-        """Bring a restarted site back as a mirror of the current primary."""
-        self.env.process(self._rejoin_process(site))
+        """Bring a restarted site back as a mirror of the current
+        primary.  ``site`` may be shard-qualified."""
+        self.env.process(self._rejoin_process(resolve_site(site, self.shard)))
 
     def _rejoin_process(self, site: str):
         server = self.server

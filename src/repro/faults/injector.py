@@ -34,6 +34,7 @@ from ..core.events import EventBatch, UpdateEvent
 from ..core.main_unit import EOS
 from ..ois.clients import InitStateRequest
 from .plan import CRASH_SITE, PAUSE_SITE, RESTART_SITE, FaultAction, FaultPlan
+from .siteid import resolve_site
 
 __all__ = ["FaultRecord", "FaultInjector"]
 
@@ -76,23 +77,29 @@ class FaultInjector:
         self.crash_times: Dict[str, List[float]] = {}
         #: per-site salvage awaiting the failover supervisor
         self.salvage: Dict[str, _Salvage] = {}
+        #: shard this cluster represents; plan actions may use
+        #: shard-qualified site ids, resolved exactly against it
+        self.shard = getattr(server.config, "shard", "")
         for action in plan.site_actions():
-            self.env.process(self._run_action(action))
+            # resolve eagerly so a drill targeting the wrong shard fails
+            # at build time, not mid-simulation
+            self.env.process(
+                self._run_action(action, resolve_site(action.site or "", self.shard))
+            )
 
     # -- scheduling -------------------------------------------------------
-    def _run_action(self, action: FaultAction):
+    def _run_action(self, action: FaultAction, site: str):
         if action.at > self.env.now:
             yield self.env.timeout(action.at - self.env.now)
         if action.kind == CRASH_SITE:
-            self._crash(action)
+            self._crash(action, site)
         elif action.kind == PAUSE_SITE:
-            self._pause(action)
+            self._pause(action, site)
         elif action.kind == RESTART_SITE:
-            self._restart(action)
+            self._restart(action, site)
 
     # -- crash ------------------------------------------------------------
-    def _crash(self, action: FaultAction) -> None:
-        site = action.site or ""
+    def _crash(self, action: FaultAction, site: str) -> None:
         server = self.server
         node = server.node_of(site)
         server.transport.set_node_down(node.name, down=True)
@@ -217,17 +224,16 @@ class FaultInjector:
         return self.salvage.pop(site, None)
 
     # -- pause ------------------------------------------------------------
-    def _pause(self, action: FaultAction) -> None:
-        node = self.server.node_of(action.site or "")
+    def _pause(self, action: FaultAction, site: str) -> None:
+        node = self.server.node_of(site)
         self.records.append(
-            FaultRecord(at=self.env.now, kind=PAUSE_SITE, site=action.site or "")
+            FaultRecord(at=self.env.now, kind=PAUSE_SITE, site=site)
         )
         for _ in range(node.cpu.capacity):
             self.env.process(node.cpu.acquire(action.duration))
 
     # -- restart ----------------------------------------------------------
-    def _restart(self, action: FaultAction) -> None:
-        site = action.site or ""
+    def _restart(self, action: FaultAction, site: str) -> None:
         server = self.server
         node = server.node_of(site)
         if not server.transport.node_down(node.name):

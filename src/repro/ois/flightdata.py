@@ -18,10 +18,17 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from ..core.events import DELTA_STATUS, FAA_POSITION, UpdateEvent
+from ..core.events import DELTA_STATUS, FAA_POSITION, HANDOFF, UpdateEvent
 from ..sim import RandomStreams
 
 __all__ = ["ScriptedEvent", "EventScript", "FlightDataConfig", "generate_script"]
+
+#: Airport codes a handoff can move a flight to — spread across the
+#: alphabet so both partition strategies see cross-shard moves.
+HANDOFF_AIRPORTS = (
+    "ATL", "BOS", "DEN", "DFW", "JFK", "LAX",
+    "MIA", "MSP", "ORD", "SEA", "SFO", "YYZ",
+)
 
 #: Ordered Delta status lifecycle for one flight.
 STATUS_LIFECYCLE = (
@@ -108,6 +115,7 @@ class FlightDataConfig:
     include_delta: bool = True
     passengers_per_flight: int = 0
     delta_event_size: int = 512
+    handoffs: int = 0
     seed: int = 0
 
     def __post_init__(self):
@@ -121,6 +129,8 @@ class FlightDataConfig:
             raise ValueError("position_rate must be >= 0")
         if self.passengers_per_flight < 0:
             raise ValueError("passengers_per_flight must be >= 0")
+        if self.handoffs < 0:
+            raise ValueError("handoffs must be >= 0")
 
     @property
     def total_positions(self) -> int:
@@ -226,6 +236,33 @@ def generate_script(config: FlightDataConfig) -> EventScript:
                         ),
                     )
                 )
+
+    # --- airport handoffs ---------------------------------------------
+    # Ownership-moving control events (kind HANDOFF) ride the delta
+    # stream: in a sharded cluster each can migrate its flight to the
+    # shard owning the target airport; unsharded servers apply them as
+    # plain state updates, so digests stay comparable across shapes.
+    if config.handoffs > 0:
+        handoff_stream = rng.stream("handoff.times")
+        span = max(t, 1e-9)
+        for i in range(config.handoffs):
+            fid = _flight_id(int(handoff_stream.integers(config.n_flights)))
+            airport = HANDOFF_AIRPORTS[
+                int(handoff_stream.integers(len(HANDOFF_AIRPORTS)))
+            ]
+            entries.append(
+                ScriptedEvent(
+                    at=float(handoff_stream.uniform(0.0, span)),
+                    event=UpdateEvent(
+                        kind=HANDOFF,
+                        stream="delta",
+                        seqno=i + 1,  # renumbered with the stream below
+                        key=fid,
+                        payload={"airport": airport},
+                        size=config.delta_event_size,
+                    ),
+                )
+            )
 
     # Re-sequence the delta stream in arrival-time order so seqnos are
     # monotone within the stream (the paper assumes in-stream order).

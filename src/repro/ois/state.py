@@ -243,6 +243,24 @@ class OperationalStateStore:
         """All flight records (insertion order)."""
         return list(self._flights.values())
 
+    def remove_flight(self, flight_id: str) -> Optional[FlightState]:
+        """Tombstone ``flight_id``: drop its record and cached view.
+
+        Used by the cross-shard handoff protocol (:mod:`repro.shard`)
+        when a flight's ownership moves to another shard — the record is
+        *transferred*, not deleted, so the caller gets it back.  The
+        departure is journalled as a change (resuming clients must
+        refetch) and the cached views forget the flight so no snapshot
+        built after the tombstone can still describe it.
+        """
+        st = self._flights.pop(flight_id, None)
+        if st is None:
+            return None
+        self._mark_changed(flight_id)
+        self._dirty.pop(flight_id, None)
+        self._views.pop(flight_id, None)
+        return st
+
     def stream_high_water(self, stream: str) -> int:
         """Highest seqno applied from ``stream`` (0 if none)."""
         return self._stream_seen.get(stream, 0)

@@ -8,6 +8,10 @@ Backends:
   format (:mod:`repro.rt.net`); with ``--processes`` the mirrors and
   the thin client run as separate OS processes (the deployment shape),
   without it everything shares one event loop but still crosses TCP.
+* ``--net tcp --shards N`` — the sharded multi-central cluster
+  (:mod:`repro.rt.shards`): the flight keyspace partitioned over N
+  central shards behind an ingress router; with ``--processes`` each
+  shard (central + its mirrors) is a real OS process.
 
 Prints a JSON summary to stdout.
 """
@@ -38,6 +42,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--processes", action="store_true",
         help="with --net tcp: run mirrors and client as separate OS processes",
     )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="with --net tcp: partition the keyspace over N central "
+             "shards behind an ingress router (0 = unsharded)",
+    )
+    parser.add_argument(
+        "--strategy", choices=("hash", "airport"), default="hash",
+        help="with --shards: keyspace partitioning strategy "
+             "(consistent hashing or per-airport ranges)",
+    )
+    parser.add_argument(
+        "--handoffs", type=int, default=0,
+        help="workload: airport-handoff events that can move a flight "
+             "between shards (default 0)",
+    )
     parser.add_argument("--mirrors", type=int, default=2,
                         help="number of mirror sites (default 2)")
     parser.add_argument("--requests", type=int, default=8,
@@ -59,6 +78,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(list(argv) if argv is not None else None)
     if args.mirrors < 0 or args.requests < 0:
         raise SystemExit("--mirrors and --requests must be >= 0")
+    if args.shards < 0 or args.handoffs < 0:
+        raise SystemExit("--shards and --handoffs must be >= 0")
+    if args.shards and args.net != "tcp":
+        raise SystemExit("--shards requires --net tcp")
     from .net import install_event_loop
 
     loop_impl = install_event_loop(args.loop)
@@ -66,10 +89,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         FlightDataConfig(
             n_flights=args.flights,
             positions_per_flight=args.positions,
+            handoffs=args.handoffs,
             seed=args.seed,
         )
     )
     request_times: List[float] = [0.0] * args.requests
+
+    if args.shards:
+        from .shards import ShardProcessRunner, run_sharded_scenario
+
+        if args.processes:
+            result = ShardProcessRunner(
+                n_shards=args.shards,
+                n_mirrors=args.mirrors,
+                strategy=args.strategy,
+                script=script,
+                n_requests=args.requests,
+            ).run()
+            result["event_loop"] = loop_impl
+            print(json.dumps(result, indent=2, default=list))
+            return 0
+        request_keys = sorted({se.event.key for se in script.fresh_events()})
+        summary = asyncio.run(
+            run_sharded_scenario(
+                script=script,
+                n_shards=args.shards,
+                n_mirrors=args.mirrors,
+                strategy=args.strategy,
+                request_keys=request_keys[: args.requests],
+            )
+        )
+        payload = asdict(summary)
+        payload.pop("shard_map", None)
+        payload["backend"] = "tcp-sharded(single-process)"
+        payload["event_loop"] = loop_impl
+        print(json.dumps(payload, indent=2, default=list))
+        return 0
 
     if args.net == "tcp" and args.processes:
         from .net import NetProcessRunner

@@ -59,6 +59,7 @@ from ..core.events import EventBatch, UpdateEvent
 from ..core.functions import default_registry, simple_mirroring
 from ..ois.clients import InitStateRequest, InitStateResponse
 from ..ois.flightdata import EventScript, FlightDataConfig, generate_script
+from ..shard.handoff import ShardControl
 from ..wire import (
     EOS as WIRE_EOS,
     RESET as WIRE_RESET,
@@ -344,6 +345,8 @@ class NetCentral:
         snapshot_fast_path: bool = False,
         fault_controller=None,
         flusher_options: Optional[Dict[str, Any]] = None,
+        site_name: str = "central",
+        mirror_names: Optional[Sequence[str]] = None,
     ):
         self.n_mirrors = n_mirrors
         self.config = config if config is not None else simple_mirroring()
@@ -351,9 +354,13 @@ class NetCentral:
         self.fault_controller = fault_controller
         self.flusher_options = dict(flusher_options or {})
         self._t0 = time.monotonic()
-        mirror_channel = AsyncChannel("net.mirror.data")
-        ctrl_channel = AsyncChannel("net.mirror.ctrl", kind="control")
-        participants = {"central"} | {f"mirror{i+1}" for i in range(n_mirrors)}
+        self.site_name = site_name
+        if mirror_names is None:
+            mirror_names = [f"mirror{i+1}" for i in range(n_mirrors)]
+        self.mirror_names = list(mirror_names)
+        mirror_channel = AsyncChannel(f"net.{site_name}.data")
+        ctrl_channel = AsyncChannel(f"net.{site_name}.ctrl", kind="control")
+        participants = {site_name} | set(self.mirror_names)
         controller = (
             AdaptationController(self.config, registry=default_registry())
             if adaptation
@@ -361,7 +368,7 @@ class NetCentral:
         )
         self.site = AsyncCentralSite(
             self.config, mirror_channel, ctrl_channel, participants,
-            adaptation=controller,
+            adaptation=controller, site=site_name,
         )
         self.site.main.distribute_updates = True
         self.site.main.request_service_delay = request_service_delay
@@ -398,7 +405,9 @@ class NetCentral:
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
         """Bind the listening socket; returns the bound port."""
-        self._server = await asyncio.start_server(self._on_connection, host, port)
+        self._server = await asyncio.start_server(
+            _tracked_handler(self._on_connection, self._conn_tasks), host, port
+        )
         self.port = self._server.sockets[0].getsockname()[1]
         self._broadcast_tasks = [
             asyncio.create_task(_forward(self._data_sub, self._uplink, "data")),
@@ -457,6 +466,8 @@ class NetCentral:
             await self._serve_mirror(hello.name, writer, frames)
         elif hello.role == "client":
             await _serve_client(self.site.main, writer, frames, self.stats)
+        elif hello.role == "source":
+            await self._serve_source(writer, frames)
         else:
             writer.close()
 
@@ -544,7 +555,7 @@ class NetCentral:
                 envelope.size = getattr(item, "size", 0)
                 copies = await _apply_link_faults(
                     self.fault_controller, envelope,
-                    "central", conn.name, self._elapsed(), stats,
+                    self.site_name, conn.name, self._elapsed(), stats,
                 )
                 for _ in range(copies):
                     t0 = time.perf_counter_ns()
@@ -566,6 +577,61 @@ class NetCentral:
                 break
         conn.closed = True
 
+    async def _serve_source(self, writer, frames: "_FrameReader") -> None:
+        """Serve the ingress router's event-stream connection.
+
+        The sharded runtime (:mod:`repro.rt.shards`) feeds each shard's
+        central site over one ordered TCP connection instead of an
+        in-process queue: EVENT/BATCH frames enter ``data_in`` exactly
+        where the local source coroutine would put them, handoff
+        tombstones and transfer installs ride the same connection (their
+        ordering against events is the handoff protocol's correctness
+        argument), and the shard's own transfer *replies* travel back on
+        this socket from the main unit's ``shard_out`` queue.
+        """
+        main = self.site.main
+        out = main.shard_out
+        if out is None:
+            out = main.shard_out = asyncio.Queue()
+        reply_task = asyncio.create_task(self._transfer_writer(writer, out))
+        try:
+            while True:
+                msg = await frames.next_message()
+                if msg is None or msg == WIRE_EOS:
+                    await self.site.data_in.put(EOS)
+                    break
+                if isinstance(msg, EventBatch):
+                    await self.site.data_in.put(list(msg.events))
+                elif isinstance(msg, ShardControl):
+                    await self.site.data_in.put(msg)
+                elif isinstance(msg, UpdateEvent):
+                    await self.site.data_in.put([msg])
+        finally:
+            # by the time the router sends EOS it has received every
+            # transfer reply (it only closes the stream when no handoff
+            # is pending), so the writer drains nothing after this
+            await out.put(None)
+            await asyncio.gather(reply_task, return_exceptions=True)
+            writer.close()
+
+    async def _transfer_writer(self, writer, out: asyncio.Queue) -> None:
+        """Ship transfer replies back to the router (None = stop)."""
+        encoder = WireEncoder()
+        stats = self.stats
+        while True:
+            transfer = await out.get()
+            if transfer is None:
+                break
+            t0 = time.perf_counter_ns()
+            frame = encoder.encode_message(transfer)
+            stats.encode_ns += time.perf_counter_ns() - t0
+            stats.frames_sent += 1
+            stats.bytes_sent += len(frame)
+            stats.flushes += 1
+            stats.control_flushes += 1
+            writer.write(frame)
+            await writer.drain()
+
     async def shutdown_stream(self) -> None:
         """Propagate end-of-stream to every mirror connection."""
         await self.site.mirror_channel.publish(EOS)
@@ -576,14 +642,47 @@ class NetCentral:
             await conn.done.wait()
 
     async def close(self) -> None:
-        for task in self._broadcast_tasks:
+        """Stop broadcast tasks and close the listener (idempotent, so
+        error-path ``finally`` blocks can call it unconditionally)."""
+        tasks, self._broadcast_tasks = self._broadcast_tasks, []
+        for task in tasks:
             task.cancel()
-        await asyncio.gather(*self._broadcast_tasks, return_exceptions=True)
-        self.stats.frames_shared += self.shared.frames_shared
-        self.stats.shared_encodes_saved += self.shared.encodes_saved
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+            self.stats.frames_shared += self.shared.frames_shared
+            self.stats.shared_encodes_saved += self.shared.encodes_saved
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        # the listener spawns one handler task per accepted connection;
+        # server.close() does NOT cancel the in-flight ones, so an
+        # error-path close with live peers would leak them into the loop
+        await _cancel_tracked(self._conn_tasks)
+
+
+def _tracked_handler(handler, registry: List[asyncio.Task]):
+    """Wrap a start_server callback so its per-connection tasks are
+    registered for cancellation at close time."""
+
+    async def wrapped(reader, writer):
+        task = asyncio.current_task()
+        registry.append(task)
+        try:
+            await handler(reader, writer)
+        finally:
+            registry.remove(task)
+
+    return wrapped
+
+
+async def _cancel_tracked(registry: List[asyncio.Task]) -> None:
+    """Cancel every still-live tracked connection handler."""
+    tasks = [t for t in registry if not t.done()]
+    for task in tasks:
+        task.cancel()
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
 
 
 async def _forward(sub: AsyncSubscription, outbound: asyncio.Queue, kind: str) -> None:
@@ -688,6 +787,7 @@ class NetMirror:
         self.site.main.delta_fallback_fraction = self.config.delta_fallback_fraction
         self.port: Optional[int] = None
         self._client_server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: List[asyncio.Task] = []
 
     async def serve_clients(self, host: str = "127.0.0.1", port: int = 0) -> int:
         """Open this mirror's own client-facing port."""
@@ -698,7 +798,9 @@ class NetMirror:
                 _FrameReader(reader, self.stats), self.stats,
             )
 
-        self._client_server = await asyncio.start_server(handle, host, port)
+        self._client_server = await asyncio.start_server(
+            _tracked_handler(handle, self._conn_tasks), host, port
+        )
         self.port = self._client_server.sockets[0].getsockname()[1]
         return self.port
 
@@ -718,15 +820,29 @@ class NetMirror:
         reply_writer = asyncio.create_task(
             self._reply_loop(writer, hello_enc)
         )
-        await self._reader_loop(reader)
-        await asyncio.gather(*site_tasks)
-        # site fully drained: close the uplink
-        await self.reply_to.put(EOS)
-        await asyncio.gather(reply_writer, return_exceptions=True)
-        writer.close()
-        if self._client_server is not None:
-            self._client_server.close()
-            await self._client_server.wait_closed()
+        try:
+            await self._reader_loop(reader)
+            await asyncio.gather(*site_tasks)
+            # site fully drained: close the uplink
+            await self.reply_to.put(EOS)
+            await asyncio.gather(reply_writer, return_exceptions=True)
+        finally:
+            for task in (*site_tasks, reply_writer):
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(
+                *site_tasks, reply_writer, return_exceptions=True
+            )
+            writer.close()
+            await self.close()
+
+    async def close(self) -> None:
+        """Close the client-facing listener (idempotent)."""
+        server, self._client_server = self._client_server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        await _cancel_tracked(self._conn_tasks)
 
     async def _reader_loop(self, reader) -> None:
         frames = _FrameReader(reader, self.stats)
@@ -737,7 +853,9 @@ class NetMirror:
                 await self.data_sub.put(EOS)
                 await self.ctrl_sub.put(EOS)
                 break
-            if isinstance(msg, (UpdateEvent, EventBatch)):
+            if isinstance(msg, (UpdateEvent, EventBatch, ShardControl)):
+                # handoff control frames take the DATA path: their whole
+                # contract is ordering against the event stream
                 await self.data_sub.put(msg)
                 self.data_sub.delivered += 1
             else:
@@ -839,6 +957,15 @@ async def run_net_scenario(
     # exit so callers and tests see no global change.
     gc_thresholds = gc.get_threshold()
     gc.set_threshold(50_000, gc_thresholds[1], gc_thresholds[2])
+    # declared before the try so the finally can always clean up exactly
+    # what was actually started (error or cancellation at any point must
+    # not leak reader/writer tasks or listening sockets)
+    mirrors: List[NetMirror] = []
+    mirror_tasks: List[asyncio.Task] = []
+    central_tasks: List[asyncio.Task] = []
+    drivers: List[asyncio.Task] = []
+    client_task = None
+    client_stats = WireStats()
     try:
         t0 = time.monotonic()
         port = await central.start(host=host)
@@ -883,9 +1010,7 @@ async def run_net_scenario(
                 await site.data_in.put(chunk)
             await site.data_in.put(EOS)
 
-        client_stats = WireStats()
         drivers = [asyncio.create_task(source())]
-        client_task = None
         if request_times:
             client_task = asyncio.create_task(
                 _run_client(host, client_ports, request_times, client_stats)
@@ -900,6 +1025,22 @@ async def run_net_scenario(
         await asyncio.gather(*central_tasks)
         await central.close()
     finally:
+        # on a clean run everything below is a no-op (tasks done,
+        # listeners closed — close() is idempotent); on error or
+        # cancellation it is what guarantees no task, socket or port
+        # outlives the scenario
+        leftovers = [
+            task
+            for task in (*drivers, *central_tasks, *mirror_tasks)
+            if not task.done()
+        ]
+        for task in leftovers:
+            task.cancel()
+        if leftovers:
+            await asyncio.gather(*leftovers, return_exceptions=True)
+        await central.close()
+        for mirror in mirrors:
+            await mirror.close()
         gc.set_threshold(*gc_thresholds)
 
     stats = WireStats()
@@ -1041,54 +1182,72 @@ class NetProcessRunner:
             s.close()
 
         procs = []
-        mirror_results = []
-        for i in range(self.n_mirrors):
-            name = f"mirror{i+1}"
-            result_path = str(tmpdir / f"{name}.json")
-            mirror_results.append(result_path)
-            proc = ctx.Process(
-                target=_mirror_process_main,
-                args=(name, self.host, port, client_ports[i], result_path),
-            )
-            proc.start()
-            procs.append(proc)
-        await central.mirrors_connected.wait()
-
-        site = central.site
-        central_tasks = [
-            asyncio.create_task(site.receiving_task()),
-            asyncio.create_task(site.sending_task()),
-            asyncio.create_task(site.control_task()),
-            asyncio.create_task(site.main.event_loop()),
-        ]
-
+        central_tasks: List[asyncio.Task] = []
         client_proc = None
-        client_result = str(tmpdir / "client.json")
-        if self.n_requests > 0:
-            targets = client_ports if client_ports else [port]
-            client_proc = ctx.Process(
-                target=_client_process_main,
-                args=(self.host, targets, self.n_requests, client_result),
-            )
-            client_proc.start()
+        try:
+            mirror_results = []
+            for i in range(self.n_mirrors):
+                name = f"mirror{i+1}"
+                result_path = str(tmpdir / f"{name}.json")
+                mirror_results.append(result_path)
+                proc = ctx.Process(
+                    target=_mirror_process_main,
+                    args=(name, self.host, port, client_ports[i], result_path),
+                )
+                proc.start()
+                procs.append(proc)
+            await central.mirrors_connected.wait()
 
-        t0 = time.monotonic()
-        for se in self.script.fresh_events():
-            await site.data_in.put(se.event)
-        await site.data_in.put(EOS)
-        await site.stream_done.wait()
-        if client_proc is not None:
-            while client_proc.is_alive():
-                await asyncio.sleep(0.01)
-            client_proc.join()
-        await central.shutdown_stream()
-        await central.wait_mirrors_done()
-        await site.ctrl_in.put(EOS)
-        await asyncio.gather(*central_tasks)
-        await central.close()
-        wall = time.monotonic() - t0
-        for proc in procs:
-            proc.join(timeout=30)
+            site = central.site
+            central_tasks = [
+                asyncio.create_task(site.receiving_task()),
+                asyncio.create_task(site.sending_task()),
+                asyncio.create_task(site.control_task()),
+                asyncio.create_task(site.main.event_loop()),
+            ]
+
+            client_result = str(tmpdir / "client.json")
+            if self.n_requests > 0:
+                targets = client_ports if client_ports else [port]
+                client_proc = ctx.Process(
+                    target=_client_process_main,
+                    args=(self.host, targets, self.n_requests, client_result),
+                )
+                client_proc.start()
+
+            t0 = time.monotonic()
+            for se in self.script.fresh_events():
+                await site.data_in.put(se.event)
+            await site.data_in.put(EOS)
+            await site.stream_done.wait()
+            if client_proc is not None:
+                while client_proc.is_alive():
+                    await asyncio.sleep(0.01)
+                client_proc.join()
+            await central.shutdown_stream()
+            await central.wait_mirrors_done()
+            await site.ctrl_in.put(EOS)
+            await asyncio.gather(*central_tasks)
+            await central.close()
+            wall = time.monotonic() - t0
+            for proc in procs:
+                proc.join(timeout=30)
+        finally:
+            # a failed or cancelled run must not leak child processes or
+            # the bound port: cancel whatever is still running, SIGTERM
+            # + join any live child (terminate() is SIGTERM on POSIX)
+            leftovers = [t for t in central_tasks if not t.done()]
+            for task in leftovers:
+                task.cancel()
+            if leftovers:
+                await asyncio.gather(*leftovers, return_exceptions=True)
+            await central.close()
+            children = procs + ([client_proc] if client_proc is not None else [])
+            for proc in children:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in children:
+                proc.join(timeout=10)
 
         mirrors = []
         for path in mirror_results:

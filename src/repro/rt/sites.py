@@ -33,6 +33,13 @@ from ..core.events import EventBatch, UpdateEvent, VectorTimestamp
 from ..ois.clients import InitStateRequest, InitStateResponse
 from ..ois.ede import EventDerivationEngine
 from ..core.queues import BackupQueue
+from ..shard.handoff import (
+    ShardControl,
+    ShardHandoff,
+    ShardTransfer,
+    extract_transfer,
+    install_transfer,
+)
 from .channels import AsyncChannel, AsyncSubscription
 
 __all__ = ["EOS", "AsyncMainUnit", "AsyncCentralSite", "AsyncMirrorSite"]
@@ -75,6 +82,12 @@ class AsyncMainUnit:
         self.snapshot_cache_hits = 0
         self.delta_snapshots_served = 0
         self.bytes_saved_by_delta = 0
+        #: cross-shard handoff (repro.shard): a central main unit with a
+        #: queue here replies to tombstones with transfer frames; mirrors
+        #: (and unsharded centrals) leave it None and only apply them
+        self.shard_out: Optional[asyncio.Queue] = None
+        self.handoffs_out = 0
+        self.transfers_in = 0
 
     def pending_requests(self) -> int:
         """Outstanding request count (queued + in service)."""
@@ -91,6 +104,11 @@ class AsyncMainUnit:
             item = await self.inbox.get()
             if item == EOS:
                 break
+            if isinstance(item, ShardControl):
+                # arrives on the same queue as events, so everything
+                # enqueued before it has been applied by now
+                await self._apply_shard_control(item)
+                continue
             events = item.events if isinstance(item, EventBatch) else (item,)
             ede = self.ede
             note_processed = self.checkpointer.note_processed
@@ -114,6 +132,24 @@ class AsyncMainUnit:
                     ede.process(event)
                     note_processed(event.stream, event.seqno)
             await asyncio.sleep(0)  # cooperative yield
+
+    async def _apply_shard_control(self, item: ShardControl) -> None:
+        """Apply a handoff tombstone or transfer install in stream order.
+
+        A :class:`ShardHandoff` extracts + removes the flight; when this
+        unit has a ``shard_out`` queue (a central shard's main unit) the
+        resulting :class:`ShardTransfer` is emitted for the router —
+        mirrors just tombstone.  A received transfer installs the
+        flight's state ahead of its post-handoff updates.
+        """
+        if isinstance(item, ShardHandoff):
+            transfer = extract_transfer(self.ede, item)
+            self.handoffs_out += 1
+            if self.shard_out is not None:
+                await self.shard_out.put(transfer)
+        elif isinstance(item, ShardTransfer):
+            install_transfer(self.ede, item)
+            self.transfers_in += 1
 
     async def request_loop(self) -> None:
         """Serve initial-state requests until EOS.
@@ -221,13 +257,15 @@ class AsyncCentralSite:
         participants: set,
         adaptation: Optional[AdaptationController] = None,
         clock=time.monotonic,
+        site: str = "central",
     ):
         self.config = config
         self.clock = clock
+        self.site = site
         self.mirror_channel = mirror_channel
         self.ctrl_channel = ctrl_channel
         self.adaptation = adaptation
-        self.main = AsyncMainUnit("central", clock=clock)
+        self.main = AsyncMainUnit(site, clock=clock)
         self.main.distribute_updates = True
         self.data_in: asyncio.Queue = asyncio.Queue(maxsize=256)
         self.ctrl_in: asyncio.Queue = asyncio.Queue()
@@ -265,6 +303,11 @@ class AsyncCentralSite:
             if item == EOS:
                 await self.ready.put(EOS)
                 break
+            if isinstance(item, ShardControl):
+                # no stamp (control frames carry no vt); queue position
+                # alone orders it against the surrounding events
+                await self.ready.put(item)
+                continue
             events = item if type(item) is list else (item,)
             ready = self.ready
             clock = self.clock
@@ -285,6 +328,9 @@ class AsyncCentralSite:
             if item == EOS:
                 await self._finish_stream()
                 break
+            if isinstance(item, ShardControl):
+                await self._shard_barrier(item)
+                continue
             batch_size = self.config.batch_size
             if batch_size <= 1:
                 outs: List[UpdateEvent] = []
@@ -300,6 +346,7 @@ class AsyncCentralSite:
             # (never awaiting more — an empty queue ships what's in hand)
             members = [item]
             eos_seen = False
+            pending_ctrl: Optional[ShardControl] = None
             while len(members) < batch_size:
                 try:
                     nxt = self.ready.get_nowait()
@@ -307,6 +354,10 @@ class AsyncCentralSite:
                     break
                 if nxt == EOS:
                     eos_seen = True
+                    break
+                if isinstance(nxt, ShardControl):
+                    # barrier: ship what's in hand first, then the frame
+                    pending_ctrl = nxt
                     break
                 members.append(nxt)
             outs = self.engine.forward_many(members)
@@ -322,9 +373,28 @@ class AsyncCentralSite:
                 self.processed_events += 1
                 if self.processed_events % self.config.checkpoint_freq == 0:
                     await self._initiate_checkpoint()
+            if pending_ctrl is not None:
+                await self._shard_barrier(pending_ctrl)
             if eos_seen:
                 await self._finish_stream()
                 break
+
+    async def _shard_barrier(self, ctrl: ShardControl) -> None:
+        """Pass a handoff control frame through in strict stream order.
+
+        Both engine stages flush first — a coalescing window could
+        otherwise hold a pre-handoff update for the transferring flight
+        past its tombstone.  The frame then goes to the local main unit
+        *and* to every mirror on the data channel, bypassing mirroring
+        rules (control must never be filtered or coalesced) and the
+        backup queue (it carries no vector timestamp to trim by).
+        """
+        for out in self.engine.flush("receive"):
+            await self._mirror(self.engine.on_send(out))
+        for out in self.engine.flush("send"):
+            await self._mirror([out])
+        await self.main.inbox.put(ctrl)
+        await self.mirror_channel.publish(ctrl)
 
     async def _finish_stream(self) -> None:
         for out in self.engine.flush("receive"):
@@ -427,6 +497,11 @@ class AsyncMirrorSite:
             if event == EOS:
                 await self.main.inbox.put(EOS)
                 break
+            if isinstance(event, ShardControl):
+                # ordered passthrough: no backup (nothing to trim by),
+                # no stamping — the main unit applies it in-place
+                await self.main.inbox.put(event)
+                continue
             if isinstance(event, EventBatch):
                 self.backup.extend(event.events)
                 # forward the batch whole: one inbox hop per batch (the

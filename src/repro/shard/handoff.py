@@ -1,0 +1,276 @@
+"""Cross-shard airport handoff: ownership transfer without loss.
+
+A flight's updates must be applied by exactly one shard at a time, in
+arrival order.  When an :data:`~repro.core.events.HANDOFF` event moves a
+flight to an airport another shard owns, the ingress router runs a
+three-step transfer against the two shards:
+
+1. **tombstone** — the router stops forwarding the flight's updates
+   (they buffer at the router) and sends a :class:`ShardHandoff` frame
+   down the *same ordered connection* the old shard's events travel on.
+   By the time the old shard's main unit sees the tombstone it has, by
+   construction, applied every pre-handoff update for the flight; it
+   extracts the flight's record *and* the derivation rules' working
+   state and removes both.
+2. **transfer** — the old shard replies with a :class:`ShardTransfer`
+   frame carrying that extracted state back to the router.
+3. **install + flush** — the router forwards the transfer to the new
+   shard (again on the ordered event connection), then flushes the
+   buffered updates — the handoff event itself first — and routes the
+   flight to the new shard from then on.
+
+The guarantee is structural: the old shard applies exactly the
+pre-handoff prefix (everything before the tombstone on its connection),
+the new shard applies exactly the handoff event and its suffix (nothing
+is forwarded to it before the installed state), and the router's buffer
+makes the window seamless — **no update lost, none duplicated**, which
+the hypothesis property in ``tests/shard`` asserts over arbitrary
+interleavings.
+
+:class:`RoutingCore` is that protocol as a pure, synchronous state
+machine — the asyncio ingress router (:mod:`repro.rt.shards`) drives it
+and moves bytes; everything decidable is decided here, where it can be
+model-tested exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.events import HANDOFF, UpdateEvent
+from ..ois.state import FlightView
+from .partition import Partitioner
+
+__all__ = [
+    "ShardControl",
+    "ShardHandoff",
+    "ShardTransfer",
+    "RoutingCore",
+    "extract_transfer",
+    "install_transfer",
+    "merge_digests",
+]
+
+
+class ShardControl:
+    """Marker base for shard-protocol frames that ride the *data* path.
+
+    Ordering with respect to events is the whole point of these
+    messages, so they travel through the same queues and connections as
+    the event stream (never the control channel) and every pipeline
+    stage passes them through as barriers.
+    """
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ShardHandoff(ShardControl):
+    """Tombstone: ``flight_id`` is leaving ``from_shard``.
+
+    Sent router → old shard, strictly after the flight's last
+    pre-handoff update on that connection.  ``seq`` identifies the
+    transfer (router-assigned, monotone) so a reply can never be
+    matched to the wrong handoff.
+    """
+
+    flight_id: str
+    airport: str
+    from_shard: int
+    to_shard: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class ShardTransfer(ShardControl):
+    """The extracted flight state travelling old shard → router → new.
+
+    ``view`` is None when the old shard had never seen the flight (a
+    handoff can be a flight's first event); ``arrival_seen`` carries the
+    EDE's partial arrival-sequence digest — rule *working* state that is
+    not part of the operational record but without which a flight
+    mid-arrival-sequence could never complete it on the new shard.
+    """
+
+    flight_id: str
+    airport: str
+    from_shard: int
+    to_shard: int
+    seq: int
+    view: Optional[FlightView] = None
+    arrival_seen: Tuple[str, ...] = ()
+
+
+@dataclass
+class _PendingTransfer:
+    """Router-side record of one in-flight handoff."""
+
+    flight_id: str
+    airport: str
+    from_shard: int
+    to_shard: int
+    seq: int
+    #: updates for this flight held back until the transfer installs —
+    #: the handoff event itself is first (the new shard applies it)
+    buffered: List[UpdateEvent] = field(default_factory=list)
+
+
+class RoutingCore:
+    """Pure routing + handoff state machine for the ingress router.
+
+    ``route(event)`` and ``complete(transfer)`` return ordered emission
+    lists ``[(shard_index, item), ...]`` where each item is an
+    :class:`~repro.core.events.UpdateEvent`, a :class:`ShardHandoff` or
+    a :class:`ShardTransfer`; the caller's only job is to ship each
+    emission down the named shard's ordered connection.
+    """
+
+    def __init__(self, partitioner: Partitioner):
+        self.partitioner = partitioner
+        self.n_shards = partitioner.n_shards
+        #: flight → owning shard (populated lazily from the partitioner,
+        #: overridden by completed handoffs)
+        self._owner: Dict[str, int] = {}
+        self._pending: Dict[str, _PendingTransfer] = {}
+        self._seq = 0
+        self.events_routed = 0
+        self.events_buffered = 0
+        self.transfers_started = 0
+        self.transfers_completed = 0
+        self.same_shard_handoffs = 0
+
+    @property
+    def pending(self) -> int:
+        """Transfers awaiting their :meth:`complete` call."""
+        return len(self._pending)
+
+    def owner_of(self, key: str) -> int:
+        """Current owner of ``key`` (handoffs included)."""
+        owner = self._owner.get(key)
+        if owner is None:
+            owner = self.partitioner.owner_of(key)
+            self._owner[key] = owner
+        return owner
+
+    def route(self, event: UpdateEvent) -> List[Tuple[int, object]]:
+        """Decide where ``event`` goes; may open a handoff transfer."""
+        key = event.key
+        pending = self._pending.get(key)
+        if pending is not None:
+            # mid-transfer: hold the update until the new shard is ready
+            pending.buffered.append(event)
+            self.events_buffered += 1
+            return []
+        owner = self.owner_of(key)
+        if event.kind == HANDOFF:
+            airport = str(event.payload.get("airport", ""))
+            new_owner = self.partitioner.owner_of(airport) if airport else owner
+            if new_owner != owner:
+                self._seq += 1
+                self.transfers_started += 1
+                transfer = _PendingTransfer(
+                    flight_id=key,
+                    airport=airport,
+                    from_shard=owner,
+                    to_shard=new_owner,
+                    seq=self._seq,
+                )
+                # the handoff event is applied by the NEW shard, after
+                # the install — buffer it as the first held-back update
+                transfer.buffered.append(event)
+                self.events_buffered += 1
+                self._pending[key] = transfer
+                return [(
+                    owner,
+                    ShardHandoff(
+                        flight_id=key,
+                        airport=airport,
+                        from_shard=owner,
+                        to_shard=new_owner,
+                        seq=self._seq,
+                    ),
+                )]
+            self.same_shard_handoffs += 1
+        self.events_routed += 1
+        return [(owner, event)]
+
+    def complete(self, transfer: ShardTransfer) -> List[Tuple[int, object]]:
+        """The old shard replied: install on the new shard and flush.
+
+        Replayed updates go back through :meth:`route`, so a second
+        handoff hiding in the buffer simply opens the next transfer and
+        the remainder re-buffers behind it.
+        """
+        pending = self._pending.pop(transfer.flight_id, None)
+        if pending is None or pending.seq != transfer.seq:
+            raise ValueError(
+                f"transfer reply for {transfer.flight_id!r} seq {transfer.seq} "
+                "matches no pending handoff"
+            )
+        self.transfers_completed += 1
+        self._owner[transfer.flight_id] = transfer.to_shard
+        emissions: List[Tuple[int, object]] = [(transfer.to_shard, transfer)]
+        for event in pending.buffered:
+            emissions.extend(self.route(event))
+        return emissions
+
+
+def extract_transfer(ede, handoff: ShardHandoff) -> ShardTransfer:
+    """Tombstone ``handoff.flight_id`` out of ``ede``; build the reply.
+
+    Removes the flight's operational record from the state store *and*
+    the arrival-sequence working state from the derivation engine, so a
+    post-handoff replay on this shard cannot resurrect either.
+    """
+    state = getattr(ede, "state", None)
+    record = state.remove_flight(handoff.flight_id) if state is not None else None
+    seen = getattr(ede, "_arrival_seen", None)
+    arrival: Tuple[str, ...] = ()
+    if seen is not None:
+        statuses = seen.pop(handoff.flight_id, None)
+        if statuses:
+            arrival = tuple(sorted(statuses))
+    return ShardTransfer(
+        flight_id=handoff.flight_id,
+        airport=handoff.airport,
+        from_shard=handoff.from_shard,
+        to_shard=handoff.to_shard,
+        seq=handoff.seq,
+        view=FlightView.of(record) if record is not None else None,
+        arrival_seen=arrival,
+    )
+
+
+def install_transfer(ede, transfer: ShardTransfer) -> None:
+    """Install a transferred flight into ``ede`` (the new shard)."""
+    view = transfer.view
+    state = getattr(ede, "state", None)
+    if view is not None and state is not None:
+        record = state.flight(view.flight_id)
+        record.status = view.status
+        record.passengers_expected = view.passengers_expected
+        record.passengers_boarded = view.passengers_boarded
+        record.updates_applied = view.updates_applied
+        record.arrived = view.arrived
+        record.position = dict(view.position) if view.position else None
+        state.touch(view.flight_id)
+    if transfer.arrival_seen:
+        seen = getattr(ede, "_arrival_seen", None)
+        if seen is not None:
+            seen[transfer.flight_id] = set(transfer.arrival_seen)
+
+
+def merge_digests(digests: List[tuple]) -> tuple:
+    """Union per-shard EDE digests into one cluster-wide digest.
+
+    Each shard's :meth:`~repro.ois.ede.EventDerivationEngine.state_digest`
+    is a tuple of per-flight tuples sorted by flight id, and handoff
+    correctness means every flight ends on exactly one shard — so the
+    sorted union is directly comparable to a single-shard digest.
+    """
+    merged: List[tuple] = []
+    for digest in digests:
+        merged.extend(digest)
+    merged.sort(key=lambda flight: flight[0])
+    return tuple(merged)

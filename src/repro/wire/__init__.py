@@ -27,11 +27,14 @@ from .codec import (
     T_DELTA,
     T_EOS,
     T_EVENT,
+    T_HANDOFF,
     T_HELLO,
     T_REQUEST,
     T_RESET,
     T_RESPONSE,
+    T_SHARD_MAP,
     T_SNAPSHOT,
+    T_TRANSFER,
     WIRE_VERSION,
     FrameSplitter,
     Hello,
@@ -71,6 +74,9 @@ __all__ = [
     "T_EOS",
     "T_RESET",
     "T_HELLO",
+    "T_SHARD_MAP",
+    "T_HANDOFF",
+    "T_TRANSFER",
     "WireError",
     "TruncatedFrame",
     "WireEncoder",

@@ -48,6 +48,8 @@ from ..core.config import MirrorConfig
 from ..core.events import EventBatch, UpdateEvent, VectorTimestamp
 from ..ois.clients import InitStateRequest, InitStateResponse
 from ..ois.state import DeltaSnapshot, FlightView, StateSnapshot
+from ..shard.handoff import ShardHandoff, ShardTransfer
+from ..shard.partition import ShardMap
 from . import accel as _accel
 from .primitives import (
     InternDecoder,
@@ -80,6 +82,9 @@ __all__ = [
     "T_EOS",
     "T_RESET",
     "T_HELLO",
+    "T_SHARD_MAP",
+    "T_HANDOFF",
+    "T_TRANSFER",
     "WireError",
     "TruncatedFrame",
     "WireEncoder",
@@ -108,6 +113,9 @@ T_DELTA = 0x09
 T_EOS = 0x0A
 T_RESET = 0x0B
 T_HELLO = 0x0C
+T_SHARD_MAP = 0x0D
+T_HANDOFF = 0x0E
+T_TRANSFER = 0x0F
 
 #: End-of-stream sentinel — the same string every backend uses, defined
 #: locally so the codec depends only on the data-model modules.
@@ -415,6 +423,39 @@ class WireEncoder:
         self._flights_body(delta.flights, body)
         return self._frame(T_DELTA, body)
 
+    def encode_shard_map(self, smap: ShardMap) -> bytes:
+        body = bytearray()
+        self._interner.encode(smap.strategy, body)
+        encode_uvarint(len(smap.names), body)
+        for name, port in zip(smap.names, smap.client_ports):
+            self._interner.encode(name, body)
+            encode_uvarint(port, body)
+        return self._frame(T_SHARD_MAP, body)
+
+    def _handoff_header(self, msg, out: bytearray) -> None:
+        self._interner.encode(msg.flight_id, out)
+        self._interner.encode(msg.airport, out)
+        encode_uvarint(msg.from_shard, out)
+        encode_uvarint(msg.to_shard, out)
+        encode_uvarint(msg.seq, out)
+
+    def encode_handoff(self, msg: ShardHandoff) -> bytes:
+        body = bytearray()
+        self._handoff_header(msg, body)
+        return self._frame(T_HANDOFF, body)
+
+    def encode_transfer(self, msg: ShardTransfer) -> bytes:
+        body = bytearray()
+        self._handoff_header(msg, body)
+        # flight-view count doubles as the presence flag: 0 when the old
+        # shard had never seen the flight, 1 otherwise
+        view = msg.view
+        self._flights_body((view,) if view is not None else (), body)
+        encode_uvarint(len(msg.arrival_seen), body)
+        for status in msg.arrival_seen:
+            self._interner.encode(status, body)
+        return self._frame(T_TRANSFER, body)
+
     def encode_eos(self) -> bytes:
         return self._frame(T_EOS, bytearray())
 
@@ -446,6 +487,12 @@ class WireEncoder:
             return self.encode_snapshot(obj)
         if isinstance(obj, Hello):
             return self.encode_hello(obj)
+        if isinstance(obj, ShardHandoff):
+            return self.encode_handoff(obj)
+        if isinstance(obj, ShardTransfer):
+            return self.encode_transfer(obj)
+        if isinstance(obj, ShardMap):
+            return self.encode_shard_map(obj)
         if obj == EOS:
             return self.encode_eos()
         raise WireError(f"no wire encoding for {type(obj).__name__}")
@@ -557,6 +604,16 @@ class WireDecoder:
                 )
             )
         return tuple(flights), pos
+
+    def _handoff_header(
+        self, buf, pos: int
+    ) -> Tuple[Tuple[str, str, int, int, int], int]:
+        flight_id, pos = self._interner.decode(buf, pos)
+        airport, pos = self._interner.decode(buf, pos)
+        from_shard, pos = decode_uvarint(buf, pos)
+        to_shard, pos = decode_uvarint(buf, pos)
+        seq, pos = decode_uvarint(buf, pos)
+        return (flight_id, airport, from_shard, to_shard, seq), pos
 
     def _f64(self, buf, pos: int) -> Tuple[float, int]:
         end = pos + 8
@@ -740,6 +797,42 @@ class WireDecoder:
             name, pos = self._interner.decode(body, pos)
             self._check_consumed(body, pos)
             return Hello(role, name)
+        if mtype == T_SHARD_MAP:
+            strategy, pos = self._interner.decode(body, 0)
+            count, pos = decode_uvarint(body, pos)
+            names: List[str] = []
+            ports: List[int] = []
+            for _ in range(count):
+                name, pos = self._interner.decode(body, pos)
+                port, pos = decode_uvarint(body, pos)
+                names.append(name)
+                ports.append(port)
+            self._check_consumed(body, pos)
+            return ShardMap(
+                strategy=strategy,
+                names=tuple(names),
+                client_ports=tuple(ports),
+            )
+        if mtype == T_HANDOFF:
+            header, pos = self._handoff_header(body, 0)
+            self._check_consumed(body, pos)
+            return ShardHandoff(*header)
+        if mtype == T_TRANSFER:
+            header, pos = self._handoff_header(body, 0)
+            flights, pos = self._flights(body, pos)
+            if len(flights) > 1:
+                raise WireError("transfer frame carries more than one flight")
+            count, pos = decode_uvarint(body, pos)
+            arrival: List[str] = []
+            for _ in range(count):
+                status, pos = self._interner.decode(body, pos)
+                arrival.append(status)
+            self._check_consumed(body, pos)
+            return ShardTransfer(
+                *header,
+                view=flights[0] if flights else None,
+                arrival_seen=tuple(arrival),
+            )
         raise WireError(f"unknown frame type 0x{mtype:02x}")
 
     @staticmethod

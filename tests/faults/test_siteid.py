@@ -1,0 +1,83 @@
+"""Tests for shard-qualified site ids (`repro.faults.siteid`) and their
+plumbing through the chaos tooling (satellite: no string collisions —
+``shard1/central`` must never resolve inside ``shard10``)."""
+
+import pytest
+
+from repro.faults import qualify_site, resolve_site, split_site
+from repro.faults.chaos import run_chaos_scenario
+from repro.faults.plan import FaultPlan
+
+
+# ----------------------------------------------------------- pure helpers
+def test_qualify_bare_and_sharded():
+    assert qualify_site("", "central") == "central"
+    assert qualify_site("shard2", "mirror1") == "shard2/mirror1"
+
+
+def test_qualify_rejects_nested_shard():
+    with pytest.raises(ValueError):
+        qualify_site("a/b", "central")
+
+
+def test_split_site():
+    assert split_site("central") == ("", "central")
+    assert split_site("shard0/central") == ("shard0", "central")
+    # only the FIRST separator splits; the rest stays in the name
+    assert split_site("shard0/a/b") == ("shard0", "a/b")
+
+
+def test_resolve_bare_passes_through():
+    assert resolve_site("central", "") == "central"
+    assert resolve_site("mirror1", "shard3") == "mirror1"
+
+
+def test_resolve_qualified_exact_match():
+    assert resolve_site("shard1/central", "shard1") == "central"
+
+
+def test_resolve_rejects_prefix_collision():
+    """`shard1` is a string prefix of `shard10`; segment matching must
+    not be fooled."""
+    with pytest.raises(ValueError):
+        resolve_site("shard1/central", "shard10")
+    with pytest.raises(ValueError):
+        resolve_site("shard10/central", "shard1")
+
+
+def test_resolve_rejects_wrong_shard():
+    with pytest.raises(ValueError):
+        resolve_site("shard0/central", "shard1")
+    with pytest.raises(ValueError):
+        resolve_site("shard0/central", "")  # qualified id, unsharded run
+
+
+# ------------------------------------------------- chaos drill integration
+def test_chaos_drill_identical_bare_vs_qualified():
+    """The same drill renders identically whether its plan targets bare
+    site ids or shard-qualified ones — qualification is pure addressing,
+    never behaviour."""
+    bare = run_chaos_scenario("mirror-rejoin", seed=11)
+    sharded = run_chaos_scenario("mirror-rejoin", seed=11, shard="shard0")
+    assert bare.passed and sharded.passed
+    assert bare.measurements == sharded.measurements
+    assert bare.checks == sharded.checks
+
+
+def test_wrong_shard_plan_fails_at_server_build_time():
+    """A plan whose actions target a different shard must fail when the
+    server (which wires the :class:`FaultInjector`) is built, not
+    silently no-op mid-simulation."""
+    from repro.core import ScenarioConfig
+    from repro.core.system import MirroredServer
+    from repro.ois import FlightDataConfig
+
+    cfg = ScenarioConfig(
+        n_mirrors=1,
+        shard="shard0",
+        workload=FlightDataConfig(n_flights=2, positions_per_flight=4, seed=1),
+        fault_plan=FaultPlan(seed=1).crash_site(1.0, "shard1/central"),
+        failover=True,
+    )
+    with pytest.raises(ValueError, match="shard"):
+        MirroredServer(cfg)

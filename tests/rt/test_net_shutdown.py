@@ -1,0 +1,108 @@
+"""Shutdown-path regressions for the socket backend (`repro.rt.net`).
+
+The hardening contract: cancelling a scenario at ANY point must leave
+no task, socket or listening port behind — the same loop (and the same
+ports) must be immediately reusable.
+"""
+
+import asyncio
+
+from repro.ois import FlightDataConfig, generate_script
+from repro.rt.net import NetCentral, run_net_scenario
+from repro.rt.shards import ShardRuntime, run_sharded_scenario
+
+
+def script(**kw):
+    defaults = dict(n_flights=3, positions_per_flight=20, seed=31)
+    defaults.update(kw)
+    return generate_script(FlightDataConfig(**defaults))
+
+
+def pending_tasks():
+    current = asyncio.current_task()
+    return [t for t in asyncio.all_tasks() if t is not current and not t.done()]
+
+
+def test_cancelled_scenario_leaks_nothing():
+    """Cancel mid-stream, then run a fresh scenario in the SAME loop:
+    the first run's finally-block must have torn everything down."""
+
+    async def main():
+        run1 = asyncio.create_task(
+            run_net_scenario(script(positions_per_flight=400), n_mirrors=2)
+        )
+        await asyncio.sleep(0.05)  # let it get past startup, mid-stream
+        run1.cancel()
+        try:
+            await run1
+        except asyncio.CancelledError:
+            pass
+        assert pending_tasks() == []
+        # loop is clean: a full scenario runs to completion right after
+        summary = await run_net_scenario(script(), n_mirrors=2)
+        assert summary.replicas_consistent
+        assert pending_tasks() == []
+
+    asyncio.run(main())
+
+
+def test_cancel_during_startup_leaks_nothing():
+    """Cancellation before the mirrors even connect must still close the
+    central listener."""
+
+    async def main():
+        run1 = asyncio.create_task(run_net_scenario(script(), n_mirrors=2))
+        await asyncio.sleep(0)  # startup barely begun
+        run1.cancel()
+        try:
+            await run1
+        except asyncio.CancelledError:
+            pass
+        assert pending_tasks() == []
+
+    asyncio.run(main())
+
+
+def test_central_close_is_idempotent():
+    async def main():
+        central = NetCentral(n_mirrors=0)
+        await central.start(host="127.0.0.1")
+        await central.close()
+        await central.close()  # second close must be a silent no-op
+
+    asyncio.run(main())
+
+
+def test_shard_abort_leaks_nothing():
+    """`ShardRuntime.abort` is the error-path teardown used by the
+    sharded scenario's finally block: after it, the loop is clean."""
+
+    async def main():
+        rt = ShardRuntime(0, n_mirrors=2)
+        await rt.start(host="127.0.0.1")
+        await rt.abort()
+        await rt.abort()  # idempotent
+        assert pending_tasks() == []
+
+    asyncio.run(main())
+
+
+def test_cancelled_sharded_scenario_leaks_nothing():
+    async def main():
+        run1 = asyncio.create_task(
+            run_sharded_scenario(
+                script=script(positions_per_flight=400), n_shards=2
+            )
+        )
+        await asyncio.sleep(0.1)
+        run1.cancel()
+        try:
+            await run1
+        except asyncio.CancelledError:
+            pass
+        assert pending_tasks() == []
+        # and the loop still supports a full sharded run afterwards
+        summary = await run_sharded_scenario(script=script(), n_shards=2)
+        assert summary.replicas_consistent
+
+    asyncio.run(main())

@@ -1,0 +1,119 @@
+"""Tests for the sharded multi-central runtime (`repro.rt.shards`).
+
+Single-event-loop deployment shape: every byte still crosses loopback
+TCP, but all shards share one loop so runs are cheap and deterministic.
+The multiprocess shape is exercised by the CI smoke job.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.ois import FlightDataConfig, generate_script
+from repro.rt.shards import run_sharded_scenario, shard_site
+
+SEED = 31
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def script(**kw):
+    defaults = dict(
+        n_flights=6, positions_per_flight=20, seed=SEED, handoffs=8,
+    )
+    defaults.update(kw)
+    return generate_script(FlightDataConfig(**defaults))
+
+
+def strip_counts(digest):
+    """Digest modulo the updates-applied counter, which legitimately
+    differs between shard layouts (handoff events apply wherever the
+    flight lives at that moment)."""
+    return tuple(
+        (fid, status, arrived, extras)
+        for fid, status, _count, arrived, extras in digest
+    )
+
+
+# ------------------------------------------------------------- round trip
+def test_sharded_roundtrip_conserves_events():
+    sc = script()
+    summary = run(run_sharded_scenario(script=sc, n_shards=3))
+    assert summary.events_in == len(sc)
+    assert summary.events_routed == len(sc)
+    # every event lands on exactly one shard
+    assert sum(summary.per_shard_events) == len(sc)
+    assert min(summary.per_shard_events) >= 0
+    assert summary.replicas_consistent
+    assert summary.transfers_started == summary.transfers_completed
+    assert summary.wire.frames_sent > 0
+    assert summary.wire.frames_dropped == 0
+
+
+def test_sharded_exercises_cross_shard_handoffs():
+    summary = run(run_sharded_scenario(script=script(handoffs=16), n_shards=4))
+    # with 16 handoffs over a 4-way hash ring, some must cross shards
+    assert summary.transfers_completed > 0
+    assert summary.events_buffered > 0
+
+
+# --------------------------------------------------- layout independence
+@pytest.mark.parametrize("seed", [7, 31])
+def test_single_vs_multi_shard_digest_parity(seed):
+    """The cluster-wide merged digest is a pure function of the script:
+    identical whether the keyspace lives on 1 shard or 4, at any seed."""
+    sc = script(seed=seed)
+    one = run(run_sharded_scenario(script=sc, n_shards=1))
+    four = run(run_sharded_scenario(script=sc, n_shards=4))
+    assert one.transfers_completed == 0  # nothing to cross on 1 shard
+    assert strip_counts(one.merged_digest) == strip_counts(four.merged_digest)
+    assert one.replicas_consistent and four.replicas_consistent
+
+
+def test_sharded_deterministic_across_reruns():
+    sc = script()
+    a = run(run_sharded_scenario(script=sc, n_shards=3))
+    b = run(run_sharded_scenario(script=sc, n_shards=3))
+    assert a.merged_digest == b.merged_digest
+    assert a.per_shard_events == b.per_shard_events
+    assert a.transfers_completed == b.transfers_completed
+    assert a.same_shard_handoffs == b.same_shard_handoffs
+
+
+def test_strategy_changes_placement_not_state():
+    sc = script()
+    hash_run = run(run_sharded_scenario(script=sc, n_shards=3, strategy="hash"))
+    rng_run = run(
+        run_sharded_scenario(script=sc, n_shards=3, strategy="airport")
+    )
+    assert strip_counts(hash_run.merged_digest) == strip_counts(
+        rng_run.merged_digest
+    )
+    assert rng_run.strategy == "airport"
+
+
+# ----------------------------------------------------- clients & domains
+def test_sharded_clients_hit_owning_shards():
+    sc = script()
+    keys = sorted({se.event.key for se in sc.fresh_events()})[:4]
+    summary = run(
+        run_sharded_scenario(script=sc, n_shards=2, request_keys=keys)
+    )
+    assert summary.requests_served == len(keys)
+    assert len(summary.client_latencies) == len(keys)
+    assert all(lat >= 0.0 for lat in summary.client_latencies)
+
+
+def test_failure_domains_are_per_shard():
+    summary = run(run_sharded_scenario(script=script(), n_shards=2))
+    assert len(summary.detector_domains) == 2
+    for i, domain in enumerate(summary.detector_domains):
+        assert shard_site(i, "central") in domain
+        assert shard_site(i, "mirror1") in domain
+        # no site from any other shard leaks into this domain
+        assert all(site.startswith(f"shard{i}/") for site in domain)
+    # per-shard checkpoint coordinators actually ran rounds
+    assert summary.checkpoint_rounds > 0
+    assert summary.checkpoint_commits > 0

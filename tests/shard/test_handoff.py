@@ -1,0 +1,267 @@
+"""Tests for the cross-shard handoff protocol (`repro.shard.handoff`).
+
+The hypothesis property at the bottom is the protocol's contract: over
+arbitrary event streams, handoff placements and scheduler
+interleavings, **no update is lost, none duplicated, and per-flight
+order is preserved** across the whole cluster.
+"""
+
+import random
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import DELTA_STATUS, FAA_POSITION, HANDOFF, UpdateEvent
+from repro.ois.ede import EventDerivationEngine
+from repro.shard.handoff import (
+    RoutingCore,
+    ShardHandoff,
+    ShardTransfer,
+    extract_transfer,
+    install_transfer,
+    merge_digests,
+)
+from repro.shard.partition import HashRingPartitioner
+
+
+def _event(key, seqno, kind=FAA_POSITION, stream="faa", payload=None):
+    return UpdateEvent(
+        kind=kind, stream=stream, seqno=seqno, key=key,
+        payload=payload if payload is not None else {}, size=64,
+    )
+
+
+def _handoff(key, seqno, airport):
+    return _event(
+        key, seqno, kind=HANDOFF, stream="delta",
+        payload={"airport": airport},
+    )
+
+
+def _cross_shard_airport(part, key):
+    """An airport owned by a different shard than ``key``."""
+    owner = part.owner_of(key)
+    for i in range(1000):
+        airport = f"AP{i}"
+        if part.owner_of(airport) != owner:
+            return airport
+    raise AssertionError("no cross-shard airport found")
+
+
+# ------------------------------------------------------------ RoutingCore
+def test_route_plain_events_to_owner():
+    core = RoutingCore(HashRingPartitioner(4))
+    ev = _event("DL100", 1)
+    [(owner, item)] = core.route(ev)
+    assert item is ev
+    assert owner == core.owner_of("DL100")
+    assert core.events_routed == 1
+
+
+def test_same_shard_handoff_routes_normally():
+    part = HashRingPartitioner(4)
+    core = RoutingCore(part)
+    key = "DL100"
+    # find an airport on the same shard as the flight
+    airport = next(
+        f"AP{i}" for i in range(1000)
+        if part.owner_of(f"AP{i}") == part.owner_of(key)
+    )
+    [(owner, item)] = core.route(_handoff(key, 1, airport))
+    assert owner == part.owner_of(key)
+    assert isinstance(item, UpdateEvent)
+    assert core.same_shard_handoffs == 1
+    assert core.pending == 0
+
+
+def test_cross_shard_handoff_protocol_order():
+    part = HashRingPartitioner(4)
+    core = RoutingCore(part)
+    key = "DL100"
+    airport = _cross_shard_airport(part, key)
+    old, new = part.owner_of(key), part.owner_of(airport)
+
+    # tombstone goes to the OLD shard; the handoff event itself buffers
+    handoff_ev = _handoff(key, 1, airport)
+    [(to, tomb)] = core.route(handoff_ev)
+    assert to == old and isinstance(tomb, ShardHandoff)
+    assert core.pending == 1
+
+    # mid-transfer updates buffer at the router
+    late = _event(key, 2)
+    assert core.route(late) == []
+    assert core.events_buffered == 2  # the handoff event + the update
+
+    # completion installs on the NEW shard, then replays in order:
+    # transfer frame, the handoff event, the buffered update
+    reply = ShardTransfer(
+        flight_id=key, airport=airport, from_shard=old, to_shard=new,
+        seq=tomb.seq,
+    )
+    emissions = core.complete(reply)
+    assert [(idx, type(item).__name__) for idx, item in emissions] == [
+        (new, "ShardTransfer"), (new, "UpdateEvent"), (new, "UpdateEvent"),
+    ]
+    assert emissions[1][1] is handoff_ev
+    assert emissions[2][1] is late
+    assert core.pending == 0
+    assert core.owner_of(key) == new
+
+
+def test_complete_rejects_stale_or_unknown_reply():
+    core = RoutingCore(HashRingPartitioner(2))
+    with pytest.raises(ValueError):
+        core.complete(ShardTransfer(
+            flight_id="DL1", airport="A", from_shard=0, to_shard=1, seq=9,
+        ))
+
+
+# ------------------------------------------------- extract / install EDE
+def test_extract_install_moves_flight_state():
+    old = EventDerivationEngine()
+    new = EventDerivationEngine()
+    old.process(_event("DL100", 1, payload={"lat": 1.0, "lon": 2.0, "alt": 3.0}))
+    old.process(_event(
+        "DL100", 1, kind=DELTA_STATUS, stream="delta",
+        payload={"status": "flight landed"},
+    ))
+    assert old._arrival_seen.get("DL100")  # mid-arrival-sequence
+
+    tomb = ShardHandoff(
+        flight_id="DL100", airport="ATL", from_shard=0, to_shard=1, seq=1,
+    )
+    transfer = extract_transfer(old, tomb)
+    # tombstone: the old shard forgets the flight entirely
+    assert old.state_digest() == ()
+    assert "DL100" not in old._arrival_seen
+    assert transfer.view is not None
+    assert transfer.arrival_seen == ("flight landed",)
+
+    install_transfer(new, transfer)
+    assert [f[0] for f in new.state_digest()] == ["DL100"]
+    assert new._arrival_seen["DL100"] == {"flight landed"}
+
+    # the transferred flight can complete its arrival sequence remotely
+    new.process(_event(
+        "DL100", 2, kind=DELTA_STATUS, stream="delta",
+        payload={"status": "flight at runway"},
+    ))
+    new.process(_event(
+        "DL100", 3, kind=DELTA_STATUS, stream="delta",
+        payload={"status": "flight at gate"},
+    ))
+    (flight,) = new.state_digest()
+    assert flight[3] is True  # arrived
+
+
+def test_extract_unknown_flight_yields_empty_transfer():
+    ede = EventDerivationEngine()
+    transfer = extract_transfer(ede, ShardHandoff(
+        flight_id="DL9", airport="ATL", from_shard=0, to_shard=1, seq=1,
+    ))
+    assert transfer.view is None
+    assert transfer.arrival_seen == ()
+    # installing an empty transfer is a no-op
+    install_transfer(ede, transfer)
+    assert ede.state_digest() == ()
+
+
+def test_merge_digests_sorted_union():
+    a = (("DL1", "x", 0, False, ()),)
+    b = (("DL0", "y", 0, False, ()), ("DL2", "z", 0, False, ()))
+    assert merge_digests([a, b]) == (
+        ("DL0", "y", 0, False, ()),
+        ("DL1", "x", 0, False, ()),
+        ("DL2", "z", 0, False, ()),
+    )
+
+
+# ------------------------------------------------- the protocol property
+class _ModelShard:
+    """A shard as the protocol sees it: a FIFO connection and an applier."""
+
+    def __init__(self, index):
+        self.index = index
+        self.queue = deque()
+
+    def step(self, replies, applied):
+        item = self.queue.popleft()
+        if isinstance(item, ShardHandoff):
+            # old shard: tombstone → transfer reply to the router
+            replies.append(ShardTransfer(
+                flight_id=item.flight_id, airport=item.airport,
+                from_shard=item.from_shard, to_shard=item.to_shard,
+                seq=item.seq,
+            ))
+        elif isinstance(item, UpdateEvent):
+            applied.append((item.key, item.uid, self.index))
+        # ShardTransfer (install) has no applied-update effect here
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_shards=st.integers(min_value=2, max_value=5),
+    moves=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),    # flight index
+            st.booleans(),                            # handoff?
+            st.integers(min_value=0, max_value=30),   # airport index
+        ),
+        min_size=1, max_size=60,
+    ),
+    sched_seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_no_update_lost_or_duplicated(n_shards, moves, sched_seed):
+    part = HashRingPartitioner(n_shards)
+    core = RoutingCore(part)
+    shards = [_ModelShard(i) for i in range(n_shards)]
+    replies = deque()
+    applied = []
+    rng = random.Random(sched_seed)
+
+    events = []
+    for seqno, (fidx, is_handoff, aidx) in enumerate(moves, start=1):
+        key = f"DL{fidx}"
+        if is_handoff:
+            events.append(_handoff(key, seqno, f"AP{aidx}"))
+        else:
+            events.append(_event(key, seqno))
+    inputs = deque(events)
+
+    def ship(emissions):
+        for idx, item in emissions:
+            shards[idx].queue.append(item)
+
+    # arbitrary interleaving of routing, shard progress and completions
+    while inputs or replies or core.pending or any(s.queue for s in shards):
+        choices = []
+        if inputs:
+            choices.append("route")
+        if replies:
+            choices.append("complete")
+        choices.extend(s for s in shards if s.queue)
+        pick = rng.choice(choices)
+        if pick == "route":
+            ship(core.route(inputs.popleft()))
+        elif pick == "complete":
+            ship(core.complete(replies.popleft()))
+        else:
+            pick.step(replies, applied)
+
+    # every event applied exactly once, cluster-wide
+    assert sorted(uid for _, uid, _ in applied) == sorted(
+        ev.uid for ev in events
+    )
+    # per-flight application order equals emission order
+    for key in {ev.key for ev in events}:
+        assert [uid for k, uid, _ in applied if k == key] == [
+            ev.uid for ev in events if ev.key == key
+        ]
+    # ownership settled: the last applier of each flight is its owner
+    last_applier = {}
+    for key, _uid, idx in applied:
+        last_applier[key] = idx
+    for key, idx in last_applier.items():
+        assert core.owner_of(key) == idx

@@ -1,0 +1,116 @@
+"""Tests for the pure keyspace partitioners (`repro.shard.partition`)."""
+
+import pytest
+
+from repro.shard.partition import (
+    AirportRangePartitioner,
+    HashRingPartitioner,
+    ShardMap,
+    make_partitioner,
+    shard_name,
+    stable_hash,
+)
+
+
+# ----------------------------------------------------------- stable hash
+def test_stable_hash_pinned_values():
+    """The hash is part of the wire contract (placement must agree
+    across processes and releases): pin concrete values."""
+    assert stable_hash("") == 0xEFD01F60BA992926
+    assert stable_hash("DL100") == 0x9E80865AFD29BD74
+    assert stable_hash("ATL") == 0x8A580C60B85F628E
+
+
+def test_stable_hash_avalanches_similar_keys():
+    """Near-identical keys (the whole flight-id keyspace) must not
+    cluster: the top bits decide ring placement."""
+    tops = {stable_hash(f"DL{i}") >> 56 for i in range(256)}
+    assert len(tops) > 150  # near-uniform over 256 buckets
+
+
+# ------------------------------------------------------------- hash ring
+def test_ring_covers_and_balances():
+    part = HashRingPartitioner(4)
+    counts = [0, 0, 0, 0]
+    for i in range(1000):
+        counts[part.owner_of(f"DL{i}")] += 1
+    assert sum(counts) == 1000
+    assert min(counts) > 100  # no starved shard
+
+def test_ring_single_shard_owns_everything():
+    part = HashRingPartitioner(1)
+    assert all(part.owner_of(f"DL{i}") == 0 for i in range(50))
+
+
+def test_ring_minimal_movement_on_growth():
+    """Consistent hashing's defining property: adding one shard re-homes
+    roughly 1/N of the keys, not all of them."""
+    before = HashRingPartitioner(4)
+    after = HashRingPartitioner(5)
+    keys = [f"DL{i}" for i in range(1000)]
+    moved = sum(1 for k in keys if before.owner_of(k) != after.owner_of(k))
+    assert 0 < moved < 500  # naive mod-N would move ~800
+
+
+def test_ring_deterministic_across_instances():
+    a, b = HashRingPartitioner(3), HashRingPartitioner(3)
+    assert [a.owner_of(f"K{i}") for i in range(200)] == [
+        b.owner_of(f"K{i}") for i in range(200)
+    ]
+
+
+# -------------------------------------------------------- airport ranges
+def test_airport_ranges_contiguous():
+    part = AirportRangePartitioner(4)
+    assert [part.range_of(i) for i in range(4)] == [
+        "A..G", "H..M", "N..T", "U..Z",
+    ]
+    assert part.owner_of("ATL") == 0
+    assert part.owner_of("JFK") == 1
+    assert part.owner_of("SEA") == 2
+    assert part.owner_of("YYZ") == 3
+
+
+def test_airport_non_letter_falls_back_to_hash():
+    part = AirportRangePartitioner(3)
+    owner = part.owner_of("7AL")
+    assert 0 <= owner < 3
+    assert owner == stable_hash("7AL") % 3
+
+
+def test_airport_more_shards_than_letters():
+    part = AirportRangePartitioner(30)
+    owners = {part.owner_of(c) for c in "ABCDEFGHIJKLMNOPQRSTUVWXYZ"}
+    assert owners == set(range(26))
+
+
+# ------------------------------------------------------------- factories
+def test_make_partitioner_strategies():
+    assert isinstance(make_partitioner("hash", 2), HashRingPartitioner)
+    assert isinstance(make_partitioner("airport", 2), AirportRangePartitioner)
+    with pytest.raises(ValueError):
+        make_partitioner("nope", 2)
+    with pytest.raises(ValueError):
+        make_partitioner("hash", 0)
+
+
+# -------------------------------------------------------------- shard map
+def test_shard_map_round_trip_placement():
+    smap = ShardMap(
+        strategy="hash",
+        names=(shard_name(0), shard_name(1)),
+        client_ports=(7001, 7002),
+    )
+    part = smap.partitioner()
+    assert smap.n_shards == 2
+    for key in ("DL100", "DL101", "ATL"):
+        assert smap.port_for(key, part) == (7001, 7002)[part.owner_of(key)]
+
+
+def test_shard_map_validation():
+    with pytest.raises(ValueError):
+        ShardMap(strategy="nope", names=("shard0",), client_ports=(1,))
+    with pytest.raises(ValueError):
+        ShardMap(strategy="hash", names=(), client_ports=())
+    with pytest.raises(ValueError):
+        ShardMap(strategy="hash", names=("shard0",), client_ports=(1, 2))
