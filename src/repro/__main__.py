@@ -11,6 +11,8 @@ Usage::
     python -m repro bench --out BENCH_PR1.json       # substrate op/s record
     python -m repro lint                   # repo-specific static analysis
     python -m repro modelcheck --sites 2 --events 3  # protocol checker
+    python -m repro modelcheck --protocol handoff    # shard handoff checker
+    python -m repro codecsym               # wire-codec symmetry audit
     python -m repro chaos                  # seeded failure drills
     python -m repro rt --net tcp           # live server over real sockets
 """
@@ -53,6 +55,10 @@ def main(argv=None) -> int:
         from .analysis.cli import modelcheck_main
 
         return modelcheck_main(list(argv[1:]))
+    if argv and argv[0] == "codecsym":
+        from .analysis.cli import codecsym_main
+
+        return codecsym_main(list(argv[1:]))
     if argv and argv[0] == "chaos":
         from .faults.chaos import chaos_main
 

@@ -1,21 +1,39 @@
 """Static analysis and protocol verification tooling (`repro-lint`).
 
 The repo's headline guarantee — pinned, bit-identical figures — rests on
-strict determinism of the simulation substrate and on the checkpoint
-protocol's safety properties.  This package turns both from after-the-
+strict determinism of the simulation substrate and on the cluster
+protocols' safety properties.  This package turns both from after-the-
 fact regression tests into *enforced* properties:
 
 * :mod:`repro.analysis.lint` — an AST-based linter with repo-specific
   determinism, hot-path, and protocol rules (``python -m repro lint``);
+* :mod:`repro.analysis.asynclint` — async-hazard rules for the live
+  runtime (``rt/``): await-interleaved state mutation, blocking calls
+  on the event loop, untracked tasks, legacy asyncio APIs;
 * :mod:`repro.analysis.modelcheck` — an exhaustive interleaving model
   checker for the 2-phase checkpoint protocol, driving the *real*
   :mod:`repro.core.checkpoint` state machines (``python -m repro
   modelcheck``);
+* :mod:`repro.analysis.handoffcheck` — the same exhaustive-enumeration
+  engine pointed at the shard tombstone/transfer handoff, driving the
+  real :class:`repro.shard.handoff.RoutingCore` (``python -m repro
+  modelcheck --protocol handoff``);
+* :mod:`repro.analysis.codecsym` — a static encode/decode symmetry
+  auditor for the wire codec (``python -m repro codecsym``);
 * the runtime invariant monitor lives in :mod:`repro.core.invariants`
-  (it is part of the server, not of the tooling — the linter and the
-  model checker only ever *read* the tree).
+  (it is part of the server, not of the tooling — the linter, the
+  model checkers, and the codec auditor only ever *read* the tree).
 """
 
+from .codecsym import CodecAuditReport, audit_codec
+from .handoffcheck import (
+    HANDOFF_MUTANTS,
+    HandoffCheckReport,
+    check_handoff,
+    parse_schedule,
+    replay_schedule,
+    serialize_schedule,
+)
 from .lint import (
     DEFAULT_RULES,
     Finding,
@@ -31,13 +49,21 @@ from .modelcheck import (
 )
 
 __all__ = [
+    "CodecAuditReport",
     "DEFAULT_RULES",
     "Finding",
+    "HANDOFF_MUTANTS",
+    "HandoffCheckReport",
     "LintRule",
-    "lint_paths",
-    "lint_source",
     "MUTANTS",
     "ModelCheckReport",
     "ModelCheckViolation",
+    "audit_codec",
+    "check_handoff",
     "check_protocol",
+    "lint_paths",
+    "lint_source",
+    "parse_schedule",
+    "replay_schedule",
+    "serialize_schedule",
 ]

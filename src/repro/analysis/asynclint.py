@@ -1,0 +1,460 @@
+"""Async-hazard lint rules for the real-time (asyncio) runtime.
+
+The ``rt/`` package is the one place the repo runs on wall-clock time
+and cooperative concurrency, which trades the simulation's determinism
+guarantees for a different failure surface: interleaving bugs.  Every
+``await`` is a point where *any* other task may run, so shared state
+mutated across one is a read-modify-write race in slow motion; a
+blocking call starves the whole loop; a dropped ``create_task`` handle
+is a task nothing can cancel (the exact bug class the net-runtime
+shutdown hardening patched by hand — tracked per-connection handler
+tasks).  These rules encode those contracts:
+
+* ``async-interleaving`` — an ``async def`` writes the same
+  ``self``/module attribute both before and after an ``await``.  The
+  suspension between the writes publishes a half-updated object to
+  every other task.  Writes under an ``async with ...lock...`` block
+  are exempt; single-owner state (one writer task by construction)
+  carries ``# lint: allow-async-interleaving`` with a justification.
+* ``async-blocking`` — calls that block the event loop inside an
+  ``async def``: ``time.sleep``, the ``subprocess`` family,
+  ``os.system``, synchronous ``socket`` construction, ``open()`` and
+  ``Process.join()``-style joins.  Use the ``asyncio`` equivalents, or
+  pragma genuinely-terminal call sites (end-of-run report writes).
+* ``async-untracked-task`` — an ``asyncio.create_task(...)`` /
+  ``ensure_future(...)`` whose handle is discarded, or a bare-statement
+  call of a local coroutine function (never awaited, never scheduled:
+  it silently does nothing).  Untracked tasks outlive their creator,
+  swallow their exceptions, and cannot be cancelled on shutdown.
+* ``async-legacy`` — ``asyncio.get_event_loop()`` (deprecated outside a
+  running loop; use ``get_running_loop``/``asyncio.run``) and bare
+  ``asyncio.ensure_future`` (prefer ``create_task``, which is explicit
+  about requiring a running loop).
+
+All four rules are scoped to :data:`repro.analysis.lint.ASYNC_RUNTIME`
+(``rt/``), which is outside the strict packages — pragmas are honoured,
+and every pragma is expected to carry a why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .lint import Finding, LintRule, in_async_runtime
+
+__all__ = [
+    "AsyncInterleavingRule",
+    "AsyncBlockingRule",
+    "AsyncUntrackedTaskRule",
+    "AsyncLegacyRule",
+    "async_rules",
+]
+
+
+def _async_defs(tree: ast.Module) -> List[ast.AsyncFunctionDef]:
+    return [n for n in ast.walk(tree) if isinstance(n, ast.AsyncFunctionDef)]
+
+
+def _call_name(func: ast.AST) -> Optional[str]:
+    """Dotted name of a call target: ``asyncio.create_task`` / ``open``."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _AsyncRule(LintRule):
+    """Shared scope: the asyncio runtime package."""
+
+    def applies_to(self, relpath: str) -> bool:
+        return in_async_runtime(relpath)
+
+
+# ---------------------------------------------------------------------------
+# async-interleaving
+
+
+def _attr_writes(stmt: ast.stmt) -> Set[str]:
+    """Names of ``self.x`` / ``global``-declared targets written by one
+    statement (assignments and aug-assignments, all nesting levels that
+    stay inside the statement)."""
+    out: Set[str] = set()
+    for node in ast.walk(stmt):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            for leaf in ast.walk(target):
+                if (
+                    isinstance(leaf, ast.Attribute)
+                    and isinstance(leaf.value, ast.Name)
+                    and leaf.value.id == "self"
+                ):
+                    out.add(leaf.attr)
+                elif isinstance(leaf, ast.Subscript):
+                    base = leaf.value
+                    if (
+                        isinstance(base, ast.Attribute)
+                        and isinstance(base.value, ast.Name)
+                        and base.value.id == "self"
+                    ):
+                        out.add(base.attr)
+    return out
+
+
+def _contains_await(stmt: ast.stmt) -> bool:
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Await, ast.AsyncFor)):
+            return True
+        if isinstance(node, ast.AsyncFunctionDef) and node is not stmt:
+            return False  # nested coroutine: its awaits are its own
+    return False
+
+
+def _is_lock_guard(stmt: ast.stmt) -> bool:
+    """``async with <something lock-ish>:`` — writes inside are serialized."""
+    if not isinstance(stmt, ast.AsyncWith):
+        return False
+    for item in stmt.items:
+        expr = item.context_expr
+        name = None
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        if isinstance(expr, ast.Attribute):
+            name = expr.attr
+        elif isinstance(expr, ast.Name):
+            name = expr.id
+        if name is not None and "lock" in name.lower():
+            return True
+    return False
+
+
+_LEAF_STMTS = (
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+    ast.Pass,
+    ast.Break,
+    ast.Continue,
+    ast.Global,
+    ast.Nonlocal,
+)
+
+
+def _expr_has_await(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    return any(isinstance(n, ast.Await) for n in ast.walk(node))
+
+
+class AsyncInterleavingRule(_AsyncRule):
+    rule_id = "async-interleaving"
+    description = (
+        "an async def must not write the same self/module attribute both "
+        "before and after an await without a lock: the suspension "
+        "publishes half-updated state to every other task"
+    )
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for fn in _async_defs(tree):
+            # per-attribute state: first write statement + "an await has
+            # been crossed since the last write" flag.  A write while the
+            # flag is set is a straddle.  If/Try alternatives fork a copy
+            # of the state and merge (exclusive branches are not ordered
+            # against each other).
+            State = Dict[str, List]  # attr -> [first_write_stmt, awaited_since]
+            hits: Dict[str, Tuple[ast.stmt, ast.stmt]] = {}
+
+            def mark_await(state: State) -> None:
+                for entry in state.values():
+                    entry[1] = True
+
+            def note_writes(stmt: ast.stmt, state: State) -> None:
+                for attr in _attr_writes(stmt):
+                    entry = state.get(attr)
+                    if entry is None:
+                        state[attr] = [stmt, False]
+                        continue
+                    if entry[1] and attr not in hits:
+                        hits[attr] = (entry[0], stmt)
+                    entry[1] = False
+
+            def merge(into: State, branch: State) -> None:
+                for attr, (first, flag) in branch.items():
+                    entry = into.get(attr)
+                    if entry is None:
+                        into[attr] = [first, flag]
+                    else:
+                        entry[1] = entry[1] or flag
+
+            def visit(stmts: List[ast.stmt], state: State, locked: bool) -> bool:
+                """Walk ``stmts`` updating ``state``; True when the block
+                definitely leaves the enclosing flow (return/raise/...) —
+                a terminated branch's writes never merge back, so writes
+                on exclusive paths are not paired against each other."""
+                for stmt in stmts:
+                    if isinstance(
+                        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    ):
+                        continue  # nested scope: separate concurrency story
+                    guard = locked or _is_lock_guard(stmt)
+                    if isinstance(stmt, _LEAF_STMTS):
+                        if _contains_await(stmt):
+                            # `self.x = await f()` writes after resuming
+                            mark_await(state)
+                        if not guard:
+                            note_writes(stmt, state)
+                        if isinstance(
+                            stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)
+                        ):
+                            return True
+                        continue
+                    if isinstance(stmt, ast.If):
+                        if _expr_has_await(stmt.test):
+                            mark_await(state)
+                        branch = {k: list(v) for k, v in state.items()}
+                        body_done = visit(stmt.body, branch, guard)
+                        else_done = visit(stmt.orelse, state, guard)
+                        if body_done and else_done:
+                            return True
+                        if not body_done:
+                            if else_done:
+                                state.clear()
+                                state.update(branch)
+                            else:
+                                merge(state, branch)
+                    elif isinstance(stmt, (ast.For, ast.While)):
+                        probe = stmt.iter if isinstance(stmt, ast.For) else stmt.test
+                        if _expr_has_await(probe):
+                            mark_await(state)
+                        # one pass only: pairing iteration N's write with
+                        # N+1's would flag every per-iteration counter
+                        # update (each a complete, not half-done, write)
+                        visit(stmt.body, state, guard)
+                        visit(stmt.orelse, state, guard)
+                    elif isinstance(stmt, ast.AsyncFor):
+                        mark_await(state)  # __anext__ suspends each pass
+                        visit(stmt.body, state, guard)
+                        visit(stmt.orelse, state, guard)
+                    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                        if isinstance(stmt, ast.AsyncWith):
+                            mark_await(state)  # __aenter__ suspends
+                        for item in stmt.items:
+                            if _expr_has_await(item.context_expr):
+                                mark_await(state)
+                        if visit(stmt.body, state, guard):
+                            return True
+                    elif isinstance(stmt, ast.Try):
+                        visit(stmt.body, state, guard)
+                        for handler in stmt.handlers:
+                            branch = {k: list(v) for k, v in state.items()}
+                            if not visit(handler.body, branch, guard):
+                                merge(state, branch)
+                        visit(stmt.orelse, state, guard)
+                        visit(stmt.finalbody, state, guard)
+                    elif isinstance(stmt, ast.Match):  # pragma: no cover
+                        for case in stmt.cases:
+                            branch = {k: list(v) for k, v in state.items()}
+                            if not visit(case.body, branch, guard):
+                                merge(state, branch)
+                return False
+
+            visit(fn.body, {}, False)
+            for attr, (first, second) in sorted(
+                hits.items(), key=lambda kv: (kv[1][1].lineno, kv[0])
+            ):
+                findings.append(
+                    self.finding(
+                        relpath,
+                        second,
+                        f"{fn.name}() writes self.{attr} on both sides of an "
+                        f"await (first write at line {first.lineno}); "
+                        "interleaved tasks observe the half-updated state — "
+                        "hold a lock across the suspension or restructure "
+                        "to a single write",
+                    )
+                )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# async-blocking
+
+#: Call targets that block the running event loop.
+_BLOCKING_CALLS = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "subprocess.run": "use `await asyncio.create_subprocess_exec(...)`",
+    "subprocess.call": "use `await asyncio.create_subprocess_exec(...)`",
+    "subprocess.check_call": "use `await asyncio.create_subprocess_exec(...)`",
+    "subprocess.check_output": "use `await asyncio.create_subprocess_exec(...)`",
+    "subprocess.Popen": "use `await asyncio.create_subprocess_exec(...)`",
+    "os.system": "use `await asyncio.create_subprocess_shell(...)`",
+    "socket.socket": "use `asyncio.open_connection` / `start_server`",
+    "socket.create_connection": "use `asyncio.open_connection`",
+    "open": "file IO blocks the loop; do it off-loop or pragma a "
+    "terminal report write",
+}
+
+
+class AsyncBlockingRule(_AsyncRule):
+    rule_id = "async-blocking"
+    description = (
+        "no blocking calls (time.sleep, subprocess, sync socket/file IO, "
+        "process joins) inside async def: they starve every task on the loop"
+    )
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for fn in _async_defs(tree):
+            for node in ast.walk(fn):
+                if isinstance(node, ast.AsyncFunctionDef) and node is not fn:
+                    continue
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _call_name(node.func)
+                if name in _BLOCKING_CALLS:
+                    findings.append(
+                        self.finding(
+                            relpath,
+                            node,
+                            f"{name}() blocks the event loop inside async "
+                            f"{fn.name}(); {_BLOCKING_CALLS[name]}",
+                        )
+                    )
+                    continue
+                # Process.join(timeout=...) — a sync join inside a
+                # coroutine.  str.join never takes keywords, and the
+                # repo's process handles are all named *proc*.
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and (
+                        any(kw.arg == "timeout" for kw in node.keywords)
+                        or (
+                            isinstance(node.func.value, ast.Name)
+                            and "proc" in node.func.value.id
+                        )
+                    )
+                ):
+                    findings.append(
+                        self.finding(
+                            relpath,
+                            node,
+                            f"blocking .join() inside async {fn.name}(): the "
+                            "loop stalls until the process exits; poll with "
+                            "`await asyncio.sleep(...)` or join off-loop",
+                        )
+                    )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# async-untracked-task
+
+_SPAWN_CALLS = frozenset({"asyncio.create_task", "asyncio.ensure_future"})
+
+
+class AsyncUntrackedTaskRule(_AsyncRule):
+    rule_id = "async-untracked-task"
+    description = (
+        "create_task/ensure_future handles must be stored (and cancelled "
+        "on shutdown); bare local-coroutine calls are never awaited at all"
+    )
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        local_coros: Set[str] = {
+            n.name for n in ast.walk(tree) if isinstance(n, ast.AsyncFunctionDef)
+        }
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+                continue
+            call = node.value
+            name = _call_name(call.func)
+            if name in _SPAWN_CALLS or (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "create_task"
+            ):
+                findings.append(
+                    self.finding(
+                        relpath,
+                        node,
+                        "task handle discarded: the task cannot be awaited "
+                        "or cancelled, and its exceptions vanish — store it "
+                        "(and cancel it in close())",
+                    )
+                )
+            elif isinstance(call.func, ast.Name) and call.func.id in local_coros:
+                findings.append(
+                    self.finding(
+                        relpath,
+                        node,
+                        f"coroutine {call.func.id}() called but never "
+                        "awaited: the body does not run — `await` it or "
+                        "wrap it in a stored create_task",
+                    )
+                )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# async-legacy
+
+
+class AsyncLegacyRule(_AsyncRule):
+    rule_id = "async-legacy"
+    description = (
+        "no asyncio.get_event_loop() (deprecated; use get_running_loop or "
+        "asyncio.run) and no bare ensure_future (use create_task)"
+    )
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name == "asyncio.get_event_loop":
+                findings.append(
+                    self.finding(
+                        relpath,
+                        node,
+                        "asyncio.get_event_loop() is deprecated outside a "
+                        "running loop and hides which loop runs the task; "
+                        "use asyncio.get_running_loop() or asyncio.run()",
+                    )
+                )
+            elif name == "asyncio.ensure_future":
+                findings.append(
+                    self.finding(
+                        relpath,
+                        node,
+                        "bare ensure_future: create_task() is explicit "
+                        "about needing a running loop and returns a Task",
+                    )
+                )
+        return findings
+
+
+def async_rules() -> List[LintRule]:
+    """Fresh instances of the async-hazard rules, in reporting order."""
+    return [
+        AsyncInterleavingRule(),
+        AsyncBlockingRule(),
+        AsyncUntrackedTaskRule(),
+        AsyncLegacyRule(),
+    ]

@@ -1,0 +1,835 @@
+"""Codec symmetry auditor: prove encode/decode read what the other wrote.
+
+:mod:`repro.wire.codec` maintains, by hand, three parallel descriptions
+of every frame body: the pure encoder, the pure decoder, and (for EVENT
+and BATCH) the C accel lane.  The byte-parity tests catch value-level
+drift, but only for the objects a test happens to construct — a field
+encoded on a rare branch and never decoded (or decoded and never
+encoded) slips through until that branch fires in production.  This
+module turns the symmetry into a *statically checked* invariant: it
+parses the codec source and verifies, per frame type, that the encoder
+and decoder perform the **same sequence of wire-primitive operations on
+every control-flow path**.
+
+How it works
+------------
+Each side is abstractly interpreted over the primitive-op alphabet:
+
+======  =========================================  ==========================
+token   encoder source                             decoder source
+======  =========================================  ==========================
+``U``   ``encode_uvarint(x, out)``                 ``x, pos = decode_uvarint(...)``
+``S``   ``encode_svarint(x, out)``                 ``x, pos = decode_svarint(...)``
+``I``   ``self._interner.encode(s, out)``          ``s, pos = self._interner.decode(...)``
+``V``   ``encode_value(v, out, interner)``         ``v, pos = decode_value(...)``
+``F``   ``out += _F64.pack(x)``                    ``x, pos = self._f64(...)``
+``B``   ``out.append(b)``                          ``b = buf[pos]`` (single byte)
+LOOP    ``for ...:`` body                          ``for _ in range(count):`` body
+======  =========================================  ==========================
+
+Conditionals fork the path set; ``raise`` paths are dropped (they never
+produce/accept a frame); shared helpers (``_vt_body``/``_vt`` ...) are
+expanded recursively; the accel fast-path branches are skipped (their
+dispatch is audited separately, see below).  The encoder's scratch-
+buffer idiom (``encode_batch`` building event bodies in a side buffer
+and splicing with ``body += scratch``) is modelled by tracking a path
+set per buffer.  A frame type is symmetric when the encoder's set of
+token sequences equals the decoder's.
+
+On top of path symmetry the auditor checks:
+
+* **flags-byte bit coverage** — every bit a ``flags`` byte can carry on
+  encode is tested on decode, and vice versa (event body, response);
+* **full consumption** — every ``decode_body`` branch ends in
+  ``_check_consumed`` (trailing bytes are never ignored);
+* **accel dispatch** — every ``T_*`` tag ``_accel.c`` defines matches
+  the Python value, and every ``acc.<name>(...)`` the codec calls is
+  exported by the C module's method table.
+
+The auditor is deliberately strict: an encoder statement that touches
+the output buffer in an unrecognised way (or a decoder call that
+consumes ``pos`` unrecognised) is itself a finding — new primitives
+must be taught to the auditor, not silently skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+__all__ = ["CodecAuditReport", "audit_codec"]
+
+# A token is "U"/"S"/"I"/"V"/"F"/"B" or ("LOOP", frozenset-of-paths);
+# a path is a tuple of tokens; each side yields a frozenset of paths.
+Token = object
+TokenPath = Tuple[Token, ...]
+PathSet = FrozenSet[TokenPath]
+
+_EMPTY: PathSet = frozenset({()})
+
+#: encoder helper -> decoder helper (expanded on both sides)
+_HELPER_PAIRS = {
+    "_vt_body": "_vt",
+    "_event_body": "_event",
+    "_marks_body": "_marks",
+    "_flights_body": "_flights",
+    "_handoff_header": "_handoff_header",
+}
+
+_ENC_CALL_TOKENS = {
+    "encode_uvarint": "U",
+    "encode_svarint": "S",
+    "encode_value": "V",
+}
+_DEC_CALL_TOKENS = {
+    "decode_uvarint": "U",
+    "decode_svarint": "S",
+    "decode_value": "V",
+}
+_DEC_METHOD_TOKENS = {"_f64": "F"}
+
+
+class _AuditProblem(Exception):
+    """Internal: a structural problem the auditor must surface."""
+
+
+def _cross(prefixes: Set[TokenPath], suffixes: PathSet) -> Set[TokenPath]:
+    return {p + q for p in prefixes for q in suffixes}
+
+
+def _is_accel_guard(test: ast.expr) -> bool:
+    """``if acc is not None:`` — the C fast path, skipped by the audit."""
+    return (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == "acc"
+    )
+
+
+def _terminates(stmts: List[ast.stmt]) -> bool:
+    return bool(stmts) and isinstance(stmts[-1], (ast.Return, ast.Raise))
+
+
+def _module_int_constants(tree: ast.Module) -> Dict[str, int]:
+    consts: Dict[str, int] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, int)
+        ):
+            consts[node.targets[0].id] = node.value.value
+    return consts
+
+
+def _class_def(tree: ast.Module, name: str) -> ast.ClassDef:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    raise _AuditProblem(f"class {name} not found in codec source")
+
+
+def _methods(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def _int_bits(expr: ast.expr, consts: Dict[str, int]) -> Set[int]:
+    """Every non-zero int constant reachable in ``expr`` (literals and
+    resolved module-level names) — the bits an expression can contribute
+    to a flags byte."""
+    bits: Set[int] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            if node.value:
+                bits.add(node.value)
+        elif isinstance(node, ast.Name) and node.id in consts:
+            if consts[node.id]:
+                bits.add(consts[node.id])
+    return bits
+
+
+# -- encoder side -------------------------------------------------------
+
+
+class _EncoderAnalysis:
+    """Expands one ``WireEncoder`` method into (frame type, path set)."""
+
+    def __init__(self, methods: Dict[str, ast.FunctionDef], consts: Dict[str, int]):
+        self.methods = methods
+        self.consts = consts
+        self._helper_cache: Dict[str, PathSet] = {}
+        self.flag_bits: Dict[str, Set[int]] = {}
+
+    # helper expansion ------------------------------------------------
+    def helper_paths(self, name: str) -> PathSet:
+        cached = self._helper_cache.get(name)
+        if cached is not None:
+            return cached
+        fn = self.methods.get(name)
+        if fn is None:
+            raise _AuditProblem(f"encoder helper {name} not found")
+        out_param = fn.args.args[-1].arg  # convention: trailing ``out``
+        finished, live = self._walk(
+            fn.body, {out_param: {()}}, out_param, fn.name
+        )
+        paths = frozenset(finished | live.get(out_param, set()))
+        self._helper_cache[name] = paths
+        return paths
+
+    def method_frame(self, fn: ast.FunctionDef) -> Optional[Tuple[str, PathSet]]:
+        """(frame-type name, paths) for a method returning ``self._frame``."""
+        frame_type = None
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "_frame"
+                and isinstance(node.args[0], ast.Name)
+            ):
+                frame_type = node.args[0].id
+        if frame_type is None:
+            return None
+        finished, live = self._walk(fn.body, {"body": {()}}, "body", fn.name)
+        paths = finished | live.get("body", set())
+        if not paths:
+            raise _AuditProblem(f"{fn.name}: no completed encode path")
+        self._collect_flags(fn)
+        return frame_type, frozenset(paths)
+
+    def _collect_flags(self, fn: ast.FunctionDef) -> None:
+        bits: Set[int] = set()
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == "flags"
+                and isinstance(node.op, ast.BitOr)
+            ):
+                bits |= _int_bits(node.value, self.consts)
+            elif (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "flags"
+            ):
+                bits |= _int_bits(node.value, self.consts)
+        if bits:
+            self.flag_bits[fn.name] = bits
+
+    # the symbolic walk ----------------------------------------------
+    def _walk(
+        self,
+        stmts: List[ast.stmt],
+        buffers: Dict[str, Set[TokenPath]],
+        out_name: str,
+        where: str,
+    ) -> Tuple[Set[TokenPath], Dict[str, Set[TokenPath]]]:
+        """Returns (paths finished by return, live buffer states); a
+        ``raise`` kills its path."""
+        finished: Set[TokenPath] = set()
+        for stmt in stmts:
+            if isinstance(stmt, ast.Return):
+                finished |= buffers.get(out_name, {()})
+                return finished, {}
+            if isinstance(stmt, ast.Raise):
+                return finished, {}
+            if isinstance(stmt, ast.If):
+                if _is_accel_guard(stmt.test):
+                    # C fast path: same bytes by construction (parity
+                    # suite) — audit only the pure lane
+                    stmts_after = stmt.orelse
+                    f2, buffers = self._walk(
+                        stmts_after, buffers, out_name, where
+                    )
+                    finished |= f2
+                    continue
+                f_body, live_body = self._walk(
+                    stmt.body, _copy_buffers(buffers), out_name, where
+                )
+                f_else, live_else = self._walk(
+                    stmt.orelse, buffers, out_name, where
+                )
+                finished |= f_body | f_else
+                buffers = _merge_buffers(live_body, live_else)
+                if not buffers:
+                    return finished, {}
+                continue
+            if isinstance(stmt, (ast.For, ast.While)):
+                rel = self._loop_paths(stmt, out_name, where)
+                for name, body_paths in rel.items():
+                    if body_paths != _EMPTY:
+                        token = ("LOOP", frozenset(body_paths))
+                        buffers[name] = _cross(
+                            buffers.get(name, {()}), frozenset({(token,)})
+                        )
+                continue
+            self._leaf(stmt, buffers, where)
+        return finished, buffers
+
+    def _loop_paths(
+        self, stmt: ast.stmt, out_name: str, where: str
+    ) -> Dict[str, PathSet]:
+        """Relative per-buffer paths of one loop iteration."""
+        inner: Dict[str, Set[TokenPath]] = {out_name: {()}}
+        finished, live = self._walk(stmt.body, inner, out_name, where)
+        if finished:
+            raise _AuditProblem(f"{where}: return inside encode loop")
+        return {
+            name: frozenset(paths) for name, paths in live.items()
+        }
+
+    def _leaf(
+        self, stmt: ast.stmt, buffers: Dict[str, Set[TokenPath]], where: str
+    ) -> None:
+        emitted = False
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+            func = stmt.value.func
+            if isinstance(func, ast.Name) and func.id == "bytearray":
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        buffers[target.id] = {()}
+                return
+        if isinstance(stmt, ast.AugAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            target = stmt.target.id
+            if target in buffers or target == "out" or target == "body":
+                value = stmt.value
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "pack"
+                ):
+                    buffers[target] = _cross(
+                        buffers.get(target, {()}), frozenset({("F",)})
+                    )
+                elif isinstance(value, ast.Name):
+                    spliced = frozenset(buffers.get(value.id, {()}))
+                    buffers[target] = _cross(
+                        buffers.get(target, {()}), spliced
+                    )
+                else:
+                    raise _AuditProblem(
+                        f"{where}:{stmt.lineno}: unrecognised buffer "
+                        "augmented-assignment"
+                    )
+                return
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _ENC_CALL_TOKENS:
+                out = node.args[1]
+                if not isinstance(out, ast.Name):
+                    raise _AuditProblem(
+                        f"{where}:{node.lineno}: primitive writes to a "
+                        "non-name buffer"
+                    )
+                buffers[out.id] = _cross(
+                    buffers.get(out.id, {()}),
+                    frozenset({(_ENC_CALL_TOKENS[func.id],)}),
+                )
+                emitted = True
+            elif isinstance(func, ast.Attribute):
+                if func.attr == "encode" and _attr_root_is_interner(func):
+                    out = node.args[1]
+                    if isinstance(out, ast.Name):
+                        buffers[out.id] = _cross(
+                            buffers.get(out.id, {()}), frozenset({("I",)})
+                        )
+                        emitted = True
+                elif func.attr == "append" and isinstance(
+                    func.value, ast.Name
+                ):
+                    name = func.value.id
+                    if name in buffers or name in ("out", "body"):
+                        buffers[name] = _cross(
+                            buffers.get(name, {()}), frozenset({("B",)})
+                        )
+                        emitted = True
+                elif func.attr == "clear" and isinstance(func.value, ast.Name):
+                    if func.value.id in buffers or func.value.id == "scratch":
+                        buffers[func.value.id] = {()}
+                        emitted = True
+                elif func.attr in _HELPER_PAIRS and isinstance(
+                    func.value, ast.Name
+                ):
+                    out = node.args[-1]
+                    if not isinstance(out, ast.Name):
+                        raise _AuditProblem(
+                            f"{where}:{node.lineno}: helper writes to a "
+                            "non-name buffer"
+                        )
+                    buffers[out.id] = _cross(
+                        buffers.get(out.id, {()}),
+                        self.helper_paths(func.attr),
+                    )
+                    emitted = True
+        if emitted:
+            return
+        # strictness: a statement mentioning a tracked buffer that the
+        # auditor did not model writes bytes it cannot see
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Name)
+                and node.id in buffers
+                and node.id not in ("self",)
+            ):
+                raise _AuditProblem(
+                    f"{where}:{stmt.lineno}: unrecognised use of buffer "
+                    f"{node.id!r} — teach the auditor this write pattern"
+                )
+
+
+def _attr_root_is_interner(func: ast.Attribute) -> bool:
+    value = func.value
+    return isinstance(value, ast.Attribute) and value.attr == "_interner"
+
+
+def _copy_buffers(buffers: Dict[str, Set[TokenPath]]) -> Dict[str, Set[TokenPath]]:
+    return {k: set(v) for k, v in buffers.items()}
+
+
+def _merge_buffers(
+    a: Dict[str, Set[TokenPath]], b: Dict[str, Set[TokenPath]]
+) -> Dict[str, Set[TokenPath]]:
+    if not a:
+        return b
+    if not b:
+        return a
+    merged: Dict[str, Set[TokenPath]] = {}
+    for key in set(a) | set(b):
+        merged[key] = a.get(key, {()}) | b.get(key, {()})
+    return merged
+
+
+# -- decoder side -------------------------------------------------------
+
+
+class _DecoderAnalysis:
+    """Expands ``WireDecoder.decode_body`` branches into path sets."""
+
+    def __init__(self, methods: Dict[str, ast.FunctionDef], consts: Dict[str, int]):
+        self.methods = methods
+        self.consts = consts
+        self._helper_cache: Dict[str, PathSet] = {}
+        self.flag_bits: Dict[str, Set[int]] = {}
+        self.acc_calls: Set[str] = set()
+
+    def branches(self) -> Dict[str, Tuple[List[ast.stmt], bool]]:
+        """frame-type name -> (branch stmts, has _check_consumed)."""
+        decode_body = self.methods.get("decode_body")
+        if decode_body is None:
+            raise _AuditProblem("WireDecoder.decode_body not found")
+        out: Dict[str, Tuple[List[ast.stmt], bool]] = {}
+        for stmt in decode_body.body:
+            if not isinstance(stmt, ast.If):
+                continue
+            test = stmt.test
+            if (
+                isinstance(test, ast.Compare)
+                and isinstance(test.left, ast.Name)
+                and test.left.id == "mtype"
+                and len(test.comparators) == 1
+                and isinstance(test.comparators[0], ast.Name)
+            ):
+                tname = test.comparators[0].id
+                consumed = any(
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "_check_consumed"
+                    for node in ast.walk(stmt)
+                )
+                out[tname] = (stmt.body, consumed)
+        return out
+
+    def branch_paths(self, stmts: List[ast.stmt], where: str) -> PathSet:
+        finished, live = self._walk(stmts, {()}, where)
+        return frozenset(finished | live)
+
+    def helper_paths(self, name: str) -> PathSet:
+        cached = self._helper_cache.get(name)
+        if cached is not None:
+            return cached
+        fn = self.methods.get(name)
+        if fn is None:
+            raise _AuditProblem(f"decoder helper {name} not found")
+        finished, live = self._walk(fn.body, {()}, fn.name)
+        if live:
+            raise _AuditProblem(f"{name}: decode helper falls off the end")
+        paths = frozenset(finished)
+        self._helper_cache[name] = paths
+        self._collect_flags(fn)
+        return paths
+
+    def _collect_flags(self, fn: ast.FunctionDef) -> None:
+        bits = self._flag_tests(fn)
+        if bits:
+            self.flag_bits[fn.name] = bits
+
+    def _flag_tests(self, root: ast.AST) -> Set[int]:
+        bits: Set[int] = set()
+        for node in ast.walk(root):
+            if (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.BitAnd)
+                and isinstance(node.left, ast.Name)
+                and node.left.id == "flags"
+            ):
+                bits |= _int_bits(node.right, self.consts)
+        return bits
+
+    def flag_tests_in(self, stmts: List[ast.stmt]) -> Set[int]:
+        bits: Set[int] = set()
+        for stmt in stmts:
+            bits |= self._flag_tests(stmt)
+        return bits
+
+    def _walk(
+        self, stmts: List[ast.stmt], paths: Set[TokenPath], where: str
+    ) -> Tuple[Set[TokenPath], Set[TokenPath]]:
+        """Returns (paths completed by return, live fall-through paths)."""
+        finished: Set[TokenPath] = set()
+        for stmt in stmts:
+            if isinstance(stmt, ast.Return):
+                return finished | paths, set()
+            if isinstance(stmt, ast.Raise):
+                return finished, set()
+            if isinstance(stmt, ast.If):
+                if _is_accel_guard(stmt.test):
+                    for node in ast.walk(stmt):
+                        if (
+                            isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and isinstance(node.func.value, ast.Name)
+                            and node.func.value.id == "acc"
+                        ):
+                            self.acc_calls.add(node.func.attr)
+                    f2, paths = self._walk(stmt.orelse, paths, where)
+                    finished |= f2
+                    continue
+                byte_read = _reads_byte(stmt.test)
+                if byte_read:
+                    paths = _cross(paths, frozenset({("B",)}))
+                f_body, live_body = self._walk(
+                    stmt.body, set(paths), where
+                )
+                f_else, live_else = self._walk(stmt.orelse, paths, where)
+                finished |= f_body | f_else
+                paths = live_body | live_else
+                if not paths:
+                    return finished, set()
+                continue
+            if isinstance(stmt, (ast.For, ast.While)):
+                f_loop, body_paths = self._walk(stmt.body, {()}, where)
+                if f_loop:
+                    raise _AuditProblem(f"{where}: return inside decode loop")
+                if body_paths and frozenset(body_paths) != _EMPTY:
+                    token = ("LOOP", frozenset(body_paths))
+                    paths = _cross(paths, frozenset({(token,)}))
+                continue
+            paths = self._leaf(stmt, paths, where)
+        return finished, paths
+
+    def _leaf(
+        self, stmt: ast.stmt, paths: Set[TokenPath], where: str
+    ) -> Set[TokenPath]:
+        tokens: List[Token] = []
+        if _reads_byte(stmt):
+            tokens.append("B")
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in _DEC_CALL_TOKENS:
+                    tokens.append(_DEC_CALL_TOKENS[func.id])
+                elif func.id in ("memoryview", "len", "bool", "isinstance"):
+                    pass
+                elif _consumes_pos(node):
+                    raise _AuditProblem(
+                        f"{where}:{node.lineno}: unrecognised call consuming "
+                        "pos — teach the auditor this read pattern"
+                    )
+            elif isinstance(func, ast.Attribute):
+                if func.attr == "decode" and _attr_root_is_interner(func):
+                    tokens.append("I")
+                elif func.attr in _DEC_METHOD_TOKENS:
+                    tokens.append(_DEC_METHOD_TOKENS[func.attr])
+                elif func.attr in _HELPER_PAIRS.values() or (
+                    func.attr in ("_vt", "_event", "_marks", "_flights")
+                ):
+                    tokens.append(("HELPER", func.attr))
+                elif func.attr == "_check_consumed":
+                    pass
+                elif _consumes_pos(node):
+                    raise _AuditProblem(
+                        f"{where}:{node.lineno}: unrecognised method call "
+                        "consuming pos — teach the auditor this read pattern"
+                    )
+        for token in tokens:
+            if isinstance(token, tuple) and token[0] == "HELPER":
+                paths = _cross(paths, self.helper_paths(token[1]))
+            else:
+                paths = _cross(paths, frozenset({(token,)}))
+        return paths
+
+
+def _reads_byte(node: ast.AST) -> bool:
+    """A ``buf[pos]`` single-byte read anywhere in ``node``."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Subscript)
+            and isinstance(sub.ctx, ast.Load)
+            and isinstance(sub.value, ast.Name)
+            and isinstance(sub.slice, ast.Name)
+            and sub.slice.id == "pos"
+        ):
+            return True
+    return False
+
+
+def _consumes_pos(call: ast.Call) -> bool:
+    for arg in call.args:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Name) and sub.id == "pos":
+                return True
+    return False
+
+
+# -- accel cross-checks -------------------------------------------------
+
+_C_DEFINE_RE = re.compile(r"#define\s+(T_[A-Z_]+)\s+0[xX]([0-9a-fA-F]+)")
+_C_METHOD_RE = re.compile(r'\{\s*"(\w+)"\s*,')
+
+
+def _audit_accel(
+    accel_source: str, consts: Dict[str, int], acc_calls: Set[str]
+) -> List[str]:
+    findings: List[str] = []
+    c_tags = {
+        name: int(value, 16)
+        for name, value in _C_DEFINE_RE.findall(accel_source)
+    }
+    if not c_tags:
+        findings.append("_accel.c: no T_* tag defines found")
+    for name, value in sorted(c_tags.items()):
+        if name not in consts:
+            findings.append(
+                f"_accel.c defines {name}=0x{value:02x} which codec.py "
+                "does not define"
+            )
+        elif consts[name] != value:
+            findings.append(
+                f"frame-tag mismatch: {name} is 0x{value:02x} in _accel.c "
+                f"but 0x{consts[name]:02x} in codec.py"
+            )
+    c_methods = set(_C_METHOD_RE.findall(accel_source))
+    for call in sorted(acc_calls):
+        if call not in c_methods:
+            findings.append(
+                f"codec.py calls acc.{call}() but _accel.c's method table "
+                "does not export it"
+            )
+    return findings
+
+
+# -- the audit ----------------------------------------------------------
+
+
+def _render_paths(paths: PathSet, limit: int = 4) -> str:
+    def one(path: TokenPath) -> str:
+        parts = []
+        for token in path:
+            if isinstance(token, tuple) and token[0] == "LOOP":
+                inner = " | ".join(sorted(one(p) for p in token[1]))
+                parts.append(f"[{inner}]*")
+            else:
+                parts.append(str(token))
+        return "".join(parts) or "(empty)"
+
+    rendered = sorted(one(p) for p in paths)
+    shown = rendered[:limit]
+    if len(rendered) > limit:
+        shown.append(f"... {len(rendered) - limit} more")
+    return "{" + ", ".join(shown) + "}"
+
+
+@dataclass(frozen=True)
+class CodecAuditReport:
+    """Outcome of one audit run; ``ok`` iff no findings."""
+
+    frame_types: int
+    encode_paths: int
+    findings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        if self.ok:
+            return (
+                f"codecsym: {self.frame_types} frame type(s), "
+                f"{self.encode_paths} encode path(s) — every path has a "
+                "matching decode path, flags bits covered, accel dispatch "
+                "consistent"
+            )
+        lines = [
+            f"codecsym: {len(self.findings)} finding(s) over "
+            f"{self.frame_types} frame type(s)"
+        ]
+        lines.extend(f"  - {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+def _default_sources() -> Tuple[str, str]:
+    wire_dir = Path(__file__).resolve().parent.parent / "wire"
+    codec = (wire_dir / "codec.py").read_text(encoding="utf-8")
+    accel_path = wire_dir / "_accel.c"
+    accel = (
+        accel_path.read_text(encoding="utf-8")
+        if accel_path.exists()
+        else ""
+    )
+    return codec, accel
+
+
+def audit_codec(
+    codec_source: Optional[str] = None,
+    accel_source: Optional[str] = None,
+) -> CodecAuditReport:
+    """Audit encode/decode symmetry; pass sources explicitly to audit a
+    modified codec (the tests seed asymmetries this way)."""
+    if codec_source is None or accel_source is None:
+        default_codec, default_accel = _default_sources()
+        codec_source = codec_source if codec_source is not None else default_codec
+        accel_source = accel_source if accel_source is not None else default_accel
+
+    tree = ast.parse(codec_source)
+    consts = _module_int_constants(tree)
+    frame_types = sorted(
+        name for name in consts if name.startswith("T_")
+    )
+    enc_methods = _methods(_class_def(tree, "WireEncoder"))
+    dec_methods = _methods(_class_def(tree, "WireDecoder"))
+
+    findings: List[str] = []
+    encoder = _EncoderAnalysis(enc_methods, consts)
+    decoder = _DecoderAnalysis(dec_methods, consts)
+
+    encode_by_type: Dict[str, Tuple[str, PathSet]] = {}
+    for name, fn in enc_methods.items():
+        if name.startswith("_") or name == "encode_message":
+            continue
+        try:
+            result = encoder.method_frame(fn)
+        except _AuditProblem as problem:
+            findings.append(str(problem))
+            continue
+        if result is None:
+            continue
+        frame_type, paths = result
+        if frame_type in encode_by_type:
+            findings.append(
+                f"{frame_type}: encoded by both "
+                f"{encode_by_type[frame_type][0]} and {name}"
+            )
+        encode_by_type[frame_type] = (name, paths)
+
+    try:
+        branches = decoder.branches()
+    except _AuditProblem as problem:
+        findings.append(str(problem))
+        branches = {}
+
+    total_paths = 0
+    for frame_type in frame_types:
+        enc = encode_by_type.get(frame_type)
+        branch = branches.get(frame_type)
+        if enc is None:
+            findings.append(f"{frame_type}: no encoder emits this frame type")
+            continue
+        if branch is None:
+            findings.append(f"{frame_type}: decode_body has no branch for it")
+            continue
+        method_name, enc_paths = enc
+        stmts, consumed = branch
+        if not consumed:
+            findings.append(
+                f"{frame_type}: decode branch never calls _check_consumed — "
+                "trailing body bytes would be ignored"
+            )
+        try:
+            dec_paths = decoder.branch_paths(stmts, frame_type)
+        except _AuditProblem as problem:
+            findings.append(str(problem))
+            continue
+        total_paths += len(enc_paths)
+        if enc_paths != dec_paths:
+            only_enc = enc_paths - dec_paths
+            only_dec = dec_paths - enc_paths
+            detail = []
+            if only_enc:
+                detail.append(
+                    f"encoded but never decoded: {_render_paths(frozenset(only_enc))}"
+                )
+            if only_dec:
+                detail.append(
+                    f"decoded but never encoded: {_render_paths(frozenset(only_dec))}"
+                )
+            findings.append(
+                f"{frame_type}: {method_name} and its decode branch "
+                "disagree — " + "; ".join(detail)
+            )
+
+    # flags-byte bit coverage ------------------------------------------
+    # encode methods collect their flags during the path walk; helper
+    # bodies (``_event_body``) are collected here so a helper that was
+    # only reached through a splice still participates
+    for helper_name in _HELPER_PAIRS:
+        fn = enc_methods.get(helper_name)
+        if fn is not None and helper_name not in encoder.flag_bits:
+            encoder._collect_flags(fn)
+    for enc_fn, enc_bits in sorted(encoder.flag_bits.items()):
+        dec_bits: Set[int] = set()
+        if enc_fn in _HELPER_PAIRS:
+            helper = dec_methods.get(_HELPER_PAIRS[enc_fn])
+            if helper is not None:
+                dec_bits = decoder._flag_tests(helper)
+        else:
+            # method-level flags byte: tested in the matching branch
+            for frame_type, (name, _) in encode_by_type.items():
+                if name == enc_fn and frame_type in branches:
+                    dec_bits = decoder.flag_tests_in(branches[frame_type][0])
+        if enc_bits != dec_bits:
+            missing = sorted(enc_bits - dec_bits)
+            extra = sorted(dec_bits - enc_bits)
+            detail = []
+            if missing:
+                detail.append(f"set on encode, never tested on decode: {missing}")
+            if extra:
+                detail.append(f"tested on decode, never set on encode: {extra}")
+            findings.append(
+                f"flags byte of {enc_fn}: " + "; ".join(detail)
+            )
+
+    if accel_source:
+        findings.extend(
+            _audit_accel(accel_source, consts, decoder.acc_calls)
+        )
+
+    return CodecAuditReport(
+        frame_types=len(frame_types),
+        encode_paths=total_paths,
+        findings=findings,
+    )

@@ -1,0 +1,620 @@
+"""Exhaustive interleaving model checker for the shard-handoff protocol.
+
+The tombstone/transfer handoff (:mod:`repro.shard.handoff`) is the one
+distributed protocol this cluster runs that the checkpoint checker
+(:mod:`repro.analysis.modelcheck`) does not cover: the ingress router
+and two shards exchange ``ShardHandoff`` (tombstone), ``ShardTransfer``
+(extracted state) and replayed-update frames over per-shard ordered
+connections while the flight's updates keep arriving.  This module
+enumerates **every** schedule of routing, frame delivery, reply
+delivery, reply duplication and crash-resend within a bounded scenario
+and checks the ownership-safety properties on each — driving the real
+:class:`~repro.shard.handoff.RoutingCore`, not a re-model of it.
+
+Model
+-----
+* One flight (``F0``) receives a fixed script of ``--events`` updates
+  with a cross-shard handoff between each consecutive pair, so with 2+
+  shards the flight ping-pongs and a second handoff can surface while
+  the first transfer is still pending (the re-buffer path).
+* Each shard is modelled as the ordered application of its inbound
+  frame queue onto a per-flight record: an update appends its label, a
+  tombstone extracts the record (the reply carries it), an install
+  replaces the record with the transferred payload.
+* ``--dups N`` lets schedules re-send up to N transfer replies (the
+  only frame the real transport can duplicate: an app-level resend).
+* ``--crashes N`` models up to N mid-transfer crashes of the *old*
+  shard: the promoted replica re-derives its last extraction reply and
+  re-sends it — so the router may see the reply zero-delay, late,
+  twice, or after a later transfer's reply (reordered across
+  connections).
+
+Checked invariants
+------------------
+* **no-stale-owner** — no update frame is ever applied by a shard that
+  tombstoned the flight and has not been re-installed;
+* **in-order apply / no-dup** — every applied label extends the
+  record by exactly one (a duplicate or a gap trips immediately);
+* **no-loss (terminal)** — at quiescence exactly one shard holds the
+  flight, its record is the full script in order, and the router's
+  owner map names that shard;
+* **reply idempotence** — a duplicated/late transfer reply is rejected
+  by the router only when that seq already completed.
+
+Deliberately broken variants (``--mutant``) prove the checker has
+teeth: ``drop-buffering`` forwards mid-transfer updates to the stale
+owner instead of buffering; ``replay-before-install`` flushes the
+buffered updates to the new shard *before* the install frame.  Both
+must be caught with a counterexample schedule.
+
+Schedules serialize to/from text (:func:`serialize_schedule`,
+:func:`parse_schedule`) and :func:`replay_schedule` re-executes one
+deterministically — a printed counterexample is a reproducer, not just
+a log.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.events import HANDOFF, UpdateEvent
+from ..shard.handoff import RoutingCore, ShardHandoff, ShardTransfer
+from ..shard.partition import Partitioner
+from .modelcheck import ModelCheckViolation
+
+__all__ = [
+    "HandoffCheckReport",
+    "check_handoff",
+    "HANDOFF_MUTANTS",
+    "serialize_schedule",
+    "parse_schedule",
+    "replay_schedule",
+]
+
+_FLIGHT = "F0"
+_STREAM = "faa"
+
+
+class _TablePartitioner(Partitioner):
+    """Deterministic stub: airports ``A<i>`` belong to shard ``i``,
+    flights to shard 0 — all the :class:`RoutingCore` needs."""
+
+    strategy = "table"
+
+    def __init__(self, n_shards: int):
+        super().__init__(n_shards)
+
+    def owner_of(self, key: str) -> int:
+        if key.startswith("A"):
+            return int(key[1:]) % self.n_shards
+        return 0
+
+
+def _build_script(n_shards: int, n_updates: int) -> List[UpdateEvent]:
+    """``n_updates`` labelled updates with a cross-shard handoff between
+    each consecutive pair.  Labels number the flight's full ordered
+    update sequence (handoffs included): the terminal record must read
+    exactly ``1..max_label``."""
+    events: List[UpdateEvent] = []
+    label = 0
+    owner = 0
+    for i in range(n_updates):
+        label += 1
+        events.append(
+            UpdateEvent(
+                kind="handoffcheck",
+                stream=_STREAM,
+                seqno=label,
+                key=_FLIGHT,
+                payload={"label": label},
+            )
+        )
+        if i < n_updates - 1 and n_shards > 1:
+            owner = (owner + 1) % n_shards
+            label += 1
+            events.append(
+                UpdateEvent(
+                    kind=HANDOFF,
+                    stream=_STREAM,
+                    seqno=label,
+                    key=_FLIGHT,
+                    payload={"label": label, "airport": f"A{owner}"},
+                )
+            )
+    return events
+
+
+# -- frames on the modelled connections ---------------------------------
+# to_shard[i] holds ("ev", event) | ("tomb", handoff) | ("install",
+# transfer, payload); from_shard[i] holds ("rep", transfer, payload).
+# ``payload`` is the extracted record (tuple of labels) or None when the
+# old shard had never seen the flight — carried next to the frame the
+# way ``ShardTransfer.view`` carries it in the real protocol.
+
+
+class _World:
+    """One protocol configuration: the real router core + modelled shards."""
+
+    __slots__ = (
+        "n_shards",
+        "core",
+        "script",
+        "script_pos",
+        "to_shard",
+        "from_shard",
+        "held",
+        "tombstoned",
+        "last_extract",
+        "completed_seqs",
+        "dups_left",
+        "crashes_left",
+        "full_labels",
+    )
+
+    def __init__(
+        self,
+        n_shards: int,
+        events: List[UpdateEvent],
+        dups: int,
+        crashes: int,
+        core_cls=RoutingCore,
+    ):
+        self.n_shards = n_shards
+        self.core = core_cls(_TablePartitioner(n_shards))
+        self.script = events
+        self.script_pos = 0
+        self.to_shard: Dict[int, Deque[Tuple]] = {
+            i: deque() for i in range(n_shards)
+        }
+        self.from_shard: Dict[int, Deque[Tuple]] = {
+            i: deque() for i in range(n_shards)
+        }
+        #: shard i's record store: flight -> ordered applied labels
+        self.held: Dict[int, Dict[str, List[int]]] = {
+            i: {} for i in range(n_shards)
+        }
+        self.tombstoned: Dict[int, Set[str]] = {
+            i: set() for i in range(n_shards)
+        }
+        #: shard i's most recent extraction reply (crash re-send source)
+        self.last_extract: Dict[int, Optional[Tuple]] = {
+            i: None for i in range(n_shards)
+        }
+        self.completed_seqs: Set[int] = set()
+        self.dups_left = dups
+        self.crashes_left = crashes
+        self.full_labels = tuple(
+            int(ev.payload["label"]) for ev in events
+        )
+
+    def clone(self) -> "_World":
+        return copy.deepcopy(self)
+
+
+def _frame_key(frame: Tuple) -> Tuple:
+    kind = frame[0]
+    if kind == "ev":
+        return ("ev", int(frame[1].payload["label"]))
+    if kind == "tomb":
+        h = frame[1]
+        return ("tomb", h.flight_id, h.seq, h.from_shard, h.to_shard)
+    if kind in ("install", "rep"):
+        t = frame[1]
+        return (kind, t.flight_id, t.seq, t.to_shard, frame[2])
+    raise TypeError(f"unexpected frame {frame!r}")  # pragma: no cover
+
+
+def _state_key(w: _World) -> Tuple:
+    core = w.core
+    core_key = (
+        tuple(sorted(core._owner.items())),
+        tuple(
+            sorted(
+                (
+                    f,
+                    p.seq,
+                    p.from_shard,
+                    p.to_shard,
+                    tuple(int(e.payload["label"]) for e in p.buffered),
+                )
+                for f, p in core._pending.items()
+            )
+        ),
+        core._seq,
+    )
+    shard_keys = tuple(
+        (
+            tuple(_frame_key(fr) for fr in w.to_shard[i]),
+            tuple(_frame_key(fr) for fr in w.from_shard[i]),
+            tuple(sorted((f, tuple(ls)) for f, ls in w.held[i].items())),
+            tuple(sorted(w.tombstoned[i])),
+            (
+                _frame_key(w.last_extract[i])
+                if w.last_extract[i] is not None
+                else None
+            ),
+        )
+        for i in range(w.n_shards)
+    )
+    return (
+        w.script_pos,
+        w.dups_left,
+        w.crashes_left,
+        tuple(sorted(w.completed_seqs)),
+        core_key,
+        shard_keys,
+    )
+
+
+def _enqueue_emissions(
+    w: _World, emissions: Sequence[Tuple[int, object]], payload: Optional[Tuple]
+) -> None:
+    """Ship router emissions down the shards' ordered connections.
+    ``payload`` rides alongside an install frame (the transferred
+    record), mirroring ``ShardTransfer.view``."""
+    for shard, item in emissions:
+        if isinstance(item, ShardHandoff):
+            w.to_shard[shard].append(("tomb", item))
+        elif isinstance(item, ShardTransfer):
+            w.to_shard[shard].append(("install", item, payload))
+        else:
+            w.to_shard[shard].append(("ev", item))
+
+
+def _apply_update(w: _World, shard: int, event: UpdateEvent, trace: List[str]) -> None:
+    flight = event.key
+    label = int(event.payload["label"])
+    if flight in w.tombstoned[shard]:
+        raise ModelCheckViolation(
+            f"stale owner: shard{shard} asked to apply label {label} of "
+            f"{flight} after tombstoning it — the router forwarded an "
+            "update to the old shard mid-transfer",
+            trace,
+        )
+    record = w.held[shard].setdefault(flight, [])
+    if label != (record[-1] if record else 0) + 1:
+        raise ModelCheckViolation(
+            f"out-of-order apply: shard{shard} applying label {label} of "
+            f"{flight} onto record {record} — an update was lost, "
+            "duplicated, or replayed before the transfer installed",
+            trace,
+        )
+    record.append(label)
+
+
+def _actions(w: _World) -> List[Tuple]:
+    acts: List[Tuple] = []
+    if w.script_pos < len(w.script):
+        acts.append(("route",))
+    for i in range(w.n_shards):
+        if w.to_shard[i]:
+            acts.append(("deliver", i))
+        if w.from_shard[i]:
+            acts.append(("reply", i))
+            if w.dups_left > 0:
+                acts.append(("dup", i))
+        if w.crashes_left > 0 and w.last_extract[i] is not None:
+            acts.append(("crash", i))
+    return acts
+
+
+def _apply_action(w: _World, action: Tuple, trace: List[str]) -> None:
+    kind = action[0]
+    if kind == "route":
+        event = w.script[w.script_pos]
+        w.script_pos += 1
+        _enqueue_emissions(w, w.core.route(event), None)
+    elif kind == "deliver":
+        shard = action[1]
+        frame = w.to_shard[shard].popleft()
+        if frame[0] == "ev":
+            _apply_update(w, shard, frame[1], trace)
+        elif frame[0] == "tomb":
+            handoff: ShardHandoff = frame[1]
+            flight = handoff.flight_id
+            record = w.held[shard].pop(flight, None)
+            w.tombstoned[shard].add(flight)
+            payload = tuple(record) if record is not None else None
+            reply = ShardTransfer(
+                flight_id=flight,
+                airport=handoff.airport,
+                from_shard=handoff.from_shard,
+                to_shard=handoff.to_shard,
+                seq=handoff.seq,
+            )
+            w.from_shard[shard].append(("rep", reply, payload))
+            w.last_extract[shard] = ("rep", reply, payload)
+        else:  # install
+            transfer: ShardTransfer = frame[1]
+            payload = frame[2]
+            flight = transfer.flight_id
+            w.tombstoned[shard].discard(flight)
+            if payload is not None:
+                w.held[shard][flight] = list(payload)
+    elif kind == "reply":
+        shard = action[1]
+        _, transfer, payload = w.from_shard[shard].popleft()
+        try:
+            emissions = w.core.complete(transfer)
+        except ValueError:
+            # the core rejected the reply: legal only for a re-send of
+            # an already-completed transfer (idempotence), never for a
+            # first delivery
+            if transfer.seq not in w.completed_seqs:
+                raise ModelCheckViolation(
+                    f"reply rejected: transfer seq {transfer.seq} for "
+                    f"{transfer.flight_id} refused by the router but was "
+                    "never completed — the transferred state is lost",
+                    trace,
+                )
+            return
+        w.completed_seqs.add(transfer.seq)
+        _enqueue_emissions(w, emissions, payload)
+    elif kind == "dup":
+        shard = action[1]
+        w.from_shard[shard].append(w.from_shard[shard][0])
+        w.dups_left -= 1
+    elif kind == "crash":
+        # shard's incarnation dies mid-transfer; the promoted replica
+        # (replica consistency proven in tests/rt) re-derives its last
+        # extraction and re-sends the reply on the fresh connection
+        shard = action[1]
+        resend = w.last_extract[shard]
+        assert resend is not None
+        w.from_shard[shard].append(resend)
+        w.crashes_left -= 1
+    else:  # pragma: no cover
+        raise ValueError(f"unknown action {action!r}")
+
+
+def _verify_terminal(w: _World, trace: List[str]) -> None:
+    owners = [
+        i for i in range(w.n_shards) if _FLIGHT in w.held[i]
+    ]
+    if len(owners) != 1:
+        raise ModelCheckViolation(
+            f"terminal state: {_FLIGHT} held by shards {owners} — "
+            + (
+                "the record was lost in transfer"
+                if not owners
+                else "ownership was duplicated"
+            ),
+            trace,
+        )
+    record = tuple(w.held[owners[0]][_FLIGHT])
+    if record != w.full_labels:
+        raise ModelCheckViolation(
+            f"terminal state: shard{owners[0]} record {list(record)} != "
+            f"full update sequence {list(w.full_labels)} — an update was "
+            "lost or duplicated across the handoff",
+            trace,
+        )
+    mapped = w.core.owner_of(_FLIGHT)
+    if mapped != owners[0]:
+        raise ModelCheckViolation(
+            f"terminal state: router owner map names shard{mapped} but "
+            f"shard{owners[0]} holds the record",
+            trace,
+        )
+    if w.core.pending:
+        raise ModelCheckViolation(
+            f"terminal state: {w.core.pending} transfer(s) never "
+            "completed",
+            trace,
+        )
+
+
+def _explore(world: _World) -> Tuple[int, int]:
+    """DFS with state dedup; returns (interleavings, distinct states) —
+    the same memoised engine as :func:`repro.analysis.modelcheck._explore`,
+    pointed at the handoff state machine."""
+    memo: Dict[Tuple, int] = {}
+    trace: List[str] = []
+
+    def visit(w: _World) -> int:
+        key = _state_key(w)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        acts = _actions(w)
+        if not acts:
+            _verify_terminal(w, trace)
+            memo[key] = 1
+            return 1
+        total = 0
+        for action in acts:
+            branch = w.clone()
+            trace.append(" ".join(str(part) for part in action))
+            try:
+                _apply_action(branch, action, trace)
+                total += visit(branch)
+            finally:
+                trace.pop()
+        memo[key] = total
+        return total
+
+    paths = visit(world)
+    return paths, len(memo)
+
+
+# -- deliberately broken protocol variants ------------------------------
+
+
+class _NoBufferRoutingCore(RoutingCore):
+    """Mutant: forwards mid-transfer updates straight to the old owner
+    instead of buffering them at the router.  The tombstone is already
+    ahead of them on that ordered connection, so the old shard applies
+    post-handoff updates after extracting the flight — the checker must
+    catch this as a stale-owner violation."""
+
+    def route(self, event: UpdateEvent) -> List[Tuple[int, object]]:
+        pending = self._pending.get(event.key)
+        if pending is not None:
+            self.events_routed += 1
+            return [(pending.from_shard, event)]
+        return super().route(event)
+
+
+class _ReplayFirstRoutingCore(RoutingCore):
+    """Mutant: flushes the buffered updates to the new shard *before*
+    the install frame.  The new shard applies the handoff suffix onto a
+    record the transfer has not populated yet (and the install then
+    clobbers whatever it applied) — the checker must catch this as an
+    out-of-order apply or terminal loss."""
+
+    def complete(self, transfer: ShardTransfer) -> List[Tuple[int, object]]:
+        pending = self._pending.get(transfer.flight_id)
+        if pending is None or pending.seq != transfer.seq:
+            raise ValueError(
+                f"transfer reply for {transfer.flight_id!r} seq "
+                f"{transfer.seq} matches no pending handoff"
+            )
+        del self._pending[transfer.flight_id]
+        self.transfers_completed += 1
+        self._owner[transfer.flight_id] = transfer.to_shard
+        emissions: List[Tuple[int, object]] = []
+        for event in pending.buffered:
+            emissions.extend(self.route(event))
+        emissions.append((transfer.to_shard, transfer))
+        return emissions
+
+
+#: Broken-protocol variants, used to prove the checker catches real bugs.
+HANDOFF_MUTANTS = ("drop-buffering", "replay-before-install")
+
+_CORE_CLASSES = {
+    None: RoutingCore,
+    "drop-buffering": _NoBufferRoutingCore,
+    "replay-before-install": _ReplayFirstRoutingCore,
+}
+
+
+@dataclass(frozen=True)
+class HandoffCheckReport:
+    """Result of an exhaustive run (violation-free, or it would have raised)."""
+
+    shards: int
+    events: int
+    handoffs: int
+    interleavings: int
+    states: int
+    dups: int
+    crashes: int
+    mutant: Optional[str] = None
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"modelcheck[handoff]: {self.shards} shard(s), "
+                f"{self.events} update(s), {self.handoffs} cross-shard "
+                "handoff(s)"
+                + (f" [mutant={self.mutant}]" if self.mutant else ""),
+                f"  <= {self.dups} duplicated reply/ies, <= {self.crashes}"
+                f" crash re-send(s): {self.interleavings} interleavings "
+                f"over {self.states} distinct states — no loss, no "
+                "duplication, no stale owner",
+            ]
+        )
+
+
+def _make_world(
+    shards: int, events: List[UpdateEvent], dups: int, crashes: int,
+    mutant: Optional[str],
+) -> _World:
+    try:
+        core_cls = _CORE_CLASSES[mutant]
+    except KeyError:
+        raise ValueError(f"unknown mutant {mutant!r}") from None
+    return _World(shards, events, dups, crashes, core_cls=core_cls)
+
+
+def check_handoff(
+    shards: int = 2,
+    events: int = 3,
+    dups: int = 1,
+    crashes: int = 1,
+    mutant: Optional[str] = None,
+) -> HandoffCheckReport:
+    """Exhaustively check the handoff protocol; raises
+    :class:`ModelCheckViolation` on the first schedule that breaks an
+    invariant."""
+    if shards < 2:
+        raise ValueError("shards must be >= 2 (a handoff needs two)")
+    if events < 2:
+        raise ValueError("events must be >= 2 (a handoff needs a suffix)")
+    script = _build_script(shards, events)
+    interleavings, states = _explore(
+        _make_world(shards, script, dups, crashes, mutant)
+    )
+    return HandoffCheckReport(
+        shards=shards,
+        events=events,
+        handoffs=sum(1 for ev in script if ev.kind == HANDOFF),
+        interleavings=interleavings,
+        states=states,
+        dups=dups,
+        crashes=crashes,
+        mutant=mutant,
+    )
+
+
+# -- counterexample schedules as replayable text ------------------------
+
+
+def serialize_schedule(trace: Sequence[str]) -> str:
+    """One action per line, exactly as the violation trace prints them."""
+    return "\n".join(trace)
+
+
+def parse_schedule(text: str) -> List[Tuple]:
+    """Inverse of :func:`serialize_schedule`: action tuples again."""
+    actions: List[Tuple] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split()
+        actions.append(
+            tuple([parts[0]] + [int(p) for p in parts[1:]])
+        )
+    return actions
+
+
+def replay_schedule(
+    schedule: str,
+    shards: int = 2,
+    events: int = 3,
+    dups: int = 1,
+    crashes: int = 1,
+    mutant: Optional[str] = None,
+) -> Optional[ModelCheckViolation]:
+    """Re-execute a serialized schedule against a fresh world.
+
+    Returns the violation it reproduces (with the replayed trace
+    attached), or None when the schedule completes cleanly — the same
+    parameters plus the same schedule always produce the same outcome,
+    which is what makes a printed counterexample a reproducer.
+    """
+    world = _make_world(
+        shards, _build_script(shards, events), dups, crashes, mutant
+    )
+    actions = parse_schedule(schedule)
+    trace: List[str] = []
+    try:
+        for action in actions:
+            if action not in _actions(world):
+                # the schedule diverged — e.g. a mutant counterexample
+                # replayed against the fixed protocol reaches a state
+                # where the recorded action is not enabled.  Nothing to
+                # reproduce: the remaining steps are meaningless here.
+                return None
+            trace.append(" ".join(str(part) for part in action))
+            _apply_action(world, action, trace)
+        if not _actions(world):
+            _verify_terminal(world, trace)
+    except ModelCheckViolation as violation:
+        return violation
+    return None

@@ -20,6 +20,10 @@ Rules declare where they apply via path predicates over the module path
   ``__dict__`` rules apply.
 * ``rt/`` is exempt from the wall-clock rules entirely: it is the
   real-time (asyncio) runtime, where wall-clock time is the point.
+* :data:`ASYNC_RUNTIME` — that same ``rt/`` tree is where the
+  async-hazard rules (:mod:`repro.analysis.asynclint`) apply: await-
+  straddling state writes, blocking calls in coroutines, untracked
+  tasks, legacy loop APIs.
 
 Pragmas
 -------
@@ -41,6 +45,7 @@ __all__ = [
     "STRICT_PACKAGES",
     "HOT_MODULES",
     "WALLCLOCK_EXEMPT",
+    "ASYNC_RUNTIME",
     "RNG_FACILITY",
     "DETERMINISM_RULES",
     "Finding",
@@ -72,6 +77,12 @@ HOT_MODULES = (
 #: Path prefixes exempt from the wall-clock rules: the asyncio runtime
 #: genuinely runs on wall-clock time.
 WALLCLOCK_EXEMPT = ("rt/",)
+
+#: The asyncio runtime package: scope of the async-hazard rules.  It is
+#: deliberately *outside* :data:`STRICT_PACKAGES`, so their pragmas are
+#: honoured — single-owner state and terminal report writes are real
+#: patterns there, each suppressed with a written justification.
+ASYNC_RUNTIME = ("rt/",)
 
 #: The seeded randomness facility itself — the one module allowed to
 #: touch ``numpy.random`` construction APIs.
@@ -136,6 +147,11 @@ def is_hot_module(relpath: str) -> bool:
 
 def wallclock_exempt(relpath: str) -> bool:
     return any(relpath.startswith(p) for p in WALLCLOCK_EXEMPT)
+
+
+def in_async_runtime(relpath: str) -> bool:
+    """True when ``relpath`` is part of the asyncio runtime (``rt/``)."""
+    return any(relpath.startswith(p) for p in ASYNC_RUNTIME)
 
 
 def is_rng_facility(relpath: str) -> bool:

@@ -44,6 +44,11 @@ breaking their use as dict/set members.
   and deserializing them through an arbitrary-code-execution decoder
   would turn any peer into a remote shell.  The explicit tag-based
   codec in :mod:`repro.wire` is the only sanctioned decoder.
+
+**Async hazards** (the ``rt/`` asyncio runtime): the four rules in
+:mod:`repro.analysis.asynclint` — ``async-interleaving``,
+``async-blocking``, ``async-untracked-task``, ``async-legacy`` — are
+registered here so one ``repro lint`` run covers them.
 """
 
 from __future__ import annotations
@@ -656,6 +661,8 @@ class WireNoPickleRule(LintRule):
 
 def default_rules() -> List[LintRule]:
     """Fresh instances of every built-in rule, in reporting order."""
+    from .asynclint import async_rules
+
     return [
         WallClockRule(),
         UnseededRandomRule(),
@@ -666,4 +673,5 @@ def default_rules() -> List[LintRule]:
         CheckpointCtorRule(),
         VtCompareRule(),
         WireNoPickleRule(),
+        *async_rules(),
     ]

@@ -28,7 +28,7 @@ import os
 import platform
 import sys
 import time
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = [
     "BENCHMARKS",
@@ -529,6 +529,38 @@ def render_compare(
     return "\n".join(lines)
 
 
+def machine_caveat(
+    old: Dict[str, object], new: Dict[str, object]
+) -> Optional[str]:
+    """One-line warning when two records came from different hosts.
+
+    op/s numbers are host-bound (the BENCH_PR7 shard sweep ran on one
+    core, where the >=2x multi-shard bar structurally cannot be met), so
+    a cross-machine delta is a hardware comparison, not a regression
+    signal.  Returns None when the fingerprints match; records predating
+    the ``machine`` block compare as unknown hosts.
+    """
+    old_m = old.get("machine")
+    new_m = new.get("machine")
+    if old_m is None or new_m is None:
+        return (
+            "note: at least one record carries no machine fingerprint; "
+            "treat deltas as cross-machine (not regression evidence)"
+        )
+    if old_m != new_m:
+        diffs = sorted(
+            key
+            for key in set(old_m) | set(new_m)  # type: ignore[arg-type]
+            if old_m.get(key) != new_m.get(key)  # type: ignore[union-attr]
+        )
+        return (
+            "note: records come from different machines "
+            f"({', '.join(diffs)} differ); deltas compare hardware, "
+            "not code"
+        )
+    return None
+
+
 def compare_main(old_path: str, new_path: str,
                  max_regress: float | None = None) -> int:
     """``--compare`` mode: print the delta table; with ``max_regress``
@@ -537,6 +569,9 @@ def compare_main(old_path: str, new_path: str,
     old, new = load_record(old_path), load_record(new_path)
     rows = compare_records(old, new)
     print(render_compare(old, new, rows))
+    caveat = machine_caveat(old, new)
+    if caveat:
+        print(caveat)
     if max_regress is None:
         return 0
     offenders = [

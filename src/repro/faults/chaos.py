@@ -447,10 +447,13 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
             fh.write(report + "\n")
         print(f"\nreport written to {args.out}")
     if args.bench_out and sweep_record is not None:
+        from ..bench import machine_info
+
         record = {
             "label": "chaos",
             "chaos": sweep_record,
             "checks_passed": ok,
+            "machine": machine_info(),
         }
         with open(args.bench_out, "w") as fh:
             json.dump(record, fh, indent=2, sort_keys=True)

@@ -18,7 +18,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Any, List, Tuple
 
 __all__ = ["AsyncCrash", "AsyncFaultPlan", "AsyncFaultInjector"]
 
@@ -64,7 +64,7 @@ class AsyncFaultInjector:
         self.plan = plan
         self.records: List[Tuple[str, float]] = []
 
-    async def drive(self, server) -> None:
+    async def drive(self, server: Any) -> None:
         start = time.monotonic()
         for crash in self.plan.crashes():
             delay = start + crash.after - time.monotonic()

@@ -51,7 +51,22 @@ import json
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from multiprocessing.process import BaseProcess
+
+    from ..faults.link import LinkFaultController
 
 from ..core.adaptation import AdaptationController
 from ..core.config import MirrorConfig
@@ -182,7 +197,7 @@ class AdaptiveFlusher:
         max_delay: float = 0.002,
         fat_threshold: int = 32,
         restore_threshold: int = 8,
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if restore_threshold > fat_threshold:
             raise ValueError("restore_threshold must be <= fat_threshold")
@@ -291,8 +306,8 @@ class _FrameEnvelope:
 
 
 async def _apply_link_faults(
-    faults, envelope: _FrameEnvelope, src: str, dst: str,
-    now: float, stats: WireStats,
+    faults: Optional["LinkFaultController"], envelope: _FrameEnvelope,
+    src: str, dst: str, now: float, stats: WireStats,
 ) -> int:
     """Consult the controller; returns number of copies to send (0 =
     dropped), sleeping out any injected delay."""
@@ -343,7 +358,7 @@ class NetCentral:
         adaptation: bool = False,
         request_service_delay: float = 0.0,
         snapshot_fast_path: bool = False,
-        fault_controller=None,
+        fault_controller: Optional["LinkFaultController"] = None,
         flusher_options: Optional[Dict[str, Any]] = None,
         site_name: str = "central",
         mirror_names: Optional[Sequence[str]] = None,
@@ -471,7 +486,10 @@ class NetCentral:
         else:
             writer.close()
 
-    async def _serve_mirror(self, name, writer, frames: "_FrameReader") -> None:
+    async def _serve_mirror(
+        self, name: str, writer: asyncio.StreamWriter,
+        frames: "_FrameReader",
+    ) -> None:
         conn = _MirrorConnection(name)
         self.connections[name] = conn
         if self.fault_controller is None:
@@ -502,7 +520,9 @@ class NetCentral:
             writer.close()
             conn.done.set()
 
-    async def _writer_loop(self, conn: _MirrorConnection, writer) -> None:
+    async def _writer_loop(
+        self, conn: _MirrorConnection, writer: asyncio.StreamWriter,
+    ) -> None:
         """Pace, fault-inject and flush outbound frames for one
         connection.  Without a fault controller the items are frames the
         broadcast loop already encoded (shared bytes, zero per-connection
@@ -577,7 +597,9 @@ class NetCentral:
                 break
         conn.closed = True
 
-    async def _serve_source(self, writer, frames: "_FrameReader") -> None:
+    async def _serve_source(
+        self, writer: asyncio.StreamWriter, frames: "_FrameReader",
+    ) -> None:
         """Serve the ingress router's event-stream connection.
 
         The sharded runtime (:mod:`repro.rt.shards`) feeds each shard's
@@ -614,7 +636,9 @@ class NetCentral:
             await asyncio.gather(reply_task, return_exceptions=True)
             writer.close()
 
-    async def _transfer_writer(self, writer, out: asyncio.Queue) -> None:
+    async def _transfer_writer(
+        self, writer: asyncio.StreamWriter, out: asyncio.Queue,
+    ) -> None:
         """Ship transfer replies back to the router (None = stop)."""
         encoder = WireEncoder()
         stats = self.stats
@@ -661,12 +685,22 @@ class NetCentral:
         await _cancel_tracked(self._conn_tasks)
 
 
-def _tracked_handler(handler, registry: List[asyncio.Task]):
+_ConnHandler = Callable[
+    [asyncio.StreamReader, asyncio.StreamWriter], Awaitable[None]
+]
+
+
+def _tracked_handler(
+    handler: _ConnHandler, registry: List[asyncio.Task]
+) -> _ConnHandler:
     """Wrap a start_server callback so its per-connection tasks are
     registered for cancellation at close time."""
 
-    async def wrapped(reader, writer):
+    async def wrapped(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         task = asyncio.current_task()
+        assert task is not None  # always inside a task: start_server callback
         registry.append(task)
         try:
             await handler(reader, writer)
@@ -708,14 +742,14 @@ class _FrameReader:
 
     __slots__ = ("_reader", "_splitter", "_decoder", "_stats", "_pending")
 
-    def __init__(self, reader, stats: WireStats) -> None:
+    def __init__(self, reader: asyncio.StreamReader, stats: WireStats) -> None:
         self._reader = reader
         self._splitter = FrameSplitter()
         self._decoder = WireDecoder()
         self._stats = stats
         self._pending: deque = deque()
 
-    async def next_message(self):
+    async def next_message(self) -> Any:
         """Return the next decoded message; None once the peer closed."""
         while not self._pending:
             chunk = await self._reader.read(65536)
@@ -734,7 +768,10 @@ class _FrameReader:
         return self._pending.popleft()
 
 
-async def _serve_client(main, writer, frames: _FrameReader, stats: WireStats) -> None:
+async def _serve_client(
+    main: Any, writer: asyncio.StreamWriter,
+    frames: _FrameReader, stats: WireStats,
+) -> None:
     """Serve REQUEST frames from one thin-client connection."""
     encoder = WireEncoder()
     try:
@@ -792,7 +829,9 @@ class NetMirror:
     async def serve_clients(self, host: str = "127.0.0.1", port: int = 0) -> int:
         """Open this mirror's own client-facing port."""
 
-        async def handle(reader, writer):
+        async def handle(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
             await _serve_client(
                 self.site.main, writer,
                 _FrameReader(reader, self.stats), self.stats,
@@ -844,7 +883,7 @@ class NetMirror:
             await server.wait_closed()
         await _cancel_tracked(self._conn_tasks)
 
-    async def _reader_loop(self, reader) -> None:
+    async def _reader_loop(self, reader: asyncio.StreamReader) -> None:
         frames = _FrameReader(reader, self.stats)
         while True:
             msg = await frames.next_message()
@@ -862,7 +901,9 @@ class NetMirror:
                 await self.ctrl_sub.put(msg)
                 self.ctrl_sub.delivered += 1
 
-    async def _reply_loop(self, writer, encoder: WireEncoder) -> None:
+    async def _reply_loop(
+        self, writer: asyncio.StreamWriter, encoder: WireEncoder
+    ) -> None:
         stats = self.stats
         while True:
             reply = await self.reply_to.get()
@@ -931,7 +972,7 @@ async def run_net_scenario(
     adaptation: bool = False,
     request_service_delay: float = 0.0,
     snapshot_fast_path: bool = False,
-    fault_controller=None,
+    fault_controller: Optional["LinkFaultController"] = None,
     flusher_options: Optional[Dict[str, Any]] = None,
     host: str = "127.0.0.1",
 ) -> NetRunSummary:
@@ -1092,7 +1133,8 @@ def _mirror_process_main(name: str, host: str, port: int,
         mirror = NetMirror(name)
         await mirror.serve_clients(host=host, port=client_port)
         await mirror.run(host, port)
-        with open(result_path, "w", encoding="utf-8") as fh:
+        # terminal report write: the run is over, nothing shares this loop
+        with open(result_path, "w", encoding="utf-8") as fh:  # lint: allow-async-blocking
             json.dump(
                 {
                     "site": name,
@@ -1117,7 +1159,8 @@ def _client_process_main(host: str, ports: List[int], n_requests: int,
         latencies = await _run_client(
             host, ports, [0.0] * n_requests, stats
         )
-        with open(result_path, "w", encoding="utf-8") as fh:
+        # terminal report write: the run is over, nothing shares this loop
+        with open(result_path, "w", encoding="utf-8") as fh:  # lint: allow-async-blocking
             json.dump(
                 {
                     "requests": n_requests,
@@ -1130,6 +1173,25 @@ def _client_process_main(host: str, ports: List[int], n_requests: int,
             )
 
     asyncio.run(main())
+
+
+async def _join_process(
+    proc: "BaseProcess", timeout: Optional[float] = None
+) -> None:
+    """Reap a child process without stalling the event loop.
+
+    ``Process.join`` blocks the whole loop (and with it the central
+    site's serving tasks), so poll ``is_alive`` with short async sleeps
+    up to ``timeout`` seconds (forever when ``None``), then reap with a
+    zero-timeout join — which returns immediately either way.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while proc.is_alive():
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        await asyncio.sleep(0.02)
+    # a zero-timeout join returns immediately either way: pure reap
+    proc.join(timeout=0)  # lint: allow-async-blocking
 
 
 class NetProcessRunner:
@@ -1152,34 +1214,42 @@ class NetProcessRunner:
         self.config = config
         self.host = host
 
+    def _preassign_ports(self, count: int) -> List[int]:
+        """Grab free port numbers synchronously (called before the event
+        loop starts: bind-and-release must not run inside a coroutine)."""
+        import socket
+
+        ports: List[int] = []
+        placeholders = []
+        for _ in range(count):
+            s = socket.socket()
+            s.bind((self.host, 0))
+            ports.append(s.getsockname()[1])
+            placeholders.append(s)
+        for s in placeholders:
+            s.close()
+        return ports
+
     def run(self) -> Dict[str, Any]:
         import multiprocessing
         import tempfile
         from pathlib import Path
 
         ctx = multiprocessing.get_context("spawn")
+        # pre-assign client ports so children can bind deterministically
+        client_ports = self._preassign_ports(self.n_mirrors)
         with tempfile.TemporaryDirectory(prefix="repro-net-") as tmp:
             tmpdir = Path(tmp)
             summary = asyncio.run(
-                self._drive(ctx, tmpdir)
+                self._drive(ctx, tmpdir, client_ports)
             )
             return summary
 
-    async def _drive(self, ctx, tmpdir) -> Dict[str, Any]:
+    async def _drive(
+        self, ctx: Any, tmpdir: str, client_ports: List[int]
+    ) -> Dict[str, Any]:
         central = NetCentral(n_mirrors=self.n_mirrors, config=self.config)
         port = await central.start(host=self.host)
-        # pre-assign client ports so children can bind deterministically
-        import socket
-
-        client_ports: List[int] = []
-        placeholders = []
-        for _ in range(self.n_mirrors):
-            s = socket.socket()
-            s.bind((self.host, 0))
-            client_ports.append(s.getsockname()[1])
-            placeholders.append(s)
-        for s in placeholders:
-            s.close()
 
         procs = []
         central_tasks: List[asyncio.Task] = []
@@ -1221,9 +1291,7 @@ class NetProcessRunner:
             await site.data_in.put(EOS)
             await site.stream_done.wait()
             if client_proc is not None:
-                while client_proc.is_alive():
-                    await asyncio.sleep(0.01)
-                client_proc.join()
+                await _join_process(client_proc)
             await central.shutdown_stream()
             await central.wait_mirrors_done()
             await site.ctrl_in.put(EOS)
@@ -1231,7 +1299,7 @@ class NetProcessRunner:
             await central.close()
             wall = time.monotonic() - t0
             for proc in procs:
-                proc.join(timeout=30)
+                await _join_process(proc, timeout=30)
         finally:
             # a failed or cancelled run must not leak child processes or
             # the bound port: cancel whatever is still running, SIGTERM
@@ -1247,19 +1315,21 @@ class NetProcessRunner:
                 if proc.is_alive():
                     proc.terminate()
             for proc in children:
-                proc.join(timeout=10)
+                await _join_process(proc, timeout=10)
 
+        # postlude: every child has exited, the loop is idle — plain
+        # file reads of the children's result files are fine here
         mirrors = []
         for path in mirror_results:
             try:
-                with open(path, encoding="utf-8") as fh:
+                with open(path, encoding="utf-8") as fh:  # lint: allow-async-blocking
                     mirrors.append(json.load(fh))
             except FileNotFoundError:
                 mirrors.append({"error": "no result file"})
         client = None
         if client_proc is not None:
             try:
-                with open(client_result, encoding="utf-8") as fh:
+                with open(client_result, encoding="utf-8") as fh:  # lint: allow-async-blocking
                     client = json.load(fh)
             except FileNotFoundError:
                 client = {"error": "no result file"}

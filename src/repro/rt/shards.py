@@ -44,7 +44,8 @@ import asyncio
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import MirrorConfig
 from ..core.events import UpdateEvent
@@ -54,7 +55,7 @@ from ..ois.flightdata import EventScript, FlightDataConfig, generate_script
 from ..shard.handoff import RoutingCore, ShardTransfer, merge_digests
 from ..shard.partition import ShardMap, make_partitioner, shard_name
 from ..wire import EOS as WIRE_EOS, Hello, WireEncoder
-from .net import NetCentral, NetMirror, WireStats, _FrameReader
+from .net import NetCentral, NetMirror, WireStats, _FrameReader, _join_process
 from .sites import EOS
 
 __all__ = [
@@ -120,7 +121,7 @@ class ShardRuntime:
         config: Optional[MirrorConfig] = None,
         request_service_delay: float = 0.0,
         snapshot_fast_path: bool = False,
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
     ):
         self.index = index
         self.name = shard_name(index)
@@ -315,7 +316,9 @@ class IngressRouter:
         frame per connection; placement is pure, so the map is the whole
         topology handshake)."""
 
-        async def handle(reader, writer):
+        async def handle(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
             frames = _FrameReader(reader, self.stats)
             hello = await frames.next_message()
             if isinstance(hello, Hello):
@@ -657,7 +660,8 @@ def _shard_process_main(
         await rt.run_to_completion()
         main_unit = rt.central.site.main
         stats = rt.stats()
-        with open(result_path, "w", encoding="utf-8") as fh:
+        # terminal report write: the run is over, nothing shares this loop
+        with open(result_path, "w", encoding="utf-8") as fh:  # lint: allow-async-blocking
             json.dump(
                 {
                     "shard": rt.name,
@@ -687,7 +691,8 @@ def _sharded_client_process_main(
     async def main() -> None:
         stats = WireStats()
         latencies = await _run_sharded_client(host, map_port, keys, stats)
-        with open(result_path, "w", encoding="utf-8") as fh:
+        # terminal report write: the run is over, nothing shares this loop
+        with open(result_path, "w", encoding="utf-8") as fh:  # lint: allow-async-blocking
             json.dump(
                 {
                     "requests": len(keys),
@@ -733,6 +738,8 @@ class ShardProcessRunner:
         self.host = host
 
     def _preassign_ports(self, count: int) -> List[int]:
+        """Grab free port numbers synchronously (called before the event
+        loop starts: bind-and-release must not run inside a coroutine)."""
         import socket
 
         ports: List[int] = []
@@ -749,17 +756,19 @@ class ShardProcessRunner:
     def run(self) -> Dict[str, Any]:
         import multiprocessing
         import tempfile
-        from pathlib import Path
 
         ctx = multiprocessing.get_context("spawn")
-        with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
-            return asyncio.run(self._drive(ctx, Path(tmp)))
-
-    async def _drive(self, ctx, tmpdir) -> Dict[str, Any]:
         serving_per_shard = max(1, self.n_mirrors)
         ports = self._preassign_ports(
             self.n_shards * (1 + serving_per_shard)
         )
+        with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
+            return asyncio.run(self._drive(ctx, Path(tmp), ports))
+
+    async def _drive(
+        self, ctx: Any, tmpdir: Path, ports: List[int]
+    ) -> Dict[str, Any]:
+        serving_per_shard = max(1, self.n_mirrors)
         shard_ports = ports[: self.n_shards]
         client_ports = [
             ports[
@@ -821,15 +830,13 @@ class ShardProcessRunner:
                 # hold EOS (and with it shard shutdown) until the client
                 # has read its snapshots; the wait is excluded from the
                 # fan-out wall time
-                while client_proc.is_alive():
-                    await asyncio.sleep(0.01)
-                client_proc.join()
+                await _join_process(client_proc)
             t1 = time.monotonic()
             await router.send_eos()
             await router.wait_readers()
             wall += time.monotonic() - t1
             for proc in procs:
-                proc.join(timeout=60)
+                await _join_process(proc, timeout=60)
         finally:
             await router.close()
             children = procs + ([client_proc] if client_proc is not None else [])
@@ -837,19 +844,21 @@ class ShardProcessRunner:
                 if proc.is_alive():
                     proc.terminate()  # SIGTERM on POSIX
             for proc in children:
-                proc.join(timeout=10)
+                await _join_process(proc, timeout=10)
 
+        # postlude: every child has exited, the loop is idle — plain
+        # file reads of the children's result files are fine here
         shards = []
         for path in shard_results:
             try:
-                with open(path, encoding="utf-8") as fh:
+                with open(path, encoding="utf-8") as fh:  # lint: allow-async-blocking
                     shards.append(json.load(fh))
             except FileNotFoundError:
                 shards.append({"error": "no result file"})
         client = None
         if client_proc is not None:
             try:
-                with open(str(tmpdir / "client.json"), encoding="utf-8") as fh:
+                with open(str(tmpdir / "client.json"), encoding="utf-8") as fh:  # lint: allow-async-blocking
                     client = json.load(fh)
             except FileNotFoundError:
                 client = {"error": "no result file"}

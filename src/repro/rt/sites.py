@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..core.adaptation import (
     MONITOR_BACKUP_QUEUE,
@@ -50,8 +50,13 @@ EOS = "__end_of_stream__"
 class AsyncMainUnit:
     """EDE host + request service for one live site."""
 
-    def __init__(self, site: str, clock=time.monotonic,
-                 request_service_delay: float = 0.0, engine_factory=None):
+    def __init__(
+        self,
+        site: str,
+        clock: Callable[[], float] = time.monotonic,
+        request_service_delay: float = 0.0,
+        engine_factory: Optional[Callable[[], Any]] = None,
+    ):
         self.site = site
         self.clock = clock
         #: wall-clock seconds each initial-state request takes to serve
@@ -185,14 +190,19 @@ class AsyncMainUnit:
                 else:
                     for _ in live:
                         await asyncio.sleep(self.request_service_delay)
+            # the straddle is the point: _pending_requests is a monitor-
+            # visible in-service gauge, raised before the service delay
+            # and drained per response; this loop is its only writer
             for req in live:
                 self.responses.append(self._serve_one(req, state))
-                self._pending_requests -= 1
+                self._pending_requests -= 1  # lint: allow-async-interleaving
             await asyncio.sleep(0)
             if eos_drained:
                 break
 
-    def _serve_one(self, request: InitStateRequest, state) -> InitStateResponse:
+    def _serve_one(
+        self, request: InitStateRequest, state: Any
+    ) -> InitStateResponse:
         """Build the response for one request (delta path when enabled
         and the request carries resume capability)."""
         if state is None:
@@ -256,7 +266,7 @@ class AsyncCentralSite:
         ctrl_channel: AsyncChannel,
         participants: set,
         adaptation: Optional[AdaptationController] = None,
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
         site: str = "central",
     ):
         self.config = config
@@ -469,7 +479,7 @@ class AsyncMirrorSite:
         data_in: AsyncSubscription,
         ctrl_in: AsyncSubscription,
         reply_to: asyncio.Queue,
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
     ):
         self.site = site
         self.clock = clock

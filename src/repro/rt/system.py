@@ -14,7 +14,10 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set
+
+if TYPE_CHECKING:
+    from .faults import AsyncFaultInjector
 
 from ..core.adaptation import AdaptationController
 from ..core.config import MirrorConfig
@@ -89,7 +92,7 @@ class AsyncMirroredServer:
         adaptation: bool = False,
         time_factor: float = 0.0,
         request_service_delay: float = 0.0,
-        engine_factory=None,
+        engine_factory: Optional[Callable[[], Any]] = None,
         snapshot_fast_path: bool = False,
     ):
         if n_mirrors < 0:
@@ -111,7 +114,7 @@ class AsyncMirroredServer:
         self.crashed: Set[str] = set()
         self._site_tasks: Dict[str, List[asyncio.Task]] = {}
 
-    def _configure_main(self, main) -> None:
+    def _configure_main(self, main: Any) -> None:
         main.request_service_delay = self.request_service_delay
         if self.snapshot_fast_path:
             main.coalesce_requests = True
@@ -220,7 +223,7 @@ class AsyncMirroredServer:
         self,
         script: EventScript,
         request_times: Sequence[float] = (),
-        fault_injector=None,
+        fault_injector: Optional["AsyncFaultInjector"] = None,
     ) -> AsyncRunSummary:
         """Replay ``script`` (and requests) through the live server.
 

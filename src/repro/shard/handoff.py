@@ -201,13 +201,20 @@ class RoutingCore:
         Replayed updates go back through :meth:`route`, so a second
         handoff hiding in the buffer simply opens the next transfer and
         the remainder re-buffers behind it.
+
+        A reply whose seq matches no pending handoff (a duplicate or a
+        crash re-send racing a newer transfer of the same flight) is
+        rejected *without* touching the pending table — the handoff
+        model checker caught the destructive ``pop``-then-check version
+        of this losing an unrelated in-flight transfer.
         """
-        pending = self._pending.pop(transfer.flight_id, None)
+        pending = self._pending.get(transfer.flight_id)
         if pending is None or pending.seq != transfer.seq:
             raise ValueError(
                 f"transfer reply for {transfer.flight_id!r} seq {transfer.seq} "
                 "matches no pending handoff"
             )
+        del self._pending[transfer.flight_id]
         self.transfers_completed += 1
         self._owner[transfer.flight_id] = transfer.to_shard
         emissions: List[Tuple[int, object]] = [(transfer.to_shard, transfer)]

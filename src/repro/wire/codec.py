@@ -787,8 +787,13 @@ class WireDecoder:
                 flights=flights,
             )
         if mtype == T_EOS:
+            # a RESET/EOS frame carries no body; a header claiming one
+            # would have swallowed the following frames' bytes as body —
+            # reject instead of silently resyncing past them
+            self._check_consumed(body, 0)
             return EOS
         if mtype == T_RESET:
+            self._check_consumed(body, 0)
             self._interner.reset()
             self._last_uid = 0
             return RESET
@@ -905,6 +910,16 @@ class FrameSplitter:
                 )
             if flags != 0:
                 raise WireError(f"reserved flags set: 0x{flags:02x}")
+            if length and mtype in (T_EOS, T_RESET):
+                # bodyless control frames: a length here means the
+                # stream is corrupt, and buffering `length` bytes of the
+                # *following* frames as this frame's body would lose
+                # them silently (the decoder used to ignore RESET/EOS
+                # body bytes entirely) — fail loudly at the splitter
+                raise WireError(
+                    f"control frame 0x{mtype:02x} claims a {length}-byte "
+                    "body; RESET/EOS frames are bodyless"
+                )
             body_start = pos + HEADER.size
             if n - body_start < length:
                 break

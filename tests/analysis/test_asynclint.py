@@ -1,0 +1,347 @@
+"""Async-hazard lint fixtures: every rule has good and bad examples.
+
+Same mechanism as ``test_lint_rules``: sources are linted in-memory
+with a relative path inside (or outside) ``rt/``, the async rules'
+scope.  The interleaving rule additionally gets terminator-awareness
+cases — the exact shapes (early-return branches, except handlers,
+``continue``-terminated arms) that false-positived on the real runtime
+before the branch walker learned that a terminated branch's writes
+never merge back.
+"""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+RT = "rt/server.py"  # inside the async runtime scope
+CORE = "core/pipeline.py"  # outside it
+
+
+def rules_in(source, relpath=RT):
+    return [f.rule for f in lint_source(textwrap.dedent(source), relpath)]
+
+
+def findings_for(source, rule, relpath=RT):
+    return [
+        f
+        for f in lint_source(textwrap.dedent(source), relpath)
+        if f.rule == rule
+    ]
+
+
+# ----------------------------------------------------- async-interleaving
+def test_interleaving_bad_write_straddles_await():
+    src = """
+        class Server:
+            async def pump(self):
+                self.backlog += 1
+                await self.queue.put(1)
+                self.backlog -= 1
+    """
+    found = findings_for(src, "async-interleaving")
+    assert len(found) == 1
+    assert "backlog" in found[0].message
+    assert "both sides of an await" in found[0].message
+
+
+def test_interleaving_bad_subscript_write():
+    src = """
+        class Server:
+            async def register(self, name, conn):
+                self.connections[name] = conn
+                await conn.start()
+                self.connections[name] = conn.upgrade()
+    """
+    assert "async-interleaving" in rules_in(src)
+
+
+def test_interleaving_bad_await_in_assignment_value():
+    # `self.x = await f()` writes AFTER resuming: a prior write to the
+    # same attribute straddles the suspension
+    src = """
+        class Server:
+            async def refresh(self):
+                self.state = None
+                self.state = await self.fetch()
+    """
+    assert "async-interleaving" in rules_in(src)
+
+
+def test_interleaving_good_single_write_after_await():
+    src = """
+        class Server:
+            async def refresh(self):
+                new = await self.fetch()
+                self.state = new
+    """
+    assert rules_in(src) == []
+
+
+def test_interleaving_good_lock_held_across_await():
+    src = """
+        class Server:
+            async def pump(self):
+                async with self.state_lock:
+                    self.backlog += 1
+                    await self.queue.put(1)
+                    self.backlog -= 1
+    """
+    assert rules_in(src) == []
+
+
+def test_interleaving_good_exclusive_return_branches():
+    # the two writes are on exclusive paths (the first branch returns):
+    # no schedule observes both around one suspension
+    src = """
+        class Server:
+            async def step(self):
+                if self.closed:
+                    self.dead = True
+                    return
+                await self.queue.put(1)
+                self.dead = False
+    """
+    assert rules_in(src) == []
+
+
+def test_interleaving_good_continue_terminated_branch():
+    src = """
+        class Server:
+            async def drain(self, items):
+                for item in items:
+                    if item.poison:
+                        self.skipped += 1
+                        continue
+                    await self.handle(item)
+                    self.processed += 1
+    """
+    assert rules_in(src) == []
+
+
+def test_interleaving_good_write_in_except_handler():
+    # happy-path write and error-path write are exclusive
+    src = """
+        class Server:
+            async def send(self, frame):
+                try:
+                    await self.writer.drain()
+                    self.sent += 1
+                except ConnectionResetError:
+                    self.dead = True
+                    return
+                self.last = frame
+    """
+    assert rules_in(src) == []
+
+
+def test_interleaving_bad_straddle_inside_one_loop_pass():
+    src = """
+        class Server:
+            async def pump(self):
+                while True:
+                    self.cursor += 1
+                    await self.flush()
+                    self.cursor += 1
+    """
+    assert "async-interleaving" in rules_in(src)
+
+
+def test_interleaving_loop_carried_writes_are_deliberately_exempt():
+    # write in pass N, await, write in pass N+1: each write is a
+    # complete update (the per-iteration counter pattern), so pairing
+    # across iterations would flag every stats counter in the runtime
+    src = """
+        class Server:
+            async def pump(self):
+                while True:
+                    self.cursor += 1
+                    await self.flush()
+    """
+    assert rules_in(src) == []
+
+
+def test_interleaving_pragma_and_scope():
+    src = """
+        class Server:
+            async def pump(self):
+                self.backlog += 1
+                await self.queue.put(1)
+                self.backlog -= 1  # lint: allow-async-interleaving
+    """
+    assert rules_in(src) == []
+    # outside rt/ the rule does not apply at all
+    bad = src.replace("  # lint: allow-async-interleaving", "")
+    assert "async-interleaving" not in rules_in(bad, CORE)
+
+
+# -------------------------------------------------------- async-blocking
+def test_blocking_bad_time_sleep():
+    src = """
+        import time
+
+        async def backoff():
+            time.sleep(0.1)
+    """
+    found = findings_for(src, "async-blocking")
+    assert len(found) == 1
+    assert "await asyncio.sleep" in found[0].message
+
+
+def test_blocking_bad_subprocess_and_open():
+    src = """
+        import subprocess
+
+        async def snapshot(path):
+            subprocess.run(["sync"])
+            with open(path) as fh:
+                return fh.read()
+    """
+    assert rules_in(src).count("async-blocking") == 2
+
+
+def test_blocking_bad_sync_socket():
+    src = """
+        import socket
+
+        async def probe(port):
+            s = socket.socket()
+            s.bind(("127.0.0.1", port))
+    """
+    assert "async-blocking" in rules_in(src)
+
+
+def test_blocking_bad_process_join():
+    src = """
+        async def reap(proc):
+            proc.join(timeout=30)
+    """
+    found = findings_for(src, "async-blocking")
+    assert len(found) == 1
+    assert ".join()" in found[0].message
+
+
+def test_blocking_good_async_equivalents_and_sync_context():
+    src = """
+        import asyncio
+        import time
+
+        def report(path, body):
+            # sync function: blocking IO is fine off the loop
+            with open(path, "w") as fh:
+                fh.write(body)
+
+        async def backoff():
+            await asyncio.sleep(0.1)
+            return time.monotonic()
+    """
+    assert rules_in(src) == []
+
+
+def test_blocking_good_str_join_not_flagged():
+    src = """
+        async def render(parts):
+            return ", ".join(parts)
+    """
+    assert rules_in(src) == []
+
+
+def test_blocking_pragma():
+    src = """
+        async def reap(proc):
+            proc.join(timeout=0)  # lint: allow-async-blocking
+    """
+    assert rules_in(src) == []
+
+
+# --------------------------------------------------- async-untracked-task
+def test_untracked_bad_discarded_create_task():
+    src = """
+        import asyncio
+
+        async def serve(conn):
+            asyncio.create_task(conn.pump())
+    """
+    found = findings_for(src, "async-untracked-task")
+    assert len(found) == 1
+    assert "handle discarded" in found[0].message
+
+
+def test_untracked_bad_loop_create_task_method():
+    src = """
+        async def serve(loop, conn):
+            loop.create_task(conn.pump())
+    """
+    assert "async-untracked-task" in rules_in(src)
+
+
+def test_untracked_bad_bare_local_coroutine_call():
+    src = """
+        async def pump():
+            pass
+
+        def start():
+            pump()
+    """
+    found = findings_for(src, "async-untracked-task")
+    assert len(found) == 1
+    assert "never" in found[0].message and "awaited" in found[0].message
+
+
+def test_untracked_good_stored_awaited_or_gathered():
+    src = """
+        import asyncio
+
+        async def pump():
+            pass
+
+        async def serve(conn):
+            task = asyncio.create_task(conn.pump())
+            await pump()
+            results = await asyncio.gather(task)
+            return results
+    """
+    assert rules_in(src) == []
+
+
+# ---------------------------------------------------------- async-legacy
+def test_legacy_bad_get_event_loop_and_ensure_future():
+    src = """
+        import asyncio
+
+        def schedule(coro):
+            loop = asyncio.get_event_loop()
+            handle = asyncio.ensure_future(coro)
+            return loop, handle
+    """
+    found = rules_in(src)
+    assert found.count("async-legacy") == 2
+
+
+def test_legacy_good_modern_apis():
+    src = """
+        import asyncio
+
+        async def schedule(coro):
+            loop = asyncio.get_running_loop()
+            task = loop.create_task(coro)
+            return task
+    """
+    assert "async-legacy" not in rules_in(src)
+
+
+# ------------------------------------------------------------ integration
+def test_async_rules_clean_on_the_real_runtime():
+    """The shipped rt/ package must lint clean (fixes + justified
+    pragmas); this is the acceptance criterion that the rules run, with
+    teeth, on the code they were written for."""
+    from pathlib import Path
+
+    from repro.analysis import lint_paths
+
+    pkg = Path(__file__).resolve().parents[2] / "src" / "repro"
+    findings = [
+        f
+        for f in lint_paths([pkg / "rt"], package_root=pkg)
+        if f.rule.startswith("async-")
+    ]
+    assert findings == [], [f.render() for f in findings]

@@ -32,6 +32,10 @@ def test_pyproject_declares_the_typing_gate():
     assert '"repro.core"' in pyproject
     assert '"repro.sim"' in pyproject
     assert '"repro.wire"' in pyproject
+    assert '"repro.shard"' in pyproject
+    # the live async runtime joined the gate with the concurrency-
+    # verification pass
+    assert '"repro.rt"' in pyproject
 
 
 def test_mypy_clean_on_strict_packages():

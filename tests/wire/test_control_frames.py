@@ -1,0 +1,86 @@
+"""RESET/EOS control frames must be bodyless — loudly, not silently.
+
+Regression for the splitter's resync hazard: a corrupted (or malicious)
+header claiming a body on a bodyless control frame used to make the
+splitter swallow the *following frames' bytes* as that body and resync
+past them — frames vanished with no error.  The splitter now rejects
+the header at the frame boundary, and the decoder independently rejects
+a RESET/EOS body that somehow arrives with trailing bytes.
+"""
+
+import pytest
+
+from repro.wire import (
+    EOS,
+    HEADER,
+    MAGIC,
+    RESET,
+    T_EOS,
+    T_EVENT,
+    T_RESET,
+    WIRE_VERSION,
+    FrameSplitter,
+    WireDecoder,
+    WireEncoder,
+    WireError,
+)
+from repro.core.events import UpdateEvent
+
+
+def _frame(mtype: int, body: bytes = b"") -> bytes:
+    return HEADER.pack(MAGIC, WIRE_VERSION, mtype, 0, len(body)) + body
+
+
+def _event_frame() -> bytes:
+    event = UpdateEvent(kind="status", stream="faa", seqno=1, key="F1",
+                        payload={"status": "boarding"})
+    return WireEncoder().encode_event(event)
+
+
+def test_bodyless_control_frames_still_split_and_decode():
+    splitter = FrameSplitter()
+    decoder = WireDecoder()
+    frames = list(splitter.feed(_frame(T_RESET) + _frame(T_EOS)))
+    assert [m for m, _ in frames] == [T_RESET, T_EOS]
+    assert decoder.decode_body(T_RESET, b"") is RESET
+    assert decoder.decode_body(T_EOS, b"") is EOS
+
+
+@pytest.mark.parametrize("mtype", [T_RESET, T_EOS])
+def test_splitter_rejects_control_frame_claiming_a_body(mtype):
+    splitter = FrameSplitter()
+    with pytest.raises(WireError, match="bodyless"):
+        list(splitter.feed(_frame(mtype, b"\x00\x01")))
+
+
+def test_reset_mid_stream_with_body_would_have_swallowed_next_frame():
+    """The pre-fix failure mode, demonstrated: a RESET header whose
+    length covers the next frame makes a naive splitter consume the
+    following EVENT frame as the RESET's body — the event is silently
+    lost.  The fix turns that into a loud WireError at the splitter."""
+    event_frame = _event_frame()
+    reset_header = HEADER.pack(
+        MAGIC, WIRE_VERSION, T_RESET, 0, len(event_frame)
+    )
+    splitter = FrameSplitter()
+    with pytest.raises(WireError, match="bodyless"):
+        list(splitter.feed(reset_header + event_frame))
+
+
+@pytest.mark.parametrize("mtype", [T_RESET, T_EOS])
+def test_decoder_rejects_control_body_bytes(mtype):
+    # defence in depth below the splitter: decode_body checks too
+    with pytest.raises(WireError, match="trailing"):
+        WireDecoder().decode_body(mtype, b"\x00")
+
+
+def test_legitimate_reset_still_resets_decoder_state():
+    decoder = WireDecoder()
+    frame1 = _event_frame()
+    splitter = FrameSplitter()
+    msgs = []
+    stream = frame1 + _frame(T_RESET) + _event_frame()
+    for mtype, body in splitter.feed(stream):
+        msgs.append(decoder.decode_body(mtype, bytes(body)))
+    assert msgs[1] is RESET
+    assert msgs[0].key == msgs[2].key == "F1"
