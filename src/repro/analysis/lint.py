@@ -61,6 +61,7 @@ __all__ = [
 #: deterministic sim (measured-size probes) and the socket runtime.
 STRICT_PACKAGES = (
     "core", "sim", "ois", "cluster", "channels", "faults", "wire", "shard",
+    "sub",
 )
 
 #: Modules on the per-event hot path: event/timestamp/queue/kernel
@@ -72,6 +73,7 @@ HOT_MODULES = (
     "sim/kernel.py",
     "faults/plan.py",
     "faults/detector.py",
+    "sub/engine.py",
 )
 
 #: Path prefixes exempt from the wall-clock rules: the asyncio runtime

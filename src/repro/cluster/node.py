@@ -77,6 +77,12 @@ class CostModel:
     #: serialization cost for sending any message over a real link
     ser_fixed: float = 2e-6
     ser_per_byte: float = 0.5e-9
+    #: probe one distributed update against the subscription index (the
+    #: indexed engine is ~O(matches), so the probe itself is flat)
+    sub_match_fixed: float = 8e-6
+    #: deliver one matched update to one subscribed client
+    sub_delivery_fixed: float = 4e-6
+    sub_delivery_per_byte: float = 1e-9
 
     def scaled(self, factor: float) -> "CostModel":
         """A uniformly slower/faster machine (e.g. for heterogeneity tests)."""
@@ -128,6 +134,16 @@ class CostModel:
     def ser_cost(self, size: int) -> float:
         """Wire-serialization demand for one outgoing message."""
         return self.ser_fixed + self.ser_per_byte * size
+
+    def sub_match_cost(self) -> float:
+        """Subscription-index probe demand for one distributed update."""
+        return self.sub_match_fixed
+
+    def sub_delivery_cost(self, size: int, matched: int) -> float:
+        """Demand for delivering one update to its ``matched`` clients."""
+        return matched * (
+            self.sub_delivery_fixed + self.sub_delivery_per_byte * size
+        )
 
 
 class Node:

@@ -15,7 +15,7 @@ must never cover an event some EDE has not yet applied.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..cluster import Message, Node, Transport
 from ..metrics import RunMetrics
@@ -65,6 +65,7 @@ class MainUnit:
         snapshot_on_wire: bool = True,
         request_workers: int = 4,
         mirror_config: Optional[MirrorConfig] = None,
+        broker: Optional[Any] = None,
     ):
         if request_workers < 1:
             raise ValueError("request_workers must be >= 1")
@@ -76,6 +77,10 @@ class MainUnit:
         self.distribute_updates = distribute_updates
         self.clients_endpoint = clients_endpoint
         self.client_pool = client_pool
+        #: content-based subscription broker (``repro.sub``): when set,
+        #: the distributing site pays per *matched* delivery on top of
+        #: the flat distribution cost; None keeps the seed's economics
+        self.broker = broker
         #: False models recovering clients reached over their own links
         #: (per-client paths, not the single modelled client ethernet)
         self.snapshot_on_wire = snapshot_on_wire
@@ -176,6 +181,18 @@ class MainUnit:
             if self.distribute_updates:
                 for out in outputs:
                     yield from execute(costs.update_cost(out.size))
+                    # content-based routing: with a broker configured the
+                    # distributing site also pays one index probe plus a
+                    # per-matched-client delivery demand — what makes
+                    # subscription *selectivity* a perturbation knob
+                    broker = self.broker
+                    if broker is not None:
+                        yield from execute(costs.sub_match_cost())
+                        matched = broker.on_distribute(self.site, out)
+                        if matched:
+                            yield from execute(
+                                costs.sub_delivery_cost(out.size, matched)
+                            )
                     # update delay is measured when the EDE *sends* the
                     # update (paper §4.3) — client-link transit is not
                     # part of it, and distribution must not stall the EDE
@@ -291,7 +308,14 @@ class MainUnit:
                 Message(kind="data", payload=snapshot, size=snapshot.size),
             )
         if self.transport.node_down(self.node.name):
-            return  # the site died while the transfer was in flight
+            # the site died while the transfer was in flight: no response
+            # ever reached the client, and the request is already off the
+            # serving list — park it with the dead letters so the failover
+            # supervisor re-issues it against a surviving site
+            self.transport.dead_letters.append(
+                Message(kind="data", payload=request, size=64)
+            )
+            return
         is_delta = getattr(snapshot, "is_delta", False)
         response = InitStateResponse(
             client_id=request.client_id,

@@ -97,6 +97,20 @@ class ScenarioConfig:
     #: modeled ``Message.size``; False keeps every default-config run
     #: byte-identical to the seed
     measured_wire_sizes: bool = False
+    # -- content-based subscriptions (repro.sub) --------------------------
+    #: size of the synthetic subscription population registered with the
+    #: distributing site's broker; 0 keeps the seed's flat-broadcast
+    #: distribution path (and its byte-identical figures) untouched
+    sub_population: int = 0
+    #: expected fraction of flight-keyed events each subscribed client
+    #: receives (each client subscribes to ~selectivity * n_flights
+    #: flights) — the x-axis of the perturbation-vs-selectivity figure
+    sub_selectivity: float = 0.01
+    #: master seed of the population's random substream
+    sub_seed: int = 7
+    #: also evaluate every consulted event against the naive predicate
+    #: oracle and count divergences (chaos drills assert the count is 0)
+    sub_verify: bool = False
     #: hard stop for the simulation (None = run to quiescence)
     time_limit: Optional[float] = None
     #: enable the adaptation controller when the config has monitors
@@ -146,6 +160,12 @@ class ScenarioConfig:
             raise ValueError("delta_client_pool must be >= 0")
         if any(f <= 0 for f in self.mirror_speed_factors):
             raise ValueError("mirror speed factors must be positive")
+        if self.sub_population < 0:
+            raise ValueError("sub_population must be >= 0")
+        if self.sub_population and not 0.0 < self.sub_selectivity <= 1.0:
+            raise ValueError(
+                f"sub_selectivity must be in (0, 1], got {self.sub_selectivity}"
+            )
         if self.heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
         if not 0.0 <= self.heartbeat_jitter < 1.0:
@@ -213,6 +233,23 @@ class MirroredServer:
         self.client_pool = ClientPool()
         self.transport.register("clients.sink", self.clients_node)
 
+        # content-based subscription broker (deferred import: the seed's
+        # flat-broadcast distribution path never pays for repro.sub)
+        self.broker = None
+        if cfg.sub_population > 0:
+            from ..sim.rng import RandomStreams
+            from ..sub.broker import SubscriptionBroker, build_population
+
+            self.broker = SubscriptionBroker(verify=cfg.sub_verify)
+            self.broker.populate(
+                build_population(
+                    cfg.sub_population,
+                    self.script.flight_keys(),
+                    cfg.sub_selectivity,
+                    RandomStreams(cfg.sub_seed).stream("subscriptions"),
+                )
+            )
+
         # main units (the central one distributes updates to clients)
         self.central_main = MainUnit(
             env, "central", self.central_node, self.transport, self.metrics,
@@ -222,6 +259,7 @@ class MirroredServer:
             snapshot_on_wire=cfg.snapshot_on_wire,
             request_workers=cfg.request_workers,
             mirror_config=cfg.mirror_config,
+            broker=self.broker,
         )
         self.mirror_mains = [
             MainUnit(
@@ -232,6 +270,7 @@ class MirroredServer:
                 snapshot_on_wire=cfg.snapshot_on_wire,
                 request_workers=cfg.request_workers,
                 mirror_config=cfg.mirror_config,
+                broker=self.broker,
             )
             for node in self.mirror_nodes
         ]
@@ -506,6 +545,11 @@ class MirroredServer:
         }
         if not self.metrics.rule_stats:
             self.metrics.rule_stats = self.central_aux.engine.stats()
+        if self.broker is not None:
+            self.metrics.sub_events_consulted = self.broker.events_consulted
+            self.metrics.sub_deliveries = self.broker.deliveries
+            self.metrics.sub_reregistrations = self.broker.reregistrations
+            self.metrics.sub_oracle_mismatches = self.broker.oracle_mismatches
         if self.fault_injector is not None:
             self.fault_injector.finalize(self.metrics)
         if self.failover_supervisor is not None:

@@ -2,10 +2,20 @@
 
 ``figure4`` … ``figure9`` each expose ``run(quick=True) -> FigureResult``
 regenerating the corresponding figure's series plus shape checks;
-``ablations`` sweeps the design parameters DESIGN.md calls out.
+``subselect`` is the subscription-layer extension sweep (not from the
+paper); ``ablations`` sweeps the design parameters DESIGN.md calls out.
 """
 
-from . import ablations, figure4, figure5, figure6, figure7, figure8, figure9
+from . import (
+    ablations,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    subselect,
+)
 from .common import FigureResult, ShapeCheck
 
 ALL_FIGURES = {
@@ -15,6 +25,7 @@ ALL_FIGURES = {
     "figure7": figure7,
     "figure8": figure8,
     "figure9": figure9,
+    "subselect": subselect,
 }
 
 __all__ = [
@@ -25,6 +36,7 @@ __all__ = [
     "figure7",
     "figure8",
     "figure9",
+    "subselect",
     "FigureResult",
     "ShapeCheck",
     "ALL_FIGURES",

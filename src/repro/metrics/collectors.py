@@ -118,6 +118,16 @@ class RunMetrics:
     wire_bytes_encoded: int = 0
     #: payload types without a wire encoding (charged modeled size)
     wire_encode_fallbacks: int = 0
+    # -- content-based subscription accounting (repro.sub; zero on
+    #    default runs, which keeps summary() byte-identical) --------------
+    #: distributed updates probed against the subscription index
+    sub_events_consulted: int = 0
+    #: per-client matched deliveries charged by the broker economics
+    sub_deliveries: int = 0
+    #: whole-population re-registrations after distribution moved sites
+    sub_reregistrations: int = 0
+    #: indexed-vs-naive-oracle divergences (sub_verify runs; must be 0)
+    sub_oracle_mismatches: int = 0
     #: per-node CPU utilisation at end of run
     cpu_utilization: Dict[str, float] = field(default_factory=dict)
     #: optional control-plane trace (ScenarioConfig(trace=True))

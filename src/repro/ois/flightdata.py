@@ -71,6 +71,10 @@ class EventScript:
         """Stream names appearing in the script, sorted."""
         return sorted({se.event.stream for se in self._entries})
 
+    def flight_keys(self) -> List[str]:
+        """Distinct flight keys, sorted (subscription-population base)."""
+        return sorted({se.event.key for se in self._entries})
+
     def fresh_events(self) -> Iterator[ScriptedEvent]:
         """Yield brand-new event instances for one replay of the script."""
         for se in self._entries:

@@ -67,6 +67,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="workload: position fixes per flight (default 50)")
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument(
+        "--subscribers", type=int, default=0,
+        help="attach N push subscribers with flight-scoped predicates "
+             "(round-robin over the workload's flights; default 0)",
+    )
+    parser.add_argument(
         "--loop", choices=("asyncio", "uvloop"), default="asyncio",
         help="event-loop implementation; uvloop is opportunistic and "
              "falls back to the stdlib loop when not installed",
@@ -82,6 +87,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         raise SystemExit("--shards and --handoffs must be >= 0")
     if args.shards and args.net != "tcp":
         raise SystemExit("--shards requires --net tcp")
+    if args.subscribers < 0:
+        raise SystemExit("--subscribers must be >= 0")
+    if args.subscribers and args.net != "tcp":
+        raise SystemExit("--subscribers requires --net tcp")
+    if args.subscribers and args.processes:
+        raise SystemExit("--subscribers is not plumbed through --processes")
     from .net import install_event_loop
 
     loop_impl = install_event_loop(args.loop)
@@ -94,6 +105,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     )
     request_times: List[float] = [0.0] * args.requests
+    subscribers: List[tuple] = []
+    if args.subscribers:
+        from ..sub.predicate import ByFlight
+
+        flights = sorted({se.event.key for se in script.fresh_events()})
+        subscribers = [
+            (f"sub-{i}", ByFlight(flights[i % len(flights)]))
+            for i in range(args.subscribers)
+        ]
 
     if args.shards:
         from .shards import ShardProcessRunner, run_sharded_scenario
@@ -117,6 +137,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 n_mirrors=args.mirrors,
                 strategy=args.strategy,
                 request_keys=request_keys[: args.requests],
+                subscriptions=subscribers,
             )
         )
         payload = asdict(summary)
@@ -143,6 +164,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 script=script,
                 n_mirrors=args.mirrors,
                 request_times=request_times,
+                subscribers=subscribers,
             )
         )
         payload = asdict(summary)

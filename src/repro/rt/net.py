@@ -75,6 +75,8 @@ from ..core.functions import default_registry, simple_mirroring
 from ..ois.clients import InitStateRequest, InitStateResponse
 from ..ois.flightdata import EventScript, FlightDataConfig, generate_script
 from ..shard.handoff import ShardControl
+from ..sub.messages import SubAck, Subscribe, Unsubscribe
+from ..sub.registry import SubscriptionRegistry
 from ..wire import (
     EOS as WIRE_EOS,
     RESET as WIRE_RESET,
@@ -94,6 +96,7 @@ __all__ = [
     "NetRunSummary",
     "NetCentral",
     "NetMirror",
+    "SubscriptionFanout",
     "run_net_scenario",
     "NetProcessRunner",
     "install_event_loop",
@@ -143,6 +146,11 @@ class WireStats:
     frames_shared: int = 0
     shared_encodes_saved: int = 0
     shared_resets: int = 0
+    sub_acks: int = 0
+    sub_frames_sent: int = 0
+    sub_events_delivered: int = 0
+    sub_encodes_saved: int = 0
+    sub_resets: int = 0
 
     def merge(self, other: "WireStats") -> None:
         self.bytes_sent += other.bytes_sent
@@ -162,6 +170,11 @@ class WireStats:
         self.frames_shared += other.frames_shared
         self.shared_encodes_saved += other.shared_encodes_saved
         self.shared_resets += other.shared_resets
+        self.sub_acks += other.sub_acks
+        self.sub_frames_sent += other.sub_frames_sent
+        self.sub_events_delivered += other.sub_events_delivered
+        self.sub_encodes_saved += other.sub_encodes_saved
+        self.sub_resets += other.sub_resets
 
 
 @dataclass
@@ -169,6 +182,8 @@ class NetRunSummary(AsyncRunSummary):
     """Live-run summary plus wire-level accounting."""
 
     wire: WireStats = field(default_factory=WireStats)
+    #: per-subscriber result dicts (client_id, acks, received events)
+    subscriber_results: List[Dict[str, Any]] = field(default_factory=list)
 
 
 class AdaptiveFlusher:
@@ -412,6 +427,9 @@ class NetCentral:
         self._data_sub = self.site.mirror_channel.subscribe("net.uplink")
         self._ctrl_sub = self.site.ctrl_channel.subscribe("net.uplink")
         self.shared = SharedFrameCache()
+        #: content-based subscription fan-out riding the same push path;
+        #: inert (guarded no-ops) until a subscriber connects
+        self.subfan = SubscriptionFanout(self.stats)
         self._eos_pending = 2  # data channel + control channel
         self._broadcast_tasks: List[asyncio.Task] = []
 
@@ -457,10 +475,16 @@ class NetCentral:
                     continue
                 # EOS bypasses fault injection (a chaos-dropped shutdown
                 # frame would wedge the topology, not exercise it)
+                self.subfan.eos()
                 self._distribute(
                     "eos", None if faulty else self.shared.encode_eos()
                 )
                 break
+            if kind == "data":
+                # subscription lane: matched-set fan-out on the same
+                # payload the mirrors get (link faults model the
+                # central->mirror links, not the subscriber port)
+                self.subfan.fanout(payload)
             if faulty:
                 self._distribute(kind, payload)
                 continue
@@ -481,6 +505,8 @@ class NetCentral:
             await self._serve_mirror(hello.name, writer, frames)
         elif hello.role == "client":
             await _serve_client(self.site.main, writer, frames, self.stats)
+        elif hello.role == "subscriber":
+            await _serve_subscriber(self.subfan, hello.name, writer, frames)
         elif hello.role == "source":
             await self._serve_source(writer, frames)
         else:
@@ -675,6 +701,7 @@ class NetCentral:
             await asyncio.gather(*tasks, return_exceptions=True)
             self.stats.frames_shared += self.shared.frames_shared
             self.stats.shared_encodes_saved += self.shared.encodes_saved
+            self.subfan.collect_shared_stats()
         server, self._server = self._server, None
         if server is not None:
             server.close()
@@ -704,6 +731,11 @@ def _tracked_handler(
         registry.append(task)
         try:
             await handler(reader, writer)
+        except asyncio.CancelledError:
+            # close-time cancellation of a still-open connection (e.g. a
+            # subscriber that outlives the stream) is a normal shutdown
+            # path, not an error for the loop's exception handler
+            writer.close()
         finally:
             registry.remove(task)
 
@@ -767,6 +799,11 @@ class _FrameReader:
                     self._pending.append(msg)
         return self._pending.popleft()
 
+    def push_back(self, msg: Any) -> None:
+        """Return a peeked message so the next ``next_message`` call
+        hands it out again (role dispatch reads one frame ahead)."""
+        self._pending.appendleft(msg)
+
 
 async def _serve_client(
     main: Any, writer: asyncio.StreamWriter,
@@ -798,6 +835,311 @@ async def _serve_client(
         writer.close()
 
 
+#: A standalone RESET frame (constant bytes): dropped onto a subscriber
+#: connection whenever the next frame will come from a *different*
+#: encoder than the last one, so the connection's single decoder never
+#: sees interning references into a table it does not hold.
+_RESET_FRAME = WireEncoder().reset()
+
+
+class _SubscriberConn:
+    """Server-side handle for one subscriber connection.
+
+    ``encoder`` is the per-connection ack encoder; every ack is fenced
+    with its RESET (see :class:`SubscriptionFanout`).  ``client_ids``
+    tracks which clients registered *via* this connection — a plain
+    subscriber registers itself, the sharded ingress router proxies many
+    clients over one connection.
+    """
+
+    __slots__ = ("conn_id", "name", "writer", "encoder", "client_ids", "group")
+
+    def __init__(self, conn_id: str, name: str, writer: asyncio.StreamWriter):
+        self.conn_id = conn_id
+        self.name = name
+        self.writer = writer
+        self.encoder = WireEncoder()
+        self.client_ids: Dict[str, bool] = {}
+        self.group: Optional["_SubGroup"] = None
+
+
+class _SubGroup:
+    """One subscription group: every member connection carries the same
+    combined predicate signature, so matched events are encoded once on
+    the group's :class:`~repro.wire.SharedFrameCache` and the immutable
+    bytes fan out to all members."""
+
+    __slots__ = ("signature", "cache", "members")
+
+    def __init__(self, signature: str):
+        self.signature = signature
+        self.cache = SharedFrameCache()
+        self.members: Dict[str, _SubscriberConn] = {}
+
+
+class SubscriptionFanout:
+    """Per-subscription-group push fan-out for one serving site.
+
+    The broadcast path stays untouched: mirrors receive the whole
+    mirrored stream as before.  Subscriber connections instead receive
+    only the events their predicates match, grouped by canonical
+    signature — all connections that asked for the same slice share one
+    :class:`~repro.wire.SharedFrameCache`, so each distinct matched-set
+    is encoded exactly once per event no matter how many subscribers
+    hold it (the Gryphon broker shape).
+
+    Encoder-switch discipline: a connection's decoder holds exactly one
+    interning/uid state, but a subscriber connection receives frames
+    from two encoders (its ack encoder and its group's shared cache).
+    Every switch is fenced with a RESET — acks are always preceded by
+    the ack encoder's RESET, and joining a group always lands a RESET
+    (the cache's own when it was dirty, a bare one otherwise) before
+    any group frame.
+
+    With no subscribers every method is a guarded no-op, so the default
+    topology's byte stream is untouched.
+    """
+
+    def __init__(self, stats: WireStats):
+        self.registry = SubscriptionRegistry()
+        self.stats = stats
+        self._groups: Dict[str, _SubGroup] = {}
+        self._conn_of: Dict[str, _SubscriberConn] = {}
+        #: wire sub_ids are client-scoped (every client counts from 1);
+        #: registry ids are global — map client -> wire id -> registry id
+        self._wire_ids: Dict[str, Dict[int, int]] = {}
+        self._next_conn = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(self._groups)
+
+    def group_count(self) -> int:
+        return len(self._groups)
+
+    # -- connection lifecycle -------------------------------------------
+    def attach(self, name: str, writer: asyncio.StreamWriter) -> _SubscriberConn:
+        self._next_conn += 1
+        return _SubscriberConn(f"{name}#{self._next_conn}", name, writer)
+
+    def drop(self, conn: _SubscriberConn) -> None:
+        """Connection gone: its clients' subscriptions die with it (a
+        reconnecting client re-registers, which is the failover story)."""
+        self._leave_group(conn)
+        for client_id in list(conn.client_ids):
+            self.registry.unsubscribe(client_id)
+            self._wire_ids.pop(client_id, None)
+            if self._conn_of.get(client_id) is conn:
+                del self._conn_of[client_id]
+        conn.client_ids.clear()
+
+    # -- control plane ---------------------------------------------------
+    def apply(self, conn: _SubscriberConn, msg: Any) -> None:
+        """Apply one SUBSCRIBE/UNSUBSCRIBE, write the fenced ack, and
+        regroup the connection (all synchronous: membership and cache
+        state never straddle an await)."""
+        stats = self.stats
+        if isinstance(msg, Subscribe):
+            table = self._wire_ids.setdefault(msg.client_id, {})
+            sub = self.registry.subscribe_nodes(
+                msg.client_id, msg.nodes, table.get(msg.sub_id)
+            )
+            table[msg.sub_id] = sub.sub_id
+            conn.client_ids[msg.client_id] = True
+            self._conn_of[msg.client_id] = conn
+            ack_sub = msg.sub_id
+        else:
+            table = self._wire_ids.get(msg.client_id, {})
+            if msg.sub_id is None:
+                self.registry.unsubscribe(msg.client_id)
+                self._wire_ids.pop(msg.client_id, None)
+            else:
+                internal = table.pop(msg.sub_id, None)
+                if internal is not None:
+                    self.registry.unsubscribe(msg.client_id, internal)
+                if not table:
+                    self._wire_ids.pop(msg.client_id, None)
+            ack_sub = msg.sub_id if msg.sub_id is not None else 0
+            if not self.registry.active_count(msg.client_id):
+                conn.client_ids.pop(msg.client_id, None)
+                self._conn_of.pop(msg.client_id, None)
+        active = self.registry.active_count(msg.client_id)
+        self._write(conn, conn.encoder.reset())
+        stats.sub_resets += 1
+        self._write(
+            conn, conn.encoder.encode_sub_ack(SubAck(msg.client_id, ack_sub, active))
+        )
+        stats.sub_acks += 1
+        stats.sub_frames_sent += 2
+        self._regroup(conn)
+
+    def _write(self, conn: _SubscriberConn, frame: bytes) -> None:
+        self.stats.bytes_sent += len(frame)
+        conn.writer.write(frame)
+
+    def _leave_group(self, conn: _SubscriberConn) -> None:
+        group = conn.group
+        if group is None:
+            return
+        group.cache.detach(conn.conn_id)
+        del group.members[conn.conn_id]
+        if not group.members:
+            self.stats.sub_encodes_saved += group.cache.encodes_saved
+            del self._groups[group.signature]
+        conn.group = None
+
+    def _regroup(self, conn: _SubscriberConn) -> None:
+        """Move the connection to the group keyed by its combined
+        signature, fencing its decoder with a RESET on every join."""
+        sigs = sorted(
+            sig
+            for sig in (
+                self.registry.client_signature(c) for c in conn.client_ids
+            )
+            if sig
+        )
+        combined = "|".join(sigs)
+        if conn.group is not None and conn.group.signature == combined:
+            return
+        self._leave_group(conn)
+        if not combined:
+            return
+        group = self._groups.get(combined)
+        if group is None:
+            group = self._groups[combined] = _SubGroup(combined)
+        group.members[conn.conn_id] = conn
+        conn.group = group
+        reset_frame = group.cache.attach(conn.conn_id)
+        self.stats.sub_resets += 1
+        if reset_frame is not None:
+            # dirty cache: every member's decoder restarts together
+            for member in group.members.values():
+                self._write(member, reset_frame)
+                self.stats.sub_frames_sent += 1
+        else:
+            # clean cache, but THIS decoder holds ack/old-group state
+            self._write(conn, _RESET_FRAME)
+            self.stats.sub_frames_sent += 1
+
+    # -- data plane ------------------------------------------------------
+    def fanout(self, payload: Any) -> None:
+        """Push ``payload``'s matched events to subscriber groups.
+
+        One engine pass per event yields the matched clients; their
+        groups each encode their matched subset once.  Writes are
+        unpaced ``StreamWriter.write`` calls — subscriber volume is the
+        *matched* stream, which selectivity keeps small by design.
+        """
+        if not self._groups:
+            return
+        if isinstance(payload, EventBatch):
+            events: Sequence[UpdateEvent] = payload.events
+        elif isinstance(payload, UpdateEvent):
+            events = (payload,)
+        else:
+            return
+        per_group: Dict[str, List[UpdateEvent]] = {}
+        match_clients = self.registry.match_clients
+        conn_of = self._conn_of
+        for event in events:
+            hit: Dict[str, bool] = {}
+            for client_id in match_clients(event):
+                conn = conn_of.get(client_id)
+                group = conn.group if conn is not None else None
+                if group is not None and group.signature not in hit:
+                    hit[group.signature] = True
+                    per_group.setdefault(group.signature, []).append(event)
+        stats = self.stats
+        for sig, matched in per_group.items():
+            group = self._groups[sig]
+            t0 = time.perf_counter_ns()
+            if len(matched) == 1:
+                frame = group.cache.encode(matched[0])
+            else:
+                frame = group.cache.encode(EventBatch(list(matched)))
+            stats.encode_ns += time.perf_counter_ns() - t0
+            fan = len(group.members)
+            stats.sub_frames_sent += fan
+            stats.sub_events_delivered += len(matched) * fan
+            for member in group.members.values():
+                self._write(member, frame)
+
+    def eos(self) -> None:
+        """End of stream: every group's members get a shared EOS frame
+        (connections without a live subscription end at socket close)."""
+        for group in self._groups.values():
+            frame = group.cache.encode_eos()
+            for member in group.members.values():
+                self._write(member, frame)
+                self.stats.sub_frames_sent += 1
+
+    def collect_shared_stats(self) -> None:
+        """Fold the live groups' shared-encode savings into stats
+        (emptied groups already folded theirs at teardown)."""
+        for group in self._groups.values():
+            self.stats.sub_encodes_saved += group.cache.encodes_saved
+
+
+async def _serve_subscriber(
+    fanout: SubscriptionFanout, name: str,
+    writer: asyncio.StreamWriter, frames: _FrameReader,
+) -> None:
+    """Serve one subscriber connection: SUBSCRIBE/UNSUBSCRIBE frames in,
+    fenced SUB_ACKs plus the matched event stream out."""
+    conn = fanout.attach(name, writer)
+    try:
+        while True:
+            msg = await frames.next_message()
+            if msg is None or msg == WIRE_EOS:
+                break
+            if isinstance(msg, (Subscribe, Unsubscribe)):
+                fanout.apply(conn, msg)
+                await writer.drain()
+    finally:
+        fanout.drop(conn)
+        writer.close()
+
+
+async def _run_subscriber(
+    host: str, port: int, client_id: str, predicates: Sequence[Any],
+    stats: WireStats, ready: Optional[asyncio.Event] = None,
+) -> Dict[str, Any]:
+    """Subscriber client: register ``predicates``, then collect every
+    pushed matched event until EOS.  ``ready`` is set once all acks are
+    in — callers gate the source on it so no matched event is missed."""
+    reader, writer = await asyncio.open_connection(host, port)
+    encoder = WireEncoder()
+    writer.write(encoder.encode_hello(Hello("subscriber", client_id)))
+    stats.frames_sent += 1
+    for i, pred in enumerate(predicates):
+        frame = encoder.encode_message(
+            Subscribe.from_predicate(client_id, i + 1, pred)
+        )
+        stats.frames_sent += 1
+        stats.bytes_sent += len(frame)
+        writer.write(frame)
+    await writer.drain()
+    frames = _FrameReader(reader, stats)
+    acks = 0
+    events: List[UpdateEvent] = []
+    while True:
+        msg = await frames.next_message()
+        if msg is None or msg == WIRE_EOS:
+            break
+        if isinstance(msg, SubAck):
+            acks += 1
+            if ready is not None and acks >= len(predicates):
+                ready.set()
+        elif isinstance(msg, EventBatch):
+            events.extend(msg.events)
+        elif isinstance(msg, UpdateEvent):
+            events.append(msg)
+    writer.close()
+    if ready is not None:
+        ready.set()  # never leave the caller gated on a dead connection
+    return {"client_id": client_id, "acks": acks, "events": events}
+
+
 class NetMirror:
     """Mirror site connected to the central server over TCP.
 
@@ -825,17 +1167,31 @@ class NetMirror:
         self.port: Optional[int] = None
         self._client_server: Optional[asyncio.base_events.Server] = None
         self._conn_tasks: List[asyncio.Task] = []
+        #: subscription fan-out over this mirror's client port — the
+        #: "mirror as content broker" half of the story
+        self.subfan = SubscriptionFanout(self.stats)
 
     async def serve_clients(self, host: str = "127.0.0.1", port: int = 0) -> int:
-        """Open this mirror's own client-facing port."""
+        """Open this mirror's own client-facing port.
+
+        The port serves two roles, told apart by the HELLO preamble:
+        thin clients asking for initial state (REQUEST/RESPONSE) and
+        subscribers registering predicates for the matched push stream.
+        """
 
         async def handle(
             reader: asyncio.StreamReader, writer: asyncio.StreamWriter
         ) -> None:
-            await _serve_client(
-                self.site.main, writer,
-                _FrameReader(reader, self.stats), self.stats,
-            )
+            frames = _FrameReader(reader, self.stats)
+            first = await frames.next_message()
+            if isinstance(first, Hello) and first.role == "subscriber":
+                await _serve_subscriber(self.subfan, first.name, writer, frames)
+                return
+            if first is not None and first != WIRE_EOS:
+                # request path: hand the peeked frame back (the serve
+                # loop ignores a client HELLO, as before)
+                frames.push_back(first)
+            await _serve_client(self.site.main, writer, frames, self.stats)
 
         self._client_server = await asyncio.start_server(
             _tracked_handler(handle, self._conn_tasks), host, port
@@ -881,6 +1237,7 @@ class NetMirror:
         if server is not None:
             server.close()
             await server.wait_closed()
+            self.subfan.collect_shared_stats()
         await _cancel_tracked(self._conn_tasks)
 
     async def _reader_loop(self, reader: asyncio.StreamReader) -> None:
@@ -889,12 +1246,14 @@ class NetMirror:
             msg = await frames.next_message()
             if msg is None or msg == WIRE_EOS:
                 # clean EOS, or central vanished: end of stream either way
+                self.subfan.eos()
                 await self.data_sub.put(EOS)
                 await self.ctrl_sub.put(EOS)
                 break
             if isinstance(msg, (UpdateEvent, EventBatch, ShardControl)):
                 # handoff control frames take the DATA path: their whole
                 # contract is ordering against the event stream
+                self.subfan.fanout(msg)
                 await self.data_sub.put(msg)
                 self.data_sub.delivered += 1
             else:
@@ -974,10 +1333,17 @@ async def run_net_scenario(
     snapshot_fast_path: bool = False,
     fault_controller: Optional["LinkFaultController"] = None,
     flusher_options: Optional[Dict[str, Any]] = None,
+    subscribers: Sequence[Tuple[str, Any]] = (),
     host: str = "127.0.0.1",
 ) -> NetRunSummary:
     """Run one full scenario over real loopback sockets (single event
-    loop, every byte through TCP)."""
+    loop, every byte through TCP).
+
+    ``subscribers`` is a sequence of ``(client_id, predicate)`` pairs:
+    each opens a subscriber connection (round-robin over the mirror
+    client ports, the central port when mirror-less), registers its
+    predicate, and collects the matched push stream; all registrations
+    are acked before the source starts, so delivery is complete."""
     if script is None:
         script = generate_script(FlightDataConfig())
     central = NetCentral(
@@ -1005,6 +1371,7 @@ async def run_net_scenario(
     mirror_tasks: List[asyncio.Task] = []
     central_tasks: List[asyncio.Task] = []
     drivers: List[asyncio.Task] = []
+    sub_tasks: List[asyncio.Task] = []
     client_task = None
     client_stats = WireStats()
     try:
@@ -1028,6 +1395,24 @@ async def run_net_scenario(
             asyncio.create_task(m.run(host, port)) for m in mirrors
         ]
         await central.mirrors_connected.wait()
+
+        if subscribers:
+            sub_ready: List[asyncio.Event] = []
+            for i, (sub_client, predicate) in enumerate(subscribers):
+                ready = asyncio.Event()
+                sub_ready.append(ready)
+                sub_tasks.append(
+                    asyncio.create_task(
+                        _run_subscriber(
+                            host, client_ports[i % len(client_ports)],
+                            sub_client, [predicate], client_stats,
+                            ready=ready,
+                        )
+                    )
+                )
+            # every subscription acked before the first event flows
+            for ready in sub_ready:
+                await ready.wait()
 
         site = central.site
         central_tasks = [
@@ -1064,6 +1449,7 @@ async def run_net_scenario(
         await asyncio.gather(*mirror_tasks)
         await site.ctrl_in.put(EOS)
         await asyncio.gather(*central_tasks)
+        subscriber_results = await asyncio.gather(*sub_tasks)
         await central.close()
     finally:
         # on a clean run everything below is a no-op (tasks done,
@@ -1072,7 +1458,7 @@ async def run_net_scenario(
         # outlives the scenario
         leftovers = [
             task
-            for task in (*drivers, *central_tasks, *mirror_tasks)
+            for task in (*drivers, *central_tasks, *mirror_tasks, *sub_tasks)
             if not task.done()
         ]
         for task in leftovers:
@@ -1119,6 +1505,7 @@ async def run_net_scenario(
         channel_high_watermark=max((s.high_watermark for s in subs), default=0),
         channel_blocked_puts=sum(s.blocked_puts for s in subs),
         wire=stats,
+        subscriber_results=list(subscriber_results),
     )
 
 

@@ -17,6 +17,14 @@ checkpoint rounds and its own failure detector — and puts a thin
 * airport handoffs run the tombstone + transfer protocol of
   :mod:`repro.shard.handoff` over those same ordered connections, so no
   update is lost or duplicated while a flight changes shards;
+* content subscriptions are **scope-routed**: the router registers each
+  client predicate only with the shards that can match it
+  (:func:`~repro.sub.predicate.route_keys` — flight- and airport-pinned
+  predicates go to the owners, unscoped ones go cluster-wide) over one
+  ``subscriber`` connection per shard, and a completed handoff
+  re-registers the moved flight's subscriptions on the new shard
+  *before* the buffered updates ship, so the matched stream is
+  shard-count-invariant;
 * clients fetch the shard map from the router and connect **directly**
   to the owning shard's serving port for snapshots — the router is on
   the ingest path only, never on the read path.
@@ -48,12 +56,14 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import MirrorConfig
-from ..core.events import UpdateEvent
+from ..core.events import EventBatch, UpdateEvent
 from ..faults.detector import FailureDetector, MembershipView
 from ..ois.clients import InitStateRequest, InitStateResponse
 from ..ois.flightdata import EventScript, FlightDataConfig, generate_script
 from ..shard.handoff import RoutingCore, ShardTransfer, merge_digests
 from ..shard.partition import ShardMap, make_partitioner, shard_name
+from ..sub.messages import SubAck, Subscribe
+from ..sub.predicate import Predicate, canonical, route_keys, to_nodes
 from ..wire import EOS as WIRE_EOS, Hello, WireEncoder
 from .net import NetCentral, NetMirror, WireStats, _FrameReader, _join_process
 from .sites import EOS
@@ -103,6 +113,13 @@ class ShardedRunSummary:
     events_per_second: float = 0.0
     wire: WireStats = field(default_factory=WireStats)
     shard_map: Optional[ShardMap] = None
+    subscriptions_registered: int = 0
+    sub_acks: int = 0
+    subs_reregistered: int = 0
+    sub_deliveries: int = 0
+    #: sorted ``(flight_key, kind)`` pairs of every delivered matched
+    #: event — directly comparable across shard counts (digest-style)
+    sub_delivery_log: List[Tuple[str, str]] = field(default_factory=list)
 
 
 class ShardRuntime:
@@ -288,12 +305,36 @@ class IngressRouter:
         self._map_server: Optional[asyncio.base_events.Server] = None
         self.map_port: Optional[int] = None
         self.shard_events: List[int] = [0] * shard_map.n_shards
+        # -- subscription forwarding state --------------------------------
+        self._host = "127.0.0.1"
+        self._ports: List[int] = []
+        #: shard index -> (writer, encoder) of the subscriber connection
+        #: (opened lazily: a shard no predicate can match never gets one)
+        self._sub_conns: Dict[int, Tuple[asyncio.StreamWriter, WireEncoder]] = {}
+        self._sub_readers: List[asyncio.Task] = []
+        #: every registered subscription: client_id, sub_id, nodes,
+        #: scope (route_keys result) and the shards already holding it
+        self._subs: List[Dict[str, Any]] = []
+        #: flight id -> the flight-scoped records that must follow it
+        #: through handoffs
+        self._flight_subs: Dict[str, List[Dict[str, Any]]] = {}
+        self._next_sub_id = 0
+        self._acks_expected = 0
+        self._ack_event = asyncio.Event()
+        self.subs_registered = 0
+        self.sub_acks = 0
+        self.subs_reregistered = 0
+        #: matched events pushed back by the shard brokers, in arrival
+        #: order per shard (the cross-shard union is order-free)
+        self.sub_events: List[UpdateEvent] = []
 
     async def connect(
         self, host: str, ports: Sequence[int], retry_for: float = 30.0
     ) -> None:
         """Open the per-shard source connections (with retry: in process
         mode the shard children are still binding their ports)."""
+        self._host = host
+        self._ports = list(ports)
         for index, port in enumerate(ports):
             reader, writer = await _connect_retry(host, port, retry_for)
             encoder = WireEncoder()
@@ -333,6 +374,146 @@ class IngressRouter:
         self._map_server = await asyncio.start_server(handle, host, port)
         self.map_port = self._map_server.sockets[0].getsockname()[1]
         return self.map_port
+
+    # -- subscriptions ---------------------------------------------------
+    async def register_subscription(
+        self,
+        client_id: str,
+        predicate: Predicate,
+        sub_id: Optional[int] = None,
+    ) -> int:
+        """Register one client predicate with every shard that can match
+        it, and await the brokers' SUB_ACKs.
+
+        Scoped predicates (every disjunct pins a flight or an airport,
+        per :func:`~repro.sub.predicate.route_keys`) go only to the
+        owning shards; unscoped ones register cluster-wide.  On return
+        every relevant broker holds the predicate, so no subsequently
+        routed event can be missed.  Returns the wire ``sub_id``.
+        """
+        if sub_id is None:
+            self._next_sub_id += 1
+            sub_id = self._next_sub_id
+        pred = canonical(predicate)
+        scope = route_keys(pred)
+        rec: Dict[str, Any] = {
+            "client_id": client_id,
+            "sub_id": sub_id,
+            "nodes": to_nodes(pred),
+            "scope": scope,
+            "sent": {},
+        }
+        self._subs.append(rec)
+        self.subs_registered += 1
+        if scope is not None:
+            for flight_id in scope[0]:
+                self._flight_subs.setdefault(flight_id, []).append(rec)
+        await self._send_subscribe(rec, self._sub_targets(scope))
+        return sub_id
+
+    def _sub_targets(
+        self, scope: Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]]
+    ) -> List[int]:
+        """Shard indices a subscription scope registers on right now."""
+        if scope is None:
+            return list(range(self.shard_map.n_shards))
+        flights, airports = scope
+        owners: Dict[int, bool] = {}
+        for flight_id in flights:
+            owners[self.core.owner_of(flight_id)] = True
+        for airport in airports:
+            # only handoff events carry an airport, and a handoff always
+            # lands on the shard owning its target airport — so the
+            # static placement is the one matching shard
+            owners[self.partitioner.owner_of(airport)] = True
+        return sorted(owners)
+
+    async def _ensure_sub_conn(
+        self, index: int
+    ) -> Tuple[asyncio.StreamWriter, WireEncoder]:
+        """Open (once) the subscriber connection to shard ``index``."""
+        conn = self._sub_conns.get(index)
+        if conn is not None:
+            return conn
+        reader, writer = await _connect_retry(self._host, self._ports[index])
+        encoder = WireEncoder()
+        frame = encoder.encode_hello(Hello("subscriber", "router"))
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += len(frame)
+        writer.write(frame)
+        await writer.drain()
+        conn = self._sub_conns[index] = (writer, encoder)
+        self._sub_readers.append(
+            asyncio.create_task(
+                self._sub_reader(index, _FrameReader(reader, self.stats))
+            )
+        )
+        return conn
+
+    async def _send_subscribe(
+        self, rec: Dict[str, Any], targets: Sequence[int]
+    ) -> int:
+        """Send ``rec`` to every target shard not yet holding it; await
+        the acks before returning, so callers can order traffic after
+        the registration."""
+        sent = 0
+        for index in targets:
+            if rec["sent"].get(index):
+                continue
+            writer, encoder = await self._ensure_sub_conn(index)
+            t0 = time.perf_counter_ns()
+            frame = encoder.encode_message(
+                Subscribe(rec["client_id"], rec["sub_id"], rec["nodes"])
+            )
+            self.stats.encode_ns += time.perf_counter_ns() - t0
+            self.stats.frames_sent += 1
+            self.stats.bytes_sent += len(frame)
+            writer.write(frame)
+            await writer.drain()
+            rec["sent"][index] = True
+            sent += 1
+        if sent:
+            self._acks_expected += sent
+            while self.sub_acks < self._acks_expected:
+                self._ack_event.clear()
+                if self.sub_acks >= self._acks_expected:
+                    break
+                await self._ack_event.wait()
+        return sent
+
+    async def _sub_reader(self, index: int, frames: _FrameReader) -> None:
+        """Consume one shard's matched push stream (acks + events)."""
+        while True:
+            msg = await frames.next_message()
+            if msg is None or msg == WIRE_EOS:
+                break
+            if isinstance(msg, SubAck):
+                self.sub_acks += 1
+                self._ack_event.set()
+            elif isinstance(msg, EventBatch):
+                self.sub_events.extend(msg.events)
+            elif isinstance(msg, UpdateEvent):
+                self.sub_events.append(msg)
+        # the broker's EOS means its matched stream is complete: hang up
+        # so the shard side can finish serving before it closes
+        conn = self._sub_conns.pop(index, None)
+        if conn is not None:
+            conn[0].close()
+
+    async def _follow_handoff(self, transfer: ShardTransfer) -> None:
+        """A flight changed shards: re-register its flight-scoped
+        subscriptions on the new shard *before* the buffered updates are
+        flushed there, so the new broker cannot miss a matched event.
+        Unscoped subscriptions are already everywhere; the old shard
+        keeps its copy harmlessly (it owns no further events for the
+        flight)."""
+        recs = self._flight_subs.get(transfer.flight_id)
+        if not recs:
+            return
+        for rec in recs:
+            self.subs_reregistered += await self._send_subscribe(
+                rec, (transfer.to_shard,)
+            )
 
     # -- shipping --------------------------------------------------------
     def _write_frame(self, index: int, frame: bytes) -> None:
@@ -379,6 +560,9 @@ class IngressRouter:
             if msg is None or msg == WIRE_EOS:
                 break
             if isinstance(msg, ShardTransfer):
+                # the new shard's broker must hold the moved flight's
+                # subscriptions before any buffered update reaches it
+                await self._follow_handoff(msg)
                 self._ship(self.core.complete(msg))
                 if not self.core.pending:
                     self._idle.set()
@@ -423,25 +607,38 @@ class IngressRouter:
         await self.send_eos()
 
     async def close(self) -> None:
-        for task in self._readers:
+        for task in (*self._readers, *self._sub_readers):
             if not task.done():
                 task.cancel()
-        if self._readers:
-            await asyncio.gather(*self._readers, return_exceptions=True)
+        if self._readers or self._sub_readers:
+            await asyncio.gather(
+                *self._readers, *self._sub_readers, return_exceptions=True
+            )
         self._readers = []
+        self._sub_readers = []
         for writer in self._writers:
             writer.close()
         self._writers = []
+        for writer, _encoder in self._sub_conns.values():
+            writer.close()
+        self._sub_conns = {}
         server, self._map_server = self._map_server, None
         if server is not None:
             server.close()
             await server.wait_closed()
 
     async def wait_readers(self) -> None:
-        """Wait for the shard connections to close (post-EOS)."""
-        if self._readers:
-            await asyncio.gather(*self._readers, return_exceptions=True)
+        """Wait for the shard connections to close (post-EOS).  The
+        subscriber connections end with the shard brokers' own EOS
+        (pushed when each shard's broadcast stream drains), never with a
+        router-sent one — a subscriber EOS would race ahead of matched
+        events still in the shard's pipeline."""
+        if self._readers or self._sub_readers:
+            await asyncio.gather(
+                *self._readers, *self._sub_readers, return_exceptions=True
+            )
             self._readers = []
+            self._sub_readers = []
 
 
 async def _connect_retry(
@@ -535,10 +732,18 @@ async def run_sharded_scenario(
     router_batch: int = 16,
     request_service_delay: float = 0.0,
     snapshot_fast_path: bool = False,
+    subscriptions: Sequence[Tuple[str, Any]] = (),
     host: str = "127.0.0.1",
 ) -> ShardedRunSummary:
     """Run one full sharded scenario in a single event loop (every byte
-    over loopback TCP — the deterministic test/bench shape)."""
+    over loopback TCP — the deterministic test/bench shape).
+
+    ``subscriptions`` is a sequence of ``(client_id, predicate)`` pairs
+    the ingress router registers — scope-routed to the owning shards —
+    and acks before the first event flows; the matched push stream the
+    shard brokers deliver back is summarised in the ``sub_*`` summary
+    fields, whose ``sub_delivery_log`` is comparable across shard
+    counts."""
     if script is None:
         script = generate_script(FlightDataConfig())
     shards = [
@@ -567,6 +772,8 @@ async def run_sharded_scenario(
         router = IngressRouter(shard_map, batch_size=router_batch)
         await router.connect(host, [rt.port for rt in shards])
         map_port = await router.serve_map(host=host)
+        for sub_client, predicate in subscriptions:
+            await router.register_subscription(sub_client, predicate)
         runners = [
             asyncio.create_task(rt.run_to_completion()) for rt in shards
         ]
@@ -633,6 +840,13 @@ async def run_sharded_scenario(
         events_per_second=(len(script) / wall if wall > 0 else 0.0),
         wire=wire,
         shard_map=shard_map,
+        subscriptions_registered=router.subs_registered,
+        sub_acks=router.sub_acks,
+        subs_reregistered=router.subs_reregistered,
+        sub_deliveries=len(router.sub_events),
+        sub_delivery_log=sorted(
+            (event.key, event.kind) for event in router.sub_events
+        ),
     )
 
 

@@ -1,0 +1,74 @@
+"""Content-based subscription routing (the Gryphon-style broker layer).
+
+Mirrors stop being dumb replicas and become information-flow brokers:
+clients register predicates (:mod:`~repro.sub.predicate`), an indexed
+engine (:mod:`~repro.sub.engine`) matches each update against the whole
+population in ~O(matches), and the registry
+(:mod:`~repro.sub.registry`) unifies subscription filters with the
+paper's mirroring rules in one information-flow graph.  The sim-side
+broker (:mod:`~repro.sub.broker`) prices distribution per *matched*
+delivery, which is what turns "millions of clients" from a bandwidth
+statement into a selectivity statement.
+"""
+
+from .broker import SubscriptionBroker, build_population
+from .engine import EngineStats, MatchEngine, NaiveEngine
+from .messages import MATCH_ALL_NODES, SubAck, Subscribe, Unsubscribe
+from .predicate import (
+    CMP_OPS,
+    And,
+    ByAirport,
+    ByFlight,
+    ByKind,
+    FieldCmp,
+    MatchAll,
+    Node,
+    Not,
+    Or,
+    Predicate,
+    canonical,
+    from_nodes,
+    route_keys,
+    signature,
+    to_nodes,
+)
+from .registry import (
+    FlowEdge,
+    FlowNode,
+    InformationFlowGraph,
+    Subscription,
+    SubscriptionRegistry,
+)
+
+__all__ = [
+    "Predicate",
+    "MatchAll",
+    "ByAirport",
+    "ByFlight",
+    "ByKind",
+    "FieldCmp",
+    "And",
+    "Or",
+    "Not",
+    "CMP_OPS",
+    "Node",
+    "to_nodes",
+    "from_nodes",
+    "canonical",
+    "signature",
+    "route_keys",
+    "MatchEngine",
+    "NaiveEngine",
+    "EngineStats",
+    "Subscribe",
+    "Unsubscribe",
+    "SubAck",
+    "MATCH_ALL_NODES",
+    "Subscription",
+    "SubscriptionRegistry",
+    "FlowNode",
+    "FlowEdge",
+    "InformationFlowGraph",
+    "SubscriptionBroker",
+    "build_population",
+]

@@ -1,0 +1,141 @@
+"""Sim-side subscription broker: population synthesis + delivery ledger.
+
+This is the piece the deterministic simulation plugs into the
+distribution loop.  When a scenario configures a subscription
+population (``ScenarioConfig.sub_population > 0``), the central/mirror
+main unit stops paying the flat per-client broadcast cost and instead
+pays *per matched delivery*: one engine probe per distributed event
+plus a delivery cost per matched client — the Gryphon economics the
+perturbation-vs-selectivity figure measures.
+
+The broker also keeps the ledger the chaos drills audit:
+
+* ``events_consulted`` / ``deliveries`` / per-client delivery counts —
+  conservation checks (every distributed update consulted exactly
+  once; matched deliveries add up).
+* ``reregistrations`` — when distribution moves to a new site (failover
+  promoted a mirror), every client's subscriptions are re-registered on
+  the new broker; the drill asserts the full population moved.
+* optional ``verify`` mode — every consulted event is also evaluated
+  against the naive oracle; any divergence counts as a mismatch.
+
+Everything is seeded/deterministic: populations come from a named
+:class:`~repro.sim.rng.RandomStreams` substream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.events import UpdateEvent
+from .predicate import ByFlight, ByKind, Or, Predicate
+from .registry import SubscriptionRegistry
+
+__all__ = ["SubscriptionBroker", "build_population"]
+
+
+def build_population(
+    n_clients: int,
+    flight_ids: Sequence[str],
+    selectivity: float,
+    rng: np.random.Generator,
+    kinds: Sequence[str] = (),
+) -> List[Tuple[str, Predicate]]:
+    """Synthesise ``n_clients`` seeded client predicates.
+
+    Each client subscribes to ``max(1, round(selectivity * n_flights))``
+    distinct flights (an Or of ByFlight atoms) — so ``selectivity`` is
+    the expected fraction of flight-keyed events a client receives —
+    plus optional whole-kind interests shared by every client."""
+    if not flight_ids:
+        raise ValueError("population needs at least one flight")
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+    n_flights = len(flight_ids)
+    per_client = max(1, round(selectivity * n_flights))
+    population: List[Tuple[str, Predicate]] = []
+    for i in range(n_clients):
+        picks = rng.choice(n_flights, size=per_client, replace=False)
+        atoms: List[Predicate] = [
+            ByFlight(flight_ids[int(j)]) for j in sorted(picks)
+        ]
+        atoms.extend(ByKind(k) for k in kinds)
+        pred = atoms[0] if len(atoms) == 1 else Or(tuple(atoms))
+        population.append((f"sub-{i:05d}", pred))
+    return population
+
+
+class SubscriptionBroker:
+    """Registry + delivery ledger wired into the distribute loop."""
+
+    __slots__ = (
+        "registry",
+        "verify",
+        "site",
+        "events_consulted",
+        "matched_events",
+        "deliveries",
+        "reregistrations",
+        "oracle_mismatches",
+        "deliveries_by_client",
+    )
+
+    def __init__(
+        self, registry: Optional[SubscriptionRegistry] = None,
+        verify: bool = False,
+    ) -> None:
+        self.registry = registry if registry is not None else SubscriptionRegistry()
+        self.verify = verify
+        self.site: Optional[str] = None
+        self.events_consulted = 0
+        self.matched_events = 0
+        self.deliveries = 0
+        self.reregistrations = 0
+        self.oracle_mismatches = 0
+        self.deliveries_by_client: Dict[str, int] = {}
+
+    def populate(self, population: Sequence[Tuple[str, Predicate]]) -> None:
+        for client_id, pred in population:
+            self.registry.subscribe(client_id, pred)
+
+    @property
+    def population(self) -> int:
+        return len(self.registry.client_ids())
+
+    def on_distribute(self, site: str, event: UpdateEvent) -> int:
+        """Match one distributed update; returns the delivery count.
+
+        A site change means failover moved distribution to a promoted
+        mirror: the whole client population re-registers there (state
+        lives in this broker, so re-registration is an accounting event
+        whose size the drill asserts)."""
+        if site != self.site:
+            if self.site is not None:
+                self.reregistrations += self.population
+            self.site = site
+        clients = self.registry.match_clients(event)
+        self.events_consulted += 1
+        if clients:
+            self.matched_events += 1
+        self.deliveries += len(clients)
+        counts = self.deliveries_by_client
+        for cid in clients:
+            counts[cid] = counts.get(cid, 0) + 1
+        if self.verify:
+            indexed = sorted(s.sub_id for s in self.registry.match(event))
+            naive = sorted(
+                s.sub_id
+                for s in self.registry.subscriptions()
+                if s.predicate.matches(event)
+            )
+            if indexed != naive:
+                self.oracle_mismatches += 1
+        return len(clients)
+
+    def mean_selectivity(self) -> float:
+        """Observed deliveries per (event, client) pair — the measured
+        selectivity the figure plots against."""
+        pairs = self.events_consulted * max(1, self.population)
+        return self.deliveries / pairs if pairs else 0.0

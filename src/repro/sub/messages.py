@@ -1,0 +1,135 @@
+"""Subscription control messages (SUBSCRIBE / UNSUBSCRIBE / ack).
+
+These are the objects the wire codec's ``T_SUBSCRIBE`` /
+``T_UNSUBSCRIBE`` / ``T_SUB_ACK`` frames carry.  They hold the
+*flattened* predicate node list (see :func:`repro.sub.predicate.
+to_nodes`), not the AST: the codec encodes nodes in one uniform loop
+(auditable by ``codecsym``), and this module stays importable from
+:mod:`repro.wire` without a cycle.
+
+Styled after ``wire.codec.Hello``: plain slotted classes with value
+equality.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from .predicate import (
+    Node,
+    OP_ALL,
+    Predicate,
+    canonical,
+    from_nodes,
+    to_nodes,
+)
+
+__all__ = ["Subscribe", "Unsubscribe", "SubAck", "MATCH_ALL_NODES"]
+
+#: The node form of ``MatchAll()`` — elided on the wire via a flag bit.
+MATCH_ALL_NODES: Tuple[Node, ...] = ((OP_ALL, None, 0),)
+
+
+def _freeze_nodes(nodes: Any) -> Tuple[Node, ...]:
+    out = []
+    for node in nodes:
+        opcode, operand, n_children = node
+        if isinstance(operand, list):
+            operand = tuple(operand)
+        out.append((int(opcode), operand, int(n_children)))
+    return tuple(out)
+
+
+class Subscribe:
+    """Register one predicate for a client (idempotent per sub_id)."""
+
+    __slots__ = ("client_id", "sub_id", "nodes")
+
+    def __init__(self, client_id: str, sub_id: int, nodes: Any):
+        self.client_id = client_id
+        self.sub_id = sub_id
+        self.nodes = _freeze_nodes(nodes)
+
+    @classmethod
+    def from_predicate(
+        cls, client_id: str, sub_id: int, pred: Predicate
+    ) -> "Subscribe":
+        return cls(client_id, sub_id, to_nodes(canonical(pred)))
+
+    def predicate(self) -> Predicate:
+        """Rebuild (and validate) the predicate tree."""
+        return from_nodes(self.nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Subscribe):
+            return NotImplemented
+        return (
+            self.client_id == other.client_id
+            and self.sub_id == other.sub_id
+            and self.nodes == other.nodes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.client_id, self.sub_id, self.nodes))
+
+    def __repr__(self) -> str:
+        return (
+            f"Subscribe(client_id={self.client_id!r}, "
+            f"sub_id={self.sub_id}, nodes={self.nodes!r})"
+        )
+
+
+class Unsubscribe:
+    """Drop one subscription (``sub_id``) or all (``sub_id is None``)."""
+
+    __slots__ = ("client_id", "sub_id")
+
+    def __init__(self, client_id: str, sub_id: Optional[int] = None):
+        self.client_id = client_id
+        self.sub_id = sub_id
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Unsubscribe):
+            return NotImplemented
+        return (
+            self.client_id == other.client_id and self.sub_id == other.sub_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.client_id, self.sub_id))
+
+    def __repr__(self) -> str:
+        return f"Unsubscribe(client_id={self.client_id!r}, sub_id={self.sub_id})"
+
+
+class SubAck:
+    """Broker confirmation: the subscription table was applied.
+
+    ``active`` is the client's live subscription count after the
+    operation (0 after an unsubscribe-all), so clients can assert
+    convergence without a table dump."""
+
+    __slots__ = ("client_id", "sub_id", "active")
+
+    def __init__(self, client_id: str, sub_id: int, active: int):
+        self.client_id = client_id
+        self.sub_id = sub_id
+        self.active = active
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SubAck):
+            return NotImplemented
+        return (
+            self.client_id == other.client_id
+            and self.sub_id == other.sub_id
+            and self.active == other.active
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.client_id, self.sub_id, self.active))
+
+    def __repr__(self) -> str:
+        return (
+            f"SubAck(client_id={self.client_id!r}, sub_id={self.sub_id}, "
+            f"active={self.active})"
+        )

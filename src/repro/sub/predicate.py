@@ -1,0 +1,367 @@
+"""Content-based subscription predicates: a small, canonical language.
+
+Clients describe the slice of the update stream they care about with a
+tiny predicate algebra — by airport, by flight uid, by event kind, by
+payload-field comparison, composed with and/or/not.  The design goals,
+in order:
+
+* **Canonical** — structurally different but equivalent-by-construction
+  predicates (reordered conjuncts, nested disjunctions, double
+  negation) normalise to one frozen AST, so the net layer can key
+  subscription *groups* by signature and share encoded frames between
+  clients that asked for the same thing.
+* **Wire-flat** — :func:`to_nodes` / :func:`from_nodes` convert the
+  tree to/from a flat pre-order ``(opcode, operand, n_children)`` node
+  list.  The codec encodes that list in one uniform loop (the encode/
+  decode symmetry auditor models loops, not recursion), and the node
+  tuples are plain hashable values.
+* **Honest oracle** — every predicate evaluates itself naively via
+  :meth:`matches`; the indexed engine in :mod:`repro.sub.engine` is
+  checked against this oracle property-style.
+
+Semantics against an :class:`~repro.core.events.UpdateEvent`:
+
+* ``ByFlight(f)`` — the event's ``key`` (flight uid) equals ``f``.
+* ``ByKind(k)`` — the event ``kind`` equals ``k`` (e.g. ``faa.position``).
+* ``ByAirport(a)`` — the event's payload carries ``airport == a``
+  (handoff events announce the airport they move a flight to).
+* ``FieldCmp(field, op, value)`` — the payload has ``field`` and the
+  comparison holds; missing fields and cross-type ordered comparisons
+  are simply *no match*, never an error.
+* ``MatchAll()`` — the full firehose (the pre-subscription behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from ..core.events import UpdateEvent
+
+__all__ = [
+    "Predicate",
+    "MatchAll",
+    "ByAirport",
+    "ByFlight",
+    "ByKind",
+    "FieldCmp",
+    "And",
+    "Or",
+    "Not",
+    "CMP_OPS",
+    "OP_ALL",
+    "OP_AIRPORT",
+    "OP_FLIGHT",
+    "OP_KIND",
+    "OP_CMP",
+    "OP_AND",
+    "OP_OR",
+    "OP_NOT",
+    "Node",
+    "to_nodes",
+    "from_nodes",
+    "canonical",
+    "signature",
+    "route_keys",
+]
+
+
+# Wire opcodes for the flattened node form.  Stable: these travel in
+# SUBSCRIBE frames, so renumbering is a wire-format change.
+OP_ALL = 0
+OP_AIRPORT = 1
+OP_FLIGHT = 2
+OP_KIND = 3
+OP_CMP = 4
+OP_AND = 5
+OP_OR = 6
+OP_NOT = 7
+
+#: Comparison operators :class:`FieldCmp` accepts.
+CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+#: One flattened AST node: ``(opcode, operand, n_children)``.  Operand
+#: is ``None`` for structural nodes, the string for atom nodes, and a
+#: ``(field, op, value)`` tuple for comparisons — all hashable.
+Node = Tuple[int, Any, int]
+
+_MISSING = object()
+
+
+def _cmp(value: Any, op: str, ref: Any) -> bool:
+    """One comparison with miss-not-error semantics: un-orderable pairs
+    (a string position against a numeric bound) are a non-match."""
+    try:
+        if op == "==":
+            return bool(value == ref)
+        if op == "!=":
+            return bool(value != ref)
+        if op == "<":
+            return bool(value < ref)
+        if op == "<=":
+            return bool(value <= ref)
+        if op == ">":
+            return bool(value > ref)
+        return bool(value >= ref)
+    except TypeError:
+        return False
+
+
+class Predicate:
+    """Base of the predicate algebra (never instantiated directly)."""
+
+    __slots__ = ()
+
+    def matches(self, event: UpdateEvent) -> bool:
+        """Naive evaluation — the reference oracle for the engine."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class MatchAll(Predicate):
+    """The full stream: every event matches."""
+
+    def matches(self, event: UpdateEvent) -> bool:
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class ByAirport(Predicate):
+    airport: str
+
+    def matches(self, event: UpdateEvent) -> bool:
+        return bool(event.payload.get("airport") == self.airport)
+
+
+@dataclass(frozen=True, slots=True)
+class ByFlight(Predicate):
+    flight_id: str
+
+    def matches(self, event: UpdateEvent) -> bool:
+        return event.key == self.flight_id
+
+
+@dataclass(frozen=True, slots=True)
+class ByKind(Predicate):
+    kind: str
+
+    def matches(self, event: UpdateEvent) -> bool:
+        return event.kind == self.kind
+
+
+@dataclass(frozen=True, slots=True)
+class FieldCmp(Predicate):
+    field: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in CMP_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def matches(self, event: UpdateEvent) -> bool:
+        value = event.payload.get(self.field, _MISSING)
+        if value is _MISSING:
+            return False
+        return _cmp(value, self.op, self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class And(Predicate):
+    children: Tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise ValueError("And() needs at least one child")
+
+    def matches(self, event: UpdateEvent) -> bool:
+        for child in self.children:
+            if not child.matches(event):
+                return False
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Predicate):
+    children: Tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise ValueError("Or() needs at least one child")
+
+    def matches(self, event: UpdateEvent) -> bool:
+        for child in self.children:
+            if child.matches(event):
+                return True
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Predicate):
+    child: Predicate
+
+    def matches(self, event: UpdateEvent) -> bool:
+        return not self.child.matches(event)
+
+
+# ------------------------------------------------------------- flattening
+def to_nodes(pred: Predicate) -> Tuple[Node, ...]:
+    """Flatten a predicate to its pre-order wire node list."""
+    out: List[Node] = []
+    stack: List[Predicate] = [pred]
+    while stack:
+        p = stack.pop()
+        if isinstance(p, MatchAll):
+            out.append((OP_ALL, None, 0))
+        elif isinstance(p, ByAirport):
+            out.append((OP_AIRPORT, p.airport, 0))
+        elif isinstance(p, ByFlight):
+            out.append((OP_FLIGHT, p.flight_id, 0))
+        elif isinstance(p, ByKind):
+            out.append((OP_KIND, p.kind, 0))
+        elif isinstance(p, FieldCmp):
+            out.append((OP_CMP, (p.field, p.op, p.value), 0))
+        elif isinstance(p, And):
+            out.append((OP_AND, None, len(p.children)))
+            stack.extend(reversed(p.children))
+        elif isinstance(p, Or):
+            out.append((OP_OR, None, len(p.children)))
+            stack.extend(reversed(p.children))
+        elif isinstance(p, Not):
+            out.append((OP_NOT, None, 1))
+            stack.append(p.child)
+        else:
+            raise TypeError(f"not a predicate: {p!r}")
+    return tuple(out)
+
+
+def _parse(nodes: Tuple[Node, ...], pos: int) -> Tuple[Predicate, int]:
+    if pos >= len(nodes):
+        raise ValueError("predicate node list ends mid-tree")
+    opcode, operand, n_children = nodes[pos]
+    pos += 1
+    if opcode == OP_ALL:
+        if n_children:
+            raise ValueError("MatchAll node claims children")
+        return MatchAll(), pos
+    if opcode in (OP_AIRPORT, OP_FLIGHT, OP_KIND):
+        if n_children:
+            raise ValueError("atom node claims children")
+        if not isinstance(operand, str):
+            raise ValueError(f"atom operand must be str, got {operand!r}")
+        if opcode == OP_AIRPORT:
+            return ByAirport(operand), pos
+        if opcode == OP_FLIGHT:
+            return ByFlight(operand), pos
+        return ByKind(operand), pos
+    if opcode == OP_CMP:
+        if n_children:
+            raise ValueError("comparison node claims children")
+        if not (isinstance(operand, (tuple, list)) and len(operand) == 3):
+            raise ValueError(f"comparison operand malformed: {operand!r}")
+        field, op, value = operand
+        if not isinstance(field, str) or op not in CMP_OPS:
+            raise ValueError(f"comparison operand malformed: {operand!r}")
+        return FieldCmp(field, op, value), pos
+    if opcode in (OP_AND, OP_OR):
+        if n_children < 1:
+            raise ValueError("and/or node needs at least one child")
+        children: List[Predicate] = []
+        for _ in range(n_children):
+            child, pos = _parse(nodes, pos)
+            children.append(child)
+        cls = And if opcode == OP_AND else Or
+        return cls(tuple(children)), pos
+    if opcode == OP_NOT:
+        if n_children != 1:
+            raise ValueError("not node needs exactly one child")
+        child, pos = _parse(nodes, pos)
+        return Not(child), pos
+    raise ValueError(f"unknown predicate opcode {opcode!r}")
+
+
+def from_nodes(nodes: Tuple[Node, ...]) -> Predicate:
+    """Rebuild a predicate from its wire node list (validating)."""
+    pred, pos = _parse(tuple(nodes), 0)
+    if pos != len(nodes):
+        raise ValueError("trailing nodes after predicate tree")
+    return pred
+
+
+# --------------------------------------------------------- canonical form
+def _sort_key(pred: Predicate) -> str:
+    # repr of the node list is a deterministic total order over
+    # predicates (atoms sort by opcode then operand text)
+    return repr(to_nodes(pred))
+
+
+def canonical(pred: Predicate) -> Predicate:
+    """Normalise: flatten nested and/or, drop duplicate and identity
+    children, collapse double negation, sort commutative children.
+
+    Equal-meaning-by-construction predicates map to one AST, which is
+    what lets the push path group clients by subscription signature."""
+    if isinstance(pred, Not):
+        child = canonical(pred.child)
+        if isinstance(child, Not):
+            return child.child
+        return Not(child)
+    if isinstance(pred, (And, Or)):
+        is_and = isinstance(pred, And)
+        flat: List[Predicate] = []
+        for child in pred.children:
+            c = canonical(child)
+            if type(c) is type(pred):
+                flat.extend(c.children)  # type: ignore[attr-defined]
+            else:
+                flat.append(c)
+        if not is_and and any(isinstance(c, MatchAll) for c in flat):
+            return MatchAll()
+        if is_and:
+            flat = [c for c in flat if not isinstance(c, MatchAll)]
+            if not flat:
+                return MatchAll()
+        unique: dict[str, Predicate] = {}
+        for c in flat:
+            unique.setdefault(_sort_key(c), c)
+        ordered = [unique[k] for k in sorted(unique)]
+        if len(ordered) == 1:
+            return ordered[0]
+        return (And if is_and else Or)(tuple(ordered))
+    return pred
+
+
+def signature(pred: Predicate) -> str:
+    """Canonical string form — the subscription-group key."""
+    return repr(to_nodes(canonical(pred)))
+
+
+def route_keys(pred: Predicate) -> Tuple[Tuple[str, ...], Tuple[str, ...]] | None:
+    """Sharded-routing scope of a predicate.
+
+    Returns ``(flight_ids, airports)`` when every disjunct of the
+    canonical form pins a flight or an airport — the ingress router then
+    forwards the subscription only to the shards owning those keys.
+    Returns None when any disjunct is unpinned (kind-only, comparisons,
+    negation, the firehose): such a predicate can match events on every
+    shard, so it must be registered cluster-wide.
+    """
+    p = canonical(pred)
+    disjuncts = p.children if isinstance(p, Or) else (p,)
+    flights: dict[str, bool] = {}
+    airports: dict[str, bool] = {}
+    for d in disjuncts:
+        atoms = d.children if isinstance(d, And) else (d,)
+        pinned = False
+        for a in atoms:
+            if isinstance(a, ByFlight):
+                flights[a.flight_id] = True
+                pinned = True
+                break
+            if isinstance(a, ByAirport):
+                airports[a.airport] = True
+                pinned = True
+                break
+        if not pinned:
+            return None
+    return (tuple(sorted(flights)), tuple(sorted(airports)))

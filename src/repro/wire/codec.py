@@ -50,6 +50,7 @@ from ..ois.clients import InitStateRequest, InitStateResponse
 from ..ois.state import DeltaSnapshot, FlightView, StateSnapshot
 from ..shard.handoff import ShardHandoff, ShardTransfer
 from ..shard.partition import ShardMap
+from ..sub.messages import MATCH_ALL_NODES, SubAck, Subscribe, Unsubscribe
 from . import accel as _accel
 from .primitives import (
     InternDecoder,
@@ -85,6 +86,9 @@ __all__ = [
     "T_SHARD_MAP",
     "T_HANDOFF",
     "T_TRANSFER",
+    "T_SUBSCRIBE",
+    "T_UNSUBSCRIBE",
+    "T_SUB_ACK",
     "WireError",
     "TruncatedFrame",
     "WireEncoder",
@@ -116,6 +120,9 @@ T_HELLO = 0x0C
 T_SHARD_MAP = 0x0D
 T_HANDOFF = 0x0E
 T_TRANSFER = 0x0F
+T_SUBSCRIBE = 0x10
+T_UNSUBSCRIBE = 0x11
+T_SUB_ACK = 0x12
 
 #: End-of-stream sentinel — the same string every backend uses, defined
 #: locally so the codec depends only on the data-model modules.
@@ -171,6 +178,11 @@ _EF_SINGLE = 2  # coalesced_from == 1, varint omitted
 _EF_VT = 4  # vt present
 _EF_VT_OWN = 8  # vt[stream] == seqno; that component omitted
 _EF_UNSTAMPED_AT = 16  # entered_at == 0.0, f64 omitted
+
+# Subscription-frame flag bits: the two overwhelmingly common shapes
+# collapse to a flags byte with the variable part elided entirely.
+_SF_MATCH_ALL = 1  # SUBSCRIBE carries MatchAll(), node list omitted
+_SF_ALL_SUBS = 1  # UNSUBSCRIBE drops every subscription, sub_id omitted
 
 #: MirrorConfig fields an adaptation command carries over the wire.
 #: Callables (custom mirror/fwd hooks) and the monitor/directive wiring
@@ -456,6 +468,42 @@ class WireEncoder:
             self._interner.encode(status, body)
         return self._frame(T_TRANSFER, body)
 
+    def encode_subscribe(self, msg: Subscribe) -> bytes:
+        body = bytearray()
+        flags = 0
+        if msg.nodes == MATCH_ALL_NODES:
+            flags |= _SF_MATCH_ALL
+        body.append(flags)
+        self._interner.encode(msg.client_id, body)
+        encode_uvarint(msg.sub_id, body)
+        if not flags & _SF_MATCH_ALL:
+            encode_uvarint(len(msg.nodes), body)
+            for opcode, operand, n_children in msg.nodes:
+                body.append(opcode)
+                encode_value(operand, body, self._interner)
+                encode_uvarint(n_children, body)
+        return self._frame(T_SUBSCRIBE, body)
+
+    def encode_unsubscribe(self, msg: Unsubscribe) -> bytes:
+        body = bytearray()
+        flags = 0
+        sub_id = msg.sub_id
+        if sub_id is None:
+            flags |= _SF_ALL_SUBS
+            sub_id = 0
+        body.append(flags)
+        self._interner.encode(msg.client_id, body)
+        if not flags & _SF_ALL_SUBS:
+            encode_uvarint(sub_id, body)
+        return self._frame(T_UNSUBSCRIBE, body)
+
+    def encode_sub_ack(self, msg: SubAck) -> bytes:
+        body = bytearray()
+        self._interner.encode(msg.client_id, body)
+        encode_uvarint(msg.sub_id, body)
+        encode_uvarint(msg.active, body)
+        return self._frame(T_SUB_ACK, body)
+
     def encode_eos(self) -> bytes:
         return self._frame(T_EOS, bytearray())
 
@@ -493,6 +541,12 @@ class WireEncoder:
             return self.encode_transfer(obj)
         if isinstance(obj, ShardMap):
             return self.encode_shard_map(obj)
+        if isinstance(obj, Subscribe):
+            return self.encode_subscribe(obj)
+        if isinstance(obj, Unsubscribe):
+            return self.encode_unsubscribe(obj)
+        if isinstance(obj, SubAck):
+            return self.encode_sub_ack(obj)
         if obj == EOS:
             return self.encode_eos()
         raise WireError(f"no wire encoding for {type(obj).__name__}")
@@ -838,6 +892,47 @@ class WireDecoder:
                 view=flights[0] if flights else None,
                 arrival_seen=tuple(arrival),
             )
+        if mtype == T_SUBSCRIBE:
+            pos = 0
+            if pos >= len(body):
+                raise TruncatedFrame("subscribe flags byte missing")
+            flags = body[pos]
+            pos += 1
+            client_id, pos = self._interner.decode(body, pos)
+            sub_id, pos = decode_uvarint(body, pos)
+            if flags & _SF_MATCH_ALL:
+                nodes: List[Tuple[int, Any, int]] = list(MATCH_ALL_NODES)
+            else:
+                node_count, pos = decode_uvarint(body, pos)
+                nodes = []
+                for _ in range(node_count):
+                    if pos >= len(body):
+                        raise TruncatedFrame("subscribe node opcode missing")
+                    opcode = body[pos]
+                    pos += 1
+                    operand, pos = decode_value(body, pos, self._interner)
+                    n_children, pos = decode_uvarint(body, pos)
+                    nodes.append((opcode, operand, n_children))
+            self._check_consumed(body, pos)
+            return Subscribe(client_id, sub_id, nodes)
+        if mtype == T_UNSUBSCRIBE:
+            pos = 0
+            if pos >= len(body):
+                raise TruncatedFrame("unsubscribe flags byte missing")
+            flags = body[pos]
+            pos += 1
+            client_id, pos = self._interner.decode(body, pos)
+            unsub_id: Optional[int] = None
+            if not flags & _SF_ALL_SUBS:
+                unsub_id, pos = decode_uvarint(body, pos)
+            self._check_consumed(body, pos)
+            return Unsubscribe(client_id, unsub_id)
+        if mtype == T_SUB_ACK:
+            client_id, pos = self._interner.decode(body, 0)
+            sub_id, pos = decode_uvarint(body, pos)
+            active, pos = decode_uvarint(body, pos)
+            self._check_consumed(body, pos)
+            return SubAck(client_id, sub_id, active)
         raise WireError(f"unknown frame type 0x{mtype:02x}")
 
     @staticmethod

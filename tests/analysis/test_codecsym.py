@@ -31,7 +31,7 @@ def test_real_codec_is_symmetric():
     assert isinstance(report, CodecAuditReport)
     assert report.ok, report.render()
     # every frame type the codec defines was paired and compared
-    assert report.frame_types == 15
+    assert report.frame_types == 18
     assert report.encode_paths > 0
     assert "matching decode path" in report.render()
 
@@ -89,6 +89,34 @@ def test_seeded_missing_check_consumed_is_caught():
     report = audit_codec(codec_source=src, accel_source=ACCEL_SRC)
     assert any(
         "T_HANDOFF" in f and "_check_consumed" in f for f in report.findings
+    ), report.findings
+
+
+def test_seeded_subscribe_asymmetry_is_caught():
+    """Teeth on the PR 9 frames: drop the decode of the subscribe
+    node-count varint and the auditor must name T_SUBSCRIBE."""
+    src = seeded(
+        "                node_count, pos = decode_uvarint(body, pos)\n",
+        "                node_count = 3\n",
+    )
+    report = audit_codec(codec_source=src, accel_source=ACCEL_SRC)
+    assert not report.ok
+    assert any("T_SUBSCRIBE" in f for f in report.findings), report.findings
+
+
+def test_seeded_unsubscribe_flags_bit_drift_is_caught():
+    """The decoder stops testing the all-subs elision bit: caught."""
+    src = seeded(
+        "            if not flags & _SF_ALL_SUBS:\n"
+        "                unsub_id, pos = decode_uvarint(body, pos)",
+        "            if True:\n"
+        "                unsub_id, pos = decode_uvarint(body, pos)",
+    )
+    report = audit_codec(codec_source=src, accel_source=ACCEL_SRC)
+    assert not report.ok
+    assert any(
+        "encode_unsubscribe" in f and "never tested on decode" in f
+        for f in report.findings
     ), report.findings
 
 

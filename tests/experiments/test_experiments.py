@@ -94,7 +94,7 @@ def test_paced_rate_validates_utilization():
 
 # ----------------------------------------------------------------- registry
 def test_all_figures_registry_complete():
-    assert set(ALL_FIGURES) == {f"figure{i}" for i in range(4, 10)}
+    assert set(ALL_FIGURES) == {f"figure{i}" for i in range(4, 10)} | {"subselect"}
     for mod in ALL_FIGURES.values():
         assert hasattr(mod, "run")
 

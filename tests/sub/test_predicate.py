@@ -1,0 +1,124 @@
+"""Unit tests: predicate algebra, canonical form, wire nodes, routing."""
+
+import pytest
+
+from repro.core.events import FAA_POSITION, HANDOFF, UpdateEvent
+from repro.sub.predicate import (
+    And,
+    ByAirport,
+    ByFlight,
+    ByKind,
+    FieldCmp,
+    MatchAll,
+    Not,
+    Or,
+    canonical,
+    from_nodes,
+    route_keys,
+    signature,
+    to_nodes,
+)
+
+
+def ev(kind=FAA_POSITION, key="DL100", **payload):
+    return UpdateEvent(kind=kind, stream="faa", seqno=1, key=key, payload=payload)
+
+
+# ------------------------------------------------------------- semantics
+def test_atom_semantics():
+    assert ByFlight("DL100").matches(ev())
+    assert not ByFlight("DL101").matches(ev())
+    assert ByKind(FAA_POSITION).matches(ev())
+    assert ByAirport("ATL").matches(ev(kind=HANDOFF, airport="ATL"))
+    assert not ByAirport("ATL").matches(ev())
+    assert MatchAll().matches(ev())
+
+
+def test_fieldcmp_miss_not_error():
+    # missing field and un-orderable comparison are non-matches, never raise
+    assert not FieldCmp("alt", ">", 100).matches(ev())
+    assert not FieldCmp("alt", ">", 100).matches(ev(alt="high"))
+    assert FieldCmp("alt", ">", 100).matches(ev(alt=200))
+    with pytest.raises(ValueError):
+        FieldCmp("alt", "~", 1)
+
+
+def test_connective_semantics():
+    p = And((ByFlight("DL100"), ByKind(FAA_POSITION)))
+    assert p.matches(ev())
+    assert not p.matches(ev(key="DL101"))
+    q = Or((ByFlight("DL101"), ByKind(FAA_POSITION)))
+    assert q.matches(ev())
+    assert Not(ByFlight("DL101")).matches(ev())
+    with pytest.raises(ValueError):
+        And(())
+
+
+# -------------------------------------------------------- canonical form
+def test_canonical_collapses_equivalent_shapes():
+    a = Or((ByFlight("B"), Or((ByFlight("A"), ByFlight("B")))))
+    b = Or((ByFlight("A"), ByFlight("B")))
+    assert canonical(a) == canonical(b)
+    assert signature(a) == signature(b)
+
+
+def test_canonical_double_negation_and_identities():
+    assert canonical(Not(Not(ByFlight("A")))) == ByFlight("A")
+    # MatchAll absorbs in Or, vanishes in And
+    assert canonical(Or((ByFlight("A"), MatchAll()))) == MatchAll()
+    assert canonical(And((ByFlight("A"), MatchAll()))) == ByFlight("A")
+    assert canonical(And((MatchAll(),))) == MatchAll()
+    # single-child connectives unwrap
+    assert canonical(Or((ByFlight("A"), ByFlight("A")))) == ByFlight("A")
+
+
+def test_canonical_is_idempotent():
+    p = Not(And((ByKind("k"), Or((ByFlight("B"), ByFlight("A"))))))
+    assert canonical(canonical(p)) == canonical(p)
+
+
+# ------------------------------------------------------------ wire nodes
+def test_nodes_roundtrip():
+    p = canonical(
+        Or((And((ByFlight("A"), FieldCmp("alt", ">", 100))), ByAirport("ATL")))
+    )
+    assert from_nodes(to_nodes(p)) == p
+
+
+def test_malformed_nodes_rejected():
+    good = to_nodes(And((ByFlight("A"), ByKind("k"))))
+    with pytest.raises(ValueError):
+        from_nodes(good[:-1])  # ends mid-tree
+    with pytest.raises(ValueError):
+        from_nodes(good + good[-1:])  # trailing nodes
+    with pytest.raises(ValueError):
+        from_nodes(((99, None, 0),))  # unknown opcode
+    with pytest.raises(ValueError):
+        from_nodes(((2, 7, 0),))  # flight operand must be str
+
+
+# --------------------------------------------------------------- routing
+def test_route_keys_flight_scoped():
+    assert route_keys(ByFlight("DL100")) == (("DL100",), ())
+    assert route_keys(Or((ByFlight("B"), ByFlight("A")))) == (("A", "B"), ())
+
+
+def test_route_keys_airport_and_mixed():
+    assert route_keys(ByAirport("ATL")) == ((), ("ATL",))
+    got = route_keys(Or((ByFlight("DL1"), ByAirport("SFO"))))
+    assert got == (("DL1",), ("SFO",))
+
+
+def test_route_keys_conjunction_pins_on_any_atom():
+    # a conjunction is scoped as soon as one atom pins it
+    assert route_keys(And((ByKind("k"), ByFlight("DL1")))) is not None
+
+
+def test_route_keys_unscoped_predicates():
+    # kind-only, comparisons, negation, firehose: must go everywhere
+    assert route_keys(ByKind("k")) is None
+    assert route_keys(FieldCmp("alt", ">", 1)) is None
+    assert route_keys(Not(ByFlight("DL1"))) is None
+    assert route_keys(MatchAll()) is None
+    # one unpinned disjunct unscopes the whole predicate
+    assert route_keys(Or((ByFlight("DL1"), ByKind("k")))) is None

@@ -1,0 +1,112 @@
+"""Unit tests: subscription registry, engine economics, flow graph."""
+
+from repro.core.events import DELTA_STATUS, FAA_POSITION, UpdateEvent
+from repro.core.rules import CoalesceRule, OverwriteRule
+from repro.sub.engine import MatchEngine
+from repro.sub.predicate import And, ByFlight, ByKind, FieldCmp, Not, Or
+from repro.sub.registry import SubscriptionRegistry
+
+
+def ev(kind=FAA_POSITION, key="DL100", **payload):
+    return UpdateEvent(kind=kind, stream="faa", seqno=1, key=key, payload=payload)
+
+
+# ---------------------------------------------------------------- registry
+def test_subscribe_match_unsubscribe():
+    reg = SubscriptionRegistry()
+    s1 = reg.subscribe("alice", ByFlight("DL100"))
+    reg.subscribe("bob", ByFlight("DL101"))
+    reg.subscribe("bob", ByKind(FAA_POSITION))
+    assert reg.match_clients(ev()) == ["alice", "bob"]
+    assert reg.active_count("bob") == 2
+    assert reg.unsubscribe("alice", s1.sub_id) == [s1.sub_id]
+    assert reg.match_clients(ev()) == ["bob"]
+    # unsubscribe-all drops the client entirely
+    assert len(reg.unsubscribe("bob")) == 2
+    assert reg.client_ids() == []
+    assert len(reg) == 0
+
+
+def test_reused_sub_id_replaces():
+    reg = SubscriptionRegistry()
+    sub = reg.subscribe("alice", ByFlight("DL100"))
+    reg.subscribe("alice", ByFlight("DL101"), sub_id=sub.sub_id)
+    assert reg.match_clients(ev(key="DL101")) == ["alice"]
+    assert reg.match_clients(ev(key="DL100")) == []
+    assert reg.active_count("alice") == 1
+
+
+def test_client_signature_groups_equivalent_interests():
+    reg = SubscriptionRegistry()
+    # same combined interest, registered in different shapes/orders
+    reg.subscribe("a", ByFlight("DL1"))
+    reg.subscribe("a", ByFlight("DL2"))
+    reg.subscribe("b", Or((ByFlight("DL2"), ByFlight("DL1"))))
+    assert reg.client_signature("a") == reg.client_signature("b")
+    assert reg.client_signature("nobody") == ""
+
+
+def test_export_import_state_transfers_table():
+    src = SubscriptionRegistry()
+    src.subscribe("a", Or((ByFlight("DL1"), ByKind(DELTA_STATUS))))
+    src.subscribe("b", Not(ByFlight("DL2")))
+    dst = SubscriptionRegistry()
+    assert dst.import_state(src.export_state()) == 2
+    for e in (ev(), ev(kind=DELTA_STATUS, key="DL9"), ev(key="DL2")):
+        assert dst.match_clients(e) == src.match_clients(e)
+    # sub_ids survive the transfer (handoff re-registration keys on them)
+    assert sorted(s.sub_id for s in dst.subscriptions()) == sorted(
+        s.sub_id for s in src.subscriptions()
+    )
+
+
+# -------------------------------------------------------- engine economics
+def test_fast_lane_skips_counting():
+    engine = MatchEngine()
+    for i in range(100):
+        engine.add(i, ByFlight(f"DL{i}"))
+    assert engine.match(ev(key="DL7")) == [7]
+    stats = engine.stats
+    # one-atom matchers: the hit is index-local, no counting, no residual
+    assert stats.index_hits == 1
+    assert stats.counting_completions == 0
+    assert stats.residual_evaluations == 0
+
+
+def test_counting_lane_requires_all_conjuncts():
+    engine = MatchEngine()
+    engine.add(1, And((ByFlight("DL100"), FieldCmp("alt", ">", 100))))
+    assert engine.match(ev(alt=50)) == []
+    assert engine.match(ev(alt=500)) == [1]
+    assert engine.stats.counting_completions == 1
+
+
+def test_residual_lane_handles_negation():
+    engine = MatchEngine()
+    engine.add(1, Not(ByFlight("DL100")))
+    assert engine.match(ev(key="DL101")) == [1]
+    assert engine.match(ev(key="DL100")) == []
+    assert engine.stats.residual_evaluations == 2
+
+
+# --------------------------------------------------------------- flow graph
+def test_flow_graph_unifies_rules_and_subscriptions():
+    reg = SubscriptionRegistry()
+    reg.subscribe("a", ByFlight("DL1"))
+    reg.subscribe("b", ByFlight("DL1"))
+    reg.subscribe("c", ByFlight("DL2"))
+    graph = reg.flow_graph(
+        rules=[OverwriteRule(FAA_POSITION, 10), CoalesceRule(5)]
+    )
+    kinds = [n.kind for n in graph.nodes]
+    assert kinds.count("rule") == 2
+    assert kinds.count("broker") == 1
+    # a and b share one interest signature -> one subscription group
+    assert kinds.count("subscription") == 2
+    assert kinds.count("client") == 3
+    # the spine is source -> rule -> rule -> broker
+    assert graph.successors("source") == ["rule0"]
+    assert graph.successors("rule0") == ["rule1"]
+    assert graph.successors("rule1") == ["broker"]
+    assert len(graph.successors("broker")) == 2
+    assert "source" in graph.render()

@@ -12,6 +12,19 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.adaptation import AdaptCommand
+from repro.sub.messages import SubAck, Subscribe, Unsubscribe
+from repro.sub.predicate import (
+    CMP_OPS,
+    And,
+    ByAirport,
+    ByFlight,
+    ByKind,
+    FieldCmp,
+    MatchAll,
+    Not,
+    Or,
+    canonical,
+)
 from repro.core.checkpoint import ChkptMsg, ChkptRepMsg, CommitMsg
 from repro.core.config import MirrorConfig
 from repro.core.events import EventBatch, UpdateEvent, VectorTimestamp
@@ -160,6 +173,47 @@ deltas = st.builds(
 )
 hellos = st.builds(Hello, role=st.sampled_from(["mirror", "client"]), name=names)
 
+# subscription predicates: arbitrary trees over the full atom set,
+# composed with and/or/not — Subscribe canonicalises at build time, so
+# the wire carries every canonical shape the algebra can produce
+cmp_values = st.none() | st.booleans() | ints64 | finite | st.text(max_size=8)
+atom_preds = st.one_of(
+    st.builds(MatchAll),
+    st.builds(ByFlight, flight_id=short_names),
+    st.builds(ByKind, kind=short_names),
+    st.builds(ByAirport, airport=st.sampled_from(["ATL", "JFK", "SFO"])),
+    st.builds(
+        FieldCmp,
+        field=st.text(max_size=6),
+        op=st.sampled_from(CMP_OPS),
+        value=cmp_values,
+    ),
+)
+predicates = st.recursive(
+    atom_preds,
+    lambda children: st.one_of(
+        st.lists(children, min_size=1, max_size=3).map(
+            lambda cs: And(tuple(cs))
+        ),
+        st.lists(children, min_size=1, max_size=3).map(
+            lambda cs: Or(tuple(cs))
+        ),
+        children.map(Not),
+    ),
+    max_leaves=6,
+)
+subscribes = st.builds(
+    Subscribe.from_predicate, names, st.integers(0, 2**32), predicates
+)
+unsubscribes = st.builds(
+    Unsubscribe, client_id=names,
+    sub_id=st.none() | st.integers(0, 2**32),
+)
+sub_acks = st.builds(
+    SubAck, client_id=names, sub_id=st.integers(0, 2**32),
+    active=st.integers(0, 2**20),
+)
+
 messages = st.one_of(
     events,
     st.lists(events, min_size=1, max_size=6).map(EventBatch),
@@ -171,6 +225,9 @@ messages = st.one_of(
     snapshots,
     deltas,
     hellos,
+    subscribes,
+    unsubscribes,
+    sub_acks,
     st.just(EOS),
 )
 
@@ -272,6 +329,51 @@ def test_hello_roundtrip(hello):
 
 def test_eos_roundtrip():
     assert roundtrip(EOS) == EOS
+
+
+@given(subscribes)
+@settings(max_examples=150)
+def test_subscribe_roundtrip(msg):
+    out = roundtrip(msg)
+    assert out == msg
+    # the node list survives as a *valid* tree: the decoded frame
+    # rebuilds the same canonical predicate the sender flattened
+    assert out.predicate() == msg.predicate()
+
+
+@given(predicates)
+@settings(max_examples=100)
+def test_subscribe_carries_canonical_form(pred):
+    """from_predicate canonicalises before flattening, so two clients
+    sending equivalent-by-construction predicates put identical node
+    lists on the wire (what frame sharing keys on)."""
+    msg = Subscribe.from_predicate("c", 1, pred)
+    assert roundtrip(msg).predicate() == canonical(pred)
+
+
+@given(unsubscribes)
+@settings(max_examples=60)
+def test_unsubscribe_roundtrip(msg):
+    out = roundtrip(msg)
+    assert out == msg
+    assert out.sub_id == msg.sub_id  # None (drop-all) must survive
+
+
+@given(sub_acks)
+@settings(max_examples=60)
+def test_sub_ack_roundtrip(msg):
+    assert roundtrip(msg) == msg
+
+
+def test_subscribe_match_all_elided():
+    """The firehose subscription travels as a flag bit, not a node
+    list: its frame must be no larger than the equivalent ack."""
+    enc = WireEncoder()
+    frame = enc.encode_message(Subscribe.from_predicate("c", 1, MatchAll()))
+    flagged = WireEncoder().encode_message(SubAck("c", 1, 1))
+    assert len(frame) <= len(flagged) + 1
+    out, _ = WireDecoder().decode_frame(frame)
+    assert out.predicate() == MatchAll()
 
 
 # --------------------------------------- streams, interning, and RESETs
