@@ -70,6 +70,7 @@ HOT_MODULES = (
     "core/events.py",
     "core/queues.py",
     "core/checkpoint.py",
+    "core/rules.py",
     "sim/kernel.py",
     "faults/plan.py",
     "faults/detector.py",

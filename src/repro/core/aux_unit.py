@@ -78,6 +78,7 @@ class CentralAuxUnit:
         adaptation: Optional[AdaptationController] = None,
         data_capacity: Optional[int] = 256,
         monitor: Optional[InvariantMonitor] = None,
+        recycle_shells: bool = False,
     ):
         self.env = env
         self.node = node
@@ -90,6 +91,12 @@ class CentralAuxUnit:
         self.mirroring_enabled = mirroring_enabled
         self.adaptation = adaptation
         self.monitor = monitor
+        #: stamp event copies through the events.py free-list and release
+        #: them when both local consumers are done.  Only safe without
+        #: fault injection: crash-drain triage resurrects references the
+        #: claim accounting cannot see, so the builder (core/system.py)
+        #: enables this only for fault-free runs.
+        self.recycle_shells = recycle_shells
 
         self.data_in = transport.register(
             "central.aux.data", node, capacity=data_capacity
@@ -174,6 +181,7 @@ class CentralAuxUnit:
         ready_put = self.ready.put
         ready_offer = self.ready.offer
         env = self.env
+        recycle = self.recycle_shells
         while True:
             msg = yield data_get()
             self._recv_in_hand = msg
@@ -186,7 +194,10 @@ class CentralAuxUnit:
             clock = self.clock = self.clock.advanced(event.stream, event.seqno)
             if self.monitor is not None:
                 self.monitor.on_stamped(event.stream, event.seqno)
-            stamped = event.stamped(clock, entered_at=env.now)
+            if recycle:
+                stamped = event.stamped_pooled(clock, env.now)
+            else:
+                stamped = event.stamped(clock, entered_at=env.now)
             # yield only under backpressure (bounded ready queue full)
             if not ready_offer(stamped):
                 yield ready_put(stamped)
@@ -207,6 +218,11 @@ class CentralAuxUnit:
         node = self.node
         ready_get = self.ready.get
         metrics = self.metrics
+        # one rule-output list for the life of the task: cleared per
+        # event instead of reallocated (it doubles as the in-hand slot,
+        # and _mirror_batch breaks the alias when it hands the list to a
+        # wire batch — re-aliased at the top of every iteration)
+        outs: List[UpdateEvent] = []
         while True:
             item = yield ready_get()
             if item == EOS:
@@ -240,17 +256,29 @@ class CentralAuxUnit:
             )
             metrics.events_forwarded += 1
             if not self.mirroring_enabled:
+                # mirror-path claim unused: the shell's only remaining
+                # consumer is the main unit (no-op for unpooled shells)
+                event.release()
                 self._send_in_hand = None
                 continue
             # mirror(): semantic rule pipeline decides what ships
             yield from execute(costs.rule_fixed)
-            outs: List[UpdateEvent] = []
+            outs.clear()
             # alias: rule output appended below is tracked as in-hand the
             # moment it exists; the forwarded event is released in the
             # same step (no yield between), so its custody is continuous
             self._mirror_in_hand = outs
-            for passed in self.engine.on_receive(event):
-                outs.extend(self.engine.on_send(passed))
+            engine = self.engine
+            emitted = engine.forward_into(event, outs)
+            if emitted == 0 and engine.safe_discard:
+                # provably dead: no rule holds it, the mirror path just
+                # dropped it — hand the mirror-path claim back (the shell
+                # recycles once the main unit finishes with it too)
+                event.release()
+            else:
+                # survived into multi-owner structures (mirror channel,
+                # backup queue) or a rule buffer: never recycle
+                event.escape()
             self._send_in_hand = None
             batch_size = self.config.batch_size
             if batch_size <= 1:
@@ -287,8 +315,12 @@ class CentralAuxUnit:
                 )
                 self.metrics.events_forwarded += 1
                 yield from self.node.execute(costs.rule_fixed)
-                for passed in self.engine.on_receive(nxt):
-                    outs.extend(self.engine.on_send(passed))
+                engine = self.engine
+                emitted = engine.forward_into(nxt, outs)
+                if emitted == 0 and engine.safe_discard:
+                    nxt.release()
+                else:
+                    nxt.escape()
                 self._send_in_hand = None
                 drained += 1
             yield from self._mirror_batch(outs)
@@ -298,6 +330,10 @@ class CentralAuxUnit:
                     self._initiate_checkpoint()
 
     def _mirror_one(self, outs: List[UpdateEvent], ordered: bool = True):
+        if not outs:
+            # steady-state overwrite lane: nothing survived the rules —
+            # return before the defensive list copy below
+            return
         costs = self.node.costs
         in_hand = self._mirror_in_hand
         if in_hand is not outs:
@@ -333,7 +369,10 @@ class CentralAuxUnit:
             if self.monitor is not None:
                 self.monitor.on_mirrored(out)
             yield from self.node.execute(costs.mirror_cost(out.size))
-        batch = EventBatch(outs)
+        # the batch must own its event list: ``outs`` is the sending
+        # task's reused buffer, cleared on the next iteration while the
+        # wire message may still be in flight
+        batch = EventBatch(list(outs))
         yield from self.mirror_channel.publish(self.node, batch, batch.size)
         # the whole batch reached every subscriber in one wire message
         self._mirror_in_hand = []

@@ -178,6 +178,10 @@ class MainUnit:
             self.events_processed += 1
             if is_central:
                 metrics.events_processed_central += 1
+            # forward-path claim: the EDE is done with the shell (its
+            # outputs copy the payload into fresh shells) — no-op for
+            # events outside the recycling protocol
+            event.release()
             if self.distribute_updates:
                 for out in outputs:
                     yield from execute(costs.update_cost(out.size))

@@ -58,6 +58,14 @@ __all__ = [
 
 _rule_ids = itertools.count()
 
+#: Shared empty result for every "discard this event" hook return.  The
+#: engine never mutates hook results (replacement lists are re-dispatched
+#: and *new* output lists collect the survivors), so all discards can
+#: alias one immutable tuple instead of allocating a fresh ``[]`` per
+#: dropped event — the overwrite lane discards ``max_length - 1`` of
+#: every run, which made that allocation a top hot-path entry.
+_DISCARD: tuple = ()
+
 
 def payload_matches(payload: Mapping[str, Any], pattern: Mapping[str, Any]) -> bool:
     """True when every (field, value) of ``pattern`` appears in ``payload``.
@@ -77,6 +85,13 @@ class Rule:
     #: receive-side holds (complex tuples) vs. send-side holds (coalesce)
     flush_side = "receive"
 
+    #: a rule that stores event references past the hook call (buffering
+    #: components, coalescing runs) MUST set this True.  When every rule
+    #: in an engine leaves it False, a discarded event is dead the moment
+    #: the pipeline drops it, so the caller may recycle its shell
+    #: (see :attr:`RuleEngine.safe_discard`).
+    retains_events = False
+
     def __init__(self):
         self.rule_id = f"{type(self).__name__}#{next(_rule_ids)}"
 
@@ -92,17 +107,18 @@ class Rule:
 
     def on_receive(
         self, event: UpdateEvent, table: StatusTable
-    ) -> Optional[List[UpdateEvent]]:
+    ) -> Optional[Sequence[UpdateEvent]]:
         """Receive-side hook.
 
-        Returns ``None`` to pass the event through unchanged, or a list
-        of replacement events (possibly empty = discard).
+        Returns ``None`` to pass the event through unchanged, or a
+        sequence of replacement events (empty = discard; rules should
+        return the shared :data:`_DISCARD` tuple rather than ``[]``).
         """
         return None
 
     def on_send(
         self, event: UpdateEvent, table: StatusTable
-    ) -> Optional[List[UpdateEvent]]:
+    ) -> Optional[Sequence[UpdateEvent]]:
         """Send-side hook; same contract as :meth:`on_receive`."""
         return None
 
@@ -126,7 +142,7 @@ class TypeFilterRule(Rule):
 
     def on_receive(self, event, table):
         if event.kind in self.kinds:
-            return []
+            return _DISCARD
         return None
 
 
@@ -139,7 +155,7 @@ class ContentFilterRule(Rule):
 
     def on_receive(self, event, table):
         if self.predicate(event):
-            return []
+            return _DISCARD
         return None
 
 
@@ -168,7 +184,7 @@ class OverwriteRule(Rule):
             event.key, event.kind, event.payload, self.max_length
         ):
             return None  # first of the run: mirror as-is
-        return []  # overwritten: discard
+        return _DISCARD  # overwritten: discard
 
 
 class ComplexSequenceRule(Rule):
@@ -199,7 +215,7 @@ class ComplexSequenceRule(Rule):
             event.key, self.target_kind
         ):
             table.count_sequence_discard()
-            return []
+            return _DISCARD
         if event.kind == self.trigger_kind and payload_matches(
             event.payload, self.trigger_value
         ):
@@ -221,6 +237,8 @@ class ComplexTupleRule(Rule):
     event has fired ("the presence of such an event implies that all
     position events for that flight can be discarded").
     """
+
+    retains_events = True  # components are held in table.tuple_slot
 
     def __init__(
         self,
@@ -255,14 +273,14 @@ class ComplexTupleRule(Rule):
             event.key, event.kind
         ):
             table.count_sequence_discard()
-            return []
+            return _DISCARD
         kind = self._matches_component(event)
         if kind is None:
             return None
         slot = table.tuple_slot(event.key, self.rule_id)
         slot[kind] = event
         if len(slot) < len(self.kinds):
-            return []  # held while assembling
+            return _DISCARD  # held while assembling
         # Tuple complete: build the combined event.
         components = [slot[k] for k in self.kinds]
         table.clear_tuple(event.key, self.rule_id)
@@ -308,6 +326,7 @@ class CoalesceRule(Rule):
     """
 
     flush_side = "send"
+    retains_events = True  # runs are held in table.coalesce_buffer
 
     def __init__(self, max_count: int, kinds: Optional[Sequence[str]] = None):
         super().__init__()
@@ -343,7 +362,7 @@ class CoalesceRule(Rule):
         buf = table.coalesce_buffer(event.key, self.rule_id)
         buf.append(event)
         if len(buf) < self.max_count:
-            return []  # held
+            return _DISCARD  # held
         combined = self._combine(buf)
         table.coalesced_events += len(buf) - 1
         table.clear_coalesce(event.key, self.rule_id)
@@ -402,6 +421,12 @@ class RuleEngine:
                 self._recv_declared.append((position, rule.on_receive, kinds))
             if cls.on_send is not Rule.on_send:
                 self._send_declared.append((position, rule.on_send, kinds))
+        #: True when no rule in the pipeline holds event references past
+        #: its hook call — a dropped event is then provably dead and its
+        #: shell may be recycled by the caller (events.py free-list).
+        self.safe_discard = all(
+            not getattr(rule, "retains_events", False) for rule in self.rules
+        )
 
     def _lane(self, kind: str, declared: List[tuple], lanes: Dict[str, tuple]) -> tuple:
         lane = lanes.get(kind)
@@ -446,7 +471,8 @@ class RuleEngine:
             if result is None:
                 continue
             if not result:
-                return result
+                return []  # public contract: always a list (hooks
+                # themselves return the shared _DISCARD tuple)
             if len(result) == 1:
                 replacement = result[0]
                 if replacement is event:
@@ -487,10 +513,11 @@ class RuleEngine:
             result = hook(event, table)
             if result is None:
                 continue
-            if result:
-                result = self._replacements(
-                    result, self._recv_declared, self._recv_lanes, position
-                )
+            if not result:
+                return []  # discard: list-typed like every return here
+            result = self._replacements(
+                result, self._recv_declared, self._recv_lanes, position
+            )
             self.passed_receive += len(result)
             return result
         self.passed_receive += 1
@@ -507,14 +534,77 @@ class RuleEngine:
             result = hook(event, table)
             if result is None:
                 continue
-            if result:
-                result = self._replacements(
-                    result, self._send_declared, self._send_lanes, position
-                )
+            if not result:
+                return []  # discard: list-typed like every return here
+            result = self._replacements(
+                result, self._send_declared, self._send_lanes, position
+            )
             self.passed_send += len(result)
             return result
         self.passed_send += 1
         return [event]
+
+    def _send_into(self, event: UpdateEvent, outs: List[UpdateEvent]) -> int:
+        """Send-side pipeline appending survivors to ``outs``.
+
+        Same outputs and counter updates as :meth:`on_send`, but the
+        common pass-through case appends the event straight to the
+        caller's output list instead of allocating a one-element list.
+        Returns how many events were appended.
+        """
+        self.sent += 1
+        lane = self._send_lanes.get(event.kind)
+        if lane is None:
+            lane = self._lane(event.kind, self._send_declared, self._send_lanes)
+        table = self.table
+        for position, hook in lane:
+            result = hook(event, table)
+            if result is None:
+                continue
+            if result:
+                result = self._replacements(
+                    result, self._send_declared, self._send_lanes, position
+                )
+                outs.extend(result)
+            n = len(result)
+            self.passed_send += n
+            return n
+        self.passed_send += 1
+        outs.append(event)
+        return 1
+
+    def forward_into(self, event: UpdateEvent, outs: List[UpdateEvent]) -> int:
+        """Receive- then send-side pipeline for one event, appending the
+        surviving events to ``outs``.
+
+        Exactly equivalent to ``outs.extend(on_send(p)) for p in
+        on_receive(event)`` — same outputs, same counters — without the
+        two intermediate list allocations per event.  This is the
+        steady-state hot path of the overwrite lane: a discarded event
+        costs zero allocations, and when :attr:`safe_discard` holds a
+        return value of ``0`` tells the caller the event's shell may be
+        recycled.
+        """
+        self.received += 1
+        lane = self._recv_lanes.get(event.kind)
+        if lane is None:
+            lane = self._lane(event.kind, self._recv_declared, self._recv_lanes)
+        table = self.table
+        for position, hook in lane:
+            result = hook(event, table)
+            if result is None:
+                continue
+            if result:
+                result = self._replacements(
+                    result, self._recv_declared, self._recv_lanes, position
+                )
+            self.passed_receive += len(result)
+            emitted = 0
+            for passed in result:
+                emitted += self._send_into(passed, outs)
+            return emitted
+        self.passed_receive += 1
+        return self._send_into(event, outs)
 
     def forward_many(self, events: List[UpdateEvent]) -> List[UpdateEvent]:
         """Receive- then send-side pipeline over several events.

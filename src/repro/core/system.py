@@ -317,6 +317,10 @@ class MirroredServer:
             adaptation=adaptation,
             data_capacity=cfg.central_inbox_capacity,
             monitor=self.monitor,
+            # shell recycling is claim-counted; fault injection and live
+            # failover resurrect references (crash-drain triage, dead
+            # letters) the claims cannot see, so it stays off for them
+            recycle_shells=cfg.fault_plan is None and not cfg.failover,
         )
 
         # site registries (name -> unit/node) for routing and failover

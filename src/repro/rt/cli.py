@@ -153,6 +153,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         result = NetProcessRunner(
             n_mirrors=args.mirrors, n_requests=args.requests, script=script
         ).run()
+        result["event_loop"] = loop_impl
         print(json.dumps(result, indent=2, default=list))
         return 0
 

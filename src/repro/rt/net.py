@@ -111,6 +111,10 @@ def install_event_loop(name: str = "asyncio") -> str:
     ``asyncio.run`` uses it; when it is not, the stdlib loop keeps
     working with no behaviour change — the wire bytes are identical
     either way, uvloop only changes syscall batching and loop overhead.
+    The fallback is never silent: a performance comparison run against
+    a host without uvloop would otherwise measure the stdlib loop while
+    reporting nothing, so the substitution is warned once and the run
+    summary carries the loop actually in effect (``event_loop``).
     Returns the implementation actually in effect.
     """
     if name in ("", "asyncio", "default"):
@@ -120,6 +124,14 @@ def install_event_loop(name: str = "asyncio") -> str:
     try:
         import uvloop  # type: ignore[import-not-found]
     except ImportError:
+        import warnings
+
+        warnings.warn(
+            "uvloop requested but not importable; falling back to the "
+            "stdlib asyncio loop (timings are stdlib-loop timings)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return "asyncio"
     uvloop.install()
     return "uvloop"
@@ -1025,9 +1037,11 @@ class SubscriptionFanout:
     def fanout(self, payload: Any) -> None:
         """Push ``payload``'s matched events to subscriber groups.
 
-        One engine pass per event yields the matched clients; their
-        groups each encode their matched subset once.  Writes are
-        unpaced ``StreamWriter.write`` calls — subscriber volume is the
+        One batched engine pass yields every event's matched clients
+        (:meth:`SubscriptionRegistry.match_clients_batch` — index
+        lookups amortised across the batch); their groups each encode
+        their matched subset once.  Writes are unpaced
+        ``StreamWriter.write`` calls — subscriber volume is the
         *matched* stream, which selectivity keeps small by design.
         """
         if not self._groups:
@@ -1039,11 +1053,11 @@ class SubscriptionFanout:
         else:
             return
         per_group: Dict[str, List[UpdateEvent]] = {}
-        match_clients = self.registry.match_clients
+        matched_clients = self.registry.match_clients_batch(events)
         conn_of = self._conn_of
-        for event in events:
+        for event, clients in zip(events, matched_clients):
             hit: Dict[str, bool] = {}
-            for client_id in match_clients(event):
+            for client_id in clients:
                 conn = conn_of.get(client_id)
                 group = conn.group if conn is not None else None
                 if group is not None and group.signature not in hit:

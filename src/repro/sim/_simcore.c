@@ -1,0 +1,2832 @@
+/* Compiled-core lane for the simulation kernel (repro.sim).
+ *
+ * Hand-written CPython extension transliterating the pure-Python
+ * kernel (kernel.py) and resource primitives (resources.py): Event,
+ * Timeout, Process, Environment, Resource, Request, Store, StorePut,
+ * StoreGet as C types with the same attribute surface and the same
+ * scheduling semantics, so pinned figures are byte-identical across
+ * lanes.  The event heap is a C array of (when, priority, eid, event)
+ * entries — no per-schedule tuple — and process resumption runs
+ * without Python frames between callbacks.
+ *
+ * The module holds no simulation semantics of its own beyond the
+ * transliteration; configure() hands it the classes it must share
+ * with the pure lane (Interrupt, SimulationError, AllOf/AnyOf, the
+ * Release event class and the acquire() generator function), exactly
+ * like wire/_accel.c receives the codec constructors.
+ *
+ * Mixing lanes is supported (the parity suite runs a pure Store on a
+ * compiled Environment and vice versa): every internal touch of an
+ * event or environment falls back to generic attribute access when
+ * the object is not one of our C types.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stddef.h>
+#include "structmember.h"
+
+/* ---------------------------------------------------------------- */
+/* configured Python objects (shared with the pure lane)            */
+
+static PyObject *cfg_interrupt = NULL;      /* Interrupt exception class */
+static PyObject *cfg_sim_error = NULL;      /* SimulationError class     */
+static PyObject *cfg_allof = NULL;          /* AllOf class               */
+static PyObject *cfg_anyof = NULL;          /* AnyOf class               */
+static PyObject *cfg_release = NULL;        /* Release event class       */
+static PyObject *cfg_acquire = NULL;        /* acquire() generator func  */
+
+static PyObject *PENDING = NULL;            /* sentinel: not yet fired   */
+
+/* interned strings */
+static PyObject *s_send, *s_throw, *s_callbacks, *s_append, *s_remove,
+    *s_popleft, *s_clear, *s_value, *s_ok, *s_uvalue, *s_udefused,
+    *s_schedule_event, *s_now, *s_item, *s_succeed, *s_processed;
+
+#define URGENT 0
+#define NORMAL 1
+
+/* ---------------------------------------------------------------- */
+/* struct layouts                                                   */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *env;        /* Environment (usually SimEnv)           */
+    PyObject *callbacks;  /* list while pending, Py_None once run   */
+    PyObject *value;      /* PENDING until triggered                */
+    char ok;
+    char defused;
+} SimEvent;
+
+typedef struct {
+    SimEvent base;
+    double delay;
+} SimTimeout;
+
+typedef struct {
+    SimEvent base;
+    PyObject *generator;
+    PyObject *send_meth;   /* generator.send  (bound)  */
+    PyObject *throw_meth;  /* generator.throw (bound)  */
+    PyObject *target;      /* event currently waited on (or NULL)   */
+    PyObject *immediate;   /* recycled relay event (or NULL)        */
+} SimProcess;
+
+typedef struct {
+    double when;
+    long prio;
+    long long eid;
+    PyObject *ev;          /* strong ref */
+} HeapEntry;
+
+typedef struct {
+    PyObject_HEAD
+    double now;
+    HeapEntry *heap;
+    Py_ssize_t heap_len;
+    Py_ssize_t heap_cap;
+    long long eid;
+    PyObject *active;      /* active process or NULL */
+} SimEnv;
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *env;
+    Py_ssize_t capacity;
+    PyObject *users;       /* list[Request]  */
+    PyObject *queue;       /* deque[Request] */
+    PyObject *busy_since;  /* dict[Request, float] */
+    double busy_time;
+} SimResource;
+
+typedef struct {
+    SimEvent base;
+    PyObject *resource;
+    double hold;
+} SimRequest;
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *env;
+    Py_ssize_t capacity;   /* -1 == unbounded (None) */
+    PyObject *items;       /* deque */
+    PyObject *put_queue;   /* deque[StorePut] */
+    PyObject *get_queue;   /* deque[StoreGet] */
+    PyObject *watcher;     /* callable or Py_None */
+    Py_ssize_t peak;
+} SimStore;
+
+typedef struct {
+    SimEvent base;
+    PyObject *item;
+} SimStorePut;
+
+typedef struct {
+    SimEvent base;
+} SimStoreGet;
+
+static PyTypeObject EventType;
+static PyTypeObject TimeoutType;
+static PyTypeObject ProcessType;
+static PyTypeObject EnvType;
+static PyTypeObject ResourceType;
+static PyTypeObject RequestType;
+static PyTypeObject StoreType;
+static PyTypeObject StorePutType;
+static PyTypeObject StoreGetType;
+
+#define Event_Check(op) PyObject_TypeCheck((op), &EventType)
+#define Env_Check(op) PyObject_TypeCheck((op), &EnvType)
+#define Process_Check(op) PyObject_TypeCheck((op), &ProcessType)
+
+static int process_resume(SimProcess *proc, PyObject *event);
+
+/* ---------------------------------------------------------------- */
+/* error helpers                                                    */
+
+static void
+set_sim_error(const char *msg)
+{
+    PyErr_SetString(cfg_sim_error ? cfg_sim_error : PyExc_RuntimeError, msg);
+}
+
+/* raise an exception *instance* (like `raise exc`) */
+static void
+raise_instance(PyObject *exc)
+{
+    PyErr_SetObject(PyExceptionInstance_Class(exc), exc);
+}
+
+/* ---------------------------------------------------------------- */
+/* heap: binary min-heap ordered by (when, prio, eid)               */
+
+static inline int
+entry_lt(const HeapEntry *a, const HeapEntry *b)
+{
+    if (a->when != b->when)
+        return a->when < b->when;
+    if (a->prio != b->prio)
+        return a->prio < b->prio;
+    return a->eid < b->eid;
+}
+
+static int
+heap_push(SimEnv *env, double when, long prio, long long eid, PyObject *ev)
+{
+    if (env->heap_len == env->heap_cap) {
+        Py_ssize_t cap = env->heap_cap ? env->heap_cap * 2 : 64;
+        HeapEntry *h = PyMem_Realloc(env->heap, cap * sizeof(HeapEntry));
+        if (h == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        env->heap = h;
+        env->heap_cap = cap;
+    }
+    HeapEntry *heap = env->heap;
+    Py_ssize_t pos = env->heap_len++;
+    HeapEntry item = {when, prio, eid, ev};
+    Py_INCREF(ev);
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (!entry_lt(&item, &heap[parent]))
+            break;
+        heap[pos] = heap[parent];
+        pos = parent;
+    }
+    heap[pos] = item;
+    return 0;
+}
+
+/* pop the min entry into *out; caller owns out->ev */
+static void
+heap_pop(SimEnv *env, HeapEntry *out)
+{
+    HeapEntry *heap = env->heap;
+    *out = heap[0];
+    Py_ssize_t n = --env->heap_len;
+    if (n == 0)
+        return;
+    HeapEntry item = heap[n];
+    /* sift the last item down from the root */
+    Py_ssize_t pos = 0;
+    Py_ssize_t child;
+    while ((child = 2 * pos + 1) < n) {
+        if (child + 1 < n && entry_lt(&heap[child + 1], &heap[child]))
+            child += 1;
+        if (!entry_lt(&heap[child], &item))
+            break;
+        heap[pos] = heap[child];
+        pos = child;
+    }
+    heap[pos] = item;
+}
+
+/* ---------------------------------------------------------------- */
+/* scheduling across lanes                                          */
+
+/* schedule on a compiled environment (fast path) */
+static inline int
+env_schedule(SimEnv *env, PyObject *ev, long prio, double delay)
+{
+    env->eid += 1;
+    return heap_push(env, env->now + delay, prio, env->eid, ev);
+}
+
+/* schedule on any environment object */
+static int
+schedule_any(PyObject *env, PyObject *ev, long prio, double delay)
+{
+    if (Env_Check(env))
+        return env_schedule((SimEnv *)env, ev, prio, delay);
+    PyObject *r = PyObject_CallMethod(env, "_schedule_event", "(Old)",
+                                      ev, prio, delay);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+static double
+env_now_any(PyObject *env, int *err)
+{
+    if (Env_Check(env)) {
+        *err = 0;
+        return ((SimEnv *)env)->now;
+    }
+    PyObject *v = PyObject_GetAttr(env, s_now);
+    if (v == NULL) {
+        *err = 1;
+        return 0.0;
+    }
+    double d = PyFloat_AsDouble(v);
+    Py_DECREF(v);
+    if (d == -1.0 && PyErr_Occurred()) {
+        *err = 1;
+        return 0.0;
+    }
+    *err = 0;
+    return d;
+}
+
+/* ---------------------------------------------------------------- */
+/* Event                                                            */
+
+static int
+event_init_fields(SimEvent *self, PyObject *env)
+{
+    PyObject *cbs = PyList_New(0);
+    if (cbs == NULL)
+        return -1;
+    Py_INCREF(env);
+    Py_XSETREF(self->env, env);
+    Py_XSETREF(self->callbacks, cbs);
+    Py_INCREF(PENDING);
+    Py_XSETREF(self->value, PENDING);
+    self->ok = 1;
+    self->defused = 0;
+    return 0;
+}
+
+static int
+Event_init(SimEvent *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"env", NULL};
+    PyObject *env;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O:Event", kwlist, &env))
+        return -1;
+    return event_init_fields(self, env);
+}
+
+static int
+Event_traverse(SimEvent *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->env);
+    Py_VISIT(self->callbacks);
+    Py_VISIT(self->value);
+    return 0;
+}
+
+static int
+Event_clear_refs(SimEvent *self)
+{
+    Py_CLEAR(self->env);
+    Py_CLEAR(self->callbacks);
+    Py_CLEAR(self->value);
+    return 0;
+}
+
+static void
+Event_dealloc(SimEvent *self)
+{
+    PyObject_GC_UnTrack(self);
+    Event_clear_refs(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* internal trigger: no already-triggered check (callers guarantee) */
+static int
+event_trigger(SimEvent *self, PyObject *value, int ok, long prio, double delay)
+{
+    Py_INCREF(value);
+    Py_XSETREF(self->value, value);
+    self->ok = (char)ok;
+    return schedule_any(self->env, (PyObject *)self, prio, delay);
+}
+
+static PyObject *
+Event_succeed(SimEvent *self, PyObject *args)
+{
+    PyObject *value = Py_None;
+    if (!PyArg_ParseTuple(args, "|O:succeed", &value))
+        return NULL;
+    if (self->value != PENDING) {
+        PyErr_Format(cfg_sim_error, "%R has already been triggered", self);
+        return NULL;
+    }
+    if (event_trigger(self, value, 1, NORMAL, 0.0) < 0)
+        return NULL;
+    Py_INCREF(self);
+    return (PyObject *)self;
+}
+
+static PyObject *
+Event_fail(SimEvent *self, PyObject *exc)
+{
+    if (!PyExceptionInstance_Check(exc)) {
+        PyErr_Format(PyExc_TypeError, "%R is not an exception", exc);
+        return NULL;
+    }
+    if (self->value != PENDING) {
+        PyErr_Format(cfg_sim_error, "%R has already been triggered", self);
+        return NULL;
+    }
+    if (event_trigger(self, exc, 0, NORMAL, 0.0) < 0)
+        return NULL;
+    Py_INCREF(self);
+    return (PyObject *)self;
+}
+
+static PyObject *
+Event_get_triggered(SimEvent *self, void *closure)
+{
+    return PyBool_FromLong(self->value != PENDING);
+}
+
+static PyObject *
+Event_get_processed(SimEvent *self, void *closure)
+{
+    return PyBool_FromLong(self->callbacks == Py_None);
+}
+
+static PyObject *
+Event_get_ok(SimEvent *self, void *closure)
+{
+    return PyBool_FromLong(self->ok);
+}
+
+static PyObject *
+Event_get_value(SimEvent *self, void *closure)
+{
+    if (self->value == PENDING) {
+        set_sim_error("value of event is not yet available");
+        return NULL;
+    }
+    Py_INCREF(self->value);
+    return self->value;
+}
+
+static PyObject *
+Event_get_env(SimEvent *self, void *closure)
+{
+    PyObject *env = self->env ? self->env : Py_None;
+    Py_INCREF(env);
+    return env;
+}
+
+static int
+Event_set_env(SimEvent *self, PyObject *v, void *closure)
+{
+    if (v == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "cannot delete env");
+        return -1;
+    }
+    Py_INCREF(v);
+    Py_XSETREF(self->env, v);
+    return 0;
+}
+
+static PyObject *
+Event_get_callbacks(SimEvent *self, void *closure)
+{
+    PyObject *cbs = self->callbacks ? self->callbacks : Py_None;
+    Py_INCREF(cbs);
+    return cbs;
+}
+
+static int
+Event_set_callbacks(SimEvent *self, PyObject *v, void *closure)
+{
+    if (v == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "cannot delete callbacks");
+        return -1;
+    }
+    Py_INCREF(v);
+    Py_XSETREF(self->callbacks, v);
+    return 0;
+}
+
+static PyObject *
+Event_get_uvalue(SimEvent *self, void *closure)
+{
+    Py_INCREF(self->value);
+    return self->value;
+}
+
+static int
+Event_set_uvalue(SimEvent *self, PyObject *v, void *closure)
+{
+    if (v == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "cannot delete _value");
+        return -1;
+    }
+    Py_INCREF(v);
+    Py_XSETREF(self->value, v);
+    return 0;
+}
+
+static PyObject *
+Event_get_uok(SimEvent *self, void *closure)
+{
+    return PyBool_FromLong(self->ok);
+}
+
+static int
+Event_set_uok(SimEvent *self, PyObject *v, void *closure)
+{
+    int t = PyObject_IsTrue(v);
+    if (t < 0)
+        return -1;
+    self->ok = (char)t;
+    return 0;
+}
+
+static PyObject *
+Event_get_udefused(SimEvent *self, void *closure)
+{
+    return PyBool_FromLong(self->defused);
+}
+
+static int
+Event_set_udefused(SimEvent *self, PyObject *v, void *closure)
+{
+    int t = PyObject_IsTrue(v);
+    if (t < 0)
+        return -1;
+    self->defused = (char)t;
+    return 0;
+}
+
+static PyObject *
+Event_repr(SimEvent *self)
+{
+    const char *state = self->value == PENDING
+        ? "pending" : (self->ok ? "ok" : "failed");
+    return PyUnicode_FromFormat("<%s %s at %p>",
+                                Py_TYPE(self)->tp_name, state, self);
+}
+
+static PyObject *
+Event_and(PyObject *self, PyObject *other)
+{
+    if (!Event_Check(self) || cfg_allof == NULL) {
+        Py_RETURN_NOTIMPLEMENTED;
+    }
+    PyObject *events = PyList_New(2);
+    if (events == NULL)
+        return NULL;
+    Py_INCREF(self);
+    PyList_SET_ITEM(events, 0, self);
+    Py_INCREF(other);
+    PyList_SET_ITEM(events, 1, other);
+    PyObject *res = PyObject_CallFunctionObjArgs(
+        cfg_allof, ((SimEvent *)self)->env, events, NULL);
+    Py_DECREF(events);
+    return res;
+}
+
+static PyObject *
+Event_or(PyObject *self, PyObject *other)
+{
+    if (!Event_Check(self) || cfg_anyof == NULL) {
+        Py_RETURN_NOTIMPLEMENTED;
+    }
+    PyObject *events = PyList_New(2);
+    if (events == NULL)
+        return NULL;
+    Py_INCREF(self);
+    PyList_SET_ITEM(events, 0, self);
+    Py_INCREF(other);
+    PyList_SET_ITEM(events, 1, other);
+    PyObject *res = PyObject_CallFunctionObjArgs(
+        cfg_anyof, ((SimEvent *)self)->env, events, NULL);
+    Py_DECREF(events);
+    return res;
+}
+
+static PyNumberMethods Event_as_number = {
+    .nb_and = Event_and,
+    .nb_or = Event_or,
+};
+
+static PyMethodDef Event_methods[] = {
+    {"succeed", (PyCFunction)Event_succeed, METH_VARARGS,
+     "Trigger the event successfully with ``value``."},
+    {"fail", (PyCFunction)Event_fail, METH_O,
+     "Trigger the event with an exception."},
+    {NULL}
+};
+
+static PyGetSetDef Event_getset[] = {
+    {"triggered", (getter)Event_get_triggered, NULL, NULL, NULL},
+    {"processed", (getter)Event_get_processed, NULL, NULL, NULL},
+    {"ok", (getter)Event_get_ok, NULL, NULL, NULL},
+    {"value", (getter)Event_get_value, NULL, NULL, NULL},
+    {"env", (getter)Event_get_env, (setter)Event_set_env, NULL, NULL},
+    {"callbacks", (getter)Event_get_callbacks, (setter)Event_set_callbacks,
+     NULL, NULL},
+    {"_value", (getter)Event_get_uvalue, (setter)Event_set_uvalue, NULL, NULL},
+    {"_ok", (getter)Event_get_uok, (setter)Event_set_uok, NULL, NULL},
+    {"_defused", (getter)Event_get_udefused, (setter)Event_set_udefused,
+     NULL, NULL},
+    {NULL}
+};
+
+static PyTypeObject EventType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._simcore.Event",
+    .tp_basicsize = sizeof(SimEvent),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A one-shot occurrence that processes can wait on.",
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Event_init,
+    .tp_dealloc = (destructor)Event_dealloc,
+    .tp_traverse = (traverseproc)Event_traverse,
+    .tp_clear = (inquiry)Event_clear_refs,
+    .tp_repr = (reprfunc)Event_repr,
+    .tp_as_number = &Event_as_number,
+    .tp_methods = Event_methods,
+    .tp_getset = Event_getset,
+};
+
+/* ---------------------------------------------------------------- */
+/* Timeout                                                          */
+
+static int
+Timeout_init(SimTimeout *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"env", "delay", "value", NULL};
+    PyObject *env, *delay_obj, *value = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OO|O:Timeout", kwlist,
+                                     &env, &delay_obj, &value))
+        return -1;
+    double delay = PyFloat_AsDouble(delay_obj);
+    if (delay == -1.0 && PyErr_Occurred())
+        return -1;
+    if (delay < 0) {
+        PyErr_Format(PyExc_ValueError, "negative delay %S", delay_obj);
+        return -1;
+    }
+    if (event_init_fields(&self->base, env) < 0)
+        return -1;
+    self->delay = delay;
+    Py_INCREF(value);
+    Py_SETREF(self->base.value, value);
+    self->base.ok = 1;
+    return schedule_any(env, (PyObject *)self, NORMAL, delay);
+}
+
+static PyObject *
+Timeout_get_delay(SimTimeout *self, void *closure)
+{
+    return PyFloat_FromDouble(self->delay);
+}
+
+static PyGetSetDef Timeout_getset[] = {
+    {"delay", (getter)Timeout_get_delay, NULL, NULL, NULL},
+    {NULL}
+};
+
+static PyTypeObject TimeoutType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._simcore.Timeout",
+    .tp_basicsize = sizeof(SimTimeout),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE,
+    .tp_doc = "An event that fires ``delay`` time units after creation.",
+    .tp_base = &EventType,
+    .tp_init = (initproc)Timeout_init,
+    .tp_getset = Timeout_getset,
+};
+
+/* ---------------------------------------------------------------- */
+/* Process                                                          */
+
+/* fetch the just-raised exception as a normalized instance */
+static PyObject *
+fetch_exc_instance(void)
+{
+#if PY_VERSION_HEX >= 0x030C0000
+    return PyErr_GetRaisedException();
+#else
+    PyObject *type, *value, *tb;
+    PyErr_Fetch(&type, &value, &tb);
+    PyErr_NormalizeException(&type, &value, &tb);
+    if (value != NULL && tb != NULL)
+        PyException_SetTraceback(value, tb);
+    Py_XDECREF(type);
+    Py_XDECREF(tb);
+    return value;
+#endif
+}
+
+static int
+Process_init(SimProcess *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"env", "generator", NULL};
+    PyObject *env, *generator;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OO:Process", kwlist,
+                                     &env, &generator))
+        return -1;
+    PyObject *throw_meth = PyObject_GetAttr(generator, s_throw);
+    if (throw_meth == NULL) {
+        PyErr_Clear();
+        PyErr_Format(PyExc_TypeError, "%R is not a generator", generator);
+        return -1;
+    }
+    PyObject *send_meth = PyObject_GetAttr(generator, s_send);
+    if (send_meth == NULL) {
+        Py_DECREF(throw_meth);
+        return -1;
+    }
+    if (event_init_fields(&self->base, env) < 0) {
+        Py_DECREF(throw_meth);
+        Py_DECREF(send_meth);
+        return -1;
+    }
+    Py_INCREF(generator);
+    Py_XSETREF(self->generator, generator);
+    Py_XSETREF(self->send_meth, send_meth);
+    Py_XSETREF(self->throw_meth, throw_meth);
+    Py_CLEAR(self->target);
+    Py_CLEAR(self->immediate);
+
+    /* _Initialize: a pre-succeeded event carrying the first resume */
+    SimEvent *init = (SimEvent *)EventType.tp_alloc(&EventType, 0);
+    if (init == NULL)
+        return -1;
+    if (event_init_fields(init, env) < 0) {
+        Py_DECREF(init);
+        return -1;
+    }
+    Py_INCREF(Py_None);
+    Py_SETREF(init->value, Py_None);
+    init->ok = 1;
+    if (PyList_Append(init->callbacks, (PyObject *)self) < 0) {
+        Py_DECREF(init);
+        return -1;
+    }
+    int rc = schedule_any(env, (PyObject *)init, URGENT, 0.0);
+    Py_DECREF(init);
+    return rc;
+}
+
+static int
+Process_traverse(SimProcess *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->generator);
+    Py_VISIT(self->send_meth);
+    Py_VISIT(self->throw_meth);
+    Py_VISIT(self->target);
+    Py_VISIT(self->immediate);
+    return Event_traverse(&self->base, visit, arg);
+}
+
+static int
+Process_clear_refs(SimProcess *self)
+{
+    Py_CLEAR(self->generator);
+    Py_CLEAR(self->send_meth);
+    Py_CLEAR(self->throw_meth);
+    Py_CLEAR(self->target);
+    Py_CLEAR(self->immediate);
+    return Event_clear_refs(&self->base);
+}
+
+static void
+Process_dealloc(SimProcess *self)
+{
+    PyObject_GC_UnTrack(self);
+    Process_clear_refs(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+Process_get_is_alive(SimProcess *self, void *closure)
+{
+    return PyBool_FromLong(self->base.value == PENDING);
+}
+
+static PyObject *
+Process_get_target(SimProcess *self, void *closure)
+{
+    PyObject *t = self->target ? self->target : Py_None;
+    Py_INCREF(t);
+    return t;
+}
+
+static PyObject *
+Process_get_generator(SimProcess *self, void *closure)
+{
+    PyObject *g = self->generator ? self->generator : Py_None;
+    Py_INCREF(g);
+    return g;
+}
+
+/* the registered callback for a compiled process is the process
+ * object itself; expose ``_resume`` (the pure lane's bound-method
+ * name) as the same object so ``callbacks.remove(p._resume)`` and
+ * identity checks keep working across lanes */
+static PyObject *
+Process_get_resume(SimProcess *self, void *closure)
+{
+    Py_INCREF(self);
+    return (PyObject *)self;
+}
+
+static PyObject *
+Process_interrupt(SimProcess *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"cause", NULL};
+    PyObject *cause = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|O:interrupt", kwlist,
+                                     &cause))
+        return NULL;
+    if (self->base.value != PENDING) {
+        set_sim_error("cannot interrupt a dead process");
+        return NULL;
+    }
+    if (self->target == (PyObject *)self) {
+        set_sim_error("a process cannot interrupt itself");
+        return NULL;
+    }
+    PyObject *exc = PyObject_CallFunctionObjArgs(cfg_interrupt, cause, NULL);
+    if (exc == NULL)
+        return NULL;
+    SimEvent *wakeup = (SimEvent *)EventType.tp_alloc(&EventType, 0);
+    if (wakeup == NULL) {
+        Py_DECREF(exc);
+        return NULL;
+    }
+    if (event_init_fields(wakeup, self->base.env) < 0) {
+        Py_DECREF(exc);
+        Py_DECREF(wakeup);
+        return NULL;
+    }
+    Py_SETREF(wakeup->value, exc);
+    wakeup->ok = 0;
+    wakeup->defused = 1;
+    if (PyList_Append(wakeup->callbacks, (PyObject *)self) < 0 ||
+        schedule_any(self->base.env, (PyObject *)wakeup, URGENT, 0.0) < 0) {
+        Py_DECREF(wakeup);
+        return NULL;
+    }
+    Py_DECREF(wakeup);
+    PyObject *target = self->target;
+    if (target != NULL) {
+        PyObject *cbs;
+        if (Event_Check(target)) {
+            cbs = ((SimEvent *)target)->callbacks;
+            Py_XINCREF(cbs);
+        }
+        else {
+            cbs = PyObject_GetAttr(target, s_callbacks);
+            if (cbs == NULL)
+                return NULL;
+        }
+        if (cbs != NULL && cbs != Py_None) {
+            if (PyList_CheckExact(cbs)) {
+                Py_ssize_t n = PyList_GET_SIZE(cbs);
+                for (Py_ssize_t i = 0; i < n; i++) {
+                    if (PyList_GET_ITEM(cbs, i) == (PyObject *)self) {
+                        if (PyList_SetSlice(cbs, i, i + 1, NULL) < 0) {
+                            Py_DECREF(cbs);
+                            return NULL;
+                        }
+                        break;
+                    }
+                }
+            }
+            else {
+                PyObject *r = PyObject_CallMethodObjArgs(
+                    cbs, s_remove, (PyObject *)self, NULL);
+                if (r == NULL) {
+                    if (PyErr_ExceptionMatches(PyExc_ValueError))
+                        PyErr_Clear();
+                    else {
+                        Py_DECREF(cbs);
+                        return NULL;
+                    }
+                }
+                else
+                    Py_DECREF(r);
+            }
+        }
+        Py_XDECREF(cbs);
+        Py_CLEAR(self->target);
+    }
+    Py_RETURN_NONE;
+}
+
+/* read (_ok, _value) from any event object */
+static int
+event_state_any(PyObject *ev, int *ok, PyObject **value)
+{
+    if (Event_Check(ev)) {
+        *ok = ((SimEvent *)ev)->ok;
+        *value = ((SimEvent *)ev)->value;
+        Py_INCREF(*value);
+        return 0;
+    }
+    PyObject *okobj = PyObject_GetAttr(ev, s_ok);
+    if (okobj == NULL)
+        return -1;
+    int t = PyObject_IsTrue(okobj);
+    Py_DECREF(okobj);
+    if (t < 0)
+        return -1;
+    *ok = t;
+    *value = PyObject_GetAttr(ev, s_uvalue);
+    if (*value == NULL)
+        return -1;
+    return 0;
+}
+
+static int
+event_set_defused_any(PyObject *ev)
+{
+    if (Event_Check(ev)) {
+        ((SimEvent *)ev)->defused = 1;
+        return 0;
+    }
+    return PyObject_SetAttr(ev, s_udefused, Py_True);
+}
+
+/* the heart of the lane: one process resumption, no Python frames */
+static int
+process_resume(SimProcess *self, PyObject *event)
+{
+    SimEnv *cenv = Env_Check(self->base.env) ? (SimEnv *)self->base.env : NULL;
+    int ev_ok;
+    PyObject *ev_value;
+    if (event_state_any(event, &ev_ok, &ev_value) < 0)
+        return -1;
+
+    if (cenv != NULL) {
+        Py_INCREF(self);
+        Py_XSETREF(cenv->active, (PyObject *)self);
+    }
+    PyObject *next_event;
+    if (ev_ok) {
+        next_event = PyObject_CallOneArg(self->send_meth, ev_value);
+    }
+    else {
+        if (event_set_defused_any(event) < 0) {
+            Py_DECREF(ev_value);
+            return -1;
+        }
+        next_event = PyObject_CallOneArg(self->throw_meth, ev_value);
+    }
+    Py_DECREF(ev_value);
+    if (cenv != NULL)
+        Py_CLEAR(cenv->active);
+
+    if (next_event == NULL) {
+        if (PyErr_ExceptionMatches(PyExc_StopIteration)) {
+            PyObject *exc = fetch_exc_instance();
+            PyObject *retval = exc ? PyObject_GetAttr(exc, s_value) : NULL;
+            Py_XDECREF(exc);
+            if (retval == NULL)
+                return -1;
+            Py_CLEAR(self->target);
+            if (self->base.value != PENDING) {
+                Py_DECREF(retval);
+                PyErr_Format(cfg_sim_error,
+                             "%R has already been triggered", self);
+                return -1;
+            }
+            int rc = event_trigger(&self->base, retval, 1, NORMAL, 0.0);
+            Py_DECREF(retval);
+            return rc;
+        }
+        /* any other exception fails the process event (pure lane's
+         * ``except BaseException`` branch) */
+        PyObject *exc = fetch_exc_instance();
+        if (exc == NULL)
+            return -1;
+        Py_CLEAR(self->target);
+        if (self->base.value != PENDING) {
+            Py_DECREF(exc);
+            PyErr_Format(cfg_sim_error, "%R has already been triggered", self);
+            return -1;
+        }
+        int rc = event_trigger(&self->base, exc, 0, NORMAL, 0.0);
+        Py_DECREF(exc);
+        return rc;
+    }
+
+    /* fast path: the yielded object is one of our events */
+    if (Event_Check(next_event)) {
+        SimEvent *nev = (SimEvent *)next_event;
+        PyObject *pending = nev->callbacks;
+        if (pending != Py_None && pending != NULL) {
+            if (PyList_CheckExact(pending)) {
+                if (PyList_Append(pending, (PyObject *)self) < 0) {
+                    Py_DECREF(next_event);
+                    return -1;
+                }
+            }
+            else {
+                PyObject *r = PyObject_CallMethodObjArgs(
+                    pending, s_append, (PyObject *)self, NULL);
+                if (r == NULL) {
+                    Py_DECREF(next_event);
+                    return -1;
+                }
+                Py_DECREF(r);
+            }
+            Py_XSETREF(self->target, next_event);
+            return 0;
+        }
+        /* already processed: relay through the recycled immediate */
+        SimEvent *imm = (SimEvent *)self->immediate;
+        if (imm == NULL) {
+            imm = (SimEvent *)EventType.tp_alloc(&EventType, 0);
+            if (imm == NULL || event_init_fields(imm, self->base.env) < 0) {
+                Py_XDECREF(imm);
+                Py_DECREF(next_event);
+                return -1;
+            }
+            self->immediate = (PyObject *)imm;
+        }
+        PyObject *cbs = PyList_New(1);
+        if (cbs == NULL) {
+            Py_DECREF(next_event);
+            return -1;
+        }
+        Py_INCREF(self);
+        PyList_SET_ITEM(cbs, 0, (PyObject *)self);
+        Py_XSETREF(imm->callbacks, cbs);
+        imm->ok = nev->ok;
+        Py_INCREF(nev->value);
+        Py_XSETREF(imm->value, nev->value);
+        imm->defused = !nev->ok;
+        if (!nev->ok)
+            nev->defused = 1;
+        if (schedule_any(self->base.env, (PyObject *)imm, URGENT, 0.0) < 0) {
+            Py_DECREF(next_event);
+            return -1;
+        }
+        Py_XSETREF(self->target, next_event);
+        return 0;
+    }
+
+    /* generic path (pure-lane events in mixed mode, or a non-event) */
+    PyObject *pending = PyObject_GetAttr(next_event, s_callbacks);
+    if (pending == NULL) {
+        if (!PyErr_ExceptionMatches(PyExc_AttributeError)) {
+            Py_DECREF(next_event);
+            return -1;
+        }
+        PyErr_Clear();
+        PyErr_Format(cfg_sim_error, "process %R yielded a non-event: %R",
+                     self->generator, next_event);
+        Py_DECREF(next_event);
+        return -1;
+    }
+    if (pending != Py_None) {
+        PyObject *r = PyObject_CallMethodObjArgs(
+            pending, s_append, (PyObject *)self, NULL);
+        Py_DECREF(pending);
+        if (r == NULL) {
+            Py_DECREF(next_event);
+            return -1;
+        }
+        Py_DECREF(r);
+        Py_XSETREF(self->target, next_event);
+        return 0;
+    }
+    Py_DECREF(pending);
+    /* already-processed pure event: relay immediately */
+    int nok;
+    PyObject *nvalue;
+    if (event_state_any(next_event, &nok, &nvalue) < 0) {
+        Py_DECREF(next_event);
+        return -1;
+    }
+    SimEvent *imm = (SimEvent *)self->immediate;
+    if (imm == NULL) {
+        imm = (SimEvent *)EventType.tp_alloc(&EventType, 0);
+        if (imm == NULL || event_init_fields(imm, self->base.env) < 0) {
+            Py_XDECREF(imm);
+            Py_DECREF(nvalue);
+            Py_DECREF(next_event);
+            return -1;
+        }
+        self->immediate = (PyObject *)imm;
+    }
+    PyObject *cbs = PyList_New(1);
+    if (cbs == NULL) {
+        Py_DECREF(nvalue);
+        Py_DECREF(next_event);
+        return -1;
+    }
+    Py_INCREF(self);
+    PyList_SET_ITEM(cbs, 0, (PyObject *)self);
+    Py_XSETREF(imm->callbacks, cbs);
+    imm->ok = (char)nok;
+    Py_XSETREF(imm->value, nvalue);
+    imm->defused = !nok;
+    if (!nok && event_set_defused_any(next_event) < 0) {
+        Py_DECREF(next_event);
+        return -1;
+    }
+    if (schedule_any(self->base.env, (PyObject *)imm, URGENT, 0.0) < 0) {
+        Py_DECREF(next_event);
+        return -1;
+    }
+    Py_XSETREF(self->target, next_event);
+    return 0;
+}
+
+/* a compiled process is callable as ``callback(event)`` so pure-lane
+ * dispatch loops can invoke it transparently */
+static PyObject *
+Process_call(SimProcess *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *event;
+    if (!PyArg_ParseTuple(args, "O:_resume", &event))
+        return NULL;
+    if (process_resume(self, event) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef Process_methods[] = {
+    {"interrupt", (PyCFunction)Process_interrupt,
+     METH_VARARGS | METH_KEYWORDS,
+     "Throw Interrupt into the process at its yield point."},
+    {NULL}
+};
+
+static PyGetSetDef Process_getset[] = {
+    {"is_alive", (getter)Process_get_is_alive, NULL, NULL, NULL},
+    {"_target", (getter)Process_get_target, NULL, NULL, NULL},
+    {"_generator", (getter)Process_get_generator, NULL, NULL, NULL},
+    {"_resume", (getter)Process_get_resume, NULL, NULL, NULL},
+    {NULL}
+};
+
+static PyTypeObject ProcessType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._simcore.Process",
+    .tp_basicsize = sizeof(SimProcess),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Wraps a generator as a simulation process.",
+    .tp_base = &EventType,
+    .tp_init = (initproc)Process_init,
+    .tp_dealloc = (destructor)Process_dealloc,
+    .tp_traverse = (traverseproc)Process_traverse,
+    .tp_clear = (inquiry)Process_clear_refs,
+    .tp_call = (ternaryfunc)Process_call,
+    .tp_methods = Process_methods,
+    .tp_getset = Process_getset,
+};
+
+/* ---------------------------------------------------------------- */
+/* Environment                                                      */
+
+static int
+Env_init(SimEnv *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"initial_time", NULL};
+    double t0 = 0.0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|d:Environment", kwlist,
+                                     &t0))
+        return -1;
+    self->now = t0;
+    self->eid = 0;
+    /* re-init support: drop any existing heap */
+    for (Py_ssize_t i = 0; i < self->heap_len; i++)
+        Py_DECREF(self->heap[i].ev);
+    self->heap_len = 0;
+    Py_CLEAR(self->active);
+    return 0;
+}
+
+static int
+Env_traverse(SimEnv *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->active);
+    for (Py_ssize_t i = 0; i < self->heap_len; i++)
+        Py_VISIT(self->heap[i].ev);
+    return 0;
+}
+
+static int
+Env_clear_refs(SimEnv *self)
+{
+    Py_CLEAR(self->active);
+    for (Py_ssize_t i = 0; i < self->heap_len; i++)
+        Py_CLEAR(self->heap[i].ev);
+    self->heap_len = 0;
+    return 0;
+}
+
+static void
+Env_dealloc(SimEnv *self)
+{
+    PyObject_GC_UnTrack(self);
+    Env_clear_refs(self);
+    PyMem_Free(self->heap);
+    self->heap = NULL;
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* run the callbacks of one popped event; steals nothing, borrows ev */
+static int
+dispatch_event(SimEnv *self, PyObject *ev)
+{
+    if (Event_Check(ev)) {
+        SimEvent *cev = (SimEvent *)ev;
+        PyObject *callbacks = cev->callbacks;
+        if (callbacks == NULL) {
+            Py_INCREF(Py_None);
+            callbacks = Py_None;
+        }
+        Py_INCREF(Py_None);
+        cev->callbacks = Py_None;   /* steal old ref into `callbacks` */
+        if (callbacks != Py_None && PyList_CheckExact(callbacks)) {
+            for (Py_ssize_t i = 0; i < PyList_GET_SIZE(callbacks); i++) {
+                PyObject *cb = PyList_GET_ITEM(callbacks, i);
+                if (Process_Check(cb)) {
+                    if (process_resume((SimProcess *)cb, ev) < 0) {
+                        Py_DECREF(callbacks);
+                        return -1;
+                    }
+                }
+                else {
+                    PyObject *r = PyObject_CallOneArg(cb, ev);
+                    if (r == NULL) {
+                        Py_DECREF(callbacks);
+                        return -1;
+                    }
+                    Py_DECREF(r);
+                }
+            }
+        }
+        else if (callbacks != Py_None) {
+            /* exotic container: iterate generically */
+            PyObject *it = PyObject_GetIter(callbacks);
+            if (it == NULL) {
+                Py_DECREF(callbacks);
+                return -1;
+            }
+            PyObject *cb;
+            while ((cb = PyIter_Next(it)) != NULL) {
+                PyObject *r = PyObject_CallOneArg(cb, ev);
+                Py_DECREF(cb);
+                if (r == NULL) {
+                    Py_DECREF(it);
+                    Py_DECREF(callbacks);
+                    return -1;
+                }
+                Py_DECREF(r);
+            }
+            Py_DECREF(it);
+            if (PyErr_Occurred()) {
+                Py_DECREF(callbacks);
+                return -1;
+            }
+        }
+        Py_DECREF(callbacks);
+        if (!cev->ok && !cev->defused) {
+            raise_instance(cev->value);
+            return -1;
+        }
+        return 0;
+    }
+
+    /* pure-lane event in mixed mode */
+    PyObject *callbacks = PyObject_GetAttr(ev, s_callbacks);
+    if (callbacks == NULL)
+        return -1;
+    if (PyObject_SetAttr(ev, s_callbacks, Py_None) < 0) {
+        Py_DECREF(callbacks);
+        return -1;
+    }
+    if (callbacks != Py_None) {
+        if (PyList_CheckExact(callbacks)) {
+            for (Py_ssize_t i = 0; i < PyList_GET_SIZE(callbacks); i++) {
+                PyObject *cb = PyList_GET_ITEM(callbacks, i);
+                PyObject *r;
+                if (Process_Check(cb)) {
+                    if (process_resume((SimProcess *)cb, ev) < 0) {
+                        Py_DECREF(callbacks);
+                        return -1;
+                    }
+                    continue;
+                }
+                r = PyObject_CallOneArg(cb, ev);
+                if (r == NULL) {
+                    Py_DECREF(callbacks);
+                    return -1;
+                }
+                Py_DECREF(r);
+            }
+        }
+        else {
+            PyObject *it = PyObject_GetIter(callbacks);
+            if (it == NULL) {
+                Py_DECREF(callbacks);
+                return -1;
+            }
+            PyObject *cb;
+            while ((cb = PyIter_Next(it)) != NULL) {
+                PyObject *r = PyObject_CallOneArg(cb, ev);
+                Py_DECREF(cb);
+                if (r == NULL) {
+                    Py_DECREF(it);
+                    Py_DECREF(callbacks);
+                    return -1;
+                }
+                Py_DECREF(r);
+            }
+            Py_DECREF(it);
+            if (PyErr_Occurred()) {
+                Py_DECREF(callbacks);
+                return -1;
+            }
+        }
+    }
+    Py_DECREF(callbacks);
+    int ok;
+    PyObject *value;
+    if (event_state_any(ev, &ok, &value) < 0)
+        return -1;
+    if (!ok) {
+        PyObject *defused = PyObject_GetAttr(ev, s_udefused);
+        if (defused == NULL) {
+            Py_DECREF(value);
+            return -1;
+        }
+        int d = PyObject_IsTrue(defused);
+        Py_DECREF(defused);
+        if (d < 0) {
+            Py_DECREF(value);
+            return -1;
+        }
+        if (!d) {
+            raise_instance(value);
+            Py_DECREF(value);
+            return -1;
+        }
+    }
+    Py_DECREF(value);
+    return 0;
+}
+
+/* pop + dispatch exactly one event */
+static int
+env_step(SimEnv *self)
+{
+    if (self->heap_len == 0) {
+        set_sim_error("no scheduled events");
+        return -1;
+    }
+    HeapEntry entry;
+    heap_pop(self, &entry);
+    self->now = entry.when;
+    int rc = dispatch_event(self, entry.ev);
+    Py_DECREF(entry.ev);
+    return rc;
+}
+
+static PyObject *
+Env_step(SimEnv *self, PyObject *noarg)
+{
+    if (env_step(self) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Env_peek(SimEnv *self, PyObject *noarg)
+{
+    if (self->heap_len == 0)
+        return PyFloat_FromDouble(Py_HUGE_VAL);
+    return PyFloat_FromDouble(self->heap[0].when);
+}
+
+/* is this object event-like (for run(until=...))? */
+static int
+processed_any(PyObject *ev, int *processed)
+{
+    if (Event_Check(ev)) {
+        *processed = ((SimEvent *)ev)->callbacks == Py_None;
+        return 0;
+    }
+    PyObject *p = PyObject_GetAttr(ev, s_processed);
+    if (p == NULL)
+        return -1;
+    int t = PyObject_IsTrue(p);
+    Py_DECREF(p);
+    if (t < 0)
+        return -1;
+    *processed = t;
+    return 0;
+}
+
+static PyObject *
+value_any(PyObject *ev)
+{
+    if (Event_Check(ev)) {
+        PyObject *v = ((SimEvent *)ev)->value;
+        Py_INCREF(v);
+        return v;
+    }
+    return PyObject_GetAttr(ev, s_uvalue);
+}
+
+static PyObject *
+Env_run(SimEnv *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"until", NULL};
+    PyObject *until = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|O:run", kwlist, &until))
+        return NULL;
+
+    PyObject *stop_event = NULL;
+    double stop_time = Py_HUGE_VAL;
+    if (until != Py_None) {
+        int is_event = Event_Check(until);
+        if (!is_event) {
+            /* pure-lane Event (mixed mode) also counts: duck-type on
+             * the callbacks field, like the pure kernel's resume path */
+            is_event = PyObject_HasAttr(until, s_callbacks) &&
+                       !PyNumber_Check(until);
+        }
+        if (is_event) {
+            stop_event = until;
+            int processed;
+            if (processed_any(stop_event, &processed) < 0)
+                return NULL;
+            if (processed)
+                return value_any(stop_event);
+        }
+        else {
+            stop_time = PyFloat_AsDouble(until);
+            if (stop_time == -1.0 && PyErr_Occurred())
+                return NULL;
+            if (stop_time < self->now) {
+                PyObject *st = PyFloat_FromDouble(stop_time);
+                PyObject *nw = PyFloat_FromDouble(self->now);
+                if (st != NULL && nw != NULL)
+                    PyErr_Format(PyExc_ValueError,
+                                 "until=%S is in the past (now=%S)", st, nw);
+                Py_XDECREF(st);
+                Py_XDECREF(nw);
+                return NULL;
+            }
+        }
+    }
+
+    if (stop_event == NULL && stop_time == Py_HUGE_VAL) {
+        /* drain-the-heap fast path */
+        while (self->heap_len) {
+            if (env_step(self) < 0)
+                return NULL;
+        }
+        Py_RETURN_NONE;
+    }
+
+    while (self->heap_len) {
+        if (stop_event != NULL) {
+            int processed;
+            if (processed_any(stop_event, &processed) < 0)
+                return NULL;
+            if (processed)
+                return value_any(stop_event);
+        }
+        if (self->heap[0].when > stop_time) {
+            self->now = stop_time;
+            Py_RETURN_NONE;
+        }
+        if (env_step(self) < 0)
+            return NULL;
+    }
+
+    if (stop_event != NULL) {
+        int processed;
+        if (processed_any(stop_event, &processed) < 0)
+            return NULL;
+        if (processed)
+            return value_any(stop_event);
+        set_sim_error(
+            "run() finished with its until-event still pending: "
+            "the simulation deadlocked or the event is never triggered");
+        return NULL;
+    }
+    if (stop_time != Py_HUGE_VAL)
+        self->now = stop_time;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Env_schedule_event(SimEnv *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"event", "priority", "delay", NULL};
+    PyObject *event;
+    int priority;
+    double delay = 0.0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "Oi|d:_schedule_event",
+                                     kwlist, &event, &priority, &delay))
+        return NULL;
+    if (env_schedule(self, event, priority, delay) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Env_event(SimEnv *self, PyObject *noarg)
+{
+    SimEvent *ev = (SimEvent *)EventType.tp_alloc(&EventType, 0);
+    if (ev == NULL)
+        return NULL;
+    if (event_init_fields(ev, (PyObject *)self) < 0) {
+        Py_DECREF(ev);
+        return NULL;
+    }
+    return (PyObject *)ev;
+}
+
+static PyObject *
+Env_timeout(SimEnv *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"delay", "value", NULL};
+    PyObject *delay_obj, *value = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|O:timeout", kwlist,
+                                     &delay_obj, &value))
+        return NULL;
+    double delay = PyFloat_AsDouble(delay_obj);
+    if (delay == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (delay < 0) {
+        PyErr_Format(PyExc_ValueError, "negative delay %S", delay_obj);
+        return NULL;
+    }
+    SimTimeout *t = (SimTimeout *)TimeoutType.tp_alloc(&TimeoutType, 0);
+    if (t == NULL)
+        return NULL;
+    if (event_init_fields(&t->base, (PyObject *)self) < 0) {
+        Py_DECREF(t);
+        return NULL;
+    }
+    t->delay = delay;
+    Py_INCREF(value);
+    Py_SETREF(t->base.value, value);
+    t->base.ok = 1;
+    if (env_schedule(self, (PyObject *)t, NORMAL, delay) < 0) {
+        Py_DECREF(t);
+        return NULL;
+    }
+    return (PyObject *)t;
+}
+
+static PyObject *
+Env_process(SimEnv *self, PyObject *generator)
+{
+    PyObject *argtuple = PyTuple_Pack(2, (PyObject *)self, generator);
+    if (argtuple == NULL)
+        return NULL;
+    PyObject *proc = PyObject_Call((PyObject *)&ProcessType, argtuple, NULL);
+    Py_DECREF(argtuple);
+    return proc;
+}
+
+static PyObject *
+Env_all_of(SimEnv *self, PyObject *events)
+{
+    return PyObject_CallFunctionObjArgs(cfg_allof, (PyObject *)self,
+                                        events, NULL);
+}
+
+static PyObject *
+Env_any_of(SimEnv *self, PyObject *events)
+{
+    return PyObject_CallFunctionObjArgs(cfg_anyof, (PyObject *)self,
+                                        events, NULL);
+}
+
+static PyObject *
+Env_get_now(SimEnv *self, void *closure)
+{
+    return PyFloat_FromDouble(self->now);
+}
+
+static int
+Env_set_unow(SimEnv *self, PyObject *v, void *closure)
+{
+    double d = PyFloat_AsDouble(v);
+    if (d == -1.0 && PyErr_Occurred())
+        return -1;
+    self->now = d;
+    return 0;
+}
+
+static PyObject *
+Env_get_active(SimEnv *self, void *closure)
+{
+    PyObject *p = self->active ? self->active : Py_None;
+    Py_INCREF(p);
+    return p;
+}
+
+static PyObject *
+Env_get_queue_len(SimEnv *self, void *closure)
+{
+    return PyLong_FromSsize_t(self->heap_len);
+}
+
+static PyMethodDef Env_methods[] = {
+    {"event", (PyCFunction)Env_event, METH_NOARGS,
+     "A fresh pending event (trigger it with ``.succeed()``)."},
+    {"timeout", (PyCFunction)Env_timeout, METH_VARARGS | METH_KEYWORDS,
+     "An event firing ``delay`` time units from now."},
+    {"process", (PyCFunction)Env_process, METH_O,
+     "Register ``generator`` as a new process, started immediately."},
+    {"all_of", (PyCFunction)Env_all_of, METH_O,
+     "An event firing when every given event has fired."},
+    {"any_of", (PyCFunction)Env_any_of, METH_O,
+     "An event firing when any one of the given events fires."},
+    {"run", (PyCFunction)Env_run, METH_VARARGS | METH_KEYWORDS,
+     "Run until the heap drains, time ``until`` passes, or event fires."},
+    {"step", (PyCFunction)Env_step, METH_NOARGS,
+     "Process exactly one event from the heap."},
+    {"peek", (PyCFunction)Env_peek, METH_NOARGS,
+     "Time of the next scheduled event, or ``inf`` when idle."},
+    {"_schedule_event", (PyCFunction)Env_schedule_event,
+     METH_VARARGS | METH_KEYWORDS, NULL},
+    {NULL}
+};
+
+static PyGetSetDef Env_getset[] = {
+    {"now", (getter)Env_get_now, NULL, NULL, NULL},
+    {"_now", (getter)Env_get_now, (setter)Env_set_unow, NULL, NULL},
+    {"active_process", (getter)Env_get_active, NULL, NULL, NULL},
+    {"_active_process", (getter)Env_get_active, NULL, NULL, NULL},
+    {"_queue_len", (getter)Env_get_queue_len, NULL, NULL, NULL},
+    {NULL}
+};
+
+static PyTypeObject EnvType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._simcore.Environment",
+    .tp_basicsize = sizeof(SimEnv),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "The simulation environment: clock + event heap + factories.",
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Env_init,
+    .tp_dealloc = (destructor)Env_dealloc,
+    .tp_traverse = (traverseproc)Env_traverse,
+    .tp_clear = (inquiry)Env_clear_refs,
+    .tp_methods = Env_methods,
+    .tp_getset = Env_getset,
+};
+
+/* ---------------------------------------------------------------- */
+/* Resource / Request                                               */
+
+static PyObject *deque_type = NULL;   /* collections.deque */
+
+static PyObject *
+new_deque(void)
+{
+    return PyObject_CallNoArgs(deque_type);
+}
+
+/* grant a slot to `req` (transliterates Resource._grant) */
+static int
+resource_grant(SimResource *self, SimRequest *req)
+{
+    if (PyList_Append(self->users, (PyObject *)req) < 0)
+        return -1;
+    int err;
+    double now = env_now_any(self->env, &err);
+    if (err)
+        return -1;
+    PyObject *nowobj = PyFloat_FromDouble(now);
+    if (nowobj == NULL)
+        return -1;
+    int rc = PyDict_SetItem(self->busy_since, (PyObject *)req, nowobj);
+    Py_DECREF(nowobj);
+    if (rc < 0)
+        return -1;
+    if (req->hold != 0.0) {
+        /* grant-with-hold: wake at the service timer's expiry */
+        req->base.ok = 1;
+        Py_INCREF(Py_None);
+        Py_XSETREF(req->base.value, Py_None);
+        return schedule_any(self->env, (PyObject *)req, NORMAL, req->hold);
+    }
+    if (req->base.value != PENDING) {
+        PyErr_Format(cfg_sim_error, "%R has already been triggered", req);
+        return -1;
+    }
+    return event_trigger(&req->base, Py_None, 1, NORMAL, 0.0);
+}
+
+static int
+Request_init(SimRequest *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"resource", "hold", NULL};
+    PyObject *resource;
+    double hold = 0.0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|d:Request", kwlist,
+                                     &resource, &hold))
+        return -1;
+    if (!PyObject_TypeCheck(resource, &ResourceType)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "Request() requires a compiled Resource");
+        return -1;
+    }
+    SimResource *res = (SimResource *)resource;
+    if (event_init_fields(&self->base, res->env) < 0)
+        return -1;
+    Py_INCREF(resource);
+    Py_XSETREF(self->resource, resource);
+    self->hold = hold;
+    /* _do_request inline */
+    if (PyList_GET_SIZE(res->users) < res->capacity)
+        return resource_grant(res, self);
+    PyObject *r = PyObject_CallMethodObjArgs(
+        res->queue, s_append, (PyObject *)self, NULL);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+static int
+Request_traverse(SimRequest *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->resource);
+    return Event_traverse(&self->base, visit, arg);
+}
+
+static int
+Request_clear_refs(SimRequest *self)
+{
+    Py_CLEAR(self->resource);
+    return Event_clear_refs(&self->base);
+}
+
+static void
+Request_dealloc(SimRequest *self)
+{
+    PyObject_GC_UnTrack(self);
+    Request_clear_refs(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int resource_do_release(SimResource *self, PyObject *request);
+static int resource_cancel(SimResource *self, PyObject *request);
+
+static PyObject *
+Request_enter(SimRequest *self, PyObject *noarg)
+{
+    Py_INCREF(self);
+    return (PyObject *)self;
+}
+
+static PyObject *
+Request_exit(SimRequest *self, PyObject *args)
+{
+    if (resource_do_release((SimResource *)self->resource,
+                            (PyObject *)self) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Request_cancel(SimRequest *self, PyObject *noarg)
+{
+    if (resource_cancel((SimResource *)self->resource, (PyObject *)self) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Request_get_resource(SimRequest *self, void *closure)
+{
+    PyObject *r = self->resource ? self->resource : Py_None;
+    Py_INCREF(r);
+    return r;
+}
+
+static PyObject *
+Request_get_hold(SimRequest *self, void *closure)
+{
+    return PyFloat_FromDouble(self->hold);
+}
+
+static PyMethodDef Request_methods[] = {
+    {"__enter__", (PyCFunction)Request_enter, METH_NOARGS, NULL},
+    {"__exit__", (PyCFunction)Request_exit, METH_VARARGS, NULL},
+    {"cancel", (PyCFunction)Request_cancel, METH_NOARGS,
+     "Withdraw a not-yet-granted request from the wait queue."},
+    {NULL}
+};
+
+static PyGetSetDef Request_getset[] = {
+    {"resource", (getter)Request_get_resource, NULL, NULL, NULL},
+    {"hold", (getter)Request_get_hold, NULL, NULL, NULL},
+    {NULL}
+};
+
+static PyTypeObject RequestType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._simcore.Request",
+    .tp_basicsize = sizeof(SimRequest),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Pending claim on a Resource slot.",
+    .tp_base = &EventType,
+    .tp_init = (initproc)Request_init,
+    .tp_dealloc = (destructor)Request_dealloc,
+    .tp_traverse = (traverseproc)Request_traverse,
+    .tp_clear = (inquiry)Request_clear_refs,
+    .tp_methods = Request_methods,
+    .tp_getset = Request_getset,
+};
+
+static int
+Resource_init(SimResource *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"env", "capacity", NULL};
+    PyObject *env;
+    Py_ssize_t capacity = 1;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|n:Resource", kwlist,
+                                     &env, &capacity))
+        return -1;
+    if (capacity < 1) {
+        PyErr_Format(PyExc_ValueError, "capacity must be >= 1, got %zd",
+                     capacity);
+        return -1;
+    }
+    PyObject *users = PyList_New(0);
+    PyObject *queue = new_deque();
+    PyObject *busy = PyDict_New();
+    if (users == NULL || queue == NULL || busy == NULL) {
+        Py_XDECREF(users);
+        Py_XDECREF(queue);
+        Py_XDECREF(busy);
+        return -1;
+    }
+    Py_INCREF(env);
+    Py_XSETREF(self->env, env);
+    self->capacity = capacity;
+    Py_XSETREF(self->users, users);
+    Py_XSETREF(self->queue, queue);
+    Py_XSETREF(self->busy_since, busy);
+    self->busy_time = 0.0;
+    return 0;
+}
+
+static int
+Resource_traverse(SimResource *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->env);
+    Py_VISIT(self->users);
+    Py_VISIT(self->queue);
+    Py_VISIT(self->busy_since);
+    return 0;
+}
+
+static int
+Resource_clear_refs(SimResource *self)
+{
+    Py_CLEAR(self->env);
+    Py_CLEAR(self->users);
+    Py_CLEAR(self->queue);
+    Py_CLEAR(self->busy_since);
+    return 0;
+}
+
+static void
+Resource_dealloc(SimResource *self)
+{
+    PyObject_GC_UnTrack(self);
+    Resource_clear_refs(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+resource_cancel(SimResource *self, PyObject *request)
+{
+    PyObject *r = PyObject_CallMethodObjArgs(self->queue, s_remove,
+                                             request, NULL);
+    if (r == NULL) {
+        if (PyErr_ExceptionMatches(PyExc_ValueError)) {
+            PyErr_Clear();
+            return 0;
+        }
+        return -1;
+    }
+    Py_DECREF(r);
+    return 0;
+}
+
+static int
+resource_do_release(SimResource *self, PyObject *request)
+{
+    PyObject *users = self->users;
+    Py_ssize_t n = PyList_GET_SIZE(users);
+    Py_ssize_t idx = -1;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        if (PyList_GET_ITEM(users, i) == request) {
+            idx = i;
+            break;
+        }
+    }
+    if (idx < 0) {
+        /* releasing an unqueued/ungranted request is a no-op */
+        return resource_cancel(self, request);
+    }
+    if (PyList_SetSlice(users, idx, idx + 1, NULL) < 0)
+        return -1;
+    int err;
+    double now = env_now_any(self->env, &err);
+    if (err)
+        return -1;
+    PyObject *since = PyDict_GetItemWithError(self->busy_since, request);
+    if (since == NULL) {
+        if (!PyErr_Occurred())
+            PyErr_SetObject(PyExc_KeyError, request);
+        return -1;
+    }
+    double s = PyFloat_AsDouble(since);
+    if (s == -1.0 && PyErr_Occurred())
+        return -1;
+    if (PyDict_DelItem(self->busy_since, request) < 0)
+        return -1;
+    self->busy_time += now - s;
+    /* grant freed slot(s) to FIFO waiters */
+    while (PyObject_IsTrue(self->queue) == 1 &&
+           PyList_GET_SIZE(self->users) < self->capacity) {
+        PyObject *nxt = PyObject_CallMethodNoArgs(self->queue, s_popleft);
+        if (nxt == NULL)
+            return -1;
+        if (!PyObject_TypeCheck(nxt, &RequestType)) {
+            Py_DECREF(nxt);
+            PyErr_SetString(PyExc_TypeError,
+                            "compiled Resource queue held a non-Request");
+            return -1;
+        }
+        int rc = resource_grant(self, (SimRequest *)nxt);
+        Py_DECREF(nxt);
+        if (rc < 0)
+            return -1;
+    }
+    return 0;
+}
+
+static PyObject *
+Resource_request(SimResource *self, PyObject *noarg)
+{
+    PyObject *argtuple = PyTuple_Pack(1, (PyObject *)self);
+    if (argtuple == NULL)
+        return NULL;
+    PyObject *req = PyObject_Call((PyObject *)&RequestType, argtuple, NULL);
+    Py_DECREF(argtuple);
+    return req;
+}
+
+static PyObject *
+Resource_release(SimResource *self, PyObject *request)
+{
+    return PyObject_CallFunctionObjArgs(cfg_release, (PyObject *)self,
+                                        request, NULL);
+}
+
+static PyObject *
+Resource_acquire(SimResource *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"hold", NULL};
+    PyObject *hold;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O:acquire", kwlist, &hold))
+        return NULL;
+    return PyObject_CallFunctionObjArgs(cfg_acquire, (PyObject *)self,
+                                        hold, NULL);
+}
+
+static PyObject *
+Resource_request_hold(SimResource *self, PyObject *hold)
+{
+    return PyObject_CallFunctionObjArgs((PyObject *)&RequestType,
+                                        (PyObject *)self, hold, NULL);
+}
+
+static PyObject *
+Resource_do_request_py(SimResource *self, PyObject *request)
+{
+    if (!PyObject_TypeCheck(request, &RequestType)) {
+        PyErr_SetString(PyExc_TypeError, "expected a compiled Request");
+        return NULL;
+    }
+    SimRequest *req = (SimRequest *)request;
+    if (PyList_GET_SIZE(self->users) < self->capacity) {
+        if (resource_grant(self, req) < 0)
+            return NULL;
+    }
+    else {
+        PyObject *r = PyObject_CallMethodObjArgs(self->queue, s_append,
+                                                 request, NULL);
+        if (r == NULL)
+            return NULL;
+        Py_DECREF(r);
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Resource_do_release_py(SimResource *self, PyObject *request)
+{
+    if (resource_do_release(self, request) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Resource_cancel_py(SimResource *self, PyObject *request)
+{
+    if (resource_cancel(self, request) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Resource_utilization(SimResource *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"elapsed", NULL};
+    PyObject *elapsed_obj = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|O:utilization", kwlist,
+                                     &elapsed_obj))
+        return NULL;
+    int err;
+    double now = env_now_any(self->env, &err);
+    if (err)
+        return NULL;
+    double elapsed;
+    if (elapsed_obj == Py_None)
+        elapsed = now;
+    else {
+        elapsed = PyFloat_AsDouble(elapsed_obj);
+        if (elapsed == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    if (elapsed <= 0)
+        return PyFloat_FromDouble(0.0);
+    double in_flight = 0.0;
+    PyObject *key, *val;
+    Py_ssize_t pos = 0;
+    while (PyDict_Next(self->busy_since, &pos, &key, &val)) {
+        double s = PyFloat_AsDouble(val);
+        if (s == -1.0 && PyErr_Occurred())
+            return NULL;
+        in_flight += now - s;
+    }
+    return PyFloat_FromDouble(
+        (self->busy_time + in_flight) / (elapsed * (double)self->capacity));
+}
+
+static PyObject *
+Resource_get_count(SimResource *self, void *closure)
+{
+    return PyLong_FromSsize_t(PyList_GET_SIZE(self->users));
+}
+
+static PyObject *
+Resource_get_capacity(SimResource *self, void *closure)
+{
+    return PyLong_FromSsize_t(self->capacity);
+}
+
+static PyObject *
+Resource_get_busy_time(SimResource *self, void *closure)
+{
+    return PyFloat_FromDouble(self->busy_time);
+}
+
+static int
+Resource_set_busy_time(SimResource *self, PyObject *v, void *closure)
+{
+    double d = PyFloat_AsDouble(v);
+    if (d == -1.0 && PyErr_Occurred())
+        return -1;
+    self->busy_time = d;
+    return 0;
+}
+
+static PyMemberDef Resource_members[] = {
+    {"env", T_OBJECT, offsetof(SimResource, env), READONLY, NULL},
+    {"users", T_OBJECT, offsetof(SimResource, users), READONLY, NULL},
+    {"queue", T_OBJECT, offsetof(SimResource, queue), READONLY, NULL},
+    {"_busy_since", T_OBJECT, offsetof(SimResource, busy_since), READONLY,
+     NULL},
+    {NULL}
+};
+
+static PyMethodDef Resource_methods[] = {
+    {"request", (PyCFunction)Resource_request, METH_NOARGS,
+     "Claim a slot; the returned event fires when granted."},
+    {"release", (PyCFunction)Resource_release, METH_O,
+     "Give back a previously granted slot."},
+    {"acquire", (PyCFunction)Resource_acquire, METH_VARARGS | METH_KEYWORDS,
+     "Convenience process fragment: request, hold ``hold``, release."},
+    {"utilization", (PyCFunction)Resource_utilization,
+     METH_VARARGS | METH_KEYWORDS,
+     "Fraction of capacity-time spent busy since t=0."},
+    {"_request_hold", (PyCFunction)Resource_request_hold, METH_O, NULL},
+    {"_do_request", (PyCFunction)Resource_do_request_py, METH_O, NULL},
+    {"_do_release", (PyCFunction)Resource_do_release_py, METH_O, NULL},
+    {"_cancel", (PyCFunction)Resource_cancel_py, METH_O, NULL},
+    {NULL}
+};
+
+static PyGetSetDef Resource_getset[] = {
+    {"count", (getter)Resource_get_count, NULL, NULL, NULL},
+    {"capacity", (getter)Resource_get_capacity, NULL, NULL, NULL},
+    {"busy_time", (getter)Resource_get_busy_time,
+     (setter)Resource_set_busy_time, NULL, NULL},
+    {NULL}
+};
+
+static PyTypeObject ResourceType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._simcore.Resource",
+    .tp_basicsize = sizeof(SimResource),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Counted resource with FIFO granting.",
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Resource_init,
+    .tp_dealloc = (destructor)Resource_dealloc,
+    .tp_traverse = (traverseproc)Resource_traverse,
+    .tp_clear = (inquiry)Resource_clear_refs,
+    .tp_members = Resource_members,
+    .tp_methods = Resource_methods,
+    .tp_getset = Resource_getset,
+};
+
+/* ---------------------------------------------------------------- */
+/* Store / StorePut / StoreGet                                      */
+
+/* succeed a queued put/get event regardless of lane */
+static int
+event_succeed_any(PyObject *ev, PyObject *value)
+{
+    if (value == NULL)
+        value = Py_None;
+    if (Event_Check(ev))
+        return event_trigger((SimEvent *)ev, value, 1, NORMAL, 0.0);
+    PyObject *r = PyObject_CallMethodObjArgs(ev, s_succeed, value, NULL);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* new ref to a queued put's item, either lane */
+static PyObject *
+put_item_any(PyObject *put)
+{
+    if (PyObject_TypeCheck(put, &StorePutType)) {
+        PyObject *item = ((SimStorePut *)put)->item;
+        if (item == NULL)
+            item = Py_None;
+        Py_INCREF(item);
+        return item;
+    }
+    return PyObject_GetAttr(put, s_item);
+}
+
+/* post-level-change bookkeeping: peak high-water mark + watcher */
+static int
+store_after_change(SimStore *self)
+{
+    Py_ssize_t n = PyObject_Size(self->items);
+    if (n < 0)
+        return -1;
+    if (n > self->peak)
+        self->peak = n;
+    if (self->watcher != Py_None && self->watcher != NULL) {
+        PyObject *r = PyObject_CallOneArg(self->watcher, (PyObject *)self);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+    }
+    return 0;
+}
+
+/* wake blocked getters while items remain (StorePut/offer fast path) */
+static int
+store_wake_gets(SimStore *self)
+{
+    for (;;) {
+        Py_ssize_t ngets = PyObject_Size(self->get_queue);
+        if (ngets < 0)
+            return -1;
+        Py_ssize_t nitems = PyObject_Size(self->items);
+        if (nitems < 0)
+            return -1;
+        if (ngets == 0 || nitems == 0)
+            break;
+        PyObject *get = PyObject_CallMethodNoArgs(self->get_queue, s_popleft);
+        if (get == NULL)
+            return -1;
+        PyObject *item = PyObject_CallMethodNoArgs(self->items, s_popleft);
+        if (item == NULL) {
+            Py_DECREF(get);
+            return -1;
+        }
+        int rc = event_succeed_any(get, item);
+        Py_DECREF(item);
+        Py_DECREF(get);
+        if (rc < 0)
+            return -1;
+    }
+    return 0;
+}
+
+/* admit blocked puts while below capacity (StoreGet fast path) */
+static int
+store_admit_puts(SimStore *self, int *progress)
+{
+    for (;;) {
+        Py_ssize_t nputs = PyObject_Size(self->put_queue);
+        if (nputs < 0)
+            return -1;
+        if (nputs == 0)
+            break;
+        if (self->capacity >= 0) {
+            Py_ssize_t nitems = PyObject_Size(self->items);
+            if (nitems < 0)
+                return -1;
+            if (nitems >= self->capacity)
+                break;
+        }
+        PyObject *put = PyObject_CallMethodNoArgs(self->put_queue, s_popleft);
+        if (put == NULL)
+            return -1;
+        PyObject *item = put_item_any(put);
+        if (item == NULL) {
+            Py_DECREF(put);
+            return -1;
+        }
+        PyObject *r = PyObject_CallMethodObjArgs(self->items, s_append,
+                                                 item, NULL);
+        Py_DECREF(item);
+        if (r == NULL) {
+            Py_DECREF(put);
+            return -1;
+        }
+        Py_DECREF(r);
+        int rc = event_succeed_any(put, NULL);
+        Py_DECREF(put);
+        if (rc < 0)
+            return -1;
+        if (progress != NULL)
+            *progress = 1;
+    }
+    return 0;
+}
+
+static int
+store_dispatch(SimStore *self)
+{
+    int progress = 1;
+    while (progress) {
+        progress = 0;
+        if (store_admit_puts(self, &progress) < 0)
+            return -1;
+        for (;;) {
+            Py_ssize_t ngets = PyObject_Size(self->get_queue);
+            if (ngets < 0)
+                return -1;
+            Py_ssize_t nitems = PyObject_Size(self->items);
+            if (nitems < 0)
+                return -1;
+            if (ngets == 0 || nitems == 0)
+                break;
+            PyObject *get = PyObject_CallMethodNoArgs(self->get_queue,
+                                                      s_popleft);
+            if (get == NULL)
+                return -1;
+            PyObject *item = PyObject_CallMethodNoArgs(self->items,
+                                                       s_popleft);
+            if (item == NULL) {
+                Py_DECREF(get);
+                return -1;
+            }
+            int rc = event_succeed_any(get, item);
+            Py_DECREF(item);
+            Py_DECREF(get);
+            if (rc < 0)
+                return -1;
+            progress = 1;
+        }
+    }
+    return store_after_change(self);
+}
+
+static int
+StorePut_init(SimStorePut *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"store", "item", NULL};
+    PyObject *store_obj, *item;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OO:StorePut", kwlist,
+                                     &store_obj, &item))
+        return -1;
+    if (!PyObject_TypeCheck(store_obj, &StoreType)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "StorePut() requires a compiled Store");
+        return -1;
+    }
+    SimStore *store = (SimStore *)store_obj;
+    if (event_init_fields(&self->base, store->env) < 0)
+        return -1;
+    Py_INCREF(item);
+    Py_XSETREF(self->item, item);
+    Py_ssize_t nputs = PyObject_Size(store->put_queue);
+    if (nputs < 0)
+        return -1;
+    Py_ssize_t nitems = PyObject_Size(store->items);
+    if (nitems < 0)
+        return -1;
+    if (nputs == 0 && (store->capacity < 0 || nitems < store->capacity)) {
+        /* immediate admit — the overwhelmingly common case */
+        PyObject *r = PyObject_CallMethodObjArgs(store->items, s_append,
+                                                 item, NULL);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+        if (event_trigger(&self->base, Py_None, 1, NORMAL, 0.0) < 0)
+            return -1;
+        if (store_wake_gets(store) < 0)
+            return -1;
+        return store_after_change(store);
+    }
+    /* would block: value stays PENDING, join the FIFO wait queue */
+    PyObject *r = PyObject_CallMethodObjArgs(store->put_queue, s_append,
+                                             (PyObject *)self, NULL);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return store_dispatch(store);
+}
+
+static int
+StorePut_traverse(SimStorePut *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->item);
+    return Event_traverse(&self->base, visit, arg);
+}
+
+static int
+StorePut_clear_refs(SimStorePut *self)
+{
+    Py_CLEAR(self->item);
+    return Event_clear_refs(&self->base);
+}
+
+static void
+StorePut_dealloc(SimStorePut *self)
+{
+    PyObject_GC_UnTrack(self);
+    StorePut_clear_refs(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyMemberDef StorePut_members[] = {
+    {"item", T_OBJECT, offsetof(SimStorePut, item), 0, NULL},
+    {NULL}
+};
+
+static PyTypeObject StorePutType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._simcore.StorePut",
+    .tp_basicsize = sizeof(SimStorePut),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Pending put into a Store (blocks when at capacity).",
+    .tp_base = &EventType,
+    .tp_init = (initproc)StorePut_init,
+    .tp_dealloc = (destructor)StorePut_dealloc,
+    .tp_traverse = (traverseproc)StorePut_traverse,
+    .tp_clear = (inquiry)StorePut_clear_refs,
+    .tp_members = StorePut_members,
+};
+
+static int
+StoreGet_init(SimStoreGet *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"store", NULL};
+    PyObject *store_obj;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O:StoreGet", kwlist,
+                                     &store_obj))
+        return -1;
+    if (!PyObject_TypeCheck(store_obj, &StoreType)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "StoreGet() requires a compiled Store");
+        return -1;
+    }
+    SimStore *store = (SimStore *)store_obj;
+    if (event_init_fields(&self->base, store->env) < 0)
+        return -1;
+    Py_ssize_t nitems = PyObject_Size(store->items);
+    if (nitems < 0)
+        return -1;
+    Py_ssize_t ngets = PyObject_Size(store->get_queue);
+    if (ngets < 0)
+        return -1;
+    if (nitems > 0 && ngets == 0) {
+        /* item ready: this get fires first, then freed space admits
+           blocked puts — identical wake order to the general loop */
+        PyObject *item = PyObject_CallMethodNoArgs(store->items, s_popleft);
+        if (item == NULL)
+            return -1;
+        int rc = event_trigger(&self->base, item, 1, NORMAL, 0.0);
+        Py_DECREF(item);
+        if (rc < 0)
+            return -1;
+        if (store_admit_puts(store, NULL) < 0)
+            return -1;
+        return store_after_change(store);
+    }
+    PyObject *r = PyObject_CallMethodObjArgs(store->get_queue, s_append,
+                                             (PyObject *)self, NULL);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return store_dispatch(store);
+}
+
+static PyTypeObject StoreGetType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._simcore.StoreGet",
+    .tp_basicsize = sizeof(SimStoreGet),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE,
+    .tp_doc = "Pending get from a Store (blocks when empty).",
+    .tp_base = &EventType,
+    .tp_init = (initproc)StoreGet_init,
+};
+
+static int
+Store_init(SimStore *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"env", "capacity", "watcher", NULL};
+    PyObject *env;
+    PyObject *capacity = Py_None;
+    PyObject *watcher = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|OO:Store", kwlist,
+                                     &env, &capacity, &watcher))
+        return -1;
+    Py_ssize_t cap = -1;
+    if (capacity != Py_None) {
+        cap = PyNumber_AsSsize_t(capacity, PyExc_OverflowError);
+        if (cap == -1 && PyErr_Occurred())
+            return -1;
+        if (cap < 1) {
+            PyErr_Format(PyExc_ValueError,
+                         "capacity must be >= 1 or None, got %S", capacity);
+            return -1;
+        }
+    }
+    PyObject *items = new_deque();
+    PyObject *puts = new_deque();
+    PyObject *gets = new_deque();
+    if (items == NULL || puts == NULL || gets == NULL) {
+        Py_XDECREF(items);
+        Py_XDECREF(puts);
+        Py_XDECREF(gets);
+        return -1;
+    }
+    Py_INCREF(env);
+    Py_XSETREF(self->env, env);
+    self->capacity = cap;
+    Py_XSETREF(self->items, items);
+    Py_XSETREF(self->put_queue, puts);
+    Py_XSETREF(self->get_queue, gets);
+    Py_INCREF(watcher);
+    Py_XSETREF(self->watcher, watcher);
+    self->peak = 0;
+    return 0;
+}
+
+static int
+Store_traverse(SimStore *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->env);
+    Py_VISIT(self->items);
+    Py_VISIT(self->put_queue);
+    Py_VISIT(self->get_queue);
+    Py_VISIT(self->watcher);
+    return 0;
+}
+
+static int
+Store_clear_refs(SimStore *self)
+{
+    Py_CLEAR(self->env);
+    Py_CLEAR(self->items);
+    Py_CLEAR(self->put_queue);
+    Py_CLEAR(self->get_queue);
+    Py_CLEAR(self->watcher);
+    return 0;
+}
+
+static void
+Store_dealloc(SimStore *self)
+{
+    PyObject_GC_UnTrack(self);
+    Store_clear_refs(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static Py_ssize_t
+Store_length(SimStore *self)
+{
+    return PyObject_Size(self->items);
+}
+
+static PyObject *
+Store_put(SimStore *self, PyObject *item)
+{
+    return PyObject_CallFunctionObjArgs((PyObject *)&StorePutType,
+                                        (PyObject *)self, item, NULL);
+}
+
+static PyObject *
+Store_get(SimStore *self, PyObject *noarg)
+{
+    return PyObject_CallFunctionObjArgs((PyObject *)&StoreGetType,
+                                        (PyObject *)self, NULL);
+}
+
+static PyObject *
+Store_offer(SimStore *self, PyObject *item)
+{
+    Py_ssize_t nputs = PyObject_Size(self->put_queue);
+    if (nputs < 0)
+        return NULL;
+    Py_ssize_t nitems = PyObject_Size(self->items);
+    if (nitems < 0)
+        return NULL;
+    if (nputs > 0 || (self->capacity >= 0 && nitems >= self->capacity))
+        Py_RETURN_FALSE;
+    PyObject *r = PyObject_CallMethodObjArgs(self->items, s_append,
+                                             item, NULL);
+    if (r == NULL)
+        return NULL;
+    Py_DECREF(r);
+    if (store_wake_gets(self) < 0)
+        return NULL;
+    if (store_after_change(self) < 0)
+        return NULL;
+    Py_RETURN_TRUE;
+}
+
+static PyObject *
+Store_try_get(SimStore *self, PyObject *noarg)
+{
+    Py_ssize_t nitems = PyObject_Size(self->items);
+    if (nitems < 0)
+        return NULL;
+    if (nitems == 0) {
+        PyErr_SetString(cfg_sim_error, "try_get on empty store");
+        return NULL;
+    }
+    PyObject *item = PyObject_CallMethodNoArgs(self->items, s_popleft);
+    if (item == NULL)
+        return NULL;
+    if (store_dispatch(self) < 0) {
+        Py_DECREF(item);
+        return NULL;
+    }
+    return item;
+}
+
+static PyObject *
+Store_crash_drain(SimStore *self, PyObject *noarg)
+{
+    PyObject *lost = PySequence_List(self->items);
+    if (lost == NULL)
+        return NULL;
+    PyObject *r = PyObject_CallMethodNoArgs(self->items, s_clear);
+    if (r == NULL) {
+        Py_DECREF(lost);
+        return NULL;
+    }
+    Py_DECREF(r);
+    for (;;) {
+        Py_ssize_t nputs = PyObject_Size(self->put_queue);
+        if (nputs < 0)
+            goto fail;
+        if (nputs == 0)
+            break;
+        PyObject *put = PyObject_CallMethodNoArgs(self->put_queue, s_popleft);
+        if (put == NULL)
+            goto fail;
+        PyObject *item = put_item_any(put);
+        if (item == NULL) {
+            Py_DECREF(put);
+            goto fail;
+        }
+        int rc = PyList_Append(lost, item);
+        Py_DECREF(item);
+        if (rc < 0) {
+            Py_DECREF(put);
+            goto fail;
+        }
+        rc = event_succeed_any(put, NULL);
+        Py_DECREF(put);
+        if (rc < 0)
+            goto fail;
+    }
+    r = PyObject_CallMethodNoArgs(self->get_queue, s_clear);
+    if (r == NULL)
+        goto fail;
+    Py_DECREF(r);
+    if (self->watcher != Py_None && self->watcher != NULL) {
+        PyObject *w = PyObject_CallOneArg(self->watcher, (PyObject *)self);
+        if (w == NULL)
+            goto fail;
+        Py_DECREF(w);
+    }
+    return lost;
+fail:
+    Py_DECREF(lost);
+    return NULL;
+}
+
+static PyObject *
+Store_dispatch_py(SimStore *self, PyObject *noarg)
+{
+    if (store_dispatch(self) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Store_get_level(SimStore *self, void *closure)
+{
+    Py_ssize_t n = PyObject_Size(self->items);
+    if (n < 0)
+        return NULL;
+    return PyLong_FromSsize_t(n);
+}
+
+static PyObject *
+Store_get_capacity(SimStore *self, void *closure)
+{
+    if (self->capacity < 0)
+        Py_RETURN_NONE;
+    return PyLong_FromSsize_t(self->capacity);
+}
+
+static int
+Store_set_capacity(SimStore *self, PyObject *v, void *closure)
+{
+    if (v == Py_None) {
+        self->capacity = -1;
+        return 0;
+    }
+    Py_ssize_t cap = PyNumber_AsSsize_t(v, PyExc_OverflowError);
+    if (cap == -1 && PyErr_Occurred())
+        return -1;
+    self->capacity = cap;
+    return 0;
+}
+
+static PyObject *
+Store_get_peak(SimStore *self, void *closure)
+{
+    return PyLong_FromSsize_t(self->peak);
+}
+
+static int
+Store_set_peak(SimStore *self, PyObject *v, void *closure)
+{
+    Py_ssize_t n = PyNumber_AsSsize_t(v, PyExc_OverflowError);
+    if (n == -1 && PyErr_Occurred())
+        return -1;
+    self->peak = n;
+    return 0;
+}
+
+static PyMemberDef Store_members[] = {
+    {"env", T_OBJECT, offsetof(SimStore, env), READONLY, NULL},
+    {"items", T_OBJECT, offsetof(SimStore, items), READONLY, NULL},
+    {"_put_queue", T_OBJECT, offsetof(SimStore, put_queue), READONLY, NULL},
+    {"_get_queue", T_OBJECT, offsetof(SimStore, get_queue), READONLY, NULL},
+    {"watcher", T_OBJECT, offsetof(SimStore, watcher), 0, NULL},
+    {NULL}
+};
+
+static PySequenceMethods Store_as_sequence = {
+    .sq_length = (lenfunc)Store_length,
+};
+
+static PyMethodDef Store_methods[] = {
+    {"put", (PyCFunction)Store_put, METH_O,
+     "Insert ``item``; fires once space is available."},
+    {"get", (PyCFunction)Store_get, METH_NOARGS,
+     "Remove and return the oldest item; fires once available."},
+    {"offer", (PyCFunction)Store_offer, METH_O,
+     "Non-blocking put: True when ``item`` was admitted immediately."},
+    {"try_get", (PyCFunction)Store_try_get, METH_NOARGS,
+     "Non-blocking get; raises SimulationError if empty."},
+    {"crash_drain", (PyCFunction)Store_crash_drain, METH_NOARGS,
+     "Fail-stop support: empty the store, waking every blocked peer."},
+    {"_dispatch", (PyCFunction)Store_dispatch_py, METH_NOARGS, NULL},
+    {NULL}
+};
+
+static PyGetSetDef Store_getset[] = {
+    {"level", (getter)Store_get_level, NULL, NULL, NULL},
+    {"capacity", (getter)Store_get_capacity, (setter)Store_set_capacity,
+     NULL, NULL},
+    {"peak", (getter)Store_get_peak, (setter)Store_set_peak, NULL, NULL},
+    {NULL}
+};
+
+static PyTypeObject StoreType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._simcore.Store",
+    .tp_basicsize = sizeof(SimStore),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "FIFO object buffer with blocking get/put.",
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Store_init,
+    .tp_dealloc = (destructor)Store_dealloc,
+    .tp_traverse = (traverseproc)Store_traverse,
+    .tp_clear = (inquiry)Store_clear_refs,
+    .tp_as_sequence = &Store_as_sequence,
+    .tp_members = Store_members,
+    .tp_methods = Store_methods,
+    .tp_getset = Store_getset,
+};
+
+/* ---------------------------------------------------------------- */
+/* configure() + module init                                        */
+
+static PyObject *simcore_module = NULL;
+
+static PyObject *
+simcore_configure(PyObject *mod, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {
+        "interrupt", "sim_error", "allof", "anyof",
+        "release", "acquire", "pending", NULL,
+    };
+    PyObject *interrupt, *sim_error, *allof, *anyof;
+    PyObject *release, *acquire, *pending;
+    if (!PyArg_ParseTupleAndKeywords(
+            args, kwds, "OOOOOOO:configure", kwlist,
+            &interrupt, &sim_error, &allof, &anyof,
+            &release, &acquire, &pending))
+        return NULL;
+    Py_INCREF(interrupt);
+    Py_XSETREF(cfg_interrupt, interrupt);
+    Py_INCREF(sim_error);
+    Py_XSETREF(cfg_sim_error, sim_error);
+    Py_INCREF(allof);
+    Py_XSETREF(cfg_allof, allof);
+    Py_INCREF(anyof);
+    Py_XSETREF(cfg_anyof, anyof);
+    Py_INCREF(release);
+    Py_XSETREF(cfg_release, release);
+    Py_INCREF(acquire);
+    Py_XSETREF(cfg_acquire, acquire);
+    /* adopt the pure lane's PENDING sentinel so ``value is _PENDING``
+       checks agree across lanes (configure runs before any event
+       exists, so no object ever holds the placeholder sentinel) */
+    Py_INCREF(pending);
+    Py_XSETREF(PENDING, pending);
+    if (simcore_module != NULL &&
+        PyObject_SetAttrString(simcore_module, "_PENDING", pending) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef simcore_functions[] = {
+    {"configure", (PyCFunction)simcore_configure,
+     METH_VARARGS | METH_KEYWORDS,
+     "Hand the pure-lane classes/sentinels to the compiled core."},
+    {NULL, NULL, 0, NULL}
+};
+
+static struct PyModuleDef simcore_def = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.sim._simcore",
+    .m_doc = "Compiled discrete-event kernel core (see sim/kernel.py).",
+    .m_size = -1,
+    .m_methods = simcore_functions,
+};
+
+PyMODINIT_FUNC
+PyInit__simcore(void)
+{
+    PyObject *collections = NULL;
+
+    s_send = PyUnicode_InternFromString("send");
+    s_throw = PyUnicode_InternFromString("throw");
+    s_callbacks = PyUnicode_InternFromString("callbacks");
+    s_append = PyUnicode_InternFromString("append");
+    s_remove = PyUnicode_InternFromString("remove");
+    s_popleft = PyUnicode_InternFromString("popleft");
+    s_clear = PyUnicode_InternFromString("clear");
+    s_value = PyUnicode_InternFromString("value");
+    s_ok = PyUnicode_InternFromString("ok");
+    s_uvalue = PyUnicode_InternFromString("_value");
+    s_udefused = PyUnicode_InternFromString("_defused");
+    s_schedule_event = PyUnicode_InternFromString("_schedule_event");
+    s_now = PyUnicode_InternFromString("_now");
+    s_item = PyUnicode_InternFromString("item");
+    s_succeed = PyUnicode_InternFromString("succeed");
+    s_processed = PyUnicode_InternFromString("processed");
+    if (s_send == NULL || s_throw == NULL || s_callbacks == NULL ||
+        s_append == NULL || s_remove == NULL || s_popleft == NULL ||
+        s_clear == NULL || s_value == NULL || s_ok == NULL ||
+        s_uvalue == NULL || s_udefused == NULL ||
+        s_schedule_event == NULL || s_now == NULL || s_item == NULL ||
+        s_succeed == NULL || s_processed == NULL)
+        return NULL;
+
+    collections = PyImport_ImportModule("collections");
+    if (collections == NULL)
+        return NULL;
+    deque_type = PyObject_GetAttrString(collections, "deque");
+    Py_DECREF(collections);
+    if (deque_type == NULL)
+        return NULL;
+
+    /* placeholder sentinel until configure() hands over the pure one */
+    PENDING = PyObject_CallNoArgs((PyObject *)&PyBaseObject_Type);
+    if (PENDING == NULL)
+        return NULL;
+
+    if (PyType_Ready(&EventType) < 0 ||
+        PyType_Ready(&TimeoutType) < 0 ||
+        PyType_Ready(&ProcessType) < 0 ||
+        PyType_Ready(&EnvType) < 0 ||
+        PyType_Ready(&ResourceType) < 0 ||
+        PyType_Ready(&RequestType) < 0 ||
+        PyType_Ready(&StoreType) < 0 ||
+        PyType_Ready(&StorePutType) < 0 ||
+        PyType_Ready(&StoreGetType) < 0)
+        return NULL;
+
+    PyObject *mod = PyModule_Create(&simcore_def);
+    if (mod == NULL)
+        return NULL;
+    simcore_module = mod;
+
+    if (PyModule_AddObjectRef(mod, "Event", (PyObject *)&EventType) < 0 ||
+        PyModule_AddObjectRef(mod, "Timeout", (PyObject *)&TimeoutType) < 0 ||
+        PyModule_AddObjectRef(mod, "Process", (PyObject *)&ProcessType) < 0 ||
+        PyModule_AddObjectRef(mod, "Environment", (PyObject *)&EnvType) < 0 ||
+        PyModule_AddObjectRef(mod, "Resource",
+                              (PyObject *)&ResourceType) < 0 ||
+        PyModule_AddObjectRef(mod, "Request",
+                              (PyObject *)&RequestType) < 0 ||
+        PyModule_AddObjectRef(mod, "Store", (PyObject *)&StoreType) < 0 ||
+        PyModule_AddObjectRef(mod, "StorePut",
+                              (PyObject *)&StorePutType) < 0 ||
+        PyModule_AddObjectRef(mod, "StoreGet",
+                              (PyObject *)&StoreGetType) < 0 ||
+        PyModule_AddObjectRef(mod, "_PENDING", PENDING) < 0 ||
+        PyModule_AddIntConstant(mod, "URGENT", URGENT) < 0 ||
+        PyModule_AddIntConstant(mod, "NORMAL", NORMAL) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
+}

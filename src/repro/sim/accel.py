@@ -1,0 +1,63 @@
+"""Loader for the optional compiled sim-kernel lane.
+
+Importing this module never fails and never changes simulation results:
+it tries to load the compiled ``_simcore`` extension and, when present,
+exposes it as :data:`impl` with :data:`AVAILABLE` set.  The package
+``__init__`` rebinds the public kernel names (``Environment``,
+``Event``, ``Store``, ...) to the compiled types only when available;
+every environment without the built extension runs the pure-Python
+kernel in :mod:`repro.sim.kernel` / :mod:`repro.sim.resources`.
+
+Fallback rules (documented in DESIGN.md §17):
+
+* ``REPRO_SIM_ACCEL=0`` (or ``off``/``no``/``false``) disables this
+  lane alone; ``REPRO_ACCEL=0`` disables *every* compiled lane (sim
+  kernel and wire codec) — the escape hatch for debugging and for A/B
+  parity runs.
+* A missing or unbuildable extension is silent: the lane is an
+  optimisation, not a feature.  Build with
+  ``python -m repro.wire.accel_build``.
+* The compiled types follow the exact event protocol of the pure
+  kernel (same ``(time, priority, eid)`` total order, same error
+  messages), so pinned figures and scenario digests are byte-identical
+  in both lanes — enforced by ``tests/sim/test_simcore_parity.py`` and
+  the ``accel-parity`` CI job.
+* Pure-lane objects interoperate: the compiled scheduler dispatches
+  pure events (``AllOf``/``AnyOf`` remain pure classes configured into
+  the extension), and pure processes can wait on compiled events.
+
+The extension holds no simulation state of its own; ``configure()``
+hands it the pure-lane classes and sentinels it must share.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+__all__ = ["AVAILABLE", "impl", "disabled_by_env"]
+
+_ENV_VAR = "REPRO_SIM_ACCEL"
+_GLOBAL_VAR = "REPRO_ACCEL"
+_OFF_VALUES = ("0", "off", "no", "false")
+
+
+def disabled_by_env() -> bool:
+    """True when the environment explicitly turns the lane off."""
+    return any(
+        os.environ.get(var, "").strip().lower() in _OFF_VALUES
+        for var in (_ENV_VAR, _GLOBAL_VAR)
+    )
+
+
+impl: Optional[Any] = None
+AVAILABLE = False
+
+if not disabled_by_env():
+    try:
+        from . import _simcore as _impl_module
+    except ImportError:
+        _impl_module = None
+    if _impl_module is not None:
+        impl = _impl_module
+        AVAILABLE = True

@@ -193,7 +193,14 @@ class Process(Event):
         result = yield env.process(child(env))
     """
 
-    __slots__ = ("_generator", "_send", "_throw", "_target", "_immediate")
+    __slots__ = (
+        "_generator",
+        "_send",
+        "_throw",
+        "_target",
+        "_immediate",
+        "_immediate_cbs",
+    )
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -206,6 +213,7 @@ class Process(Event):
         self._throw = generator.throw
         self._target: Optional[Event] = None
         self._immediate: Optional[Event] = None
+        self._immediate_cbs: Optional[list] = None
         _Initialize(env, self)
 
     @property
@@ -274,10 +282,14 @@ class Process(Event):
             # process has at most one wait in flight, so one relay event
             # per process can be recycled instead of allocated per hop
             # (it is always fully processed before it could be reused).
+            # The one-element callbacks list is recycled by the same
+            # argument: step() iterates it without mutating, and the
+            # URGENT relay is consumed before the process can hop again.
             immediate = self._immediate
             if immediate is None:
                 immediate = self._immediate = Event(env)
-            immediate.callbacks = [self._resume]
+                self._immediate_cbs = [self._resume]
+            immediate.callbacks = self._immediate_cbs
             immediate._ok = ok = next_event._ok
             immediate._value = next_event._value
             immediate._defused = not ok

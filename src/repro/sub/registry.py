@@ -133,6 +133,21 @@ class SubscriptionRegistry:
             seen.setdefault(self._subs[sid].client_id, True)
         return [cid for cid in seen]
 
+    def match_clients_batch(
+        self, events: Iterable[UpdateEvent]
+    ) -> List[List[str]]:
+        """Per-event distinct client_ids for a whole batch, through one
+        :meth:`MatchEngine.match_batch` pass (first-match order, same as
+        :meth:`match_clients` event by event)."""
+        subs = self._subs
+        out: List[List[str]] = []
+        for sids in self.engine.match_batch(list(events)):
+            seen: Dict[str, bool] = {}
+            for sid in sids:
+                seen.setdefault(subs[sid].client_id, True)
+            out.append([cid for cid in seen])
+        return out
+
     def subscriptions(self) -> List[Subscription]:
         return [self._subs[sid] for sid in self._subs]
 

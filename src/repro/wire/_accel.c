@@ -1142,6 +1142,59 @@ fail:
     return NULL;
 }
 
+/* encode_value(value, ids) -> bytes
+ * One tagged value against a shared interning dict; the caller appends
+ * the returned bytes to its output buffer (primitives.encode_value
+ * fast path — bytes identical to the pure lane). */
+static PyObject *
+accel_encode_value(PyObject *self, PyObject *args)
+{
+    PyObject *value, *ids;
+    if (check_configured() < 0)
+        return NULL;
+    if (!PyArg_ParseTuple(args, "OO!", &value, &PyDict_Type, &ids))
+        return NULL;
+    Writer w;
+    if (w_init(&w, 64) < 0)
+        return NULL;
+    if (encode_value(&w, ids, value) < 0) {
+        w_free(&w);
+        return NULL;
+    }
+    PyObject *out = PyBytes_FromStringAndSize((const char *)w.buf, w.len);
+    w_free(&w);
+    return out;
+}
+
+/* decode_value(buf, pos, table) -> (value, new_pos)
+ * primitives.decode_value fast path against a shared interning table. */
+static PyObject *
+accel_decode_value(PyObject *self, PyObject *args)
+{
+    Py_buffer view;
+    Py_ssize_t pos;
+    PyObject *table;
+    if (check_configured() < 0)
+        return NULL;
+    if (!PyArg_ParseTuple(args, "y*nO!", &view, &pos,
+                          &PyList_Type, &table))
+        return NULL;
+    if (pos < 0 || pos > view.len) {
+        PyBuffer_Release(&view);
+        PyErr_SetString(g_truncated, "value tag runs past end of buffer");
+        return NULL;
+    }
+    Reader r = {view.buf, pos, view.len};
+    PyObject *value = decode_value(&r, table);
+    if (value == NULL) {
+        PyBuffer_Release(&view);
+        return NULL;
+    }
+    PyObject *res = Py_BuildValue("Nn", value, r.pos);
+    PyBuffer_Release(&view);
+    return res;
+}
+
 /* configure(event_from_wire, vt_from_wire, WireError, TruncatedFrame) */
 static PyObject *
 accel_configure(PyObject *self, PyObject *args)
@@ -1185,6 +1238,10 @@ static PyMethodDef accel_methods[] = {
      "decode_event_body(buf, table, last_uid) -> (event, new_last_uid)"},
     {"decode_batch_body", accel_decode_batch_body, METH_VARARGS,
      "decode_batch_body(buf, table, last_uid) -> (events, new_last_uid)"},
+    {"encode_value", accel_encode_value, METH_VARARGS,
+     "encode_value(value, ids) -> bytes (one tagged value)"},
+    {"decode_value", accel_decode_value, METH_VARARGS,
+     "decode_value(buf, pos, table) -> (value, new_pos)"},
     {NULL, NULL, 0, NULL},
 };
 

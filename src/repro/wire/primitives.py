@@ -213,6 +213,20 @@ _F64 = struct.Struct("<d")
 def encode_value(value: Any, out: bytearray, interner: InternEncoder) -> None:
     """Append one tagged value (None/bool/int/float/str/bytes/list/tuple/
     dict with string keys)."""
+    acc = _accel_encode_value
+    if acc is not None:
+        try:
+            chunk = acc(value, interner._ids)
+        except WireError:
+            raise
+        except (TypeError, AttributeError):
+            # per-call fallback: exotic interner/value shapes are the
+            # pure lane's job (the C lane rejects them before touching
+            # the shared interning dict, so no partial state leaks)
+            chunk = None
+        if chunk is not None:
+            out += chunk
+            return
     if value is None:
         out.append(_T_NONE)
     elif value is True:
@@ -251,6 +265,14 @@ def encode_value(value: Any, out: bytearray, interner: InternEncoder) -> None:
 
 def decode_value(buf: Buffer, pos: int, interner: InternDecoder) -> Tuple[Any, int]:
     """Read one tagged value at ``pos``; returns (value, new_pos)."""
+    acc = _accel_decode_value
+    if acc is not None:
+        try:
+            return acc(buf, pos, interner._table)
+        except WireError:
+            raise
+        except (TypeError, AttributeError):
+            pass  # per-call fallback, mirrors encode_value above
     if pos >= len(buf):
         raise TruncatedFrame("value tag runs past end of buffer")
     tag = buf[pos]
@@ -292,3 +314,25 @@ def decode_value(buf: Buffer, pos: int, interner: InternDecoder) -> Tuple[Any, i
             mapping[key] = item
         return mapping, pos
     raise WireError(f"unknown value tag 0x{tag:02x}")
+
+
+# -- compiled fast path -------------------------------------------------
+# The tagged-value pair dispatches through wire/_accel when it is built
+# and enabled; bytes are identical by construction (the C lane shares
+# the interning dict/table) and the parity suite pins it.  Bound late,
+# at the bottom of the module, so the import can never be circular.
+_accel_encode_value = None
+_accel_decode_value = None
+
+
+def _bind_accel() -> None:
+    global _accel_encode_value, _accel_decode_value
+    from . import accel as _accel_mod
+
+    impl = _accel_mod.impl
+    if impl is not None:
+        _accel_encode_value = getattr(impl, "encode_value", None)
+        _accel_decode_value = getattr(impl, "decode_value", None)
+
+
+_bind_accel()

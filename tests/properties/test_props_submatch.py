@@ -128,6 +128,82 @@ def test_indexed_matches_oracle_under_churn(data):
     assert len(indexed) == len(naive) == len(live)
 
 
+indexable_predicates = st.one_of(
+    st.builds(ByFlight, flight_id=st.sampled_from(FLIGHTS)),
+    st.builds(ByKind, kind=st.sampled_from(KINDS)),
+    st.lists(
+        st.one_of(
+            st.builds(ByFlight, flight_id=st.sampled_from(FLIGHTS)),
+            st.builds(ByKind, kind=st.sampled_from(KINDS)),
+        ),
+        min_size=1, max_size=3,
+    ).map(lambda cs: And(tuple(cs))),
+)
+
+
+@given(
+    st.lists(predicates, min_size=1, max_size=12),
+    st.lists(events, min_size=1, max_size=8),
+)
+@settings(max_examples=300, deadline=None)
+def test_match_batch_equals_per_event_and_oracle(preds, evs):
+    """One batched pass returns exactly what per-event ``match`` (and
+    the oracle) return — results AND stats counters, whichever lane the
+    population lands in."""
+    batched, per_event, naive = MatchEngine(), MatchEngine(), NaiveEngine()
+    for sub_id, pred in enumerate(preds):
+        batched.add(sub_id, pred)
+        per_event.add(sub_id, pred)
+        naive.add(sub_id, pred)
+    singles = [per_event.match(ev) for ev in evs]
+    results = batched.match_batch(evs)
+    assert results == singles
+    assert results == [naive.match(ev) for ev in evs]
+    assert batched.stats == per_event.stats
+
+
+@given(st.data())
+@settings(max_examples=150, deadline=None)
+def test_match_batch_fastpath_under_churn(data):
+    """The flight/kind-only population — the shared-lane fast path —
+    stays equal to the oracle across add/discard churn, including the
+    sorted-lane invariant the shared results depend on."""
+    indexed, naive = MatchEngine(), NaiveEngine()
+    live: set = set()
+    next_id = 0
+    for _ in range(data.draw(st.integers(2, 20), label="steps")):
+        action = data.draw(
+            st.sampled_from(["add", "replace", "discard", "batch"]),
+            label="action",
+        )
+        if action == "add" or not live:
+            pred = data.draw(indexable_predicates, label="pred")
+            indexed.add(next_id, pred)
+            naive.add(next_id, pred)
+            live.add(next_id)
+            next_id += 1
+        elif action == "replace":
+            sub_id = data.draw(st.sampled_from(sorted(live)), label="re-id")
+            pred = data.draw(indexable_predicates, label="re-pred")
+            indexed.add(sub_id, pred)
+            naive.add(sub_id, pred)
+        elif action == "discard":
+            sub_id = data.draw(st.sampled_from(sorted(live)), label="kill")
+            assert indexed.discard(sub_id) == naive.discard(sub_id)
+            live.discard(sub_id)
+        else:
+            evs = data.draw(
+                st.lists(events, min_size=1, max_size=6), label="batch"
+            )
+            expect = [naive.match(ev) for ev in evs]
+            # copy: fast-path results are shared read-only lane views
+            assert [list(r) for r in indexed.match_batch(evs)] == expect
+    evs = data.draw(st.lists(events, min_size=1, max_size=4), label="final")
+    assert [list(r) for r in indexed.match_batch(evs)] == [
+        naive.match(ev) for ev in evs
+    ]
+
+
 @given(events)
 @settings(max_examples=100)
 def test_empty_engine_matches_nothing(ev):

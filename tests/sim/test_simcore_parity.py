@@ -1,0 +1,252 @@
+"""Trace-for-trace parity between the compiled and pure sim kernels.
+
+The compiled core (``repro.sim._simcore``) is an optimisation, never a
+semantics: for any workload the C ``Environment``/``Event``/``Process``
+family must produce *exactly* the (time, order, value) trace the pure
+kernel produces — same heap tie-breaking, same URGENT/NORMAL priority
+interleaving, same interrupt and resource semantics.  Mirroring
+``tests/wire/test_accel_parity.py`` for the codec lane, this suite
+drives the same scenario through
+
+* the compiled family end to end,
+* the pure family end to end,
+* the mixed lane — pure-lane components scheduled on a compiled
+  ``Environment`` (the shape an incremental rollout or a partially
+  rebuilt ``.so`` produces), and
+* interleaved environments, one of each, advanced in lockstep —
+
+and requires identical traces from all of them.
+"""
+
+import pytest
+
+import repro.sim as sim
+from repro.sim import accel
+from repro.sim import (
+    PyEnvironment,
+    PyProcess,
+    PyResource,
+    PyStore,
+    PyTimeout,
+)
+from repro.sim.kernel import Interrupt, URGENT
+
+pytestmark = pytest.mark.skipif(
+    not accel.AVAILABLE, reason="compiled sim core not built"
+)
+
+
+class Lane:
+    """One kernel family: the classes a scenario is built from."""
+
+    def __init__(self, env_cls, process_cls, timeout_cls, store_cls,
+                 resource_cls, event_cls):
+        self.Environment = env_cls
+        self.Process = process_cls
+        self.Timeout = timeout_cls
+        self.Store = store_cls
+        self.Resource = resource_cls
+        self.Event = event_cls
+
+
+def compiled_lane():
+    impl = accel.impl
+    return Lane(impl.Environment, impl.Process, impl.Timeout,
+                impl.Store, impl.Resource, impl.Event)
+
+
+def pure_lane():
+    from repro.sim.kernel import Event as PyEvent
+
+    return Lane(PyEnvironment, PyProcess, PyTimeout, PyStore,
+                PyResource, PyEvent)
+
+
+def mixed_lane():
+    # pure passive components (timeouts, stores, resources, raw
+    # events) driven by the compiled scheduler and process type — the
+    # shape a partially rebuilt lane produces.  The pure Process is the
+    # one class that cannot cross lanes: it writes scheduler-private
+    # state (``_active_process``) the C environment owns.
+    from repro.sim.kernel import Event as PyEvent
+
+    return Lane(accel.impl.Environment, accel.impl.Process, PyTimeout,
+                PyStore, PyResource, PyEvent)
+
+
+LANES = [compiled_lane, pure_lane, mixed_lane]
+LANE_IDS = ["compiled", "pure", "mixed"]
+
+
+# ------------------------------------------------------------ scenarios
+def run_contention(lane: Lane):
+    """Store + resource contention with interrupts and both priorities;
+    returns the (label, time, value) trace."""
+    env = lane.Environment()
+    trace = []
+
+    store = lane.Store(env, capacity=2)
+    cpu = lane.Resource(env, capacity=1)
+
+    def producer(name, period, items):
+        for i in range(items):
+            yield lane.Timeout(env, period)
+            yield store.put(f"{name}{i}")
+            trace.append(("put", env.now, f"{name}{i}"))
+
+    def consumer(name, count):
+        for _ in range(count):
+            item = yield store.get()
+            req = cpu.request()
+            yield req
+            trace.append(("use", env.now, f"{name}:{item}"))
+            yield lane.Timeout(env, 0.5)
+            cpu.release(req)
+
+    def meddler(victim):
+        yield lane.Timeout(env, 2.25)
+        victim.interrupt("poke")
+
+    def fragile(env):
+        try:
+            yield lane.Timeout(env, 10.0)
+            trace.append(("slept", env.now, None))
+        except Interrupt as exc:
+            trace.append(("interrupted", env.now, exc.cause))
+
+    lane.Process(env, producer("a", 1.0, 4))
+    lane.Process(env, producer("b", 1.5, 3))
+    lane.Process(env, consumer("c1", 4))
+    lane.Process(env, consumer("c2", 3))
+    victim = lane.Process(env, fragile(env))
+    lane.Process(env, meddler(victim))
+    env.run()
+    trace.append(("end", env.now, None))
+    return trace
+
+
+def run_priorities(lane: Lane):
+    """URGENT vs NORMAL same-time ordering — the heap tie-break the two
+    kernels must agree on exactly.  An URGENT wakeup scheduled *after*
+    a same-time NORMAL timeout must still fire first, and equal
+    (time, priority) entries must keep creation order."""
+    env = lane.Environment()
+    trace = []
+
+    def sleeper(tag):
+        def body(env):
+            for i in range(3):
+                yield lane.Timeout(env, 1.0)
+                trace.append((tag, i, env.now))
+        return body
+
+    lane.Process(env, sleeper("n1")(env))
+    lane.Process(env, sleeper("n2")(env))
+    # raw URGENT entries straight into the scheduler, landing at the
+    # same instants as the sleepers' NORMAL timeouts but enqueued last:
+    # priority must beat insertion order, identically in both kernels
+    for tick in (1.0, 2.0, 3.0):
+        urgent = lane.Event(env)
+        urgent._ok = True
+        urgent._value = tick
+        urgent.callbacks.append(
+            lambda ev, t=tick: trace.append(("urgent", t, env.now))
+        )
+        env._schedule_event(urgent, URGENT, delay=tick)
+    env.run()
+    return trace
+
+
+SCENARIOS = [run_contention, run_priorities]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS,
+                         ids=[s.__name__ for s in SCENARIOS])
+def test_all_lanes_produce_identical_traces(scenario):
+    reference = scenario(pure_lane())
+    for make_lane, lane_id in zip(LANES, LANE_IDS):
+        assert scenario(make_lane()) == reference, lane_id
+
+
+def test_interleaved_environments_stay_independent():
+    """One compiled and one pure environment advanced in lockstep: the
+    kernels share module state (class caches, free lists) but never
+    clocks or queues."""
+    lanes = [compiled_lane(), pure_lane()]
+    envs = [lane.Environment() for lane in lanes]
+    traces = [[], []]
+
+    for lane, env, trace in zip(lanes, envs, traces):
+        def ticker(env=env, lane=lane, trace=trace):
+            for i in range(5):
+                yield lane.Timeout(env, 1.0)
+                trace.append((i, env.now))
+        lane.Process(env, ticker())
+
+    # run alternately, one scheduled step at a time
+    done = [False, False]
+    while not all(done):
+        for i, env in enumerate(envs):
+            if done[i]:
+                continue
+            nxt = env.peek()
+            if nxt is None or nxt == float("inf"):
+                done[i] = True
+                continue
+            env.step()
+    assert traces[0] == traces[1] == [(i, float(i + 1)) for i in range(5)]
+    assert envs[0].now == envs[1].now
+
+
+def test_scenario_digests_identical_across_lanes():
+    """The whole simulated server, compiled lane vs ``REPRO_ACCEL=0``:
+    replica digests and run metrics must be byte-identical (lane choice
+    is per-process, so the pure run happens in a subprocess)."""
+    import json
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "import json\n"
+        "from repro.core import ScenarioConfig, selective_mirroring\n"
+        "from repro.core.system import MirroredServer\n"
+        "from repro.ois import FlightDataConfig\n"
+        "import repro.sim as sim\n"
+        "config = ScenarioConfig(n_mirrors=2,\n"
+        "    mirror_config=selective_mirroring(5),\n"
+        "    workload=FlightDataConfig(n_flights=4,\n"
+        "        positions_per_flight=30, seed=13))\n"
+        "server = MirroredServer(config)\n"
+        "metrics = server.run()\n"
+        "print(json.dumps({'lane': sim.SIM_ACCEL_ACTIVE,\n"
+        "    'digests': [list(d) for d in server.replica_digests()],\n"
+        "    'mirrored': metrics.events_mirrored,\n"
+        "    'forwarded': metrics.events_forwarded,\n"
+        "    'makespan': metrics.total_execution_time,\n"
+        "    'rules': metrics.rule_stats}, sort_keys=True, default=str))\n"
+    )
+
+    def run(extra_env):
+        env = dict(os.environ, **extra_env)
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, env=env, check=True,
+        ).stdout.strip()
+        return json.loads(out)
+
+    compiled = run({})
+    pure = run({"REPRO_ACCEL": "0"})
+    assert compiled.pop("lane") is True
+    assert pure.pop("lane") is False
+    assert compiled == pure
+
+
+def test_active_lane_matches_build_state():
+    """The package-level rebinding is all-or-nothing: when the compiled
+    core is importable the public names ARE the C types."""
+    assert sim.SIM_ACCEL_ACTIVE
+    assert sim.Environment is accel.impl.Environment
+    assert sim.Store is accel.impl.Store
+    # and the pure family stays reachable for fallback and these tests
+    assert PyEnvironment is not sim.Environment
